@@ -1,0 +1,37 @@
+//! Classic gradient coding: construction cost and decode-vector solve cost —
+//! the linear-algebra overhead that IS-GC's trivial sum-decoding avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isgc_core::classic::ClassicGc;
+use isgc_core::WorkerSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_classic(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("classic_gc");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for &n in &[12usize, 24, 48] {
+        let c = 4;
+        group.bench_with_input(BenchmarkId::new("construct_cr", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(ClassicGc::cyclic(n, c, &mut rng).unwrap()));
+        });
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let gc = ClassicGc::cyclic(n, c, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode_vector", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let avail = WorkerSet::random_subset(n, n - c + 1, &mut rng);
+                black_box(gc.decoding_vector(&avail).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classic);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Decoder throughput: the paper's linear-time algorithms vs. the exact
+//! branch-and-bound oracle and the arrival-order greedy strawman.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isgc_core::decode::{
+    ArrivalOrderDecoder, CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder, StreamingDecoder,
+};
+use isgc_core::{HrParams, Placement, WorkerSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_decoders(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("decode");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for &n in &[24usize, 48, 96] {
+        let c = 4;
+        let w = n / 2;
+        let fr = Placement::fractional(n, c).unwrap();
+        let cr = Placement::cyclic(n, c).unwrap();
+        // Theorem 6 needs c ≤ n0 ≤ 2c−1: groups of n0 = 6 fit c = 4.
+        let hr = Placement::hybrid(HrParams::new(n, n / 6, 2, 2)).unwrap();
+
+        let cases: Vec<(&str, Box<dyn Decoder>)> = vec![
+            ("fr", Box::new(FrDecoder::new(&fr).unwrap())),
+            ("cr", Box::new(CrDecoder::new(&cr).unwrap())),
+            ("hr", Box::new(HrDecoder::new(&hr).unwrap())),
+            ("exact-cr", Box::new(ExactDecoder::new(&cr))),
+            ("arrival-cr", Box::new(ArrivalOrderDecoder::new(&cr))),
+        ];
+        for (name, decoder) in cases {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut rng = StdRng::seed_from_u64(1);
+                // Fresh random subset per iteration: measures the full
+                // decode path including tie-breaking randomness.
+                b.iter(|| {
+                    let avail = WorkerSet::random_subset(n, w, &mut rng);
+                    black_box(decoder.decode(&avail, &mut rng))
+                });
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = criterion.benchmark_group("streaming");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for &n in &[24usize, 96] {
+        let cr = Placement::cyclic(n, 4).unwrap();
+        group.bench_with_input(BenchmarkId::new("full_arrival_sweep", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut stream = StreamingDecoder::new(Box::new(CrDecoder::new(&cr).unwrap()));
+                for w in 0..n {
+                    stream.arrive((w * 7) % n, &mut rng);
+                }
+                black_box(stream.best().recovered_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Sum-encoding and ĝ assembly throughput at realistic gradient dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isgc_core::decode::{CrDecoder, Decoder};
+use isgc_core::encode::SumEncoder;
+use isgc_core::{Placement, WorkerSet};
+use isgc_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_encode(criterion: &mut Criterion) {
+    let n = 24;
+    let c = 4;
+    let placement = Placement::cyclic(n, c).unwrap();
+    let encoder = SumEncoder::new(&placement);
+
+    let mut group = criterion.benchmark_group("encode");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for &dim in &[1024usize, 16_384, 262_144] {
+        group.throughput(Throughput::Bytes((dim * c * 8) as u64));
+        let grads: Vec<Vector> = (0..c).map(|i| Vector::filled(dim, i as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("worker_encode", dim), &dim, |b, _| {
+            b.iter(|| black_box(encoder.encode(0, &grads)));
+        });
+    }
+    group.finish();
+
+    let mut group = criterion.benchmark_group("assemble");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for &dim in &[1024usize, 16_384] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let decoder = CrDecoder::new(&placement).unwrap();
+        let avail = WorkerSet::random_subset(n, n / 2, &mut rng);
+        let result = decoder.decode(&avail, &mut rng);
+        let codeword = Vector::filled(dim, 1.0);
+        group.throughput(Throughput::Bytes(
+            (dim * result.selected().len() * 8) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::new("g_hat", dim), &dim, |b, _| {
+            b.iter(|| black_box(encoder.assemble(&result, dim, |_| codeword.clone())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end simulated training throughput: a full step (arrival sampling,
+//! wait policy, gradient computation, encode, decode, update) and the
+//! arrival-only fast path used by the Fig. 11 experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isgc_bench::{cloud_cluster, fig11_cluster};
+use isgc_core::Placement;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::SoftmaxRegression;
+use isgc_ml::optimizer::LrSchedule;
+use isgc_simnet::policy::WaitPolicy;
+use isgc_simnet::trainer::{
+    measure_step_times, train, CodingScheme, GradientNormalization, TrainingConfig,
+};
+use std::hint::black_box;
+
+fn bench_sim(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("sim");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+
+    group.bench_function("train_50_steps_n4_c2", |b| {
+        let model = SoftmaxRegression::new(8, 4);
+        let dataset = Dataset::gaussian_classification(512, 8, 4, 3.0, 777);
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let config = TrainingConfig {
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.0,
+            loss_threshold: 0.0,
+            max_steps: 50,
+            seed: 1,
+            normalization: GradientNormalization::SumOfPartitionMeans,
+            lr_schedule: LrSchedule::Constant,
+        };
+        b.iter(|| {
+            black_box(train(
+                &model,
+                &dataset,
+                &CodingScheme::IsGc(placement.clone()),
+                &WaitPolicy::WaitForCount(2),
+                cloud_cluster(4),
+                &config,
+            ))
+        });
+    });
+
+    group.bench_function("arrival_sampling_500_steps_n24", |b| {
+        b.iter(|| {
+            black_box(measure_step_times(
+                fig11_cluster(24, 1.5, 12),
+                2,
+                &WaitPolicy::WaitForCount(12),
+                500,
+                7,
+            ))
+        });
+    });
+
+    group.bench_function("markov_trace_1000_steps_n24", |b| {
+        use isgc_simnet::delay::Delay;
+        use isgc_simnet::trace::MarkovStragglerModel;
+        let model = MarkovStragglerModel {
+            n: 24,
+            fast: Delay::Uniform { lo: 0.0, hi: 0.02 },
+            slow: Delay::Exponential { mean: 1.5 },
+            p_fast_to_slow: 0.05,
+            p_slow_to_fast: 0.2,
+        };
+        b.iter(|| black_box(model.generate(1000, 7)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

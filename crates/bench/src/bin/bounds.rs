@@ -1,0 +1,105 @@
+//! Validates the recovery bounds of paper §VII-A (Theorems 10–11):
+//!
+//! `min(⌈w/c⌉, ⌊n/c⌋) ≤ α(G[W']) ≤ min(w, ⌊n/c⌋)` for FR, CR, and HR.
+//!
+//! For each configuration the decoder output is measured over many random
+//! availability patterns; the observed min/mean/max must sit inside the
+//! theoretical bounds (and usually touches both).
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin bounds`
+
+use isgc_bench::table::Table;
+use isgc_core::bounds::{alpha_lower_bound, alpha_upper_bound};
+use isgc_core::decode::{CrDecoder, Decoder, FrDecoder, HrDecoder};
+use isgc_core::{HrParams, Placement, WorkerSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: usize = 3000;
+
+fn main() {
+    println!("Theorems 10–11 — recovery bounds vs. measured decoder output");
+    println!("({TRIALS} random availability patterns per cell)\n");
+
+    let mut cases: Vec<(String, Box<dyn Decoder>, usize, usize)> = Vec::new();
+    for (n, c) in [(12usize, 2usize), (12, 3), (12, 4), (24, 2), (24, 4)] {
+        let fr = Placement::fractional(n, c).expect("c | n by construction");
+        cases.push((
+            format!("FR({n},{c})"),
+            Box::new(FrDecoder::new(&fr).expect("FR")),
+            n,
+            c,
+        ));
+        let cr = Placement::cyclic(n, c).expect("valid CR");
+        cases.push((
+            format!("CR({n},{c})"),
+            Box::new(CrDecoder::new(&cr).expect("CR")),
+            n,
+            c,
+        ));
+    }
+    for (n, g, c1, c2) in [
+        (12usize, 3usize, 2usize, 2usize),
+        (24, 6, 2, 2),
+        (24, 4, 4, 2),
+    ] {
+        let hr = Placement::hybrid(HrParams::new(n, g, c1, c2)).expect("valid HR");
+        cases.push((
+            format!("HR({n},{c1},{c2})g{g}"),
+            Box::new(HrDecoder::new(&hr).expect("HR")),
+            n,
+            c1 + c2,
+        ));
+    }
+
+    let mut violations = 0usize;
+    let mut table = Table::new(vec![
+        "placement",
+        "w",
+        "Thm10 lo",
+        "measured min/mean/max",
+        "Thm11 hi",
+        "ok",
+    ]);
+    let mut rng = StdRng::seed_from_u64(7);
+    for (label, decoder, n, c) in &cases {
+        for w in [n / 4, n / 2, 3 * n / 4, *n] {
+            let lo = alpha_lower_bound(*n, *c, w);
+            let hi = alpha_upper_bound(*n, *c, w);
+            let mut min = usize::MAX;
+            let mut max = 0usize;
+            let mut sum = 0usize;
+            for _ in 0..TRIALS {
+                let avail = WorkerSet::random_subset(*n, w, &mut rng);
+                let got = decoder.decode(&avail, &mut rng).selected().len();
+                min = min.min(got);
+                max = max.max(got);
+                sum += got;
+            }
+            let ok = min >= lo && max <= hi;
+            if !ok {
+                violations += 1;
+            }
+            table.add_row(vec![
+                label.clone(),
+                w.to_string(),
+                lo.to_string(),
+                format!("{min} / {:.2} / {max}", sum as f64 / TRIALS as f64),
+                hi.to_string(),
+                if ok {
+                    "✓".to_string()
+                } else {
+                    "VIOLATION".to_string()
+                },
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    if violations == 0 {
+        println!("All measurements within the Theorem 10–11 bounds.");
+    } else {
+        println!("!! {violations} bound violations — decoder bug.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Distributional refinement of Theorems 10–11: the full probability mass
+//! function of `α(G[W'])` under uniform random `w`-subsets, exactly
+//! enumerated — including the tail probabilities a deployment would use to
+//! pick `w` ("with w of n workers, ≥ k workers are selectable with
+//! probability p").
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin distribution`
+
+use isgc_bench::table::Table;
+use isgc_core::bounds::{alpha_lower_bound, alpha_upper_bound};
+use isgc_core::expectation::alpha_distribution;
+use isgc_core::{ConflictGraph, HrParams, Placement};
+
+fn main() {
+    println!("Exact distribution of selectable workers α(G[W']), uniform random W'\n");
+    let cases: Vec<(String, Placement)> = vec![
+        (
+            "FR(12,3)".into(),
+            Placement::fractional(12, 3).expect("valid"),
+        ),
+        ("CR(12,3)".into(), Placement::cyclic(12, 3).expect("valid")),
+        (
+            "HR(12,2,2)g3".into(),
+            Placement::hybrid(HrParams::new(12, 3, 2, 2)).expect("valid"),
+        ),
+    ];
+    for (label, placement) in &cases {
+        let n = placement.n();
+        let c = placement.c();
+        let graph = ConflictGraph::from_placement(placement);
+        println!("== {label} ==");
+        let mut table = Table::new(vec!["w", "P[α=lo..hi]", "E[α]", "P[α ≥ n/c]"]);
+        for w in (2..=n).step_by(2) {
+            let pmf = alpha_distribution(&graph, w);
+            let lo = alpha_lower_bound(n, c, w);
+            let hi = alpha_upper_bound(n, c, w);
+            let cells: Vec<String> = (lo..=hi).map(|k| format!("{:.3}", pmf[k])).collect();
+            let mean: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+            let full: f64 = pmf[n / c..].iter().sum();
+            table.add_row(vec![
+                w.to_string(),
+                format!("[{}]", cells.join(", ")),
+                format!("{mean:.3}"),
+                format!("{full:.3}"),
+            ]);
+            // Sanity: the support must sit inside the Theorem 10-11 bounds.
+            for (k, &p) in pmf.iter().enumerate() {
+                assert!(p == 0.0 || (lo..=hi).contains(&k), "{label} w={w} k={k}");
+            }
+        }
+        table.print();
+        println!();
+    }
+    println!("The support of every distribution sits exactly inside the");
+    println!("Theorem 10-11 bounds, and FR's mass concentrates higher than CR's");
+    println!("at every w — the distributional form of the §V-C comparison.");
+}

@@ -1,0 +1,156 @@
+//! Extension experiment (beyond the paper's figures): **time-correlated /
+//! enduring stragglers**, the scenario the paper raises in §I ("if some
+//! worker experiences severe or consistently lower performance, IS-SGD will
+//! still make the training biased") and observes anecdotally in §VIII-C
+//! ("thanks to an enduring straggler").
+//!
+//! A two-state Markov model generates correlated straggling; the same trace
+//! is replayed against every scheme, plus the closed-loop adaptive wait
+//! controller.
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin enduring`
+
+use isgc_bench::table::Table;
+use isgc_core::Placement;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::metrics::mean;
+use isgc_ml::model::SoftmaxRegression;
+use isgc_simnet::adaptive::AdaptiveWaitController;
+use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
+use isgc_simnet::delay::Delay;
+use isgc_simnet::policy::WaitPolicy;
+use isgc_simnet::trace::{MarkovStragglerModel, TraceClusterSim};
+use isgc_simnet::trainer::{train_adaptive, train_on_trace, CodingScheme, TrainingConfig};
+
+const N: usize = 8;
+const TRIALS: u64 = 6;
+
+fn main() {
+    println!("Enduring stragglers — Markov(fast↔slow) delays, n = {N}\n");
+    let model_desc = MarkovStragglerModel {
+        n: N,
+        fast: Delay::Uniform { lo: 0.0, hi: 0.05 },
+        slow: Delay::ShiftedExponential {
+            shift: 1.0,
+            mean: 1.0,
+        },
+        p_fast_to_slow: 0.02,
+        p_slow_to_fast: 0.08,
+    };
+    println!(
+        "stationary straggling rate: {:.1}% of worker-steps, strongly time-correlated\n",
+        100.0 * model_desc.stationary_slow_fraction()
+    );
+
+    let mut table = Table::new(vec![
+        "scheme",
+        "w",
+        "recovered %",
+        "steps",
+        "train time (s)",
+        "converged",
+    ]);
+    let runs: Vec<(CodingScheme, usize)> = vec![
+        (CodingScheme::Synchronous, N),
+        (CodingScheme::IgnoreStragglerSgd, 4),
+        (CodingScheme::IsGc(Placement::cyclic(N, 2).expect("CR")), 4),
+        (
+            CodingScheme::IsGc(Placement::fractional(N, 2).expect("FR")),
+            4,
+        ),
+        (CodingScheme::IsGc(Placement::cyclic(N, 3).expect("CR")), 4),
+    ];
+    for (scheme, w) in &runs {
+        let mut rec = Vec::new();
+        let mut steps = Vec::new();
+        let mut times = Vec::new();
+        let mut conv = 0usize;
+        for trial in 0..TRIALS {
+            let trace = model_desc.generate(6000, 1000 + trial);
+            let sim = TraceClusterSim::new(trace, 0.05, 0.1);
+            let r = train_on_trace(
+                &SoftmaxRegression::new(8, 4),
+                &dataset(),
+                scheme,
+                &WaitPolicy::WaitForCount(*w),
+                sim,
+                &config(trial),
+            );
+            rec.push(100.0 * r.mean_recovered_fraction());
+            steps.push(r.steps as f64);
+            times.push(r.sim_time);
+            conv += r.reached_threshold as usize;
+        }
+        table.add_row(vec![
+            scheme.label(),
+            w.to_string(),
+            format!("{:.1}", mean(&rec)),
+            format!("{:.0}", mean(&steps)),
+            format!("{:.1}", mean(&times)),
+            format!("{conv}/{TRIALS}"),
+        ]);
+    }
+
+    // Closed-loop adaptive IS-GC: few workers early, more when loss stalls.
+    // (Adaptive training uses the stochastic cluster with an equivalent
+    // Markov-like straggler rate, since the adaptive path drives ClusterSim.)
+    let mut rec = Vec::new();
+    let mut steps = Vec::new();
+    let mut times = Vec::new();
+    let mut conv = 0usize;
+    for trial in 0..TRIALS {
+        let mut controller = AdaptiveWaitController::new(2, 6, 15, 0.03);
+        let cluster = ClusterConfig {
+            n: N,
+            compute_time_per_partition: 0.05,
+            comm_time: 0.1,
+            jitter: Delay::Uniform { lo: 0.0, hi: 0.05 },
+            straggler_delay: Delay::ShiftedExponential {
+                shift: 1.0,
+                mean: 1.0,
+            },
+            stragglers: StragglerSelection::Probabilistic(0.2),
+        };
+        let r = train_adaptive(
+            &SoftmaxRegression::new(8, 4),
+            &dataset(),
+            &CodingScheme::IsGc(Placement::cyclic(N, 2).expect("CR")),
+            &mut controller,
+            cluster,
+            &config(trial),
+        );
+        rec.push(100.0 * r.mean_recovered_fraction());
+        steps.push(r.steps as f64);
+        times.push(r.sim_time);
+        conv += r.reached_threshold as usize;
+    }
+    table.add_row(vec![
+        "IS-GC-CR adaptive".to_string(),
+        "2→6".to_string(),
+        format!("{:.1}", mean(&rec)),
+        format!("{:.0}", mean(&steps)),
+        format!("{:.1}", mean(&times)),
+        format!("{conv}/{TRIALS}"),
+    ]);
+
+    table.print();
+    println!("\nExpected: synchronous SGD pays for every slow episode; IS-SGD at");
+    println!("w = 4 is fast per step but recovers only 50%; IS-GC recovers far more");
+    println!("at the same w (more with c = 3 than c = 2), and the adaptive variant");
+    println!("starts cheap and escalates only when the loss stalls.");
+}
+
+fn dataset() -> Dataset {
+    Dataset::gaussian_classification(512, 8, 4, 3.0, 777)
+}
+
+fn config(trial: u64) -> TrainingConfig {
+    TrainingConfig {
+        batch_size: 32,
+        learning_rate: 0.05,
+        loss_threshold: 0.205,
+        max_steps: 4000,
+        seed: 300 + trial * 7,
+        ..TrainingConfig::default()
+    }
+}

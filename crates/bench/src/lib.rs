@@ -1,0 +1,126 @@
+//! # isgc-bench — experiment harness reproducing the paper's evaluation
+//!
+//! Each quantitative figure of the paper has a binary that regenerates it
+//! (see DESIGN.md for the experiment index):
+//!
+//! | binary | paper figure | metric |
+//! |---|---|---|
+//! | `fig11` | Fig. 11(a)(b) | average time per step under exponential straggler delays, n = 24 |
+//! | `fig12` | Fig. 12(a–d) | recovery %, steps-to-threshold, time/step, total training time, n = 4 |
+//! | `fig13` | Fig. 13(a)(b) | HR(8, c₁, 4−c₁) tradeoff: recovery and loss curves |
+//! | `bounds` | §VII-A (Thms 10–11) | decoder output vs. theoretical recovery bounds |
+//! | `fairness` | §IV claim | per-partition inclusion frequency uniformity |
+//!
+//! Criterion micro-benchmarks (`cargo bench`) cover decoder throughput,
+//! encode/assemble, classic-GC decode, and a full simulated step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod table;
+
+use isgc_ml::metrics::{mean, std_dev};
+use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
+use isgc_simnet::delay::Delay;
+
+/// A measurement aggregated over trials: mean ± standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Mean over the trials.
+    pub mean: f64,
+    /// Population standard deviation over the trials.
+    pub std: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl Aggregate {
+    /// Aggregates a slice of per-trial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "aggregate of no trials");
+        Self {
+            mean: mean(values),
+            std: std_dev(values),
+            trials: values.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let precision = f.precision().unwrap_or(3);
+        write!(
+            f,
+            "{:.prec$} ± {:.prec$}",
+            self.mean,
+            self.std,
+            prec = precision
+        )
+    }
+}
+
+/// The Fig. 11 cluster: 24 workers, base compute/communication cost per
+/// partition, and exponential straggler delays of the given mean injected on
+/// `straggler_count` workers chosen fresh each step (the paper injects
+/// delays on 12 or 24 of the 24 workers).
+pub fn fig11_cluster(n: usize, mean_delay: f64, straggler_count: usize) -> ClusterConfig {
+    ClusterConfig {
+        n,
+        compute_time_per_partition: 0.2,
+        comm_time: 0.05,
+        jitter: Delay::Uniform { lo: 0.0, hi: 0.02 },
+        straggler_delay: Delay::Exponential { mean: mean_delay },
+        stragglers: StragglerSelection::RandomEachStep(straggler_count),
+    }
+}
+
+/// The Fig. 12/13 cluster: natural communication-dominated straggling — every
+/// worker's upload time has an exponential tail (the paper observes "most
+/// time is spent on uploading gradients to the master … stragglers are more
+/// likely to be caused by communication").
+pub fn cloud_cluster(n: usize) -> ClusterConfig {
+    ClusterConfig {
+        n,
+        compute_time_per_partition: 0.05,
+        comm_time: 0.1,
+        jitter: Delay::Exponential { mean: 0.4 },
+        straggler_delay: Delay::none(),
+        stragglers: StragglerSelection::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_stats() {
+        let a = Aggregate::of(&[1.0, 3.0]);
+        assert_eq!(a.mean, 2.0);
+        assert_eq!(a.std, 1.0);
+        assert_eq!(a.trials, 2);
+        assert_eq!(format!("{a:.1}"), "2.0 ± 1.0");
+        assert_eq!(format!("{a}"), "2.000 ± 1.000");
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn aggregate_empty_panics() {
+        let _ = Aggregate::of(&[]);
+    }
+
+    #[test]
+    fn cluster_builders_are_valid() {
+        let c = fig11_cluster(24, 1.5, 12);
+        assert_eq!(c.n, 24);
+        assert_eq!(c.straggler_delay.mean(), 1.5);
+        let c = cloud_cluster(4);
+        assert_eq!(c.n, 4);
+        assert!(c.jitter.mean() > 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Recovery bounds (paper §VII-A, Theorems 10–11).
+//!
+//! With `w = |W'|` available workers out of `n`, storage factor `c`, the
+//! independence number of the induced conflict graph — and hence the number
+//! of selectable workers — satisfies
+//!
+//! ```text
+//! min(⌈w/c⌉, ⌊n/c⌋)  ≤  α(G[W'])  ≤  min(w, ⌊n/c⌋)
+//! ```
+//!
+//! for FR, CR, and HR alike. Multiplying by `c` turns worker counts into
+//! recovered-partition counts.
+
+/// Theorem 10: the worst-case number of selectable workers,
+/// `min(⌈w/c⌉, ⌊n/c⌋)`.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+///
+/// # Examples
+///
+/// ```
+/// // 3 of 4 workers arrive with c = 2: at least 2 workers always combine.
+/// assert_eq!(isgc_core::bounds::alpha_lower_bound(4, 2, 3), 2);
+/// ```
+pub fn alpha_lower_bound(n: usize, c: usize, w: usize) -> usize {
+    assert!(c > 0, "c must be positive");
+    assert!(w <= n, "w={w} cannot exceed n={n}");
+    (w.div_ceil(c)).min(n / c)
+}
+
+/// Theorem 11: the best-case number of selectable workers, `min(w, ⌊n/c⌋)`.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+///
+/// # Examples
+///
+/// ```
+/// // Even with all 4 workers up, at most n/c = 2 non-conflicting workers
+/// // exist when c = 2.
+/// assert_eq!(isgc_core::bounds::alpha_upper_bound(4, 2, 4), 2);
+/// ```
+pub fn alpha_upper_bound(n: usize, c: usize, w: usize) -> usize {
+    assert!(c > 0, "c must be positive");
+    assert!(w <= n, "w={w} cannot exceed n={n}");
+    w.min(n / c)
+}
+
+/// Worst-case number of recovered partitions, `c · alpha_lower_bound`.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+pub fn recovery_lower_bound(n: usize, c: usize, w: usize) -> usize {
+    c * alpha_lower_bound(n, c, w)
+}
+
+/// Best-case number of recovered partitions, `c · alpha_upper_bound`, capped
+/// at `n`.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+pub fn recovery_upper_bound(n: usize, c: usize, w: usize) -> usize {
+    (c * alpha_upper_bound(n, c, w)).min(n)
+}
+
+/// The largest number of stragglers `s` for which **full** recovery of all
+/// `n` partition gradients is guaranteed for *every* straggler pattern —
+/// computed exactly by checking the worst availability pattern at each `s`.
+///
+/// For FR and CR with `c | n` this equals classic GC's `c − 1` (both schemes
+/// place each partition on `c` workers, and an adversary silencing all `c`
+/// replicas of one partition defeats any code), which is exactly the paper's
+/// point: IS-GC matches GC's guaranteed tolerance *and* degrades gracefully
+/// beyond it.
+///
+/// Exponential in `n` (it enumerates worst cases); intended for `n ≤ 20`.
+///
+/// # Panics
+///
+/// Panics if `n > 20`.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::bounds::guaranteed_full_recovery_tolerance;
+/// use isgc_core::Placement;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let p = Placement::cyclic(8, 3)?;
+/// // Any 2 stragglers still leave full recovery impossible to block? No —
+/// // tolerance is c − 1 = 2 only if 8 % 3 == 0; here partial coverage caps it.
+/// let t = guaranteed_full_recovery_tolerance(&p);
+/// assert!(t <= 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn guaranteed_full_recovery_tolerance(placement: &crate::Placement) -> usize {
+    let n = placement.n();
+    assert!(n <= 20, "exhaustive tolerance check capped at n = 20");
+    let graph = crate::ConflictGraph::from_placement(placement);
+    // Full recovery means every partition is covered by the selected
+    // independent set, i.e. recovered_count == n, i.e. alpha * c == n AND
+    // the partitions covered are all n. Since selected workers are
+    // non-conflicting, their partition sets are disjoint: alpha * c == n
+    // already implies full coverage.
+    let full_alpha = n / placement.c();
+    if !n.is_multiple_of(placement.c()) {
+        return 0; // c ∤ n: even all workers can't tile the partitions
+    }
+    for s in 1..n {
+        let w = n - s;
+        // Check every availability pattern of size w.
+        let mut mask: u64 = (1u64 << w) - 1;
+        let limit: u64 = 1u64 << n;
+        while mask < limit {
+            let avail = crate::WorkerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+            if graph.alpha(&avail) < full_alpha {
+                return s - 1;
+            }
+            let c0 = mask & mask.wrapping_neg();
+            let r = mask + c0;
+            mask = (((r ^ mask) >> 2) / c0) | r;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{CrDecoder, Decoder, FrDecoder, HrDecoder};
+    use crate::{HrParams, Placement, WorkerSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_are_consistent() {
+        for n in 1..=16 {
+            for c in 1..=n {
+                for w in 0..=n {
+                    let lo = alpha_lower_bound(n, c, w);
+                    let hi = alpha_upper_bound(n, c, w);
+                    assert!(lo <= hi, "n={n}, c={c}, w={w}");
+                    assert!(recovery_lower_bound(n, c, w) <= recovery_upper_bound(n, c, w));
+                    assert!(recovery_upper_bound(n, c, w) <= n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_available_recovers_zero() {
+        assert_eq!(alpha_lower_bound(8, 2, 0), 0);
+        assert_eq!(alpha_upper_bound(8, 2, 0), 0);
+    }
+
+    #[test]
+    fn full_availability_hits_n_over_c() {
+        assert_eq!(alpha_lower_bound(8, 2, 8), 4);
+        assert_eq!(alpha_upper_bound(8, 2, 8), 4);
+        assert_eq!(recovery_upper_bound(8, 2, 8), 8);
+        // Non-divisible case: CR(7, 3) can select at most 2 workers.
+        assert_eq!(alpha_upper_bound(7, 3, 7), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn w_above_n_panics() {
+        alpha_lower_bound(4, 2, 5);
+    }
+
+    /// Every decoder's output must fall within Theorems 10-11 for every
+    /// availability pattern of exhaustive small instances.
+    #[test]
+    fn decoders_respect_bounds_exhaustively() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut cases: Vec<(Placement, Box<dyn Decoder>)> = Vec::new();
+        for (n, c) in [(6usize, 2usize), (6, 3), (8, 2), (8, 4)] {
+            let fr = Placement::fractional(n, c).unwrap();
+            cases.push((fr.clone(), Box::new(FrDecoder::new(&fr).unwrap())));
+            let cr = Placement::cyclic(n, c).unwrap();
+            cases.push((cr.clone(), Box::new(CrDecoder::new(&cr).unwrap())));
+        }
+        for c1 in 0..=4usize {
+            let hr = Placement::hybrid(HrParams::new(8, 2, c1, 4 - c1)).unwrap();
+            cases.push((hr.clone(), Box::new(HrDecoder::new(&hr).unwrap())));
+        }
+        for (placement, decoder) in &cases {
+            let (n, c) = (placement.n(), placement.c());
+            for mask in 0u32..(1 << n) {
+                let avail = WorkerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+                let w = avail.len();
+                let got = decoder.decode(&avail, &mut rng).selected().len();
+                assert!(
+                    got >= alpha_lower_bound(n, c, w),
+                    "{} n={n} c={c} mask={mask:b}: {got} < lower",
+                    placement.scheme()
+                );
+                assert!(
+                    got <= alpha_upper_bound(n, c, w),
+                    "{} n={n} c={c} mask={mask:b}: {got} > upper",
+                    placement.scheme()
+                );
+            }
+        }
+    }
+
+    /// IS-GC's guaranteed full-recovery tolerance equals classic GC's c − 1
+    /// for FR and CR alike (the paper's "same guarantee, graceful beyond").
+    #[test]
+    fn guaranteed_tolerance_equals_classic_gc() {
+        use super::guaranteed_full_recovery_tolerance as tol;
+        for (n, c) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2), (8, 4), (9, 3)] {
+            let fr = Placement::fractional(n, c).unwrap();
+            assert_eq!(tol(&fr), c - 1, "FR({n},{c})");
+            let cr = Placement::cyclic(n, c).unwrap();
+            assert_eq!(tol(&cr), c - 1, "CR({n},{c})");
+        }
+        // HR too (Fig. 13 family).
+        let hr = Placement::hybrid(HrParams::new(8, 2, 2, 2)).unwrap();
+        assert_eq!(tol(&hr), 3, "HR(8,2,2)");
+        // c ∤ n: full tiling impossible, tolerance 0.
+        let cr = Placement::cyclic(7, 3).unwrap();
+        assert_eq!(tol(&cr), 0);
+        // Degenerate c = 1: any single straggler loses its partition.
+        let sync = Placement::cyclic(5, 1).unwrap();
+        assert_eq!(tol(&sync), 0);
+    }
+
+    /// Both bounds are tight: some availability pattern attains each.
+    #[test]
+    fn bounds_are_attained() {
+        let n = 8;
+        let c = 2;
+        let placement = Placement::cyclic(n, c).unwrap();
+        let decoder = CrDecoder::new(&placement).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Worst case: consecutive workers.
+        let consecutive = WorkerSet::from_indices(n, 0..4);
+        let got = decoder.decode(&consecutive, &mut rng).selected().len();
+        assert_eq!(got, alpha_lower_bound(n, c, 4));
+        // Best case: spread workers.
+        let spread = WorkerSet::from_indices(n, [0, 2, 4, 6]);
+        let got = decoder.decode(&spread, &mut rng).selected().len();
+        assert_eq!(got, alpha_upper_bound(n, c, 4));
+    }
+}

@@ -1,0 +1,159 @@
+//! Arrival-order greedy decoder (the strawman of paper Fig. 3).
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::decode::{assert_universe, DecodeResult, Decoder};
+use crate::{ConflictGraph, Placement, WorkerId, WorkerSet};
+
+/// The naive decoder the paper argues against (Fig. 3): accept each coded
+/// gradient *in arrival order* if it does not conflict with those already
+/// accepted.
+///
+/// This yields a *maximal* independent set but not necessarily a *maximum*
+/// one — e.g. in `CR(4, 2)` accepting worker 1 first forfeits the pair
+/// `{0, 2}`. Kept as an ablation baseline to quantify the value of the
+/// paper's optimal decoders.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::decode::ArrivalOrderDecoder;
+/// use isgc_core::Placement;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let p = Placement::cyclic(4, 2)?;
+/// let d = ArrivalOrderDecoder::new(&p);
+/// // Worker 1 arrives first and blocks both its neighbors.
+/// let r = d.decode_in_order(&[1, 0, 2]);
+/// assert_eq!(r.selected(), &[1]);
+/// // The reverse order happens to find the maximum.
+/// let r = d.decode_in_order(&[0, 2, 1]);
+/// assert_eq!(r.selected(), &[0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalOrderDecoder {
+    placement: Placement,
+    graph: ConflictGraph,
+}
+
+impl ArrivalOrderDecoder {
+    /// Creates the greedy decoder for any placement.
+    pub fn new(placement: &Placement) -> Self {
+        Self {
+            placement: placement.clone(),
+            graph: ConflictGraph::from_placement(placement),
+        }
+    }
+
+    /// Decodes with an explicit arrival sequence: workers are considered in
+    /// the order given and kept when conflict-free with all kept so far.
+    ///
+    /// Duplicate entries are ignored after their first occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker index is `>= n`.
+    pub fn decode_in_order(&self, order: &[WorkerId]) -> DecodeResult {
+        let n = self.placement.n();
+        let mut blocked = WorkerSet::empty(n);
+        let mut taken = WorkerSet::empty(n);
+        let mut selected = Vec::new();
+        for &w in order {
+            assert!(w < n, "worker {w} out of range");
+            if !blocked.contains(w) && !taken.contains(w) {
+                taken.insert(w);
+                blocked = blocked.union(self.graph.neighbors(w));
+                selected.push(w);
+            }
+        }
+        DecodeResult::from_selected(&self.placement, selected)
+    }
+}
+
+impl Decoder for ArrivalOrderDecoder {
+    fn n(&self) -> usize {
+        self.placement.n()
+    }
+
+    /// Decodes the available set in a uniformly random arrival order —
+    /// modelling i.i.d. worker speeds when only the set (not the sequence)
+    /// is known.
+    fn decode(&self, available: &WorkerSet, rng: &mut dyn RngCore) -> DecodeResult {
+        assert_universe(self.n(), available);
+        let mut order = available.to_vec();
+        order.shuffle(rng);
+        self.decode_in_order(&order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig3_suboptimality_reproduced() {
+        // Fig. 3(a): receiving W1 first (0-indexed worker 0) blocks adding
+        // the later arrivals 3 and 2... paper's exact scenario: g1+g2 from
+        // W1 conflicts with both g4+g1 (W4) and g2+g3 (W2).
+        let p = Placement::cyclic(4, 2).unwrap();
+        let d = ArrivalOrderDecoder::new(&p);
+        let r = d.decode_in_order(&[0, 1, 3]);
+        assert_eq!(r.selected(), &[0]); // 1 and 3 both conflict with 0
+                                        // The optimal choice from {0,1,3} ignores 0 and takes {1, 3}.
+        let r = d.decode_in_order(&[1, 3, 0]);
+        assert_eq!(r.selected(), &[1, 3]);
+    }
+
+    #[test]
+    fn result_is_always_maximal() {
+        // No available worker can be added to the returned set.
+        let p = Placement::cyclic(7, 3).unwrap();
+        let d = ArrivalOrderDecoder::new(&p);
+        let g = ConflictGraph::from_placement(&p);
+        let mut rng = StdRng::seed_from_u64(4);
+        for mask in 0u32..(1 << 7) {
+            let avail = WorkerSet::from_indices(7, (0..7).filter(|&i| mask & (1 << i) != 0));
+            let r = d.decode(&avail, &mut rng);
+            assert!(g.is_independent(r.selected()));
+            for v in avail.iter() {
+                if !r.selected().contains(&v) {
+                    let mut extended = r.selected().to_vec();
+                    extended.push(v);
+                    assert!(
+                        !g.is_independent(&extended),
+                        "mask={mask:b}: {v} could extend {:?}",
+                        r.selected()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_in_order_are_ignored() {
+        let p = Placement::cyclic(6, 2).unwrap();
+        let d = ArrivalOrderDecoder::new(&p);
+        let r = d.decode_in_order(&[0, 0, 2, 2, 4]);
+        assert_eq!(r.selected(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn never_better_than_exact() {
+        use crate::decode::ExactDecoder;
+        let p = Placement::cyclic(8, 3).unwrap();
+        let greedy = ArrivalOrderDecoder::new(&p);
+        let exact = ExactDecoder::new(&p);
+        let mut rng = StdRng::seed_from_u64(8);
+        for mask in 0u32..(1 << 8) {
+            let avail = WorkerSet::from_indices(8, (0..8).filter(|&i| mask & (1 << i) != 0));
+            let g = greedy.decode(&avail, &mut rng);
+            let e = exact.decode(&avail, &mut rng);
+            assert!(g.selected().len() <= e.selected().len());
+        }
+    }
+}

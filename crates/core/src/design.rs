@@ -1,0 +1,188 @@
+//! Placement selection guidance (the practical upshot of §V-C and §VI).
+//!
+//! The paper's analysis implies a simple decision procedure for choosing a
+//! placement given `n` workers and a storage budget `c`:
+//!
+//! - if `c | n`, **FR** maximizes recovery (Theorem 4's edge-subset chain);
+//! - otherwise, if some group size `n₀` satisfies Theorem 6's
+//!   `c ≤ n₀ ≤ 2c − 1` with `g = n/n₀` groups, an **HR** placement with the
+//!   largest feasible `c₁` recovers more than CR while honoring the budget;
+//! - otherwise **CR** always works (`any c ≤ n`).
+//!
+//! [`recommend`] encodes exactly that procedure.
+
+use crate::{Error, HrParams, Placement};
+
+/// Why [`recommend`] chose the placement it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rationale {
+    /// `c | n`: FR dominates every alternative at this budget (Theorem 4).
+    FrDivides,
+    /// `c ∤ n` but an HR group size in Theorem 6's range exists; the chosen
+    /// parameters maximize the within-group rows `c₁`.
+    HrFeasible {
+        /// Chosen group count.
+        g: usize,
+        /// Chosen within-group rows.
+        c1: usize,
+        /// Chosen global cyclic rows.
+        c2: usize,
+    },
+    /// No FR or HR structure fits; CR is the universal fallback.
+    CrFallback,
+}
+
+/// A recommended placement plus the reasoning behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The placement to deploy.
+    pub placement: Placement,
+    /// Why it was chosen.
+    pub rationale: Rationale,
+}
+
+/// Recommends a placement for `n` workers with storage budget `c`
+/// partitions per worker, preferring recovery per Theorem 4's ordering
+/// `FR ⊆ HR ⊆ CR` (fewer conflict edges = more recovery).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameters`] when `n == 0`, `c == 0`, or
+/// `c > n`.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::design::{recommend, Rationale};
+/// use isgc_core::Scheme;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// // 8 workers, budget 2: FR fits exactly.
+/// let r = recommend(8, 2)?;
+/// assert_eq!(r.placement.scheme(), Scheme::Fractional);
+///
+/// // 10 workers, budget 4: 4 ∤ 10, but groups of n0 = 5 ∈ [4, 7] work.
+/// let r = recommend(10, 4)?;
+/// assert_eq!(r.placement.scheme(), Scheme::Hybrid);
+///
+/// // 7 workers (prime), budget 3: only CR fits.
+/// let r = recommend(7, 3)?;
+/// assert_eq!(r.placement.scheme(), Scheme::Cyclic);
+/// assert_eq!(r.rationale, Rationale::CrFallback);
+/// # Ok(())
+/// # }
+/// ```
+pub fn recommend(n: usize, c: usize) -> Result<Recommendation, Error> {
+    if n == 0 || c == 0 || c > n {
+        return Err(Error::invalid(format!("need 1 ≤ c ≤ n, got n={n}, c={c}")));
+    }
+    // Best case: FR.
+    if n.is_multiple_of(c) {
+        return Ok(Recommendation {
+            placement: Placement::fractional(n, c)?,
+            rationale: Rationale::FrDivides,
+        });
+    }
+    // Middle case: HR with the largest feasible c1. Prefer the smallest
+    // valid group size n0 (Theorem 6: c ≤ n0 ≤ 2c − 1, n0 | n), since
+    // smaller groups mean more groups and larger independent sets.
+    for n0 in c..=(2 * c - 1).min(n) {
+        if !n.is_multiple_of(n0) {
+            continue;
+        }
+        let g = n / n0;
+        // Largest c1 with n0 ≤ c + c1 and c1 ≤ min(c, n0): c1 = c keeps
+        // c2 = 0 (pure grouped placement) whenever allowed.
+        for c1 in (1..=c.min(n0)).rev() {
+            let params = HrParams::new(n, g, c1, c - c1);
+            if params.validate().is_ok() {
+                return Ok(Recommendation {
+                    placement: Placement::hybrid(params)?,
+                    rationale: Rationale::HrFeasible { g, c1, c2: c - c1 },
+                });
+            }
+        }
+    }
+    // Fallback: CR.
+    Ok(Recommendation {
+        placement: Placement::cyclic(n, c)?,
+        rationale: Rationale::CrFallback,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConflictGraph, Scheme};
+
+    #[test]
+    fn divisible_budget_yields_fr() {
+        for (n, c) in [(8usize, 2usize), (12, 3), (24, 6), (5, 5)] {
+            let r = recommend(n, c).unwrap();
+            assert_eq!(r.placement.scheme(), Scheme::Fractional, "n={n}, c={c}");
+            assert_eq!(r.rationale, Rationale::FrDivides);
+            assert_eq!(r.placement.c(), c);
+        }
+    }
+
+    #[test]
+    fn non_divisible_with_valid_group_yields_hr() {
+        // n = 10, c = 4: n0 = 5 ∈ [4, 7], g = 2.
+        let r = recommend(10, 4).unwrap();
+        assert_eq!(r.placement.scheme(), Scheme::Hybrid);
+        match r.rationale {
+            Rationale::HrFeasible { g, c1, c2 } => {
+                assert_eq!(g, 2);
+                assert_eq!(c1 + c2, 4);
+                assert!(c1 >= 1);
+            }
+            other => panic!("expected HR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prime_n_falls_back_to_cr() {
+        for (n, c) in [(7usize, 3usize), (11, 4), (13, 2)] {
+            let r = recommend(n, c).unwrap();
+            assert_eq!(r.placement.scheme(), Scheme::Cyclic, "n={n}, c={c}");
+            assert_eq!(r.rationale, Rationale::CrFallback);
+        }
+    }
+
+    #[test]
+    fn recommendation_never_has_more_edges_than_cr() {
+        // The whole point: the recommended placement's conflict graph is a
+        // subgraph of CR's at the same (n, c).
+        for n in 2..=20usize {
+            for c in 1..=n {
+                let rec = recommend(n, c).unwrap();
+                let rec_graph = ConflictGraph::from_placement(&rec.placement);
+                let cr_graph = ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap());
+                assert!(
+                    rec_graph.edge_count() <= cr_graph.edge_count(),
+                    "n={n}, c={c}: {} > {}",
+                    rec_graph.edge_count(),
+                    cr_graph.edge_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_always_respected() {
+        for n in 1..=20usize {
+            for c in 1..=n {
+                let rec = recommend(n, c).unwrap();
+                assert_eq!(rec.placement.c(), c, "n={n}, c={c}");
+                assert_eq!(rec.placement.n(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(recommend(0, 1).is_err());
+        assert!(recommend(4, 0).is_err());
+        assert!(recommend(4, 5).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Expected recovery analysis: `E[α(G[W'])]` when `W'` is a uniformly random
+//! `w`-subset of the workers.
+//!
+//! The paper bounds `α(G[W'])` per-instance (Theorems 10–11); experiment
+//! planning also wants the *expectation* — e.g. Fig. 13(a) plots exactly
+//! this quantity. FR admits a closed form; general placements get an
+//! exhaustive enumeration (small `n`) and a Monte-Carlo estimator.
+
+use rand::Rng;
+
+use crate::decode::Decoder;
+use crate::{ConflictGraph, WorkerSet};
+
+/// Exact `E[α]` for `FR(n, c)` under a uniform random `w`-subset.
+///
+/// A group survives iff at least one of its `c` workers is drawn, so by
+/// linearity `E[α] = (n/c) · (1 − C(n−c, w) / C(n, w))`.
+///
+/// # Panics
+///
+/// Panics if `c == 0`, `c ∤ n`, or `w > n`.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::expectation::fr_expected_alpha;
+///
+/// // All workers respond: every group survives.
+/// assert_eq!(fr_expected_alpha(8, 2, 8), 4.0);
+/// // Nobody responds: nothing survives.
+/// assert_eq!(fr_expected_alpha(8, 2, 0), 0.0);
+/// ```
+pub fn fr_expected_alpha(n: usize, c: usize, w: usize) -> f64 {
+    assert!(c > 0 && n.is_multiple_of(c), "FR requires c | n");
+    assert!(w <= n, "w={w} exceeds n={n}");
+    let groups = (n / c) as f64;
+    groups * (1.0 - binomial_ratio(n - c, n, w))
+}
+
+/// `C(a, w) / C(b, w)` computed stably as a product (`a ≤ b`).
+fn binomial_ratio(a: usize, b: usize, w: usize) -> f64 {
+    debug_assert!(a <= b);
+    if w > a {
+        return 0.0;
+    }
+    // C(a,w)/C(b,w) = Π_{i=0}^{w-1} (a - i) / (b - i).
+    (0..w).fold(1.0, |acc, i| acc * (a - i) as f64 / (b - i) as f64)
+}
+
+/// Exact `E[α(G[W'])]` by enumerating **every** `w`-subset of the vertices.
+///
+/// Exponential in `n`; intended for `n ≤ 20` (used to validate the closed
+/// form and the Monte-Carlo estimator).
+///
+/// # Panics
+///
+/// Panics if `w > n` or `n > 25` (enumeration would be excessive).
+pub fn expected_alpha_exhaustive(graph: &ConflictGraph, w: usize) -> f64 {
+    let n = graph.n();
+    assert!(w <= n, "w={w} exceeds n={n}");
+    assert!(n <= 25, "exhaustive enumeration capped at n = 25");
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    // Iterate all n-bit masks with exactly w bits (Gosper's hack).
+    if w == 0 {
+        return 0.0;
+    }
+    let mut mask: u64 = (1u64 << w) - 1;
+    let limit: u64 = 1u64 << n;
+    while mask < limit {
+        let avail = WorkerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+        total += graph.alpha(&avail) as f64;
+        count += 1;
+        // Next mask with the same popcount.
+        let c0 = mask & mask.wrapping_neg();
+        let r = mask + c0;
+        mask = (((r ^ mask) >> 2) / c0) | r;
+    }
+    total / count as f64
+}
+
+/// The exact probability mass function of `α(G[W'])` over uniform random
+/// `w`-subsets: entry `k` is `P[α = k]`.
+///
+/// Enables tail statements like "with w = 4 of 8, at least 2 workers are
+/// selectable with probability 0.97" — the distributional refinement of
+/// Theorems 10–11 (whose bounds are the support's endpoints).
+///
+/// # Panics
+///
+/// Panics if `w > n` or `n > 25`.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::expectation::alpha_distribution;
+/// use isgc_core::{ConflictGraph, Placement};
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let g = ConflictGraph::from_placement(&Placement::cyclic(4, 2)?);
+/// let pmf = alpha_distribution(&g, 2);
+/// // Of the 6 pairs, {0,2} and {1,3} decode to 2 workers; the rest to 1.
+/// assert!((pmf[1] - 4.0 / 6.0).abs() < 1e-12);
+/// assert!((pmf[2] - 2.0 / 6.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn alpha_distribution(graph: &ConflictGraph, w: usize) -> Vec<f64> {
+    let n = graph.n();
+    assert!(w <= n, "w={w} exceeds n={n}");
+    assert!(n <= 25, "exhaustive enumeration capped at n = 25");
+    let mut counts = vec![0u64; n + 1];
+    let mut total = 0u64;
+    if w == 0 {
+        let mut pmf = vec![0.0; n + 1];
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    let mut mask: u64 = (1u64 << w) - 1;
+    let limit: u64 = 1u64 << n;
+    while mask < limit {
+        let avail = WorkerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+        counts[graph.alpha(&avail)] += 1;
+        total += 1;
+        let c0 = mask & mask.wrapping_neg();
+        let r = mask + c0;
+        mask = (((r ^ mask) >> 2) / c0) | r;
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / total as f64)
+        .collect()
+}
+
+/// Monte-Carlo `E[α]` using an actual decoder (so it also validates decoder
+/// optimality statistically).
+///
+/// # Panics
+///
+/// Panics if `w > decoder.n()` or `trials == 0`.
+pub fn expected_alpha_monte_carlo<R: Rng>(
+    decoder: &dyn Decoder,
+    w: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let n = decoder.n();
+    assert!(w <= n, "w={w} exceeds n={n}");
+    assert!(trials > 0, "trials must be positive");
+    let mut total = 0usize;
+    for _ in 0..trials {
+        let avail = WorkerSet::random_subset(n, w, rng);
+        total += decoder.decode(&avail, rng).selected().len();
+    }
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{CrDecoder, FrDecoder};
+    use crate::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fr_closed_form_matches_enumeration() {
+        for (n, c) in [(6usize, 2usize), (6, 3), (8, 2), (8, 4), (12, 3)] {
+            let graph = ConflictGraph::from_placement(&Placement::fractional(n, c).unwrap());
+            for w in 0..=n {
+                let exact = expected_alpha_exhaustive(&graph, w);
+                let closed = fr_expected_alpha(n, c, w);
+                assert!(
+                    (exact - closed).abs() < 1e-9,
+                    "n={n}, c={c}, w={w}: {exact} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fr_closed_form_edge_cases() {
+        assert_eq!(fr_expected_alpha(8, 2, 0), 0.0);
+        assert_eq!(fr_expected_alpha(8, 2, 8), 4.0);
+        // Single group.
+        assert_eq!(fr_expected_alpha(4, 4, 1), 1.0);
+        // w=7 of 8: C(6,7)=0 so all groups survive.
+        assert_eq!(fr_expected_alpha(8, 2, 7), 4.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_matches_expectation() {
+        for (n, c) in [(6usize, 2usize), (8, 3), (9, 3)] {
+            let graph = ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap());
+            for w in 0..=n {
+                let pmf = alpha_distribution(&graph, w);
+                let total: f64 = pmf.iter().sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n}, c={c}, w={w}");
+                let mean: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+                let direct = expected_alpha_exhaustive(&graph, w);
+                assert!((mean - direct).abs() < 1e-12, "n={n}, c={c}, w={w}");
+                // Support respects the Theorem 10-11 bounds.
+                use crate::bounds::{alpha_lower_bound, alpha_upper_bound};
+                for (k, &p) in pmf.iter().enumerate() {
+                    if p > 0.0 {
+                        assert!(k >= alpha_lower_bound(n, c, w));
+                        assert!(k <= alpha_upper_bound(n, c, w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_w_zero_is_point_mass() {
+        let graph = ConflictGraph::from_placement(&Placement::cyclic(5, 2).unwrap());
+        let pmf = alpha_distribution(&graph, 0);
+        assert_eq!(pmf[0], 1.0);
+        assert!(pmf[1..].iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn monte_carlo_matches_enumeration() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Placement::cyclic(10, 3).unwrap();
+        let graph = ConflictGraph::from_placement(&p);
+        let decoder = CrDecoder::new(&p).unwrap();
+        for w in [3usize, 5, 8] {
+            let exact = expected_alpha_exhaustive(&graph, w);
+            let mc = expected_alpha_monte_carlo(&decoder, w, 20_000, &mut rng);
+            assert!((exact - mc).abs() < 0.03, "w={w}: {exact} vs {mc}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form_for_fr() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Placement::fractional(12, 3).unwrap();
+        let decoder = FrDecoder::new(&p).unwrap();
+        for w in [3usize, 6, 9] {
+            let mc = expected_alpha_monte_carlo(&decoder, w, 20_000, &mut rng);
+            let closed = fr_expected_alpha(12, 3, w);
+            assert!((closed - mc).abs() < 0.03, "w={w}: {closed} vs {mc}");
+        }
+    }
+
+    #[test]
+    fn fr_expectation_dominates_cr_expectation() {
+        // The expectation version of §V-C's claim.
+        for (n, c) in [(8usize, 2usize), (12, 3)] {
+            let fr = ConflictGraph::from_placement(&Placement::fractional(n, c).unwrap());
+            let cr = ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap());
+            for w in 1..=n {
+                let e_fr = expected_alpha_exhaustive(&fr, w);
+                let e_cr = expected_alpha_exhaustive(&cr, w);
+                assert!(e_fr >= e_cr - 1e-12, "n={n}, c={c}, w={w}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn exhaustive_rejects_large_n() {
+        let g = ConflictGraph::from_edges(26, &[]);
+        let _ = expected_alpha_exhaustive(&g, 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Cyclic-repetition placement construction.
+
+use crate::PartitionId;
+
+/// Builds the per-worker partition lists for `CR(n, c)`: worker `i` stores
+/// partitions `(i + s) mod n` for `s = 0..c`.
+pub(super) fn partition_lists(n: usize, c: usize) -> Vec<Vec<PartitionId>> {
+    (0..n)
+        .map(|w| (0..c).map(|s| (w + s) % n).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let lists = partition_lists(5, 3);
+        assert_eq!(lists[0], vec![0, 1, 2]);
+        assert_eq!(lists[3], vec![3, 4, 0]);
+        assert_eq!(lists[4], vec![4, 0, 1]);
+    }
+
+    #[test]
+    fn consecutive_workers_overlap_in_c_minus_1() {
+        let lists = partition_lists(7, 4);
+        for w in 0..7 {
+            let next = (w + 1) % 7;
+            let shared = lists[w].iter().filter(|p| lists[next].contains(p)).count();
+            assert_eq!(shared, 3);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fractional-repetition placement construction.
+
+use crate::PartitionId;
+
+/// Builds the per-worker partition lists for `FR(n, c)`.
+///
+/// Workers `ic..ic+c` form group `i` and all store partitions `ic..ic+c`.
+/// Caller guarantees `c | n` (validated in [`crate::Placement::fractional`]).
+pub(super) fn partition_lists(n: usize, c: usize) -> Vec<Vec<PartitionId>> {
+    (0..n)
+        .map(|w| {
+            let group = w / c;
+            (group * c..(group + 1) * c).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_share_identical_partitions() {
+        let lists = partition_lists(6, 3);
+        assert_eq!(lists[0], lists[1]);
+        assert_eq!(lists[1], lists[2]);
+        assert_eq!(lists[3], lists[4]);
+        assert_eq!(lists[0], vec![0, 1, 2]);
+        assert_eq!(lists[5], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_across_groups() {
+        let lists = partition_lists(8, 2);
+        for g1 in 0..4 {
+            for g2 in (g1 + 1)..4 {
+                let a = &lists[g1 * 2];
+                let b = &lists[g2 * 2];
+                assert!(a.iter().all(|p| !b.contains(p)));
+            }
+        }
+    }
+}

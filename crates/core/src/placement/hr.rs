@@ -1,0 +1,267 @@
+//! Hybrid-repetition placement construction (paper §VI).
+
+use crate::{Error, PartitionId};
+
+/// Parameters of the hybrid-repetition placement `HR(n, c₁, c₂)` with `g`
+/// groups (paper §VI-B, Fig. 7).
+///
+/// The `n` workers and `n` partitions are split into `g` groups of
+/// `n₀ = n/g` each. Every worker stores `c = c₁ + c₂` partitions:
+///
+/// - `c₁` *within-group* cyclic rows: worker with local index `x` in group
+///   `b` stores group-local partitions `(x + s) mod n₀` for
+///   `s ∈ [n₀−c₁, n₀−1]` (the bottom `c₁` rows of `HR(n, n₀, 0)` in Fig. 7);
+/// - `c₂` *global* cyclic rows: worker `i` stores global partitions
+///   `(i + s) mod n` for `s ∈ [0, c₂−1]` (the top `c₂` rows of `CR(n, c)`).
+///
+/// `HR(n, 0, c)` is exactly `CR(n, c)`; `HR(n, c, 0)` with `n₀ = c` is
+/// exactly `FR(n, c)`; intermediate `c₁` trade recovery against flexibility
+/// (Theorem 7).
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::{HrParams, Placement};
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// // The paper's Fig. 13 family: n = 8, g = 2, c = 4.
+/// let p = Placement::hybrid(HrParams::new(8, 2, 2, 2))?;
+/// assert_eq!(p.c(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HrParams {
+    n: usize,
+    g: usize,
+    c1: usize,
+    c2: usize,
+}
+
+impl HrParams {
+    /// Creates the parameter bundle `HR(n, c₁, c₂)` with `g` groups.
+    ///
+    /// Validation happens in [`HrParams::validate`] (called by
+    /// [`crate::Placement::hybrid`]), so invalid combinations can still be
+    /// constructed and inspected.
+    pub fn new(n: usize, g: usize, c1: usize, c2: usize) -> Self {
+        Self { n, g, c1, c2 }
+    }
+
+    /// Number of workers / partitions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of groups.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Number of within-group cyclic rows.
+    pub fn c1(&self) -> usize {
+        self.c1
+    }
+
+    /// Number of global cyclic rows.
+    pub fn c2(&self) -> usize {
+        self.c2
+    }
+
+    /// Total partitions per worker, `c = c₁ + c₂`.
+    pub fn c(&self) -> usize {
+        self.c1 + self.c2
+    }
+
+    /// Group size `n₀ = n / g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`; call [`HrParams::validate`] first.
+    pub fn n0(&self) -> usize {
+        self.n / self.g
+    }
+
+    /// Checks the validity constraints of §VI.
+    ///
+    /// - basics: `n, g ≥ 1`, `g | n`, `1 ≤ c ≤ n`, `c₁ ≤ n₀`;
+    /// - when `c₁ > 0` (a genuine hybrid), Theorem 6 requires
+    ///   `c ≤ n₀ ≤ 2c − 1` and `n₀ ≤ c + c₁` so that workers within a group
+    ///   pairwise conflict;
+    /// - `c₁ = 0` degenerates to `CR(n, c)` and only the basics apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), Error> {
+        let Self { n, g, c1, c2 } = *self;
+        let c = c1 + c2;
+        if n == 0 || g == 0 {
+            return Err(Error::invalid("HR requires n ≥ 1 and g ≥ 1"));
+        }
+        if n % g != 0 {
+            return Err(Error::invalid(format!(
+                "HR requires g | n, got n={n}, g={g}"
+            )));
+        }
+        if c == 0 {
+            return Err(Error::invalid("HR requires c = c1 + c2 ≥ 1"));
+        }
+        if c > n {
+            return Err(Error::invalid(format!(
+                "HR requires c ≤ n, got c={c}, n={n}"
+            )));
+        }
+        let n0 = n / g;
+        if c1 > n0 {
+            return Err(Error::invalid(format!(
+                "HR requires c1 ≤ n0, got c1={c1}, n0={n0}"
+            )));
+        }
+        if c1 > 0 {
+            if !(c <= n0 && n0 < 2 * c) {
+                return Err(Error::invalid(format!(
+                    "HR (Theorem 6) requires c ≤ n0 ≤ 2c−1, got c={c}, n0={n0}"
+                )));
+            }
+            if n0 > c + c1 {
+                return Err(Error::invalid(format!(
+                    "HR requires n0 ≤ c + c1 for in-group conflicts, got n0={n0}, c={c}, c1={c1}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the per-worker partition lists for a validated `HR` parameter set.
+pub(super) fn partition_lists(params: &HrParams) -> Vec<Vec<PartitionId>> {
+    let n = params.n();
+    let n0 = params.n0();
+    let (c1, c2) = (params.c1(), params.c2());
+    (0..n)
+        .map(|i| {
+            let group_base = (i / n0) * n0;
+            let x = i % n0;
+            let mut parts: Vec<PartitionId> = Vec::with_capacity(c1 + c2);
+            // Within-group cyclic rows (bottom c1 rows of the upper part).
+            for s in (n0 - c1)..n0 {
+                parts.push(group_base + (x + s) % n0);
+            }
+            // Global cyclic rows (top c2 rows of the CR part).
+            for s in 0..c2 {
+                parts.push((i + s) % n);
+            }
+            parts
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Placement;
+
+    #[test]
+    fn c1_zero_equals_cr() {
+        let hr = Placement::hybrid(HrParams::new(8, 2, 0, 4)).unwrap();
+        let cr = Placement::cyclic(8, 4).unwrap();
+        for w in 0..8 {
+            assert_eq!(hr.partitions_of(w), cr.partitions_of(w), "worker {w}");
+        }
+    }
+
+    #[test]
+    fn full_c1_with_n0_eq_c_equals_fr() {
+        // HR(8, 4, 0) with g = 2: each worker stores its whole group,
+        // exactly FR(8, 4).
+        let hr = Placement::hybrid(HrParams::new(8, 2, 4, 0)).unwrap();
+        let fr = Placement::fractional(8, 4).unwrap();
+        for w in 0..8 {
+            assert_eq!(hr.partitions_of(w), fr.partitions_of(w), "worker {w}");
+        }
+    }
+
+    #[test]
+    fn paper_equivalence_hr_c_0_equals_hr_cminus1_1() {
+        // §VI-B: when n0 = c, HR(n, c, 0) ≡ HR(n, c−1, 1).
+        let a = Placement::hybrid(HrParams::new(8, 2, 4, 0)).unwrap();
+        let b = Placement::hybrid(HrParams::new(8, 2, 3, 1)).unwrap();
+        for w in 0..8 {
+            assert_eq!(a.partitions_of(w), b.partitions_of(w), "worker {w}");
+        }
+    }
+
+    #[test]
+    fn fig13_family_is_valid_and_balanced() {
+        for c1 in 0..=4usize {
+            let params = HrParams::new(8, 2, c1, 4 - c1);
+            let p = Placement::hybrid(params).unwrap();
+            for w in 0..8 {
+                assert_eq!(p.partitions_of(w).len(), 4, "c1={c1}, worker {w}");
+            }
+            for j in 0..8 {
+                assert_eq!(p.workers_of(j).len(), 4, "c1={c1}, partition {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_part_stays_within_group() {
+        let p = Placement::hybrid(HrParams::new(12, 3, 2, 2)).unwrap();
+        // Worker 5 is in group 1 (workers 4..8, partitions 4..8); its two
+        // upper-part partitions must be within 4..8.
+        let parts = p.partitions_of(5);
+        let in_group = parts.iter().filter(|&&j| (4..8).contains(&j)).count();
+        assert!(in_group >= 2, "parts={parts:?}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        // g does not divide n.
+        assert!(HrParams::new(8, 3, 2, 2).validate().is_err());
+        // c = 0.
+        assert!(HrParams::new(8, 2, 0, 0).validate().is_err());
+        // n0 = 4 > 2c−1 = 3 with c1 > 0.
+        assert!(HrParams::new(8, 2, 1, 1).validate().is_err());
+        // c1 > n0.
+        assert!(HrParams::new(8, 4, 3, 1).validate().is_err());
+        // g = 0.
+        assert!(HrParams::new(8, 0, 1, 1).validate().is_err());
+        // c > n.
+        assert!(HrParams::new(4, 1, 2, 3).validate().is_err());
+    }
+
+    #[test]
+    fn validation_accepts_paper_range() {
+        // Fig. 13 family.
+        for c1 in 0..=4usize {
+            assert!(
+                HrParams::new(8, 2, c1, 4 - c1).validate().is_ok(),
+                "c1={c1}"
+            );
+        }
+        // n0 strictly between c and 2c−1.
+        assert!(HrParams::new(10, 2, 3, 1).validate().is_ok()); // c=4, n0=5 ≤ 7, n0 ≤ c+c1=7
+        assert!(HrParams::new(12, 2, 4, 0).validate().is_ok()); // c=4, n0=6 ≤ 7 ≤ 8
+    }
+
+    #[test]
+    fn accessors() {
+        let p = HrParams::new(8, 2, 3, 1);
+        assert_eq!(p.n(), 8);
+        assert_eq!(p.g(), 2);
+        assert_eq!(p.c1(), 3);
+        assert_eq!(p.c2(), 1);
+        assert_eq!(p.c(), 4);
+        assert_eq!(p.n0(), 4);
+    }
+
+    #[test]
+    fn hr_params_recorded_on_placement() {
+        let params = HrParams::new(8, 2, 2, 2);
+        let p = Placement::hybrid(params).unwrap();
+        assert_eq!(p.hr_params(), Some(&params));
+        assert_eq!(Placement::cyclic(4, 2).unwrap().hr_params(), None);
+    }
+}

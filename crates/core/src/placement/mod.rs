@@ -1,0 +1,504 @@
+//! Dataset-partition placement schemes (paper §III, §IV, §VI).
+//!
+//! A *placement* assigns `c` of the `n` dataset partitions to each of the
+//! `n` workers. IS-GC supports three families:
+//!
+//! - **FR** (fractional repetition): workers are split into `n/c` groups and
+//!   every worker of group `i` stores the same `c` partitions — see
+//!   [`Placement::fractional`];
+//! - **CR** (cyclic repetition): worker `i` stores partitions
+//!   `i, i+1, …, i+c−1 (mod n)` — see [`Placement::cyclic`];
+//! - **HR** (hybrid repetition): `HR(n, c₁, c₂)` combines `c₁` within-group
+//!   cyclic rows with `c₂` global cyclic rows, interpolating between FR and
+//!   CR — see [`Placement::hybrid`] and [`HrParams`].
+
+mod cr;
+mod fr;
+mod hr;
+
+pub use hr::HrParams;
+
+use crate::{Error, PartitionId, WorkerId};
+
+/// Which placement family a [`Placement`] was constructed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Fractional repetition `FR(n, c)`.
+    Fractional,
+    /// Cyclic repetition `CR(n, c)`.
+    Cyclic,
+    /// Hybrid repetition `HR(n, c₁, c₂)` with `g` groups.
+    Hybrid,
+    /// A user-supplied placement (see [`Placement::custom`]); decoded by the
+    /// exact branch-and-bound decoder.
+    Custom,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::Fractional => write!(f, "FR"),
+            Scheme::Cyclic => write!(f, "CR"),
+            Scheme::Hybrid => write!(f, "HR"),
+            Scheme::Custom => write!(f, "custom"),
+        }
+    }
+}
+
+/// A concrete assignment of `c` dataset partitions to each of `n` workers.
+///
+/// Construct via [`Placement::fractional`], [`Placement::cyclic`], or
+/// [`Placement::hybrid`]. The struct stores both directions of the relation
+/// (worker → partitions and partition → workers) so conflict-graph
+/// construction and encoding are index lookups.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::Placement;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let p = Placement::cyclic(4, 2)?;
+/// assert_eq!(p.partitions_of(3), &[0, 3]); // wraps: {3, 0}
+/// assert_eq!(p.workers_of(0), &[0, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    n: usize,
+    c: usize,
+    scheme: Scheme,
+    hr: Option<HrParams>,
+    /// `partitions[i]` = sorted partitions stored by worker `i`.
+    partitions: Vec<Vec<PartitionId>>,
+    /// `workers[j]` = sorted workers storing partition `j`.
+    workers: Vec<Vec<WorkerId>>,
+}
+
+impl Placement {
+    /// Builds a fractional-repetition placement `FR(n, c)` (paper §III).
+    ///
+    /// The `n` workers split into `n/c` groups; group `i` stores partitions
+    /// `{ic, …, ic+c−1}` on each of its `c` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when `n == 0`, `c == 0`,
+    /// `c > n`, or `c ∤ n` (FR requires `c | n`).
+    pub fn fractional(n: usize, c: usize) -> Result<Self, Error> {
+        validate_common(n, c)?;
+        if !n.is_multiple_of(c) {
+            return Err(Error::invalid(format!(
+                "FR requires c | n, got n={n}, c={c}"
+            )));
+        }
+        Ok(Self::from_partition_lists(
+            n,
+            c,
+            Scheme::Fractional,
+            None,
+            fr::partition_lists(n, c),
+        ))
+    }
+
+    /// Builds a cyclic-repetition placement `CR(n, c)` (paper §III).
+    ///
+    /// Worker `i` stores partitions `i, i+1, …, i+c−1 (mod n)`; no
+    /// divisibility constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when `n == 0`, `c == 0`, or
+    /// `c > n`.
+    pub fn cyclic(n: usize, c: usize) -> Result<Self, Error> {
+        validate_common(n, c)?;
+        Ok(Self::from_partition_lists(
+            n,
+            c,
+            Scheme::Cyclic,
+            None,
+            cr::partition_lists(n, c),
+        ))
+    }
+
+    /// Builds a hybrid-repetition placement `HR(n, c₁, c₂)` (paper §VI).
+    ///
+    /// See [`HrParams`] for the construction and its validity constraints
+    /// (Theorem 6). `HR(n, c, 0)` coincides with `FR(n, n₀)` group structure
+    /// and `HR(n, 0, c)` with `CR(n, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when `params` violates the HR
+    /// validity range.
+    pub fn hybrid(params: HrParams) -> Result<Self, Error> {
+        params.validate()?;
+        let lists = hr::partition_lists(&params);
+        Ok(Self::from_partition_lists(
+            params.n(),
+            params.c(),
+            Scheme::Hybrid,
+            Some(params),
+            lists,
+        ))
+    }
+
+    /// Builds a placement from explicit per-worker partition lists.
+    ///
+    /// This is the escape hatch for placements outside the paper's three
+    /// families (e.g. expander-graph or randomized placements from the
+    /// wider gradient-coding literature). The balanced-replication invariant
+    /// is enforced so that decoding and the fairness analysis stay valid:
+    /// `lists.len()` workers, partitions numbered `0..n`, every worker
+    /// storing the same number `c` of distinct partitions, and every
+    /// partition stored by exactly `c` workers.
+    ///
+    /// Custom placements decode via [`crate::decode::ExactDecoder`]
+    /// (exponential worst case) — the linear-time algorithms are specific to
+    /// FR/CR/HR structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] when the lists are empty,
+    /// ragged, reference partitions outside `0..n`, contain duplicates, or
+    /// are not balanced.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use isgc_core::Placement;
+    ///
+    /// # fn main() -> Result<(), isgc_core::Error> {
+    /// // A hand-rolled pairing placement on 4 workers.
+    /// let p = Placement::custom(vec![
+    ///     vec![0, 2],
+    ///     vec![1, 3],
+    ///     vec![0, 3],
+    ///     vec![1, 2],
+    /// ])?;
+    /// assert_eq!(p.c(), 2);
+    /// assert_eq!(p.workers_of(3), &[1, 2]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn custom(lists: Vec<Vec<PartitionId>>) -> Result<Self, Error> {
+        let n = lists.len();
+        if n == 0 {
+            return Err(Error::invalid("custom placement needs at least one worker"));
+        }
+        let c = lists[0].len();
+        if c == 0 {
+            return Err(Error::invalid("workers must store at least one partition"));
+        }
+        let mut replication = vec![0usize; n];
+        for (w, parts) in lists.iter().enumerate() {
+            if parts.len() != c {
+                return Err(Error::invalid(format!(
+                    "worker {w} stores {} partitions, expected c={c}",
+                    parts.len()
+                )));
+            }
+            let mut sorted = parts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != c {
+                return Err(Error::invalid(format!(
+                    "worker {w} stores duplicate partitions"
+                )));
+            }
+            for &j in parts {
+                if j >= n {
+                    return Err(Error::invalid(format!(
+                        "worker {w} references partition {j} outside 0..{n}"
+                    )));
+                }
+                replication[j] += 1;
+            }
+        }
+        if let Some(j) = replication.iter().position(|&r| r != c) {
+            return Err(Error::invalid(format!(
+                "partition {j} is stored by {} workers, expected c={c}",
+                replication[j]
+            )));
+        }
+        Ok(Self::from_partition_lists(
+            n,
+            c,
+            Scheme::Custom,
+            None,
+            lists,
+        ))
+    }
+
+    fn from_partition_lists(
+        n: usize,
+        c: usize,
+        scheme: Scheme,
+        hr: Option<HrParams>,
+        mut partitions: Vec<Vec<PartitionId>>,
+    ) -> Self {
+        debug_assert_eq!(partitions.len(), n);
+        let mut workers: Vec<Vec<WorkerId>> = vec![Vec::new(); n];
+        for (w, parts) in partitions.iter_mut().enumerate() {
+            parts.sort_unstable();
+            parts.dedup();
+            debug_assert_eq!(parts.len(), c, "worker {w} must store exactly c partitions");
+            for &p in parts.iter() {
+                workers[p].push(w);
+            }
+        }
+        for list in &mut workers {
+            list.sort_unstable();
+        }
+        Self {
+            n,
+            c,
+            scheme,
+            hr,
+            partitions,
+            workers,
+        }
+    }
+
+    /// Number of workers (equal to the number of partitions).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of partitions stored per worker (the storage overhead factor).
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// The placement family this instance belongs to.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// HR parameters, when the placement was built with [`Placement::hybrid`].
+    pub fn hr_params(&self) -> Option<&HrParams> {
+        self.hr.as_ref()
+    }
+
+    /// Sorted partitions stored on worker `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn partitions_of(&self, i: WorkerId) -> &[PartitionId] {
+        &self.partitions[i]
+    }
+
+    /// Sorted workers storing partition `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn workers_of(&self, j: PartitionId) -> &[WorkerId] {
+        &self.workers[j]
+    }
+
+    /// Returns `true` when workers `a` and `b` *conflict*, i.e. share at
+    /// least one partition so their summed codewords cannot be added (§V-A).
+    ///
+    /// This is the ground-truth definition; the closed-form predicates
+    /// (circulant distance for CR, Alg. 4 for HR) are validated against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is `>= n`.
+    pub fn conflicts(&self, a: WorkerId, b: WorkerId) -> bool {
+        if a == b {
+            return true;
+        }
+        // Merge-scan of two sorted partition lists.
+        let (pa, pb) = (&self.partitions[a], &self.partitions[b]);
+        let (mut i, mut j) = (0, 0);
+        while i < pa.len() && j < pb.len() {
+            match pa[i].cmp(&pb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+fn validate_common(n: usize, c: usize) -> Result<(), Error> {
+    if n == 0 {
+        return Err(Error::invalid("n must be positive"));
+    }
+    if c == 0 {
+        return Err(Error::invalid("c must be positive"));
+    }
+    if c > n {
+        return Err(Error::invalid(format!(
+            "c must not exceed n, got n={n}, c={c}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Invariant shared by all schemes: `n` partitions, each stored on
+    /// exactly `c` workers, each worker storing exactly `c` partitions.
+    fn assert_balanced(p: &Placement) {
+        for w in 0..p.n() {
+            assert_eq!(p.partitions_of(w).len(), p.c(), "worker {w}");
+        }
+        for j in 0..p.n() {
+            assert_eq!(p.workers_of(j).len(), p.c(), "partition {j}");
+        }
+        // Bidirectional consistency.
+        for w in 0..p.n() {
+            for &j in p.partitions_of(w) {
+                assert!(p.workers_of(j).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn fr_matches_paper_fig2a() {
+        // n = 4, c = 2: W1,W2 hold {D1,D2}; W3,W4 hold {D3,D4} (0-indexed).
+        let p = Placement::fractional(4, 2).unwrap();
+        assert_eq!(p.partitions_of(0), &[0, 1]);
+        assert_eq!(p.partitions_of(1), &[0, 1]);
+        assert_eq!(p.partitions_of(2), &[2, 3]);
+        assert_eq!(p.partitions_of(3), &[2, 3]);
+        assert_balanced(&p);
+        assert_eq!(p.scheme(), Scheme::Fractional);
+    }
+
+    #[test]
+    fn cr_matches_paper_fig2b() {
+        // n = 4, c = 2: worker i holds {i, i+1 mod 4}.
+        let p = Placement::cyclic(4, 2).unwrap();
+        assert_eq!(p.partitions_of(0), &[0, 1]);
+        assert_eq!(p.partitions_of(1), &[1, 2]);
+        assert_eq!(p.partitions_of(2), &[2, 3]);
+        assert_eq!(p.partitions_of(3), &[0, 3]);
+        assert_balanced(&p);
+        assert_eq!(p.scheme(), Scheme::Cyclic);
+    }
+
+    #[test]
+    fn balanced_for_many_parameters() {
+        for n in 1..=12 {
+            for c in 1..=n {
+                let cr = Placement::cyclic(n, c).unwrap();
+                assert_balanced(&cr);
+                if n % c == 0 {
+                    let fr = Placement::fractional(n, c).unwrap();
+                    assert_balanced(&fr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fr_rejects_non_divisor() {
+        assert!(matches!(
+            Placement::fractional(4, 3),
+            Err(Error::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Placement::cyclic(0, 1).is_err());
+        assert!(Placement::cyclic(4, 0).is_err());
+        assert!(Placement::cyclic(4, 5).is_err());
+        assert!(Placement::fractional(0, 1).is_err());
+    }
+
+    #[test]
+    fn c_equals_one_is_plain_partitioning() {
+        // Paper: "When c = 1, the three placement schemes become the same."
+        let fr = Placement::fractional(5, 1).unwrap();
+        let cr = Placement::cyclic(5, 1).unwrap();
+        for w in 0..5 {
+            assert_eq!(fr.partitions_of(w), &[w]);
+            assert_eq!(cr.partitions_of(w), &[w]);
+        }
+    }
+
+    #[test]
+    fn c_equals_n_stores_everything() {
+        let p = Placement::cyclic(4, 4).unwrap();
+        for w in 0..4 {
+            assert_eq!(p.partitions_of(w), &[0, 1, 2, 3]);
+        }
+        assert_balanced(&p);
+    }
+
+    #[test]
+    fn conflicts_is_symmetric_and_reflexive() {
+        let p = Placement::cyclic(6, 3).unwrap();
+        for a in 0..6 {
+            assert!(p.conflicts(a, a));
+            for b in 0..6 {
+                assert_eq!(p.conflicts(a, b), p.conflicts(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_matches_fig3_example() {
+        // Fig. 3: with CR(4, 2), W1 (holding D1,D2) conflicts with W2 and W4
+        // but not W3.
+        let p = Placement::cyclic(4, 2).unwrap();
+        assert!(p.conflicts(0, 1));
+        assert!(!p.conflicts(0, 2));
+        assert!(p.conflicts(0, 3));
+    }
+
+    #[test]
+    fn custom_placement_accepts_balanced_lists() {
+        let p = Placement::custom(vec![vec![0, 2], vec![1, 3], vec![0, 3], vec![1, 2]]).unwrap();
+        assert_eq!(p.scheme(), Scheme::Custom);
+        assert_eq!(p.c(), 2);
+        assert_eq!(p.partitions_of(2), &[0, 3]);
+        assert_eq!(p.workers_of(0), &[0, 2]);
+        assert!(p.conflicts(0, 2));
+        assert!(!p.conflicts(0, 1));
+    }
+
+    #[test]
+    fn custom_placement_can_replicate_cr() {
+        let cr = Placement::cyclic(5, 2).unwrap();
+        let lists: Vec<Vec<usize>> = (0..5).map(|w| cr.partitions_of(w).to_vec()).collect();
+        let custom = Placement::custom(lists).unwrap();
+        for w in 0..5 {
+            assert_eq!(custom.partitions_of(w), cr.partitions_of(w));
+        }
+    }
+
+    #[test]
+    fn custom_placement_rejects_invalid_lists() {
+        // Empty.
+        assert!(Placement::custom(vec![]).is_err());
+        // Worker with no partitions.
+        assert!(Placement::custom(vec![vec![]]).is_err());
+        // Ragged c.
+        assert!(Placement::custom(vec![vec![0, 1], vec![0]]).is_err());
+        // Duplicate partition on a worker.
+        assert!(Placement::custom(vec![vec![0, 0], vec![1, 1]]).is_err());
+        // Out-of-range partition id.
+        assert!(Placement::custom(vec![vec![0, 5], vec![0, 1]]).is_err());
+        // Unbalanced replication: partition 0 on both, partition 1 nowhere...
+        assert!(Placement::custom(vec![vec![0, 1], vec![0, 1], vec![0, 1]]).is_err());
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::Fractional.to_string(), "FR");
+        assert_eq!(Scheme::Cyclic.to_string(), "CR");
+        assert_eq!(Scheme::Hybrid.to_string(), "HR");
+        assert_eq!(Scheme::Custom.to_string(), "custom");
+    }
+}

@@ -1,0 +1,293 @@
+//! Householder QR decomposition and QR-based least squares.
+//!
+//! Numerically stabler than the normal equations for ill-conditioned
+//! systems: the conditioning of `R` matches that of `A`, not `AᵀA`.
+
+use crate::{Matrix, SolveError, Vector};
+
+/// A thin QR factorization `A = Q R` of an `m × k` matrix with `m ≥ k`.
+///
+/// Storage: `R` occupies the upper triangle of `packed` (including the
+/// diagonal); Householder reflector `col` is `v = (v0s[col],
+/// packed[col+1.., col])` with `H = I − τ v vᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_linalg::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), isgc_linalg::SolveError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+/// let qr = Qr::decompose(&a)?;
+/// let x = qr.solve_least_squares(&Vector::from_slice(&[3.0, 4.0, 0.0]))?;
+/// assert!((x[0] - 3.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    packed: Matrix,
+    taus: Vec<f64>,
+    v0s: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Qr {
+    /// Computes the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::ShapeMismatch`] when `a.rows() < a.cols()` or
+    /// `a` has no columns.
+    pub fn decompose(a: &Matrix) -> Result<Self, SolveError> {
+        let (m, k) = (a.rows(), a.cols());
+        if m < k || k == 0 {
+            return Err(SolveError::ShapeMismatch {
+                expected: "rows ≥ cols ≥ 1".to_string(),
+                got: format!("{m}x{k}"),
+            });
+        }
+        let mut packed = a.clone();
+        let mut taus = vec![0.0; k];
+        let mut v0s = vec![0.0; k];
+        for col in 0..k {
+            // Norm of the column below (and including) the diagonal.
+            let mut norm2 = 0.0;
+            for r in col..m {
+                norm2 += packed[(r, col)] * packed[(r, col)];
+            }
+            if norm2 == 0.0 {
+                continue; // zero column: identity reflector, R diagonal = 0
+            }
+            let norm = norm2.sqrt();
+            let a_cc = packed[(col, col)];
+            let alpha = if a_cc >= 0.0 { -norm } else { norm };
+            let v0 = a_cc - alpha;
+            let v_tail_norm2 = norm2 - a_cc * a_cc;
+            let v_norm2 = v0 * v0 + v_tail_norm2;
+            if v_norm2 == 0.0 {
+                packed[(col, col)] = alpha;
+                continue;
+            }
+            let tau = 2.0 / v_norm2;
+            taus[col] = tau;
+            v0s[col] = v0;
+            packed[(col, col)] = alpha; // R's diagonal entry
+                                        // Apply H = I − τ v vᵀ to the remaining columns. The v tail
+                                        // stays in packed[col+1.., col]; v0 lives in v0s.
+            for c in (col + 1)..k {
+                let mut dot = v0 * packed[(col, c)];
+                for r in (col + 1)..m {
+                    dot += packed[(r, col)] * packed[(r, c)];
+                }
+                let s = tau * dot;
+                packed[(col, c)] -= s * v0;
+                for r in (col + 1)..m {
+                    let v = packed[(r, col)];
+                    packed[(r, c)] -= s * v;
+                }
+            }
+        }
+        Ok(Self {
+            packed,
+            taus,
+            v0s,
+            rows: m,
+            cols: k,
+        })
+    }
+
+    /// The upper-triangular factor `R` (k × k).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.cols, |r, c| {
+            if c >= r {
+                self.packed[(r, c)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Applies `Qᵀ` to a length-`m` vector.
+    fn q_transpose_apply(&self, b: &Vector) -> Vector {
+        let mut y = b.clone();
+        for col in 0..self.cols {
+            let tau = self.taus[col];
+            if tau == 0.0 {
+                continue;
+            }
+            let v0 = self.v0s[col];
+            let mut dot = v0 * y[col];
+            for r in (col + 1)..self.rows {
+                dot += self.packed[(r, col)] * y[r];
+            }
+            let s = tau * dot;
+            y[col] -= s * v0;
+            for r in (col + 1)..self.rows {
+                y[r] -= s * self.packed[(r, col)];
+            }
+        }
+        y
+    }
+
+    /// Solves `min_x ||A x − b||₂` via `R x = (Qᵀ b)[..k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] for rank-deficient `A` (near-zero
+    /// diagonal of `R`) and [`SolveError::ShapeMismatch`] for a wrong `b`
+    /// length.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector, SolveError> {
+        if b.len() != self.rows {
+            return Err(SolveError::ShapeMismatch {
+                expected: format!("rhs of length {}", self.rows),
+                got: format!("length {}", b.len()),
+            });
+        }
+        let y = self.q_transpose_apply(b);
+        let scale = (0..self.cols)
+            .map(|i| self.packed[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        let tol = 1e-12 * scale.max(1.0);
+        let mut x = Vector::zeros(self.cols);
+        for i in (0..self.cols).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..self.cols {
+                acc -= self.packed[(i, j)] * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d.abs() <= tol {
+                return Err(SolveError::Singular);
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot QR least squares: `min_x ||a x − b||₂` for full-column-rank `a`.
+///
+/// Prefer this over [`crate::least_squares`] (ridge-regularized normal
+/// equations) when conditioning matters; the normal-equation variant remains
+/// for rank-deficient problems where *some* minimizer is acceptable.
+///
+/// # Errors
+///
+/// As [`Qr::decompose`] and [`Qr::solve_least_squares`].
+///
+/// # Examples
+///
+/// ```
+/// use isgc_linalg::{qr_least_squares, Matrix, Vector};
+///
+/// # fn main() -> Result<(), isgc_linalg::SolveError> {
+/// let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+/// let b = Vector::from_slice(&[0.0, 1.0, 2.0]);
+/// let x = qr_least_squares(&a, &b)?;
+/// assert!((x[0] - 1.0).abs() < 1e-12); // the mean of b
+/// # Ok(())
+/// # }
+/// ```
+pub fn qr_least_squares(a: &Matrix, b: &Vector) -> Result<Vector, SolveError> {
+    Qr::decompose(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn r_is_upper_triangular_and_reproduces_norms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
+        let qr = Qr::decompose(&a).unwrap();
+        let r = qr.r();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // Column norms are preserved by orthogonal transforms:
+        // ||A e_1|| == ||R e_1||.
+        let a_col0 = a.col(0).norm();
+        let r_col0 = r.col(0).norm();
+        assert!((a_col0 - r_col0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solves_square_systems_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 3, 8] {
+            let a = Matrix::random_normal(n, n, 0.0, 1.0, &mut rng);
+            let x_true = Vector::random_normal(n, 0.0, 1.0, &mut rng);
+            let b = a.matvec(&x_true);
+            let x = qr_least_squares(&a, &b).unwrap();
+            assert!((&x - &x_true).norm_inf() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_projection() {
+        // Overdetermined inconsistent system: residual must be orthogonal to
+        // the column space (normal equations hold at the solution).
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random_normal(10, 3, 0.0, 1.0, &mut rng);
+        let b = Vector::random_normal(10, 0.0, 1.0, &mut rng);
+        let x = qr_least_squares(&a, &b).unwrap();
+        let residual = &a.matvec(&x) - &b;
+        let grad = a.matvec_transposed(&residual); // Aᵀ r must vanish
+        assert!(grad.norm_inf() < 1e-9, "AᵀA r = {grad:?}");
+    }
+
+    #[test]
+    fn beats_normal_equations_on_ill_conditioned_input() {
+        // Nearly collinear columns: QR keeps far more accuracy.
+        let eps = 1e-7;
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[eps, 0.0], &[0.0, eps]]);
+        let x_true = Vector::from_slice(&[1.0, 2.0]);
+        let b = a.matvec(&x_true);
+        let x = qr_least_squares(&a, &b).unwrap();
+        assert!(
+            (&x - &x_true).norm_inf() < 1e-4,
+            "qr error {}",
+            (&x - &x_true).norm_inf()
+        );
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(qr_least_squares(&a, &b), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn rejects_wide_matrices_and_bad_rhs() {
+        let wide = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::decompose(&wide),
+            Err(SolveError::ShapeMismatch { .. })
+        ));
+        let a = Matrix::identity(3);
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&Vector::zeros(2)),
+            Err(SolveError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_zero_columns_gracefully() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0], &[0.0, 0.0]]);
+        // Column 0 is zero: rank-deficient, reported as singular at solve.
+        let qr = Qr::decompose(&a).unwrap();
+        assert_eq!(
+            qr.solve_least_squares(&Vector::from_slice(&[1.0, 0.0, 0.0])),
+            Err(SolveError::Singular)
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Held-out evaluation: train/test splits and classification reports.
+//!
+//! The paper tracks *training* loss (its stopping criterion); for a complete
+//! library, downstream users also want generalization measurements.
+
+use isgc_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Splits a dataset into shuffled train/test partitions.
+///
+/// Deterministic for a given RNG state. Classification datasets keep their
+/// `classes` metadata on both halves.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not in `(0, 1)` or either split would be
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_ml::dataset::Dataset;
+/// use isgc_ml::evaluation::train_test_split;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let data = Dataset::two_gaussians(100, 3, 2.0, 1);
+/// let (train, test) = train_test_split(&data, 0.25, &mut StdRng::seed_from_u64(0));
+/// assert_eq!(train.len(), 75);
+/// assert_eq!(test.len(), 25);
+/// ```
+pub fn train_test_split<R: Rng>(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "test_fraction must be in (0, 1)"
+    );
+    let n = data.len();
+    let test_len = ((n as f64) * test_fraction).round() as usize;
+    assert!(
+        test_len > 0 && test_len < n,
+        "split would leave an empty half (n={n}, test={test_len})"
+    );
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let build = |idx: &[usize]| {
+        let features = Matrix::from_fn(idx.len(), data.feature_dim(), |r, c| {
+            data.features_of(idx[r])[c]
+        });
+        let targets = idx.iter().map(|&i| data.target_of(i)).collect();
+        Dataset::new(features, targets, data.classes())
+    };
+    let test = build(&order[..test_len]);
+    let train = build(&order[test_len..]);
+    (train, test)
+}
+
+/// A per-class classification report: confusion matrix plus derived metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    classes: usize,
+    /// `confusion[actual][predicted]`.
+    confusion: Vec<Vec<usize>>,
+}
+
+impl ClassificationReport {
+    /// Evaluates a predictor over the whole dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is not a classification dataset or the
+    /// predictor emits a class `>= classes`.
+    pub fn evaluate(data: &Dataset, mut predict: impl FnMut(&[f64]) -> usize) -> Self {
+        let classes = data.classes();
+        assert!(classes > 0, "classification data required");
+        let mut confusion = vec![vec![0usize; classes]; classes];
+        for i in 0..data.len() {
+            let actual = data.target_of(i) as usize;
+            let predicted = predict(data.features_of(i));
+            assert!(
+                predicted < classes,
+                "prediction {predicted} outside 0..{classes}"
+            );
+            confusion[actual][predicted] += 1;
+        }
+        Self { classes, confusion }
+    }
+
+    /// The confusion matrix, `[actual][predicted]`.
+    pub fn confusion(&self) -> &[Vec<usize>] {
+        &self.confusion
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.confusion.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.confusion[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c` (0 when the class was never predicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= classes`.
+    pub fn precision(&self, c: usize) -> f64 {
+        assert!(c < self.classes, "class out of range");
+        let predicted: usize = (0..self.classes).map(|a| self.confusion[a][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.confusion[c][c] as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (0 when the class never occurred).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= classes`.
+    pub fn recall(&self, c: usize) -> f64 {
+        assert!(c < self.classes, "class out of range");
+        let actual: usize = self.confusion[c].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.confusion[c][c] as f64 / actual as f64
+        }
+    }
+
+    /// Macro-averaged F1 score across classes.
+    pub fn macro_f1(&self) -> f64 {
+        let mut total = 0.0;
+        for c in 0..self.classes {
+            let p = self.precision(c);
+            let r = self.recall(c);
+            if p + r > 0.0 {
+                total += 2.0 * p * r / (p + r);
+            }
+        }
+        total / self.classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, SoftmaxRegression};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let data = Dataset::gaussian_classification(60, 3, 3, 2.0, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(&data, 0.3, &mut rng);
+        assert_eq!(train.len() + test.len(), 60);
+        assert_eq!(test.len(), 18);
+        assert_eq!(train.classes(), 3);
+        assert_eq!(test.feature_dim(), 3);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_rng() {
+        let data = Dataset::two_gaussians(40, 2, 2.0, 9);
+        let a = train_test_split(&data, 0.25, &mut StdRng::seed_from_u64(3));
+        let b = train_test_split(&data, 0.25, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn rejects_bad_fraction() {
+        let data = Dataset::two_gaussians(10, 2, 2.0, 1);
+        let _ = train_test_split(&data, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        // Two classes: predictor always says 0.
+        let data = Dataset::two_gaussians(20, 2, 2.0, 5);
+        let report = ClassificationReport::evaluate(&data, |_| 0);
+        assert_eq!(report.confusion()[0][0], 10);
+        assert_eq!(report.confusion()[1][0], 10);
+        assert_eq!(report.accuracy(), 0.5);
+        assert_eq!(report.recall(0), 1.0);
+        assert_eq!(report.recall(1), 0.0);
+        assert_eq!(report.precision(0), 0.5);
+        assert_eq!(report.precision(1), 0.0); // never predicted
+        assert!((report.macro_f1() - (2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trained_model_generalizes_on_separable_data() {
+        let data = Dataset::gaussian_classification(300, 4, 3, 6.0, 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = train_test_split(&data, 0.3, &mut rng);
+        let model = SoftmaxRegression::new(4, 3);
+        let mut params = model.zero_params();
+        let idx: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..200 {
+            let mut g = model.gradient_sum(&params, &train, &idx);
+            g.scale(1.0 / train.len() as f64);
+            params.axpy(-0.5, &g);
+        }
+        let report = ClassificationReport::evaluate(&test, |x| model.predict_class(&params, x));
+        assert!(
+            report.accuracy() > 0.9,
+            "test accuracy {}",
+            report.accuracy()
+        );
+        assert!(report.macro_f1() > 0.85, "macro F1 {}", report.macro_f1());
+    }
+}

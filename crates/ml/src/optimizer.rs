@@ -1,0 +1,314 @@
+//! SGD optimizers (the `torch.optim.SGD` stand-in).
+
+use isgc_linalg::Vector;
+
+/// Mini-batch SGD with optional momentum, matching `torch.optim.SGD`
+/// semantics (`v ← μv + g`, `θ ← θ − ηv`).
+///
+/// # Examples
+///
+/// ```
+/// use isgc_linalg::Vector;
+/// use isgc_ml::optimizer::Sgd;
+///
+/// let mut params = Vector::from_slice(&[1.0]);
+/// let grad = Vector::from_slice(&[0.5]);
+/// let mut opt = Sgd::new(0.1);
+/// opt.step(&mut params, &grad);
+/// assert!((params[0] - 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Option<Vector>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive.
+    pub fn new(learning_rate: f64) -> Self {
+        Self::with_momentum(learning_rate, 0.0)
+    }
+
+    /// SGD with momentum `μ ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive or `momentum`
+    /// is outside `[0, 1)`.
+    pub fn with_momentum(learning_rate: f64, momentum: f64) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self {
+            learning_rate,
+            momentum,
+            weight_decay: 0.0,
+            velocity: None,
+        }
+    }
+
+    /// Adds L2 weight decay `λ`: the effective gradient becomes `g + λθ`
+    /// (applied before momentum, matching `torch.optim.SGD`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative or non-finite.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(
+            weight_decay.is_finite() && weight_decay >= 0.0,
+            "weight decay must be non-negative"
+        );
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// The configured weight decay.
+    pub fn weight_decay(&self) -> f64 {
+        self.weight_decay
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The configured momentum.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+
+    /// Applies one update `θ ← θ − η·(μv + g)` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != params.len()` (or differs from a previous
+    /// call's dimension when momentum is active).
+    pub fn step(&mut self, params: &mut Vector, grad: &Vector) {
+        assert_eq!(params.len(), grad.len(), "parameter/gradient mismatch");
+        if self.weight_decay > 0.0 {
+            let mut g = grad.clone();
+            g.axpy(self.weight_decay, params);
+            self.step_raw(params, &g);
+        } else {
+            self.step_raw(params, grad);
+        }
+    }
+
+    fn step_raw(&mut self, params: &mut Vector, grad: &Vector) {
+        if self.momentum == 0.0 {
+            params.axpy(-self.learning_rate, grad);
+            return;
+        }
+        let v = self
+            .velocity
+            .get_or_insert_with(|| Vector::zeros(params.len()));
+        assert_eq!(v.len(), params.len(), "dimension changed mid-training");
+        v.scale(self.momentum);
+        v.axpy(1.0, grad);
+        params.axpy(-self.learning_rate, v);
+    }
+
+    /// Clears accumulated momentum (e.g. when restarting training).
+    pub fn reset(&mut self) {
+        self.velocity = None;
+    }
+
+    /// Changes the learning rate mid-training (for [`LrSchedule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive.
+    pub fn set_learning_rate(&mut self, learning_rate: f64) {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        self.learning_rate = learning_rate;
+    }
+}
+
+/// A learning-rate schedule: maps `(base_rate, step)` to the rate in effect.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_ml::optimizer::LrSchedule;
+///
+/// let s = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+/// assert_eq!(s.rate_at(0.2, 0), 0.2);
+/// assert_eq!(s.rate_at(0.2, 100), 0.1);
+/// assert_eq!(s.rate_at(0.2, 250), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The base rate forever.
+    Constant,
+    /// Multiply by `factor` every `every` steps.
+    StepDecay {
+        /// Steps between decays (> 0).
+        every: usize,
+        /// Multiplicative factor per decay, in `(0, 1]`.
+        factor: f64,
+    },
+    /// `base / (1 + decay · step)` — the classical Robbins–Monro-compatible
+    /// schedule.
+    InverseTime {
+        /// Decay strength (≥ 0).
+        decay: f64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate in effect at `step` given `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are invalid.
+    pub fn rate_at(&self, base: f64, step: usize) -> f64 {
+        match self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(*every > 0, "decay interval must be positive");
+                assert!(
+                    (0.0..=1.0).contains(factor) && *factor > 0.0,
+                    "factor must be in (0, 1]"
+                );
+                base * factor.powi((step / every) as i32)
+            }
+            LrSchedule::InverseTime { decay } => {
+                assert!(*decay >= 0.0, "decay must be non-negative");
+                base / (1.0 + decay * step as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut p = Vector::from_slice(&[1.0, -2.0]);
+        let g = Vector::from_slice(&[10.0, -10.0]);
+        let mut opt = Sgd::new(0.01);
+        opt.step(&mut p, &g);
+        assert_eq!(p.as_slice(), &[0.9, -1.9]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = Vector::from_slice(&[0.0]);
+        let g = Vector::from_slice(&[1.0]);
+        let mut opt = Sgd::with_momentum(1.0, 0.5);
+        opt.step(&mut p, &g); // v = 1,   p = -1
+        opt.step(&mut p, &g); // v = 1.5, p = -2.5
+        assert!((p[0] + 2.5).abs() < 1e-12);
+        opt.reset();
+        opt.step(&mut p, &g); // v = 1, p = -3.5
+        assert!((p[0] + 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let opt = Sgd::with_momentum(0.05, 0.9);
+        assert_eq!(opt.learning_rate(), 0.05);
+        assert_eq!(opt.momentum(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_negative_lr() {
+        let _ = Sgd::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_momentum_of_one() {
+        let _ = Sgd::with_momentum(0.1, 1.0);
+    }
+
+    #[test]
+    fn schedules_compute_rates() {
+        assert_eq!(LrSchedule::Constant.rate_at(0.3, 1000), 0.3);
+        let s = LrSchedule::InverseTime { decay: 1.0 };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 1), 0.5);
+        assert_eq!(s.rate_at(1.0, 3), 0.25);
+        let d = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.1,
+        };
+        assert!((d.rate_at(1.0, 25) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay interval")]
+    fn step_decay_rejects_zero_interval() {
+        let _ = LrSchedule::StepDecay {
+            every: 0,
+            factor: 0.5,
+        }
+        .rate_at(0.1, 1);
+    }
+
+    #[test]
+    fn set_learning_rate_takes_effect() {
+        let mut p = Vector::from_slice(&[0.0]);
+        let g = Vector::from_slice(&[1.0]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut p, &g);
+        opt.set_learning_rate(0.2);
+        opt.step(&mut p, &g);
+        assert!((p[0] + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        // Zero gradient: pure decay pulls parameters toward zero.
+        let mut p = Vector::from_slice(&[10.0]);
+        let g = Vector::from_slice(&[0.0]);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        assert_eq!(opt.weight_decay(), 0.5);
+        opt.step(&mut p, &g);
+        // θ ← θ − η·λ·θ = 10 · (1 − 0.05).
+        assert!((p[0] - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_decay_composes_with_momentum() {
+        let mut p = Vector::from_slice(&[1.0]);
+        let g = Vector::from_slice(&[2.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.5).with_weight_decay(1.0);
+        opt.step(&mut p, &g); // v = g + θ = 3; θ = 1 − 0.3 = 0.7
+        assert!((p[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight decay")]
+    fn rejects_negative_weight_decay() {
+        let _ = Sgd::new(0.1).with_weight_decay(-0.1);
+    }
+
+    #[test]
+    fn momentum_matches_plain_when_zero() {
+        let g = Vector::from_slice(&[2.0]);
+        let mut p1 = Vector::from_slice(&[5.0]);
+        let mut p2 = Vector::from_slice(&[5.0]);
+        let mut a = Sgd::new(0.1);
+        let mut b = Sgd::with_momentum(0.1, 0.0);
+        for _ in 0..3 {
+            a.step(&mut p1, &g);
+            b.step(&mut p2, &g);
+        }
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for datasets, models, and the optimizer.
+
+use isgc_linalg::Vector;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::{LinearRegression, LogisticRegression, Mlp, Model, SoftmaxRegression};
+use isgc_ml::optimizer::{LrSchedule, Sgd};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partitioning covers every sample exactly once, in order.
+    #[test]
+    fn partitions_tile_the_dataset(samples in 4usize..200, parts in 1usize..4) {
+        prop_assume!(parts <= samples);
+        let d = Dataset::synthetic_regression(samples, 2, 0.1, 1);
+        let p = d.partition(parts);
+        let mut covered = Vec::new();
+        for i in 0..parts {
+            covered.extend(p.range(i));
+        }
+        prop_assert_eq!(covered, (0..samples).collect::<Vec<_>>());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = (0..parts).map(|i| p.len_of(i)).collect();
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    /// Mini-batches are a pure function of (partition, step, seed).
+    #[test]
+    fn minibatch_determinism(step in 0u64..1000, seed in 0u64..1000, part in 0usize..4) {
+        let d = Dataset::synthetic_regression(64, 2, 0.1, 9);
+        let p = d.partition(4);
+        prop_assert_eq!(
+            p.minibatch(part, 8, step, seed),
+            p.minibatch(part, 8, step, seed)
+        );
+    }
+
+    /// Cross-entropy losses are non-negative; squared error too.
+    #[test]
+    fn losses_are_non_negative(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx: Vec<usize> = (0..20).collect();
+
+        let reg = Dataset::synthetic_regression(20, 3, 0.5, seed);
+        let lin = LinearRegression::new(3);
+        prop_assert!(lin.loss_mean(&lin.init_params(&mut rng), &reg, &idx) >= 0.0);
+
+        let cls = Dataset::gaussian_classification(20, 3, 3, 2.0, seed);
+        let soft = SoftmaxRegression::new(3, 3);
+        prop_assert!(soft.loss_mean(&soft.init_params(&mut rng), &cls, &idx) >= 0.0);
+        let mlp = Mlp::new(3, 4, 3);
+        prop_assert!(mlp.loss_mean(&mlp.init_params(&mut rng), &cls, &idx) >= 0.0);
+
+        let bin = Dataset::two_gaussians(20, 3, 2.0, seed);
+        let log = LogisticRegression::new(3);
+        prop_assert!(log.loss_mean(&log.init_params(&mut rng), &bin, &idx) >= 0.0);
+    }
+
+    /// A gradient step at a small enough rate never increases the loss of
+    /// the batch it was computed on (descent property, convex models).
+    #[test]
+    fn tiny_steps_descend(seed in 0u64..100) {
+        let data = Dataset::gaussian_classification(24, 3, 3, 2.0, seed);
+        let model = SoftmaxRegression::new(3, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = model.init_params(&mut rng);
+        let idx: Vec<usize> = (0..24).collect();
+        let before = model.loss_mean(&params, &data, &idx);
+        let mut g = model.gradient_sum(&params, &data, &idx);
+        g.scale(1.0 / 24.0);
+        params.axpy(-1e-4, &g);
+        let after = model.loss_mean(&params, &data, &idx);
+        prop_assert!(after <= before + 1e-12, "{before} -> {after}");
+    }
+
+    /// SGD with momentum equals an exponentially-weighted sum of gradients.
+    #[test]
+    fn momentum_closed_form(mu in 0.0f64..0.95, lr in 0.001f64..0.5, g0 in -5.0f64..5.0, g1 in -5.0f64..5.0) {
+        let mut p = Vector::from_slice(&[0.0]);
+        let mut opt = Sgd::with_momentum(lr, mu);
+        opt.step(&mut p, &Vector::from_slice(&[g0]));
+        opt.step(&mut p, &Vector::from_slice(&[g1]));
+        // v1 = g0; v2 = mu*g0 + g1; p = -lr*(v1 + v2).
+        let expected = -lr * (g0 + mu * g0 + g1);
+        prop_assert!((p[0] - expected).abs() < 1e-9);
+    }
+
+    /// Learning-rate schedules never increase the rate over time.
+    #[test]
+    fn schedules_are_non_increasing(base in 0.01f64..1.0, s1 in 0usize..500, s2 in 0usize..500) {
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        for sched in [
+            LrSchedule::Constant,
+            LrSchedule::StepDecay { every: 50, factor: 0.5 },
+            LrSchedule::InverseTime { decay: 0.01 },
+        ] {
+            prop_assert!(sched.rate_at(base, hi) <= sched.rate_at(base, lo) + 1e-12);
+            prop_assert!(sched.rate_at(base, lo) <= base + 1e-12);
+        }
+    }
+
+    /// Class predictions agree with the arg-max of probabilities.
+    #[test]
+    fn predictions_are_argmax(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soft = SoftmaxRegression::new(4, 3);
+        let params = soft.init_params(&mut rng);
+        let x = [0.3, -1.0, 2.0, 0.1];
+        let probs = soft.probabilities(&params, &x);
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        prop_assert_eq!(soft.predict_class(&params, &x), argmax);
+    }
+}

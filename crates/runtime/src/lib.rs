@@ -1,0 +1,573 @@
+//! # isgc-runtime — a real threaded master/worker IS-GC runtime
+//!
+//! Where `isgc-simnet` *simulates* arrival times, this crate actually runs
+//! the protocol on OS threads connected by crossbeam channels, mirroring the
+//! paper's Ray implementation (§VIII-A):
+//!
+//! - each **worker thread** stores `c` dataset partitions, computes the
+//!   gradient of each on a deterministic mini-batch, sleeps for an injected
+//!   straggler delay, and sends the *summed* codeword to the master;
+//! - the **master** waits for the `w` fastest codewords of the current step
+//!   (the `ray.wait(w)` call), decodes them with the placement's IS-GC
+//!   decoder, applies the SGD update, and broadcasts fresh parameters;
+//! - stragglers' late codewords are discarded by step tag, and workers that
+//!   fell behind skip straight to the newest parameters, exactly like an
+//!   asynchronous parameter server wrapped in synchronous rounds.
+//!
+//! This is intentionally the *same* algorithmic core as the simulator — the
+//! decoders, encoder, models, and batch selection are shared crates — so it
+//! demonstrates the system end-to-end with genuine concurrency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod worker;
+
+pub use report::ThreadedReport;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use isgc_core::decode::{CrDecoder, Decoder, FrDecoder, HrDecoder};
+use isgc_core::{Placement, Scheme, WorkerSet};
+use isgc_linalg::Vector;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::Model;
+use isgc_ml::optimizer::Sgd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use worker::{spawn_worker, Command, Reply};
+
+/// A function giving worker `w`'s injected delay at step `t`.
+///
+/// Runs on worker threads, hence `Send + Sync`.
+pub type DelayFn = Arc<dyn Fn(usize, u64) -> Duration + Send + Sync>;
+
+/// How the master stops collecting codewords each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collection {
+    /// Accept the first `w` codewords of the step (`ray.wait(w)`).
+    WaitForCount(usize),
+    /// Accept whatever arrives before the deadline; if nothing arrived by
+    /// then, block for the first codeword so every step makes progress.
+    Deadline(Duration),
+}
+
+/// Configuration of a threaded training run.
+#[derive(Clone)]
+pub struct ThreadedConfig {
+    /// Number of codewords the master waits for each step (`1 ..= n`).
+    /// Ignored when [`ThreadedConfig::collection`] is a deadline.
+    pub wait_for: usize,
+    /// Collection rule; [`Collection::WaitForCount`] of `wait_for` by
+    /// convention — use [`ThreadedConfig::with_deadline`] for deadline mode.
+    pub collection: Option<Collection>,
+    /// Mini-batch size per partition.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Stop when the full-dataset loss reaches this value.
+    pub loss_threshold: f64,
+    /// Hard cap on steps.
+    pub max_steps: usize,
+    /// Seed for parameter init, batches, and decoding tie-breaks.
+    pub seed: u64,
+    /// Injected per-worker, per-step straggler delay.
+    pub delay: DelayFn,
+}
+
+impl ThreadedConfig {
+    /// Switches the run to deadline-based collection.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.collection = Some(Collection::Deadline(deadline));
+        self
+    }
+
+    /// The effective collection rule.
+    fn effective_collection(&self) -> Collection {
+        self.collection
+            .unwrap_or(Collection::WaitForCount(self.wait_for))
+    }
+}
+
+impl std::fmt::Debug for ThreadedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedConfig")
+            .field("wait_for", &self.wait_for)
+            .field("collection", &self.collection)
+            .field("batch_size", &self.batch_size)
+            .field("learning_rate", &self.learning_rate)
+            .field("loss_threshold", &self.loss_threshold)
+            .field("max_steps", &self.max_steps)
+            .field("seed", &self.seed)
+            .field("delay", &"<fn>")
+            .finish()
+    }
+}
+
+/// Runs IS-GC training on real threads: one master (the calling thread) and
+/// `placement.n()` workers.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (`wait_for` outside `1..=n`, zero batch
+/// size or step cap) or if a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use isgc_core::Placement;
+/// use isgc_ml::dataset::Dataset;
+/// use isgc_ml::model::LinearRegression;
+/// use isgc_runtime::{train_threaded, ThreadedConfig};
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let placement = Placement::cyclic(4, 2)?;
+/// let dataset = Dataset::synthetic_regression(64, 3, 0.05, 1);
+/// let config = ThreadedConfig {
+///     wait_for: 2,
+///     collection: None,
+///     batch_size: 8,
+///     learning_rate: 0.05,
+///     loss_threshold: 0.05,
+///     max_steps: 200,
+///     seed: 7,
+///     delay: Arc::new(|_, _| Duration::ZERO),
+/// };
+/// let report = train_threaded(LinearRegression::new(3), dataset, &placement, &config);
+/// assert!(report.steps > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn train_threaded<M>(
+    model: M,
+    dataset: Dataset,
+    placement: &Placement,
+    config: &ThreadedConfig,
+) -> ThreadedReport
+where
+    M: Model + Clone + Send + Sync + 'static,
+{
+    let n = placement.n();
+    let collection = config.effective_collection();
+    if let Collection::WaitForCount(w) = collection {
+        assert!((1..=n).contains(&w), "wait_for must be within 1..=n");
+    }
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    assert!(config.max_steps > 0, "max_steps must be positive");
+
+    let decoder: Box<dyn Decoder> = match placement.scheme() {
+        Scheme::Fractional => Box::new(FrDecoder::new(placement).expect("FR placement")),
+        Scheme::Cyclic => Box::new(CrDecoder::new(placement).expect("CR placement")),
+        Scheme::Hybrid => Box::new(HrDecoder::new(placement).expect("HR placement")),
+        Scheme::Custom => Box::new(isgc_core::decode::ExactDecoder::new(placement)),
+    };
+
+    let dataset = Arc::new(dataset);
+    let model = Arc::new(model);
+    let all_indices: Vec<usize> = (0..dataset.len()).collect();
+
+    // Spawn workers, each with a private command channel and a shared reply
+    // channel back to the master.
+    let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for w in 0..n {
+        let (tx, rx) = unbounded::<Command>();
+        cmd_txs.push(tx);
+        handles.push(spawn_worker(
+            w,
+            placement.partitions_of(w).to_vec(),
+            vec![1.0; placement.c()],
+            Arc::clone(&model),
+            Arc::clone(&dataset),
+            n,
+            config.batch_size,
+            config.seed,
+            Arc::clone(&config.delay),
+            rx,
+            reply_tx.clone(),
+        ));
+    }
+    drop(reply_tx); // master keeps only the receiver
+
+    let mut master_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut params = model.init_params(&mut master_rng);
+    let dim = params.len();
+    let mut opt = Sgd::new(config.learning_rate);
+
+    let mut report = ThreadedReport::default();
+    let started = Instant::now();
+
+    for step in 0..config.max_steps as u64 {
+        let step_started = Instant::now();
+        let shared = Arc::new(params.clone());
+        for tx in &cmd_txs {
+            tx.send(Command::Step {
+                step,
+                params: Arc::clone(&shared),
+            })
+            .expect("worker hung up");
+        }
+        // Collect this step's codewords; stale replies from previous
+        // rounds are discarded.
+        let mut available = WorkerSet::empty(n);
+        let mut codewords: Vec<Option<Vector>> = vec![None; n];
+        match collection {
+            Collection::WaitForCount(w) => {
+                // ray.wait(w): block for the first w codewords of this step.
+                while available.len() < w {
+                    let reply = reply_rx.recv().expect("all workers hung up");
+                    if reply.step == step && !available.contains(reply.worker) {
+                        available.insert(reply.worker);
+                        codewords[reply.worker] = Some(reply.codeword);
+                    }
+                }
+            }
+            Collection::Deadline(deadline) => {
+                let cutoff = Instant::now() + deadline;
+                // Ends on deadline expiry (recv error) or full attendance.
+                while let Ok(reply) = reply_rx.recv_deadline(cutoff) {
+                    if reply.step == step && !available.contains(reply.worker) {
+                        available.insert(reply.worker);
+                        codewords[reply.worker] = Some(reply.codeword);
+                        if available.len() == n {
+                            break; // everyone arrived early
+                        }
+                    }
+                }
+                // Guarantee progress: if nothing arrived, block for one.
+                while available.is_empty() {
+                    let reply = reply_rx.recv().expect("all workers hung up");
+                    if reply.step == step {
+                        available.insert(reply.worker);
+                        codewords[reply.worker] = Some(reply.codeword);
+                    }
+                }
+            }
+        }
+        let result = decoder.decode(&available, &mut master_rng);
+        let recovered = result.recovered_count();
+        report.recovered_fractions.push(recovered as f64 / n as f64);
+        if recovered > 0 {
+            let mut g = Vector::zeros(dim);
+            for &w in result.selected() {
+                g.axpy(1.0, codewords[w].as_ref().expect("selected ⊆ available"));
+            }
+            // Paper-faithful normalization: ĝ is the sum of per-partition
+            // batch means, so the update scales with the recovery level
+            // (Theorem 12's η·|D_d|).
+            g.scale(1.0 / config.batch_size as f64);
+            opt.step(&mut params, &g);
+        }
+        report
+            .step_durations
+            .push(step_started.elapsed().as_secs_f64());
+        let loss = model.loss_mean(&params, &dataset, &all_indices);
+        report.loss_curve.push(loss);
+        report.steps = step as usize + 1;
+        if loss <= config.loss_threshold {
+            report.reached_threshold = true;
+            break;
+        }
+    }
+    report.wall_time = started.elapsed().as_secs_f64();
+
+    for tx in &cmd_txs {
+        // A worker that already exited is fine — ignore send errors.
+        let _ = tx.send(Command::Shutdown);
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    report
+}
+
+/// Runs **classic gradient coding** (Tandon et al.) on real threads: workers
+/// upload coefficient-weighted codewords; the master solves for the decoding
+/// vector each step and recovers the *exact* full gradient whenever at least
+/// `n − c + 1` codewords arrive.
+///
+/// Steps whose collected set cannot decode (possible under a deadline
+/// collection) apply no update and are counted in
+/// [`ThreadedReport::failed_decodes`].
+///
+/// # Panics
+///
+/// As [`train_threaded`].
+pub fn train_threaded_classic<M>(
+    model: M,
+    dataset: Dataset,
+    gc: &isgc_core::classic::ClassicGc,
+    config: &ThreadedConfig,
+) -> ThreadedReport
+where
+    M: Model + Clone + Send + Sync + 'static,
+{
+    let placement = gc.placement();
+    let n = placement.n();
+    let collection = config.effective_collection();
+    if let Collection::WaitForCount(w) = collection {
+        assert!((1..=n).contains(&w), "wait_for must be within 1..=n");
+    }
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    assert!(config.max_steps > 0, "max_steps must be positive");
+
+    let dataset = Arc::new(dataset);
+    let model = Arc::new(model);
+    let all_indices: Vec<usize> = (0..dataset.len()).collect();
+
+    let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for w in 0..n {
+        let partitions = placement.partitions_of(w).to_vec();
+        let weights: Vec<f64> = partitions
+            .iter()
+            .map(|&j| gc.coefficients()[(w, j)])
+            .collect();
+        cmd_txs.push({
+            let (tx, rx) = unbounded::<Command>();
+            handles.push(spawn_worker(
+                w,
+                partitions,
+                weights,
+                Arc::clone(&model),
+                Arc::clone(&dataset),
+                n,
+                config.batch_size,
+                config.seed,
+                Arc::clone(&config.delay),
+                rx,
+                reply_tx.clone(),
+            ));
+            tx
+        });
+    }
+    drop(reply_tx);
+
+    let mut master_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut params = model.init_params(&mut master_rng);
+    let dim = params.len();
+    let mut opt = Sgd::new(config.learning_rate);
+    let mut report = ThreadedReport::default();
+    let started = Instant::now();
+
+    for step in 0..config.max_steps as u64 {
+        let step_started = Instant::now();
+        let shared = Arc::new(params.clone());
+        for tx in &cmd_txs {
+            tx.send(Command::Step {
+                step,
+                params: Arc::clone(&shared),
+            })
+            .expect("worker hung up");
+        }
+        let mut available = WorkerSet::empty(n);
+        let mut codewords: Vec<Option<Vector>> = vec![None; n];
+        // Same collection logic as the IS-GC path, specialized to counts
+        // (classic GC needs at least n − c + 1 anyway).
+        match collection {
+            Collection::WaitForCount(w) => {
+                while available.len() < w {
+                    let reply = reply_rx.recv().expect("all workers hung up");
+                    if reply.step == step && !available.contains(reply.worker) {
+                        available.insert(reply.worker);
+                        codewords[reply.worker] = Some(reply.codeword);
+                    }
+                }
+            }
+            Collection::Deadline(deadline) => {
+                let cutoff = Instant::now() + deadline;
+                while let Ok(reply) = reply_rx.recv_deadline(cutoff) {
+                    if reply.step == step && !available.contains(reply.worker) {
+                        available.insert(reply.worker);
+                        codewords[reply.worker] = Some(reply.codeword);
+                        if available.len() == n {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match gc.decoding_vector(&available) {
+            Ok(decoding) => {
+                report.recovered_fractions.push(1.0);
+                let mut g = Vector::zeros(dim);
+                for (wid, coeff) in decoding {
+                    g.axpy(coeff, codewords[wid].as_ref().expect("collected"));
+                }
+                g.scale(1.0 / config.batch_size as f64);
+                opt.step(&mut params, &g);
+            }
+            Err(_) => {
+                report.recovered_fractions.push(0.0);
+                report.failed_decodes += 1;
+            }
+        }
+        report
+            .step_durations
+            .push(step_started.elapsed().as_secs_f64());
+        let loss = model.loss_mean(&params, &dataset, &all_indices);
+        report.loss_curve.push(loss);
+        report.steps = step as usize + 1;
+        if loss <= config.loss_threshold {
+            report.reached_threshold = true;
+            break;
+        }
+    }
+    report.wall_time = started.elapsed().as_secs_f64();
+    for tx in &cmd_txs {
+        let _ = tx.send(Command::Shutdown);
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isgc_ml::model::LinearRegression;
+
+    fn config(wait_for: usize, delay: DelayFn) -> ThreadedConfig {
+        ThreadedConfig {
+            wait_for,
+            collection: None,
+            batch_size: 8,
+            learning_rate: 0.05,
+            loss_threshold: 0.02,
+            max_steps: 400,
+            seed: 3,
+            delay,
+        }
+    }
+
+    #[test]
+    fn converges_without_delays() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let data = Dataset::synthetic_regression(128, 3, 0.02, 5);
+        let report = train_threaded(
+            LinearRegression::new(3),
+            data,
+            &placement,
+            &config(4, Arc::new(|_, _| Duration::ZERO)),
+        );
+        assert!(report.reached_threshold, "loss={}", report.final_loss());
+        assert!(report.wall_time > 0.0);
+        assert_eq!(report.loss_curve.len(), report.steps);
+    }
+
+    #[test]
+    fn partial_wait_still_converges_with_stragglers() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let data = Dataset::synthetic_regression(128, 3, 0.02, 6);
+        // Workers 0 and 1 are enduring stragglers (5 ms every step).
+        let delay: DelayFn = Arc::new(|w, _| {
+            if w < 2 {
+                Duration::from_millis(5)
+            } else {
+                Duration::ZERO
+            }
+        });
+        let report = train_threaded(
+            LinearRegression::new(3),
+            data,
+            &placement,
+            &config(2, delay),
+        );
+        assert!(report.reached_threshold, "loss={}", report.final_loss());
+        // w = 2, c = 2: recovery at least 50% every step.
+        for &f in &report.recovered_fractions {
+            assert!(f >= 0.5, "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn fr_placement_works_threaded() {
+        let placement = Placement::fractional(4, 2).unwrap();
+        let data = Dataset::synthetic_regression(128, 3, 0.02, 7);
+        let report = train_threaded(
+            LinearRegression::new(3),
+            data,
+            &placement,
+            &config(2, Arc::new(|_, _| Duration::ZERO)),
+        );
+        assert!(report.steps > 0);
+        assert!(report.mean_recovered_fraction() >= 0.5);
+    }
+
+    #[test]
+    fn classic_gc_runs_on_threads_and_converges() {
+        use isgc_core::classic::ClassicGc;
+        use rand::rngs::StdRng as TestRng;
+        let mut rng = TestRng::seed_from_u64(17);
+        let gc = ClassicGc::cyclic(4, 2, &mut rng).unwrap();
+        let data = Dataset::synthetic_regression(128, 3, 0.02, 9);
+        // Worker 0 is an enduring straggler; waiting for 3 of 4 suffices.
+        let delay: DelayFn = Arc::new(|w, _| {
+            if w == 0 {
+                Duration::from_millis(10)
+            } else {
+                Duration::ZERO
+            }
+        });
+        let report = train_threaded_classic(LinearRegression::new(3), data, &gc, &config(3, delay));
+        assert!(report.reached_threshold, "loss={}", report.final_loss());
+        assert_eq!(report.failed_decodes, 0);
+        assert!(report.recovered_fractions.iter().all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn classic_gc_below_minimum_never_updates() {
+        use isgc_core::classic::ClassicGc;
+        use rand::rngs::StdRng as TestRng;
+        let mut rng = TestRng::seed_from_u64(18);
+        let gc = ClassicGc::cyclic(4, 2, &mut rng).unwrap();
+        let data = Dataset::synthetic_regression(64, 3, 0.02, 10);
+        let mut cfg = config(2, Arc::new(|_, _| Duration::ZERO)); // below n-c+1=3
+        cfg.max_steps = 5;
+        let report = train_threaded_classic(LinearRegression::new(3), data, &gc, &cfg);
+        assert_eq!(report.failed_decodes, 5);
+        assert!(!report.reached_threshold);
+    }
+
+    #[test]
+    fn deadline_collection_trains_and_bounds_steps() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let data = Dataset::synthetic_regression(128, 3, 0.02, 8);
+        // Workers 1, 3 always sleep 50 ms — far beyond the 10 ms deadline —
+        // so the master proceeds with the fast pair every step.
+        let delay: DelayFn = Arc::new(|w, _| {
+            if w % 2 == 1 {
+                Duration::from_millis(50)
+            } else {
+                Duration::ZERO
+            }
+        });
+        let config = config(1, delay).with_deadline(Duration::from_millis(10));
+        let report = train_threaded(LinearRegression::new(3), data, &placement, &config);
+        assert!(report.reached_threshold, "loss={}", report.final_loss());
+        // Workers 0 and 2 are non-conflicting in CR(4,2): full recovery.
+        assert!(report.mean_recovered_fraction() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_for")]
+    fn invalid_wait_for_panics() {
+        let placement = Placement::cyclic(2, 1).unwrap();
+        let data = Dataset::synthetic_regression(16, 2, 0.1, 1);
+        let _ = train_threaded(
+            LinearRegression::new(2),
+            data,
+            &placement,
+            &config(3, Arc::new(|_, _| Duration::ZERO)),
+        );
+    }
+}

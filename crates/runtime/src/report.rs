@@ -1,0 +1,75 @@
+//! Measurements from a threaded training run.
+
+/// Everything measured by [`crate::train_threaded`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadedReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Whether the loss threshold was reached before the step cap.
+    pub reached_threshold: bool,
+    /// Real elapsed time of the whole run, in seconds.
+    pub wall_time: f64,
+    /// Full-dataset training loss after each step.
+    pub loss_curve: Vec<f64>,
+    /// Fraction of partitions recovered each step.
+    pub recovered_fractions: Vec<f64>,
+    /// Real duration of each step, in seconds.
+    pub step_durations: Vec<f64>,
+    /// Steps where classic GC could not decode (IS-GC runs never fail).
+    pub failed_decodes: usize,
+}
+
+impl ThreadedReport {
+    /// Final training loss, or `+∞` if no step ran.
+    pub fn final_loss(&self) -> f64 {
+        self.loss_curve.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// Mean per-step recovered fraction.
+    pub fn mean_recovered_fraction(&self) -> f64 {
+        if self.recovered_fractions.is_empty() {
+            0.0
+        } else {
+            self.recovered_fractions.iter().sum::<f64>() / self.recovered_fractions.len() as f64
+        }
+    }
+
+    /// Mean per-step wall time.
+    pub fn mean_step_duration(&self) -> f64 {
+        if self.step_durations.is_empty() {
+            0.0
+        } else {
+            self.step_durations.iter().sum::<f64>() / self.step_durations.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = ThreadedReport::default();
+        assert_eq!(r.final_loss(), f64::INFINITY);
+        assert_eq!(r.mean_recovered_fraction(), 0.0);
+        assert_eq!(r.mean_step_duration(), 0.0);
+        assert!(!r.reached_threshold);
+    }
+
+    #[test]
+    fn means_compute() {
+        let r = ThreadedReport {
+            steps: 2,
+            reached_threshold: true,
+            wall_time: 1.0,
+            loss_curve: vec![0.5, 0.25],
+            recovered_fractions: vec![1.0, 0.5],
+            step_durations: vec![0.1, 0.3],
+            failed_decodes: 0,
+        };
+        assert_eq!(r.final_loss(), 0.25);
+        assert_eq!(r.mean_recovered_fraction(), 0.75);
+        assert!((r.mean_step_duration() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! Worker threads: compute, straggle, encode, reply.
+
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::{Receiver, Sender};
+use isgc_linalg::Vector;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::Model;
+
+use crate::DelayFn;
+
+/// Master → worker messages.
+pub(crate) enum Command {
+    /// Compute and upload the codeword for `step` using `params`.
+    Step {
+        /// Global step counter (tags the reply).
+        step: u64,
+        /// Parameter snapshot to evaluate gradients at.
+        params: Arc<Vector>,
+    },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker → master message: one coded gradient.
+pub(crate) struct Reply {
+    pub worker: usize,
+    pub step: u64,
+    pub codeword: Vector,
+}
+
+/// Spawns one worker thread.
+///
+/// The worker loop mirrors a Ray actor: it takes the *newest* pending step
+/// command (skipping rounds it fell behind on), computes the weighted
+/// combination of its partitions' gradients on the deterministic mini-batch
+/// of that step (all-ones weights for IS-GC, coefficient rows for classic
+/// GC), sleeps for the injected straggler delay, and replies.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_worker<M>(
+    worker: usize,
+    partitions: Vec<usize>,
+    weights: Vec<f64>,
+    model: Arc<M>,
+    dataset: Arc<Dataset>,
+    n: usize,
+    batch_size: usize,
+    seed: u64,
+    delay: DelayFn,
+    rx: Receiver<Command>,
+    tx: Sender<Reply>,
+) -> JoinHandle<()>
+where
+    M: Model + Send + Sync + 'static,
+{
+    thread::Builder::new()
+        .name(format!("isgc-worker-{worker}"))
+        .spawn(move || {
+            let partitioned = dataset.partition(n);
+            loop {
+                // Block for the next command, then drain the queue and keep
+                // only the newest — a straggler jumps to the latest round.
+                let mut cmd = match rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => return, // master dropped the channel
+                };
+                while let Ok(newer) = rx.try_recv() {
+                    cmd = newer;
+                }
+                match cmd {
+                    Command::Shutdown => return,
+                    Command::Step { step, params } => {
+                        let mut codeword: Option<Vector> = None;
+                        for (&j, &weight) in partitions.iter().zip(&weights) {
+                            let batch = partitioned.minibatch(j, batch_size, step, seed);
+                            let g = model.gradient_sum(&params, &dataset, &batch);
+                            match &mut codeword {
+                                None => codeword = Some(g.scaled(weight)),
+                                Some(cw) => cw.axpy(weight, &g),
+                            }
+                        }
+                        let codeword = codeword.expect("worker stores >= 1 partition");
+                        let pause = delay(worker, step);
+                        if !pause.is_zero() {
+                            thread::sleep(pause);
+                        }
+                        // The master may have exited already; that's fine.
+                        if tx
+                            .send(Reply {
+                                worker,
+                                step,
+                                codeword,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use isgc_ml::model::LinearRegression;
+    use std::time::Duration;
+
+    #[test]
+    fn worker_computes_codeword_equal_to_partition_sum() {
+        let dataset = Arc::new(Dataset::synthetic_regression(64, 3, 0.1, 2));
+        let model = Arc::new(LinearRegression::new(3));
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (rep_tx, rep_rx) = unbounded();
+        let handle = spawn_worker(
+            1,
+            vec![1, 2],
+            vec![1.0, 1.0],
+            Arc::clone(&model),
+            Arc::clone(&dataset),
+            4,
+            8,
+            9,
+            Arc::new(|_, _| Duration::ZERO),
+            cmd_rx,
+            rep_tx,
+        );
+        let params = Arc::new(model.zero_params());
+        cmd_tx
+            .send(Command::Step {
+                step: 5,
+                params: Arc::clone(&params),
+            })
+            .unwrap();
+        let reply = rep_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.worker, 1);
+        assert_eq!(reply.step, 5);
+        // Recompute the expected codeword on this thread.
+        let partitioned = dataset.partition(4);
+        let mut expected =
+            model.gradient_sum(&params, &dataset, &partitioned.minibatch(1, 8, 5, 9));
+        expected.axpy(
+            1.0,
+            &model.gradient_sum(&params, &dataset, &partitioned.minibatch(2, 8, 5, 9)),
+        );
+        assert_eq!(reply.codeword.as_slice(), expected.as_slice());
+        cmd_tx.send(Command::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn worker_skips_to_newest_step() {
+        let dataset = Arc::new(Dataset::synthetic_regression(32, 2, 0.1, 3));
+        let model = Arc::new(LinearRegression::new(2));
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (rep_tx, rep_rx) = unbounded();
+        let handle = spawn_worker(
+            0,
+            vec![0],
+            vec![1.0],
+            Arc::clone(&model),
+            dataset,
+            4,
+            4,
+            1,
+            Arc::new(|_, _| Duration::ZERO),
+            cmd_rx,
+            rep_tx,
+        );
+        let params = Arc::new(model.zero_params());
+        // Queue three steps before the worker can start; it may reply to the
+        // first (already received) but must then jump to the newest.
+        for step in [1u64, 2, 3] {
+            cmd_tx
+                .send(Command::Step {
+                    step,
+                    params: Arc::clone(&params),
+                })
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        while let Ok(r) = rep_rx.recv_timeout(Duration::from_millis(500)) {
+            seen.push(r.step);
+            if r.step == 3 {
+                break;
+            }
+        }
+        assert!(
+            seen.contains(&3),
+            "latest step must be served, got {seen:?}"
+        );
+        assert!(
+            !seen.contains(&2) || seen.len() < 3,
+            "step 2 should usually be skipped"
+        );
+        cmd_tx.send(Command::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn worker_exits_when_master_drops() {
+        let dataset = Arc::new(Dataset::synthetic_regression(16, 2, 0.1, 4));
+        let model = Arc::new(LinearRegression::new(2));
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (rep_tx, _rep_rx) = unbounded();
+        let handle = spawn_worker(
+            0,
+            vec![0],
+            vec![1.0],
+            model,
+            dataset,
+            2,
+            4,
+            1,
+            Arc::new(|_, _| Duration::ZERO),
+            cmd_rx,
+            rep_tx,
+        );
+        drop(cmd_tx);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,214 @@
+//! Uncoded partial-recovery baseline (paper §II, refs \[19\]–\[21\], \[27\]).
+//!
+//! Instead of one summed codeword per worker, a worker can upload each of
+//! its `c` partition gradients as a *separate message* as soon as it is
+//! computed ("utilize the resources on stragglers"). At a given deadline the
+//! master then owns every partition whose *any* replica message arrived —
+//! no decoding needed — at the price of `c×` the messages and `c×` the
+//! uplink bytes.
+//!
+//! This module quantifies that trade against IS-GC at equal deadlines: how
+//! many partitions each approach recovers, and how many vector-messages each
+//! consumes.
+
+use isgc_core::decode::Decoder;
+use isgc_core::{Placement, WorkerSet};
+use rand::Rng;
+
+use crate::delay::Delay;
+
+/// Timing parameters of the per-message arrival model.
+///
+/// Worker `w`'s `k`-th partition gradient (0-indexed, in
+/// [`Placement::partitions_of`] order) is computed at
+/// `(k + 1) · compute_time_per_partition`, then uploaded in `comm_time`;
+/// the worker's per-step straggle delay (sampled once per worker per step)
+/// shifts all of its messages. The IS-GC codeword of the same worker leaves
+/// after *all* `c` computations: `c · compute + comm + straggle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialUploadModel {
+    /// Time to compute one partition's gradient.
+    pub compute_time_per_partition: f64,
+    /// Time to upload one gradient-sized message.
+    pub comm_time: f64,
+    /// Per-worker, per-step straggle delay.
+    pub straggle: Delay,
+}
+
+/// Outcome of one deadline comparison, averaged over trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineComparison {
+    /// The deadline both approaches were given.
+    pub deadline: f64,
+    /// Mean partitions recovered by IS-GC (one codeword per worker).
+    pub isgc_recovered: f64,
+    /// Mean partitions recovered by uncoded partial upload.
+    pub uncoded_recovered: f64,
+    /// Mean messages the master received from IS-GC workers.
+    pub isgc_messages: f64,
+    /// Mean messages the master received under uncoded partial upload.
+    pub uncoded_messages: f64,
+}
+
+/// Compares IS-GC against uncoded partial upload at a fixed deadline.
+///
+/// Both approaches see the *same* sampled straggle delays in each trial, so
+/// the comparison is paired.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, the deadline is negative, or the model's base
+/// times are negative.
+pub fn compare_at_deadline<R: Rng>(
+    placement: &Placement,
+    decoder: &dyn Decoder,
+    model: &PartialUploadModel,
+    deadline: f64,
+    trials: usize,
+    rng: &mut R,
+) -> DeadlineComparison {
+    assert!(trials > 0, "trials must be positive");
+    assert!(deadline >= 0.0, "negative deadline");
+    assert!(
+        model.compute_time_per_partition >= 0.0 && model.comm_time >= 0.0,
+        "negative base times"
+    );
+    let n = placement.n();
+    let c = placement.c();
+    let mut isgc_recovered = 0usize;
+    let mut uncoded_recovered = 0usize;
+    let mut isgc_messages = 0usize;
+    let mut uncoded_messages = 0usize;
+
+    for _ in 0..trials {
+        // One straggle sample per worker, shared by both approaches.
+        let straggles: Vec<f64> = (0..n).map(|w| model.straggle.sample(w, rng)).collect();
+
+        // IS-GC: codeword of worker w arrives after all c computations.
+        let mut available = WorkerSet::empty(n);
+        for (w, &s) in straggles.iter().enumerate() {
+            let arrival = c as f64 * model.compute_time_per_partition + model.comm_time + s;
+            if arrival <= deadline {
+                available.insert(w);
+            }
+        }
+        isgc_messages += available.len();
+        isgc_recovered += decoder.decode(&available, rng).recovered_count();
+
+        // Uncoded: message k of worker w arrives after k+1 computations
+        // (uploads pipeline behind compute).
+        let mut have = vec![false; n];
+        for (w, &s) in straggles.iter().enumerate() {
+            for (k, &j) in placement.partitions_of(w).iter().enumerate() {
+                let arrival =
+                    (k + 1) as f64 * model.compute_time_per_partition + model.comm_time + s;
+                if arrival <= deadline {
+                    uncoded_messages += 1;
+                    have[j] = true;
+                }
+            }
+        }
+        uncoded_recovered += have.iter().filter(|&&h| h).count();
+    }
+
+    let t = trials as f64;
+    DeadlineComparison {
+        deadline,
+        isgc_recovered: isgc_recovered as f64 / t,
+        uncoded_recovered: uncoded_recovered as f64 / t,
+        isgc_messages: isgc_messages as f64 / t,
+        uncoded_messages: uncoded_messages as f64 / t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isgc_core::decode::CrDecoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Placement, CrDecoder, PartialUploadModel) {
+        let placement = Placement::cyclic(8, 2).unwrap();
+        let decoder = CrDecoder::new(&placement).unwrap();
+        let model = PartialUploadModel {
+            compute_time_per_partition: 0.1,
+            comm_time: 0.05,
+            straggle: Delay::Exponential { mean: 0.5 },
+        };
+        (placement, decoder, model)
+    }
+
+    #[test]
+    fn generous_deadline_recovers_everything_both_ways() {
+        let (p, d, m) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cmp = compare_at_deadline(&p, &d, &m, 1e9, 50, &mut rng);
+        assert_eq!(cmp.isgc_recovered, 8.0);
+        assert_eq!(cmp.uncoded_recovered, 8.0);
+        // Message counts: n codewords vs n·c messages.
+        assert_eq!(cmp.isgc_messages, 8.0);
+        assert_eq!(cmp.uncoded_messages, 16.0);
+    }
+
+    #[test]
+    fn zero_deadline_recovers_nothing() {
+        let (p, d, m) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cmp = compare_at_deadline(&p, &d, &m, 0.0, 20, &mut rng);
+        assert_eq!(cmp.isgc_recovered, 0.0);
+        assert_eq!(cmp.uncoded_recovered, 0.0);
+        assert_eq!(cmp.uncoded_messages, 0.0);
+    }
+
+    #[test]
+    fn uncoded_recovers_at_least_isgc_at_every_deadline() {
+        // Uncoded gets each worker's first partition earlier than the full
+        // codeword and needs no independent-set structure, so per deadline
+        // it recovers at least as much — the price is c× the messages.
+        let (p, d, m) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        for deadline in [0.2, 0.3, 0.5, 1.0, 2.0] {
+            let cmp = compare_at_deadline(&p, &d, &m, deadline, 300, &mut rng);
+            assert!(
+                cmp.uncoded_recovered >= cmp.isgc_recovered - 1e-9,
+                "deadline {deadline}: {} < {}",
+                cmp.uncoded_recovered,
+                cmp.isgc_recovered
+            );
+        }
+    }
+
+    #[test]
+    fn isgc_uses_at_most_one_message_per_worker() {
+        let (p, d, m) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        for deadline in [0.3, 0.6, 1.5] {
+            let cmp = compare_at_deadline(&p, &d, &m, deadline, 200, &mut rng);
+            assert!(cmp.isgc_messages <= 8.0);
+            // Uncoded message count can be up to c× larger.
+            assert!(cmp.uncoded_messages <= 16.0);
+            assert!(cmp.uncoded_messages >= cmp.isgc_messages);
+        }
+    }
+
+    #[test]
+    fn intermediate_deadline_shows_the_tradeoff() {
+        // Pick a deadline where codewords (2 computations) are racing the
+        // deadline: uncoded strictly ahead on recovery, IS-GC strictly
+        // cheaper on messages.
+        let (p, d, m) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cmp = compare_at_deadline(&p, &d, &m, 0.3, 500, &mut rng);
+        assert!(cmp.uncoded_recovered > cmp.isgc_recovered);
+        assert!(cmp.uncoded_messages > cmp.isgc_messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "trials must be positive")]
+    fn zero_trials_panics() {
+        let (p, d, m) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = compare_at_deadline(&p, &d, &m, 1.0, 0, &mut rng);
+    }
+}

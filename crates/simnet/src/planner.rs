@@ -1,0 +1,208 @@
+//! Wait-count planning: predict, before training, which `w` minimizes the
+//! total time-to-threshold — the decision the paper's Fig. 12(d) answers by
+//! measurement.
+//!
+//! The model combines the two first-order effects:
+//!
+//! - **step time**: the expected `w`-th order statistic of worker arrival
+//!   times under the cluster's delay model (estimated by Monte-Carlo);
+//! - **step count**: with the paper's update rule (`ĝ = Σ ḡᵢ`, Theorem 12's
+//!   `η·|D_d|` scaling) progress per step is proportional to the recovered
+//!   fraction, so steps-to-threshold scale as `n / E[recovered(w)]`
+//!   (estimated through the real decoder).
+//!
+//! `expected time(w) ∝ E[step_time(w)] · n / E[recovered(w)]`, and the
+//! planner returns the full profile plus the argmin.
+
+use isgc_core::decode::Decoder;
+use isgc_core::{Placement, WorkerSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cluster::{ClusterConfig, ClusterSim};
+use crate::policy::WaitPolicy;
+
+/// The planner's estimate for one wait count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitPlan {
+    /// The wait count this row describes.
+    pub w: usize,
+    /// Expected step duration (seconds).
+    pub step_time: f64,
+    /// Expected recovered partitions per step.
+    pub recovered: f64,
+    /// Relative time-to-threshold estimate: `step_time · n / recovered`
+    /// (arbitrary units — only comparisons across `w` are meaningful).
+    pub relative_total_time: f64,
+}
+
+/// Profiles every `w ∈ 1..=n` and returns the estimates sorted by `w`.
+///
+/// `trials` Monte-Carlo steps per `w` (hundreds suffice; arrival sampling is
+/// cheap).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, or the decoder/placement/cluster sizes disagree.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::decode::CrDecoder;
+/// use isgc_core::Placement;
+/// use isgc_simnet::cluster::ClusterConfig;
+/// use isgc_simnet::planner::plan_wait_counts;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let placement = Placement::cyclic(4, 2)?;
+/// let decoder = CrDecoder::new(&placement)?;
+/// let plans = plan_wait_counts(
+///     &placement,
+///     &decoder,
+///     ClusterConfig::uniform(4, 0.1, 0.05),
+///     200,
+///     7,
+/// );
+/// assert_eq!(plans.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn plan_wait_counts(
+    placement: &Placement,
+    decoder: &dyn Decoder,
+    cluster: ClusterConfig,
+    trials: usize,
+    seed: u64,
+) -> Vec<WaitPlan> {
+    assert!(trials > 0, "trials must be positive");
+    let n = placement.n();
+    assert_eq!(cluster.n, n, "cluster size must match placement");
+    assert_eq!(decoder.n(), n, "decoder size must match placement");
+    let c = placement.c();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let mut plans = Vec::with_capacity(n);
+    for w in 1..=n {
+        // E[step time]: fresh simulator per w so every w sees the same
+        // arrival distribution (not the same draws — that's fine for means).
+        let mut sim = ClusterSim::new(cluster.clone(), seed.wrapping_add(w as u64));
+        let policy = WaitPolicy::WaitForCount(w);
+        let mut time_total = 0.0;
+        for step in 0..trials {
+            time_total += sim.run_step(c, &policy, step).duration;
+        }
+        // E[recovered]: uniform random w-subsets through the real decoder.
+        let mut recovered_total = 0usize;
+        for _ in 0..trials {
+            let avail = WorkerSet::random_subset(n, w, &mut rng);
+            recovered_total += decoder.decode(&avail, &mut rng).recovered_count();
+        }
+        let step_time = time_total / trials as f64;
+        let recovered = recovered_total as f64 / trials as f64;
+        let relative_total_time = if recovered > 0.0 {
+            step_time * n as f64 / recovered
+        } else {
+            f64::INFINITY
+        };
+        plans.push(WaitPlan {
+            w,
+            step_time,
+            recovered,
+            relative_total_time,
+        });
+    }
+    plans
+}
+
+/// The `w` minimizing the planner's relative time-to-threshold.
+///
+/// # Panics
+///
+/// Panics if `plans` is empty.
+pub fn best_wait_count(plans: &[WaitPlan]) -> usize {
+    plans
+        .iter()
+        .min_by(|a, b| a.relative_total_time.total_cmp(&b.relative_total_time))
+        .expect("non-empty plans")
+        .w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::StragglerSelection;
+    use crate::delay::Delay;
+    use isgc_core::decode::{CrDecoder, FrDecoder};
+
+    fn cloudy(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            n,
+            compute_time_per_partition: 0.05,
+            comm_time: 0.1,
+            jitter: Delay::Exponential { mean: 0.4 },
+            straggler_delay: Delay::none(),
+            stragglers: StragglerSelection::None,
+        }
+    }
+
+    #[test]
+    fn profiles_are_monotone_where_theory_says_so() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let decoder = CrDecoder::new(&placement).unwrap();
+        let plans = plan_wait_counts(&placement, &decoder, cloudy(4), 2000, 1);
+        assert_eq!(plans.len(), 4);
+        // Step time strictly increases with w (larger order statistic).
+        for pair in plans.windows(2) {
+            assert!(pair[1].step_time > pair[0].step_time);
+        }
+        // Recovery is non-decreasing in w.
+        for pair in plans.windows(2) {
+            assert!(pair[1].recovered >= pair[0].recovered - 1e-9);
+        }
+    }
+
+    #[test]
+    fn planner_reproduces_fig12d_optimum() {
+        // The paper's Fig. 12(d): with n = 4, c = 2 on a communication-
+        // jittery cluster, total training time is U-shaped with the optimum
+        // at an interior w (measured w = 2 for FR in our fig12 run).
+        let placement = Placement::fractional(4, 2).unwrap();
+        let decoder = FrDecoder::new(&placement).unwrap();
+        let plans = plan_wait_counts(&placement, &decoder, cloudy(4), 4000, 2);
+        let best = best_wait_count(&plans);
+        assert!(
+            (1..=3).contains(&best),
+            "expected an interior optimum, got w = {best}: {plans:?}"
+        );
+        // And the edges must be worse than the optimum.
+        let t = |w: usize| plans[w - 1].relative_total_time;
+        assert!(t(best) < t(4), "waiting for everyone should lose");
+    }
+
+    #[test]
+    fn planner_prefers_full_wait_without_stragglers() {
+        // Deterministic cluster: no straggling, so waiting for everyone
+        // costs nothing extra and maximizes recovery.
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let decoder = CrDecoder::new(&placement).unwrap();
+        let plans = plan_wait_counts(
+            &placement,
+            &decoder,
+            ClusterConfig::uniform(4, 0.1, 0.05),
+            200,
+            3,
+        );
+        // In CR(4,2) any 3 workers already recover everything, so w = 3 and
+        // w = 4 tie at the optimum; both dominate the partial-recovery w's.
+        let best = best_wait_count(&plans);
+        assert!(best >= 3, "best w = {best}: {plans:?}");
+        assert!(plans[best - 1].relative_total_time < plans[0].relative_total_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster size")]
+    fn size_mismatch_panics() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let decoder = CrDecoder::new(&placement).unwrap();
+        let _ = plan_wait_counts(&placement, &decoder, cloudy(6), 10, 0);
+    }
+}

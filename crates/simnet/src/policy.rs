@@ -1,0 +1,206 @@
+//! Master wait policies.
+//!
+//! IS-GC's defining freedom (paper §IV): "the number of stragglers can be
+//! arbitrarily chosen in each step. For example, we can set a deadline in
+//! each step … We may also choose to receive gradients from fewer workers at
+//! the beginning to save time, and then from more workers afterwards."
+
+use isgc_core::WorkerSet;
+
+/// When the master stops waiting for coded gradients in a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaitPolicy {
+    /// Accept the `w` fastest workers (`ray.wait(w)` in the paper's
+    /// implementation).
+    WaitForCount(usize),
+    /// Accept every worker (synchronous SGD / classic GC with `w = n`).
+    All,
+    /// Accept whoever arrived by the deadline; the step ends at the deadline
+    /// (or earlier if all `n` workers arrived).
+    Deadline(f64),
+    /// Linearly ramp the wait count from `start` to `end` over the first
+    /// `ramp_steps` steps — the paper's "fewer workers at the beginning,
+    /// more afterwards".
+    Ramp {
+        /// Wait count at step 0.
+        start: usize,
+        /// Wait count from `ramp_steps` onward.
+        end: usize,
+        /// Number of steps over which to interpolate.
+        ramp_steps: usize,
+    },
+}
+
+/// The resolution of a wait policy against one step's arrival times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitOutcome {
+    /// The available workers `W'`.
+    pub available: WorkerSet,
+    /// Wall-clock duration of the step (time the master stopped waiting).
+    pub duration: f64,
+}
+
+impl WaitPolicy {
+    /// The wait count in effect at `step`, where applicable.
+    ///
+    /// Returns `None` for [`WaitPolicy::Deadline`].
+    pub fn count_at(&self, step: usize, n: usize) -> Option<usize> {
+        match self {
+            WaitPolicy::WaitForCount(w) => Some(*w),
+            WaitPolicy::All => Some(n),
+            WaitPolicy::Deadline(_) => None,
+            WaitPolicy::Ramp {
+                start,
+                end,
+                ramp_steps,
+            } => {
+                if *ramp_steps == 0 || step >= *ramp_steps {
+                    Some(*end)
+                } else {
+                    // Linear interpolation, rounding down.
+                    let frac = step as f64 / *ramp_steps as f64;
+                    let w = *start as f64 + frac * (*end as f64 - *start as f64);
+                    Some(w.floor() as usize)
+                }
+            }
+        }
+    }
+
+    /// Resolves the policy against the step's arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is empty, a count exceeds `arrivals.len()`, a
+    /// count is zero, or a deadline is negative.
+    pub fn select(&self, arrivals: &[f64], step: usize) -> WaitOutcome {
+        let n = arrivals.len();
+        assert!(n > 0, "no workers");
+        match self {
+            WaitPolicy::Deadline(deadline) => {
+                assert!(*deadline >= 0.0, "negative deadline");
+                let mut available = WorkerSet::empty(n);
+                let mut last_arrival: f64 = 0.0;
+                for (w, &t) in arrivals.iter().enumerate() {
+                    if t <= *deadline {
+                        available.insert(w);
+                        last_arrival = last_arrival.max(t);
+                    }
+                }
+                // If everyone arrived early the master proceeds immediately.
+                let duration = if available.len() == n {
+                    last_arrival
+                } else {
+                    *deadline
+                };
+                WaitOutcome {
+                    available,
+                    duration,
+                }
+            }
+            _ => {
+                let w = self.count_at(step, n).expect("count-based policy").max(1);
+                assert!(w <= n, "cannot wait for {w} of {n} workers");
+                // Workers sorted by arrival; ties broken by index (stable).
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| arrivals[a].total_cmp(&arrivals[b]).then(a.cmp(&b)));
+                let chosen = &order[..w];
+                let duration = chosen.iter().map(|&i| arrivals[i]).fold(0.0_f64, f64::max);
+                WaitOutcome {
+                    available: WorkerSet::from_indices(n, chosen.iter().copied()),
+                    duration,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_for_count_takes_fastest() {
+        let arrivals = [3.0, 1.0, 2.0, 10.0];
+        let out = WaitPolicy::WaitForCount(2).select(&arrivals, 0);
+        assert_eq!(out.available.to_vec(), vec![1, 2]);
+        assert_eq!(out.duration, 2.0);
+    }
+
+    #[test]
+    fn all_waits_for_slowest() {
+        let arrivals = [3.0, 1.0, 2.0, 10.0];
+        let out = WaitPolicy::All.select(&arrivals, 5);
+        assert_eq!(out.available.len(), 4);
+        assert_eq!(out.duration, 10.0);
+    }
+
+    #[test]
+    fn deadline_cuts_off() {
+        let arrivals = [0.5, 1.5, 0.9, 4.0];
+        let out = WaitPolicy::Deadline(1.0).select(&arrivals, 0);
+        assert_eq!(out.available.to_vec(), vec![0, 2]);
+        assert_eq!(out.duration, 1.0);
+    }
+
+    #[test]
+    fn deadline_ends_early_when_all_arrive() {
+        let arrivals = [0.5, 0.2, 0.9];
+        let out = WaitPolicy::Deadline(100.0).select(&arrivals, 0);
+        assert_eq!(out.available.len(), 3);
+        assert_eq!(out.duration, 0.9);
+    }
+
+    #[test]
+    fn deadline_may_select_nobody() {
+        let arrivals = [5.0, 6.0];
+        let out = WaitPolicy::Deadline(1.0).select(&arrivals, 0);
+        assert!(out.available.is_empty());
+        assert_eq!(out.duration, 1.0);
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let p = WaitPolicy::Ramp {
+            start: 2,
+            end: 6,
+            ramp_steps: 4,
+        };
+        assert_eq!(p.count_at(0, 8), Some(2));
+        assert_eq!(p.count_at(1, 8), Some(3));
+        assert_eq!(p.count_at(2, 8), Some(4));
+        assert_eq!(p.count_at(4, 8), Some(6));
+        assert_eq!(p.count_at(100, 8), Some(6));
+        // Zero ramp length jumps straight to `end`.
+        let p0 = WaitPolicy::Ramp {
+            start: 1,
+            end: 3,
+            ramp_steps: 0,
+        };
+        assert_eq!(p0.count_at(0, 4), Some(3));
+    }
+
+    #[test]
+    fn ramp_select_uses_step_count() {
+        let p = WaitPolicy::Ramp {
+            start: 1,
+            end: 3,
+            ramp_steps: 2,
+        };
+        let arrivals = [1.0, 2.0, 3.0];
+        assert_eq!(p.select(&arrivals, 0).available.len(), 1);
+        assert_eq!(p.select(&arrivals, 10).available.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let arrivals = [1.0, 1.0, 1.0];
+        let out = WaitPolicy::WaitForCount(2).select(&arrivals, 0);
+        assert_eq!(out.available.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot wait for")]
+    fn oversized_count_panics() {
+        WaitPolicy::WaitForCount(5).select(&[1.0, 2.0], 0);
+    }
+}

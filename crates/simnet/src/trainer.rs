@@ -1,0 +1,1001 @@
+//! End-to-end simulated training (the pipeline behind paper Figs. 11–13).
+//!
+//! Each step mirrors the paper's Ray implementation (§VIII-A):
+//!
+//! 1. every worker computes the gradient of each of its `c` partitions on a
+//!    *deterministic* mini-batch (replicas of a partition use identical
+//!    batches, so their gradients agree bit-for-bit);
+//! 2. the worker encodes its codeword (plain sum for IS-GC, coefficient
+//!    combination for classic GC) and "uploads" it — the simulated cluster
+//!    supplies the arrival time;
+//! 3. the master stops waiting per its [`WaitPolicy`], decodes whatever
+//!    arrived, normalizes, and applies an SGD update broadcast to all
+//!    replicas;
+//! 4. repeat until the training loss reaches a threshold.
+//!
+//! Per-partition gradients are computed once and shared between worker
+//! replicas — numerically identical to computing them on each worker, since
+//! batches are deterministic per partition.
+
+use isgc_core::classic::ClassicGc;
+use isgc_core::decode::{ArrivalOrderDecoder, CrDecoder, Decoder, FrDecoder, HrDecoder};
+use isgc_core::encode::SumEncoder;
+use isgc_core::{Placement, Scheme};
+use isgc_linalg::Vector;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::Model;
+use isgc_ml::optimizer::{LrSchedule, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cluster::{ClusterConfig, ClusterSim};
+use crate::policy::WaitPolicy;
+
+/// Which straggler-mitigation scheme the master runs.
+#[derive(Debug, Clone)]
+pub enum CodingScheme {
+    /// Plain synchronous SGD: `c = 1`, the master needs every worker
+    /// (pair with [`WaitPolicy::All`]).
+    Synchronous,
+    /// IS-SGD (k-sync SGD): `c = 1`, gradients of stragglers are dropped.
+    IgnoreStragglerSgd,
+    /// Classic GC on an FR placement: exact recovery from any `n − c + 1`
+    /// workers, nothing from fewer.
+    ClassicFr {
+        /// Partitions per worker.
+        c: usize,
+    },
+    /// Classic GC on a CR placement (Tandon et al. coefficients).
+    ClassicCr {
+        /// Partitions per worker.
+        c: usize,
+    },
+    /// IS-GC with the given placement (FR, CR, or HR): maximal partial
+    /// recovery from an arbitrary worker subset.
+    IsGc(Placement),
+    /// Ablation: IS-GC with the *arrival-order greedy* decoder of Fig. 3
+    /// instead of the optimal one — quantifies what the paper's maximum-
+    /// independent-set decoders buy.
+    IsGcArrivalOrder(Placement),
+}
+
+impl CodingScheme {
+    /// Partitions stored per worker.
+    pub fn c(&self) -> usize {
+        match self {
+            CodingScheme::Synchronous | CodingScheme::IgnoreStragglerSgd => 1,
+            CodingScheme::ClassicFr { c } | CodingScheme::ClassicCr { c } => *c,
+            CodingScheme::IsGc(p) | CodingScheme::IsGcArrivalOrder(p) => p.c(),
+        }
+    }
+
+    /// Human-readable label used by the experiment binaries.
+    pub fn label(&self) -> String {
+        match self {
+            CodingScheme::Synchronous => "SyncSGD".to_string(),
+            CodingScheme::IgnoreStragglerSgd => "IS-SGD".to_string(),
+            CodingScheme::ClassicFr { c } => format!("GC-FR(c={c})"),
+            CodingScheme::ClassicCr { c } => format!("GC-CR(c={c})"),
+            CodingScheme::IsGc(p) => format!("IS-GC-{}(c={})", p.scheme(), p.c()),
+            CodingScheme::IsGcArrivalOrder(p) => {
+                format!("IS-GC-{}-arrival(c={})", p.scheme(), p.c())
+            }
+        }
+    }
+}
+
+/// How the decoded gradient `ĝ` is normalized before the SGD update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradientNormalization {
+    /// Paper-faithful: `ĝ = Σ_{i∈I} ḡ_i`, the sum of per-partition batch
+    /// *means*. The update magnitude scales with the number of recovered
+    /// partitions — exactly the `η·|D_d|` factor in Theorem 12 — so partial
+    /// recovery takes proportionally smaller steps and more of them
+    /// (Fig. 12(b)).
+    #[default]
+    SumOfPartitionMeans,
+    /// `ĝ` averaged over every recovered sample: an unbiased gradient
+    /// estimate whose magnitude is independent of the recovery level (only
+    /// its variance changes). Useful as an ablation.
+    MeanOverRecovered,
+}
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// Mini-batch size per partition (the paper's 64 or 128).
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum (0 disables).
+    pub momentum: f64,
+    /// Stop when the full-dataset training loss reaches this value.
+    pub loss_threshold: f64,
+    /// Hard cap on the number of steps.
+    pub max_steps: usize,
+    /// Seed controlling parameter init, mini-batches, and decoding choices
+    /// (the cluster's arrival RNG is seeded separately by the caller).
+    pub seed: u64,
+    /// Gradient normalization rule (paper-faithful by default).
+    pub normalization: GradientNormalization,
+    /// Learning-rate schedule applied on top of `learning_rate`.
+    pub lr_schedule: LrSchedule,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.0,
+            loss_threshold: 0.05,
+            max_steps: 2000,
+            seed: 0,
+            normalization: GradientNormalization::SumOfPartitionMeans,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Everything measured during a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Whether the loss threshold was reached before `max_steps`.
+    pub reached_threshold: bool,
+    /// Total simulated wall-clock time (sum of step durations).
+    pub sim_time: f64,
+    /// Full-dataset training loss after each step.
+    pub loss_curve: Vec<f64>,
+    /// Fraction of partitions recovered in each step (`|I|·c / n`).
+    pub recovered_fractions: Vec<f64>,
+    /// Duration of each step.
+    pub step_durations: Vec<f64>,
+    /// Steps where classic GC could not decode (too many stragglers).
+    pub failed_decodes: usize,
+    /// Codewords the master accepted in each step (`|W'|`).
+    pub codewords_received: Vec<usize>,
+}
+
+impl TrainReport {
+    /// Mean per-step recovered fraction (the paper's Fig. 12(a) metric).
+    pub fn mean_recovered_fraction(&self) -> f64 {
+        mean(&self.recovered_fractions)
+    }
+
+    /// Mean per-step duration (Figs. 11, 12(c)).
+    pub fn mean_step_duration(&self) -> f64 {
+        mean(&self.step_durations)
+    }
+
+    /// Final training loss (last entry of the loss curve).
+    pub fn final_loss(&self) -> f64 {
+        self.loss_curve.last().copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// The `q`-quantile of per-step durations (e.g. `0.99` for the tail the
+    /// straggler literature cares about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no steps ran or `q` is outside `[0, 1]`.
+    pub fn step_duration_quantile(&self, q: f64) -> f64 {
+        isgc_ml::metrics::quantile(&self.step_durations, q)
+    }
+
+    /// Total uplink volume over the run, assuming `dim`-dimensional `f64`
+    /// gradient codewords: one vector per accepted worker per step.
+    ///
+    /// IS-GC's communication advantage over multi-message partial upload
+    /// (see `isgc_simnet::partial`) shows up here: the count is independent
+    /// of `c`.
+    pub fn total_upload_bytes(&self, dim: usize) -> usize {
+        self.codewords_received.iter().sum::<usize>() * dim * 8
+    }
+}
+
+impl std::fmt::Display for TrainReport {
+    /// One-paragraph human-readable summary.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps in {:.2}s sim-time ({:.3}s/step), final loss {:.4}, \
+             {:.1}% gradients recovered on average, {}{}",
+            self.steps,
+            self.sim_time,
+            self.mean_step_duration(),
+            self.final_loss(),
+            100.0 * self.mean_recovered_fraction(),
+            if self.reached_threshold {
+                "reached the loss threshold"
+            } else {
+                "stopped at the step cap"
+            },
+            if self.failed_decodes > 0 {
+                format!(" ({} failed decodes)", self.failed_decodes)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Internal: master-side decoding machinery per scheme.
+enum MasterCodec {
+    /// IS-GC (also covers sync SGD and IS-SGD via a `c = 1` placement).
+    Summed {
+        placement: Placement,
+        decoder: Box<dyn Decoder>,
+        encoder: SumEncoder,
+    },
+    /// Classic GC: coefficient decode to the exact full gradient.
+    Classic(ClassicGc),
+}
+
+fn build_codec(scheme: &CodingScheme, n: usize, rng: &mut StdRng) -> MasterCodec {
+    match scheme {
+        CodingScheme::Synchronous | CodingScheme::IgnoreStragglerSgd => {
+            // c = 1: each worker holds exactly its own partition. The CR
+            // decoder with c = 1 selects every available worker.
+            let placement = Placement::cyclic(n, 1).expect("n >= 1");
+            let decoder = CrDecoder::new(&placement).expect("CR placement");
+            let encoder = SumEncoder::new(&placement);
+            MasterCodec::Summed {
+                placement,
+                decoder: Box::new(decoder),
+                encoder,
+            }
+        }
+        CodingScheme::ClassicFr { c } => {
+            MasterCodec::Classic(ClassicGc::fractional(n, *c).expect("valid FR parameters"))
+        }
+        CodingScheme::ClassicCr { c } => {
+            MasterCodec::Classic(ClassicGc::cyclic(n, *c, rng).expect("valid CR parameters"))
+        }
+        CodingScheme::IsGc(placement) => {
+            let decoder: Box<dyn Decoder> = match placement.scheme() {
+                Scheme::Fractional => Box::new(FrDecoder::new(placement).expect("FR placement")),
+                Scheme::Cyclic => Box::new(CrDecoder::new(placement).expect("CR placement")),
+                Scheme::Hybrid => Box::new(HrDecoder::new(placement).expect("HR placement")),
+                Scheme::Custom => Box::new(isgc_core::decode::ExactDecoder::new(placement)),
+            };
+            MasterCodec::Summed {
+                placement: placement.clone(),
+                decoder,
+                encoder: SumEncoder::new(placement),
+            }
+        }
+        CodingScheme::IsGcArrivalOrder(placement) => MasterCodec::Summed {
+            placement: placement.clone(),
+            decoder: Box::new(ArrivalOrderDecoder::new(placement)),
+            encoder: SumEncoder::new(placement),
+        },
+    }
+}
+
+/// Runs one full simulated training job.
+///
+/// The model starts from `model.init_params` seeded by `config.seed`, so
+/// different schemes with the same seed start from identical parameters —
+/// the paper's "same random seeds in different schemes so that the same
+/// values of parameters are initialized … to make the comparisons fair".
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration: `cluster.n` not matching the
+/// scheme's placement size, `batch_size == 0`, `max_steps == 0`, a
+/// classification/regression mismatch between model and data, or a wait
+/// policy invalid for `n`.
+pub fn train<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    policy: &WaitPolicy,
+    cluster: ClusterConfig,
+    config: &TrainingConfig,
+) -> TrainReport {
+    train_impl(model, dataset, scheme, cluster, config, |_, _| {
+        policy.clone()
+    })
+}
+
+/// Runs a training job with a **closed-loop adaptive wait policy** (paper
+/// §IV's "fewer workers at the beginning, more afterwards", driven by
+/// observed loss instead of a fixed schedule).
+///
+/// The controller sees the training loss after every step and chooses the
+/// wait count for the next one; its decisions are recorded in
+/// [`crate::adaptive::AdaptiveWaitController::w_history`].
+///
+/// # Panics
+///
+/// As [`train`], plus if the controller's `max_w` exceeds the cluster size.
+pub fn train_adaptive<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    controller: &mut crate::adaptive::AdaptiveWaitController,
+    cluster: ClusterConfig,
+    config: &TrainingConfig,
+) -> TrainReport {
+    train_impl(model, dataset, scheme, cluster, config, |_, last_loss| {
+        if let Some(loss) = last_loss {
+            controller.observe(loss);
+        }
+        WaitPolicy::WaitForCount(controller.current_w())
+    })
+}
+
+/// Runs a training job whose arrival times replay a
+/// [`crate::trace::StragglerTrace`]
+/// instead of being sampled fresh — for studying recorded or synthetic
+/// *time-correlated* straggler behavior (e.g. the enduring stragglers of a
+/// [`crate::trace::MarkovStragglerModel`]).
+///
+/// # Panics
+///
+/// As [`train`], plus if the trace's worker count differs from the scheme's
+/// placement size.
+pub fn train_on_trace<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    policy: &WaitPolicy,
+    sim: crate::trace::TraceClusterSim,
+    config: &TrainingConfig,
+) -> TrainReport {
+    let n = sim.trace().n();
+    train_loop(model, dataset, scheme, n, sim, config, |_, _| {
+        policy.clone()
+    })
+}
+
+/// Anything that can produce one step's arrival outcome.
+trait ArrivalSampler {
+    fn step(&mut self, c: usize, policy: &WaitPolicy, step: usize) -> crate::cluster::StepOutcome;
+}
+
+impl ArrivalSampler for ClusterSim {
+    fn step(&mut self, c: usize, policy: &WaitPolicy, step: usize) -> crate::cluster::StepOutcome {
+        self.run_step(c, policy, step)
+    }
+}
+
+impl ArrivalSampler for crate::trace::TraceClusterSim {
+    fn step(&mut self, c: usize, policy: &WaitPolicy, _step: usize) -> crate::cluster::StepOutcome {
+        self.run_step(c, policy)
+    }
+}
+
+/// Shared training loop; `policy_for_step(step, last_loss)` yields the wait
+/// policy for each step.
+fn train_impl<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    cluster: ClusterConfig,
+    config: &TrainingConfig,
+    policy_for_step: impl FnMut(usize, Option<f64>) -> WaitPolicy,
+) -> TrainReport {
+    let n = cluster.n;
+    let sim = ClusterSim::new(cluster, config.seed.wrapping_add(0xA5A5_5A5A));
+    train_loop(model, dataset, scheme, n, sim, config, policy_for_step)
+}
+
+/// The actual loop, generic over the arrival source.
+fn train_loop<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    n: usize,
+    mut sim: impl ArrivalSampler,
+    config: &TrainingConfig,
+    mut policy_for_step: impl FnMut(usize, Option<f64>) -> WaitPolicy,
+) -> TrainReport {
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    assert!(config.max_steps > 0, "max_steps must be positive");
+    if let CodingScheme::IsGc(p) | CodingScheme::IsGcArrivalOrder(p) = scheme {
+        assert_eq!(p.n(), n, "placement size must match cluster size");
+    }
+    let c = scheme.c();
+    let partitions = dataset.partition(n);
+    let all_indices: Vec<usize> = (0..dataset.len()).collect();
+
+    // Separate RNG streams: parameter init and decode/codec randomness.
+    // Parameter init gets its own stream so every scheme starts from
+    // identical parameters under the same seed (the paper's fairness-of-
+    // comparison requirement), regardless of how much randomness codec
+    // construction consumes.
+    let mut param_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x517C_C1B7_2722_0A95));
+    let mut master_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let codec = build_codec(scheme, n, &mut master_rng);
+
+    let mut params = model.init_params(&mut param_rng);
+    let dim = params.len();
+    let mut opt = if config.momentum > 0.0 {
+        Sgd::with_momentum(config.learning_rate, config.momentum)
+    } else {
+        Sgd::new(config.learning_rate)
+    };
+
+    let mut report = TrainReport {
+        steps: 0,
+        reached_threshold: false,
+        sim_time: 0.0,
+        loss_curve: Vec::new(),
+        recovered_fractions: Vec::new(),
+        step_durations: Vec::new(),
+        failed_decodes: 0,
+        codewords_received: Vec::new(),
+    };
+
+    let mut last_loss: Option<f64> = None;
+    for step in 0..config.max_steps {
+        let policy = policy_for_step(step, last_loss);
+        let outcome = sim.step(c, &policy, step);
+        report.sim_time += outcome.duration;
+        report.step_durations.push(outcome.duration);
+        report.codewords_received.push(outcome.available.len());
+
+        // Per-partition summed gradients, computed lazily: replicas of a
+        // partition would compute identical values (deterministic batches),
+        // so one evaluation per partition is exact.
+        let mut partition_grads: Vec<Option<Vector>> = vec![None; n];
+        let mut grad_of = |j: usize, params: &Vector| -> Vector {
+            partition_grads[j]
+                .get_or_insert_with(|| {
+                    let batch =
+                        partitions.minibatch(j, config.batch_size, step as u64, config.seed);
+                    model.gradient_sum(params, dataset, &batch)
+                })
+                .clone()
+        };
+
+        // Master-side decode + update. `recovered_partitions` is |I|·c, the
+        // number of partitions contributing to ĝ.
+        let (g_hat, recovered_partitions): (Option<Vector>, usize) = match &codec {
+            MasterCodec::Summed {
+                placement,
+                decoder,
+                encoder,
+            } => {
+                let result = decoder.decode(&outcome.available, &mut master_rng);
+                let recovered = result.recovered_count();
+                report.recovered_fractions.push(recovered as f64 / n as f64);
+                if recovered == 0 {
+                    (None, 0)
+                } else {
+                    let g = encoder.assemble(&result, dim, |w| {
+                        // Worker w's codeword: sum of its partitions' gradients.
+                        let mut cw = Vector::zeros(dim);
+                        for &j in placement.partitions_of(w) {
+                            cw.axpy(1.0, &grad_of(j, &params));
+                        }
+                        cw
+                    });
+                    (Some(g), recovered)
+                }
+            }
+            MasterCodec::Classic(gc) => {
+                match gc.recover(
+                    &outcome.available,
+                    |w| {
+                        let mut full = Vec::with_capacity(n);
+                        for j in 0..n {
+                            full.push(grad_of(j, &params));
+                        }
+                        gc.encode(w, &full)
+                    },
+                    dim,
+                ) {
+                    Ok(g) => {
+                        report.recovered_fractions.push(1.0);
+                        (Some(g), n)
+                    }
+                    Err(_) => {
+                        report.failed_decodes += 1;
+                        report.recovered_fractions.push(0.0);
+                        (None, 0)
+                    }
+                }
+            }
+        };
+
+        if config.lr_schedule != LrSchedule::Constant {
+            opt.set_learning_rate(config.lr_schedule.rate_at(config.learning_rate, step));
+        }
+        if let Some(mut g) = g_hat {
+            // `g` holds summed per-sample gradients over every recovered
+            // partition's batch.
+            let divisor = match config.normalization {
+                GradientNormalization::SumOfPartitionMeans => config.batch_size,
+                GradientNormalization::MeanOverRecovered => {
+                    recovered_partitions * config.batch_size
+                }
+            };
+            g.scale(1.0 / divisor as f64);
+            opt.step(&mut params, &g);
+        }
+
+        let loss = model.loss_mean(&params, dataset, &all_indices);
+        last_loss = Some(loss);
+        report.loss_curve.push(loss);
+        report.steps = step + 1;
+        if loss <= config.loss_threshold {
+            report.reached_threshold = true;
+            break;
+        }
+    }
+    report
+}
+
+/// Measures per-step durations only (no model training) — sufficient for the
+/// paper's Fig. 11, whose metric depends only on arrival order statistics
+/// and the wait policy.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`, `c == 0`, or the policy is invalid for the
+/// cluster size.
+pub fn measure_step_times(
+    cluster: ClusterConfig,
+    c: usize,
+    policy: &WaitPolicy,
+    steps: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(steps > 0, "steps must be positive");
+    let mut sim = ClusterSim::new(cluster, seed);
+    (0..steps)
+        .map(|t| sim.run_step(c, policy, t).duration)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::StragglerSelection;
+    use crate::delay::Delay;
+    use isgc_ml::model::{LinearRegression, SoftmaxRegression};
+
+    fn quiet_cluster(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            n,
+            compute_time_per_partition: 0.1,
+            comm_time: 0.05,
+            jitter: Delay::Uniform { lo: 0.0, hi: 0.01 },
+            straggler_delay: Delay::none(),
+            stragglers: StragglerSelection::None,
+        }
+    }
+
+    fn straggly_cluster(n: usize, mean: f64, count: usize) -> ClusterConfig {
+        ClusterConfig {
+            n,
+            compute_time_per_partition: 0.1,
+            comm_time: 0.05,
+            jitter: Delay::Uniform { lo: 0.0, hi: 0.01 },
+            straggler_delay: Delay::Exponential { mean },
+            stragglers: StragglerSelection::RandomEachStep(count),
+        }
+    }
+
+    fn regression_setup() -> (LinearRegression, Dataset, TrainingConfig) {
+        let data = Dataset::synthetic_regression(256, 4, 0.05, 11);
+        let model = LinearRegression::new(4);
+        let config = TrainingConfig {
+            batch_size: 16,
+            learning_rate: 0.05,
+            momentum: 0.0,
+            loss_threshold: 0.01,
+            max_steps: 800,
+            seed: 5,
+            normalization: GradientNormalization::default(),
+            lr_schedule: LrSchedule::Constant,
+        };
+        (model, data, config)
+    }
+
+    #[test]
+    fn scheme_metadata() {
+        assert_eq!(CodingScheme::Synchronous.c(), 1);
+        assert_eq!(CodingScheme::IgnoreStragglerSgd.label(), "IS-SGD");
+        assert_eq!(CodingScheme::ClassicFr { c: 2 }.c(), 2);
+        assert_eq!(CodingScheme::ClassicCr { c: 3 }.label(), "GC-CR(c=3)");
+        let p = Placement::cyclic(4, 2).unwrap();
+        assert_eq!(CodingScheme::IsGc(p).label(), "IS-GC-CR(c=2)");
+    }
+
+    #[test]
+    fn synchronous_training_converges() {
+        let (model, data, config) = regression_setup();
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::Synchronous,
+            &WaitPolicy::All,
+            quiet_cluster(4),
+            &config,
+        );
+        assert!(
+            report.reached_threshold,
+            "final loss {}",
+            report.final_loss()
+        );
+        assert_eq!(report.recovered_fractions[0], 1.0);
+        assert_eq!(report.failed_decodes, 0);
+        assert!(report.sim_time > 0.0);
+        assert_eq!(report.loss_curve.len(), report.steps);
+    }
+
+    #[test]
+    fn isgc_converges_with_stragglers_where_waiting_is_partial() {
+        let (model, data, config) = regression_setup();
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(2),
+            straggly_cluster(4, 2.0, 2),
+            &config,
+        );
+        assert!(
+            report.reached_threshold,
+            "final loss {}",
+            report.final_loss()
+        );
+        // With w = 2 and c = 2, recovery is between 50% and 100%.
+        for &f in &report.recovered_fractions {
+            assert!((0.5..=1.0).contains(&f), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn classic_gc_always_fully_recovers_with_enough_workers() {
+        let (model, data, config) = regression_setup();
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::ClassicCr { c: 2 },
+            &WaitPolicy::WaitForCount(3),
+            straggly_cluster(4, 2.0, 1),
+            &config,
+        );
+        assert_eq!(report.failed_decodes, 0);
+        assert!(report.recovered_fractions.iter().all(|&f| f == 1.0));
+        assert!(report.reached_threshold);
+    }
+
+    #[test]
+    fn classic_gc_fails_to_decode_below_minimum() {
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 10;
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::ClassicCr { c: 2 },
+            &WaitPolicy::WaitForCount(2), // below n - c + 1 = 3
+            quiet_cluster(4),
+            &config,
+        );
+        assert_eq!(report.failed_decodes, 10);
+        assert!(!report.reached_threshold);
+        assert!(report.recovered_fractions.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn isgc_recovers_more_than_issgd_at_same_w() {
+        // The paper's core claim (Fig. 12(a)): with the same w, IS-GC
+        // recovers a strictly larger fraction of gradients than IS-SGD.
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 40;
+        config.loss_threshold = 0.0; // run all steps
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let isgc = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(2),
+            straggly_cluster(4, 1.5, 2),
+            &config,
+        );
+        let issgd = train(
+            &model,
+            &data,
+            &CodingScheme::IgnoreStragglerSgd,
+            &WaitPolicy::WaitForCount(2),
+            straggly_cluster(4, 1.5, 2),
+            &config,
+        );
+        assert_eq!(issgd.mean_recovered_fraction(), 0.5); // always w/n
+        assert!(
+            isgc.mean_recovered_fraction() > 0.6,
+            "IS-GC fraction {}",
+            isgc.mean_recovered_fraction()
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_runs() {
+        let (model, data, config) = regression_setup();
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let a = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement.clone()),
+            &WaitPolicy::WaitForCount(3),
+            straggly_cluster(4, 1.0, 1),
+            &config,
+        );
+        let b = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(3),
+            straggly_cluster(4, 1.0, 1),
+            &config,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classification_training_works_end_to_end() {
+        let data = Dataset::gaussian_classification(240, 4, 3, 5.0, 2);
+        let model = SoftmaxRegression::new(4, 3);
+        let config = TrainingConfig {
+            batch_size: 16,
+            learning_rate: 0.1,
+            momentum: 0.5,
+            loss_threshold: 0.1,
+            max_steps: 600,
+            seed: 3,
+            normalization: GradientNormalization::default(),
+            lr_schedule: LrSchedule::Constant,
+        };
+        let placement = Placement::fractional(4, 2).unwrap();
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(2),
+            straggly_cluster(4, 1.0, 2),
+            &config,
+        );
+        assert!(report.reached_threshold, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn adaptive_training_escalates_w_when_loss_stalls() {
+        use crate::adaptive::AdaptiveWaitController;
+        let data = Dataset::synthetic_regression(256, 4, 0.2, 11);
+        let model = LinearRegression::new(4);
+        let mut controller = AdaptiveWaitController::new(1, 4, 10, 0.03);
+        let config = TrainingConfig {
+            batch_size: 16,
+            learning_rate: 0.05,
+            loss_threshold: 0.0, // run the full budget, past the noise floor
+            max_steps: 300,
+            seed: 5,
+            ..TrainingConfig::default()
+        };
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train_adaptive(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &mut controller,
+            straggly_cluster(4, 1.0, 2),
+            &config,
+        );
+        // The controller observes losses from step 1 on (no loss exists
+        // before step 0), so the history is one shorter than the step count.
+        let hist = controller.w_history();
+        assert_eq!(hist.len() + 1, report.steps);
+        assert_eq!(hist[0], 1);
+        // Once descent stalls at the w = 1 noise floor, w must escalate.
+        assert!(*hist.last().unwrap() > 1, "never escalated: {hist:?}");
+        // Escalations are monotone non-decreasing.
+        for pair in hist.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        // And training still made real progress.
+        assert!(report.final_loss() < report.loss_curve[0] / 2.0);
+    }
+
+    #[test]
+    fn adaptive_training_converges_on_reachable_threshold() {
+        use crate::adaptive::AdaptiveWaitController;
+        let data = Dataset::synthetic_regression(256, 4, 0.2, 11);
+        let model = LinearRegression::new(4);
+        let mut controller = AdaptiveWaitController::new(1, 4, 10, 0.03);
+        let config = TrainingConfig {
+            batch_size: 16,
+            learning_rate: 0.05,
+            loss_threshold: 0.025,
+            max_steps: 2000,
+            seed: 5,
+            ..TrainingConfig::default()
+        };
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train_adaptive(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &mut controller,
+            straggly_cluster(4, 1.0, 2),
+            &config,
+        );
+        assert!(report.reached_threshold, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn trace_driven_training_replays_enduring_stragglers() {
+        use crate::trace::{MarkovStragglerModel, StragglerTrace, TraceClusterSim};
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 60;
+        config.loss_threshold = 0.0;
+        // Workers 0 and 1 permanently slow: an explicit trace.
+        let rows: Vec<Vec<f64>> = (0..60).map(|_| vec![5.0, 5.0, 0.0, 0.0]).collect();
+        let sim = TraceClusterSim::new(StragglerTrace::new(rows), 0.05, 0.05);
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train_on_trace(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(2),
+            sim,
+            &config,
+        );
+        // Workers 2, 3 always win the race; they conflict (share partition
+        // 3), so exactly one is selectable: recovery fixed at 2/4.
+        assert!(report
+            .recovered_fractions
+            .iter()
+            .all(|&f| (f - 0.5).abs() < 1e-12));
+        // Steps never wait for the slow pair.
+        assert!(report.step_durations.iter().all(|&d| d < 1.0));
+
+        // A Markov-generated trace also drives training end to end.
+        let markov = MarkovStragglerModel {
+            n: 4,
+            fast: Delay::Uniform { lo: 0.0, hi: 0.01 },
+            slow: Delay::Constant(2.0),
+            p_fast_to_slow: 0.1,
+            p_slow_to_fast: 0.3,
+        };
+        let sim = TraceClusterSim::new(markov.generate(200, 3), 0.05, 0.05);
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train_on_trace(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(3),
+            sim,
+            &config,
+        );
+        assert_eq!(report.steps, 60);
+        assert!(report.mean_recovered_fraction() > 0.5);
+    }
+
+    #[test]
+    fn step_duration_quantiles() {
+        let report = TrainReport {
+            steps: 4,
+            reached_threshold: false,
+            sim_time: 10.0,
+            loss_curve: vec![1.0; 4],
+            recovered_fractions: vec![1.0; 4],
+            step_durations: vec![1.0, 2.0, 3.0, 4.0],
+            failed_decodes: 0,
+            codewords_received: vec![4; 4],
+        };
+        assert_eq!(report.step_duration_quantile(0.0), 1.0);
+        assert_eq!(report.step_duration_quantile(1.0), 4.0);
+        assert_eq!(report.step_duration_quantile(0.5), 2.5);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 5;
+        config.loss_threshold = 0.0;
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::Synchronous,
+            &WaitPolicy::All,
+            quiet_cluster(4),
+            &config,
+        );
+        let text = report.to_string();
+        assert!(text.contains("5 steps"));
+        assert!(text.contains("stopped at the step cap"));
+        assert!(text.contains("100.0% gradients"));
+    }
+
+    #[test]
+    fn communication_accounting_counts_accepted_codewords() {
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 25;
+        config.loss_threshold = 0.0;
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(3),
+            quiet_cluster(4),
+            &config,
+        );
+        assert_eq!(report.codewords_received.len(), 25);
+        assert!(report.codewords_received.iter().all(|&m| m == 3));
+        // 25 steps × 3 codewords × dim 5 (4 weights + bias) × 8 bytes.
+        assert_eq!(report.total_upload_bytes(5), 25 * 3 * 5 * 8);
+    }
+
+    #[test]
+    fn measure_step_times_matches_order_statistics() {
+        // Deterministic cluster: every worker arrives at exactly
+        // c * 0.1 + 0.05; any wait count gives that duration.
+        let times = measure_step_times(
+            ClusterConfig::uniform(6, 0.1, 0.05),
+            2,
+            &WaitPolicy::WaitForCount(3),
+            20,
+            1,
+        );
+        assert_eq!(times.len(), 20);
+        for t in times {
+            assert!((t - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn waiting_for_fewer_workers_is_faster_under_straggling() {
+        let cluster = straggly_cluster(8, 3.0, 8);
+        let t2 = mean(&measure_step_times(
+            cluster.clone(),
+            2,
+            &WaitPolicy::WaitForCount(2),
+            300,
+            7,
+        ));
+        let t8 = mean(&measure_step_times(
+            cluster,
+            2,
+            &WaitPolicy::WaitForCount(8),
+            300,
+            7,
+        ));
+        assert!(t2 < t8, "t2={t2}, t8={t8}");
+    }
+
+    #[test]
+    fn deadline_policy_trains() {
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 100;
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let report = train(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::Deadline(0.3),
+            straggly_cluster(4, 1.0, 1),
+            &config,
+        );
+        // Steps are capped at the deadline whenever someone straggles past it.
+        for &d in &report.step_durations {
+            assert!(d <= 0.3 + 1e-12, "duration {d}");
+        }
+    }
+}

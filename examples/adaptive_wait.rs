@@ -1,0 +1,86 @@
+//! Adaptive waiting: the paper's §IV remark — "receive gradients from fewer
+//! workers at the beginning to save time, and then from more workers
+//! afterwards until convergence" — implemented as a closed-loop controller
+//! that raises `w` whenever the training loss stalls.
+//!
+//! Run with: `cargo run --release --example adaptive_wait`
+
+use isgc::core::Placement;
+use isgc::ml::dataset::Dataset;
+use isgc::ml::model::LinearRegression;
+use isgc::simnet::adaptive::AdaptiveWaitController;
+use isgc::simnet::cluster::{ClusterConfig, StragglerSelection};
+use isgc::simnet::delay::Delay;
+use isgc::simnet::policy::WaitPolicy;
+use isgc::simnet::trainer::{
+    train, train_adaptive, CodingScheme, GradientNormalization, TrainingConfig,
+};
+
+fn main() -> Result<(), isgc::core::Error> {
+    let n = 4;
+    let dataset = Dataset::synthetic_regression(256, 4, 0.2, 11);
+    let model = LinearRegression::new(4);
+    let cluster = ClusterConfig {
+        n,
+        compute_time_per_partition: 0.1,
+        comm_time: 0.05,
+        jitter: Delay::Uniform { lo: 0.0, hi: 0.01 },
+        straggler_delay: Delay::Exponential { mean: 1.0 },
+        stragglers: StragglerSelection::RandomEachStep(2),
+    };
+    // Mean-normalized updates so that more workers lower the gradient
+    // noise; the best fixed w is not known in advance, and a wrong guess
+    // (w = 4) pays the straggler tax on every step.
+    let config = TrainingConfig {
+        batch_size: 4,
+        learning_rate: 0.5,
+        loss_threshold: 0.025,
+        max_steps: 4000,
+        seed: 5,
+        normalization: GradientNormalization::MeanOverRecovered,
+        ..TrainingConfig::default()
+    };
+    let placement = Placement::cyclic(n, 2)?;
+
+    println!("fixed vs adaptive wait policies (loss threshold 0.025):\n");
+    for w in [1usize, 4] {
+        let r = train(
+            &model,
+            &dataset,
+            &CodingScheme::IsGc(placement.clone()),
+            &WaitPolicy::WaitForCount(w),
+            cluster.clone(),
+            &config,
+        );
+        println!(
+            "fixed w={w}:    steps={:<5} time={:>7.1}s  converged={}",
+            r.steps, r.sim_time, r.reached_threshold
+        );
+    }
+
+    let mut controller = AdaptiveWaitController::new(1, 4, 10, 0.03);
+    let r = train_adaptive(
+        &model,
+        &dataset,
+        &CodingScheme::IsGc(placement),
+        &mut controller,
+        cluster,
+        &config,
+    );
+    let hist = controller.w_history();
+    let escalations: Vec<(usize, usize)> = hist
+        .windows(2)
+        .enumerate()
+        .filter(|(_, p)| p[0] != p[1])
+        .map(|(i, p)| (i + 1, p[1]))
+        .collect();
+    println!(
+        "adaptive 1→4: steps={:<5} time={:>7.1}s  converged={}",
+        r.steps, r.sim_time, r.reached_threshold
+    );
+    println!("escalations (step, new w): {escalations:?}");
+    println!("\nThe controller starts at the cheapest w and escalates only if the");
+    println!("loss stalls — matching the best fixed policy without knowing it in");
+    println!("advance, while a wrong fixed guess (w = 4) costs several times more.");
+    Ok(())
+}

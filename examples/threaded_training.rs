@@ -1,0 +1,59 @@
+//! Threaded training: runs IS-GC on real OS threads with injected straggler
+//! delays — one master, four workers, crossbeam channels — and shows that
+//! waiting for the two fastest workers still trains the model.
+//!
+//! Run with: `cargo run --release --example threaded_training`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use isgc::core::Placement;
+use isgc::ml::dataset::Dataset;
+use isgc::ml::model::LinearRegression;
+use isgc::runtime::{train_threaded, ThreadedConfig};
+
+fn main() -> Result<(), isgc::core::Error> {
+    let placement = Placement::cyclic(4, 2)?;
+    let dataset = Dataset::synthetic_regression(256, 4, 0.05, 11);
+    let model = LinearRegression::new(4);
+
+    // Workers 1 and 3 are enduring stragglers: every step they sleep 20 ms
+    // before uploading, while workers 0 and 2 answer immediately. In CR(4,2)
+    // workers 0 and 2 share no partition, so the master recovers everything
+    // without ever hearing from the stragglers.
+    let config = ThreadedConfig {
+        wait_for: 2,
+        collection: None,
+        batch_size: 16,
+        learning_rate: 0.05,
+        loss_threshold: 0.01,
+        max_steps: 500,
+        seed: 5,
+        delay: Arc::new(|worker, _step| {
+            if worker % 2 == 1 {
+                Duration::from_millis(20)
+            } else {
+                Duration::ZERO
+            }
+        }),
+    };
+
+    println!("training on 4 real worker threads, waiting for the 2 fastest…");
+    let report = train_threaded(model, dataset, &placement, &config);
+    println!(
+        "steps: {}   wall time: {:.2}s   mean step: {:.1} ms",
+        report.steps,
+        report.wall_time,
+        1000.0 * report.mean_step_duration()
+    );
+    println!(
+        "mean recovered fraction: {:.1}%   final loss: {:.4}   converged: {}",
+        100.0 * report.mean_recovered_fraction(),
+        report.final_loss(),
+        report.reached_threshold
+    );
+    println!("\nthe two fast workers cover 2 partitions each; whenever they are");
+    println!("non-conflicting the master recovers all 4 partitions without ever");
+    println!("hearing from the stragglers.");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every experiment output in results/ (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+for bin in fig11 fig12 fig13 bounds fairness ablation expectation enduring partial distribution; do
+    echo "== $bin =="
+    cargo run --release -p isgc-bench --bin "$bin" --quiet | tee "results/$bin.txt"
+    echo
+done
+echo "All experiment outputs written to results/."

@@ -1,0 +1,472 @@
+//! The `isgc` command-line tool: inspect placements, decode availability
+//! patterns, check recovery bounds, and run quick straggler simulations
+//! without writing any code.
+//!
+//! Command logic lives here as pure functions returning the rendered output,
+//! so everything is unit-testable; `main` only does I/O.
+
+use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
+use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::SoftmaxRegression;
+use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
+use isgc_simnet::delay::Delay;
+use isgc_simnet::policy::WaitPolicy;
+use isgc_simnet::trainer::{train, CodingScheme, TrainingConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+isgc — ignore-straggler gradient coding (ICDCS 2023 reproduction)
+
+USAGE:
+  isgc placement <fr|cr> <n> <c>           show a placement and its conflict graph
+  isgc placement hr <n> <g> <c1> <c2>      show a hybrid placement
+  isgc decode <fr|cr> <n> <c> <workers>    decode an availability pattern
+                                           (workers: comma-separated, e.g. 0,2,5)
+  isgc decode hr <n> <g> <c1> <c2> <workers>
+  isgc bounds <n> <c>                      Theorem 10/11 recovery bounds for all w
+  isgc recommend <n> <c>                   pick the best placement for a budget
+  isgc plan <fr|cr> <n> <c>                profile every w and pick the fastest
+  isgc trace <n> <steps> [slow-rate]       emit a Markov straggler trace as CSV
+  isgc sim <fr|cr> <n> <c> <w> [steps]     quick straggler training simulation
+";
+
+/// Dispatches a full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable error message for unknown commands or invalid
+/// arguments.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("placement") => cmd_placement(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("recommend") => cmd_recommend(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+fn build_placement(args: &[String]) -> Result<(Placement, usize), String> {
+    match args.first().map(String::as_str) {
+        Some("fr") | Some("cr") => {
+            if args.len() < 3 {
+                return Err("expected: <fr|cr> <n> <c>".to_string());
+            }
+            let n: usize = parse(&args[1], "n")?;
+            let c: usize = parse(&args[2], "c")?;
+            let p = if args[0] == "fr" {
+                Placement::fractional(n, c)
+            } else {
+                Placement::cyclic(n, c)
+            }
+            .map_err(|e| e.to_string())?;
+            Ok((p, 3))
+        }
+        Some("hr") => {
+            if args.len() < 5 {
+                return Err("expected: hr <n> <g> <c1> <c2>".to_string());
+            }
+            let n: usize = parse(&args[1], "n")?;
+            let g: usize = parse(&args[2], "g")?;
+            let c1: usize = parse(&args[3], "c1")?;
+            let c2: usize = parse(&args[4], "c2")?;
+            let p = Placement::hybrid(HrParams::new(n, g, c1, c2)).map_err(|e| e.to_string())?;
+            Ok((p, 5))
+        }
+        _ => Err("expected placement kind: fr, cr, or hr".to_string()),
+    }
+}
+
+fn cmd_placement(args: &[String]) -> Result<String, String> {
+    let (p, _) = build_placement(args)?;
+    let graph = ConflictGraph::from_placement(&p);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} placement, n = {}, c = {}",
+        p.scheme(),
+        p.n(),
+        p.c()
+    );
+    for w in 0..p.n() {
+        let _ = writeln!(out, "  worker {w:>3}: partitions {:?}", p.partitions_of(w));
+    }
+    let _ = writeln!(
+        out,
+        "conflict graph: {} edges{}",
+        graph.edge_count(),
+        if p.scheme() == Scheme::Cyclic {
+            format!(" (circulant C_n^{{1..{}}})", p.c().saturating_sub(1))
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(out, "  {:?}", graph.edges());
+    Ok(out)
+}
+
+fn parse_workers(s: &str, n: usize) -> Result<WorkerSet, String> {
+    let mut set = WorkerSet::empty(n);
+    for tok in s.split(',').filter(|t| !t.is_empty()) {
+        let id: usize = parse(tok, "worker id")?;
+        if id >= n {
+            return Err(format!("worker {id} outside 0..{n}"));
+        }
+        set.insert(id);
+    }
+    Ok(set)
+}
+
+fn cmd_decode(args: &[String]) -> Result<String, String> {
+    let (p, consumed) = build_placement(args)?;
+    let avail_arg = args
+        .get(consumed)
+        .ok_or_else(|| "missing availability list, e.g. 0,2,5".to_string())?;
+    let available = parse_workers(avail_arg, p.n())?;
+    let decoder: Box<dyn Decoder> = match p.scheme() {
+        Scheme::Fractional => Box::new(FrDecoder::new(&p).map_err(|e| e.to_string())?),
+        Scheme::Cyclic => Box::new(CrDecoder::new(&p).map_err(|e| e.to_string())?),
+        Scheme::Hybrid => Box::new(HrDecoder::new(&p).map_err(|e| e.to_string())?),
+        Scheme::Custom => Box::new(ExactDecoder::new(&p)),
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let result = decoder.decode(&available, &mut rng);
+    let mut out = String::new();
+    let _ = writeln!(out, "available workers: {:?}", available.to_vec());
+    let _ = writeln!(out, "selected (I):      {:?}", result.selected());
+    let _ = writeln!(
+        out,
+        "recovered:         {}/{} partitions {:?}",
+        result.recovered_count(),
+        p.n(),
+        result.partitions()
+    );
+    let w = available.len();
+    let _ = writeln!(
+        out,
+        "Theorem 10/11:     {} ≤ |I| ≤ {}",
+        bounds::alpha_lower_bound(p.n(), p.c(), w),
+        bounds::alpha_upper_bound(p.n(), p.c(), w)
+    );
+    Ok(out)
+}
+
+fn cmd_bounds(args: &[String]) -> Result<String, String> {
+    if args.len() < 2 {
+        return Err("expected: bounds <n> <c>".to_string());
+    }
+    let n: usize = parse(&args[0], "n")?;
+    let c: usize = parse(&args[1], "c")?;
+    if n == 0 || c == 0 || c > n {
+        return Err(format!("need 1 ≤ c ≤ n, got n={n}, c={c}"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recovery bounds for n = {n}, c = {c} (selectable workers)"
+    );
+    let _ = writeln!(out, "{:>4}  {:>8}  {:>8}", "w", "Thm10 lo", "Thm11 hi");
+    for w in 0..=n {
+        let _ = writeln!(
+            out,
+            "{w:>4}  {:>8}  {:>8}",
+            bounds::alpha_lower_bound(n, c, w),
+            bounds::alpha_upper_bound(n, c, w)
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_recommend(args: &[String]) -> Result<String, String> {
+    if args.len() < 2 {
+        return Err("expected: recommend <n> <c>".to_string());
+    }
+    let n: usize = parse(&args[0], "n")?;
+    let c: usize = parse(&args[1], "c")?;
+    let rec = isgc_core::design::recommend(n, c).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recommended placement for n = {n}, c = {c}: {}",
+        rec.placement.scheme()
+    );
+    let _ = match rec.rationale {
+        isgc_core::design::Rationale::FrDivides => {
+            writeln!(
+                out,
+                "rationale: c | n, so FR maximizes recovery (Theorem 4)"
+            )
+        }
+        isgc_core::design::Rationale::HrFeasible { g, c1, c2 } => writeln!(
+            out,
+            "rationale: c ∤ n but HR(n, {c1}, {c2}) with g = {g} groups fits \
+             Theorem 6's range and beats CR"
+        ),
+        isgc_core::design::Rationale::CrFallback => {
+            writeln!(out, "rationale: no FR/HR structure fits; CR always works")
+        }
+    };
+    let graph = ConflictGraph::from_placement(&rec.placement);
+    let cr_edges =
+        ConflictGraph::from_placement(&Placement::cyclic(n, c).map_err(|e| e.to_string())?)
+            .edge_count();
+    let _ = writeln!(
+        out,
+        "conflict edges: {} (CR at the same budget would have {cr_edges})",
+        graph.edge_count()
+    );
+    Ok(out)
+}
+
+fn cmd_plan(args: &[String]) -> Result<String, String> {
+    let (p, _) = build_placement(args)?;
+    let n = p.n();
+    let decoder: Box<dyn Decoder> = match p.scheme() {
+        Scheme::Fractional => Box::new(FrDecoder::new(&p).map_err(|e| e.to_string())?),
+        Scheme::Cyclic => Box::new(CrDecoder::new(&p).map_err(|e| e.to_string())?),
+        Scheme::Hybrid => Box::new(HrDecoder::new(&p).map_err(|e| e.to_string())?),
+        Scheme::Custom => Box::new(ExactDecoder::new(&p)),
+    };
+    let cluster = ClusterConfig {
+        n,
+        compute_time_per_partition: 0.05,
+        comm_time: 0.1,
+        jitter: Delay::Exponential { mean: 0.4 },
+        straggler_delay: Delay::none(),
+        stragglers: StragglerSelection::None,
+    };
+    let plans = isgc_simnet::planner::plan_wait_counts(&p, decoder.as_ref(), cluster, 2000, 7);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wait-count profile for {} (exponential upload jitter, mean 0.4 s):",
+        p.scheme()
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>12}  {:>14}  {:>15}",
+        "w", "E[step] (s)", "E[recovered]", "relative total"
+    );
+    for plan in &plans {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>12.3}  {:>14.2}  {:>15.3}",
+            plan.w, plan.step_time, plan.recovered, plan.relative_total_time
+        );
+    }
+    let _ = writeln!(
+        out,
+        "best w = {} (minimum relative time-to-threshold)",
+        isgc_simnet::planner::best_wait_count(&plans)
+    );
+    Ok(out)
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, String> {
+    if args.len() < 2 {
+        return Err("expected: trace <n> <steps> [slow-rate]".to_string());
+    }
+    let n: usize = parse(&args[0], "n")?;
+    let steps: usize = parse(&args[1], "steps")?;
+    let slow_rate: f64 = match args.get(2) {
+        Some(s) => parse(s, "slow-rate")?,
+        None => 0.2,
+    };
+    if n == 0 || steps == 0 {
+        return Err("n and steps must be positive".to_string());
+    }
+    if !(0.0..1.0).contains(&slow_rate) {
+        return Err("slow-rate must be in [0, 1)".to_string());
+    }
+    // Pick transition rates with the requested stationary slow fraction and
+    // mean episode length ~10 steps.
+    let p_sf = 0.1;
+    let p_fs = if slow_rate == 0.0 {
+        0.0
+    } else {
+        p_sf * slow_rate / (1.0 - slow_rate)
+    };
+    let model = isgc_simnet::trace::MarkovStragglerModel {
+        n,
+        fast: Delay::Uniform { lo: 0.0, hi: 0.02 },
+        slow: Delay::ShiftedExponential {
+            shift: 1.0,
+            mean: 0.5,
+        },
+        p_fast_to_slow: p_fs,
+        p_slow_to_fast: p_sf,
+    };
+    Ok(model.generate(steps, 42).to_csv_string())
+}
+
+fn cmd_sim(args: &[String]) -> Result<String, String> {
+    let (p, consumed) = build_placement(args)?;
+    let w: usize = parse(
+        args.get(consumed)
+            .ok_or("missing w (workers to wait for)")?,
+        "w",
+    )?;
+    if !(1..=p.n()).contains(&w) {
+        return Err(format!("w must be within 1..={}", p.n()));
+    }
+    let max_steps: usize = match args.get(consumed + 1) {
+        Some(s) => parse(s, "steps")?,
+        None => 200,
+    };
+    let n = p.n();
+    let dataset = Dataset::gaussian_classification(64 * n.max(4), 8, 4, 3.0, 777);
+    let model = SoftmaxRegression::new(8, 4);
+    let cluster = ClusterConfig {
+        n,
+        compute_time_per_partition: 0.05,
+        comm_time: 0.1,
+        jitter: Delay::Exponential { mean: 0.4 },
+        straggler_delay: Delay::none(),
+        stragglers: StragglerSelection::None,
+    };
+    let report = train(
+        &model,
+        &dataset,
+        &CodingScheme::IsGc(p.clone()),
+        &WaitPolicy::WaitForCount(w),
+        cluster,
+        &TrainingConfig {
+            loss_threshold: 0.21,
+            max_steps,
+            ..TrainingConfig::default()
+        },
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "IS-GC {} n={} c={} w={w}", p.scheme(), n, p.c());
+    let _ = writeln!(out, "steps:              {}", report.steps);
+    let _ = writeln!(out, "converged:          {}", report.reached_threshold);
+    let _ = writeln!(out, "final loss:         {:.4}", report.final_loss());
+    let _ = writeln!(
+        out,
+        "recovered (mean):   {:.1}%",
+        100.0 * report.mean_recovered_fraction()
+    );
+    let _ = writeln!(out, "sim time:           {:.2} s", report.sim_time);
+    let _ = writeln!(
+        out,
+        "time/step (mean):   {:.3} s",
+        report.mean_step_duration()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&args("help")).unwrap().contains("USAGE"));
+        assert!(run(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn placement_command_renders() {
+        let out = run(&args("placement cr 4 2")).unwrap();
+        assert!(out.contains("CR placement, n = 4, c = 2"));
+        assert!(out.contains("worker   0: partitions [0, 1]"));
+        assert!(out.contains("4 edges"));
+        let out = run(&args("placement hr 8 2 2 2")).unwrap();
+        assert!(out.contains("HR placement"));
+    }
+
+    #[test]
+    fn placement_command_rejects_bad_input() {
+        assert!(run(&args("placement fr 4 3")).is_err()); // c ∤ n
+        assert!(run(&args("placement cr x 2")).is_err());
+        assert!(run(&args("placement cr 4")).is_err());
+        assert!(run(&args("placement zz 4 2")).is_err());
+    }
+
+    #[test]
+    fn decode_command_matches_fig1d() {
+        let out = run(&args("decode cr 4 2 0,2")).unwrap();
+        assert!(out.contains("selected (I):      [0, 2]"));
+        assert!(out.contains("recovered:         4/4"));
+    }
+
+    #[test]
+    fn decode_command_validates_workers() {
+        assert!(run(&args("decode cr 4 2 0,9")).is_err());
+        assert!(run(&args("decode cr 4 2")).is_err());
+        assert!(run(&args("decode cr 4 2 0,x")).is_err());
+    }
+
+    #[test]
+    fn decode_empty_availability_is_fine() {
+        let out = run(&args("decode cr 4 2 ,")).unwrap();
+        assert!(out.contains("recovered:         0/4"));
+    }
+
+    #[test]
+    fn bounds_command_renders_table() {
+        let out = run(&args("bounds 8 2")).unwrap();
+        assert!(out.contains("n = 8, c = 2"));
+        // w = 8 row: both bounds are 4.
+        assert!(out.lines().last().unwrap().contains('4'));
+        assert!(run(&args("bounds 4 9")).is_err());
+        assert!(run(&args("bounds 4")).is_err());
+    }
+
+    #[test]
+    fn recommend_command_covers_all_rationales() {
+        let fr = run(&args("recommend 8 2")).unwrap();
+        assert!(fr.contains("FR"));
+        assert!(fr.contains("Theorem 4"));
+        let hr = run(&args("recommend 10 4")).unwrap();
+        assert!(hr.contains("HR"));
+        let cr = run(&args("recommend 7 3")).unwrap();
+        assert!(cr.contains("CR always works"));
+        assert!(run(&args("recommend 0 1")).is_err());
+        assert!(run(&args("recommend 4")).is_err());
+    }
+
+    #[test]
+    fn plan_command_profiles_wait_counts() {
+        let out = run(&args("plan cr 4 2")).unwrap();
+        assert!(out.contains("best w ="));
+        assert!(out.lines().count() >= 7); // header + 4 rows + pick
+        assert!(run(&args("plan cr 4")).is_err());
+    }
+
+    #[test]
+    fn trace_command_emits_csv() {
+        let out = run(&args("trace 3 5 0.5")).unwrap();
+        assert_eq!(out.lines().count(), 5);
+        assert_eq!(out.lines().next().unwrap().split(',').count(), 3);
+        assert!(run(&args("trace 0 5")).is_err());
+        assert!(run(&args("trace 3 5 1.5")).is_err());
+        // Default slow rate works too.
+        assert!(run(&args("trace 2 4")).is_ok());
+    }
+
+    #[test]
+    fn sim_command_runs_quickly() {
+        let out = run(&args("sim cr 4 2 2 30")).unwrap();
+        assert!(out.contains("steps:"));
+        assert!(out.contains("recovered (mean):"));
+        assert!(run(&args("sim cr 4 2 9")).is_err()); // w > n
+    }
+}

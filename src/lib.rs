@@ -1,0 +1,69 @@
+//! # isgc — umbrella crate
+//!
+//! Re-exports the whole IS-GC reproduction behind one dependency:
+//!
+//! - [`core`] — placements, conflict graphs, decoders, classic GC;
+//! - [`linalg`] — the dense linear-algebra substrate;
+//! - [`ml`] — models, synthetic datasets, SGD;
+//! - [`simnet`] — discrete-event cluster simulation;
+//! - [`runtime`] — real threaded master/worker execution.
+//!
+//! See the repository README for a guided tour and the `examples/` directory
+//! for runnable entry points. The crate also ships the `isgc` CLI
+//! (`placement | decode | bounds | recommend | plan | trace | sim`).
+//!
+//! # Quickstart: decode a straggler pattern
+//!
+//! ```
+//! use isgc::core::decode::{CrDecoder, Decoder};
+//! use isgc::core::{Placement, WorkerSet};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), isgc::core::Error> {
+//! let placement = Placement::cyclic(4, 2)?;
+//! let decoder = CrDecoder::new(&placement)?;
+//! let available = WorkerSet::from_indices(4, [0, 2]); // 1 and 3 straggle
+//! let result = decoder.decode(&available, &mut StdRng::seed_from_u64(0));
+//! assert_eq!(result.partitions(), &[0, 1, 2, 3]); // full recovery
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Quickstart: simulate a training run
+//!
+//! ```
+//! use isgc::core::Placement;
+//! use isgc::ml::dataset::Dataset;
+//! use isgc::ml::model::SoftmaxRegression;
+//! use isgc::simnet::cluster::ClusterConfig;
+//! use isgc::simnet::policy::WaitPolicy;
+//! use isgc::simnet::trainer::{train, CodingScheme, TrainingConfig};
+//!
+//! # fn main() -> Result<(), isgc::core::Error> {
+//! let report = train(
+//!     &SoftmaxRegression::new(8, 4),
+//!     &Dataset::gaussian_classification(256, 8, 4, 3.0, 7),
+//!     &CodingScheme::IsGc(Placement::cyclic(4, 2)?),
+//!     &WaitPolicy::WaitForCount(2),
+//!     ClusterConfig::uniform(4, 0.05, 0.05),
+//!     &TrainingConfig {
+//!         max_steps: 20,
+//!         loss_threshold: 0.0,
+//!         ..TrainingConfig::default()
+//!     },
+//! );
+//! assert_eq!(report.steps, 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use isgc_core as core;
+pub use isgc_linalg as linalg;
+pub use isgc_ml as ml;
+pub use isgc_runtime as runtime;
+pub use isgc_simnet as simnet;

@@ -1,0 +1,57 @@
+//! End-to-end tests of the `isgc` binary itself (spawned as a subprocess).
+
+use std::process::Command;
+
+fn isgc(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_isgc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn isgc binary");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let (ok, stdout, _) = isgc(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn decode_fig1d_through_the_binary() {
+    let (ok, stdout, _) = isgc(&["decode", "cr", "4", "2", "0,2"]);
+    assert!(ok);
+    assert!(stdout.contains("recovered:         4/4"));
+}
+
+#[test]
+fn placement_hr_through_the_binary() {
+    let (ok, stdout, _) = isgc(&["placement", "hr", "8", "2", "2", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("HR placement, n = 8, c = 4"));
+}
+
+#[test]
+fn recommend_through_the_binary() {
+    let (ok, stdout, _) = isgc(&["recommend", "12", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("FR"));
+}
+
+#[test]
+fn bad_command_fails_with_message() {
+    let (ok, _, stderr) = isgc(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn bad_parameters_fail_cleanly() {
+    let (ok, _, stderr) = isgc(&["placement", "fr", "4", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("FR requires c | n"));
+}

@@ -1,0 +1,159 @@
+//! The paper's linear-time decoders against the exact branch-and-bound
+//! oracle, across a broad randomized space of placements and availability
+//! patterns (complementing the exhaustive small-n tests inside `isgc-core`).
+
+use isgc::core::decode::{
+    ArrivalOrderDecoder, CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder,
+};
+use isgc::core::{bounds, ConflictGraph, HrParams, Placement, WorkerSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn check_optimal(
+    placement: &Placement,
+    decoder: &dyn Decoder,
+    trials: usize,
+    rng: &mut StdRng,
+    label: &str,
+) {
+    let graph = ConflictGraph::from_placement(placement);
+    let n = placement.n();
+    let c = placement.c();
+    for t in 0..trials {
+        let w = rng.random_range(0..=n);
+        let avail = WorkerSet::random_subset(n, w, rng);
+        let result = decoder.decode(&avail, rng);
+        // Valid selection…
+        assert!(
+            graph.is_independent(result.selected()),
+            "{label} trial {t}: conflicting selection"
+        );
+        assert!(result.selected().iter().all(|&v| avail.contains(v)));
+        // …of maximum size…
+        let alpha = graph.alpha(&avail);
+        assert_eq!(
+            result.selected().len(),
+            alpha,
+            "{label} trial {t}: w={w}, got {} < alpha {alpha}",
+            result.selected().len()
+        );
+        // …within the §VII-A bounds…
+        assert!(result.selected().len() >= bounds::alpha_lower_bound(n, c, w));
+        assert!(result.selected().len() <= bounds::alpha_upper_bound(n, c, w));
+        // …and partition bookkeeping is consistent.
+        assert_eq!(result.recovered_count(), result.selected().len() * c);
+    }
+}
+
+#[test]
+fn fr_decoder_is_optimal_at_scale() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (n, c) in [(12usize, 3usize), (20, 4), (24, 2), (30, 5), (32, 8)] {
+        let p = Placement::fractional(n, c).unwrap();
+        let d = FrDecoder::new(&p).unwrap();
+        check_optimal(&p, &d, 100, &mut rng, &format!("FR({n},{c})"));
+    }
+}
+
+#[test]
+fn cr_decoder_is_optimal_at_scale() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for (n, c) in [
+        (13usize, 3usize),
+        (20, 4),
+        (24, 2),
+        (29, 6),
+        (32, 8),
+        (17, 1),
+    ] {
+        let p = Placement::cyclic(n, c).unwrap();
+        let d = CrDecoder::new(&p).unwrap();
+        check_optimal(&p, &d, 100, &mut rng, &format!("CR({n},{c})"));
+    }
+}
+
+#[test]
+fn hr_decoder_is_optimal_at_scale() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let params = [
+        HrParams::new(16, 4, 2, 2),
+        HrParams::new(16, 2, 6, 2),
+        HrParams::new(24, 6, 2, 2),
+        HrParams::new(24, 4, 4, 2),
+        HrParams::new(30, 6, 3, 2),
+        HrParams::new(20, 4, 5, 0),
+        HrParams::new(18, 3, 0, 4), // degenerate CR
+    ];
+    for prm in params {
+        prm.validate().unwrap_or_else(|e| panic!("{prm:?}: {e}"));
+        let p = Placement::hybrid(prm).unwrap();
+        let d = HrDecoder::new(&p).unwrap();
+        check_optimal(&p, &d, 80, &mut rng, &format!("{prm:?}"));
+    }
+}
+
+#[test]
+fn arrival_order_is_valid_but_sometimes_suboptimal() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let p = Placement::cyclic(16, 4).unwrap();
+    let graph = ConflictGraph::from_placement(&p);
+    let greedy = ArrivalOrderDecoder::new(&p);
+    let exact = ExactDecoder::new(&p);
+    let mut suboptimal = 0usize;
+    for _ in 0..300 {
+        let w = rng.random_range(4..=12);
+        let avail = WorkerSet::random_subset(16, w, &mut rng);
+        let g = greedy.decode(&avail, &mut rng);
+        let e = exact.decode(&avail, &mut rng);
+        assert!(graph.is_independent(g.selected()));
+        assert!(g.selected().len() <= e.selected().len());
+        if g.selected().len() < e.selected().len() {
+            suboptimal += 1;
+        }
+    }
+    // The Fig. 3 phenomenon must actually occur — otherwise the optimal
+    // decoders would be pointless.
+    assert!(suboptimal > 0, "arrival-order greedy never suboptimal?");
+}
+
+/// Exercise the multi-word bitset paths (n > 64) through every decoder.
+#[test]
+fn decoders_work_beyond_one_bitset_word() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 70;
+    // FR(70, 5), CR(70, 6): oracle comparison is too slow at this size, so
+    // check independence, bounds, and FR's exact group-counting optimality.
+    let fr = Placement::fractional(n, 5).unwrap();
+    let fr_dec = FrDecoder::new(&fr).unwrap();
+    let fr_graph = ConflictGraph::from_placement(&fr);
+    let cr = Placement::cyclic(n, 6).unwrap();
+    let cr_dec = CrDecoder::new(&cr).unwrap();
+    let cr_graph = ConflictGraph::from_placement(&cr);
+    for _ in 0..50 {
+        let w = rng.random_range(0..=n);
+        let avail = WorkerSet::random_subset(n, w, &mut rng);
+
+        let r = fr_dec.decode(&avail, &mut rng);
+        assert!(fr_graph.is_independent(r.selected()));
+        // FR optimality is exactly the number of groups with survivors.
+        let surviving_groups = (0..n / 5)
+            .filter(|g| (g * 5..(g + 1) * 5).any(|i| avail.contains(i)))
+            .count();
+        assert_eq!(r.selected().len(), surviving_groups);
+
+        let r = cr_dec.decode(&avail, &mut rng);
+        assert!(cr_graph.is_independent(r.selected()));
+        assert!(r.selected().len() >= bounds::alpha_lower_bound(n, 6, w));
+        assert!(r.selected().len() <= bounds::alpha_upper_bound(n, 6, w));
+    }
+}
+
+#[test]
+fn decoders_are_deterministic_given_rng_state() {
+    let p = Placement::cyclic(20, 4).unwrap();
+    let d = CrDecoder::new(&p).unwrap();
+    let avail = WorkerSet::from_indices(20, [0, 3, 5, 9, 12, 13, 18]);
+    let a = d.decode(&avail, &mut StdRng::seed_from_u64(9));
+    let b = d.decode(&avail, &mut StdRng::seed_from_u64(9));
+    assert_eq!(a, b);
+}

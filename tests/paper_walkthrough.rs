@@ -1,0 +1,161 @@
+//! A literal walkthrough of the paper's worked examples (Figures 1–4),
+//! asserting the exact numbers the introduction uses to motivate IS-GC.
+//! Worker/partition indices are 0-based here (the paper is 1-based).
+
+use isgc::core::classic::ClassicGc;
+use isgc::core::decode::{ArrivalOrderDecoder, CrDecoder, Decoder};
+use isgc::core::encode::SumEncoder;
+use isgc::core::{ConflictGraph, Placement, WorkerSet};
+use isgc::linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The running example's per-partition gradients: scalars g1..g4 = 1..4, so
+/// the full gradient is 10.
+fn gradients() -> Vec<Vector> {
+    (0..4)
+        .map(|j| Vector::from_slice(&[j as f64 + 1.0]))
+        .collect()
+}
+
+/// Fig. 1(a): plain distributed SGD needs *all four* workers for
+/// g = g1 + g2 + g3 + g4.
+#[test]
+fn fig1a_synchronous_needs_everyone() {
+    let placement = Placement::cyclic(4, 1).unwrap();
+    let decoder = CrDecoder::new(&placement).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let all = decoder.decode(&WorkerSet::full(4), &mut rng);
+    assert_eq!(all.recovered_count(), 4);
+    // One straggler loses its partition forever in this scheme.
+    let short = decoder.decode(&WorkerSet::from_indices(4, [0, 1, 2]), &mut rng);
+    assert_eq!(short.recovered_count(), 3);
+}
+
+/// Fig. 1(b): classic GC with n = 4, c = 2 — any 3 codewords reconstruct the
+/// exact full gradient (the paper's −g1+g2 / g3+⅓g4 / ⅔g4+2g1 combination is
+/// one instance; our Tandon construction realizes the same property).
+#[test]
+fn fig1b_classic_gc_any_three_workers() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let gc = ClassicGc::cyclic(4, 2, &mut rng).unwrap();
+    let grads = gradients();
+    let codewords: Vec<Vector> = (0..4).map(|w| gc.encode(w, &grads)).collect();
+    for straggler in 0..4 {
+        let avail = WorkerSet::from_indices(4, (0..4).filter(|&w| w != straggler));
+        let g = gc.recover(&avail, |w| codewords[w].clone(), 1).unwrap();
+        assert!((g[0] - 10.0).abs() < 1e-6, "straggler {straggler}");
+    }
+    // But two stragglers defeat it completely — the first restriction the
+    // paper calls out.
+    assert!(gc
+        .decoding_vector(&WorkerSet::from_indices(4, [0, 2]))
+        .is_err());
+}
+
+/// Fig. 1(c): IS-SGD with workers 1 and 3 (0-based 0 and 2) available
+/// recovers exactly g1 + g3 = 1 + 3 = 4.
+#[test]
+fn fig1c_issgd_partial_recovery() {
+    let placement = Placement::cyclic(4, 1).unwrap();
+    let decoder = CrDecoder::new(&placement).unwrap();
+    let encoder = SumEncoder::new(&placement);
+    let mut rng = StdRng::seed_from_u64(2);
+    let grads = gradients();
+    let result = decoder.decode(&WorkerSet::from_indices(4, [0, 2]), &mut rng);
+    assert_eq!(result.partitions(), &[0, 2]);
+    let g_hat = encoder.assemble(&result, 1, |w| grads[w].clone());
+    assert_eq!(g_hat[0], 4.0); // g1 + g3
+}
+
+/// Fig. 1(d): IS-GC from the *same two* workers recovers the full
+/// g1 + g2 + g3 + g4 = 10 — the paper's headline example.
+#[test]
+fn fig1d_isgc_full_recovery_from_two_workers() {
+    let placement = Placement::cyclic(4, 2).unwrap();
+    let decoder = CrDecoder::new(&placement).unwrap();
+    let encoder = SumEncoder::new(&placement);
+    let mut rng = StdRng::seed_from_u64(3);
+    let grads = gradients();
+    let result = decoder.decode(&WorkerSet::from_indices(4, [0, 2]), &mut rng);
+    assert_eq!(result.selected(), &[0, 2]);
+    assert_eq!(result.partitions(), &[0, 1, 2, 3]);
+    let g_hat = encoder.assemble(&result, 1, |w| {
+        let parts: Vec<Vector> = placement
+            .partitions_of(w)
+            .iter()
+            .map(|&j| grads[j].clone())
+            .collect();
+        encoder.encode(w, &parts)
+    });
+    assert_eq!(g_hat[0], 10.0);
+}
+
+/// Fig. 2(a): FR with n = 4, c = 2 — workers 1,2 hold {D1,D2} and workers
+/// 3,4 hold {D3,D4}; same-group codewords are identical.
+#[test]
+fn fig2a_fr_groups_and_codewords() {
+    let placement = Placement::fractional(4, 2).unwrap();
+    assert_eq!(placement.partitions_of(0), placement.partitions_of(1));
+    assert_eq!(placement.partitions_of(2), placement.partitions_of(3));
+    assert_eq!(placement.partitions_of(0), &[0, 1]);
+    assert_eq!(placement.partitions_of(2), &[2, 3]);
+    let encoder = SumEncoder::new(&placement);
+    let grads = gradients();
+    let cw = |w: usize| {
+        let parts: Vec<Vector> = placement
+            .partitions_of(w)
+            .iter()
+            .map(|&j| grads[j].clone())
+            .collect();
+        encoder.encode(w, &parts)
+    };
+    assert_eq!(cw(0).as_slice(), cw(1).as_slice());
+    assert_eq!(cw(0)[0], 3.0); // g1 + g2
+    assert_eq!(cw(2)[0], 7.0); // g3 + g4
+}
+
+/// Fig. 2(b): CR with n = 4 places partitions cyclically.
+#[test]
+fn fig2b_cr_cyclic_placement() {
+    let placement = Placement::cyclic(4, 2).unwrap();
+    assert_eq!(placement.partitions_of(0), &[0, 1]);
+    assert_eq!(placement.partitions_of(1), &[1, 2]);
+    assert_eq!(placement.partitions_of(2), &[2, 3]);
+    assert_eq!(placement.partitions_of(3), &[0, 3]);
+}
+
+/// Fig. 3: decoding in arrival order is suboptimal — accepting W1's
+/// g1+g2 first blocks both W4 (g4+g1) and W3's partner; ignoring it lets
+/// g2+g3 and g4+g1 combine into the full gradient.
+#[test]
+fn fig3_greedy_arrival_order_is_suboptimal() {
+    let placement = Placement::cyclic(4, 2).unwrap();
+    let greedy = ArrivalOrderDecoder::new(&placement);
+    // Arrivals: W1 (0), then W2 (1), then W4 (3).
+    let in_order = greedy.decode_in_order(&[0, 1, 3]);
+    assert_eq!(in_order.selected(), &[0]); // both later arrivals conflict
+    assert_eq!(in_order.recovered_count(), 2);
+    // The optimal decode of the same set ignores W1 and takes W2 + W4.
+    let optimal = CrDecoder::new(&placement).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let best = optimal.decode(&WorkerSet::from_indices(4, [0, 1, 3]), &mut rng);
+    assert_eq!(best.selected(), &[1, 3]);
+    assert_eq!(best.recovered_count(), 4); // g1+g2+g3+g4 via g2+g3 and g4+g1
+}
+
+/// Fig. 4: the conflict graphs of FR and CR at n = 4, c = 2 — two disjoint
+/// edges vs. the 4-cycle.
+#[test]
+fn fig4_conflict_graphs() {
+    let fr = ConflictGraph::from_placement(&Placement::fractional(4, 2).unwrap());
+    assert_eq!(fr.edges(), vec![(0, 1), (2, 3)]);
+    let cr = ConflictGraph::from_placement(&Placement::cyclic(4, 2).unwrap());
+    assert_eq!(cr.edges(), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    // The discussion under Fig. 4(b): from {W1, W2, W3} a search starting at
+    // W2 finds only {W2}, while {W1, W3} is maximum.
+    assert!(cr.is_independent(&[0, 2]));
+    assert!(!cr.is_independent(&[1, 0]));
+    assert!(!cr.is_independent(&[1, 2]));
+    assert_eq!(cr.alpha(&WorkerSet::from_indices(4, [0, 1, 2])), 2);
+}

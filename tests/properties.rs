@@ -1,0 +1,272 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning crates through the umbrella API.
+
+use isgc::core::classic::ClassicGc;
+use isgc::core::decode::{hr_conflict, CrDecoder, Decoder, FrDecoder, HrDecoder};
+use isgc::core::encode::SumEncoder;
+use isgc::core::{bounds, design, expectation, ConflictGraph, HrParams, Placement, WorkerSet};
+use isgc::linalg::Vector;
+use isgc::ml::dataset::Dataset;
+use isgc::ml::model::{Model, SoftmaxRegression};
+use isgc::simnet::adaptive::AdaptiveWaitController;
+use isgc::simnet::delay::Delay;
+use isgc::simnet::trace::MarkovStragglerModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: (n, c) valid for CR.
+fn cr_params() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=20).prop_flat_map(|n| (Just(n), 1usize..=n))
+}
+
+/// Strategy: (n, c) valid for FR (c | n).
+fn fr_params() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=20)
+        .prop_flat_map(|n| (Just(n), 1usize..=n))
+        .prop_filter("c | n", |(n, c)| n % c == 0)
+}
+
+/// Strategy: valid HR parameter bundles.
+fn hr_params() -> impl Strategy<Value = HrParams> {
+    (1usize..=5, 2usize..=6, 0usize..=6, 0usize..=6)
+        .prop_map(|(g, n0, c1, c2)| HrParams::new(g * n0, g, c1, c2))
+        .prop_filter("valid", |p| p.validate().is_ok())
+}
+
+/// Strategy: a subset of 0..n encoded as a bitmask.
+fn subset(n: usize) -> impl Strategy<Value = WorkerSet> {
+    prop::collection::vec(prop::bool::ANY, n).prop_map(move |bits| {
+        WorkerSet::from_indices(
+            n,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every placement is balanced: each worker stores c partitions and each
+    /// partition lives on c workers.
+    #[test]
+    fn placements_are_balanced(
+        (n_cr, c_cr) in cr_params(),
+        (n_fr, c_fr) in fr_params(),
+        hr in hr_params(),
+    ) {
+        for p in [
+            Placement::cyclic(n_cr, c_cr).unwrap(),
+            Placement::fractional(n_fr, c_fr).unwrap(),
+            Placement::hybrid(hr).unwrap(),
+        ] {
+            for w in 0..p.n() {
+                prop_assert_eq!(p.partitions_of(w).len(), p.c());
+            }
+            for j in 0..p.n() {
+                prop_assert_eq!(p.workers_of(j).len(), p.c());
+            }
+        }
+    }
+
+    /// CR's conflict graph is the circulant C_n^{1..c-1} (Theorem 1).
+    #[test]
+    fn cr_conflict_graph_is_circulant((n, c) in cr_params()) {
+        let g = ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap());
+        prop_assert!(g.is_circulant_with_span(c));
+    }
+
+    /// The CR decoder output is an independent set within the Theorem 10-11
+    /// bounds for arbitrary availability.
+    #[test]
+    fn cr_decode_respects_invariants((n, c) in cr_params(), seed in 0u64..1000) {
+        let p = Placement::cyclic(n, c).unwrap();
+        let d = CrDecoder::new(&p).unwrap();
+        let g = ConflictGraph::from_placement(&p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = (seed as usize) % (n + 1);
+        let avail = WorkerSet::random_subset(n, w, &mut rng);
+        let r = d.decode(&avail, &mut rng);
+        prop_assert!(g.is_independent(r.selected()));
+        prop_assert!(r.selected().len() >= bounds::alpha_lower_bound(n, c, w));
+        prop_assert!(r.selected().len() <= bounds::alpha_upper_bound(n, c, w));
+    }
+
+    /// Alg. 4's closed-form HR conflict predicate agrees with ground truth.
+    #[test]
+    fn hr_conflict_closed_form_is_exact(hr in hr_params()) {
+        let p = Placement::hybrid(hr).unwrap();
+        for a in 0..hr.n() {
+            for b in 0..hr.n() {
+                prop_assert_eq!(hr_conflict(&hr, a, b), p.conflicts(a, b));
+            }
+        }
+    }
+
+    /// ĝ assembled from codewords equals the direct sum of the recovered
+    /// partitions' gradients, exactly (IS-GC's central identity).
+    #[test]
+    fn assembled_gradient_identity(hr in hr_params(), seed in 0u64..500) {
+        let p = Placement::hybrid(hr).unwrap();
+        let n = p.n();
+        let d = HrDecoder::new(&p).unwrap();
+        let e = SumEncoder::new(&p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = (seed as usize * 7) % (n + 1);
+        let avail = WorkerSet::random_subset(n, w, &mut rng);
+        let result = d.decode(&avail, &mut rng);
+        let grad = |j: usize| Vector::from_slice(&[(j * j) as f64 + 1.0, j as f64]);
+        let g_hat = e.assemble(&result, 2, |wid| {
+            let grads: Vec<Vector> =
+                p.partitions_of(wid).iter().map(|&j| grad(j)).collect();
+            e.encode(wid, &grads)
+        });
+        let mut expected = Vector::zeros(2);
+        for &j in result.partitions() {
+            expected.axpy(1.0, &grad(j));
+        }
+        prop_assert_eq!(g_hat.as_slice(), expected.as_slice());
+    }
+
+    /// Classic GC recovers the exact full gradient from any subset of at
+    /// least n − c + 1 workers.
+    #[test]
+    fn classic_gc_roundtrip((n, c) in cr_params(), seed in 0u64..200) {
+        prop_assume!(n <= 12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gc = ClassicGc::cyclic(n, c, &mut rng).unwrap();
+        let grads: Vec<Vector> =
+            (0..n).map(|j| Vector::from_slice(&[j as f64 - 2.5])).collect();
+        let codewords: Vec<Vector> = (0..n).map(|w| gc.encode(w, &grads)).collect();
+        let expected: f64 = grads.iter().map(|g| g[0]).sum();
+        let avail = WorkerSet::random_subset(n, n - c + 1, &mut rng);
+        let g = gc.recover(&avail, |w| codewords[w].clone(), 1).unwrap();
+        prop_assert!((g[0] - expected).abs() < 1e-6);
+    }
+
+    /// WorkerSet algebra laws.
+    #[test]
+    fn worker_set_algebra(a in subset(24), b in subset(24)) {
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert_eq!(a.difference(&b).union(&inter).to_vec(), a.to_vec());
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        for i in a.iter() {
+            prop_assert!(union.contains(i));
+        }
+        prop_assert!(inter.iter().all(|i| a.contains(i) && b.contains(i)));
+    }
+
+    /// FR decode selects exactly one representative per surviving group.
+    #[test]
+    fn fr_decode_selects_group_representatives((n, c) in fr_params(), avail_seed in 0u64..300) {
+        let p = Placement::fractional(n, c).unwrap();
+        let d = FrDecoder::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(avail_seed);
+        let w = (avail_seed as usize) % (n + 1);
+        let avail = WorkerSet::random_subset(n, w, &mut rng);
+        let r = d.decode(&avail, &mut rng);
+        let mut groups_with_members = 0;
+        for g in 0..n / c {
+            let members = (g * c..(g + 1) * c).filter(|&i| avail.contains(i)).count();
+            if members > 0 {
+                groups_with_members += 1;
+            }
+            let selected_here = r
+                .selected()
+                .iter()
+                .filter(|&&v| v / c == g)
+                .count();
+            prop_assert!(selected_here <= 1);
+        }
+        prop_assert_eq!(r.selected().len(), groups_with_members);
+    }
+
+    /// The placement recommender always honors the budget and never has
+    /// more conflict edges than CR at the same (n, c).
+    #[test]
+    fn recommender_dominates_cr((n, c) in cr_params()) {
+        let rec = design::recommend(n, c).unwrap();
+        prop_assert_eq!(rec.placement.n(), n);
+        prop_assert_eq!(rec.placement.c(), c);
+        let rec_edges = ConflictGraph::from_placement(&rec.placement).edge_count();
+        let cr_edges =
+            ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap()).edge_count();
+        prop_assert!(rec_edges <= cr_edges);
+    }
+
+    /// FR's closed-form expected recovery is within the Theorem 10-11
+    /// bounds scaled to expectations.
+    #[test]
+    fn fr_expectation_within_bounds((n, c) in fr_params(), w_frac in 0.0f64..1.0) {
+        let w = ((n as f64) * w_frac) as usize;
+        let e = expectation::fr_expected_alpha(n, c, w);
+        prop_assert!(e >= bounds::alpha_lower_bound(n, c, w) as f64 - 1e-9);
+        prop_assert!(e <= bounds::alpha_upper_bound(n, c, w) as f64 + 1e-9);
+    }
+
+    /// Markov traces: delays non-negative, deterministic in the seed, and
+    /// the straggle rate approaches the stationary fraction.
+    #[test]
+    fn markov_trace_properties(
+        n in 1usize..6,
+        p_fs in 0.0f64..0.5,
+        p_sf in 0.01f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let model = MarkovStragglerModel {
+            n,
+            fast: Delay::Constant(0.0),
+            slow: Delay::Constant(1.0),
+            p_fast_to_slow: p_fs,
+            p_slow_to_fast: p_sf,
+        };
+        let t = model.generate(300, seed);
+        prop_assert_eq!(t.n(), n);
+        prop_assert_eq!(t.len(), 300);
+        prop_assert_eq!(&t, &model.generate(300, seed));
+        let rate = t.straggle_rate(0.5);
+        prop_assert!((0.0..=1.0).contains(&rate));
+        let stationary = model.stationary_slow_fraction();
+        prop_assert!((0.0..=1.0).contains(&stationary));
+    }
+
+    /// The adaptive controller's recommendation is always within
+    /// [min_w, max_w] and never decreases.
+    #[test]
+    fn adaptive_controller_invariants(
+        min_w in 1usize..4,
+        extra in 0usize..4,
+        window in 1usize..6,
+        losses in prop::collection::vec(0.0f64..10.0, 1..60),
+    ) {
+        let max_w = min_w + extra;
+        let mut ctl = AdaptiveWaitController::new(min_w, max_w, window, 0.05);
+        for &loss in &losses {
+            ctl.observe(loss);
+            prop_assert!((min_w..=max_w).contains(&ctl.current_w()));
+        }
+        for pair in ctl.w_history().windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        prop_assert_eq!(ctl.w_history().len(), losses.len());
+    }
+
+    /// Model gradients are additive over disjoint index sets — the property
+    /// that makes sum-coding exact.
+    #[test]
+    fn gradient_additivity(seed in 0u64..100, split in 1usize..29) {
+        let data = Dataset::gaussian_classification(30, 4, 3, 2.0, seed);
+        let model = SoftmaxRegression::new(4, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = model.init_params(&mut rng);
+        let left: Vec<usize> = (0..split).collect();
+        let right: Vec<usize> = (split..30).collect();
+        let all: Vec<usize> = (0..30).collect();
+        let mut sum = model.gradient_sum(&params, &data, &left);
+        sum.axpy(1.0, &model.gradient_sum(&params, &data, &right));
+        let direct = model.gradient_sum(&params, &data, &all);
+        prop_assert!((&sum - &direct).norm_inf() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Threaded-runtime integration: the real-thread implementation agrees with
+//! the simulator's semantics (same codewords, same recovery invariants) and
+//! survives adversarial scheduling.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use isgc::core::{HrParams, Placement};
+use isgc::ml::dataset::Dataset;
+use isgc::ml::model::{LinearRegression, SoftmaxRegression};
+use isgc::runtime::{train_threaded, ThreadedConfig};
+
+fn base_config(wait_for: usize, seed: u64) -> ThreadedConfig {
+    ThreadedConfig {
+        wait_for,
+        collection: None,
+        batch_size: 16,
+        learning_rate: 0.05,
+        loss_threshold: 0.02,
+        max_steps: 400,
+        seed,
+        delay: Arc::new(|_, _| Duration::ZERO),
+    }
+}
+
+#[test]
+fn threaded_regression_converges_all_schemes() {
+    let dataset = Dataset::synthetic_regression(192, 3, 0.02, 21);
+    for placement in [
+        Placement::cyclic(4, 2).unwrap(),
+        Placement::fractional(4, 2).unwrap(),
+        Placement::hybrid(HrParams::new(4, 2, 1, 1)).unwrap(),
+    ] {
+        let report = train_threaded(
+            LinearRegression::new(3),
+            dataset.clone(),
+            &placement,
+            &base_config(3, 1),
+        );
+        assert!(
+            report.reached_threshold,
+            "{:?}: final loss {}",
+            placement.scheme(),
+            report.final_loss()
+        );
+        for &f in &report.recovered_fractions {
+            assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn threaded_classification_with_jittery_stragglers() {
+    let dataset = Dataset::gaussian_classification(192, 5, 3, 4.0, 3);
+    let placement = Placement::cyclic(6, 2).unwrap();
+    // Randomized small delays on all workers: scheduling order varies.
+    let delay: Arc<dyn Fn(usize, u64) -> Duration + Send + Sync> =
+        Arc::new(|worker, step| Duration::from_micros(((worker as u64 + step) % 5) * 300));
+    let config = ThreadedConfig {
+        wait_for: 3,
+        collection: None,
+        batch_size: 16,
+        learning_rate: 0.1,
+        loss_threshold: 0.15,
+        max_steps: 600,
+        seed: 4,
+        delay,
+    };
+    let report = train_threaded(SoftmaxRegression::new(5, 3), dataset, &placement, &config);
+    assert!(report.reached_threshold, "loss={}", report.final_loss());
+    // w = 3, c = 2, n = 6: Theorem 10 guarantees ≥ ⌈3/2⌉ = 2 workers, i.e.
+    // at least 4/6 partitions, every step.
+    for &f in &report.recovered_fractions {
+        assert!(f >= 4.0 / 6.0 - 1e-12, "fraction {f}");
+    }
+}
+
+#[test]
+fn threaded_and_simulated_runs_converge_to_same_model_family() {
+    // Not bit-identical (threads race), but both must reach the same loss
+    // basin on the same dataset with the same scheme.
+    use isgc::simnet::cluster::ClusterConfig;
+    use isgc::simnet::policy::WaitPolicy;
+    use isgc::simnet::trainer::{train, CodingScheme, TrainingConfig};
+
+    let dataset = Dataset::synthetic_regression(192, 3, 0.02, 8);
+    let placement = Placement::cyclic(4, 2).unwrap();
+
+    let threaded = train_threaded(
+        LinearRegression::new(3),
+        dataset.clone(),
+        &placement,
+        &base_config(4, 5),
+    );
+    let simulated = train(
+        &LinearRegression::new(3),
+        &dataset,
+        &CodingScheme::IsGc(placement),
+        &WaitPolicy::All,
+        ClusterConfig::uniform(4, 0.05, 0.05),
+        &TrainingConfig {
+            batch_size: 16,
+            learning_rate: 0.05,
+            loss_threshold: 0.02,
+            max_steps: 400,
+            seed: 5,
+            ..TrainingConfig::default()
+        },
+    );
+    assert!(threaded.reached_threshold && simulated.reached_threshold);
+    assert!((threaded.final_loss() - simulated.final_loss()).abs() < 0.02);
+}
+
+#[test]
+fn full_wait_recovers_everything_every_step() {
+    let dataset = Dataset::synthetic_regression(96, 2, 0.05, 6);
+    let placement = Placement::fractional(4, 2).unwrap();
+    let report = train_threaded(
+        LinearRegression::new(2),
+        dataset,
+        &placement,
+        &base_config(4, 7),
+    );
+    assert!(report.recovered_fractions.iter().all(|&f| f == 1.0));
+}

@@ -1,0 +1,332 @@
+//! Direct checks of the paper's theorems at sizes beyond the unit tests.
+
+use isgc::core::conflict::ring_distance;
+use isgc::core::decode::{CrDecoder, Decoder};
+use isgc::core::{bounds, ConflictGraph, HrParams, Placement, WorkerSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 1: the CR conflict graph is the circulant `C_n^{1..c−1}` — two
+/// workers conflict iff their ring distance is below c.
+#[test]
+fn theorem_1_circulant_structure() {
+    for n in [16usize, 23, 32, 41] {
+        for c in [1usize, 2, 5, n / 2, n] {
+            let p = Placement::cyclic(n, c).unwrap();
+            let g = ConflictGraph::from_placement(&p);
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        assert_eq!(
+                            g.has_edge(a, b),
+                            ring_distance(n, a, b) < c,
+                            "n={n}, c={c}, ({a},{b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 4: `E_FR(n,c) ⊂ E_CR(n,c) ⊂ … ⊂ E_CR(n,n)`, strictly where the
+/// paper claims containment.
+#[test]
+fn theorem_4_edge_chain() {
+    for (n, c) in [(12usize, 2usize), (12, 4), (24, 3), (24, 6)] {
+        let fr = ConflictGraph::from_placement(&Placement::fractional(n, c).unwrap());
+        let mut prev = ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap());
+        assert!(fr.is_subgraph_of(&prev));
+        assert!(
+            fr.edge_count() < prev.edge_count(),
+            "FR({n},{c}) not strict"
+        );
+        for c_next in (c + 1)..=n {
+            let next = ConflictGraph::from_placement(&Placement::cyclic(n, c_next).unwrap());
+            assert!(
+                prev.is_subgraph_of(&next),
+                "CR({n},{}) ⊄ CR({n},{c_next})",
+                c_next - 1
+            );
+            prev = next;
+        }
+        // The chain ends at the complete graph.
+        assert_eq!(prev.edge_count(), n * (n - 1) / 2);
+    }
+}
+
+/// Theorem 5: when `n0 ≤ 2c − 1`, HR's conflict graph equals FR(n, n0)'s
+/// (groups become cliques with no cross-group edges for c2 = 0).
+#[test]
+fn theorem_5_hr_equals_fr_conflicts() {
+    for (n, g) in [(12usize, 3usize), (16, 4), (20, 4), (24, 4)] {
+        let n0 = n / g;
+        // c1 = n0, c2 = 0: each worker stores its entire group.
+        let hr = Placement::hybrid(HrParams::new(n, g, n0, 0)).unwrap();
+        let fr = Placement::fractional(n, n0).unwrap();
+        let hr_g = ConflictGraph::from_placement(&hr);
+        let fr_g = ConflictGraph::from_placement(&fr);
+        assert_eq!(hr_g.edges(), fr_g.edges(), "n={n}, g={g}");
+    }
+}
+
+/// Theorem 6: within the valid range `c ≤ n0 ≤ 2c − 1` with `c1 > 0`, all
+/// workers of a group pairwise conflict.
+#[test]
+fn theorem_6_groups_are_cliques() {
+    for prm in [
+        HrParams::new(16, 4, 2, 2),
+        HrParams::new(24, 4, 4, 2),
+        HrParams::new(30, 6, 3, 2),
+        HrParams::new(8, 2, 1, 3),
+    ] {
+        prm.validate().unwrap();
+        let p = Placement::hybrid(prm).unwrap();
+        let n0 = prm.n0();
+        for group in 0..prm.g() {
+            for a in group * n0..(group + 1) * n0 {
+                for b in (a + 1)..(group + 1) * n0 {
+                    assert!(p.conflicts(a, b), "{prm:?}: ({a},{b}) in group {group}");
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 7: with fixed c, moving weight from c1 to c2 only adds edges:
+/// `E_HR(n,c,0) ⊆ E_HR(n,c−1,1) ⊆ … ⊆ E_HR(n,·,·)`.
+#[test]
+fn theorem_7_hr_chain_monotone() {
+    for (n, g, c) in [(16usize, 4usize, 4usize), (24, 4, 6), (30, 6, 5)] {
+        let mut prev: Option<ConflictGraph> = None;
+        for c2 in 0..=c {
+            let prm = HrParams::new(n, g, c - c2, c2);
+            if prm.validate().is_err() {
+                continue;
+            }
+            let graph = ConflictGraph::from_placement(&Placement::hybrid(prm).unwrap());
+            if let Some(p) = &prev {
+                assert!(
+                    p.is_subgraph_of(&graph),
+                    "n={n}, g={g}, c={c}: chain broken at c2={c2}"
+                );
+            }
+            prev = Some(graph);
+        }
+    }
+}
+
+/// Theorems 10-11 at the extremes: consecutive availability attains the
+/// lower bound; maximally spread availability attains the upper bound.
+#[test]
+fn theorems_10_11_tightness() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for (n, c) in [(24usize, 3usize), (24, 4), (30, 5)] {
+        let p = Placement::cyclic(n, c).unwrap();
+        let d = CrDecoder::new(&p).unwrap();
+        for w in [n / 4, n / 2] {
+            // Worst case: w consecutive workers.
+            let consecutive = WorkerSet::from_indices(n, 0..w);
+            let got = d.decode(&consecutive, &mut rng).selected().len();
+            assert_eq!(
+                got,
+                bounds::alpha_lower_bound(n, c, w),
+                "lower n={n} c={c} w={w}"
+            );
+            // Best case: workers spread c apart.
+            if w <= n / c {
+                let spread = WorkerSet::from_indices(n, (0..w).map(|i| i * c));
+                let got = d.decode(&spread, &mut rng).selected().len();
+                assert_eq!(
+                    got,
+                    bounds::alpha_upper_bound(n, c, w),
+                    "upper n={n} c={c} w={w}"
+                );
+            }
+        }
+    }
+}
+
+/// §VII-A: FR's independence number dominates CR's on every induced
+/// subgraph (the corollary of Theorem 4 driving Fig. 12's FR > CR gap).
+#[test]
+fn fr_alpha_dominates_cr_alpha() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for (n, c) in [(12usize, 2usize), (12, 3), (16, 4)] {
+        let fr = ConflictGraph::from_placement(&Placement::fractional(n, c).unwrap());
+        let cr = ConflictGraph::from_placement(&Placement::cyclic(n, c).unwrap());
+        let mut strictly_better = 0usize;
+        for _ in 0..200 {
+            let w = 1 + (rand::Rng::random_range(&mut rng, 0..n));
+            let avail = WorkerSet::random_subset(n, w, &mut rng);
+            let a_fr = fr.alpha(&avail);
+            let a_cr = cr.alpha(&avail);
+            assert!(a_fr >= a_cr, "n={n}, c={c}: FR {a_fr} < CR {a_cr}");
+            if a_fr > a_cr {
+                strictly_better += 1;
+            }
+        }
+        if c > 1 {
+            assert!(
+                strictly_better > 0,
+                "FR never strictly better at n={n}, c={c}"
+            );
+        }
+    }
+}
+
+/// Theorem 12, quantitative: for linear least squares the per-step descent
+/// inequality
+/// `E[f(β⁺)] ≤ f(β) − η·|D_d|·||∇f(β)||² + L·η²·σ²·|D_d|²/2`
+/// holds empirically, with L the largest Hessian eigenvalue and σ² the
+/// empirical second-moment bound of the decoded gradient (Assumption 3).
+#[test]
+fn theorem_12_descent_inequality_holds_empirically() {
+    use isgc::core::decode::{CrDecoder, Decoder};
+    use isgc::linalg::{Matrix, Vector};
+    use isgc::ml::dataset::Dataset;
+    use isgc::ml::model::{LinearRegression, Model};
+
+    let n = 6usize;
+    let c = 2usize;
+    let samples = 120usize;
+    let data = Dataset::synthetic_regression(samples, 3, 0.3, 13);
+    let model = LinearRegression::new(3);
+    let placement = Placement::cyclic(n, c).unwrap();
+    let decoder = CrDecoder::new(&placement).unwrap();
+    let partitions = data.partition(n);
+    let all: Vec<usize> = (0..samples).collect();
+
+    // L: largest eigenvalue of the mean Hessian (1/d) Σ x̃ x̃ᵀ with the bias
+    // column appended — estimated by power iteration.
+    let xt = Matrix::from_fn(samples, 4, |r, cidx| {
+        if cidx < 3 {
+            data.features_of(r)[cidx]
+        } else {
+            1.0
+        }
+    });
+    let mut v = Vector::filled(4, 1.0);
+    let mut lambda = 0.0;
+    for _ in 0..200 {
+        let mut hv = xt.matvec_transposed(&xt.matvec(&v));
+        hv.scale(1.0 / samples as f64);
+        lambda = hv.norm();
+        if lambda == 0.0 {
+            break;
+        }
+        hv.scale(1.0 / lambda);
+        v = hv;
+    }
+    let l_smooth = lambda;
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let eta = 0.002; // small per Theorem 12's requirement
+    let mut params = {
+        let mut p = Vector::zeros(4);
+        p[0] = 1.5; // start away from the optimum
+        p
+    };
+
+    for _trial in 0..8 {
+        let f_beta = model.loss_mean(&params, &data, &all);
+        let grad_full = {
+            let mut g = model.gradient_sum(&params, &data, &all);
+            g.scale(1.0 / samples as f64);
+            g
+        };
+        // Empirical expectation of f(β⁺) and of ||ĝ_normalized||² over many
+        // sampled straggler patterns at fixed w = 3.
+        let trials = 400;
+        let mut mean_f_next = 0.0;
+        let mut sigma2: f64 = 0.0;
+        let mut mean_dd: f64 = 0.0;
+        for _ in 0..trials {
+            let avail = WorkerSet::random_subset(n, 3, &mut rng);
+            let result = decoder.decode(&avail, &mut rng);
+            // Decoded gradient per Assumption 2: mean over recovered samples
+            // (full-partition batches make it exact, not stochastic).
+            let mut g_hat = Vector::zeros(4);
+            let mut recovered_samples = 0usize;
+            for &j in result.partitions() {
+                let idx: Vec<usize> = partitions.range(j).collect();
+                recovered_samples += idx.len();
+                g_hat.axpy(1.0, &model.gradient_sum(&params, &data, &idx));
+            }
+            if recovered_samples == 0 {
+                continue;
+            }
+            g_hat.scale(1.0 / recovered_samples as f64);
+            // Theorem 12's |D_d| as a *fraction* of the dataset keeps the
+            // units of η consistent with the full-gradient norm.
+            let dd = recovered_samples as f64 / samples as f64;
+            mean_dd += dd;
+            sigma2 = sigma2.max(g_hat.norm_squared());
+            let mut next = params.clone();
+            next.axpy(-eta * dd * samples as f64, &g_hat);
+            mean_f_next += model.loss_mean(&next, &data, &all);
+        }
+        mean_f_next /= trials as f64;
+        mean_dd = mean_dd / trials as f64 * samples as f64;
+        let eta_eff = eta;
+        let bound = f_beta - eta_eff * mean_dd * grad_full.norm_squared()
+            + l_smooth * eta_eff * eta_eff * sigma2 * mean_dd * mean_dd / 2.0;
+        assert!(
+            mean_f_next <= bound + 1e-9,
+            "E[f+]={mean_f_next} > bound={bound} (f={f_beta})"
+        );
+        // Advance β along the full gradient to test several points.
+        params.axpy(-0.05, &grad_full);
+    }
+}
+
+/// Theorem 12 (flavor): with a small enough learning rate, the expected loss
+/// decreases monotonically-in-trend under partial recovery.
+#[test]
+fn theorem_12_convergence_trend() {
+    use isgc::ml::dataset::Dataset;
+    use isgc::ml::model::SoftmaxRegression;
+    use isgc::simnet::cluster::{ClusterConfig, StragglerSelection};
+    use isgc::simnet::delay::Delay;
+    use isgc::simnet::policy::WaitPolicy;
+    use isgc::simnet::trainer::{train, CodingScheme, TrainingConfig};
+
+    let dataset = Dataset::gaussian_classification(256, 6, 3, 3.0, 11);
+    let model = SoftmaxRegression::new(6, 3);
+    let cluster = ClusterConfig {
+        n: 6,
+        compute_time_per_partition: 0.01,
+        comm_time: 0.01,
+        jitter: Delay::Exponential { mean: 0.1 },
+        straggler_delay: Delay::none(),
+        stragglers: StragglerSelection::None,
+    };
+    let report = train(
+        &model,
+        &dataset,
+        &CodingScheme::IsGc(Placement::cyclic(6, 2).unwrap()),
+        &WaitPolicy::WaitForCount(3),
+        cluster,
+        &TrainingConfig {
+            learning_rate: 0.02,
+            loss_threshold: 0.0,
+            max_steps: 300,
+            ..TrainingConfig::default()
+        },
+    );
+    // Smoothed loss (window 30) must be non-increasing to within noise.
+    let smooth: Vec<f64> = report
+        .loss_curve
+        .windows(30)
+        .map(|w| w.iter().sum::<f64>() / 30.0)
+        .collect();
+    for pair in smooth.windows(60) {
+        assert!(
+            pair[59] <= pair[0] * 1.02,
+            "smoothed loss increased: {} -> {}",
+            pair[0],
+            pair[59]
+        );
+    }
+    assert!(report.final_loss() < report.loss_curve[0] / 2.0);
+}

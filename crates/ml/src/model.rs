@@ -572,7 +572,10 @@ mod tests {
 
     #[test]
     fn softmax_learns_separable_classes() {
-        let data = Dataset::gaussian_classification(150, 4, 3, 6.0, 8);
+        // Separation 8.0 keeps the classes cleanly separable for any
+        // reasonable RNG stream (6.0 left a handful of overlapping points
+        // under some seeds).
+        let data = Dataset::gaussian_classification(150, 4, 3, 8.0, 8);
         let model = SoftmaxRegression::new(4, 3);
         let mut params = model.zero_params();
         let idx: Vec<usize> = (0..150).collect();

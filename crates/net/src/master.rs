@@ -1,0 +1,662 @@
+//! The IS-GC master: listens on TCP, registers workers, drives training
+//! steps, and ignores an arbitrary subset of stragglers every step.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
+use isgc_core::{Placement, Scheme, WorkerSet};
+use isgc_linalg::Vector;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::Model;
+use isgc_ml::optimizer::Sgd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{NetReport, NetTrainReport};
+use crate::wire::{read_message, write_message, Message, WireError};
+use crate::{NetError, WaitPolicy};
+
+/// Configuration of a networked training run.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The data placement; `placement.n()` workers must register.
+    pub placement: Placement,
+    /// How each step stops collecting codewords.
+    pub wait: WaitPolicy,
+    /// Mini-batch size per partition per step.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Stop when the full-dataset loss reaches this value.
+    pub loss_threshold: f64,
+    /// Hard cap on steps.
+    pub max_steps: usize,
+    /// Seed shared with workers (parameter init, batches, decode
+    /// tie-breaks); transmitted in `Assign`.
+    pub seed: u64,
+    /// A worker silent for longer than this is presumed dead and stops
+    /// counting toward wait targets until it reconnects or speaks again.
+    pub heartbeat_timeout: Duration,
+    /// How long `run` waits for all `n` workers to register.
+    pub register_timeout: Duration,
+}
+
+impl NetConfig {
+    /// A config with conventional robustness timeouts.
+    pub fn new(placement: Placement, wait: WaitPolicy) -> Self {
+        NetConfig {
+            placement,
+            wait,
+            batch_size: 8,
+            learning_rate: 0.05,
+            loss_threshold: 0.0,
+            max_steps: 50,
+            seed: 7,
+            heartbeat_timeout: Duration::from_secs(2),
+            register_timeout: Duration::from_secs(30),
+        }
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        let n = self.placement.n();
+        if let WaitPolicy::FirstW(w) = self.wait {
+            if !(1..=n).contains(&w) {
+                return Err(NetError::InvalidConfig(format!(
+                    "wait count w = {w} outside 1..={n}"
+                )));
+            }
+        }
+        if self.batch_size == 0 {
+            return Err(NetError::InvalidConfig(
+                "batch_size must be positive".into(),
+            ));
+        }
+        if self.max_steps == 0 {
+            return Err(NetError::InvalidConfig("max_steps must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Events flowing from connection threads into the master loop.
+enum Event {
+    /// A fresh connection completed its `Hello` handshake.
+    Join {
+        stream: TcpStream,
+        preferred: Option<u64>,
+    },
+    /// A registered connection produced a message.
+    Msg {
+        worker: usize,
+        epoch: u64,
+        message: Message,
+    },
+    /// A registered connection died (EOF, reset, or protocol error).
+    Gone { worker: usize, epoch: u64 },
+}
+
+/// One worker slot as the master sees it.
+struct Slot {
+    /// Write half of the current connection, if any.
+    writer: Option<TcpStream>,
+    /// Bumped on every (re)registration so events from replaced connections
+    /// can be told apart from live ones.
+    epoch: u64,
+    /// Whether the current connection is believed usable.
+    alive: bool,
+    /// Whether this slot was ever assigned to a connection.
+    registered: bool,
+    /// Last time any message arrived from this worker.
+    last_seen: Instant,
+}
+
+/// A listening IS-GC master. Bind first (so tests can learn the ephemeral
+/// port), then [`Master::run`] a training session.
+pub struct Master {
+    listener: TcpListener,
+}
+
+impl Master {
+    /// Binds the master's listening socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, ...).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Master, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Master { listener })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures from the OS.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs a full training session; see [`Master::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Master::run_with`].
+    pub fn run<M: Model>(
+        self,
+        model: &M,
+        dataset: &Dataset,
+        config: &NetConfig,
+    ) -> Result<NetTrainReport, NetError> {
+        self.run_with(model, dataset, config, |_| {})
+    }
+
+    /// Runs a full training session, calling `observer` after every step.
+    ///
+    /// Blocks until `placement.n()` workers registered, then trains for up
+    /// to `max_steps` steps, decoding each step's arrivals with the
+    /// placement's IS-GC decoder and applying the shared SGD update. Dead
+    /// workers (heartbeat silence, closed connections) shrink the wait
+    /// target instead of stalling the step; late codewords are discarded by
+    /// step tag; reconnecting workers reclaim their slot mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] for bad parameters,
+    /// [`NetError::Protocol`] when registration times out, and
+    /// [`NetError::AllWorkersLost`] when no worker is left to make progress.
+    pub fn run_with<M: Model>(
+        self,
+        model: &M,
+        dataset: &Dataset,
+        config: &NetConfig,
+        mut observer: impl FnMut(&NetReport),
+    ) -> Result<NetTrainReport, NetError> {
+        config.validate()?;
+        let n = config.placement.n();
+        let decoder: Box<dyn Decoder> = match config.placement.scheme() {
+            Scheme::Fractional => Box::new(
+                FrDecoder::new(&config.placement).expect("FR placement validated on construction"),
+            ),
+            Scheme::Cyclic => Box::new(
+                CrDecoder::new(&config.placement).expect("CR placement validated on construction"),
+            ),
+            Scheme::Hybrid => Box::new(
+                HrDecoder::new(&config.placement).expect("HR placement validated on construction"),
+            ),
+            Scheme::Custom => Box::new(ExactDecoder::new(&config.placement)),
+        };
+
+        let local_addr = self.listener.local_addr()?;
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = spawn_accept_loop(self.listener, event_tx.clone(), Arc::clone(&stop));
+
+        let mut loop_state = MasterLoop {
+            slots: (0..n)
+                .map(|_| Slot {
+                    writer: None,
+                    epoch: 0,
+                    alive: false,
+                    registered: false,
+                    last_seen: Instant::now(),
+                })
+                .collect(),
+            event_rx,
+            event_tx,
+            config: config.clone(),
+        };
+
+        let outcome = loop_state.train(model, dataset, decoder.as_ref(), &mut observer);
+
+        // Tell workers we're done and unblock the accept loop so its thread
+        // exits: set the flag, then poke the listener with a throwaway
+        // connection.
+        loop_state.broadcast(&Message::Shutdown);
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(local_addr);
+        let _ = accept_handle.join();
+        outcome
+    }
+}
+
+/// Spawns the accept loop: each fresh connection gets a short-lived
+/// handshake thread that reads `Hello` and forwards a `Join` event.
+fn spawn_accept_loop(
+    listener: TcpListener,
+    event_tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("isgc-net-accept".into())
+        .spawn(move || loop {
+            let (stream, _peer) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if stop.load(Ordering::Acquire) => return,
+                Err(_) => continue,
+            };
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let tx = event_tx.clone();
+            let _ = thread::Builder::new()
+                .name("isgc-net-handshake".into())
+                .spawn(move || {
+                    let mut stream = stream;
+                    let _ = stream.set_nodelay(true);
+                    // Bound the handshake so a silent client can't pin the
+                    // thread forever.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    // Anything but a Hello means it's not a worker; the
+                    // connection is silently dropped.
+                    if let Ok(Message::Hello { preferred }) = read_message(&mut stream) {
+                        let _ = stream.set_read_timeout(None);
+                        let _ = tx.send(Event::Join { stream, preferred });
+                    }
+                });
+        })
+        .expect("failed to spawn accept thread")
+}
+
+/// Spawns the per-connection reader feeding `Event::Msg` / `Event::Gone`.
+fn spawn_reader(stream: TcpStream, worker: usize, epoch: u64, tx: Sender<Event>) {
+    let _ = thread::Builder::new()
+        .name(format!("isgc-net-reader-{worker}"))
+        .spawn(move || {
+            let mut stream = stream;
+            loop {
+                match read_message(&mut stream) {
+                    Ok(message) => {
+                        if tx
+                            .send(Event::Msg {
+                                worker,
+                                epoch,
+                                message,
+                            })
+                            .is_err()
+                        {
+                            return; // master loop is gone
+                        }
+                    }
+                    Err(WireError::Closed) | Err(_) => {
+                        let _ = tx.send(Event::Gone { worker, epoch });
+                        return;
+                    }
+                }
+            }
+        });
+}
+
+/// The master's single-threaded state machine over connection events.
+struct MasterLoop {
+    slots: Vec<Slot>,
+    event_rx: Receiver<Event>,
+    event_tx: Sender<Event>,
+    config: NetConfig,
+}
+
+impl MasterLoop {
+    fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Handles one event; codewords are returned to the caller, everything
+    /// else mutates slot state here.
+    fn dispatch(&mut self, event: Event) -> Option<(usize, u64, Vec<f64>)> {
+        match event {
+            Event::Join { stream, preferred } => {
+                self.register(stream, preferred);
+                None
+            }
+            Event::Gone { worker, epoch } => {
+                if self.slots[worker].epoch == epoch {
+                    self.slots[worker].alive = false;
+                    self.slots[worker].writer = None;
+                }
+                None
+            }
+            Event::Msg {
+                worker,
+                epoch,
+                message,
+            } => {
+                if self.slots[worker].epoch != epoch {
+                    return None; // from a replaced connection
+                }
+                self.slots[worker].last_seen = Instant::now();
+                self.slots[worker].alive = true;
+                match message {
+                    Message::Codeword {
+                        worker: claimed,
+                        step,
+                        values,
+                    } => {
+                        // The slot id is authoritative; a mismatched claim is
+                        // a protocol violation we tolerate by trusting the
+                        // connection, not the payload.
+                        let _ = claimed;
+                        Some((worker, step, values))
+                    }
+                    Message::Heartbeat { .. } => None,
+                    // Workers never send anything else; ignore rather than
+                    // letting one confused peer kill the run.
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Assigns a slot to a fresh connection and starts its reader.
+    fn register(&mut self, stream: TcpStream, preferred: Option<u64>) {
+        let n = self.n();
+        let id = match preferred {
+            Some(p) if (p as usize) < n => p as usize,
+            Some(_) => return, // claims a slot outside the cluster: reject
+            None => match self.slots.iter().position(|s| !s.registered) {
+                Some(free) => free,
+                None => {
+                    // Cluster is full; a worker that lost its id and
+                    // reconnected fresh would land here. Adopt the first
+                    // dead slot if any, else drop the connection.
+                    match self.slots.iter().position(|s| !s.alive) {
+                        Some(dead) => dead,
+                        None => return,
+                    }
+                }
+            },
+        };
+        let assign = Message::Assign {
+            worker: id as u64,
+            n: n as u64,
+            c: self.config.placement.c() as u64,
+            batch_size: self.config.batch_size as u64,
+            seed: self.config.seed,
+            partitions: self
+                .config
+                .placement
+                .partitions_of(id)
+                .iter()
+                .map(|&j| j as u64)
+                .collect(),
+        };
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if write_message(&mut write_half, &assign).is_err() {
+            return;
+        }
+        let slot = &mut self.slots[id];
+        slot.epoch += 1;
+        slot.registered = true;
+        slot.alive = true;
+        slot.last_seen = Instant::now();
+        slot.writer = Some(write_half);
+        spawn_reader(stream, id, slot.epoch, self.event_tx.clone());
+    }
+
+    /// Marks heartbeat-silent workers dead.
+    fn sweep_dead(&mut self) {
+        let timeout = self.config.heartbeat_timeout;
+        for slot in &mut self.slots {
+            if slot.alive && slot.last_seen.elapsed() > timeout {
+                slot.alive = false;
+            }
+        }
+    }
+
+    fn alive_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive).count()
+    }
+
+    /// Sends a message to every alive worker, demoting ones that fail.
+    fn broadcast(&mut self, message: &Message) {
+        for slot in &mut self.slots {
+            if !slot.alive {
+                continue;
+            }
+            let ok = slot
+                .writer
+                .as_mut()
+                .is_some_and(|w| write_message(w, message).is_ok());
+            if !ok {
+                slot.alive = false;
+                slot.writer = None;
+            }
+        }
+    }
+
+    /// Blocks until all `n` workers registered (or the deadline passes).
+    fn await_registration(&mut self) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.config.register_timeout;
+        loop {
+            let registered = self.slots.iter().filter(|s| s.registered).count();
+            if registered == self.n() {
+                return Ok(());
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(NetError::Protocol(format!(
+                    "registration timed out with {registered} of {} workers",
+                    self.n()
+                )));
+            };
+            match self.event_rx.recv_timeout(remaining.min(POLL)) {
+                Ok(event) => {
+                    let _ = self.dispatch(event);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Protocol("event channel closed".into()));
+                }
+            }
+        }
+    }
+
+    /// The full training session.
+    fn train<M: Model>(
+        &mut self,
+        model: &M,
+        dataset: &Dataset,
+        decoder: &dyn Decoder,
+        observer: &mut impl FnMut(&NetReport),
+    ) -> Result<NetTrainReport, NetError> {
+        self.await_registration()?;
+
+        let n = self.n();
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut params = model.init_params(&mut rng);
+        let mut opt = Sgd::new(self.config.learning_rate);
+        let all_indices: Vec<usize> = (0..dataset.len()).collect();
+        let mut steps = Vec::with_capacity(self.config.max_steps);
+        let mut reached_threshold = false;
+        let started = Instant::now();
+
+        for step in 0..self.config.max_steps as u64 {
+            self.broadcast(&Message::Params {
+                step,
+                values: params.as_slice().to_vec(),
+            });
+            let collected = self.collect_step(step)?;
+
+            let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
+            let result = decoder.decode(&available, &mut rng);
+            let recovered = result.recovered_count();
+            if recovered > 0 {
+                let mut g = Vector::zeros(params.len());
+                for &w in result.selected() {
+                    g.axpy(
+                        1.0,
+                        collected.codewords[w]
+                            .as_ref()
+                            .expect("decoder selects only arrived workers"),
+                    );
+                }
+                // Paper-faithful normalization (Theorem 12's η·|D_d|): ĝ is
+                // a sum of per-partition batch sums; scale once by the batch
+                // size, matching isgc-runtime.
+                g.scale(1.0 / self.config.batch_size as f64);
+                opt.step(&mut params, &g);
+            }
+            let loss = model.loss_mean(&params, dataset, &all_indices);
+            let report = NetReport {
+                step,
+                arrivals: collected.arrivals,
+                waited_ms: collected.waited.as_secs_f64() * 1e3,
+                selected: result.selected().to_vec(),
+                recovered,
+                ignored: (0..n).filter(|w| !result.selected().contains(w)).collect(),
+                dead: self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.alive)
+                    .map(|(i, _)| i)
+                    .collect(),
+                stale: collected.stale,
+                loss,
+            };
+            observer(&report);
+            steps.push(report);
+            if loss <= self.config.loss_threshold {
+                reached_threshold = true;
+                break;
+            }
+        }
+        Ok(NetTrainReport {
+            steps,
+            reached_threshold,
+            wall_time: started.elapsed().as_secs_f64(),
+            final_params: params,
+        })
+    }
+
+    /// Collects one step's codewords under the configured wait policy.
+    fn collect_step(&mut self, step: u64) -> Result<CollectedStep, NetError> {
+        let step_start = Instant::now();
+        let cutoff = match self.config.wait {
+            WaitPolicy::FirstW(_) => None,
+            WaitPolicy::Deadline(d) => Some(step_start + d),
+        };
+        let n = self.n();
+        let mut codewords: Vec<Option<Vector>> = vec![None; n];
+        let mut arrivals: Vec<usize> = Vec::new();
+        let mut stale = 0usize;
+        let mut pending: VecDeque<Event> = VecDeque::new();
+
+        loop {
+            self.sweep_dead();
+            let alive_pending = (0..n)
+                .filter(|&w| self.slots[w].alive && codewords[w].is_none())
+                .count();
+            let done = match self.config.wait {
+                WaitPolicy::FirstW(w) => arrivals.len() >= w || alive_pending == 0,
+                WaitPolicy::Deadline(_) => {
+                    let expired = cutoff.is_some_and(|c| Instant::now() >= c);
+                    (expired && !arrivals.is_empty()) || alive_pending == 0
+                }
+            };
+            if done {
+                if arrivals.is_empty() && self.alive_count() == 0 {
+                    return Err(NetError::AllWorkersLost);
+                }
+                // A step that closes with zero arrivals but alive workers
+                // (FirstW with everyone freshly dead-marked) still makes
+                // progress upstream: zero recovery means no update.
+                return Ok(CollectedStep {
+                    arrivals,
+                    codewords,
+                    waited: step_start.elapsed(),
+                    stale,
+                });
+            }
+
+            let event = match pending.pop_front() {
+                Some(event) => event,
+                None => match self.event_rx.recv_timeout(POLL) {
+                    Ok(event) => event,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(NetError::Protocol("event channel closed".into()));
+                    }
+                },
+            };
+            if let Some((worker, tagged_step, values)) = self.dispatch(event) {
+                if tagged_step == step && codewords[worker].is_none() {
+                    codewords[worker] = Some(Vector::from_slice(&values));
+                    arrivals.push(worker);
+                } else {
+                    // Stale: a straggler finishing an earlier round (or a
+                    // duplicate); count it, never mix it into this step.
+                    stale += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Poll granularity of the master loop: how often liveness and deadlines are
+/// re-checked while waiting for codewords.
+const POLL: Duration = Duration::from_millis(20);
+
+/// What one step's collection phase produced.
+struct CollectedStep {
+    arrivals: Vec<usize>,
+    codewords: Vec<Option<Vector>>,
+    waited: Duration,
+    stale: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isgc_ml::model::LinearRegression;
+
+    fn test_config(n: usize, c: usize, w: usize) -> NetConfig {
+        let mut config = NetConfig::new(
+            Placement::cyclic(n, c).expect("valid CR"),
+            WaitPolicy::FirstW(w),
+        );
+        config.max_steps = 3;
+        config
+    }
+
+    #[test]
+    fn config_validation_catches_bad_w() {
+        let config = test_config(4, 2, 5);
+        assert!(matches!(config.validate(), Err(NetError::InvalidConfig(_))));
+        assert!(test_config(4, 2, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn config_validation_catches_zero_batch_and_steps() {
+        let mut config = test_config(4, 2, 2);
+        config.batch_size = 0;
+        assert!(config.validate().is_err());
+        let mut config = test_config(4, 2, 2);
+        config.max_steps = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn registration_times_out_without_workers() {
+        let master = Master::bind("127.0.0.1:0").unwrap();
+        let mut config = test_config(2, 1, 1);
+        config.register_timeout = Duration::from_millis(100);
+        let model = LinearRegression::new(2);
+        let dataset = Dataset::synthetic_regression(16, 2, 0.1, 1);
+        let err = master.run(&model, &dataset, &config).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn bind_reports_local_addr() {
+        let master = Master::bind("127.0.0.1:0").unwrap();
+        let addr = master.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+    }
+}

@@ -1,0 +1,556 @@
+//! The IS-GC wire protocol: hand-rolled, length-prefixed binary frames.
+//!
+//! Every frame is
+//!
+//! ```text
+//! +----------+---------+-------------+--------------------+
+//! | magic    | version | payload len | payload            |
+//! | "ISGC"   | u8 = 1  | u32 LE      | tag u8 + body      |
+//! +----------+---------+-------------+--------------------+
+//! ```
+//!
+//! Multi-byte integers are little-endian; `f64` vectors are a `u32` element
+//! count followed by IEEE-754 bit patterns. Decoding is strict: a frame with
+//! an unknown tag, an inner length that disagrees with the payload length,
+//! or trailing bytes is rejected with a typed [`WireError`] — never a panic —
+//! so a corrupt or malicious peer cannot take down the master.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Leading bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"ISGC";
+
+/// Protocol version; bumped on any incompatible change.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on the payload length field (64 MiB): anything larger is
+/// treated as a corrupt frame instead of an allocation request.
+pub const MAX_PAYLOAD: u32 = 1 << 26;
+
+/// Everything that can go wrong reading or writing a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The frame did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame used a protocol version this build does not speak.
+    UnsupportedVersion(u8),
+    /// The payload length field exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload's message tag is not a known [`Message`] variant.
+    UnknownTag(u8),
+    /// The payload ended before the message body was complete.
+    Truncated,
+    /// The payload kept going after the message body was complete.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversized(len) => write!(f, "frame payload of {len} bytes exceeds limit"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::Truncated => write!(f, "truncated message body"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Everything master and workers say to each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → master: first message on a fresh connection. `preferred` is
+    /// the worker's previous id when reconnecting, `None` on first contact.
+    Hello {
+        /// Slot the worker wants back after a reconnect.
+        preferred: Option<u64>,
+    },
+    /// Master → worker: registration reply carrying the worker's assignment.
+    Assign {
+        /// The slot this connection now owns.
+        worker: u64,
+        /// Total number of workers (and partitions) in the cluster.
+        n: u64,
+        /// Partitions stored per worker.
+        c: u64,
+        /// Mini-batch size per partition per step.
+        batch_size: u64,
+        /// Seed shared by master and workers for datasets and batches.
+        seed: u64,
+        /// The data partitions this worker computes each step.
+        partitions: Vec<u64>,
+    },
+    /// Master → worker: fresh parameters; compute step `step` on them.
+    Params {
+        /// Step the parameters belong to (tags the reply).
+        step: u64,
+        /// The flat parameter vector.
+        values: Vec<f64>,
+    },
+    /// Worker → master: one coded gradient for `step`.
+    Codeword {
+        /// Sender's slot.
+        worker: u64,
+        /// Step this codeword was computed for.
+        step: u64,
+        /// The summed per-partition gradient vector.
+        values: Vec<f64>,
+    },
+    /// Worker → master: liveness signal, sent on an interval.
+    Heartbeat {
+        /// Sender's slot.
+        worker: u64,
+    },
+    /// Master → worker: training is over; disconnect and exit.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_ASSIGN: u8 = 2;
+const TAG_PARAMS: u8 = 3;
+const TAG_CODEWORD: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+
+impl Message {
+    /// Serializes the message as one complete frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Message::Hello { preferred } => {
+                payload.push(TAG_HELLO);
+                match preferred {
+                    Some(id) => {
+                        payload.push(1);
+                        put_u64(&mut payload, *id);
+                    }
+                    None => {
+                        payload.push(0);
+                        put_u64(&mut payload, 0);
+                    }
+                }
+            }
+            Message::Assign {
+                worker,
+                n,
+                c,
+                batch_size,
+                seed,
+                partitions,
+            } => {
+                payload.push(TAG_ASSIGN);
+                put_u64(&mut payload, *worker);
+                put_u64(&mut payload, *n);
+                put_u64(&mut payload, *c);
+                put_u64(&mut payload, *batch_size);
+                put_u64(&mut payload, *seed);
+                put_u64_vec(&mut payload, partitions);
+            }
+            Message::Params { step, values } => {
+                payload.push(TAG_PARAMS);
+                put_u64(&mut payload, *step);
+                put_f64_vec(&mut payload, values);
+            }
+            Message::Codeword {
+                worker,
+                step,
+                values,
+            } => {
+                payload.push(TAG_CODEWORD);
+                put_u64(&mut payload, *worker);
+                put_u64(&mut payload, *step);
+                put_f64_vec(&mut payload, values);
+            }
+            Message::Heartbeat { worker } => {
+                payload.push(TAG_HEARTBEAT);
+                put_u64(&mut payload, *worker);
+            }
+            Message::Shutdown => payload.push(TAG_SHUTDOWN),
+        }
+        let mut frame = Vec::with_capacity(9 + payload.len());
+        frame.extend_from_slice(&MAGIC);
+        frame.push(VERSION);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Parses one frame from the front of `bytes`, returning the message and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input — short buffer, bad magic, foreign version,
+    /// oversized or inconsistent lengths, unknown tag, trailing bytes —
+    /// yields the corresponding [`WireError`] without panicking.
+    pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+        if bytes.len() < 9 {
+            return Err(WireError::Truncated);
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if bytes[4] != VERSION {
+            return Err(WireError::UnsupportedVersion(bytes[4]));
+        }
+        let len = u32::from_le_bytes(bytes[5..9].try_into().expect("4-byte slice"));
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let len = len as usize;
+        if bytes.len() < 9 + len {
+            return Err(WireError::Truncated);
+        }
+        let message = Self::decode_payload(&bytes[9..9 + len])?;
+        Ok((message, 9 + len))
+    }
+
+    /// Parses a frame payload (tag byte + body).
+    fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+        let mut cursor = Cursor::new(payload);
+        let tag = cursor.u8()?;
+        let message = match tag {
+            TAG_HELLO => {
+                let flag = cursor.u8()?;
+                let id = cursor.u64()?;
+                Message::Hello {
+                    preferred: (flag != 0).then_some(id),
+                }
+            }
+            TAG_ASSIGN => Message::Assign {
+                worker: cursor.u64()?,
+                n: cursor.u64()?,
+                c: cursor.u64()?,
+                batch_size: cursor.u64()?,
+                seed: cursor.u64()?,
+                partitions: cursor.u64_vec()?,
+            },
+            TAG_PARAMS => Message::Params {
+                step: cursor.u64()?,
+                values: cursor.f64_vec()?,
+            },
+            TAG_CODEWORD => Message::Codeword {
+                worker: cursor.u64()?,
+                step: cursor.u64()?,
+                values: cursor.f64_vec()?,
+            },
+            TAG_HEARTBEAT => Message::Heartbeat {
+                worker: cursor.u64()?,
+            },
+            TAG_SHUTDOWN => Message::Shutdown,
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        if cursor.remaining() != 0 {
+            return Err(WireError::TrailingBytes(cursor.remaining()));
+        }
+        Ok(message)
+    }
+}
+
+/// Writes one framed message to `w` and flushes it.
+///
+/// # Errors
+///
+/// Propagates transport failures as [`WireError::Io`].
+pub fn write_message(w: &mut impl Write, message: &Message) -> Result<(), WireError> {
+    w.write_all(&message.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one framed message from `r`.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] when the peer shut down cleanly between frames;
+/// otherwise any [`WireError`] a malformed frame produces.
+pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut header = [0u8; 9];
+    // Distinguish clean EOF (no bytes at a frame boundary) from truncation.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let magic: [u8; 4] = header[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(header[4]));
+    }
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4-byte slice"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Message::decode_payload(&payload)
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64_vec(buf: &mut Vec<u8>, xs: &[u64]) {
+    buf.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for x in xs {
+        put_u64(buf, *x);
+    }
+}
+
+fn put_f64_vec(buf: &mut Vec<u8>, xs: &[f64]) {
+    buf.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// A bounds-checked reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let count = self.u32()? as usize;
+        // The count must be consistent with the bytes actually present;
+        // otherwise a corrupt count could request a huge allocation.
+        if self.remaining() < count * 8 {
+            return Err(WireError::Truncated);
+        }
+        (0..count).map(|_| self.u64()).collect()
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let count = self.u32()? as usize;
+        if self.remaining() < count * 8 {
+            return Err(WireError::Truncated);
+        }
+        (0..count)
+            .map(|_| {
+                self.take(8)
+                    .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(message: Message) {
+        let frame = message.encode();
+        let (decoded, used) = Message::decode(&frame).expect("decode");
+        assert_eq!(decoded, message);
+        assert_eq!(used, frame.len());
+        // Streaming path agrees with the slice path.
+        let mut reader = io::Cursor::new(frame);
+        assert_eq!(read_message(&mut reader).expect("read"), message);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::Hello { preferred: None });
+        roundtrip(Message::Hello { preferred: Some(7) });
+        roundtrip(Message::Assign {
+            worker: 3,
+            n: 8,
+            c: 2,
+            batch_size: 16,
+            seed: 99,
+            partitions: vec![3, 4],
+        });
+        roundtrip(Message::Params {
+            step: 12,
+            values: vec![0.5, -1.25, f64::MAX, f64::MIN_POSITIVE],
+        });
+        roundtrip(Message::Codeword {
+            worker: 1,
+            step: 12,
+            values: vec![],
+        });
+        roundtrip(Message::Heartbeat { worker: 5 });
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn nan_payloads_survive_bitwise() {
+        let frame = Message::Params {
+            step: 0,
+            values: vec![f64::NAN],
+        }
+        .encode();
+        let (decoded, _) = Message::decode(&frame).unwrap();
+        match decoded {
+            Message::Params { values, .. } => assert!(values[0].is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut frame = Message::Shutdown.encode();
+        frame[0] = b'X';
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut frame = Message::Shutdown.encode();
+        frame[4] = 9;
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let frame = Message::Codeword {
+            worker: 0,
+            step: 3,
+            values: vec![1.0, 2.0],
+        }
+        .encode();
+        for cut in 0..frame.len() {
+            assert!(
+                Message::decode(&frame[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_trailing_bytes_and_oversize() {
+        let mut frame = Message::Shutdown.encode();
+        frame[9] = 200; // tag byte
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::UnknownTag(200))
+        ));
+
+        let mut frame = Message::Heartbeat { worker: 1 }.encode();
+        frame.push(0xAB);
+        let len = (frame.len() - 9) as u32;
+        frame[5..9].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::TrailingBytes(1))
+        ));
+
+        let mut frame = Message::Shutdown.encode();
+        frame[5..9].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_vector_count_is_an_error_not_an_alloc() {
+        let mut frame = Message::Params {
+            step: 1,
+            values: vec![1.0],
+        }
+        .encode();
+        // Overwrite the element count (after tag + step) with u32::MAX.
+        let count_offset = 9 + 1 + 8;
+        frame[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Message::decode(&frame), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_truncated() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_message(&mut io::Cursor::new(empty)),
+            Err(WireError::Closed)
+        ));
+        let frame = Message::Heartbeat { worker: 2 }.encode();
+        let cut = &frame[..5];
+        assert!(matches!(
+            read_message(&mut io::Cursor::new(cut)),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_sequence() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&Message::Heartbeat { worker: 1 }.encode());
+        stream.extend_from_slice(&Message::Shutdown.encode());
+        let (first, used) = Message::decode(&stream).unwrap();
+        assert_eq!(first, Message::Heartbeat { worker: 1 });
+        let (second, used2) = Message::decode(&stream[used..]).unwrap();
+        assert_eq!(second, Message::Shutdown);
+        assert_eq!(used + used2, stream.len());
+    }
+}

@@ -1,0 +1,427 @@
+//! The IS-GC worker client: connects to a master, computes per-partition
+//! gradient sums, straggles per an injected delay, and reconnects with
+//! exponential backoff when the connection drops.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use isgc_linalg::Vector;
+use isgc_ml::dataset::{Dataset, Partitioned};
+use isgc_ml::model::Model;
+
+use crate::wire::{read_message, write_message, Message, WireError};
+use crate::{DelayFn, NetError};
+
+/// Tunables of the worker loop.
+#[derive(Clone)]
+pub struct WorkerOptions {
+    /// Injected straggler delay applied after each step's computation.
+    pub delay: DelayFn,
+    /// How often the worker proves liveness to the master.
+    pub heartbeat_interval: Duration,
+    /// Reconnect attempts per disconnection (and for the initial connect,
+    /// so workers may start before the master).
+    pub connect_attempts: u32,
+    /// Backoff before the first retry; doubles each subsequent attempt.
+    pub connect_backoff: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            delay: crate::no_delay(),
+            heartbeat_interval: Duration::from_millis(200),
+            connect_attempts: 8,
+            connect_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl WorkerOptions {
+    /// Default options with the given delay function.
+    pub fn with_delay(delay: DelayFn) -> Self {
+        WorkerOptions {
+            delay,
+            ..WorkerOptions::default()
+        }
+    }
+}
+
+/// What the master assigned this worker during registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// This worker's slot id in `0..n`.
+    pub worker: usize,
+    /// Cluster size (also the number of data partitions).
+    pub n: usize,
+    /// Partitions per worker.
+    pub c: usize,
+    /// Mini-batch size per partition per step.
+    pub batch_size: usize,
+    /// Shared seed for deterministic mini-batch sampling.
+    pub seed: u64,
+    /// The partitions this worker computes each step.
+    pub partitions: Vec<usize>,
+}
+
+/// Why a worker's main loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownCause {
+    /// The master sent `Shutdown`: the run completed.
+    MasterShutdown,
+    /// The connection dropped and every reconnect attempt failed.
+    MasterUnreachable,
+}
+
+/// What a worker did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The slot id this worker served as.
+    pub worker: usize,
+    /// Codewords computed and sent.
+    pub steps_served: usize,
+    /// Successful reconnections after a dropped connection.
+    pub reconnects: usize,
+    /// Why the loop ended.
+    pub cause: ShutdownCause,
+}
+
+/// How one connection session ended.
+enum SessionEnd {
+    Shutdown,
+    Lost,
+}
+
+/// Runs a worker until the master shuts the run down (or becomes
+/// unreachable).
+///
+/// `build` receives the master's [`Assignment`] and returns the model and
+/// the **full** dataset; the worker partitions it into `n` parts itself so
+/// every peer slices identically. Each `Params` message triggers one
+/// codeword: per assigned partition, a deterministic mini-batch is drawn
+/// (`partition`, `batch_size`, `step`, `seed` — identical on any peer that
+/// would recompute it), gradient sums are accumulated, the injected delay
+/// runs, and the codeword is sent back tagged with the step.
+///
+/// # Errors
+///
+/// [`NetError::Io`] when the initial connection cannot be established at
+/// all; after a successful registration, connection loss is handled by
+/// reconnecting and ultimately reported via
+/// [`ShutdownCause::MasterUnreachable`] instead of an error.
+pub fn run_worker<M, F>(
+    addr: impl ToSocketAddrs,
+    options: &WorkerOptions,
+    build: F,
+) -> Result<WorkerSummary, NetError>
+where
+    M: Model,
+    F: FnOnce(&Assignment) -> (M, Dataset),
+{
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| NetError::InvalidConfig("address resolved to nothing".into()))?;
+
+    let (stream, assignment) = connect(addr, None, options)?;
+    let (model, dataset) = build(&assignment);
+    let partitioned = dataset.partition(assignment.n);
+
+    let mut summary = WorkerSummary {
+        worker: assignment.worker,
+        steps_served: 0,
+        reconnects: 0,
+        cause: ShutdownCause::MasterShutdown,
+    };
+    let mut stream = stream;
+    loop {
+        let end = session(
+            stream,
+            &assignment,
+            &model,
+            &dataset,
+            &partitioned,
+            options,
+            &mut summary.steps_served,
+        );
+        match end {
+            SessionEnd::Shutdown => {
+                summary.cause = ShutdownCause::MasterShutdown;
+                return Ok(summary);
+            }
+            SessionEnd::Lost => match connect(addr, Some(assignment.worker as u64), options) {
+                Ok((fresh, _reassign)) => {
+                    summary.reconnects += 1;
+                    stream = fresh;
+                }
+                Err(_) => {
+                    summary.cause = ShutdownCause::MasterUnreachable;
+                    return Ok(summary);
+                }
+            },
+        }
+    }
+}
+
+/// Dials the master with exponential backoff and completes the
+/// `Hello`/`Assign` handshake.
+fn connect(
+    addr: std::net::SocketAddr,
+    preferred: Option<u64>,
+    options: &WorkerOptions,
+) -> Result<(TcpStream, Assignment), NetError> {
+    let mut backoff = options.connect_backoff;
+    let mut last_err: Option<NetError> = None;
+    for attempt in 0..options.connect_attempts.max(1) {
+        if attempt > 0 {
+            thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                last_err = Some(NetError::Io(e));
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        if let Err(e) = write_message(&mut stream, &Message::Hello { preferred }) {
+            last_err = Some(NetError::Wire(e));
+            continue;
+        }
+        match read_message(&mut stream) {
+            Ok(Message::Assign {
+                worker,
+                n,
+                c,
+                batch_size,
+                seed,
+                partitions,
+            }) => {
+                let assignment = Assignment {
+                    worker: worker as usize,
+                    n: n as usize,
+                    c: c as usize,
+                    batch_size: batch_size as usize,
+                    seed,
+                    partitions: partitions.into_iter().map(|j| j as usize).collect(),
+                };
+                return Ok((stream, assignment));
+            }
+            Ok(other) => {
+                last_err = Some(NetError::Protocol(format!(
+                    "expected Assign after Hello, got {other:?}"
+                )));
+            }
+            Err(e) => last_err = Some(NetError::Wire(e)),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| NetError::Protocol("no connect attempts made".into())))
+}
+
+/// Serves one connection until shutdown or loss.
+///
+/// A reader thread feeds inbound messages into a channel so the main loop
+/// can *drain to the newest* `Params` — a worker that straggled through
+/// several rounds jumps straight to the current step instead of burning
+/// time on parameters the master already gave up waiting for.
+fn session<M: Model>(
+    stream: TcpStream,
+    assignment: &Assignment,
+    model: &M,
+    dataset: &Dataset,
+    partitioned: &Partitioned,
+    options: &WorkerOptions,
+    steps_served: &mut usize,
+) -> SessionEnd {
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return SessionEnd::Lost,
+    }));
+
+    let (inbound_tx, inbound_rx) = unbounded::<Message>();
+    let reader = {
+        let mut read_half = stream;
+        thread::Builder::new()
+            .name(format!("isgc-net-worker-{}-reader", assignment.worker))
+            .spawn(move || loop {
+                match read_message(&mut read_half) {
+                    Ok(message) => {
+                        let shutdown = matches!(message, Message::Shutdown);
+                        if inbound_tx.send(message).is_err() || shutdown {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // dropping inbound_tx signals loss
+                }
+            })
+    };
+    if reader.is_err() {
+        return SessionEnd::Lost;
+    }
+
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = spawn_heartbeat(
+        Arc::clone(&writer),
+        assignment.worker as u64,
+        options.heartbeat_interval,
+        Arc::clone(&hb_stop),
+    );
+
+    let end = serve_messages(
+        &inbound_rx,
+        &writer,
+        assignment,
+        model,
+        dataset,
+        partitioned,
+        options,
+        steps_served,
+    );
+
+    hb_stop.store(true, Ordering::Release);
+    let _ = heartbeat.join();
+    end
+}
+
+/// The worker's message loop proper (split out so `session` owns cleanup).
+#[allow(clippy::too_many_arguments)]
+fn serve_messages<M: Model>(
+    inbound_rx: &Receiver<Message>,
+    writer: &Arc<Mutex<TcpStream>>,
+    assignment: &Assignment,
+    model: &M,
+    dataset: &Dataset,
+    partitioned: &Partitioned,
+    options: &WorkerOptions,
+    steps_served: &mut usize,
+) -> SessionEnd {
+    loop {
+        let Ok(mut message) = inbound_rx.recv() else {
+            return SessionEnd::Lost;
+        };
+        // Drain the backlog: only the newest Params matters; a Shutdown
+        // anywhere in the queue wins outright.
+        while let Ok(next) = inbound_rx.try_recv() {
+            if matches!(message, Message::Shutdown) {
+                break;
+            }
+            message = next;
+        }
+        match message {
+            Message::Shutdown => return SessionEnd::Shutdown,
+            Message::Params { step, values } => {
+                let params = Vector::from_slice(&values);
+                let mut codeword = model.zero_params();
+                for &p in &assignment.partitions {
+                    let batch =
+                        partitioned.minibatch(p, assignment.batch_size, step, assignment.seed);
+                    let g = model.gradient_sum(&params, dataset, &batch);
+                    codeword.axpy(1.0, &g);
+                }
+                let pause = (options.delay)(assignment.worker, step);
+                if !pause.is_zero() {
+                    thread::sleep(pause);
+                }
+                let reply = Message::Codeword {
+                    worker: assignment.worker as u64,
+                    step,
+                    values: codeword.into_vec(),
+                };
+                let sent = {
+                    let mut guard = writer.lock().expect("writer mutex poisoned");
+                    write_message(&mut *guard, &reply)
+                };
+                match sent {
+                    Ok(()) => *steps_served += 1,
+                    Err(WireError::Io(_)) | Err(WireError::Closed) => return SessionEnd::Lost,
+                    Err(_) => return SessionEnd::Lost,
+                }
+            }
+            // The master never sends anything else mid-session; tolerate it.
+            _ => {}
+        }
+    }
+}
+
+/// Periodically proves liveness; exits on stop flag or write failure.
+fn spawn_heartbeat(
+    writer: Arc<Mutex<TcpStream>>,
+    worker: u64,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("isgc-net-heartbeat".into())
+        .spawn(move || {
+            // Tick in short slices so a stop request never waits a full
+            // interval.
+            let slice = Duration::from_millis(25).min(interval);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    let ok = {
+                        let mut guard = writer.lock().expect("writer mutex poisoned");
+                        write_message(&mut *guard, &Message::Heartbeat { worker }).is_ok()
+                    };
+                    if !ok {
+                        return;
+                    }
+                }
+                thread::sleep(slice);
+                elapsed += slice;
+            }
+        })
+        .expect("failed to spawn heartbeat thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        let opts = WorkerOptions::default();
+        assert!(opts.connect_attempts >= 1);
+        assert!(opts.heartbeat_interval > Duration::ZERO);
+        assert_eq!((opts.delay)(3, 9), Duration::ZERO);
+    }
+
+    #[test]
+    fn connect_fails_fast_against_closed_port() {
+        // Bind-then-drop gives a port nothing listens on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let options = WorkerOptions {
+            connect_attempts: 2,
+            connect_backoff: Duration::from_millis(1),
+            ..WorkerOptions::default()
+        };
+        let addr: std::net::SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        assert!(connect(addr, None, &options).is_err());
+    }
+
+    #[test]
+    fn assignment_roundtrips_through_wire_types() {
+        let a = Assignment {
+            worker: 3,
+            n: 8,
+            c: 2,
+            batch_size: 4,
+            seed: 99,
+            partitions: vec![3, 4],
+        };
+        assert_eq!(a.partitions.len(), a.c);
+        assert!(a.worker < a.n);
+    }
+}

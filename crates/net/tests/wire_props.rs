@@ -1,0 +1,158 @@
+//! Fuzz-style property tests for the wire protocol: every message round-trips
+//! bit-exactly, and no mangling of a valid frame — truncation, bit flips,
+//! bad magic, future versions, unknown tags — ever panics the decoder.
+
+use isgc_net::wire::{Message, WireError, MAGIC, VERSION};
+use proptest::prelude::*;
+
+/// Deterministically builds one of the six message variants from a flat
+/// tuple of generated fields (avoids needing boxed/unioned strategies).
+fn build_message(
+    variant: u8,
+    has_preferred: bool,
+    a: u64,
+    b: u64,
+    ints: Vec<u64>,
+    floats: Vec<f64>,
+) -> Message {
+    match variant {
+        0 => Message::Hello {
+            preferred: has_preferred.then_some(a),
+        },
+        1 => Message::Assign {
+            worker: a,
+            n: b,
+            c: a.wrapping_add(b),
+            batch_size: b.wrapping_mul(3),
+            seed: a ^ b,
+            partitions: ints,
+        },
+        2 => Message::Params {
+            step: a,
+            values: floats,
+        },
+        3 => Message::Codeword {
+            worker: a,
+            step: b,
+            values: floats,
+        },
+        4 => Message::Heartbeat { worker: a },
+        _ => Message::Shutdown,
+    }
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    (
+        0u8..6,
+        proptest::bool::ANY,
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        proptest::collection::vec(0u64..1024, 0..16),
+        proptest::collection::vec(-1e12f64..1e12, 0..48),
+    )
+        .prop_map(|(variant, has_preferred, a, b, ints, floats)| {
+            build_message(variant, has_preferred, a, b, ints, floats)
+        })
+}
+
+proptest! {
+    #[test]
+    fn every_variant_roundtrips(message in message_strategy()) {
+        let bytes = message.encode();
+        let (decoded, consumed) = Message::decode(&bytes).expect("self-encoded frame decodes");
+        prop_assert_eq!(&decoded, &message);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn special_floats_roundtrip(step in 0u64..100, bits in proptest::collection::vec(0u64..u64::MAX, 1..8)) {
+        // Raw bit patterns cover NaN payloads, infinities, subnormals.
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let message = Message::Params { step, values: values.clone() };
+        let (decoded, _) = Message::decode(&message.encode()).expect("decodes");
+        match decoded {
+            Message::Params { values: back, .. } => {
+                prop_assert_eq!(back.len(), values.len());
+                for (x, y) in back.iter().zip(values.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            other => return Err(TestCaseError::fail(format!("wrong variant {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn every_truncation_rejected_without_panic(message in message_strategy()) {
+        let bytes = message.encode();
+        for cut in 0..bytes.len() {
+            let err = Message::decode(&bytes[..cut])
+                .expect_err("strict prefix must not decode");
+            prop_assert!(
+                matches!(err, WireError::Truncated),
+                "prefix of {} bytes gave {:?}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(message in message_strategy(), pos_seed in 0usize..4096, flip in 1u8..=255) {
+        let mut bytes = message.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        // Any outcome but a panic is acceptable; structural prefixes must err.
+        let outcome = Message::decode(&bytes);
+        if pos < 4 {
+            prop_assert!(matches!(outcome, Err(WireError::BadMagic(_))));
+        } else if pos == 4 {
+            prop_assert!(matches!(outcome, Err(WireError::UnsupportedVersion(_))));
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected(message in message_strategy(), tag in 7u8..=255) {
+        let mut bytes = message.encode();
+        bytes[9] = tag; // first payload byte is the message tag
+        prop_assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::UnknownTag(t)) if t == tag
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected(message in message_strategy(), extra in 1usize..16) {
+        let mut bytes = message.encode();
+        // Grow the payload (and its length field) past the message body.
+        let payload_len = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let padded = payload_len as usize + extra;
+        bytes[5..9].copy_from_slice(&(padded as u32).to_le_bytes());
+        bytes.extend(std::iter::repeat_n(0xAAu8, extra));
+        prop_assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::TrailingBytes(n)) if n == extra
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence(first in message_strategy(), second in message_strategy()) {
+        let mut bytes = first.encode();
+        let split = bytes.len();
+        bytes.extend(second.encode());
+        let (a, used_a) = Message::decode(&bytes).expect("first frame decodes");
+        prop_assert_eq!(used_a, split);
+        let (b, used_b) = Message::decode(&bytes[used_a..]).expect("second frame decodes");
+        prop_assert_eq!(used_a + used_b, bytes.len());
+        prop_assert_eq!(a, first);
+        prop_assert_eq!(b, second);
+    }
+}
+
+#[test]
+fn frame_layout_is_stable() {
+    // The on-wire prefix is a compatibility promise: magic, version, then a
+    // little-endian payload length.
+    let bytes = Message::Shutdown.encode();
+    assert_eq!(&bytes[..4], &MAGIC);
+    assert_eq!(bytes[4], VERSION);
+    let payload_len = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+    assert_eq!(payload_len as usize, bytes.len() - 9);
+}

@@ -1,0 +1,89 @@
+//! Distributed training over real TCP sockets: a master and eight worker
+//! clients on loopback, two of them persistent stragglers. The master waits
+//! for the six fastest codewords each step (the paper's `ray.wait(w)`), so
+//! the stragglers are simply ignored — yet FR(8, 2)'s replication usually
+//! recovers *all* partitions from whoever arrived (Theorems 10–11).
+//!
+//! Here the workers run on threads for a self-contained example; they speak
+//! the same wire protocol as separate processes, so the same code works
+//! across machines (see `isgc serve` / `isgc worker`).
+//!
+//! Run with: `cargo run --release --example distributed_training`
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use isgc::core::Placement;
+use isgc::ml::dataset::Dataset;
+use isgc::ml::model::LinearRegression;
+use isgc::net::{run_worker, Master, NetConfig, WaitPolicy, WorkerOptions};
+
+const N: usize = 8;
+const FEATURES: usize = 6;
+const DATA_SEED: u64 = 33;
+
+/// Every peer rebuilds the same dataset from the shared seed; only model
+/// parameters and codewords cross the wire.
+fn shared_data() -> (LinearRegression, Dataset) {
+    (
+        LinearRegression::new(FEATURES),
+        Dataset::synthetic_regression(512, FEATURES, 0.05, DATA_SEED),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let placement = Placement::fractional(N, 2)?;
+    let mut config = NetConfig::new(placement, WaitPolicy::FirstW(6));
+    config.batch_size = 16;
+    config.learning_rate = 0.02;
+    config.max_steps = 15;
+    config.seed = DATA_SEED;
+
+    let master = Master::bind("127.0.0.1:0")?;
+    let addr = master.local_addr()?;
+    println!("master on {addr}: waiting for the 6 fastest of {N} workers each step");
+
+    let workers: Vec<_> = (0..N)
+        .map(|_| {
+            // Workers 6 and 7 straggle 40 ms every step; the rest answer
+            // instantly. Ids are assigned by the master at registration.
+            let options = WorkerOptions::with_delay(Arc::new(|worker, _step| {
+                if worker >= 6 {
+                    Duration::from_millis(40)
+                } else {
+                    Duration::ZERO
+                }
+            }));
+            thread::spawn(move || run_worker(addr, &options, |_assignment| shared_data()))
+        })
+        .collect();
+
+    let (model, dataset) = shared_data();
+    let report = master.run_with(&model, &dataset, &config, |step| {
+        println!(
+            "step {:>2}: {} arrived, recovered {}/{N} partitions, loss {:.4}",
+            step.step,
+            step.arrivals.len(),
+            step.recovered,
+            step.loss
+        );
+    })?;
+
+    for worker in workers {
+        let summary = worker.join().expect("worker thread panicked")?;
+        println!(
+            "worker {} served {} steps ({:?})",
+            summary.worker, summary.steps_served, summary.cause
+        );
+    }
+
+    println!(
+        "\n{} steps over real sockets: mean recovery {:.1}%, final loss {:.4}",
+        report.step_count(),
+        100.0 * report.mean_recovered_fraction(N),
+        report.final_loss()
+    );
+    println!("the two stragglers were ignored every step, and training still converged.");
+    Ok(())
+}

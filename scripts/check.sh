@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints as errors, and every test in the
+# workspace. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ok: fmt, clippy, and tests all clean"

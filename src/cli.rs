@@ -9,13 +9,17 @@ use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
 use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
+use isgc_net::{Master, NetConfig, WaitPolicy as NetWaitPolicy, WorkerOptions};
 use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
 use isgc_simnet::delay::Delay;
 use isgc_simnet::policy::WaitPolicy;
 use isgc_simnet::trainer::{train, CodingScheme, TrainingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -32,6 +36,23 @@ USAGE:
   isgc plan <fr|cr> <n> <c>                profile every w and pick the fastest
   isgc trace <n> <steps> [slow-rate]       emit a Markov straggler trace as CSV
   isgc sim <fr|cr> <n> <c> <w> [steps]     quick straggler training simulation
+  isgc serve <fr|cr> <n> <c> [flags]       start a TCP master and train over real sockets
+  isgc serve hr <n> <g> <c1> <c2> [flags]
+       flags: --w <k> | --deadline-ms <d>  wait policy (default --w n)
+              --steps <k>                  max training steps (default 20)
+              --port <p>                   listen port (default 7070, 0 = ephemeral)
+              --batch <b> --lr <r> --seed <s>
+  isgc worker <host:port> [--delay-ms <d>] join a cluster as a worker
+                                           (--delay-ms injects a straggler delay)
+  isgc launch <fr|cr> <n> <c> [flags]      spawn master + n worker processes on
+                                           loopback and train to completion
+       flags: --w, --deadline-ms, --steps, --batch, --lr, --seed as for serve
+              --slow <k> --delay-ms <d>    make k workers straggle by d ms (default 0/100)
+
+Two-terminal quickstart (an 8-worker FR(8,2) cluster, ignore the 2 slowest):
+  terminal 1:  isgc serve fr 8 2 --w 6 --steps 20
+  terminal 2:  for i in $(seq 8); do isgc worker 127.0.0.1:7070 & done; wait
+Or in one shot:  isgc launch fr 8 2 --w 6 --steps 20 --slow 2
 ";
 
 /// Dispatches a full argument list (without the program name).
@@ -49,6 +70,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("plan") => cmd_plan(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("launch") => cmd_launch(&args[1..]),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -367,6 +391,236 @@ fn cmd_sim(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses `--flag value` pairs, rejecting unknown or duplicated flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(token) = it.next() {
+        let Some(name) = token.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got '{token}'"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name}"));
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        if map.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("--{name} given twice"));
+        }
+    }
+    Ok(map)
+}
+
+/// Builds the wait policy from `--w` / `--deadline-ms` (default: wait for
+/// everyone).
+fn wait_policy_from(flags: &HashMap<String, String>, n: usize) -> Result<NetWaitPolicy, String> {
+    match (flags.get("w"), flags.get("deadline-ms")) {
+        (Some(_), Some(_)) => Err("give either --w or --deadline-ms, not both".to_string()),
+        (Some(w), None) => {
+            let w: usize = parse(w, "w")?;
+            if !(1..=n).contains(&w) {
+                return Err(format!("w must be within 1..={n}"));
+            }
+            Ok(NetWaitPolicy::FirstW(w))
+        }
+        (None, Some(ms)) => {
+            let ms: u64 = parse(ms, "deadline-ms")?;
+            if ms == 0 {
+                return Err("--deadline-ms must be positive".to_string());
+            }
+            Ok(NetWaitPolicy::Deadline(Duration::from_millis(ms)))
+        }
+        (None, None) => Ok(NetWaitPolicy::FirstW(n)),
+    }
+}
+
+/// Builds a [`NetConfig`] from parsed flags.
+fn net_config_from(p: &Placement, flags: &HashMap<String, String>) -> Result<NetConfig, String> {
+    let mut config = NetConfig::new(p.clone(), wait_policy_from(flags, p.n())?);
+    config.max_steps = match flags.get("steps") {
+        Some(s) => parse(s, "steps")?,
+        None => 20,
+    };
+    if let Some(b) = flags.get("batch") {
+        config.batch_size = parse(b, "batch")?;
+    }
+    if let Some(r) = flags.get("lr") {
+        config.learning_rate = parse(r, "lr")?;
+    }
+    if let Some(s) = flags.get("seed") {
+        config.seed = parse(s, "seed")?;
+    }
+    Ok(config)
+}
+
+/// The model/dataset recipe every networked peer rebuilds identically: the
+/// worker only needs the cluster size from its `Assign` message.
+fn net_model_and_data(n: usize) -> (SoftmaxRegression, Dataset) {
+    (
+        SoftmaxRegression::new(8, 4),
+        Dataset::gaussian_classification(64 * n.max(4), 8, 4, 3.0, 777),
+    )
+}
+
+/// Renders one master-side per-step progress line.
+fn render_step(r: &isgc_net::NetReport, n: usize, oracle: Option<usize>) -> String {
+    let oracle_note = match oracle {
+        Some(best) if best == r.recovered => " (oracle ok)".to_string(),
+        Some(best) => format!(" (ORACLE MISMATCH: exact decoder finds {best})"),
+        None => String::new(),
+    };
+    let dead_note = if r.dead.is_empty() {
+        String::new()
+    } else {
+        format!(" dead {:?}", r.dead)
+    };
+    format!(
+        "step {:>3}: arrivals {}/{n} recovered {:>2}/{n}{oracle_note} waited {:>6.1} ms loss {:.4}{dead_note}",
+        r.step,
+        r.arrivals.len(),
+        r.recovered,
+        r.waited_ms,
+        r.loss,
+    )
+}
+
+/// Renders the end-of-run summary shared by `serve` and `launch`.
+fn render_net_summary(report: &isgc_net::NetTrainReport, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "steps:              {}", report.step_count());
+    let _ = writeln!(out, "final loss:         {:.4}", report.final_loss());
+    let _ = writeln!(
+        out,
+        "recovered (mean):   {:.1}%",
+        100.0 * report.mean_recovered_fraction(n)
+    );
+    let _ = writeln!(out, "waited/step (mean): {:.1} ms", report.mean_waited_ms());
+    let _ = writeln!(out, "wall time:          {:.2} s", report.wall_time);
+    out
+}
+
+const SERVE_FLAGS: &[&str] = &["w", "deadline-ms", "steps", "port", "batch", "lr", "seed"];
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let (p, consumed) = build_placement(args)?;
+    let flags = parse_flags(&args[consumed..], SERVE_FLAGS)?;
+    let config = net_config_from(&p, &flags)?;
+    let port: u16 = match flags.get("port") {
+        Some(s) => parse(s, "port")?,
+        None => 7070,
+    };
+    let n = p.n();
+    let master = Master::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+    let addr = master.local_addr().map_err(|e| e.to_string())?;
+    println!("master listening on {addr}; waiting for {n} workers");
+    let (model, dataset) = net_model_and_data(n);
+    let report = master
+        .run_with(&model, &dataset, &config, |r| {
+            println!("{}", render_step(r, n, None));
+        })
+        .map_err(|e| e.to_string())?;
+    Ok(render_net_summary(&report, n))
+}
+
+fn cmd_worker(args: &[String]) -> Result<String, String> {
+    let addr = args
+        .first()
+        .ok_or_else(|| "expected: worker <host:port> [--delay-ms <d>]".to_string())?
+        .clone();
+    let flags = parse_flags(&args[1..], &["delay-ms"])?;
+    let delay_ms: u64 = match flags.get("delay-ms") {
+        Some(s) => parse(s, "delay-ms")?,
+        None => 0,
+    };
+    let options =
+        WorkerOptions::with_delay(Arc::new(move |_w, _step| Duration::from_millis(delay_ms)));
+    let summary = isgc_net::run_worker(addr.as_str(), &options, |assignment| {
+        net_model_and_data(assignment.n)
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "worker {} served {} steps ({} reconnects), exiting: {:?}\n",
+        summary.worker, summary.steps_served, summary.reconnects, summary.cause
+    ))
+}
+
+const LAUNCH_FLAGS: &[&str] = &[
+    "w",
+    "deadline-ms",
+    "steps",
+    "batch",
+    "lr",
+    "seed",
+    "slow",
+    "delay-ms",
+];
+
+fn cmd_launch(args: &[String]) -> Result<String, String> {
+    let (p, consumed) = build_placement(args)?;
+    let flags = parse_flags(&args[consumed..], LAUNCH_FLAGS)?;
+    let config = net_config_from(&p, &flags)?;
+    let n = p.n();
+    let slow: usize = match flags.get("slow") {
+        Some(s) => parse(s, "slow")?,
+        None => 0,
+    };
+    if slow > n {
+        return Err(format!("--slow {slow} exceeds the {n} workers"));
+    }
+    let delay_ms: u64 = match flags.get("delay-ms") {
+        Some(s) => parse(s, "delay-ms")?,
+        None => 100,
+    };
+
+    let master = Master::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = master.local_addr().map_err(|e| e.to_string())?;
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker").arg(addr.to_string());
+        if i < slow {
+            cmd.arg("--delay-ms").arg(delay_ms.to_string());
+        }
+        cmd.stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        children.push(cmd.spawn().map_err(|e| format!("spawning worker: {e}"))?);
+    }
+    println!("launched {n} worker processes against {addr} ({slow} straggling by {delay_ms} ms)");
+
+    // Per-step oracle: replay each surviving worker set through the exact
+    // decoder and flag any step where the runtime recovered less.
+    let oracle = ExactDecoder::new(&p);
+    let mut oracle_rng = StdRng::seed_from_u64(1);
+    let mut mismatches = 0usize;
+    let (model, dataset) = net_model_and_data(n);
+    let outcome = master.run_with(&model, &dataset, &config, |r| {
+        let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
+        let best = oracle.decode(&available, &mut oracle_rng).recovered_count();
+        if best != r.recovered {
+            mismatches += 1;
+        }
+        println!("{}", render_step(r, n, Some(best)));
+    });
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            for mut child in children {
+                let _ = child.kill();
+            }
+            return Err(e.to_string());
+        }
+    };
+    for mut child in children {
+        let _ = child.wait();
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} steps recovered fewer partitions than the exact decoder"
+        ));
+    }
+    Ok(render_net_summary(&report, n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,5 +722,106 @@ mod tests {
         assert!(out.contains("steps:"));
         assert!(out.contains("recovered (mean):"));
         assert!(run(&args("sim cr 4 2 9")).is_err()); // w > n
+    }
+
+    #[test]
+    fn flag_parser_accepts_known_pairs() {
+        let flags = parse_flags(&args("--w 6 --steps 20"), SERVE_FLAGS).unwrap();
+        assert_eq!(flags.get("w").map(String::as_str), Some("6"));
+        assert_eq!(flags.get("steps").map(String::as_str), Some("20"));
+    }
+
+    #[test]
+    fn flag_parser_rejects_malformed_input() {
+        assert!(parse_flags(&args("w 6"), SERVE_FLAGS).is_err()); // missing --
+        assert!(parse_flags(&args("--bogus 1"), SERVE_FLAGS).is_err());
+        assert!(parse_flags(&args("--w"), SERVE_FLAGS).is_err()); // no value
+        assert!(parse_flags(&args("--w 6 --w 7"), SERVE_FLAGS).is_err());
+    }
+
+    #[test]
+    fn wait_policy_resolves_and_validates() {
+        let flags = parse_flags(&args("--w 6"), SERVE_FLAGS).unwrap();
+        assert_eq!(
+            wait_policy_from(&flags, 8).unwrap(),
+            NetWaitPolicy::FirstW(6)
+        );
+        let flags = parse_flags(&args("--deadline-ms 250"), SERVE_FLAGS).unwrap();
+        assert_eq!(
+            wait_policy_from(&flags, 8).unwrap(),
+            NetWaitPolicy::Deadline(Duration::from_millis(250))
+        );
+        let flags = parse_flags(&args(""), SERVE_FLAGS).unwrap();
+        assert_eq!(
+            wait_policy_from(&flags, 8).unwrap(),
+            NetWaitPolicy::FirstW(8)
+        );
+        // Invalid combinations.
+        let both = parse_flags(&args("--w 6 --deadline-ms 250"), SERVE_FLAGS).unwrap();
+        assert!(wait_policy_from(&both, 8).is_err());
+        let big = parse_flags(&args("--w 9"), SERVE_FLAGS).unwrap();
+        assert!(wait_policy_from(&big, 8).is_err());
+        let zero = parse_flags(&args("--deadline-ms 0"), SERVE_FLAGS).unwrap();
+        assert!(wait_policy_from(&zero, 8).is_err());
+    }
+
+    #[test]
+    fn net_config_reads_training_flags() {
+        let p = Placement::fractional(8, 2).unwrap();
+        let flags = parse_flags(
+            &args("--w 6 --steps 12 --batch 4 --lr 0.1 --seed 9"),
+            SERVE_FLAGS,
+        )
+        .unwrap();
+        let config = net_config_from(&p, &flags).unwrap();
+        assert_eq!(config.max_steps, 12);
+        assert_eq!(config.batch_size, 4);
+        assert!((config.learning_rate - 0.1).abs() < 1e-12);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.wait, NetWaitPolicy::FirstW(6));
+    }
+
+    #[test]
+    fn net_commands_validate_arguments() {
+        assert!(run(&args("serve fr 8 3 --w 6")).is_err()); // c ∤ n
+        assert!(run(&args("serve fr 8 2 --bogus 1")).is_err());
+        assert!(run(&args("worker")).is_err());
+        assert!(run(&args("worker 127.0.0.1:7070 --delay-ms x")).is_err());
+        assert!(run(&args("launch fr 8 2 --slow 9")).is_err()); // slow > n
+        assert!(run(&args("launch fr 8 2 --w 0")).is_err());
+    }
+
+    #[test]
+    fn worker_dataset_recipe_is_deterministic() {
+        // Master and workers must rebuild byte-identical data from n alone.
+        let (_, a) = net_model_and_data(8);
+        let (_, b) = net_model_and_data(8);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.features_of(i), b.features_of(i));
+            assert_eq!(a.target_of(i), b.target_of(i));
+        }
+    }
+
+    #[test]
+    fn step_rendering_marks_oracle_and_dead() {
+        let r = isgc_net::NetReport {
+            step: 3,
+            arrivals: vec![0, 1, 2],
+            waited_ms: 12.5,
+            selected: vec![0, 2],
+            recovered: 5,
+            ignored: vec![1, 3],
+            dead: vec![3],
+            stale: 1,
+            loss: 0.5,
+        };
+        let line = render_step(&r, 4, Some(5));
+        assert!(line.contains("oracle ok"));
+        assert!(line.contains("dead [3]"));
+        let line = render_step(&r, 4, Some(6));
+        assert!(line.contains("ORACLE MISMATCH"));
+        let line = render_step(&r, 4, None);
+        assert!(!line.contains("oracle"));
     }
 }

@@ -65,5 +65,6 @@ pub mod cli;
 pub use isgc_core as core;
 pub use isgc_linalg as linalg;
 pub use isgc_ml as ml;
+pub use isgc_net as net;
 pub use isgc_runtime as runtime;
 pub use isgc_simnet as simnet;

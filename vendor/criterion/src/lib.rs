@@ -1,0 +1,324 @@
+//! An offline, in-tree subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a compatible-but-minimal harness: it honours warm-up and measurement
+//! windows, reports the mean/min time per iteration on stdout, and skips the
+//! statistics, plots, and baselines of the real crate. Good enough to keep
+//! `cargo bench` runnable and relative numbers meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = name.into();
+        println!("group {group}");
+        let (warm_up_time, measurement_time, sample_size) =
+            (self.warm_up_time, self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            _criterion: self,
+            name: group,
+            warm_up_time,
+            measurement_time,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b),
+        );
+        report.print(name, None);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with only a parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much data one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        report.print(&format!("{}/{}", self.name, id.name), self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under a plain string id.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b),
+        );
+        report.print(&format!("{}/{}", self.name, name), self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs the timed inner loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, keeping its output alive to prevent the optimizer from
+    /// deleting the work (the caller usually adds `std::hint::black_box`).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct BenchReport {
+    mean: Duration,
+    min: Duration,
+    samples: usize,
+}
+
+impl BenchReport {
+    fn print(&self, label: &str, throughput: Option<Throughput>) {
+        let rate = throughput
+            .map(|t| {
+                let per_sec = |units: u64| units as f64 / self.mean.as_secs_f64();
+                match t {
+                    Throughput::Bytes(b) => format!("  {:.1} MiB/s", per_sec(b) / (1 << 20) as f64),
+                    Throughput::Elements(e) => format!("  {:.0} elem/s", per_sec(e)),
+                }
+            })
+            .unwrap_or_default();
+        println!(
+            "  {label}: mean {:?}, min {:?} ({} samples){rate}",
+            self.mean, self.min, self.samples
+        );
+    }
+}
+
+fn run_bench(
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) -> BenchReport {
+    // Warm-up: run single iterations until the window closes, estimating the
+    // per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut iter_estimate = Duration::ZERO;
+    let mut warm_runs = 0u32;
+    while warm_start.elapsed() < warm_up || warm_runs == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        iter_estimate += b.elapsed;
+        warm_runs += 1;
+        if warm_runs >= 10_000 {
+            break;
+        }
+    }
+    iter_estimate /= warm_runs.max(1);
+
+    // Choose iterations per sample so that all samples fit the window.
+    let budget_per_sample = measurement / sample_size.max(1) as u32;
+    let iters_per_sample = if iter_estimate.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / iter_estimate.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut mean_accum = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let measure_start = Instant::now();
+    let mut samples = 0usize;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed / iters_per_sample.max(1) as u32;
+        mean_accum += per_iter;
+        min = min.min(per_iter);
+        samples += 1;
+        // Never overrun the window by more than 2x.
+        if measure_start.elapsed() > measurement * 2 {
+            break;
+        }
+    }
+    BenchReport {
+        mean: mean_accum / samples.max(1) as u32,
+        min,
+        samples,
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+            sample_size: 3,
+        };
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            warm_up_time: Duration::from_millis(2),
+            measurement_time: Duration::from_millis(10),
+            sample_size: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| b.iter(|| n * 2));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).name, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(9).name, "9");
+    }
+}

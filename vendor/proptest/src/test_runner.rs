@@ -1,0 +1,107 @@
+//! Test-case configuration and the failure/rejection channel used by the
+//! `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a [`crate::proptest!`] test executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case violated an assertion: the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold: skip, don't count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (skipped case) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Deterministic per-test RNG: the seed is an FNV-1a hash of the test name,
+/// overridable via `PROPTEST_SEED` for ad-hoc exploration.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().unwrap_or_else(|_| fnv1a(name)),
+        Err(_) => fnv1a(name),
+    };
+    StdRng::seed_from_u64(seed)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = rng_for_test("some_test");
+        let mut b = rng_for_test("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = rng_for_test("other_test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn error_constructors_roundtrip() {
+        assert_eq!(
+            TestCaseError::fail("x"),
+            TestCaseError::Fail("x".to_string())
+        );
+        assert_eq!(
+            TestCaseError::reject("y"),
+            TestCaseError::Reject("y".to_string())
+        );
+    }
+}

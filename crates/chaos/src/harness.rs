@@ -1,0 +1,541 @@
+//! The chaos harness: runs a real loopback cluster under a [`FaultPlan`],
+//! restarts the master when the plan crashes it, and checks every step of
+//! the stitched run against the paper's recovery bounds and an independent
+//! decode oracle.
+//!
+//! Determinism is the harness's core promise: the per-step *sets* —
+//! arrivals, selection, recovered count, repairs — are pure functions of
+//! `(plan, seed)`, so [`ChaosOutcome::fingerprint`] is identical across
+//! repeats and a failing schedule replays exactly. Timing fields
+//! (`waited_ms`, `stale` drift between steps) are deliberately excluded.
+
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use isgc_core::decode::{Decoder, ExactDecoder};
+use isgc_core::{bounds, ConflictGraph, Placement, WorkerSet};
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::LinearRegression;
+use isgc_net::{
+    CheckpointConfig, Master, NetConfig, NetReport, RetryPolicy, StepControl, WaitPolicy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::plan::{FaultKind, FaultPlan};
+use crate::worker::{run_chaos_worker, ChaosWorkerSummary};
+use crate::ChaosError;
+
+/// Cluster shape and training knobs of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Workers (= partitions). Must be a multiple of `c` (the harness uses
+    /// the fractional placement so the exact-decode oracle is cheap).
+    pub n: usize,
+    /// Storage factor.
+    pub c: usize,
+    /// Steps to train.
+    pub steps: usize,
+    /// Seed for everything: data, parameter init, decode tie-breaks, plan
+    /// generation.
+    pub seed: u64,
+    /// Mini-batch size per partition per step.
+    pub batch_size: usize,
+    /// Feature dimension of the synthetic regression task.
+    pub features: usize,
+    /// Sample count of the synthetic regression task.
+    pub samples: usize,
+}
+
+impl ChaosConfig {
+    /// A small, fast default cluster: FR(6, 2), 8 steps.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            n: 6,
+            c: 2,
+            steps: 8,
+            seed,
+            batch_size: 8,
+            features: 5,
+            samples: 192,
+        }
+    }
+}
+
+/// Everything a chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The plan that ran.
+    pub plan: String,
+    /// Per-step reports, stitched across master restarts, in step order.
+    pub reports: Vec<NetReport>,
+    /// Times the master was crashed and restarted.
+    pub master_restarts: usize,
+    /// Per-worker lifetime summaries.
+    pub workers: Vec<ChaosWorkerSummary>,
+    /// Invariant violations found; empty means the run passed.
+    pub violations: Vec<String>,
+    /// Hash of the run's deterministic observables: per-step sorted
+    /// arrivals/selected, recovered counts, repairs, and the final
+    /// parameter bits. Identical across repeats of the same `(plan, seed)`.
+    pub fingerprint: u64,
+    /// Final training loss.
+    pub final_loss: f64,
+}
+
+impl ChaosOutcome {
+    /// Whether the run satisfied every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Distinguishes checkpoint files of concurrent chaos runs in one process.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Runs a loopback cluster under `plan` and checks every invariant.
+///
+/// # Errors
+///
+/// [`ChaosError::InvalidPlan`] for unrunnable plans or a non-divisible
+/// `(n, c)`; [`ChaosError::Net`] when the cluster itself fails in a way no
+/// plan scripts (e.g. the loopback bind is refused);
+/// [`ChaosError::Harness`] when a thread panics.
+pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> Result<ChaosOutcome, ChaosError> {
+    plan.validate(config.n, config.steps as u64)?;
+    if config.c == 0 || !config.n.is_multiple_of(config.c) {
+        return Err(ChaosError::InvalidPlan(format!(
+            "chaos harness needs c | n, got n={}, c={}",
+            config.n, config.c
+        )));
+    }
+    let placement = Placement::fractional(config.n, config.c)
+        .map_err(|e| ChaosError::InvalidPlan(format!("placement: {e}")))?;
+
+    let checkpoint_dir: Option<PathBuf> = if plan.master_crashes.is_empty() {
+        None
+    } else {
+        let dir = std::env::temp_dir().join(format!(
+            "isgc-chaos-{}-{}",
+            std::process::id(),
+            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).map_err(isgc_net::NetError::Io)?;
+        Some(dir)
+    };
+
+    let mut net_config = NetConfig::new(placement.clone(), WaitPolicy::FirstW(config.n));
+    net_config.batch_size = config.batch_size;
+    net_config.learning_rate = 0.02;
+    // Never stop early: a deterministic step count keeps fingerprints
+    // comparable across plans.
+    net_config.loss_threshold = -1.0;
+    net_config.max_steps = config.steps;
+    net_config.seed = config.seed;
+    // Chaos workers speak every step and do not run heartbeat threads; the
+    // generous timeout keeps liveness driven by connection state (EOF on
+    // fault), which is what the plans script.
+    net_config.heartbeat_timeout = Duration::from_secs(30);
+    net_config.register_timeout = Duration::from_secs(10);
+    // A flapped worker's step membership must depend on its scripted
+    // declines, never on how fast its reconnect handshake races the next
+    // broadcast: give rejoining workers a generous step-start grace. (A
+    // permanently dead worker costs this grace exactly once, at the step
+    // before repair declares it dead.)
+    net_config.rejoin_grace = Duration::from_secs(5);
+    net_config.checkpoint = checkpoint_dir
+        .as_ref()
+        .map(|dir| CheckpointConfig::every_step(dir.join("master.ckpt")));
+    net_config.repair_after_steps = plan.has_deaths().then_some(2);
+
+    let first = Master::bind("127.0.0.1:0").map_err(ChaosError::Net)?;
+    let addr = first.local_addr().map_err(ChaosError::Net)?;
+
+    // Master side: run segments until the step budget completes, restarting
+    // after every scripted crash.
+    let master_plan = plan.clone();
+    let master_config = net_config.clone();
+    let harness_cfg = config.clone();
+    let master_handle = thread::Builder::new()
+        .name("isgc-chaos-master".into())
+        .spawn(move || master_segments(first, addr, &master_plan, &master_config, &harness_cfg))
+        .map_err(isgc_net::NetError::Io)?;
+
+    // Worker side: n scriptable clients.
+    let retry = RetryPolicy {
+        base: Duration::from_millis(20),
+        factor: 2,
+        cap: Duration::from_millis(400),
+        max_attempts: 12,
+        jitter: 0.5,
+    };
+    let worker_handles: Vec<_> = (0..config.n)
+        .map(|w| {
+            let plan = plan.clone();
+            let retry = retry.clone();
+            let cfg = config.clone();
+            thread::Builder::new()
+                .name(format!("isgc-chaos-worker-{w}"))
+                .spawn(move || {
+                    run_chaos_worker(addr, w, &plan, &retry, |_n, _batch| {
+                        (LinearRegression::new(cfg.features), shared_dataset(&cfg))
+                    })
+                })
+                .map_err(isgc_net::NetError::Io)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let (reports, final_params, master_restarts) = master_handle
+        .join()
+        .map_err(|_| ChaosError::Harness("master thread panicked".into()))??;
+    let mut workers = Vec::with_capacity(config.n);
+    for handle in worker_handles {
+        let summary = handle
+            .join()
+            .map_err(|_| ChaosError::Harness("worker thread panicked".into()))??;
+        workers.push(summary);
+    }
+
+    if let Some(dir) = checkpoint_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let violations = check_invariants(plan, config, &placement, &reports, master_restarts);
+    let final_loss = reports.last().map_or(f64::INFINITY, |r| r.loss);
+    let fingerprint = fingerprint(&reports, &final_params);
+    Ok(ChaosOutcome {
+        plan: plan.name.clone(),
+        reports,
+        master_restarts,
+        workers,
+        violations,
+        fingerprint,
+        final_loss,
+    })
+}
+
+/// The dataset every peer (master and workers) rebuilds identically.
+fn shared_dataset(config: &ChaosConfig) -> Dataset {
+    Dataset::synthetic_regression(config.samples, config.features, 0.05, config.seed)
+}
+
+/// Runs the master through scripted crash/restart cycles until the step
+/// budget completes; returns the stitched per-step reports, the final
+/// parameters, and the restart count.
+#[allow(clippy::type_complexity)]
+fn master_segments(
+    first: Master,
+    addr: SocketAddr,
+    plan: &FaultPlan,
+    net_config: &NetConfig,
+    config: &ChaosConfig,
+) -> Result<(Vec<NetReport>, Vec<f64>, usize), ChaosError> {
+    let model = LinearRegression::new(config.features);
+    let dataset = shared_dataset(config);
+    let crashes: BTreeSet<u64> = plan.master_crashes.iter().copied().collect();
+    let bind_retry = RetryPolicy {
+        base: Duration::from_millis(10),
+        factor: 2,
+        cap: Duration::from_millis(200),
+        max_attempts: 10,
+        jitter: 0.0,
+    };
+
+    let mut pending = Some(first);
+    let mut all_steps: Vec<NetReport> = Vec::new();
+    let mut restarts = 0usize;
+    loop {
+        let master = match pending.take() {
+            Some(m) => m,
+            None => Master::bind_with_retry(addr, &bind_retry).map_err(ChaosError::Net)?,
+        };
+        let segment = master
+            .run_controlled(&model, &dataset, net_config, |report| {
+                if crashes.contains(&report.step) {
+                    StepControl::Crash
+                } else {
+                    StepControl::Continue
+                }
+            })
+            .map_err(ChaosError::Net)?;
+        let done = segment
+            .steps
+            .last()
+            .map(|s| s.step + 1 >= config.steps as u64)
+            // An empty segment means the checkpoint already covered every
+            // step (crash scripted on the final step).
+            .unwrap_or(true);
+        let final_params = segment.final_params.as_slice().to_vec();
+        all_steps.extend(segment.steps);
+        if done {
+            return Ok((all_steps, final_params, restarts));
+        }
+        restarts += 1;
+    }
+}
+
+/// Checks every invariant of a finished run; returns human-readable
+/// violations (empty = pass).
+fn check_invariants(
+    plan: &FaultPlan,
+    config: &ChaosConfig,
+    placement: &Placement,
+    reports: &[NetReport],
+    master_restarts: usize,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let (n, c) = (config.n, config.c);
+
+    // 1. The stitched run covers every step exactly once, in order — this
+    //    is also the mid-run-resume check: a master restarting at the wrong
+    //    step duplicates or skips an index.
+    for (i, r) in reports.iter().enumerate() {
+        if r.step != i as u64 {
+            violations.push(format!(
+                "step sequence broken at position {i}: found step {}",
+                r.step
+            ));
+        }
+    }
+    if reports.len() != config.steps {
+        violations.push(format!(
+            "expected {} steps, got {}",
+            config.steps,
+            reports.len()
+        ));
+    }
+    if master_restarts != plan.master_crashes.len() {
+        violations.push(format!(
+            "plan scripted {} master crashes, harness restarted {} times",
+            plan.master_crashes.len(),
+            master_restarts
+        ));
+    }
+
+    // 2. Recovery bounds and decode-oracle equality, step by step,
+    //    replaying placement repair as it happened.
+    let oracle = ExactDecoder::new(placement);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut assignments: Vec<Vec<usize>> = (0..n)
+        .map(|w| placement.partitions_of(w).to_vec())
+        .collect();
+    let mut repaired = false;
+    for r in reports {
+        for e in &r.repairs {
+            let Some(pos) = assignments[e.from].iter().position(|&j| j == e.partition) else {
+                violations.push(format!(
+                    "step {}: repair moves partition {} which worker {} does not hold",
+                    r.step, e.partition, e.from
+                ));
+                continue;
+            };
+            assignments[e.from].remove(pos);
+            assignments[e.to].push(e.partition);
+            assignments[e.to].sort_unstable();
+            repaired = true;
+        }
+        let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
+        let w = r.arrivals.len();
+        if !repaired {
+            if !bounds::recovery_within_bounds(n, c, w, r.recovered) {
+                let (lo, hi) = bounds::recovery_bounds(n, c, w);
+                violations.push(format!(
+                    "step {}: recovered {} outside Theorem 10-11 bounds [{lo}, {hi}] for w={w}",
+                    r.step, r.recovered
+                ));
+            }
+            let best = oracle.decode(&available, &mut rng).recovered_count();
+            if r.recovered != best {
+                violations.push(format!(
+                    "step {}: recovered {} but the exact decoder finds {best} for arrivals {:?}",
+                    r.step, r.recovered, r.arrivals
+                ));
+            }
+        } else {
+            // Post-repair the placement is no longer the scheme's, so the
+            // theorems do not apply verbatim; the contract is bounded
+            // degradation: at least one worker's original load, at most
+            // everything.
+            if !(c..=n).contains(&r.recovered) {
+                violations.push(format!(
+                    "step {}: post-repair recovered {} outside [{c}, {n}]",
+                    r.step, r.recovered
+                ));
+            }
+            // Independent reconstruction of the repaired decode.
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in a + 1..n {
+                    if assignments[a].iter().any(|p| assignments[b].contains(p)) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let graph = ConflictGraph::from_edges(n, &edges);
+            let best: usize = graph
+                .max_independent_set(&available)
+                .iter()
+                .map(|&w| assignments[w].len())
+                .sum();
+            if r.recovered != best {
+                violations.push(format!(
+                    "step {}: post-repair recovered {} but reconstruction finds {best}",
+                    r.step, r.recovered
+                ));
+            }
+        }
+    }
+
+    // 3. Scripted absences: a fault that suppresses the codeword keeps the
+    //    worker out of that step's arrivals; connection kills also cost the
+    //    next step; a death costs every later step.
+    for f in &plan.faults {
+        if !f.kind.suppresses_codeword() {
+            continue;
+        }
+        let mut absent_steps: Vec<u64> = vec![f.step];
+        if f.kind.kills_connection() && f.kind != FaultKind::Die {
+            absent_steps.push(f.step + 1);
+        }
+        if f.kind == FaultKind::Die {
+            absent_steps = (f.step..config.steps as u64).collect();
+        }
+        for s in absent_steps {
+            if let Some(r) = reports.iter().find(|r| r.step == s) {
+                if r.arrivals.contains(&f.worker) {
+                    violations.push(format!(
+                        "worker {} arrived at step {s} despite {:?} at step {}",
+                        f.worker, f.kind, f.step
+                    ));
+                }
+            }
+        }
+    }
+
+    // 4. Stale accounting: every scripted stale or duplicate frame must be
+    //    discarded (counted), never double-applied. Counted across the whole
+    //    run because a duplicate can land in the next step's window.
+    let scripted_stale = plan
+        .faults
+        .iter()
+        .filter(|f| matches!(f.kind, FaultKind::Stale | FaultKind::Duplicate) && f.step > 0)
+        .count();
+    let observed_stale: usize = reports.iter().map(|r| r.stale).sum();
+    if observed_stale < scripted_stale {
+        violations.push(format!(
+            "plan scripted {scripted_stale} stale/duplicate frames but the master counted only \
+             {observed_stale}"
+        ));
+    }
+
+    violations
+}
+
+/// FNV-1a over the run's deterministic observables.
+fn fingerprint(reports: &[NetReport], final_params: &[f64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for r in reports {
+        eat(&r.step.to_le_bytes());
+        let mut arrivals = r.arrivals.clone();
+        arrivals.sort_unstable();
+        for w in arrivals {
+            eat(&(w as u64).to_le_bytes());
+        }
+        eat(b"|");
+        let mut selected = r.selected.clone();
+        selected.sort_unstable();
+        for w in selected {
+            eat(&(w as u64).to_le_bytes());
+        }
+        eat(b"|");
+        eat(&(r.recovered as u64).to_le_bytes());
+        for e in &r.repairs {
+            eat(&(e.partition as u64).to_le_bytes());
+            eat(&(e.from as u64).to_le_bytes());
+            eat(&(e.to as u64).to_le_bytes());
+        }
+        eat(b"\n");
+    }
+    for v in final_params {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_divisible() {
+        let c = ChaosConfig::new(1);
+        assert!(c.n.is_multiple_of(c.c));
+    }
+
+    #[test]
+    fn non_divisible_shape_is_rejected() {
+        let mut c = ChaosConfig::new(1);
+        c.n = 5;
+        c.c = 2;
+        let plan = FaultPlan::quiet("t");
+        assert!(matches!(
+            run_chaos(&plan, &c),
+            Err(ChaosError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_ignores_arrival_order_but_not_content() {
+        let base = NetReport {
+            step: 0,
+            arrivals: vec![2, 0, 1],
+            waited_ms: 5.0,
+            selected: vec![0, 2],
+            recovered: 4,
+            ignored: vec![1],
+            dead: vec![],
+            declined: vec![],
+            repairs: vec![],
+            stale: 0,
+            loss: 1.0,
+        };
+        let mut reordered = base.clone();
+        reordered.arrivals = vec![0, 1, 2];
+        reordered.waited_ms = 99.0; // timing excluded
+        assert_eq!(
+            fingerprint(std::slice::from_ref(&base), &[1.0]),
+            fingerprint(&[reordered], &[1.0])
+        );
+        let mut different = base;
+        different.recovered = 2;
+        assert_ne!(
+            fingerprint(&[different], &[1.0]),
+            fingerprint(
+                &[NetReport {
+                    step: 0,
+                    arrivals: vec![2, 0, 1],
+                    waited_ms: 5.0,
+                    selected: vec![0, 2],
+                    recovered: 4,
+                    ignored: vec![1],
+                    dead: vec![],
+                    declined: vec![],
+                    repairs: vec![],
+                    stale: 0,
+                    loss: 1.0,
+                }],
+                &[1.0]
+            )
+        );
+    }
+}

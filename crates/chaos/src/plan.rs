@@ -1,0 +1,422 @@
+//! Fault plans: scripted, per-step, per-worker fault schedules.
+//!
+//! Every fault is keyed by **step index**, never wall clock, which is what
+//! makes a chaos run replayable: the same plan against the same seed yields
+//! the same per-step arrival sets, selections, and recovery counts no matter
+//! how threads interleave. The named plans cover the runtime's failure
+//! modes one at a time; [`FaultPlan::random`] composes them from a
+//! [`ChaosRng`](crate::ChaosRng) seed so a fuzzed schedule that finds a bug
+//! can be replayed byte-for-byte from its seed.
+
+use crate::{ChaosError, ChaosRng};
+
+/// One kind of injected fault, applied by a chaos worker when it receives
+/// the `Params` broadcast of the fault's step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Close the connection instead of answering, then reconnect (a flap).
+    /// The worker deterministically sits out this step and the next (it
+    /// declines any step it rejoins mid-flight), contributing again from
+    /// `step + 2`.
+    Drop,
+    /// Send a frame with a flipped byte instead of the codeword. The master
+    /// tears the connection down on the malformed frame; the worker then
+    /// behaves like [`FaultKind::Drop`].
+    Corrupt,
+    /// Send a truncated frame then close. Same recovery as
+    /// [`FaultKind::Corrupt`].
+    Truncate,
+    /// Straggle: sleep this many milliseconds before sending the codeword.
+    /// Changes timing only — the arrival set is unaffected because the
+    /// chaos harness waits for every live worker each step.
+    Delay(u64),
+    /// Send the codeword twice; the duplicate must be counted stale, never
+    /// double-applied.
+    Duplicate,
+    /// Send a codeword tagged with the previous step (a straggler finishing
+    /// an old round), then decline the current one. The stale frame must be
+    /// discarded by step tag.
+    Stale,
+    /// Send `Decline` instead of a codeword: the fast-fail straggler path.
+    Decline,
+    /// Close the connection and never return. With repair enabled the
+    /// master eventually declares this worker permanently dead and re-homes
+    /// its partitions.
+    Die,
+}
+
+impl FaultKind {
+    /// Whether this fault removes the worker's codeword from the fault's
+    /// step (and, for connection-killing faults, the next step too).
+    pub fn suppresses_codeword(self) -> bool {
+        !matches!(self, FaultKind::Delay(_) | FaultKind::Duplicate)
+    }
+
+    /// Whether this fault kills the connection, costing the *next* step as
+    /// well while the worker flaps back in.
+    pub fn kills_connection(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Drop | FaultKind::Corrupt | FaultKind::Truncate | FaultKind::Die
+        )
+    }
+}
+
+/// One scripted fault: `worker` misbehaves per `kind` at `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The worker that misbehaves.
+    pub worker: usize,
+    /// The training step whose `Params` broadcast triggers the fault.
+    pub step: u64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A complete scripted fault schedule for one chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Plan name (shown in reports; named plans replay by name).
+    pub name: String,
+    /// Worker faults, in no particular order; at most one per
+    /// `(worker, step)` pair is honored (the first listed wins).
+    pub faults: Vec<Fault>,
+    /// Steps after which the master crashes cold (no shutdown broadcast)
+    /// and is restarted by the harness to resume from its checkpoint.
+    pub master_crashes: Vec<u64>,
+}
+
+/// Names accepted by [`FaultPlan::named`].
+pub const PLAN_NAMES: &[&str] = &[
+    "smoke",
+    "worker-flap",
+    "worker-crash",
+    "master-restart",
+    "frame-corrupt",
+    "delay",
+    "duplicate-stale",
+    "random",
+];
+
+impl FaultPlan {
+    /// A plan with no faults at all (baseline).
+    pub fn quiet(name: impl Into<String>) -> Self {
+        FaultPlan {
+            name: name.into(),
+            faults: Vec::new(),
+            master_crashes: Vec::new(),
+        }
+    }
+
+    /// Builds a named plan for a cluster of `n` workers running `steps`
+    /// steps. `seed` only matters for `"random"`. Returns `None` for an
+    /// unknown name; see [`PLAN_NAMES`].
+    pub fn named(name: &str, seed: u64, n: usize, steps: u64) -> Option<Self> {
+        let mid = steps / 2;
+        let last = n.saturating_sub(1);
+        let plan = match name {
+            "smoke" => FaultPlan {
+                name: name.into(),
+                faults: vec![
+                    Fault {
+                        worker: 1 % n,
+                        step: 1,
+                        kind: FaultKind::Delay(40),
+                    },
+                    Fault {
+                        worker: last,
+                        step: 2,
+                        kind: FaultKind::Decline,
+                    },
+                ],
+                master_crashes: Vec::new(),
+            },
+            "worker-flap" => FaultPlan {
+                name: name.into(),
+                faults: vec![Fault {
+                    worker: last,
+                    step: 2.min(steps.saturating_sub(3)),
+                    kind: FaultKind::Drop,
+                }],
+                master_crashes: Vec::new(),
+            },
+            "worker-crash" => FaultPlan {
+                name: name.into(),
+                faults: vec![Fault {
+                    worker: last,
+                    step: 1.min(steps.saturating_sub(4)),
+                    kind: FaultKind::Die,
+                }],
+                master_crashes: Vec::new(),
+            },
+            "master-restart" => FaultPlan {
+                name: name.into(),
+                faults: Vec::new(),
+                master_crashes: vec![mid],
+            },
+            "frame-corrupt" => FaultPlan {
+                name: name.into(),
+                faults: vec![
+                    Fault {
+                        worker: 1 % n,
+                        step: 1,
+                        kind: FaultKind::Corrupt,
+                    },
+                    Fault {
+                        worker: last,
+                        step: mid.max(3),
+                        kind: FaultKind::Truncate,
+                    },
+                ],
+                master_crashes: Vec::new(),
+            },
+            "delay" => FaultPlan {
+                name: name.into(),
+                faults: (0..steps)
+                    .filter(|s| s % 2 == 1)
+                    .map(|step| Fault {
+                        worker: (step as usize) % n,
+                        step,
+                        kind: FaultKind::Delay(50),
+                    })
+                    .collect(),
+                master_crashes: Vec::new(),
+            },
+            "duplicate-stale" => FaultPlan {
+                name: name.into(),
+                faults: vec![
+                    Fault {
+                        worker: 1 % n,
+                        step: 1,
+                        kind: FaultKind::Duplicate,
+                    },
+                    Fault {
+                        worker: last,
+                        step: 3.min(steps.saturating_sub(1)),
+                        kind: FaultKind::Stale,
+                    },
+                ],
+                master_crashes: Vec::new(),
+            },
+            "random" => Self::random(seed, n, steps),
+            _ => return None,
+        };
+        Some(plan)
+    }
+
+    /// A seeded random schedule: each step has a chance of one benign
+    /// worker fault (delay, decline, duplicate, stale, drop, corrupt). The
+    /// same seed always generates the same schedule, so a failing fuzz run
+    /// replays exactly. Never includes `Die` or master crashes — those have
+    /// dedicated plans because they change the run's shape (repair,
+    /// resume), and a fuzzer stacking them can starve every step.
+    pub fn random(seed: u64, n: usize, steps: u64) -> Self {
+        let mut rng = ChaosRng::new(seed).fork("random-plan");
+        let mut faults = Vec::new();
+        // Track which workers are mid-flap so consecutive connection kills
+        // can't pile up and empty a step's contributor set.
+        let mut flapping_until = vec![0u64; n];
+        for step in 1..steps {
+            if !rng.next_bool(0.45) {
+                continue;
+            }
+            let worker = rng.next_below(n as u64) as usize;
+            if flapping_until[worker] > step {
+                continue;
+            }
+            let kind = match rng.next_below(6) {
+                0 => FaultKind::Delay(20 + rng.next_below(60)),
+                1 => FaultKind::Decline,
+                2 => FaultKind::Duplicate,
+                3 => FaultKind::Stale,
+                4 => FaultKind::Drop,
+                _ => FaultKind::Corrupt,
+            };
+            if kind.kills_connection() {
+                flapping_until[worker] = step + 2;
+            }
+            faults.push(Fault { worker, step, kind });
+        }
+        FaultPlan {
+            name: format!("random[{seed}]"),
+            faults,
+            master_crashes: Vec::new(),
+        }
+    }
+
+    /// The fault scripted for `(worker, step)`, if any.
+    pub fn fault_for(&self, worker: usize, step: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.worker == worker && f.step == step)
+            .map(|f| f.kind)
+    }
+
+    /// Whether any worker dies permanently (the harness then enables
+    /// placement repair on the master).
+    pub fn has_deaths(&self) -> bool {
+        self.faults.iter().any(|f| f.kind == FaultKind::Die)
+    }
+
+    /// Checks the plan is runnable against a cluster of `n` workers for
+    /// `steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::InvalidPlan`] when a fault references a worker or step
+    /// out of range, when deaths are combined with master crashes (a
+    /// resumed master waits for all workers to re-register, which a dead
+    /// worker never does), or when some step would be left with no
+    /// contributing worker at all.
+    pub fn validate(&self, n: usize, steps: u64) -> Result<(), ChaosError> {
+        for f in &self.faults {
+            if f.worker >= n {
+                return Err(ChaosError::InvalidPlan(format!(
+                    "fault references worker {} in a cluster of {n}",
+                    f.worker
+                )));
+            }
+            if f.step >= steps {
+                return Err(ChaosError::InvalidPlan(format!(
+                    "fault at step {} beyond the run's {steps} steps",
+                    f.step
+                )));
+            }
+        }
+        for &s in &self.master_crashes {
+            if s >= steps {
+                return Err(ChaosError::InvalidPlan(format!(
+                    "master crash after step {s} beyond the run's {steps} steps"
+                )));
+            }
+        }
+        if self.has_deaths() && !self.master_crashes.is_empty() {
+            return Err(ChaosError::InvalidPlan(
+                "a plan cannot combine worker deaths with master restarts: \
+                 the resumed master waits for every worker to re-register"
+                    .into(),
+            ));
+        }
+        // Every step needs at least one contributor: a worker that is not
+        // dead, not suppressing its codeword this step, and not mid-flap
+        // from a connection kill on the previous step.
+        for step in 0..steps {
+            let contributors = (0..n)
+                .filter(|&w| {
+                    let dead = self
+                        .faults
+                        .iter()
+                        .any(|f| f.worker == w && f.kind == FaultKind::Die && f.step <= step);
+                    let suppressed_now = self
+                        .fault_for(w, step)
+                        .is_some_and(FaultKind::suppresses_codeword);
+                    let flapping = step > 0
+                        && self
+                            .fault_for(w, step - 1)
+                            .is_some_and(FaultKind::kills_connection);
+                    !dead && !suppressed_now && !flapping
+                })
+                .count();
+            if contributors == 0 {
+                return Err(ChaosError::InvalidPlan(format!(
+                    "step {step} would have no contributing worker"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_plan_builds_and_validates() {
+        for &name in PLAN_NAMES {
+            let plan = FaultPlan::named(name, 42, 6, 8).expect(name);
+            plan.validate(6, 8)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(FaultPlan::named("no-such-plan", 0, 6, 8).is_none());
+    }
+
+    #[test]
+    fn random_plans_replay_from_seed() {
+        let a = FaultPlan::random(7, 6, 12);
+        let b = FaultPlan::random(7, 6, 12);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 6, 12);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn random_plans_validate_across_seeds() {
+        for seed in 0..200 {
+            let plan = FaultPlan::random(seed, 5, 10);
+            plan.validate(5, 10)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut plan = FaultPlan::quiet("t");
+        plan.faults.push(Fault {
+            worker: 9,
+            step: 0,
+            kind: FaultKind::Decline,
+        });
+        assert!(plan.validate(4, 8).is_err(), "worker out of range");
+
+        let mut plan = FaultPlan::quiet("t");
+        plan.faults.push(Fault {
+            worker: 0,
+            step: 99,
+            kind: FaultKind::Decline,
+        });
+        assert!(plan.validate(4, 8).is_err(), "step out of range");
+
+        let mut plan = FaultPlan::quiet("t");
+        plan.faults.push(Fault {
+            worker: 0,
+            step: 1,
+            kind: FaultKind::Die,
+        });
+        plan.master_crashes.push(3);
+        assert!(plan.validate(4, 8).is_err(), "death + restart");
+
+        let mut plan = FaultPlan::quiet("t");
+        for w in 0..4 {
+            plan.faults.push(Fault {
+                worker: w,
+                step: 2,
+                kind: FaultKind::Decline,
+            });
+        }
+        assert!(plan.validate(4, 8).is_err(), "empty step");
+    }
+
+    #[test]
+    fn fault_lookup_honors_first_match() {
+        let plan = FaultPlan {
+            name: "t".into(),
+            faults: vec![
+                Fault {
+                    worker: 2,
+                    step: 3,
+                    kind: FaultKind::Decline,
+                },
+                Fault {
+                    worker: 2,
+                    step: 3,
+                    kind: FaultKind::Drop,
+                },
+            ],
+            master_crashes: vec![],
+        };
+        assert_eq!(plan.fault_for(2, 3), Some(FaultKind::Decline));
+        assert_eq!(plan.fault_for(2, 4), None);
+        assert_eq!(plan.fault_for(1, 3), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! A scriptable protocol client: a worker that computes honest gradients
+//! except where a [`FaultPlan`] tells it to misbehave.
+//!
+//! The client is deliberately hand-rolled rather than a wrapper around
+//! `isgc_net::run_worker`: faults like "send a corrupted frame" or "close
+//! the socket mid-step" need raw access to the stream, and determinism
+//! needs precise control of *which steps* a flapping worker misses. The
+//! rule that provides it: after any connection-killing fault at step `s`,
+//! the worker reconnects immediately but declines every step below `s + 2`.
+//! Whether the master's next broadcast catches the fresh connection or not,
+//! the worker's codeword is absent from steps `s` and `s + 1` and present
+//! from `s + 2` — independent of thread timing.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use isgc_linalg::Vector;
+use isgc_ml::dataset::{Dataset, Partitioned};
+use isgc_ml::model::Model;
+use isgc_net::wire::{read_message, write_message, Message};
+use isgc_net::RetryPolicy;
+
+use crate::plan::{FaultKind, FaultPlan};
+use crate::ChaosError;
+
+/// What one chaos worker did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosWorkerSummary {
+    /// The slot this worker served.
+    pub worker: usize,
+    /// Codewords actually sent for the step underway (faulted steps and
+    /// stale sends excluded).
+    pub codewords_sent: usize,
+    /// Faults applied, in step order.
+    pub faults_applied: usize,
+    /// Reconnections performed (scripted flaps and master restarts alike).
+    pub reconnects: usize,
+    /// Whether the worker exited via a scripted permanent death.
+    pub died: bool,
+}
+
+/// Runs one chaos worker against the master at `addr` until the master
+/// shuts down, the plan kills the worker permanently, or the master stays
+/// unreachable past the retry budget.
+///
+/// `build` receives `(n, batch_size)` from the master's assignment and
+/// returns the model and full dataset (identical on every peer, by shared
+/// seed); the worker partitions the dataset exactly like the production
+/// client so its honest codewords are bit-identical to real ones.
+///
+/// # Errors
+///
+/// [`ChaosError::Net`] when the initial connection fails outright.
+pub fn run_chaos_worker<M, F>(
+    addr: SocketAddr,
+    preferred: usize,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    build: F,
+) -> Result<ChaosWorkerSummary, ChaosError>
+where
+    M: Model,
+    F: FnOnce(usize, usize) -> (M, Dataset),
+{
+    let (mut stream, mut assign) = connect(addr, preferred, retry)?;
+    let (model, dataset) = build(assign.n, assign.batch_size);
+    let partitioned = dataset.partition(assign.n);
+
+    let mut summary = ChaosWorkerSummary {
+        worker: preferred,
+        codewords_sent: 0,
+        faults_applied: 0,
+        reconnects: 0,
+        died: false,
+    };
+    // Steps strictly below this are declined (set after scripted flaps).
+    let mut decline_until: u64 = 0;
+
+    loop {
+        let message = match read_message(&mut stream) {
+            Ok(m) => m,
+            Err(_) => {
+                // Unscripted loss: the master crashed or shut down hard.
+                // Reconnect and serve whatever step it resumes at — the
+                // resumed master re-awaits full registration, so there is
+                // no mid-step rejoin race to decline around.
+                match connect(addr, preferred, retry) {
+                    Ok((fresh, reassign)) => {
+                        summary.reconnects += 1;
+                        stream = fresh;
+                        assign = reassign;
+                        continue;
+                    }
+                    Err(_) => return Ok(summary),
+                }
+            }
+        };
+        match message {
+            Message::Shutdown => return Ok(summary),
+            Message::Assign { partitions, .. } => {
+                // Mid-session reassignment (placement repair).
+                assign.partitions = partitions.into_iter().map(|j| j as usize).collect();
+            }
+            Message::Params { step, values } => {
+                let params = Vector::from_slice(&values);
+                if step < decline_until {
+                    let _ = write_message(&mut stream, &decline(preferred, step));
+                    continue;
+                }
+                let fault = plan.fault_for(preferred, step);
+                if fault.is_some() {
+                    summary.faults_applied += 1;
+                }
+                match fault {
+                    None => {
+                        let m = codeword(
+                            &params,
+                            preferred,
+                            step,
+                            &assign,
+                            &model,
+                            &dataset,
+                            &partitioned,
+                        );
+                        let _ = write_message(&mut stream, &m);
+                        summary.codewords_sent += 1;
+                    }
+                    Some(FaultKind::Delay(ms)) => {
+                        thread::sleep(Duration::from_millis(ms));
+                        let m = codeword(
+                            &params,
+                            preferred,
+                            step,
+                            &assign,
+                            &model,
+                            &dataset,
+                            &partitioned,
+                        );
+                        let _ = write_message(&mut stream, &m);
+                        summary.codewords_sent += 1;
+                    }
+                    Some(FaultKind::Duplicate) => {
+                        let frame = codeword(
+                            &params,
+                            preferred,
+                            step,
+                            &assign,
+                            &model,
+                            &dataset,
+                            &partitioned,
+                        )
+                        .encode();
+                        let _ = stream.write_all(&frame);
+                        let _ = stream.write_all(&frame);
+                        summary.codewords_sent += 1;
+                    }
+                    Some(FaultKind::Stale) => {
+                        // A straggler finishing the previous round: a
+                        // codeword tagged step − 1, then a decline for the
+                        // step actually underway.
+                        if step > 0 {
+                            let m = codeword(
+                                &params,
+                                preferred,
+                                step - 1,
+                                &assign,
+                                &model,
+                                &dataset,
+                                &partitioned,
+                            );
+                            let _ = write_message(&mut stream, &m);
+                        }
+                        let _ = write_message(&mut stream, &decline(preferred, step));
+                    }
+                    Some(FaultKind::Decline) => {
+                        let _ = write_message(&mut stream, &decline(preferred, step));
+                    }
+                    Some(FaultKind::Die) => {
+                        summary.died = true;
+                        return Ok(summary);
+                    }
+                    Some(kind @ (FaultKind::Drop | FaultKind::Corrupt | FaultKind::Truncate)) => {
+                        match kind {
+                            FaultKind::Corrupt => {
+                                // A codeword frame with its magic clobbered:
+                                // the master must reject the frame and drop
+                                // the connection, never misparse it.
+                                let mut frame = codeword(
+                                    &params,
+                                    preferred,
+                                    step,
+                                    &assign,
+                                    &model,
+                                    &dataset,
+                                    &partitioned,
+                                )
+                                .encode();
+                                frame[0] ^= 0xFF;
+                                let _ = stream.write_all(&frame);
+                            }
+                            FaultKind::Truncate => {
+                                let frame = codeword(
+                                    &params,
+                                    preferred,
+                                    step,
+                                    &assign,
+                                    &model,
+                                    &dataset,
+                                    &partitioned,
+                                )
+                                .encode();
+                                let _ = stream.write_all(&frame[..frame.len() / 2]);
+                            }
+                            _ => {}
+                        }
+                        drop(stream);
+                        decline_until = step + 2;
+                        match connect(addr, preferred, retry) {
+                            Ok((fresh, reassign)) => {
+                                summary.reconnects += 1;
+                                stream = fresh;
+                                assign = reassign;
+                            }
+                            Err(_) => return Ok(summary),
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The master's view of this worker's assignment, tracked client-side.
+struct ClientAssignment {
+    n: usize,
+    batch_size: usize,
+    seed: u64,
+    partitions: Vec<usize>,
+}
+
+/// Dials and handshakes under the retry policy.
+fn connect(
+    addr: SocketAddr,
+    preferred: usize,
+    retry: &RetryPolicy,
+) -> Result<(TcpStream, ClientAssignment), ChaosError> {
+    retry.run(preferred as u64, || -> Result<_, ChaosError> {
+        let mut stream = TcpStream::connect(addr).map_err(isgc_net::NetError::Io)?;
+        let _ = stream.set_nodelay(true);
+        write_message(
+            &mut stream,
+            &Message::Hello {
+                preferred: Some(preferred as u64),
+            },
+        )
+        .map_err(isgc_net::NetError::Wire)?;
+        match read_message(&mut stream).map_err(isgc_net::NetError::Wire)? {
+            Message::Assign {
+                n,
+                batch_size,
+                seed,
+                partitions,
+                ..
+            } => Ok((
+                stream,
+                ClientAssignment {
+                    n: n as usize,
+                    batch_size: batch_size as usize,
+                    seed,
+                    partitions: partitions.into_iter().map(|j| j as usize).collect(),
+                },
+            )),
+            other => {
+                Err(isgc_net::NetError::Protocol(format!("expected Assign, got {other:?}")).into())
+            }
+        }
+    })
+}
+
+/// A `Decline` frame for `(worker, step)`.
+fn decline(worker: usize, step: u64) -> Message {
+    Message::Decline {
+        worker: worker as u64,
+        step,
+    }
+}
+
+/// This worker's honest codeword message for `step` — the identical
+/// deterministic mini-batch and gradient-sum pipeline the production worker
+/// runs, so honest chaos codewords are bit-identical to real ones.
+#[allow(clippy::too_many_arguments)]
+fn codeword<M: Model>(
+    params: &Vector,
+    worker: usize,
+    step: u64,
+    assign: &ClientAssignment,
+    model: &M,
+    dataset: &Dataset,
+    partitioned: &Partitioned,
+) -> Message {
+    let mut codeword = model.zero_params();
+    for &p in &assign.partitions {
+        let batch = partitioned.minibatch(p, assign.batch_size, step, assign.seed);
+        let g = model.gradient_sum(params, dataset, &batch);
+        codeword.axpy(1.0, &g);
+    }
+    Message::Codeword {
+        worker: worker as u64,
+        step,
+        values: codeword.into_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_gives_up_against_nothing() {
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        let retry = RetryPolicy {
+            base: Duration::from_millis(1),
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        assert!(connect(addr, 0, &retry).is_err());
+    }
+}

@@ -68,6 +68,31 @@ pub fn recovery_upper_bound(n: usize, c: usize, w: usize) -> usize {
     (c * alpha_upper_bound(n, c, w)).min(n)
 }
 
+/// Both Theorem 10–11 recovery bounds at once, as
+/// `(recovery_lower_bound, recovery_upper_bound)` — the interval a
+/// bound-checked harness asserts every step's recovered-partition count
+/// against.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+pub fn recovery_bounds(n: usize, c: usize, w: usize) -> (usize, usize) {
+    (recovery_lower_bound(n, c, w), recovery_upper_bound(n, c, w))
+}
+
+/// Whether `recovered` partitions from `w` available workers is consistent
+/// with Theorems 10–11. The chaos harness calls this on every step of a
+/// fault-injected run: a violation means the decoder, not the fault, is
+/// broken.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+pub fn recovery_within_bounds(n: usize, c: usize, w: usize, recovered: usize) -> bool {
+    let (lo, hi) = recovery_bounds(n, c, w);
+    (lo..=hi).contains(&recovered)
+}
+
 /// The largest number of stragglers `s` for which **full** recovery of all
 /// `n` partition gradients is guaranteed for *every* straggler pattern —
 /// computed exactly by checking the worst availability pattern at each `s`.
@@ -172,6 +197,25 @@ mod tests {
     #[should_panic(expected = "cannot exceed")]
     fn w_above_n_panics() {
         alpha_lower_bound(4, 2, 5);
+    }
+
+    #[test]
+    fn recovery_bounds_pair_matches_parts() {
+        for n in 1..=12 {
+            for c in 1..=n {
+                for w in 0..=n {
+                    let (lo, hi) = recovery_bounds(n, c, w);
+                    assert_eq!(lo, recovery_lower_bound(n, c, w));
+                    assert_eq!(hi, recovery_upper_bound(n, c, w));
+                    assert!(recovery_within_bounds(n, c, w, lo));
+                    assert!(recovery_within_bounds(n, c, w, hi));
+                    assert!(!recovery_within_bounds(n, c, w, hi + 1));
+                    if lo > 0 {
+                        assert!(!recovery_within_bounds(n, c, w, lo - 1));
+                    }
+                }
+            }
+        }
     }
 
     /// Every decoder's output must fall within Theorems 10-11 for every

@@ -1,0 +1,308 @@
+//! Master checkpoint/restore: crash the master, restart it, and resume
+//! training at the step it was on instead of starting over.
+//!
+//! The checkpoint deliberately contains *only* what the master cannot
+//! rederive from its [`crate::NetConfig`]: the next step index, the current
+//! model parameters, and the (possibly repaired) partition assignments.
+//! Everything else — dataset, mini-batches, decode tie-breaks — is already a
+//! pure function of `(seed, step)`, which is what makes a resumed run
+//! byte-identical to an uninterrupted one from the restart point onward.
+//!
+//! The on-disk format is a self-framed binary blob (magic, version,
+//! fingerprint, payload) written atomically via rename, so a crash *during*
+//! checkpointing leaves the previous checkpoint intact rather than a torn
+//! file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::NetError;
+
+/// Leading bytes of a checkpoint file.
+pub const CKPT_MAGIC: [u8; 8] = *b"ISGCCKPT";
+
+/// Checkpoint format version; bumped on any incompatible change.
+pub const CKPT_VERSION: u8 = 1;
+
+/// When and where the master persists its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// File the checkpoint is written to (and resumed from, when present).
+    pub path: PathBuf,
+    /// Persist every `every` steps (1 = after each step).
+    pub every: u64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` after every step.
+    pub fn every_step(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every: 1,
+        }
+    }
+}
+
+/// Everything a restarted master needs to resume mid-training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterCheckpoint {
+    /// Seed of the run that wrote this checkpoint (resume fingerprint).
+    pub seed: u64,
+    /// Cluster size of the run (resume fingerprint).
+    pub n: u64,
+    /// Storage factor of the run (resume fingerprint).
+    pub c: u64,
+    /// The next step to execute.
+    pub step: u64,
+    /// Model parameters entering that step.
+    pub params: Vec<f64>,
+    /// Current per-worker partition lists (differs from the configured
+    /// placement once placement repair has run; empty list = worker was
+    /// declared permanently dead and stripped of its partitions).
+    pub assignments: Vec<Vec<u64>>,
+}
+
+impl MasterCheckpoint {
+    /// Serializes the checkpoint to its on-disk byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CKPT_MAGIC);
+        buf.push(CKPT_VERSION);
+        for x in [self.seed, self.n, self.c, self.step] {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for v in &self.params {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.assignments.len() as u32).to_le_bytes());
+        for list in &self.assignments {
+            buf.extend_from_slice(&(list.len() as u32).to_le_bytes());
+            for p in list {
+                buf.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Parses a checkpoint from its on-disk byte format.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on any structural problem — wrong magic or
+    /// version, truncation, trailing bytes — never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NetError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != CKPT_MAGIC {
+            return Err(NetError::Protocol(format!(
+                "checkpoint magic mismatch: {magic:02x?}"
+            )));
+        }
+        let version = r.take(1)?[0];
+        if version != CKPT_VERSION {
+            return Err(NetError::Protocol(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let seed = r.u64()?;
+        let n = r.u64()?;
+        let c = r.u64()?;
+        let step = r.u64()?;
+        let plen = r.u32()? as usize;
+        if r.remaining() < plen.saturating_mul(8) {
+            return Err(NetError::Protocol("truncated checkpoint params".into()));
+        }
+        let params = (0..plen).map(|_| r.f64()).collect::<Result<Vec<_>, _>>()?;
+        let alen = r.u32()? as usize;
+        if alen > 1 << 20 {
+            return Err(NetError::Protocol("implausible worker count".into()));
+        }
+        let mut assignments = Vec::with_capacity(alen);
+        for _ in 0..alen {
+            let k = r.u32()? as usize;
+            if r.remaining() < k.saturating_mul(8) {
+                return Err(NetError::Protocol("truncated checkpoint assignment".into()));
+            }
+            assignments.push((0..k).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?);
+        }
+        if r.remaining() != 0 {
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after checkpoint",
+                r.remaining()
+            )));
+        }
+        Ok(MasterCheckpoint {
+            seed,
+            n,
+            c,
+            step,
+            params,
+            assignments,
+        })
+    }
+
+    /// Writes the checkpoint atomically: a temp file in the same directory,
+    /// then a rename over `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as [`NetError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), NetError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint if `path` exists; `Ok(None)` when it does not.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors other than not-found, and any decode failure.
+    pub fn load(path: &Path) -> Result<Option<Self>, NetError> {
+        match fs::read(path) {
+            Ok(bytes) => Ok(Some(Self::decode(&bytes)?)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(NetError::Io(e)),
+        }
+    }
+
+    /// Checks that this checkpoint belongs to the run described by
+    /// `(seed, n, c)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] naming the mismatched field.
+    pub fn verify_fingerprint(&self, seed: u64, n: usize, c: usize) -> Result<(), NetError> {
+        if self.seed != seed || self.n != n as u64 || self.c != c as u64 {
+            return Err(NetError::Protocol(format!(
+                "checkpoint fingerprint mismatch: file has (seed={}, n={}, c={}), \
+                 run has (seed={seed}, n={n}, c={c})",
+                self.seed, self.n, self.c
+            )));
+        }
+        if self.assignments.len() != n {
+            return Err(NetError::Protocol(format!(
+                "checkpoint carries {} assignment lists for n={n}",
+                self.assignments.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A bounds-checked reader over the checkpoint bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, k: usize) -> Result<&'a [u8], NetError> {
+        if self.remaining() < k {
+            return Err(NetError::Protocol("truncated checkpoint".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + k];
+        self.pos += k;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MasterCheckpoint {
+        MasterCheckpoint {
+            seed: 42,
+            n: 4,
+            c: 2,
+            step: 7,
+            params: vec![1.5, -2.25, f64::MIN_POSITIVE],
+            assignments: vec![vec![0, 1], vec![1, 2], vec![2, 3, 0], vec![]],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let ck = sample();
+        let decoded = MasterCheckpoint::decode(&ck.encode()).expect("decode");
+        assert_eq!(decoded, ck);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                MasterCheckpoint::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_trailing() {
+        let mut b = sample().encode();
+        b[0] = b'X';
+        assert!(MasterCheckpoint::decode(&b).is_err());
+        let mut b = sample().encode();
+        b[8] = 99;
+        assert!(MasterCheckpoint::decode(&b).is_err());
+        let mut b = sample().encode();
+        b.push(0);
+        assert!(MasterCheckpoint::decode(&b).is_err());
+    }
+
+    #[test]
+    fn fingerprint_guards_resume() {
+        let ck = sample();
+        assert!(ck.verify_fingerprint(42, 4, 2).is_ok());
+        assert!(ck.verify_fingerprint(43, 4, 2).is_err());
+        assert!(ck.verify_fingerprint(42, 5, 2).is_err());
+        assert!(ck.verify_fingerprint(42, 4, 3).is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_atomically() {
+        let dir = std::env::temp_dir().join(format!("isgc-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("master.ckpt");
+        assert!(MasterCheckpoint::load(&path).unwrap().is_none());
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(MasterCheckpoint::load(&path).unwrap(), Some(ck.clone()));
+        // Overwrite with a later step; the rename replaces in place.
+        let later = MasterCheckpoint { step: 9, ..ck };
+        later.save(&path).unwrap();
+        assert_eq!(
+            MasterCheckpoint::load(&path).unwrap().map(|c| c.step),
+            Some(9)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,13 +25,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod master;
 pub mod report;
+pub mod retry;
 pub mod wire;
 pub mod worker;
 
-pub use master::{Master, NetConfig};
-pub use report::{NetReport, NetTrainReport};
+pub use checkpoint::{CheckpointConfig, MasterCheckpoint};
+pub use master::{Master, NetConfig, StepControl};
+pub use report::{NetReport, NetTrainReport, RepairEvent};
+pub use retry::RetryPolicy;
 pub use worker::{run_worker, Assignment, ShutdownCause, WorkerOptions, WorkerSummary};
 
 use std::fmt;
@@ -72,6 +76,18 @@ pub enum NetError {
     Protocol(String),
     /// The run cannot continue: every worker is dead or unreachable.
     AllWorkersLost,
+    /// A step closed having recovered nothing while workers were still
+    /// nominally alive — the run degraded below the point of progress.
+    /// `bound` is the Theorem 10 recovery guarantee a full collection from
+    /// the then-alive workers would have carried.
+    Degraded {
+        /// The step that recovered nothing.
+        step: u64,
+        /// Partitions recovered that step (always 0 today).
+        recovered: usize,
+        /// `recovery_lower_bound(n, c, alive)` at the moment the step closed.
+        bound: usize,
+    },
     /// The configuration is invalid (e.g. `w` outside `1..=n`).
     InvalidConfig(String),
 }
@@ -83,6 +99,15 @@ impl fmt::Display for NetError {
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
             NetError::AllWorkersLost => write!(f, "every worker is dead or unreachable"),
+            NetError::Degraded {
+                step,
+                recovered,
+                bound,
+            } => write!(
+                f,
+                "step {step} degraded below progress: recovered {recovered} \
+                 partitions (alive workers guaranteed {bound})"
+            ),
             NetError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
         }
     }

@@ -1,5 +1,15 @@
 //! The IS-GC master: listens on TCP, registers workers, drives training
 //! steps, and ignores an arbitrary subset of stragglers every step.
+//!
+//! Robustness machinery (PR 2): the master checkpoints `(step, params,
+//! assignments)` so a restarted process resumes mid-training; workers that
+//! stay dead for a configurable number of steps are declared permanently
+//! dead and their partitions are re-homed onto survivors (placement repair,
+//! minimizing added conflict-graph edges); a step that closes having
+//! recovered nothing surfaces as a typed [`NetError::Degraded`] instead of
+//! silently spinning. All per-step randomness is derived from
+//! `(seed, step)`, never streamed, so a resumed run is bit-identical to an
+//! uninterrupted one from the restart point onward.
 
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -10,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
-use isgc_core::{Placement, Scheme, WorkerSet};
+use isgc_core::{bounds, ConflictGraph, Placement, Scheme, WorkerSet};
 use isgc_linalg::Vector;
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::Model;
@@ -18,7 +28,9 @@ use isgc_ml::optimizer::Sgd;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::report::{NetReport, NetTrainReport};
+use crate::checkpoint::{CheckpointConfig, MasterCheckpoint};
+use crate::report::{NetReport, NetTrainReport, RepairEvent};
+use crate::retry::RetryPolicy;
 use crate::wire::{read_message, write_message, Message, WireError};
 use crate::{NetError, WaitPolicy};
 
@@ -45,6 +57,23 @@ pub struct NetConfig {
     pub heartbeat_timeout: Duration,
     /// How long `run` waits for all `n` workers to register.
     pub register_timeout: Duration,
+    /// When set, the master persists a [`MasterCheckpoint`] on the given
+    /// cadence and resumes from the file if it exists at startup.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// When set, a worker dead for this many consecutive step starts is
+    /// declared permanently dead: its partitions are reassigned to
+    /// survivors (minimizing added conflict-graph edges) and fresh `Assign`
+    /// frames are issued. Counted in steps, not wall time, so seeded chaos
+    /// schedules replay exactly.
+    pub repair_after_steps: Option<u64>,
+    /// How long each step start waits for a previously-registered but
+    /// currently disconnected worker to re-register before broadcasting.
+    /// Zero (the default) broadcasts immediately. The chaos harness sets a
+    /// generous grace so a flapping worker's arrival set depends only on
+    /// its scripted faults, never on how fast its reconnect handshake races
+    /// the next broadcast. Workers already declared dead by placement
+    /// repair are never waited for.
+    pub rejoin_grace: Duration,
 }
 
 impl NetConfig {
@@ -60,6 +89,9 @@ impl NetConfig {
             seed: 7,
             heartbeat_timeout: Duration::from_secs(2),
             register_timeout: Duration::from_secs(30),
+            checkpoint: None,
+            repair_after_steps: None,
+            rejoin_grace: Duration::ZERO,
         }
     }
 
@@ -80,8 +112,34 @@ impl NetConfig {
         if self.max_steps == 0 {
             return Err(NetError::InvalidConfig("max_steps must be positive".into()));
         }
+        if self.repair_after_steps == Some(0) {
+            return Err(NetError::InvalidConfig(
+                "repair_after_steps must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
+}
+
+/// What the per-step observer tells the master to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Keep training.
+    Continue,
+    /// Simulate a master crash: stop immediately *without* telling workers
+    /// to shut down, exactly as a killed process would. Used by the chaos
+    /// harness to exercise checkpoint/restore.
+    Crash,
+}
+
+/// The tie-break RNG for one step, derived — never streamed — from
+/// `(seed, step)` so that a master resumed from a checkpoint decodes
+/// exactly like one that never crashed.
+fn step_rng(seed: u64, step: u64) -> StdRng {
+    let mut z = seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
 /// Events flowing from connection threads into the master loop.
@@ -101,6 +159,16 @@ enum Event {
     Gone { worker: usize, epoch: u64 },
 }
 
+/// What one inbound event amounted to, once slot state is updated.
+enum Dispatched {
+    /// Nothing the collection loop cares about.
+    Nothing,
+    /// A codeword: `(worker, step, values)`.
+    Codeword(usize, u64, Vec<f64>),
+    /// A fast-fail straggler signal: `(worker, step)`.
+    Decline(usize, u64),
+}
+
 /// One worker slot as the master sees it.
 struct Slot {
     /// Write half of the current connection, if any.
@@ -114,6 +182,9 @@ struct Slot {
     registered: bool,
     /// Last time any message arrived from this worker.
     last_seen: Instant,
+    /// Consecutive step starts this worker has been dead for; feeds the
+    /// permanent-death declaration behind placement repair.
+    dead_steps: u64,
 }
 
 /// A listening IS-GC master. Bind first (so tests can learn the ephemeral
@@ -131,6 +202,19 @@ impl Master {
     pub fn bind(addr: impl ToSocketAddrs) -> Result<Master, NetError> {
         let listener = TcpListener::bind(addr)?;
         Ok(Master { listener })
+    }
+
+    /// Binds with retries under `policy` — the restart path: a master
+    /// coming back on its old port may briefly race the OS releasing it.
+    ///
+    /// # Errors
+    ///
+    /// The final bind error once the policy's attempts are exhausted.
+    pub fn bind_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        policy: &RetryPolicy,
+    ) -> Result<Master, NetError> {
+        policy.run(0, || Master::bind(addr))
     }
 
     /// The bound address (useful after binding port 0).
@@ -161,21 +245,46 @@ impl Master {
     /// Blocks until `placement.n()` workers registered, then trains for up
     /// to `max_steps` steps, decoding each step's arrivals with the
     /// placement's IS-GC decoder and applying the shared SGD update. Dead
-    /// workers (heartbeat silence, closed connections) shrink the wait
-    /// target instead of stalling the step; late codewords are discarded by
-    /// step tag; reconnecting workers reclaim their slot mid-run.
+    /// workers (heartbeat silence, closed connections, `Decline` frames)
+    /// shrink the wait target instead of stalling the step; late codewords
+    /// are discarded by step tag; reconnecting workers reclaim their slot
+    /// mid-run. With [`NetConfig::checkpoint`] set, the session resumes
+    /// from the checkpoint file when one exists.
     ///
     /// # Errors
     ///
     /// [`NetError::InvalidConfig`] for bad parameters,
-    /// [`NetError::Protocol`] when registration times out, and
-    /// [`NetError::AllWorkersLost`] when no worker is left to make progress.
+    /// [`NetError::Protocol`] when registration times out or a checkpoint
+    /// is unusable, [`NetError::Degraded`] when a step recovers nothing,
+    /// and [`NetError::AllWorkersLost`] when no worker is left at all.
     pub fn run_with<M: Model>(
         self,
         model: &M,
         dataset: &Dataset,
         config: &NetConfig,
         mut observer: impl FnMut(&NetReport),
+    ) -> Result<NetTrainReport, NetError> {
+        self.run_controlled(model, dataset, config, |report| {
+            observer(report);
+            StepControl::Continue
+        })
+    }
+
+    /// Like [`Master::run_with`], but the observer may return
+    /// [`StepControl::Crash`] to stop the master cold — no shutdown
+    /// broadcast, sockets dropped — returning the partial report. The chaos
+    /// harness uses this to script mid-run master crashes; a subsequent
+    /// `run_controlled` with the same checkpointed config resumes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Master::run_with`].
+    pub fn run_controlled<M: Model>(
+        self,
+        model: &M,
+        dataset: &Dataset,
+        config: &NetConfig,
+        mut observer: impl FnMut(&NetReport) -> StepControl,
     ) -> Result<NetTrainReport, NetError> {
         config.validate()?;
         let n = config.placement.n();
@@ -197,6 +306,9 @@ impl Master {
         let stop = Arc::new(AtomicBool::new(false));
         let accept_handle = spawn_accept_loop(self.listener, event_tx.clone(), Arc::clone(&stop));
 
+        let assignments: Vec<Vec<usize>> = (0..n)
+            .map(|w| config.placement.partitions_of(w).to_vec())
+            .collect();
         let mut loop_state = MasterLoop {
             slots: (0..n)
                 .map(|_| Slot {
@@ -205,24 +317,51 @@ impl Master {
                     alive: false,
                     registered: false,
                     last_seen: Instant::now(),
+                    dead_steps: 0,
                 })
                 .collect(),
             event_rx,
             event_tx,
             config: config.clone(),
+            decoder,
+            assignments,
+            graph: ConflictGraph::from_placement(&config.placement),
+            repaired: false,
         };
 
-        let outcome = loop_state.train(model, dataset, decoder.as_ref(), &mut observer);
+        let outcome = loop_state.train(model, dataset, &mut observer);
 
         // Tell workers we're done and unblock the accept loop so its thread
         // exits: set the flag, then poke the listener with a throwaway
-        // connection.
-        loop_state.broadcast(&Message::Shutdown);
+        // connection. A scripted crash skips the shutdown broadcast — a
+        // killed process sends nothing.
+        if !matches!(outcome, Ok((_, SessionEnd::Crashed))) {
+            loop_state.broadcast(&Message::Shutdown);
+        } else {
+            // A killed process closes every fd. Emulate that: reader threads
+            // hold clones of these sockets, so merely dropping the writers
+            // leaves the connections open and workers would block forever
+            // instead of seeing EOF and reconnecting to the resumed master.
+            for slot in &mut loop_state.slots {
+                if let Some(writer) = slot.writer.take() {
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
         stop.store(true, Ordering::Release);
         let _ = TcpStream::connect(local_addr);
         let _ = accept_handle.join();
-        outcome
+        outcome.map(|(report, _)| report)
     }
+}
+
+/// How a training session came to an end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionEnd {
+    /// Ran to completion (step cap or loss threshold).
+    Completed,
+    /// The observer scripted a crash.
+    Crashed,
 }
 
 /// Spawns the accept loop: each fresh connection gets a short-lived
@@ -298,6 +437,17 @@ struct MasterLoop {
     event_rx: Receiver<Event>,
     event_tx: Sender<Event>,
     config: NetConfig,
+    /// The scheme decoder used while the placement is still the configured
+    /// one; after a repair the conflict graph below takes over.
+    decoder: Box<dyn Decoder>,
+    /// Current per-worker partition lists; starts as the placement's and
+    /// diverges once placement repair runs (a repaired-dead worker's list
+    /// becomes empty).
+    assignments: Vec<Vec<usize>>,
+    /// Conflict graph of `assignments`, rebuilt on every repair.
+    graph: ConflictGraph,
+    /// Whether any repair has run (switches the decode path).
+    repaired: bool,
 }
 
 impl MasterLoop {
@@ -305,20 +455,20 @@ impl MasterLoop {
         self.slots.len()
     }
 
-    /// Handles one event; codewords are returned to the caller, everything
-    /// else mutates slot state here.
-    fn dispatch(&mut self, event: Event) -> Option<(usize, u64, Vec<f64>)> {
+    /// Handles one event; codewords and declines are returned to the
+    /// caller, everything else mutates slot state here.
+    fn dispatch(&mut self, event: Event) -> Dispatched {
         match event {
             Event::Join { stream, preferred } => {
                 self.register(stream, preferred);
-                None
+                Dispatched::Nothing
             }
             Event::Gone { worker, epoch } => {
                 if self.slots[worker].epoch == epoch {
                     self.slots[worker].alive = false;
                     self.slots[worker].writer = None;
                 }
-                None
+                Dispatched::Nothing
             }
             Event::Msg {
                 worker,
@@ -326,7 +476,7 @@ impl MasterLoop {
                 message,
             } => {
                 if self.slots[worker].epoch != epoch {
-                    return None; // from a replaced connection
+                    return Dispatched::Nothing; // from a replaced connection
                 }
                 self.slots[worker].last_seen = Instant::now();
                 self.slots[worker].alive = true;
@@ -340,12 +490,13 @@ impl MasterLoop {
                         // a protocol violation we tolerate by trusting the
                         // connection, not the payload.
                         let _ = claimed;
-                        Some((worker, step, values))
+                        Dispatched::Codeword(worker, step, values)
                     }
-                    Message::Heartbeat { .. } => None,
+                    Message::Decline { step, .. } => Dispatched::Decline(worker, step),
+                    Message::Heartbeat { .. } => Dispatched::Nothing,
                     // Workers never send anything else; ignore rather than
                     // letting one confused peer kill the run.
-                    _ => None,
+                    _ => Dispatched::Nothing,
                 }
             }
         }
@@ -370,20 +521,7 @@ impl MasterLoop {
                 }
             },
         };
-        let assign = Message::Assign {
-            worker: id as u64,
-            n: n as u64,
-            c: self.config.placement.c() as u64,
-            batch_size: self.config.batch_size as u64,
-            seed: self.config.seed,
-            partitions: self
-                .config
-                .placement
-                .partitions_of(id)
-                .iter()
-                .map(|&j| j as u64)
-                .collect(),
-        };
+        let assign = self.assign_message(id);
         let mut write_half = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
@@ -397,7 +535,21 @@ impl MasterLoop {
         slot.alive = true;
         slot.last_seen = Instant::now();
         slot.writer = Some(write_half);
+        slot.dead_steps = 0;
         spawn_reader(stream, id, slot.epoch, self.event_tx.clone());
+    }
+
+    /// Builds the `Assign` frame for worker `id` from its *current*
+    /// assignment (which placement repair may have changed).
+    fn assign_message(&self, id: usize) -> Message {
+        Message::Assign {
+            worker: id as u64,
+            n: self.n() as u64,
+            c: self.config.placement.c() as u64,
+            batch_size: self.config.batch_size as u64,
+            seed: self.config.seed,
+            partitions: self.assignments[id].iter().map(|&j| j as u64).collect(),
+        }
     }
 
     /// Marks heartbeat-silent workers dead.
@@ -457,26 +609,248 @@ impl MasterLoop {
         }
     }
 
+    /// Waits up to `rejoin_grace` for every previously-registered but
+    /// disconnected worker (not yet declared dead by repair) to re-register,
+    /// so a flapping worker's step membership is decided by what it *sends*
+    /// (codeword or decline), never by whether its reconnect handshake beat
+    /// the broadcast. Returns the number of codewords swallowed while
+    /// waiting — necessarily stale, since this step has not been broadcast
+    /// yet — so the caller can fold them into the step's stale count.
+    fn await_rejoins(&mut self) -> usize {
+        let grace = self.config.rejoin_grace;
+        let mut stale = 0usize;
+        if grace.is_zero() {
+            return stale;
+        }
+        let waiting = |slots: &[Slot], assignments: &[Vec<usize>]| {
+            slots
+                .iter()
+                .zip(assignments)
+                .any(|(s, a)| s.registered && !s.alive && !a.is_empty())
+        };
+        let deadline = Instant::now() + grace;
+        while waiting(&self.slots, &self.assignments) {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match self.event_rx.recv_timeout(remaining.min(POLL)) {
+                Ok(event) => {
+                    if let Dispatched::Codeword(..) = self.dispatch(event) {
+                        stale += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        stale
+    }
+
+    /// Bumps per-slot dead-step counters and runs placement repair on any
+    /// worker that crossed the permanent-death threshold. Returns the
+    /// reassignments applied (empty almost always).
+    fn step_start_repairs(&mut self) -> Vec<RepairEvent> {
+        for slot in &mut self.slots {
+            if slot.alive {
+                slot.dead_steps = 0;
+            } else {
+                slot.dead_steps += 1;
+            }
+        }
+        let Some(threshold) = self.config.repair_after_steps else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        for dead in 0..self.n() {
+            if self.slots[dead].dead_steps >= threshold && !self.assignments[dead].is_empty() {
+                events.extend(self.repair_worker(dead));
+            }
+        }
+        if !events.is_empty() {
+            self.rebuild_graph();
+            self.repaired = true;
+            // Re-issue Assign frames to every survivor whose partition list
+            // grew, over the existing connections.
+            let touched: std::collections::BTreeSet<usize> = events.iter().map(|e| e.to).collect();
+            for id in touched {
+                let message = self.assign_message(id);
+                let slot = &mut self.slots[id];
+                let ok = slot
+                    .writer
+                    .as_mut()
+                    .is_some_and(|w| write_message(w, &message).is_ok());
+                if !ok {
+                    slot.alive = false;
+                    slot.writer = None;
+                }
+            }
+        }
+        events
+    }
+
+    /// Re-homes every partition of permanently-dead worker `dead` onto a
+    /// survivor, choosing per partition the adopter that adds the fewest
+    /// new conflict-graph edges (ties: fewest partitions held, then lowest
+    /// id — fully deterministic).
+    fn repair_worker(&mut self, dead: usize) -> Vec<RepairEvent> {
+        let lost: Vec<usize> = std::mem::take(&mut self.assignments[dead]);
+        let mut events = Vec::with_capacity(lost.len());
+        for j in lost {
+            let adopter = self.pick_adopter(dead, j);
+            let Some(to) = adopter else { continue };
+            self.assignments[to].push(j);
+            self.assignments[to].sort_unstable();
+            events.push(RepairEvent {
+                partition: j,
+                from: dead,
+                to,
+            });
+        }
+        events
+    }
+
+    /// The survivor that should adopt partition `j`, or `None` when no
+    /// eligible survivor exists (everyone else holds `j` already or is
+    /// itself stripped/dead).
+    fn pick_adopter(&self, dead: usize, j: usize) -> Option<usize> {
+        let holders: Vec<usize> = (0..self.n())
+            .filter(|&w| w != dead && self.assignments[w].contains(&j))
+            .collect();
+        let mut best: Option<(usize, usize, usize)> = None; // (cost, load, id)
+        for w in 0..self.n() {
+            if w == dead
+                || self.assignments[w].is_empty()
+                || !self.slots[w].alive
+                || self.assignments[w].contains(&j)
+            {
+                continue;
+            }
+            // New edges = holders of j this worker does not already
+            // conflict with (sharing any partition).
+            let cost = holders
+                .iter()
+                .filter(|&&h| {
+                    !self.assignments[w]
+                        .iter()
+                        .any(|p| self.assignments[h].contains(p))
+                })
+                .count();
+            let key = (cost, self.assignments[w].len(), w);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Rebuilds the conflict graph from the current assignments.
+    fn rebuild_graph(&mut self) {
+        let n = self.n();
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                if self.assignments[a]
+                    .iter()
+                    .any(|p| self.assignments[b].contains(p))
+                {
+                    edges.push((a, b));
+                }
+            }
+        }
+        self.graph = ConflictGraph::from_edges(n, &edges);
+    }
+
+    /// Decodes one step's arrivals: the scheme decoder while the placement
+    /// is intact, an exact MIS over the repaired conflict graph afterwards.
+    /// Returns the selected workers and the number of recovered partitions.
+    fn decode_step(&self, available: &WorkerSet, rng: &mut StdRng) -> (Vec<usize>, usize) {
+        if !self.repaired {
+            let result = self.decoder.decode(available, rng);
+            return (result.selected().to_vec(), result.recovered_count());
+        }
+        let selected = self.graph.max_independent_set(available);
+        // Selected workers are pairwise non-conflicting, so their partition
+        // sets are disjoint: recovery is the plain sum of their sizes.
+        let recovered = selected.iter().map(|&w| self.assignments[w].len()).sum();
+        (selected, recovered)
+    }
+
+    /// Restores checkpointed state if a checkpoint exists; returns the step
+    /// to resume at and the parameters to resume with.
+    fn try_resume(&mut self, params: &mut Vector) -> Result<u64, NetError> {
+        let Some(ck_config) = self.config.checkpoint.clone() else {
+            return Ok(0);
+        };
+        let Some(ck) = MasterCheckpoint::load(&ck_config.path)? else {
+            return Ok(0);
+        };
+        let (n, c) = (self.config.placement.n(), self.config.placement.c());
+        ck.verify_fingerprint(self.config.seed, n, c)?;
+        *params = Vector::from_slice(&ck.params);
+        self.assignments = ck
+            .assignments
+            .iter()
+            .map(|list| list.iter().map(|&j| j as usize).collect())
+            .collect();
+        let pristine = (0..n)
+            .all(|w| self.assignments[w].as_slice() == self.config.placement.partitions_of(w));
+        if !pristine {
+            self.rebuild_graph();
+            self.repaired = true;
+        }
+        Ok(ck.step)
+    }
+
+    /// Persists a checkpoint for `next_step` if the cadence says so.
+    fn maybe_checkpoint(&self, next_step: u64, params: &Vector) -> Result<(), NetError> {
+        let Some(ck_config) = &self.config.checkpoint else {
+            return Ok(());
+        };
+        if !next_step.is_multiple_of(ck_config.every.max(1)) {
+            return Ok(());
+        }
+        let ck = MasterCheckpoint {
+            seed: self.config.seed,
+            n: self.config.placement.n() as u64,
+            c: self.config.placement.c() as u64,
+            step: next_step,
+            params: params.as_slice().to_vec(),
+            assignments: self
+                .assignments
+                .iter()
+                .map(|list| list.iter().map(|&j| j as u64).collect())
+                .collect(),
+        };
+        ck.save(&ck_config.path)
+    }
+
     /// The full training session.
     fn train<M: Model>(
         &mut self,
         model: &M,
         dataset: &Dataset,
-        decoder: &dyn Decoder,
-        observer: &mut impl FnMut(&NetReport),
-    ) -> Result<NetTrainReport, NetError> {
+        observer: &mut impl FnMut(&NetReport) -> StepControl,
+    ) -> Result<(NetTrainReport, SessionEnd), NetError> {
+        let n = self.n();
+        // Parameter initialization is a pure function of the seed, so a
+        // resumed master can overwrite it from the checkpoint and a fresh
+        // one matches any peer that recomputes it.
+        let mut init_rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut params = model.init_params(&mut init_rng);
+        let start_step = self.try_resume(&mut params)?;
+
         self.await_registration()?;
 
-        let n = self.n();
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut params = model.init_params(&mut rng);
         let mut opt = Sgd::new(self.config.learning_rate);
         let all_indices: Vec<usize> = (0..dataset.len()).collect();
         let mut steps = Vec::with_capacity(self.config.max_steps);
         let mut reached_threshold = false;
         let started = Instant::now();
 
-        for step in 0..self.config.max_steps as u64 {
+        for step in start_step..self.config.max_steps as u64 {
+            let repairs = self.step_start_repairs();
+            let pre_stale = self.await_rejoins();
             self.broadcast(&Message::Params {
                 step,
                 values: params.as_slice().to_vec(),
@@ -484,32 +858,45 @@ impl MasterLoop {
             let collected = self.collect_step(step)?;
 
             let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
-            let result = decoder.decode(&available, &mut rng);
-            let recovered = result.recovered_count();
-            if recovered > 0 {
-                let mut g = Vector::zeros(params.len());
-                for &w in result.selected() {
-                    g.axpy(
-                        1.0,
-                        collected.codewords[w]
-                            .as_ref()
-                            .expect("decoder selects only arrived workers"),
-                    );
-                }
-                // Paper-faithful normalization (Theorem 12's η·|D_d|): ĝ is
-                // a sum of per-partition batch sums; scale once by the batch
-                // size, matching isgc-runtime.
-                g.scale(1.0 / self.config.batch_size as f64);
-                opt.step(&mut params, &g);
+            let mut rng = step_rng(self.config.seed, step);
+            let (selected, recovered) = self.decode_step(&available, &mut rng);
+            if recovered == 0 {
+                // No gradient at all, yet workers are nominally alive: the
+                // run is spinning without progress. Surface it as a typed
+                // error instead of silently looping.
+                return Err(NetError::Degraded {
+                    step,
+                    recovered,
+                    bound: bounds::recovery_lower_bound(
+                        n,
+                        self.config.placement.c(),
+                        self.alive_count().min(n),
+                    ),
+                });
             }
+            let mut g = Vector::zeros(params.len());
+            for &w in &selected {
+                g.axpy(
+                    1.0,
+                    collected.codewords[w]
+                        .as_ref()
+                        .expect("decoder selects only arrived workers"),
+                );
+            }
+            // Paper-faithful normalization (Theorem 12's η·|D_d|): ĝ is
+            // a sum of per-partition batch sums; scale once by the batch
+            // size, matching isgc-runtime.
+            g.scale(1.0 / self.config.batch_size as f64);
+            opt.step(&mut params, &g);
             let loss = model.loss_mean(&params, dataset, &all_indices);
+            self.maybe_checkpoint(step + 1, &params)?;
             let report = NetReport {
                 step,
                 arrivals: collected.arrivals,
                 waited_ms: collected.waited.as_secs_f64() * 1e3,
-                selected: result.selected().to_vec(),
+                ignored: (0..n).filter(|w| !selected.contains(w)).collect(),
+                selected,
                 recovered,
-                ignored: (0..n).filter(|w| !result.selected().contains(w)).collect(),
                 dead: self
                     .slots
                     .iter()
@@ -517,22 +904,38 @@ impl MasterLoop {
                     .filter(|(_, s)| !s.alive)
                     .map(|(i, _)| i)
                     .collect(),
-                stale: collected.stale,
+                declined: collected.declined,
+                repairs,
+                stale: collected.stale + pre_stale,
                 loss,
             };
-            observer(&report);
+            let control = observer(&report);
             steps.push(report);
+            if control == StepControl::Crash {
+                return Ok((
+                    NetTrainReport {
+                        steps,
+                        reached_threshold: false,
+                        wall_time: started.elapsed().as_secs_f64(),
+                        final_params: params,
+                    },
+                    SessionEnd::Crashed,
+                ));
+            }
             if loss <= self.config.loss_threshold {
                 reached_threshold = true;
                 break;
             }
         }
-        Ok(NetTrainReport {
-            steps,
-            reached_threshold,
-            wall_time: started.elapsed().as_secs_f64(),
-            final_params: params,
-        })
+        Ok((
+            NetTrainReport {
+                steps,
+                reached_threshold,
+                wall_time: started.elapsed().as_secs_f64(),
+                final_params: params,
+            },
+            SessionEnd::Completed,
+        ))
     }
 
     /// Collects one step's codewords under the configured wait policy.
@@ -543,15 +946,29 @@ impl MasterLoop {
             WaitPolicy::Deadline(d) => Some(step_start + d),
         };
         let n = self.n();
+        // A worker is eligible for this step only through the connection
+        // that received the Params broadcast; one that reconnects mid-step
+        // cannot produce this step's codeword, so it must not be waited on.
+        let eligible: Vec<Option<u64>> = self
+            .slots
+            .iter()
+            .map(|s| (s.alive && s.writer.is_some()).then_some(s.epoch))
+            .collect();
         let mut codewords: Vec<Option<Vector>> = vec![None; n];
         let mut arrivals: Vec<usize> = Vec::new();
+        let mut declined: Vec<bool> = vec![false; n];
         let mut stale = 0usize;
         let mut pending: VecDeque<Event> = VecDeque::new();
 
         loop {
             self.sweep_dead();
             let alive_pending = (0..n)
-                .filter(|&w| self.slots[w].alive && codewords[w].is_none())
+                .filter(|&w| {
+                    self.slots[w].alive
+                        && eligible[w] == Some(self.slots[w].epoch)
+                        && !declined[w]
+                        && codewords[w].is_none()
+                })
                 .count();
             let done = match self.config.wait {
                 WaitPolicy::FirstW(w) => arrivals.len() >= w || alive_pending == 0,
@@ -565,13 +982,14 @@ impl MasterLoop {
                     return Err(NetError::AllWorkersLost);
                 }
                 // A step that closes with zero arrivals but alive workers
-                // (FirstW with everyone freshly dead-marked) still makes
-                // progress upstream: zero recovery means no update.
+                // (FirstW with everyone freshly dead-marked or declining)
+                // is reported upstream as Degraded by the caller.
                 return Ok(CollectedStep {
                     arrivals,
                     codewords,
                     waited: step_start.elapsed(),
                     stale,
+                    declined: (0..n).filter(|&w| declined[w]).collect(),
                 });
             }
 
@@ -585,15 +1003,25 @@ impl MasterLoop {
                     }
                 },
             };
-            if let Some((worker, tagged_step, values)) = self.dispatch(event) {
-                if tagged_step == step && codewords[worker].is_none() {
-                    codewords[worker] = Some(Vector::from_slice(&values));
-                    arrivals.push(worker);
-                } else {
-                    // Stale: a straggler finishing an earlier round (or a
-                    // duplicate); count it, never mix it into this step.
-                    stale += 1;
+            match self.dispatch(event) {
+                Dispatched::Codeword(worker, tagged_step, values) => {
+                    if tagged_step == step && codewords[worker].is_none() {
+                        codewords[worker] = Some(Vector::from_slice(&values));
+                        arrivals.push(worker);
+                        declined[worker] = false;
+                    } else {
+                        // Stale: a straggler finishing an earlier round (or
+                        // a duplicate); count it, never mix it into this
+                        // step.
+                        stale += 1;
+                    }
                 }
+                Dispatched::Decline(worker, tagged_step) => {
+                    if tagged_step == step && codewords[worker].is_none() {
+                        declined[worker] = true;
+                    }
+                }
+                Dispatched::Nothing => {}
             }
         }
     }
@@ -609,6 +1037,7 @@ struct CollectedStep {
     codewords: Vec<Option<Vector>>,
     waited: Duration,
     stale: usize,
+    declined: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -633,12 +1062,15 @@ mod tests {
     }
 
     #[test]
-    fn config_validation_catches_zero_batch_and_steps() {
+    fn config_validation_catches_zero_batch_steps_and_repair() {
         let mut config = test_config(4, 2, 2);
         config.batch_size = 0;
         assert!(config.validate().is_err());
         let mut config = test_config(4, 2, 2);
         config.max_steps = 0;
+        assert!(config.validate().is_err());
+        let mut config = test_config(4, 2, 2);
+        config.repair_after_steps = Some(0);
         assert!(config.validate().is_err());
     }
 
@@ -658,5 +1090,89 @@ mod tests {
         let master = Master::bind("127.0.0.1:0").unwrap();
         let addr = master.local_addr().unwrap();
         assert_ne!(addr.port(), 0);
+    }
+
+    #[test]
+    fn step_rng_is_stable_per_step_and_differs_across_steps() {
+        use rand::RngCore;
+        let a = step_rng(7, 3).next_u64();
+        let b = step_rng(7, 3).next_u64();
+        let c = step_rng(7, 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    /// Placement repair picks the adopter that adds the fewest conflict
+    /// edges and strips the dead worker.
+    #[test]
+    fn repair_reassigns_partitions_deterministically() {
+        let placement = Placement::fractional(4, 2).unwrap();
+        let config = NetConfig::new(placement.clone(), WaitPolicy::FirstW(4));
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let mut loop_state = MasterLoop {
+            slots: (0..4)
+                .map(|_| Slot {
+                    writer: None,
+                    epoch: 0,
+                    alive: true,
+                    registered: true,
+                    last_seen: Instant::now(),
+                    dead_steps: 0,
+                })
+                .collect(),
+            event_rx,
+            event_tx,
+            config,
+            decoder: Box::new(ExactDecoder::new(&placement)),
+            assignments: (0..4)
+                .map(|w| placement.partitions_of(w).to_vec())
+                .collect(),
+            graph: ConflictGraph::from_placement(&placement),
+            repaired: false,
+        };
+        // FR(4,2): workers {0,1} hold {0,1}; workers {2,3} hold {2,3}.
+        loop_state.slots[3].alive = false;
+        let events = loop_state.repair_worker(3);
+        loop_state.rebuild_graph();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(loop_state.assignments[3].is_empty());
+        // Partitions 2 and 3 each gained a new replica on a survivor, and
+        // every survivor's list is duplicate-free.
+        for e in &events {
+            assert!(loop_state.assignments[e.to].contains(&e.partition));
+            let mut sorted = loop_state.assignments[e.to].clone();
+            sorted.dedup();
+            assert_eq!(sorted, loop_state.assignments[e.to]);
+        }
+        // Deterministic: rerunning the same scenario picks identically.
+        let events2 = {
+            let placement = Placement::fractional(4, 2).unwrap();
+            let config = NetConfig::new(placement.clone(), WaitPolicy::FirstW(4));
+            let (event_tx, event_rx) = unbounded::<Event>();
+            let mut ls = MasterLoop {
+                slots: (0..4)
+                    .map(|_| Slot {
+                        writer: None,
+                        epoch: 0,
+                        alive: true,
+                        registered: true,
+                        last_seen: Instant::now(),
+                        dead_steps: 0,
+                    })
+                    .collect(),
+                event_rx,
+                event_tx,
+                config,
+                decoder: Box::new(ExactDecoder::new(&placement)),
+                assignments: (0..4)
+                    .map(|w| placement.partitions_of(w).to_vec())
+                    .collect(),
+                graph: ConflictGraph::from_placement(&placement),
+                repaired: false,
+            };
+            ls.slots[3].alive = false;
+            ls.repair_worker(3)
+        };
+        assert_eq!(events, events2);
     }
 }

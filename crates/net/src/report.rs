@@ -2,6 +2,18 @@
 
 use isgc_linalg::Vector;
 
+/// One partition reassignment performed by placement repair: partition
+/// `partition` moved from permanently-dead worker `from` to survivor `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairEvent {
+    /// The partition whose lost replica was re-homed.
+    pub partition: usize,
+    /// The worker declared permanently dead.
+    pub from: usize,
+    /// The survivor that adopted the partition.
+    pub to: usize,
+}
+
 /// What the master observed during one training step, mirroring
 /// `isgc_runtime::ThreadedReport` but with per-step network detail.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +33,12 @@ pub struct NetReport {
     pub ignored: Vec<usize>,
     /// Workers the master considered dead when the step closed.
     pub dead: Vec<usize>,
+    /// Workers that declined this step (fast-fail straggler signal).
+    pub declined: Vec<usize>,
+    /// Partition reassignments applied at the start of this step by
+    /// placement repair (empty unless a worker was declared permanently
+    /// dead right before this step).
+    pub repairs: Vec<RepairEvent>,
     /// Late codewords from earlier steps discarded while collecting.
     pub stale: usize,
     /// Full-dataset training loss after the update.
@@ -90,6 +108,8 @@ mod tests {
             recovered,
             ignored: vec![2],
             dead: vec![],
+            declined: vec![],
+            repairs: vec![],
             stale: 0,
             loss,
         }

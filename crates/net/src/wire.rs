@@ -119,6 +119,16 @@ pub enum Message {
     },
     /// Master → worker: training is over; disconnect and exit.
     Shutdown,
+    /// Worker → master: "I will not contribute a codeword for `step`" —
+    /// a fast-fail straggler signal, so the master can stop counting this
+    /// worker toward the step's wait target immediately instead of burning
+    /// a heartbeat timeout on it.
+    Decline {
+        /// Sender's slot.
+        worker: u64,
+        /// The step being sat out.
+        step: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -127,6 +137,7 @@ const TAG_PARAMS: u8 = 3;
 const TAG_CODEWORD: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_DECLINE: u8 = 7;
 
 impl Message {
     /// Serializes the message as one complete frame (header + payload).
@@ -182,6 +193,11 @@ impl Message {
                 put_u64(&mut payload, *worker);
             }
             Message::Shutdown => payload.push(TAG_SHUTDOWN),
+            Message::Decline { worker, step } => {
+                payload.push(TAG_DECLINE);
+                put_u64(&mut payload, *worker);
+                put_u64(&mut payload, *step);
+            }
         }
         let mut frame = Vec::with_capacity(9 + payload.len());
         frame.extend_from_slice(&MAGIC);
@@ -255,6 +271,10 @@ impl Message {
                 worker: cursor.u64()?,
             },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_DECLINE => Message::Decline {
+                worker: cursor.u64()?,
+                step: cursor.u64()?,
+            },
             other => return Err(WireError::UnknownTag(other)),
         };
         if cursor.remaining() != 0 {
@@ -440,6 +460,10 @@ mod tests {
         });
         roundtrip(Message::Heartbeat { worker: 5 });
         roundtrip(Message::Shutdown);
+        roundtrip(Message::Decline {
+            worker: 6,
+            step: 31,
+        });
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The IS-GC worker client: connects to a master, computes per-partition
-//! gradient sums, straggles per an injected delay, and reconnects with
-//! exponential backoff when the connection drops.
+//! gradient sums, straggles per an injected delay, and reconnects under a
+//! shared [`RetryPolicy`] when the connection drops.
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -13,6 +13,7 @@ use isgc_linalg::Vector;
 use isgc_ml::dataset::{Dataset, Partitioned};
 use isgc_ml::model::Model;
 
+use crate::retry::RetryPolicy;
 use crate::wire::{read_message, write_message, Message, WireError};
 use crate::{DelayFn, NetError};
 
@@ -23,11 +24,11 @@ pub struct WorkerOptions {
     pub delay: DelayFn,
     /// How often the worker proves liveness to the master.
     pub heartbeat_interval: Duration,
-    /// Reconnect attempts per disconnection (and for the initial connect,
-    /// so workers may start before the master).
-    pub connect_attempts: u32,
-    /// Backoff before the first retry; doubles each subsequent attempt.
-    pub connect_backoff: Duration,
+    /// Backoff schedule shared by the initial connect, reconnects after a
+    /// dropped connection, and heartbeat write retries. Jitter is salted by
+    /// the worker id, so a cluster reconnecting at once still fans out
+    /// deterministically instead of thundering back in lockstep.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WorkerOptions {
@@ -35,8 +36,7 @@ impl Default for WorkerOptions {
         WorkerOptions {
             delay: crate::no_delay(),
             heartbeat_interval: Duration::from_millis(200),
-            connect_attempts: 8,
-            connect_backoff: Duration::from_millis(50),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -58,13 +58,15 @@ pub struct Assignment {
     pub worker: usize,
     /// Cluster size (also the number of data partitions).
     pub n: usize,
-    /// Partitions per worker.
+    /// Partitions per worker *in the configured placement* (placement
+    /// repair may later grow this worker's actual list past `c`).
     pub c: usize,
     /// Mini-batch size per partition per step.
     pub batch_size: usize,
     /// Shared seed for deterministic mini-batch sampling.
     pub seed: u64,
-    /// The partitions this worker computes each step.
+    /// The partitions this worker computes each step; updated in place
+    /// when the master re-issues `Assign` after placement repair.
     pub partitions: Vec<usize>,
 }
 
@@ -107,6 +109,10 @@ enum SessionEnd {
 /// would recompute it), gradient sums are accumulated, the injected delay
 /// runs, and the codeword is sent back tagged with the step.
 ///
+/// A mid-session `Assign` (issued by placement repair when a peer is
+/// declared permanently dead) replaces this worker's partition list on the
+/// fly; subsequent steps compute the adopted partitions too.
+///
 /// # Errors
 ///
 /// [`NetError::Io`] when the initial connection cannot be established at
@@ -127,7 +133,7 @@ where
         .next()
         .ok_or_else(|| NetError::InvalidConfig("address resolved to nothing".into()))?;
 
-    let (stream, assignment) = connect(addr, None, options)?;
+    let (stream, mut assignment) = connect(addr, None, options)?;
     let (model, dataset) = build(&assignment);
     let partitioned = dataset.partition(assignment.n);
 
@@ -141,7 +147,7 @@ where
     loop {
         let end = session(
             stream,
-            &assignment,
+            &mut assignment,
             &model,
             &dataset,
             &partitioned,
@@ -154,8 +160,12 @@ where
                 return Ok(summary);
             }
             SessionEnd::Lost => match connect(addr, Some(assignment.worker as u64), options) {
-                Ok((fresh, _reassign)) => {
+                Ok((fresh, reassign)) => {
                     summary.reconnects += 1;
+                    // The master's Assign reflects any placement repair run
+                    // while we were away; adopt it rather than computing a
+                    // stale partition set.
+                    assignment.partitions = reassign.partitions;
                     stream = fresh;
                 }
                 Err(_) => {
@@ -167,20 +177,17 @@ where
     }
 }
 
-/// Dials the master with exponential backoff and completes the
+/// Dials the master under the shared [`RetryPolicy`] and completes the
 /// `Hello`/`Assign` handshake.
 fn connect(
     addr: std::net::SocketAddr,
     preferred: Option<u64>,
     options: &WorkerOptions,
 ) -> Result<(TcpStream, Assignment), NetError> {
-    let mut backoff = options.connect_backoff;
+    let salt = preferred.map_or(u64::MAX, |p| p);
     let mut last_err: Option<NetError> = None;
-    for attempt in 0..options.connect_attempts.max(1) {
-        if attempt > 0 {
-            thread::sleep(backoff);
-            backoff = backoff.saturating_mul(2);
-        }
+    for attempt in 0..options.retry.max_attempts.max(1) {
+        thread::sleep(options.retry.delay(attempt, salt));
         let mut stream = match TcpStream::connect(addr) {
             Ok(s) => s,
             Err(e) => {
@@ -231,7 +238,7 @@ fn connect(
 /// time on parameters the master already gave up waiting for.
 fn session<M: Model>(
     stream: TcpStream,
-    assignment: &Assignment,
+    assignment: &mut Assignment,
     model: &M,
     dataset: &Dataset,
     partitioned: &Partitioned,
@@ -269,6 +276,7 @@ fn session<M: Model>(
         Arc::clone(&writer),
         assignment.worker as u64,
         options.heartbeat_interval,
+        options.retry.clone(),
         Arc::clone(&hb_stop),
     );
 
@@ -293,7 +301,7 @@ fn session<M: Model>(
 fn serve_messages<M: Model>(
     inbound_rx: &Receiver<Message>,
     writer: &Arc<Mutex<TcpStream>>,
-    assignment: &Assignment,
+    assignment: &mut Assignment,
     model: &M,
     dataset: &Dataset,
     partitioned: &Partitioned,
@@ -301,58 +309,69 @@ fn serve_messages<M: Model>(
     steps_served: &mut usize,
 ) -> SessionEnd {
     loop {
-        let Ok(mut message) = inbound_rx.recv() else {
+        let Ok(first) = inbound_rx.recv() else {
             return SessionEnd::Lost;
         };
-        // Drain the backlog: only the newest Params matters; a Shutdown
-        // anywhere in the queue wins outright.
+        // Drain the backlog, applying every message in order: Shutdown wins
+        // outright, Assigns update the partition list immediately (they must
+        // not be skipped by the drain), and only the newest Params survives —
+        // a worker that straggled through several rounds jumps straight to
+        // the current step.
+        let mut backlog = vec![first];
         while let Ok(next) = inbound_rx.try_recv() {
-            if matches!(message, Message::Shutdown) {
-                break;
-            }
-            message = next;
+            backlog.push(next);
         }
-        match message {
-            Message::Shutdown => return SessionEnd::Shutdown,
-            Message::Params { step, values } => {
-                let params = Vector::from_slice(&values);
-                let mut codeword = model.zero_params();
-                for &p in &assignment.partitions {
-                    let batch =
-                        partitioned.minibatch(p, assignment.batch_size, step, assignment.seed);
-                    let g = model.gradient_sum(&params, dataset, &batch);
-                    codeword.axpy(1.0, &g);
+        let mut latest_params: Option<(u64, Vec<f64>)> = None;
+        for message in backlog {
+            match message {
+                Message::Shutdown => return SessionEnd::Shutdown,
+                Message::Assign { partitions, .. } => {
+                    assignment.partitions = partitions.into_iter().map(|j| j as usize).collect();
                 }
-                let pause = (options.delay)(assignment.worker, step);
-                if !pause.is_zero() {
-                    thread::sleep(pause);
-                }
-                let reply = Message::Codeword {
-                    worker: assignment.worker as u64,
-                    step,
-                    values: codeword.into_vec(),
-                };
-                let sent = {
-                    let mut guard = writer.lock().expect("writer mutex poisoned");
-                    write_message(&mut *guard, &reply)
-                };
-                match sent {
-                    Ok(()) => *steps_served += 1,
-                    Err(WireError::Io(_)) | Err(WireError::Closed) => return SessionEnd::Lost,
-                    Err(_) => return SessionEnd::Lost,
-                }
+                Message::Params { step, values } => latest_params = Some((step, values)),
+                // The master never sends anything else mid-session.
+                _ => {}
             }
-            // The master never sends anything else mid-session; tolerate it.
-            _ => {}
+        }
+        let Some((step, values)) = latest_params else {
+            continue;
+        };
+        let params = Vector::from_slice(&values);
+        let mut codeword = model.zero_params();
+        for &p in &assignment.partitions {
+            let batch = partitioned.minibatch(p, assignment.batch_size, step, assignment.seed);
+            let g = model.gradient_sum(&params, dataset, &batch);
+            codeword.axpy(1.0, &g);
+        }
+        let pause = (options.delay)(assignment.worker, step);
+        if !pause.is_zero() {
+            thread::sleep(pause);
+        }
+        let reply = Message::Codeword {
+            worker: assignment.worker as u64,
+            step,
+            values: codeword.into_vec(),
+        };
+        let sent = {
+            let mut guard = writer.lock().expect("writer mutex poisoned");
+            write_message(&mut *guard, &reply)
+        };
+        match sent {
+            Ok(()) => *steps_served += 1,
+            Err(WireError::Io(_)) | Err(WireError::Closed) => return SessionEnd::Lost,
+            Err(_) => return SessionEnd::Lost,
         }
     }
 }
 
-/// Periodically proves liveness; exits on stop flag or write failure.
+/// Periodically proves liveness; a failed write is retried under the shared
+/// [`RetryPolicy`] before the thread gives up (the session loop notices the
+/// dead socket through its own writes and reconnects).
 fn spawn_heartbeat(
     writer: Arc<Mutex<TcpStream>>,
     worker: u64,
     interval: Duration,
+    retry: RetryPolicy,
     stop: Arc<AtomicBool>,
 ) -> thread::JoinHandle<()> {
     thread::Builder::new()
@@ -362,6 +381,7 @@ fn spawn_heartbeat(
             // interval.
             let slice = Duration::from_millis(25).min(interval);
             let mut elapsed = Duration::ZERO;
+            let mut failures = 0u32;
             loop {
                 if stop.load(Ordering::Acquire) {
                     return;
@@ -372,8 +392,14 @@ fn spawn_heartbeat(
                         let mut guard = writer.lock().expect("writer mutex poisoned");
                         write_message(&mut *guard, &Message::Heartbeat { worker }).is_ok()
                     };
-                    if !ok {
-                        return;
+                    if ok {
+                        failures = 0;
+                    } else {
+                        failures += 1;
+                        if failures >= retry.max_attempts.max(1) {
+                            return;
+                        }
+                        thread::sleep(retry.delay(failures, worker));
                     }
                 }
                 thread::sleep(slice);
@@ -390,7 +416,7 @@ mod tests {
     #[test]
     fn default_options_are_sane() {
         let opts = WorkerOptions::default();
-        assert!(opts.connect_attempts >= 1);
+        assert!(opts.retry.max_attempts >= 1);
         assert!(opts.heartbeat_interval > Duration::ZERO);
         assert_eq!((opts.delay)(3, 9), Duration::ZERO);
     }
@@ -403,8 +429,11 @@ mod tests {
             l.local_addr().unwrap().port()
         };
         let options = WorkerOptions {
-            connect_attempts: 2,
-            connect_backoff: Duration::from_millis(1),
+            retry: RetryPolicy {
+                base: Duration::from_millis(1),
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
             ..WorkerOptions::default()
         };
         let addr: std::net::SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();

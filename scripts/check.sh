@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "ok: fmt, clippy, and tests all clean"
+echo "== chaos smoke (seeded, deterministic)"
+cargo run --release --quiet -- chaos --plan smoke --seed 42
+
+echo "ok: fmt, clippy, tests, and chaos smoke all clean"

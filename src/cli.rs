@@ -5,6 +5,7 @@
 //! Command logic lives here as pure functions returning the rendered output,
 //! so everything is unit-testable; `main` only does I/O.
 
+use isgc_chaos::{run_chaos, ChaosConfig, FaultPlan, PLAN_NAMES};
 use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
 use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
 use isgc_ml::dataset::Dataset;
@@ -48,6 +49,13 @@ USAGE:
                                            loopback and train to completion
        flags: --w, --deadline-ms, --steps, --batch, --lr, --seed as for serve
               --slow <k> --delay-ms <d>    make k workers straggle by d ms (default 0/100)
+  isgc chaos --plan <name> [flags]         run a loopback cluster under a seeded
+                                           fault plan; assert Theorem 10/11 bounds,
+                                           checkpoint resume, and exact replay
+       flags: --seed <s>                   fault + training seed (default 42)
+              --n <k> --c <k> --steps <k>  cluster shape (default 6 2 8; c | n)
+       plans: smoke, worker-flap, worker-crash, master-restart, frame-corrupt,
+              delay, duplicate-stale, random
 
 Two-terminal quickstart (an 8-worker FR(8,2) cluster, ignore the 2 slowest):
   terminal 1:  isgc serve fr 8 2 --w 6 --steps 20
@@ -73,6 +81,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("launch") => cmd_launch(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -473,8 +482,13 @@ fn render_step(r: &isgc_net::NetReport, n: usize, oracle: Option<usize>) -> Stri
     } else {
         format!(" dead {:?}", r.dead)
     };
+    let repair_note = if r.repairs.is_empty() {
+        String::new()
+    } else {
+        format!(" repaired {}", r.repairs.len())
+    };
     format!(
-        "step {:>3}: arrivals {}/{n} recovered {:>2}/{n}{oracle_note} waited {:>6.1} ms loss {:.4}{dead_note}",
+        "step {:>3}: arrivals {}/{n} recovered {:>2}/{n}{oracle_note} waited {:>6.1} ms loss {:.4}{dead_note}{repair_note}",
         r.step,
         r.arrivals.len(),
         r.recovered,
@@ -619,6 +633,62 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
         ));
     }
     Ok(render_net_summary(&report, n))
+}
+
+/// `isgc chaos --plan <name> [--seed s] [--n k --c k --steps k]`: run a
+/// loopback cluster under a named fault plan and report the per-step record,
+/// the determinism fingerprint, and any invariant violations.
+fn cmd_chaos(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args, &["plan", "seed", "n", "c", "steps"])?;
+    let name = flags.get("plan").map_or("smoke", String::as_str);
+    let seed: u64 = match flags.get("seed") {
+        Some(s) => parse(s, "seed")?,
+        None => 42,
+    };
+    let mut config = ChaosConfig::new(seed);
+    if let Some(s) = flags.get("n") {
+        config.n = parse(s, "n")?;
+    }
+    if let Some(s) = flags.get("c") {
+        config.c = parse(s, "c")?;
+    }
+    if let Some(s) = flags.get("steps") {
+        config.steps = parse(s, "steps")?;
+    }
+    let plan = FaultPlan::named(name, seed, config.n, config.steps as u64).ok_or_else(|| {
+        format!(
+            "unknown plan '{name}'; available: {}",
+            PLAN_NAMES.join(", ")
+        )
+    })?;
+
+    let outcome = run_chaos(&plan, &config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos plan '{}' on FR({}, {}), {} steps, seed {seed}",
+        outcome.plan, config.n, config.c, config.steps
+    );
+    for r in &outcome.reports {
+        let _ = writeln!(out, "{}", render_step(r, config.n, None));
+    }
+    let _ = writeln!(out, "master restarts:    {}", outcome.master_restarts);
+    let reconnects: usize = outcome.workers.iter().map(|w| w.reconnects).sum();
+    let _ = writeln!(out, "worker reconnects:  {reconnects}");
+    let _ = writeln!(out, "final loss:         {:.4}", outcome.final_loss);
+    let _ = writeln!(out, "fingerprint:        {:016x}", outcome.fingerprint);
+    if outcome.passed() {
+        let _ = writeln!(
+            out,
+            "invariants:         all steps within Theorem 10/11 bounds; decode matches oracle"
+        );
+        Ok(out)
+    } else {
+        for v in &outcome.violations {
+            let _ = writeln!(out, "VIOLATION: {v}");
+        }
+        Err(out)
+    }
 }
 
 #[cfg(test)]
@@ -813,12 +883,19 @@ mod tests {
             recovered: 5,
             ignored: vec![1, 3],
             dead: vec![3],
+            declined: vec![1],
+            repairs: vec![isgc_net::RepairEvent {
+                partition: 2,
+                from: 3,
+                to: 0,
+            }],
             stale: 1,
             loss: 0.5,
         };
         let line = render_step(&r, 4, Some(5));
         assert!(line.contains("oracle ok"));
         assert!(line.contains("dead [3]"));
+        assert!(line.contains("repaired 1"));
         let line = render_step(&r, 4, Some(6));
         assert!(line.contains("ORACLE MISMATCH"));
         let line = render_step(&r, 4, None);

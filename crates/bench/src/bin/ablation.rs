@@ -102,8 +102,8 @@ fn normalization_ablation() {
                 cloud_cluster(4),
                 &config,
             );
-            steps.push(r.steps as f64);
-            times.push(r.sim_time);
+            steps.push(r.step_count() as f64);
+            times.push(r.sim_time());
             finals.push(r.final_loss());
         }
         table.add_row(vec![
@@ -147,8 +147,8 @@ fn run(scheme: &CodingScheme, w: usize) -> (f64, f64, f64) {
             &config,
         );
         rec.push(100.0 * r.mean_recovered_fraction());
-        steps.push(r.steps as f64);
-        times.push(r.sim_time);
+        steps.push(r.step_count() as f64);
+        times.push(r.sim_time());
     }
     (mean(&rec), mean(&steps), mean(&times))
 }

@@ -77,8 +77,8 @@ fn main() {
                 &config(trial),
             );
             rec.push(100.0 * r.mean_recovered_fraction());
-            steps.push(r.steps as f64);
-            times.push(r.sim_time);
+            steps.push(r.step_count() as f64);
+            times.push(r.sim_time());
             conv += r.reached_threshold as usize;
         }
         table.add_row(vec![
@@ -120,8 +120,8 @@ fn main() {
             &config(trial),
         );
         rec.push(100.0 * r.mean_recovered_fraction());
-        steps.push(r.steps as f64);
-        times.push(r.sim_time);
+        steps.push(r.step_count() as f64);
+        times.push(r.sim_time());
         conv += r.reached_threshold as usize;
     }
     table.add_row(vec![

@@ -89,14 +89,19 @@ fn main() {
                 .map(|r| 100.0 * r.mean_recovered_fraction())
                 .collect::<Vec<_>>(),
         );
-        let steps = mean(&reports.iter().map(|r| r.steps as f64).collect::<Vec<_>>());
+        let steps = mean(
+            &reports
+                .iter()
+                .map(|r| r.step_count() as f64)
+                .collect::<Vec<_>>(),
+        );
         let tps = mean(
             &reports
                 .iter()
                 .map(TrainReport::mean_step_duration)
                 .collect::<Vec<_>>(),
         );
-        let total = mean(&reports.iter().map(|r| r.sim_time).collect::<Vec<_>>());
+        let total = mean(&reports.iter().map(|r| r.sim_time()).collect::<Vec<_>>());
         let converged = reports.iter().filter(|r| r.reached_threshold).count();
         table.add_row(vec![
             scheme.clone(),

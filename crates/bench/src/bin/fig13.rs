@@ -99,7 +99,7 @@ fn panel_b() {
                 cloud_cluster(N),
                 &config,
             );
-            curves.push(report.loss_curve);
+            curves.push(report.loss_curve());
         }
         let mut cells = vec![label_for(c1)];
         for &s in &LOSS_STEPS {

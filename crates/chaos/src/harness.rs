@@ -500,6 +500,7 @@ mod tests {
             step: 0,
             arrivals: vec![2, 0, 1],
             waited_ms: 5.0,
+            duration: 0.005,
             selected: vec![0, 2],
             recovered: 4,
             ignored: vec![1],
@@ -507,6 +508,7 @@ mod tests {
             declined: vec![],
             repairs: vec![],
             stale: 0,
+            failed_decode: false,
             loss: 1.0,
         };
         let mut reordered = base.clone();
@@ -525,6 +527,7 @@ mod tests {
                     step: 0,
                     arrivals: vec![2, 0, 1],
                     waited_ms: 5.0,
+                    duration: 0.005,
                     selected: vec![0, 2],
                     recovered: 4,
                     ignored: vec![1],
@@ -532,6 +535,7 @@ mod tests {
                     declined: vec![],
                     repairs: vec![],
                     stale: 0,
+                    failed_decode: false,
                     loss: 1.0,
                 }],
                 &[1.0]

@@ -5,7 +5,7 @@
 //! the same per-step arrival sets, selections, and recovery counts no matter
 //! how threads interleave. The named plans cover the runtime's failure
 //! modes one at a time; [`FaultPlan::random`] composes them from a
-//! [`ChaosRng`](crate::ChaosRng) seed so a fuzzed schedule that finds a bug
+//! [`ChaosRng`] seed so a fuzzed schedule that finds a bug
 //! can be replayed byte-for-byte from its seed.
 
 use crate::{ChaosError, ChaosRng};

@@ -31,7 +31,41 @@ pub use streaming::StreamingDecoder;
 
 use rand::RngCore;
 
-use crate::{PartitionId, Placement, WorkerId, WorkerSet};
+use crate::{Error, PartitionId, Placement, Scheme, WorkerId, WorkerSet};
+
+/// Builds the paper's decoder for a placement's scheme: Alg. 1 for FR,
+/// Alg. 2 for CR, Algs. 3–4 for HR, and the exact branch-and-bound oracle
+/// for custom placements.
+///
+/// This is the single `Scheme → Decoder` dispatch point shared by the
+/// runtime, simulator, network master, and CLI.
+///
+/// # Errors
+///
+/// Propagates the decoder constructors' validation errors (e.g. a placement
+/// whose scheme tag does not match its layout).
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::decode::decoder_for;
+/// use isgc_core::Placement;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let p = Placement::cyclic(6, 2)?;
+/// let d = decoder_for(&p)?;
+/// assert_eq!(d.n(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decoder_for(placement: &Placement) -> Result<Box<dyn Decoder>, Error> {
+    Ok(match placement.scheme() {
+        Scheme::Fractional => Box::new(FrDecoder::new(placement)?),
+        Scheme::Cyclic => Box::new(CrDecoder::new(placement)?),
+        Scheme::Hybrid => Box::new(HrDecoder::new(placement)?),
+        Scheme::Custom => Box::new(ExactDecoder::new(placement)),
+    })
+}
 
 /// The outcome of decoding one step: the selected workers `I` and the
 /// partitions whose gradients `ĝ = Σ_{i∈I} g_i` contains.
@@ -83,6 +117,47 @@ impl DecodeResult {
             selected,
             partitions,
         }
+    }
+
+    /// Like [`DecodeResult::from_selected`], but validates the selection in
+    /// **all** build profiles: every worker id must be in range and no two
+    /// selected workers may share a partition.
+    ///
+    /// Use this for selections from untrusted sources (custom decoders,
+    /// deserialized state); the in-tree decoders are proven to produce
+    /// independent sets, so the hot path keeps the debug-only assert.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConflictingSelection`] when two selected workers (or a
+    /// duplicated worker id) share a partition, and
+    /// [`Error::WorkerSetMismatch`] when a worker id is `>= placement.n()`.
+    pub fn try_from_selected(
+        placement: &Placement,
+        mut selected: Vec<WorkerId>,
+    ) -> Result<Self, Error> {
+        selected.sort_unstable();
+        if let Some(&w) = selected.iter().find(|&&w| w >= placement.n()) {
+            return Err(Error::WorkerSetMismatch {
+                expected: placement.n(),
+                got: w + 1,
+            });
+        }
+        let mut partitions: Vec<PartitionId> = selected
+            .iter()
+            .flat_map(|&w| placement.partitions_of(w).iter().copied())
+            .collect();
+        partitions.sort_unstable();
+        if let Some(pair) = partitions.windows(2).find(|p| p[0] == p[1]) {
+            return Err(Error::ConflictingSelection {
+                selected,
+                partition: pair[0],
+            });
+        }
+        Ok(Self {
+            selected,
+            partitions,
+        })
     }
 
     /// An empty result (nothing recovered this step).
@@ -172,6 +247,7 @@ pub(crate) fn greedy_ring_walk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     #[test]
     fn decode_result_accessors() {
@@ -192,6 +268,48 @@ mod tests {
     fn conflicting_selection_panics_in_debug() {
         let p = Placement::cyclic(4, 2).unwrap();
         let _ = DecodeResult::from_selected(&p, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_from_selected_validates_in_release_too() {
+        let p = Placement::cyclic(4, 2).unwrap();
+        let ok = DecodeResult::try_from_selected(&p, vec![2, 0]).unwrap();
+        assert_eq!(ok.selected(), &[0, 2]);
+        match DecodeResult::try_from_selected(&p, vec![0, 1]) {
+            Err(Error::ConflictingSelection {
+                selected,
+                partition,
+            }) => {
+                assert_eq!(selected, vec![0, 1]);
+                assert_eq!(partition, 1);
+            }
+            other => panic!("expected ConflictingSelection, got {other:?}"),
+        }
+        // A duplicated worker id is a conflict with itself.
+        assert!(DecodeResult::try_from_selected(&p, vec![2, 2]).is_err());
+        // Out-of-range worker ids are rejected rather than panicking.
+        assert!(matches!(
+            DecodeResult::try_from_selected(&p, vec![7]),
+            Err(Error::WorkerSetMismatch { expected: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_for_matches_scheme() {
+        for p in [
+            Placement::fractional(4, 2).unwrap(),
+            Placement::cyclic(5, 2).unwrap(),
+            Placement::hybrid(crate::HrParams::new(8, 2, 2, 2)).unwrap(),
+            Placement::custom(vec![vec![0, 1], vec![1, 2], vec![2, 0]]).unwrap(),
+        ] {
+            let d = decoder_for(&p).unwrap();
+            assert_eq!(d.n(), p.n());
+            let r = d.decode(
+                &WorkerSet::full(p.n()),
+                &mut rand::rngs::StdRng::seed_from_u64(0),
+            );
+            assert!(!r.is_empty());
+        }
     }
 
     #[test]

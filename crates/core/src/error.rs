@@ -29,6 +29,15 @@ pub enum Error {
         /// Universe size of the supplied [`crate::WorkerSet`].
         got: usize,
     },
+    /// A decode selection is not an independent set: two selected workers
+    /// store the same partition, so summing their codewords would count that
+    /// partition's gradient twice.
+    ConflictingSelection {
+        /// The selected workers, sorted.
+        selected: Vec<usize>,
+        /// A partition stored by more than one selected worker.
+        partition: usize,
+    },
 }
 
 impl Error {
@@ -56,6 +65,13 @@ impl fmt::Display for Error {
             Error::WorkerSetMismatch { expected, got } => write!(
                 f,
                 "worker set universe mismatch: decoder built for n={expected}, set has n={got}"
+            ),
+            Error::ConflictingSelection {
+                selected,
+                partition,
+            } => write!(
+                f,
+                "selected workers conflict: partition {partition} appears more than once in {selected:?}"
             ),
         }
     }

@@ -1,0 +1,927 @@
+//! isgc-engine: the transport-agnostic IS-GC training step engine.
+//!
+//! The paper's pipeline — place partitions, wait for an arbitrary arrival set
+//! `W'`, decode a maximum independent set `I`, sum `ĝ = Σ_{i∈I} g_i`, step
+//! SGD (§IV–§V) — is the same whether codewords travel over OS threads and
+//! channels (`isgc-runtime`), a discrete-event simulator (`isgc-simnet`), or
+//! TCP (`isgc-net`). This crate implements that pipeline **once**, as a
+//! [`StepEngine`] state machine, and leaves only transport to the backends:
+//!
+//! ```text
+//!                 ┌──────────────────────────────┐
+//!                 │          StepEngine          │
+//!                 │  placement · decoder · RNG   │
+//!                 │  repair · bounds · SGD       │
+//!                 └──────┬───────────────┬───────┘
+//!          Collector ────┘               └──── Observer
+//!   (broadcast params,                  (per-step StepReport
+//!    collect W', report                  callbacks: bench plots,
+//!    liveness, apply repairs)            chaos harness, crash tests)
+//!     │           │           │
+//!  runtime      simnet       net
+//!  (threads)  (sim clock)   (TCP)
+//! ```
+//!
+//! The engine owns every piece of step semantics the backends used to
+//! duplicate:
+//!
+//! - **Decoder selection** via [`isgc_core::decode::decoder_for`], or the
+//!   Fig. 3 arrival-order strawman, or classic gradient coding, chosen with
+//!   [`CodecSpec`].
+//! - **Deterministic randomness**: parameter init from a dedicated
+//!   seed-derived stream, and a fresh [`step_rng`]`(seed, step)` per decode,
+//!   so every backend makes the *same* decode choices given the same seed —
+//!   the cross-backend parity tests rely on this.
+//! - **Placement repair** (previously net-only): workers reported dead for
+//!   `repair_after_steps` consecutive steps have their partitions re-homed
+//!   deterministically onto survivors; decoding switches to an exact MIS
+//!   over the rebuilt conflict graph.
+//! - **Theorem 10–11 bound checks**: every scheme decode is checked against
+//!   `min(⌈w/c⌉, ⌊n/c⌋)·c ≤ recovered ≤ min(w, ⌊n/c⌋)·c`; a violation is a
+//!   bug in the decoder or placement and surfaces as a typed error.
+//! - **Normalization and the SGD update** (Theorem 12), plus the unified
+//!   [`StepReport`]/[`TrainReport`].
+
+mod repair;
+mod report;
+
+pub use report::{RepairEvent, StepReport, TrainReport};
+
+use isgc_core::classic::ClassicGc;
+use isgc_core::decode::{decoder_for, ArrivalOrderDecoder, Decoder};
+use isgc_core::{bounds, Placement, WorkerSet};
+use isgc_linalg::Vector;
+use isgc_ml::optimizer::{LrSchedule, Sgd};
+use isgc_ml::{Dataset, Model};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::repair::RepairState;
+
+/// The decode RNG for one step: a SplitMix64 mix of `(seed, step)`, so the
+/// stream is identical across backends and across a master restart — a
+/// resumed run decodes step `t` exactly as the original would have.
+pub fn step_rng(seed: u64, step: u64) -> StdRng {
+    let mut z = seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// How the decoded gradient `ĝ` is normalized before the SGD update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradientNormalization {
+    /// Paper-faithful: `ĝ = Σ_{i∈I} ḡ_i`, the sum of per-partition batch
+    /// *means*. The update magnitude scales with the number of recovered
+    /// partitions — exactly the `η·|D_d|` factor in Theorem 12 — so partial
+    /// recovery takes proportionally smaller steps and more of them
+    /// (Fig. 12(b)).
+    #[default]
+    SumOfPartitionMeans,
+    /// `ĝ` averaged over every recovered sample: an unbiased gradient
+    /// estimate whose magnitude is independent of the recovery level (only
+    /// its variance changes). Useful as an ablation.
+    MeanOverRecovered,
+}
+
+/// Which decode/aggregate strategy the engine runs.
+#[derive(Debug, Clone)]
+pub enum CodecSpec {
+    /// The paper's decoder for the placement's scheme (Alg. 1 for FR,
+    /// Alg. 2 for CR, Algs. 3–4 for HR, exact MIS for custom placements).
+    Scheme,
+    /// The Fig. 3 strawman: greedily accept workers in arrival order
+    /// (maximal, not maximum, independent set). Ablation only.
+    ArrivalOrder,
+    /// Classic exact-recovery gradient coding (Tandon et al.): weighted
+    /// decoding vector, all-or-nothing recovery.
+    Classic(ClassicGc),
+}
+
+/// Hyper-parameters and strategy choices for one training run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The partition-to-worker placement (also fixes `n` and `c`).
+    pub placement: Placement,
+    /// Decode/aggregate strategy.
+    pub codec: CodecSpec,
+    /// Mini-batch size per partition.
+    pub batch_size: usize,
+    /// Base SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum (`0` for plain SGD).
+    pub momentum: f64,
+    /// Stop once full-dataset loss reaches this value.
+    pub loss_threshold: f64,
+    /// Step cap.
+    pub max_steps: u64,
+    /// Master seed: derives parameter init, per-step decode RNG, and
+    /// minibatch selection.
+    pub seed: u64,
+    /// How `ĝ` is scaled before the update.
+    pub normalization: GradientNormalization,
+    /// Learning-rate schedule applied on top of `learning_rate`.
+    pub lr_schedule: LrSchedule,
+    /// Declare a worker permanently dead — and re-home its partitions —
+    /// after this many consecutive steps of reported death. `None` disables
+    /// placement repair.
+    pub repair_after_steps: Option<u64>,
+    /// Treat a zero-recovery step as a fatal [`EngineError::Degraded`]
+    /// instead of a skipped update (the TCP master wants the former, the
+    /// simulator the latter).
+    pub fail_on_zero_recovery: bool,
+    /// Verify every scheme decode against the Theorem 10–11 recovery
+    /// bounds (pre-repair only; repair invalidates the placement structure
+    /// the theorems assume).
+    pub check_bounds: bool,
+}
+
+impl EngineConfig {
+    /// A config with neutral defaults; backends override what they expose.
+    pub fn new(placement: Placement) -> Self {
+        Self {
+            placement,
+            codec: CodecSpec::Scheme,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.0,
+            loss_threshold: 0.05,
+            max_steps: 2000,
+            seed: 0,
+            normalization: GradientNormalization::default(),
+            lr_schedule: LrSchedule::Constant,
+            repair_after_steps: None,
+            fail_on_zero_recovery: false,
+            check_bounds: true,
+        }
+    }
+}
+
+/// Errors produced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The configuration (or the collector handed to [`StepEngine::run`])
+    /// is inconsistent.
+    InvalidConfig(String),
+    /// A core-layer error (placement/decoder construction, selection
+    /// validation).
+    Core(isgc_core::Error),
+    /// A step recovered zero partitions while `fail_on_zero_recovery` was
+    /// set: the run is spinning without progress.
+    Degraded {
+        /// The step that recovered nothing.
+        step: u64,
+        /// Partitions recovered (always 0 here; kept for symmetry).
+        recovered: usize,
+        /// The Theorem 10 floor the step should have met, given how many
+        /// workers were alive.
+        bound: usize,
+    },
+    /// A scheme decode landed outside the Theorem 10–11 recovery bounds —
+    /// a decoder or placement bug, never expected in a healthy run.
+    BoundViolation {
+        /// The offending step.
+        step: u64,
+        /// Partitions the decode claimed to recover.
+        recovered: usize,
+        /// Theorem 10 lower bound for the arrival count.
+        lo: usize,
+        /// Theorem 11 upper bound for the arrival count.
+        hi: usize,
+    },
+    /// A transport-layer failure surfaced by the backend's collector.
+    Backend(Box<dyn std::error::Error + Send + Sync>),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig(reason) => write!(f, "invalid engine config: {reason}"),
+            EngineError::Core(e) => write!(f, "core error: {e}"),
+            EngineError::Degraded {
+                step,
+                recovered,
+                bound,
+            } => write!(
+                f,
+                "step {step} recovered {recovered} partitions (Theorem 10 floor for the \
+                 surviving workers is {bound}): the run is degraded beyond progress"
+            ),
+            EngineError::BoundViolation {
+                step,
+                recovered,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "step {step} recovered {recovered} partitions, outside the Theorem 10–11 \
+                 bounds [{lo}, {hi}] — decoder or placement bug"
+            ),
+            EngineError::Backend(e) => write!(f, "backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Backend(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<isgc_core::Error> for EngineError {
+    fn from(e: isgc_core::Error) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+/// What the engine hands a [`Collector`] at the start of each step.
+#[derive(Debug)]
+pub struct StepContext<'a> {
+    /// The step about to run.
+    pub step: u64,
+    /// Current model parameters (what the collector should broadcast).
+    pub params: &'a Vector,
+    /// Loss after the previous step, if one ran (lets adaptive collectors
+    /// tune their wait policy).
+    pub last_loss: Option<f64>,
+}
+
+/// One step's worth of arrivals, as gathered by a [`Collector`].
+#[derive(Debug)]
+pub struct Collected {
+    /// Workers whose codeword arrived, in arrival order.
+    pub arrivals: Vec<usize>,
+    /// `codewords[w]` is `Some` exactly when `w ∈ arrivals`.
+    pub codewords: Vec<Option<Vector>>,
+    /// Workers that actively declined the step.
+    pub declined: Vec<usize>,
+    /// Stale codewords from earlier steps discarded while waiting.
+    pub stale: usize,
+    /// How long collection waited, in milliseconds.
+    pub waited_ms: f64,
+    /// Duration to attribute to this step, in seconds (simulated time for
+    /// the simulator, wall-clock for real transports).
+    pub duration: f64,
+}
+
+/// The transport half of a training step: broadcast the parameters, gather
+/// the arrival set `W'` with per-worker codewords, and report liveness.
+///
+/// Everything else — decode, repair, bounds, normalization, the SGD update,
+/// reporting — is the engine's job.
+pub trait Collector {
+    /// Cluster size; must equal the placement's `n`.
+    fn n(&self) -> usize;
+
+    /// Current liveness view, one flag per worker. The default says
+    /// everyone is alive, which suits backends without failure detection.
+    fn alive(&self) -> Vec<bool> {
+        vec![true; self.n()]
+    }
+
+    /// Called after the engine re-homes a dead worker's partitions, with
+    /// the repair events and the complete post-repair assignment table.
+    /// Backends that push assignments to real workers re-issue them here.
+    fn on_repair(&mut self, _events: &[RepairEvent], _assignments: &[Vec<usize>]) {}
+
+    /// Runs one collection round: deliver `ctx.params` to the workers and
+    /// return the arrivals under the backend's wait policy.
+    fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError>;
+
+    /// Called after the optimizer update with the step count completed so
+    /// far and the new parameters (checkpointing hook).
+    fn after_step(&mut self, _completed: u64, _params: &Vector) -> Result<(), EngineError> {
+        Ok(())
+    }
+}
+
+/// Whether training should continue after a step (observer verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Keep training.
+    Continue,
+    /// Abort now, as if the master crashed; the engine returns the partial
+    /// report with [`TrainReport::interrupted`] set.
+    Crash,
+}
+
+/// Per-step event consumer: bench tables, chaos harnesses, progress bars.
+pub trait Observer {
+    /// Called once per completed step, before the threshold check.
+    fn on_step(&mut self, _report: &StepReport) -> StepControl {
+        StepControl::Continue
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// Adapts a closure into an [`Observer`].
+pub struct FnObserver<F: FnMut(&StepReport) -> StepControl>(pub F);
+
+impl<F: FnMut(&StepReport) -> StepControl> Observer for FnObserver<F> {
+    fn on_step(&mut self, report: &StepReport) -> StepControl {
+        (self.0)(report)
+    }
+}
+
+/// Records every step report it sees; useful for bench plots that want the
+/// stream without waiting for the final [`TrainReport`].
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// The observed step reports, in order.
+    pub steps: Vec<StepReport>,
+}
+
+impl Observer for RecordingObserver {
+    fn on_step(&mut self, report: &StepReport) -> StepControl {
+        self.steps.push(report.clone());
+        StepControl::Continue
+    }
+}
+
+enum DecodePath {
+    /// IS-GC: unit-coefficient sum over a decoder-selected independent set.
+    Summed(Box<dyn Decoder>),
+    /// Classic GC: weighted sum via the decoding vector, all-or-nothing.
+    Classic(ClassicGc),
+}
+
+struct Decoded {
+    selected: Vec<usize>,
+    recovered: usize,
+    /// Per-selected-worker weights (classic GC); `None` means all ones.
+    coefficients: Option<Vec<f64>>,
+    failed: bool,
+}
+
+/// The transport-agnostic step state machine: owns placement, decoder,
+/// per-step RNG, repair state, bound checks, normalization, and the SGD
+/// update loop. Backends implement [`Collector`] and call [`StepEngine::run`].
+pub struct StepEngine {
+    config: EngineConfig,
+    path: DecodePath,
+    repair: RepairState,
+    dead_steps: Vec<u64>,
+    start_step: u64,
+    bounds_checked: bool,
+}
+
+impl StepEngine {
+    /// Validates the configuration and builds the decoder.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] for inconsistent hyper-parameters, and
+    /// [`EngineError::Core`] if the placement rejects its scheme decoder.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        if config.batch_size == 0 {
+            return Err(EngineError::InvalidConfig(
+                "batch_size must be positive".into(),
+            ));
+        }
+        if config.max_steps == 0 {
+            return Err(EngineError::InvalidConfig(
+                "max_steps must be positive".into(),
+            ));
+        }
+        if config.repair_after_steps == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "repair_after_steps must be at least 1".into(),
+            ));
+        }
+        let path = match &config.codec {
+            CodecSpec::Scheme => DecodePath::Summed(decoder_for(&config.placement)?),
+            CodecSpec::ArrivalOrder => {
+                DecodePath::Summed(Box::new(ArrivalOrderDecoder::new(&config.placement)))
+            }
+            CodecSpec::Classic(gc) => {
+                if gc.placement().n() != config.placement.n() {
+                    return Err(EngineError::InvalidConfig(format!(
+                        "classic code built for n={}, placement has n={}",
+                        gc.placement().n(),
+                        config.placement.n()
+                    )));
+                }
+                if config.repair_after_steps.is_some() {
+                    return Err(EngineError::InvalidConfig(
+                        "placement repair is not supported with classic gradient coding \
+                         (its coefficients are tied to the original placement)"
+                            .into(),
+                    ));
+                }
+                DecodePath::Classic(gc.clone())
+            }
+        };
+        // The theorems assume a scheme decoder over an intact FR/CR/HR
+        // placement; the arrival-order strawman is only maximal and custom
+        // placements have no closed-form bounds.
+        let bounds_checked = config.check_bounds
+            && matches!(config.codec, CodecSpec::Scheme)
+            && config.placement.scheme() != isgc_core::Scheme::Custom;
+        let repair = RepairState::new(&config.placement);
+        let n = config.placement.n();
+        Ok(Self {
+            config,
+            path,
+            repair,
+            dead_steps: vec![0; n],
+            start_step: 0,
+            bounds_checked,
+        })
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.config.placement.n()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current per-worker partition assignments (diverges from the
+    /// placement only after repair or a non-pristine resume).
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.repair.assignments
+    }
+
+    /// Resumes a checkpointed run: training restarts at `step` with the
+    /// given assignment table. If the table differs from the pristine
+    /// placement, decoding switches to the exact-MIS repaired path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] if the table's size does not match
+    /// the cluster.
+    pub fn resume_from(
+        &mut self,
+        step: u64,
+        assignments: Vec<Vec<usize>>,
+    ) -> Result<(), EngineError> {
+        if assignments.len() != self.n() {
+            return Err(EngineError::InvalidConfig(format!(
+                "resume table has {} workers, cluster has {}",
+                assignments.len(),
+                self.n()
+            )));
+        }
+        let pristine =
+            (0..self.n()).all(|w| assignments[w] == self.config.placement.partitions_of(w));
+        self.repair.assignments = assignments;
+        if !pristine {
+            self.repair.commit();
+        }
+        self.start_step = step;
+        Ok(())
+    }
+
+    /// Deterministic initial parameters: a dedicated seed-derived stream,
+    /// independent of any other randomness, so every backend (and every
+    /// codec choice) starts from identical parameters under the same seed —
+    /// the paper's fairness-of-comparison requirement.
+    pub fn initial_params<M: Model>(&self, model: &M) -> Vector {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x517C_C1B7_2722_0A95));
+        model.init_params(&mut rng)
+    }
+
+    fn decode(&self, available: &WorkerSet, step: u64) -> Decoded {
+        let mut rng = step_rng(self.config.seed, step);
+        match &self.path {
+            DecodePath::Summed(decoder) => {
+                if self.repair.repaired {
+                    let (selected, recovered) = self.repair.decode(available);
+                    Decoded {
+                        selected,
+                        recovered,
+                        coefficients: None,
+                        failed: false,
+                    }
+                } else {
+                    let result = decoder.decode(available, &mut rng);
+                    Decoded {
+                        selected: result.selected().to_vec(),
+                        recovered: result.recovered_count(),
+                        coefficients: None,
+                        failed: false,
+                    }
+                }
+            }
+            DecodePath::Classic(gc) => match gc.decoding_vector(available) {
+                Ok(decoding) => {
+                    let (selected, coefficients) = decoding.into_iter().unzip();
+                    Decoded {
+                        selected,
+                        recovered: self.n(),
+                        coefficients: Some(coefficients),
+                        failed: false,
+                    }
+                }
+                Err(_) => Decoded {
+                    selected: Vec::new(),
+                    recovered: 0,
+                    coefficients: None,
+                    failed: true,
+                },
+            },
+        }
+    }
+
+    /// Runs the training loop to completion (threshold, step cap, observer
+    /// crash, or error), driving `collector` for transport and reporting
+    /// every step to `observer`.
+    ///
+    /// `params` resumes from a checkpointed vector; `None` derives the
+    /// deterministic initial parameters from the seed.
+    ///
+    /// # Errors
+    ///
+    /// Collector failures ([`EngineError::Backend`]), zero-recovery steps
+    /// under `fail_on_zero_recovery`, and Theorem 10–11 bound violations.
+    pub fn run<M: Model>(
+        &mut self,
+        model: &M,
+        dataset: &Dataset,
+        params: Option<Vector>,
+        collector: &mut dyn Collector,
+        observer: &mut dyn Observer,
+    ) -> Result<TrainReport, EngineError> {
+        let n = self.n();
+        if collector.n() != n {
+            return Err(EngineError::InvalidConfig(format!(
+                "collector serves {} workers, placement has n={n}",
+                collector.n()
+            )));
+        }
+        let mut params = params.unwrap_or_else(|| self.initial_params(model));
+        let mut opt = if self.config.momentum > 0.0 {
+            Sgd::with_momentum(self.config.learning_rate, self.config.momentum)
+        } else {
+            Sgd::new(self.config.learning_rate)
+        };
+        let all_indices: Vec<usize> = (0..dataset.len()).collect();
+        let c = self.config.placement.c();
+
+        let mut steps: Vec<StepReport> = Vec::new();
+        let mut reached_threshold = false;
+        let mut interrupted = false;
+        let mut last_loss: Option<f64> = None;
+        let started = std::time::Instant::now();
+
+        for step in self.start_step..self.config.max_steps {
+            // Liveness bookkeeping and placement repair, before broadcast so
+            // adopters receive their new partitions along with the params.
+            let alive = collector.alive();
+            debug_assert_eq!(alive.len(), n, "collector liveness vector sized wrong");
+            for (w, &w_alive) in alive.iter().enumerate() {
+                if w_alive {
+                    self.dead_steps[w] = 0;
+                } else {
+                    self.dead_steps[w] += 1;
+                }
+            }
+            let mut repairs = Vec::new();
+            if let Some(threshold) = self.config.repair_after_steps {
+                for dead in 0..n {
+                    if self.dead_steps[dead] >= threshold
+                        && !self.repair.assignments[dead].is_empty()
+                    {
+                        repairs.extend(self.repair.repair_worker(dead, &alive));
+                    }
+                }
+                if !repairs.is_empty() {
+                    self.repair.commit();
+                    collector.on_repair(&repairs, &self.repair.assignments);
+                }
+            }
+
+            let collected = collector.collect(&StepContext {
+                step,
+                params: &params,
+                last_loss,
+            })?;
+            let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
+            let decoded = self.decode(&available, step);
+
+            if self.bounds_checked && !self.repair.repaired && !decoded.failed {
+                let (lo, hi) = bounds::recovery_bounds(n, c, collected.arrivals.len());
+                if !(lo..=hi).contains(&decoded.recovered) {
+                    return Err(EngineError::BoundViolation {
+                        step,
+                        recovered: decoded.recovered,
+                        lo,
+                        hi,
+                    });
+                }
+            }
+
+            let alive_now = collector.alive();
+            if decoded.recovered == 0 && self.config.fail_on_zero_recovery {
+                // No gradient at all, yet workers are nominally alive: the
+                // run is spinning without progress. Surface it as a typed
+                // error instead of silently looping.
+                let alive_count = alive_now.iter().filter(|&&a| a).count();
+                return Err(EngineError::Degraded {
+                    step,
+                    recovered: 0,
+                    bound: bounds::recovery_lower_bound(n, c, alive_count.min(n)),
+                });
+            }
+
+            if !matches!(self.config.lr_schedule, LrSchedule::Constant) {
+                opt.set_learning_rate(
+                    self.config
+                        .lr_schedule
+                        .rate_at(self.config.learning_rate, step as usize),
+                );
+            }
+            if decoded.recovered > 0 {
+                let mut g = Vector::zeros(params.len());
+                for (i, &w) in decoded.selected.iter().enumerate() {
+                    let coeff = decoded
+                        .coefficients
+                        .as_ref()
+                        .map_or(1.0, |coeffs| coeffs[i]);
+                    g.axpy(
+                        coeff,
+                        collected.codewords[w]
+                            .as_ref()
+                            .expect("decoder selects only arrived workers"),
+                    );
+                }
+                // `g` holds summed per-sample gradients over every recovered
+                // partition's batch (Theorem 12's η·|D_d| factor).
+                let divisor = match self.config.normalization {
+                    GradientNormalization::SumOfPartitionMeans => self.config.batch_size,
+                    GradientNormalization::MeanOverRecovered => {
+                        decoded.recovered * self.config.batch_size
+                    }
+                };
+                g.scale(1.0 / divisor as f64);
+                opt.step(&mut params, &g);
+            }
+
+            let loss = model.loss_mean(&params, dataset, &all_indices);
+            collector.after_step(step + 1, &params)?;
+
+            let report = StepReport {
+                step,
+                ignored: (0..n).filter(|w| !decoded.selected.contains(w)).collect(),
+                arrivals: collected.arrivals,
+                waited_ms: collected.waited_ms,
+                duration: collected.duration,
+                selected: decoded.selected,
+                recovered: decoded.recovered,
+                dead: (0..n).filter(|&w| !alive_now[w]).collect(),
+                declined: collected.declined,
+                repairs,
+                stale: collected.stale,
+                failed_decode: decoded.failed,
+                loss,
+            };
+            let control = observer.on_step(&report);
+            steps.push(report);
+            last_loss = Some(loss);
+            if control == StepControl::Crash {
+                interrupted = true;
+                break;
+            }
+            if loss <= self.config.loss_threshold {
+                reached_threshold = true;
+                break;
+            }
+        }
+
+        Ok(TrainReport {
+            n,
+            steps,
+            reached_threshold,
+            interrupted,
+            wall_time: started.elapsed().as_secs_f64(),
+            final_params: params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isgc_ml::LinearRegression;
+
+    #[test]
+    fn step_rng_is_stable_per_step_and_differs_across_steps() {
+        use rand::RngCore;
+        let a = step_rng(7, 3).next_u64();
+        let b = step_rng(7, 3).next_u64();
+        let c = step_rng(7, 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    /// An in-process collector that computes codewords synchronously from
+    /// the model: the minimal faithful backend, used to exercise the engine
+    /// without any transport at all.
+    struct ScriptedCollector<'a, M: Model> {
+        model: &'a M,
+        dataset: &'a Dataset,
+        assignments: Vec<Vec<usize>>,
+        batch_size: usize,
+        seed: u64,
+        /// `down[step]` = workers that neither respond nor count as alive
+        /// from that step on (empty slice = everyone healthy).
+        down_from: Vec<(u64, Vec<usize>)>,
+        step_now: u64,
+    }
+
+    impl<M: Model> ScriptedCollector<'_, M> {
+        fn down_now(&self) -> Vec<usize> {
+            self.down_from
+                .iter()
+                .filter(|(from, _)| self.step_now >= *from)
+                .flat_map(|(_, ws)| ws.iter().copied())
+                .collect()
+        }
+    }
+
+    impl<M: Model> Collector for ScriptedCollector<'_, M> {
+        fn n(&self) -> usize {
+            self.assignments.len()
+        }
+
+        fn alive(&self) -> Vec<bool> {
+            let down = self.down_now();
+            (0..self.n()).map(|w| !down.contains(&w)).collect()
+        }
+
+        fn on_repair(&mut self, _events: &[RepairEvent], assignments: &[Vec<usize>]) {
+            self.assignments = assignments.to_vec();
+        }
+
+        fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
+            self.step_now = ctx.step;
+            let n = self.n();
+            let partitions = self.dataset.partition(n);
+            let down = self.down_now();
+            let mut arrivals = Vec::new();
+            let mut codewords: Vec<Option<Vector>> = vec![None; n];
+            for (w, slot) in codewords.iter_mut().enumerate() {
+                if down.contains(&w) {
+                    continue;
+                }
+                let mut cw = self.model.zero_params();
+                for &j in &self.assignments[w] {
+                    let batch = partitions.minibatch(j, self.batch_size, ctx.step, self.seed);
+                    cw.axpy(
+                        1.0,
+                        &self.model.gradient_sum(ctx.params, self.dataset, &batch),
+                    );
+                }
+                *slot = Some(cw);
+                arrivals.push(w);
+            }
+            Ok(Collected {
+                arrivals,
+                codewords,
+                declined: Vec::new(),
+                stale: 0,
+                waited_ms: 0.0,
+                duration: 0.01,
+            })
+        }
+    }
+
+    fn run_scripted(
+        down_from: Vec<(u64, Vec<usize>)>,
+        repair_after_steps: Option<u64>,
+        observer: &mut dyn Observer,
+    ) -> TrainReport {
+        let placement = Placement::fractional(4, 2).unwrap();
+        let dataset = Dataset::synthetic_regression(64, 3, 0.05, 9);
+        let model = LinearRegression::new(3);
+        let mut config = EngineConfig::new(placement.clone());
+        config.batch_size = 8;
+        config.max_steps = 12;
+        config.loss_threshold = -1.0; // never reached: fixed-length runs
+        config.seed = 5;
+        config.repair_after_steps = repair_after_steps;
+        let mut engine = StepEngine::new(config).unwrap();
+        let mut collector = ScriptedCollector {
+            model: &model,
+            dataset: &dataset,
+            assignments: (0..4)
+                .map(|w| placement.partitions_of(w).to_vec())
+                .collect(),
+            batch_size: 8,
+            seed: 5,
+            down_from,
+            step_now: 0,
+        };
+        engine
+            .run(&model, &dataset, None, &mut collector, observer)
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_run_recovers_everything_and_is_deterministic() {
+        let a = run_scripted(Vec::new(), None, &mut NoopObserver);
+        let b = run_scripted(Vec::new(), None, &mut NoopObserver);
+        assert_eq!(a.step_count(), 12);
+        assert!(a.recovered_fractions().iter().all(|&f| f == 1.0));
+        assert!(a.final_loss() < a.steps[0].loss);
+        assert_eq!(a, b);
+        assert_eq!(a.recovery_fingerprint(), b.recovery_fingerprint());
+    }
+
+    /// The headline of the refactor: placement repair now works behind any
+    /// collector, not just the TCP master. A worker that dies mid-run has
+    /// its partitions re-homed and full recovery resumes.
+    #[test]
+    fn repair_restores_full_recovery_after_permanent_death() {
+        let report = run_scripted(vec![(3, vec![3])], Some(2), &mut NoopObserver);
+        // FR(4,2): losing worker 3 costs nothing while worker 2 survives
+        // (they mirror partitions {2,3}); repair still re-homes to restore
+        // redundancy, switching decode to the exact-MIS path.
+        let repaired_at = report
+            .steps
+            .iter()
+            .position(|s| !s.repairs.is_empty())
+            .expect("repair should have fired");
+        assert_eq!(report.steps[repaired_at].step, 5); // dead_steps hits 2 at step 3+2
+        for s in &report.steps {
+            assert_eq!(s.recovered, 4, "step {} under-recovered", s.step);
+        }
+        assert!(report.steps[repaired_at..]
+            .iter()
+            .all(|s| s.dead == vec![3]));
+        // Deterministic end to end, repair included.
+        let again = run_scripted(vec![(3, vec![3])], Some(2), &mut NoopObserver);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn observer_crash_interrupts_the_run() {
+        let mut crash_after = FnObserver(|r: &StepReport| {
+            if r.step >= 1 {
+                StepControl::Crash
+            } else {
+                StepControl::Continue
+            }
+        });
+        let report = run_scripted(Vec::new(), None, &mut crash_after);
+        assert!(report.interrupted);
+        assert!(!report.reached_threshold);
+        assert_eq!(report.step_count(), 2);
+    }
+
+    #[test]
+    fn recording_observer_sees_every_step() {
+        let mut recorder = RecordingObserver::default();
+        let report = run_scripted(Vec::new(), None, &mut recorder);
+        assert_eq!(recorder.steps, report.steps);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let mut bad = EngineConfig::new(placement.clone());
+        bad.batch_size = 0;
+        assert!(matches!(
+            StepEngine::new(bad),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let mut bad = EngineConfig::new(placement.clone());
+        bad.repair_after_steps = Some(0);
+        assert!(matches!(
+            StepEngine::new(bad),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let mut bad = EngineConfig::new(placement);
+        bad.codec = CodecSpec::Classic(ClassicGc::fractional(4, 2).unwrap());
+        bad.repair_after_steps = Some(3);
+        assert!(matches!(
+            StepEngine::new(bad),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn resume_from_non_pristine_assignments_switches_to_mis() {
+        let placement = Placement::fractional(4, 2).unwrap();
+        let mut engine = StepEngine::new(EngineConfig::new(placement)).unwrap();
+        engine
+            .resume_from(7, vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![]])
+            .unwrap();
+        let (selected, recovered) = (engine.assignments().to_vec(), engine.repair.repaired);
+        assert!(recovered, "diverged table must mark the placement repaired");
+        assert_eq!(selected[3], Vec::<usize>::new());
+        assert!(engine.resume_from(0, vec![vec![0]; 3]).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Placement repair: re-homing a permanently-dead worker's partitions onto
+//! survivors so their gradients stay recoverable.
+//!
+//! This lived in the TCP master originally; it is transport-agnostic (it only
+//! needs the current assignments and a liveness view), so the engine owns it
+//! and every backend gets repair for free.
+
+use isgc_core::{ConflictGraph, Placement, WorkerSet};
+
+use crate::report::RepairEvent;
+
+/// The engine's mutable view of who stores what: the per-worker partition
+/// lists, the conflict graph they induce, and whether the original placement
+/// has been altered (which switches decoding from the scheme decoder to an
+/// exact MIS over the rebuilt graph).
+#[derive(Debug, Clone)]
+pub(crate) struct RepairState {
+    /// `assignments[w]` = sorted partitions worker `w` stores.
+    pub(crate) assignments: Vec<Vec<usize>>,
+    /// Conflict graph over the current assignments.
+    pub(crate) graph: ConflictGraph,
+    /// Whether any repair (or a resumed non-pristine checkpoint) has diverged
+    /// the assignments from the original placement.
+    pub(crate) repaired: bool,
+}
+
+impl RepairState {
+    pub(crate) fn new(placement: &Placement) -> Self {
+        Self {
+            assignments: (0..placement.n())
+                .map(|w| placement.partitions_of(w).to_vec())
+                .collect(),
+            graph: ConflictGraph::from_placement(placement),
+            repaired: false,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Re-homes every partition of permanently-dead worker `dead` onto a
+    /// survivor, choosing per partition the adopter that adds the fewest
+    /// new conflict-graph edges (ties: fewest partitions held, then lowest
+    /// id — fully deterministic).
+    pub(crate) fn repair_worker(&mut self, dead: usize, alive: &[bool]) -> Vec<RepairEvent> {
+        let lost: Vec<usize> = std::mem::take(&mut self.assignments[dead]);
+        let mut events = Vec::with_capacity(lost.len());
+        for j in lost {
+            let adopter = self.pick_adopter(dead, j, alive);
+            let Some(to) = adopter else { continue };
+            self.assignments[to].push(j);
+            self.assignments[to].sort_unstable();
+            events.push(RepairEvent {
+                partition: j,
+                from: dead,
+                to,
+            });
+        }
+        events
+    }
+
+    /// The survivor that should adopt partition `j`, or `None` when no
+    /// eligible survivor exists (everyone else holds `j` already or is
+    /// itself stripped/dead).
+    fn pick_adopter(&self, dead: usize, j: usize, alive: &[bool]) -> Option<usize> {
+        let holders: Vec<usize> = (0..self.n())
+            .filter(|&w| w != dead && self.assignments[w].contains(&j))
+            .collect();
+        let mut best: Option<(usize, usize, usize)> = None; // (cost, load, id)
+        for (w, &w_alive) in alive.iter().enumerate() {
+            if w == dead
+                || self.assignments[w].is_empty()
+                || !w_alive
+                || self.assignments[w].contains(&j)
+            {
+                continue;
+            }
+            // New edges = holders of j this worker does not already
+            // conflict with (sharing any partition).
+            let cost = holders
+                .iter()
+                .filter(|&&h| {
+                    !self.assignments[w]
+                        .iter()
+                        .any(|p| self.assignments[h].contains(p))
+                })
+                .count();
+            let key = (cost, self.assignments[w].len(), w);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Rebuilds the conflict graph from the current assignments and marks
+    /// the placement diverged.
+    pub(crate) fn commit(&mut self) {
+        let n = self.n();
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                if self.assignments[a]
+                    .iter()
+                    .any(|p| self.assignments[b].contains(p))
+                {
+                    edges.push((a, b));
+                }
+            }
+        }
+        self.graph = ConflictGraph::from_edges(n, &edges);
+        self.repaired = true;
+    }
+
+    /// Exact MIS decode over the repaired graph: selected workers are
+    /// pairwise non-conflicting, so their partition sets are disjoint and
+    /// recovery is the plain sum of their sizes.
+    pub(crate) fn decode(&self, available: &WorkerSet) -> (Vec<usize>, usize) {
+        let selected = self.graph.max_independent_set(available);
+        let recovered = selected.iter().map(|&w| self.assignments[w].len()).sum();
+        (selected, recovered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Placement repair picks the adopter that adds the fewest conflict
+    /// edges and strips the dead worker.
+    #[test]
+    fn repair_reassigns_partitions_deterministically() {
+        let placement = Placement::fractional(4, 2).unwrap();
+        // FR(4,2): workers {0,1} hold {0,1}; workers {2,3} hold {2,3}.
+        let mut state = RepairState::new(&placement);
+        let alive = [true, true, true, false];
+        let events = state.repair_worker(3, &alive);
+        state.commit();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(state.assignments[3].is_empty());
+        assert!(state.repaired);
+        // Partitions 2 and 3 each gained a new replica on a survivor, and
+        // every survivor's list is duplicate-free.
+        for e in &events {
+            assert!(state.assignments[e.to].contains(&e.partition));
+            let mut sorted = state.assignments[e.to].clone();
+            sorted.dedup();
+            assert_eq!(sorted, state.assignments[e.to]);
+        }
+        // Deterministic: rerunning the same scenario picks identically.
+        let events2 = {
+            let mut s = RepairState::new(&placement);
+            s.repair_worker(3, &alive)
+        };
+        assert_eq!(events, events2);
+    }
+
+    /// After repair, the MIS decode over the rebuilt graph still covers
+    /// every surviving partition when all survivors arrive.
+    #[test]
+    fn post_repair_decode_counts_adopted_partitions() {
+        let placement = Placement::cyclic(5, 2).unwrap();
+        let mut state = RepairState::new(&placement);
+        let alive = [true, true, false, true, true];
+        let events = state.repair_worker(2, &alive);
+        state.commit();
+        assert!(!events.is_empty());
+        let available = WorkerSet::from_indices(5, [0, 1, 3, 4]);
+        let (selected, recovered) = state.decode(&available);
+        assert!(!selected.is_empty());
+        let by_hand: usize = selected.iter().map(|&w| state.assignments[w].len()).sum();
+        assert_eq!(recovered, by_hand);
+    }
+}

@@ -1,0 +1,333 @@
+//! Unified per-step and per-run reporting shared by every backend.
+
+use isgc_linalg::Vector;
+
+/// One partition reassignment performed by placement repair: partition
+/// `partition` moved from permanently-dead worker `from` to survivor `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairEvent {
+    /// The partition whose lost replica was re-homed.
+    pub partition: usize,
+    /// The worker declared permanently dead.
+    pub from: usize,
+    /// The survivor that adopted the partition.
+    pub to: usize,
+}
+
+/// What the engine observed during one training step, identical in shape
+/// across the threaded runtime, the simulator, and the TCP master.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// The step this report describes.
+    pub step: u64,
+    /// Workers whose codeword for this step arrived in time, arrival order.
+    pub arrivals: Vec<usize>,
+    /// How long the collector waited for codewords, in milliseconds
+    /// (simulated time for the simulator backend).
+    pub waited_ms: f64,
+    /// Duration of the step in seconds (simulated time for the simulator,
+    /// wall-clock collection time elsewhere).
+    pub duration: f64,
+    /// The decoder's chosen ignoring-set complement `I` (selected workers).
+    pub selected: Vec<usize>,
+    /// Number of partitions recovered by the decode.
+    pub recovered: usize,
+    /// Workers whose gradient did not contribute this step (ignored
+    /// stragglers plus dead workers).
+    pub ignored: Vec<usize>,
+    /// Workers the collector considered dead when the step closed.
+    pub dead: Vec<usize>,
+    /// Workers that declined this step (fast-fail straggler signal).
+    pub declined: Vec<usize>,
+    /// Partition reassignments applied at the start of this step by
+    /// placement repair (empty unless a worker was declared permanently
+    /// dead right before this step).
+    pub repairs: Vec<RepairEvent>,
+    /// Late codewords from earlier steps discarded while collecting.
+    pub stale: usize,
+    /// Whether the decode failed outright (classic GC below its worker
+    /// minimum); a failed step applies no update.
+    pub failed_decode: bool,
+    /// Full-dataset training loss after the update.
+    pub loss: f64,
+}
+
+/// The complete record of a training run, produced by
+/// [`crate::StepEngine::run`] for every backend.
+///
+/// Equality ignores [`TrainReport::wall_time`]: it is host timing, not run
+/// semantics, so two reruns of a deterministic run compare equal.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Cluster size (also the number of data partitions).
+    pub n: usize,
+    /// One report per executed step.
+    pub steps: Vec<StepReport>,
+    /// Whether the loss threshold was reached before the step cap.
+    pub reached_threshold: bool,
+    /// Whether the run was cut short by [`crate::StepControl::Crash`].
+    pub interrupted: bool,
+    /// Wall-clock duration of the run, in seconds.
+    pub wall_time: f64,
+    /// The trained parameter vector.
+    pub final_params: Vector,
+}
+
+impl PartialEq for TrainReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.steps == other.steps
+            && self.reached_threshold == other.reached_threshold
+            && self.interrupted == other.interrupted
+            && self.final_params == other.final_params
+    }
+}
+
+impl TrainReport {
+    /// Number of steps executed.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Final training loss, or `+∞` if no step ran.
+    pub fn final_loss(&self) -> f64 {
+        self.steps.last().map_or(f64::INFINITY, |s| s.loss)
+    }
+
+    /// The loss after each step.
+    pub fn loss_curve(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.loss).collect()
+    }
+
+    /// Fraction of partitions recovered in each step (`recovered / n`).
+    pub fn recovered_fractions(&self) -> Vec<f64> {
+        self.steps
+            .iter()
+            .map(|s| s.recovered as f64 / self.n as f64)
+            .collect()
+    }
+
+    /// Mean fraction of partitions recovered per step (the paper's
+    /// Fig. 12(a) metric).
+    pub fn mean_recovered_fraction(&self) -> f64 {
+        mean(&self.recovered_fractions())
+    }
+
+    /// Duration of each step, in seconds.
+    pub fn step_durations(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.duration).collect()
+    }
+
+    /// Mean per-step duration (Figs. 11, 12(c)).
+    pub fn mean_step_duration(&self) -> f64 {
+        mean(&self.step_durations())
+    }
+
+    /// Total simulated/collection time: the sum of step durations.
+    pub fn sim_time(&self) -> f64 {
+        self.steps.iter().map(|s| s.duration).sum()
+    }
+
+    /// Mean per-step collection wait, in milliseconds.
+    pub fn mean_waited_ms(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.waited_ms).sum::<f64>() / self.steps.len() as f64
+    }
+
+    /// Steps whose decode failed outright (classic GC below its minimum).
+    pub fn failed_decodes(&self) -> usize {
+        self.steps.iter().filter(|s| s.failed_decode).count()
+    }
+
+    /// Codewords the master accepted in each step (`|W'|`).
+    pub fn codewords_received(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.arrivals.len()).collect()
+    }
+
+    /// The `q`-quantile of per-step durations (e.g. `0.99` for the tail the
+    /// straggler literature cares about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no steps ran or `q` is outside `[0, 1]`.
+    pub fn step_duration_quantile(&self, q: f64) -> f64 {
+        isgc_ml::metrics::quantile(&self.step_durations(), q)
+    }
+
+    /// Total uplink volume over the run, assuming `dim`-dimensional `f64`
+    /// gradient codewords: one vector per accepted worker per step.
+    ///
+    /// IS-GC's communication advantage over multi-message partial upload
+    /// (see `isgc_simnet::partial`) shows up here: the count is independent
+    /// of `c`.
+    pub fn total_upload_bytes(&self, dim: usize) -> usize {
+        self.steps.iter().map(|s| s.arrivals.len()).sum::<usize>() * dim * 8
+    }
+
+    /// A timing-free FNV-1a fingerprint of the run's recovery behavior:
+    /// per step, the step number, the *sorted* arrival and selection sets,
+    /// and the recovered-partition count. Two backends given the same seed
+    /// and the same straggler schedule must produce identical fingerprints —
+    /// the cross-backend parity tests assert exactly this.
+    pub fn recovery_fingerprint(&self) -> u64 {
+        const BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = BASIS;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        for s in &self.steps {
+            mix(s.step);
+            let mut arrivals = s.arrivals.clone();
+            arrivals.sort_unstable();
+            mix(arrivals.len() as u64);
+            arrivals.iter().for_each(|&w| mix(w as u64));
+            let mut selected = s.selected.clone();
+            selected.sort_unstable();
+            mix(selected.len() as u64);
+            selected.iter().for_each(|&w| mix(w as u64));
+            mix(s.recovered as u64);
+        }
+        hash
+    }
+}
+
+impl std::fmt::Display for TrainReport {
+    /// One-paragraph human-readable summary.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps in {:.2}s sim-time ({:.3}s/step), final loss {:.4}, \
+             {:.1}% gradients recovered on average, {}{}",
+            self.step_count(),
+            self.sim_time(),
+            self.mean_step_duration(),
+            self.final_loss(),
+            100.0 * self.mean_recovered_fraction(),
+            if self.reached_threshold {
+                "reached the loss threshold"
+            } else {
+                "stopped at the step cap"
+            },
+            if self.failed_decodes() > 0 {
+                format!(" ({} failed decodes)", self.failed_decodes())
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn step(step: u64, recovered: usize, waited_ms: f64, loss: f64) -> StepReport {
+        StepReport {
+            step,
+            arrivals: vec![0, 1],
+            waited_ms,
+            duration: waited_ms / 1e3,
+            selected: vec![0, 1],
+            recovered,
+            ignored: vec![2],
+            dead: vec![],
+            declined: vec![],
+            repairs: vec![],
+            stale: 0,
+            failed_decode: false,
+            loss,
+        }
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = TrainReport {
+            n: 4,
+            steps: vec![],
+            reached_threshold: false,
+            interrupted: false,
+            wall_time: 0.0,
+            final_params: Vector::zeros(1),
+        };
+        assert_eq!(r.step_count(), 0);
+        assert_eq!(r.final_loss(), f64::INFINITY);
+        assert_eq!(r.mean_recovered_fraction(), 0.0);
+        assert_eq!(r.mean_waited_ms(), 0.0);
+        assert_eq!(r.failed_decodes(), 0);
+        assert_eq!(r.total_upload_bytes(8), 0);
+    }
+
+    #[test]
+    fn aggregates_compute() {
+        let r = TrainReport {
+            n: 4,
+            steps: vec![step(0, 4, 10.0, 0.8), step(1, 2, 30.0, 0.4)],
+            reached_threshold: true,
+            interrupted: false,
+            wall_time: 1.0,
+            final_params: Vector::zeros(1),
+        };
+        assert_eq!(r.step_count(), 2);
+        assert_eq!(r.final_loss(), 0.4);
+        assert_eq!(r.loss_curve(), vec![0.8, 0.4]);
+        assert!((r.mean_recovered_fraction() - 0.75).abs() < 1e-12);
+        assert!((r.mean_waited_ms() - 20.0).abs() < 1e-12);
+        assert_eq!(r.recovered_fractions(), vec![1.0, 0.5]);
+        assert_eq!(r.codewords_received(), vec![2, 2]);
+        // 2 steps × 2 codewords × dim 3 × 8 bytes.
+        assert_eq!(r.total_upload_bytes(3), 2 * 2 * 3 * 8);
+    }
+
+    #[test]
+    fn fingerprint_ignores_arrival_order_but_not_content() {
+        let base = TrainReport {
+            n: 4,
+            steps: vec![step(0, 4, 10.0, 0.8)],
+            reached_threshold: false,
+            interrupted: false,
+            wall_time: 0.0,
+            final_params: Vector::zeros(1),
+        };
+        let mut reordered = base.clone();
+        reordered.steps[0].arrivals = vec![1, 0];
+        assert_eq!(
+            base.recovery_fingerprint(),
+            reordered.recovery_fingerprint()
+        );
+        let mut changed = base.clone();
+        changed.steps[0].recovered = 2;
+        assert_ne!(base.recovery_fingerprint(), changed.recovery_fingerprint());
+    }
+
+    #[test]
+    fn display_mentions_cap_and_failures() {
+        let mut failed = step(0, 0, 10.0, 0.9);
+        failed.failed_decode = true;
+        let r = TrainReport {
+            n: 4,
+            steps: vec![failed],
+            reached_threshold: false,
+            interrupted: false,
+            wall_time: 0.0,
+            final_params: Vector::zeros(1),
+        };
+        let text = r.to_string();
+        assert!(text.contains("1 steps"));
+        assert!(text.contains("stopped at the step cap"));
+        assert!(text.contains("(1 failed decodes)"));
+    }
+}

@@ -10,6 +10,11 @@
 //! silently spinning. All per-step randomness is derived from
 //! `(seed, step)`, never streamed, so a resumed run is bit-identical to an
 //! uninterrupted one from the restart point onward.
+//!
+//! Step semantics — decode, repair, bounds, normalization, the SGD update —
+//! live in [`isgc_engine::StepEngine`]; this module is the TCP
+//! [`Collector`]: registration, liveness, broadcast, collection, and
+//! checkpoint persistence.
 
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -19,20 +24,22 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
-use isgc_core::{bounds, ConflictGraph, Placement, Scheme, WorkerSet};
+use isgc_core::Placement;
+use isgc_engine::{
+    Collected, Collector, EngineConfig, EngineError, FnObserver, RepairEvent, StepContext,
+    StepEngine, StepReport,
+};
 use isgc_linalg::Vector;
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::Model;
-use isgc_ml::optimizer::Sgd;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::checkpoint::{CheckpointConfig, MasterCheckpoint};
-use crate::report::{NetReport, NetTrainReport, RepairEvent};
+use crate::report::{NetReport, NetTrainReport};
 use crate::retry::RetryPolicy;
 use crate::wire::{read_message, write_message, Message, WireError};
 use crate::{NetError, WaitPolicy};
+
+pub use isgc_engine::StepControl;
 
 /// Configuration of a networked training run.
 #[derive(Debug, Clone)]
@@ -119,27 +126,47 @@ impl NetConfig {
         }
         Ok(())
     }
+
+    /// The engine configuration this network config corresponds to.
+    fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::new(self.placement.clone());
+        config.batch_size = self.batch_size;
+        config.learning_rate = self.learning_rate;
+        config.loss_threshold = self.loss_threshold;
+        config.max_steps = self.max_steps as u64;
+        config.seed = self.seed;
+        config.repair_after_steps = self.repair_after_steps;
+        // A zero-recovery step over TCP means the run is spinning while
+        // workers burn cycles: fail fast with NetError::Degraded.
+        config.fail_on_zero_recovery = true;
+        config
+    }
 }
 
-/// What the per-step observer tells the master to do next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StepControl {
-    /// Keep training.
-    Continue,
-    /// Simulate a master crash: stop immediately *without* telling workers
-    /// to shut down, exactly as a killed process would. Used by the chaos
-    /// harness to exercise checkpoint/restore.
-    Crash,
+/// Wraps a transport failure for transit through the engine.
+fn backend(e: NetError) -> EngineError {
+    EngineError::Backend(Box::new(e))
 }
 
-/// The tie-break RNG for one step, derived — never streamed — from
-/// `(seed, step)` so that a master resumed from a checkpoint decodes
-/// exactly like one that never crashed.
-fn step_rng(seed: u64, step: u64) -> StdRng {
-    let mut z = seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+/// Recovers the typed [`NetError`] from an engine failure.
+fn engine_to_net(e: EngineError) -> NetError {
+    match e {
+        EngineError::Degraded {
+            step,
+            recovered,
+            bound,
+        } => NetError::Degraded {
+            step,
+            recovered,
+            bound,
+        },
+        EngineError::Backend(inner) => match inner.downcast::<NetError>() {
+            Ok(net) => *net,
+            Err(other) => NetError::Protocol(other.to_string()),
+        },
+        EngineError::InvalidConfig(reason) => NetError::InvalidConfig(reason),
+        other => NetError::Protocol(other.to_string()),
+    }
 }
 
 /// Events flowing from connection threads into the master loop.
@@ -182,9 +209,6 @@ struct Slot {
     registered: bool,
     /// Last time any message arrived from this worker.
     last_seen: Instant,
-    /// Consecutive step starts this worker has been dead for; feeds the
-    /// permanent-death declaration behind placement repair.
-    dead_steps: u64,
 }
 
 /// A listening IS-GC master. Bind first (so tests can learn the ephemeral
@@ -288,27 +312,12 @@ impl Master {
     ) -> Result<NetTrainReport, NetError> {
         config.validate()?;
         let n = config.placement.n();
-        let decoder: Box<dyn Decoder> = match config.placement.scheme() {
-            Scheme::Fractional => Box::new(
-                FrDecoder::new(&config.placement).expect("FR placement validated on construction"),
-            ),
-            Scheme::Cyclic => Box::new(
-                CrDecoder::new(&config.placement).expect("CR placement validated on construction"),
-            ),
-            Scheme::Hybrid => Box::new(
-                HrDecoder::new(&config.placement).expect("HR placement validated on construction"),
-            ),
-            Scheme::Custom => Box::new(ExactDecoder::new(&config.placement)),
-        };
 
         let local_addr = self.listener.local_addr()?;
         let (event_tx, event_rx) = unbounded::<Event>();
         let stop = Arc::new(AtomicBool::new(false));
         let accept_handle = spawn_accept_loop(self.listener, event_tx.clone(), Arc::clone(&stop));
 
-        let assignments: Vec<Vec<usize>> = (0..n)
-            .map(|w| config.placement.partitions_of(w).to_vec())
-            .collect();
         let mut loop_state = MasterLoop {
             slots: (0..n)
                 .map(|_| Slot {
@@ -317,25 +326,45 @@ impl Master {
                     alive: false,
                     registered: false,
                     last_seen: Instant::now(),
-                    dead_steps: 0,
                 })
                 .collect(),
             event_rx,
             event_tx,
             config: config.clone(),
-            decoder,
-            assignments,
-            graph: ConflictGraph::from_placement(&config.placement),
-            repaired: false,
+            assignments: (0..n)
+                .map(|w| config.placement.partitions_of(w).to_vec())
+                .collect(),
         };
 
-        let outcome = loop_state.train(model, dataset, &mut observer);
+        let outcome = (|| -> Result<NetTrainReport, NetError> {
+            let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
+            // Parameter initialization is a pure function of the seed, so a
+            // resumed master overwrites it from the checkpoint and a fresh
+            // one matches any backend given the same seed.
+            let mut params = engine.initial_params(model);
+            let start_step = loop_state.try_resume(&mut params)?;
+            engine
+                .resume_from(start_step, loop_state.assignments.clone())
+                .map_err(engine_to_net)?;
+            loop_state.await_registration()?;
+            let mut step_observer = FnObserver(|report: &StepReport| observer(report));
+            engine
+                .run(
+                    model,
+                    dataset,
+                    Some(params),
+                    &mut loop_state,
+                    &mut step_observer,
+                )
+                .map_err(engine_to_net)
+        })();
 
         // Tell workers we're done and unblock the accept loop so its thread
         // exits: set the flag, then poke the listener with a throwaway
         // connection. A scripted crash skips the shutdown broadcast — a
         // killed process sends nothing.
-        if !matches!(outcome, Ok((_, SessionEnd::Crashed))) {
+        let crashed = matches!(&outcome, Ok(report) if report.interrupted);
+        if !crashed {
             loop_state.broadcast(&Message::Shutdown);
         } else {
             // A killed process closes every fd. Emulate that: reader threads
@@ -351,17 +380,8 @@ impl Master {
         stop.store(true, Ordering::Release);
         let _ = TcpStream::connect(local_addr);
         let _ = accept_handle.join();
-        outcome.map(|(report, _)| report)
+        outcome
     }
-}
-
-/// How a training session came to an end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SessionEnd {
-    /// Ran to completion (step cap or loss threshold).
-    Completed,
-    /// The observer scripted a crash.
-    Crashed,
 }
 
 /// Spawns the accept loop: each fresh connection gets a short-lived
@@ -431,23 +451,70 @@ fn spawn_reader(stream: TcpStream, worker: usize, epoch: u64, tx: Sender<Event>)
         });
 }
 
-/// The master's single-threaded state machine over connection events.
+/// The master's single-threaded state machine over connection events — the
+/// engine's TCP [`Collector`].
 struct MasterLoop {
     slots: Vec<Slot>,
     event_rx: Receiver<Event>,
     event_tx: Sender<Event>,
     config: NetConfig,
-    /// The scheme decoder used while the placement is still the configured
-    /// one; after a repair the conflict graph below takes over.
-    decoder: Box<dyn Decoder>,
-    /// Current per-worker partition lists; starts as the placement's and
-    /// diverges once placement repair runs (a repaired-dead worker's list
-    /// becomes empty).
+    /// Current per-worker partition lists, mirroring the engine's table;
+    /// starts as the placement's and diverges when the engine runs placement
+    /// repair (a repaired-dead worker's list becomes empty). Used to build
+    /// `Assign` frames and to decide which disconnected workers are worth a
+    /// rejoin grace.
     assignments: Vec<Vec<usize>>,
-    /// Conflict graph of `assignments`, rebuilt on every repair.
-    graph: ConflictGraph,
-    /// Whether any repair has run (switches the decode path).
-    repaired: bool,
+}
+
+impl Collector for MasterLoop {
+    fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn alive(&self) -> Vec<bool> {
+        self.slots.iter().map(|s| s.alive).collect()
+    }
+
+    /// The engine re-homed a dead worker's partitions: mirror the table and
+    /// re-issue `Assign` frames to every survivor whose list grew, over the
+    /// existing connections.
+    fn on_repair(&mut self, events: &[RepairEvent], assignments: &[Vec<usize>]) {
+        self.assignments = assignments.to_vec();
+        let touched: std::collections::BTreeSet<usize> = events.iter().map(|e| e.to).collect();
+        for id in touched {
+            let message = self.assign_message(id);
+            let slot = &mut self.slots[id];
+            let ok = slot
+                .writer
+                .as_mut()
+                .is_some_and(|w| write_message(w, &message).is_ok());
+            if !ok {
+                slot.alive = false;
+                slot.writer = None;
+            }
+        }
+    }
+
+    fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
+        let pre_stale = self.await_rejoins();
+        self.broadcast(&Message::Params {
+            step: ctx.step,
+            values: ctx.params.as_slice().to_vec(),
+        });
+        let collected = self.collect_step(ctx.step).map_err(backend)?;
+        Ok(Collected {
+            arrivals: collected.arrivals,
+            codewords: collected.codewords,
+            declined: collected.declined,
+            stale: collected.stale + pre_stale,
+            waited_ms: collected.waited.as_secs_f64() * 1e3,
+            duration: collected.waited.as_secs_f64(),
+        })
+    }
+
+    fn after_step(&mut self, completed: u64, params: &Vector) -> Result<(), EngineError> {
+        self.maybe_checkpoint(completed, params).map_err(backend)
+    }
 }
 
 impl MasterLoop {
@@ -535,7 +602,6 @@ impl MasterLoop {
         slot.alive = true;
         slot.last_seen = Instant::now();
         slot.writer = Some(write_half);
-        slot.dead_steps = 0;
         spawn_reader(stream, id, slot.epoch, self.event_tx.clone());
     }
 
@@ -646,137 +712,11 @@ impl MasterLoop {
         stale
     }
 
-    /// Bumps per-slot dead-step counters and runs placement repair on any
-    /// worker that crossed the permanent-death threshold. Returns the
-    /// reassignments applied (empty almost always).
-    fn step_start_repairs(&mut self) -> Vec<RepairEvent> {
-        for slot in &mut self.slots {
-            if slot.alive {
-                slot.dead_steps = 0;
-            } else {
-                slot.dead_steps += 1;
-            }
-        }
-        let Some(threshold) = self.config.repair_after_steps else {
-            return Vec::new();
-        };
-        let mut events = Vec::new();
-        for dead in 0..self.n() {
-            if self.slots[dead].dead_steps >= threshold && !self.assignments[dead].is_empty() {
-                events.extend(self.repair_worker(dead));
-            }
-        }
-        if !events.is_empty() {
-            self.rebuild_graph();
-            self.repaired = true;
-            // Re-issue Assign frames to every survivor whose partition list
-            // grew, over the existing connections.
-            let touched: std::collections::BTreeSet<usize> = events.iter().map(|e| e.to).collect();
-            for id in touched {
-                let message = self.assign_message(id);
-                let slot = &mut self.slots[id];
-                let ok = slot
-                    .writer
-                    .as_mut()
-                    .is_some_and(|w| write_message(w, &message).is_ok());
-                if !ok {
-                    slot.alive = false;
-                    slot.writer = None;
-                }
-            }
-        }
-        events
-    }
-
-    /// Re-homes every partition of permanently-dead worker `dead` onto a
-    /// survivor, choosing per partition the adopter that adds the fewest
-    /// new conflict-graph edges (ties: fewest partitions held, then lowest
-    /// id — fully deterministic).
-    fn repair_worker(&mut self, dead: usize) -> Vec<RepairEvent> {
-        let lost: Vec<usize> = std::mem::take(&mut self.assignments[dead]);
-        let mut events = Vec::with_capacity(lost.len());
-        for j in lost {
-            let adopter = self.pick_adopter(dead, j);
-            let Some(to) = adopter else { continue };
-            self.assignments[to].push(j);
-            self.assignments[to].sort_unstable();
-            events.push(RepairEvent {
-                partition: j,
-                from: dead,
-                to,
-            });
-        }
-        events
-    }
-
-    /// The survivor that should adopt partition `j`, or `None` when no
-    /// eligible survivor exists (everyone else holds `j` already or is
-    /// itself stripped/dead).
-    fn pick_adopter(&self, dead: usize, j: usize) -> Option<usize> {
-        let holders: Vec<usize> = (0..self.n())
-            .filter(|&w| w != dead && self.assignments[w].contains(&j))
-            .collect();
-        let mut best: Option<(usize, usize, usize)> = None; // (cost, load, id)
-        for w in 0..self.n() {
-            if w == dead
-                || self.assignments[w].is_empty()
-                || !self.slots[w].alive
-                || self.assignments[w].contains(&j)
-            {
-                continue;
-            }
-            // New edges = holders of j this worker does not already
-            // conflict with (sharing any partition).
-            let cost = holders
-                .iter()
-                .filter(|&&h| {
-                    !self.assignments[w]
-                        .iter()
-                        .any(|p| self.assignments[h].contains(p))
-                })
-                .count();
-            let key = (cost, self.assignments[w].len(), w);
-            if best.is_none_or(|b| key < b) {
-                best = Some(key);
-            }
-        }
-        best.map(|(_, _, id)| id)
-    }
-
-    /// Rebuilds the conflict graph from the current assignments.
-    fn rebuild_graph(&mut self) {
-        let n = self.n();
-        let mut edges = Vec::new();
-        for a in 0..n {
-            for b in a + 1..n {
-                if self.assignments[a]
-                    .iter()
-                    .any(|p| self.assignments[b].contains(p))
-                {
-                    edges.push((a, b));
-                }
-            }
-        }
-        self.graph = ConflictGraph::from_edges(n, &edges);
-    }
-
-    /// Decodes one step's arrivals: the scheme decoder while the placement
-    /// is intact, an exact MIS over the repaired conflict graph afterwards.
-    /// Returns the selected workers and the number of recovered partitions.
-    fn decode_step(&self, available: &WorkerSet, rng: &mut StdRng) -> (Vec<usize>, usize) {
-        if !self.repaired {
-            let result = self.decoder.decode(available, rng);
-            return (result.selected().to_vec(), result.recovered_count());
-        }
-        let selected = self.graph.max_independent_set(available);
-        // Selected workers are pairwise non-conflicting, so their partition
-        // sets are disjoint: recovery is the plain sum of their sizes.
-        let recovered = selected.iter().map(|&w| self.assignments[w].len()).sum();
-        (selected, recovered)
-    }
-
     /// Restores checkpointed state if a checkpoint exists; returns the step
-    /// to resume at and the parameters to resume with.
+    /// to resume at and the parameters to resume with. The restored
+    /// assignment table is handed to the engine via
+    /// [`StepEngine::resume_from`], which re-enters the repaired decode path
+    /// when the table diverged from the placement.
     fn try_resume(&mut self, params: &mut Vector) -> Result<u64, NetError> {
         let Some(ck_config) = self.config.checkpoint.clone() else {
             return Ok(0);
@@ -792,12 +732,6 @@ impl MasterLoop {
             .iter()
             .map(|list| list.iter().map(|&j| j as usize).collect())
             .collect();
-        let pristine = (0..n)
-            .all(|w| self.assignments[w].as_slice() == self.config.placement.partitions_of(w));
-        if !pristine {
-            self.rebuild_graph();
-            self.repaired = true;
-        }
         Ok(ck.step)
     }
 
@@ -822,120 +756,6 @@ impl MasterLoop {
                 .collect(),
         };
         ck.save(&ck_config.path)
-    }
-
-    /// The full training session.
-    fn train<M: Model>(
-        &mut self,
-        model: &M,
-        dataset: &Dataset,
-        observer: &mut impl FnMut(&NetReport) -> StepControl,
-    ) -> Result<(NetTrainReport, SessionEnd), NetError> {
-        let n = self.n();
-        // Parameter initialization is a pure function of the seed, so a
-        // resumed master can overwrite it from the checkpoint and a fresh
-        // one matches any peer that recomputes it.
-        let mut init_rng =
-            StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut params = model.init_params(&mut init_rng);
-        let start_step = self.try_resume(&mut params)?;
-
-        self.await_registration()?;
-
-        let mut opt = Sgd::new(self.config.learning_rate);
-        let all_indices: Vec<usize> = (0..dataset.len()).collect();
-        let mut steps = Vec::with_capacity(self.config.max_steps);
-        let mut reached_threshold = false;
-        let started = Instant::now();
-
-        for step in start_step..self.config.max_steps as u64 {
-            let repairs = self.step_start_repairs();
-            let pre_stale = self.await_rejoins();
-            self.broadcast(&Message::Params {
-                step,
-                values: params.as_slice().to_vec(),
-            });
-            let collected = self.collect_step(step)?;
-
-            let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
-            let mut rng = step_rng(self.config.seed, step);
-            let (selected, recovered) = self.decode_step(&available, &mut rng);
-            if recovered == 0 {
-                // No gradient at all, yet workers are nominally alive: the
-                // run is spinning without progress. Surface it as a typed
-                // error instead of silently looping.
-                return Err(NetError::Degraded {
-                    step,
-                    recovered,
-                    bound: bounds::recovery_lower_bound(
-                        n,
-                        self.config.placement.c(),
-                        self.alive_count().min(n),
-                    ),
-                });
-            }
-            let mut g = Vector::zeros(params.len());
-            for &w in &selected {
-                g.axpy(
-                    1.0,
-                    collected.codewords[w]
-                        .as_ref()
-                        .expect("decoder selects only arrived workers"),
-                );
-            }
-            // Paper-faithful normalization (Theorem 12's η·|D_d|): ĝ is
-            // a sum of per-partition batch sums; scale once by the batch
-            // size, matching isgc-runtime.
-            g.scale(1.0 / self.config.batch_size as f64);
-            opt.step(&mut params, &g);
-            let loss = model.loss_mean(&params, dataset, &all_indices);
-            self.maybe_checkpoint(step + 1, &params)?;
-            let report = NetReport {
-                step,
-                arrivals: collected.arrivals,
-                waited_ms: collected.waited.as_secs_f64() * 1e3,
-                ignored: (0..n).filter(|w| !selected.contains(w)).collect(),
-                selected,
-                recovered,
-                dead: self
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| !s.alive)
-                    .map(|(i, _)| i)
-                    .collect(),
-                declined: collected.declined,
-                repairs,
-                stale: collected.stale + pre_stale,
-                loss,
-            };
-            let control = observer(&report);
-            steps.push(report);
-            if control == StepControl::Crash {
-                return Ok((
-                    NetTrainReport {
-                        steps,
-                        reached_threshold: false,
-                        wall_time: started.elapsed().as_secs_f64(),
-                        final_params: params,
-                    },
-                    SessionEnd::Crashed,
-                ));
-            }
-            if loss <= self.config.loss_threshold {
-                reached_threshold = true;
-                break;
-            }
-        }
-        Ok((
-            NetTrainReport {
-                steps,
-                reached_threshold,
-                wall_time: started.elapsed().as_secs_f64(),
-                final_params: params,
-            },
-            SessionEnd::Completed,
-        ))
     }
 
     /// Collects one step's codewords under the configured wait policy.
@@ -983,7 +803,7 @@ impl MasterLoop {
                 }
                 // A step that closes with zero arrivals but alive workers
                 // (FirstW with everyone freshly dead-marked or declining)
-                // is reported upstream as Degraded by the caller.
+                // is reported upstream as Degraded by the engine.
                 return Ok(CollectedStep {
                     arrivals,
                     codewords,
@@ -1093,86 +913,23 @@ mod tests {
     }
 
     #[test]
-    fn step_rng_is_stable_per_step_and_differs_across_steps() {
-        use rand::RngCore;
-        let a = step_rng(7, 3).next_u64();
-        let b = step_rng(7, 3).next_u64();
-        let c = step_rng(7, 4).next_u64();
-        assert_eq!(a, b);
-        assert_ne!(a, c);
-    }
-
-    /// Placement repair picks the adopter that adds the fewest conflict
-    /// edges and strips the dead worker.
-    #[test]
-    fn repair_reassigns_partitions_deterministically() {
-        let placement = Placement::fractional(4, 2).unwrap();
-        let config = NetConfig::new(placement.clone(), WaitPolicy::FirstW(4));
-        let (event_tx, event_rx) = unbounded::<Event>();
-        let mut loop_state = MasterLoop {
-            slots: (0..4)
-                .map(|_| Slot {
-                    writer: None,
-                    epoch: 0,
-                    alive: true,
-                    registered: true,
-                    last_seen: Instant::now(),
-                    dead_steps: 0,
-                })
-                .collect(),
-            event_rx,
-            event_tx,
-            config,
-            decoder: Box::new(ExactDecoder::new(&placement)),
-            assignments: (0..4)
-                .map(|w| placement.partitions_of(w).to_vec())
-                .collect(),
-            graph: ConflictGraph::from_placement(&placement),
-            repaired: false,
-        };
-        // FR(4,2): workers {0,1} hold {0,1}; workers {2,3} hold {2,3}.
-        loop_state.slots[3].alive = false;
-        let events = loop_state.repair_worker(3);
-        loop_state.rebuild_graph();
-        assert_eq!(events.len(), 2, "{events:?}");
-        assert!(loop_state.assignments[3].is_empty());
-        // Partitions 2 and 3 each gained a new replica on a survivor, and
-        // every survivor's list is duplicate-free.
-        for e in &events {
-            assert!(loop_state.assignments[e.to].contains(&e.partition));
-            let mut sorted = loop_state.assignments[e.to].clone();
-            sorted.dedup();
-            assert_eq!(sorted, loop_state.assignments[e.to]);
-        }
-        // Deterministic: rerunning the same scenario picks identically.
-        let events2 = {
-            let placement = Placement::fractional(4, 2).unwrap();
-            let config = NetConfig::new(placement.clone(), WaitPolicy::FirstW(4));
-            let (event_tx, event_rx) = unbounded::<Event>();
-            let mut ls = MasterLoop {
-                slots: (0..4)
-                    .map(|_| Slot {
-                        writer: None,
-                        epoch: 0,
-                        alive: true,
-                        registered: true,
-                        last_seen: Instant::now(),
-                        dead_steps: 0,
-                    })
-                    .collect(),
-                event_rx,
-                event_tx,
-                config,
-                decoder: Box::new(ExactDecoder::new(&placement)),
-                assignments: (0..4)
-                    .map(|w| placement.partitions_of(w).to_vec())
-                    .collect(),
-                graph: ConflictGraph::from_placement(&placement),
-                repaired: false,
-            };
-            ls.slots[3].alive = false;
-            ls.repair_worker(3)
-        };
-        assert_eq!(events, events2);
+    fn engine_errors_map_back_to_typed_net_errors() {
+        let degraded = engine_to_net(EngineError::Degraded {
+            step: 3,
+            recovered: 0,
+            bound: 2,
+        });
+        assert!(matches!(
+            degraded,
+            NetError::Degraded {
+                step: 3,
+                recovered: 0,
+                bound: 2
+            }
+        ));
+        let roundtrip = engine_to_net(backend(NetError::AllWorkersLost));
+        assert!(matches!(roundtrip, NetError::AllWorkersLost));
+        let invalid = engine_to_net(EngineError::InvalidConfig("nope".into()));
+        assert!(matches!(invalid, NetError::InvalidConfig(_)));
     }
 }

@@ -1,146 +1,8 @@
-//! Per-step and per-run measurements of a networked training run.
+//! Per-step and per-run measurements for networked training.
+//!
+//! These are the engine's unified reporting types ([`isgc_engine::StepReport`]
+//! and [`isgc_engine::TrainReport`]) under this crate's historical names, so
+//! a TCP run, a simulated run, and a threaded run all produce structurally
+//! identical, directly comparable records.
 
-use isgc_linalg::Vector;
-
-/// One partition reassignment performed by placement repair: partition
-/// `partition` moved from permanently-dead worker `from` to survivor `to`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RepairEvent {
-    /// The partition whose lost replica was re-homed.
-    pub partition: usize,
-    /// The worker declared permanently dead.
-    pub from: usize,
-    /// The survivor that adopted the partition.
-    pub to: usize,
-}
-
-/// What the master observed during one training step, mirroring
-/// `isgc_runtime::ThreadedReport` but with per-step network detail.
-#[derive(Debug, Clone, PartialEq)]
-pub struct NetReport {
-    /// The step this report describes.
-    pub step: u64,
-    /// Workers whose codeword for this step arrived in time, arrival order.
-    pub arrivals: Vec<usize>,
-    /// How long the master waited collecting codewords, in milliseconds.
-    pub waited_ms: f64,
-    /// The decoder's chosen ignoring-set complement `I` (selected workers).
-    pub selected: Vec<usize>,
-    /// Number of partitions recovered by the decode.
-    pub recovered: usize,
-    /// Workers whose gradient did not contribute this step (ignored
-    /// stragglers plus dead workers).
-    pub ignored: Vec<usize>,
-    /// Workers the master considered dead when the step closed.
-    pub dead: Vec<usize>,
-    /// Workers that declined this step (fast-fail straggler signal).
-    pub declined: Vec<usize>,
-    /// Partition reassignments applied at the start of this step by
-    /// placement repair (empty unless a worker was declared permanently
-    /// dead right before this step).
-    pub repairs: Vec<RepairEvent>,
-    /// Late codewords from earlier steps discarded while collecting.
-    pub stale: usize,
-    /// Full-dataset training loss after the update.
-    pub loss: f64,
-}
-
-/// The complete record of a networked training run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct NetTrainReport {
-    /// One report per executed step.
-    pub steps: Vec<NetReport>,
-    /// Whether the loss threshold was reached before the step cap.
-    pub reached_threshold: bool,
-    /// Wall-clock duration of the run, in seconds.
-    pub wall_time: f64,
-    /// The trained parameter vector.
-    pub final_params: Vector,
-}
-
-impl NetTrainReport {
-    /// Number of steps executed.
-    pub fn step_count(&self) -> usize {
-        self.steps.len()
-    }
-
-    /// Final training loss, or `+∞` if no step ran.
-    pub fn final_loss(&self) -> f64 {
-        self.steps.last().map_or(f64::INFINITY, |s| s.loss)
-    }
-
-    /// The loss after each step.
-    pub fn loss_curve(&self) -> Vec<f64> {
-        self.steps.iter().map(|s| s.loss).collect()
-    }
-
-    /// Mean fraction of partitions recovered per step (`n` partitions total).
-    pub fn mean_recovered_fraction(&self, n: usize) -> f64 {
-        if self.steps.is_empty() || n == 0 {
-            return 0.0;
-        }
-        self.steps
-            .iter()
-            .map(|s| s.recovered as f64 / n as f64)
-            .sum::<f64>()
-            / self.steps.len() as f64
-    }
-
-    /// Mean per-step collection wait, in milliseconds.
-    pub fn mean_waited_ms(&self) -> f64 {
-        if self.steps.is_empty() {
-            return 0.0;
-        }
-        self.steps.iter().map(|s| s.waited_ms).sum::<f64>() / self.steps.len() as f64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn step(step: u64, recovered: usize, waited_ms: f64, loss: f64) -> NetReport {
-        NetReport {
-            step,
-            arrivals: vec![0, 1],
-            waited_ms,
-            selected: vec![0, 1],
-            recovered,
-            ignored: vec![2],
-            dead: vec![],
-            declined: vec![],
-            repairs: vec![],
-            stale: 0,
-            loss,
-        }
-    }
-
-    #[test]
-    fn empty_report_defaults() {
-        let r = NetTrainReport {
-            steps: vec![],
-            reached_threshold: false,
-            wall_time: 0.0,
-            final_params: Vector::zeros(1),
-        };
-        assert_eq!(r.step_count(), 0);
-        assert_eq!(r.final_loss(), f64::INFINITY);
-        assert_eq!(r.mean_recovered_fraction(4), 0.0);
-        assert_eq!(r.mean_waited_ms(), 0.0);
-    }
-
-    #[test]
-    fn aggregates_compute() {
-        let r = NetTrainReport {
-            steps: vec![step(0, 4, 10.0, 0.8), step(1, 2, 30.0, 0.4)],
-            reached_threshold: true,
-            wall_time: 1.0,
-            final_params: Vector::zeros(1),
-        };
-        assert_eq!(r.step_count(), 2);
-        assert_eq!(r.final_loss(), 0.4);
-        assert_eq!(r.loss_curve(), vec![0.8, 0.4]);
-        assert!((r.mean_recovered_fraction(4) - 0.75).abs() < 1e-12);
-        assert!((r.mean_waited_ms() - 20.0).abs() < 1e-12);
-    }
-}
+pub use isgc_engine::{RepairEvent, StepReport as NetReport, TrainReport as NetTrainReport};

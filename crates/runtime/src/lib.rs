@@ -14,30 +14,32 @@
 //!   fell behind skip straight to the newest parameters, exactly like an
 //!   asynchronous parameter server wrapped in synchronous rounds.
 //!
-//! This is intentionally the *same* algorithmic core as the simulator — the
-//! decoders, encoder, models, and batch selection are shared crates — so it
-//! demonstrates the system end-to-end with genuine concurrency.
+//! The step semantics — decode, normalize, update, stop — live in
+//! [`isgc_engine::StepEngine`], shared with the simulator and the TCP
+//! runtime; this crate contributes only the thread-and-channel
+//! [`isgc_engine::Collector`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod report;
 mod worker;
 
-pub use report::ThreadedReport;
+pub use isgc_engine::{StepReport, TrainReport};
+
+/// Measurements from a threaded run — the engine's unified report.
+pub type ThreadedReport = isgc_engine::TrainReport;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use isgc_core::decode::{CrDecoder, Decoder, FrDecoder, HrDecoder};
-use isgc_core::{Placement, Scheme, WorkerSet};
+use isgc_core::Placement;
+use isgc_engine::{
+    CodecSpec, Collected, Collector, EngineConfig, NoopObserver, StepContext, StepEngine,
+};
 use isgc_linalg::Vector;
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::Model;
-use isgc_ml::optimizer::Sgd;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use worker::{spawn_worker, Command, Reply};
 
@@ -108,6 +110,173 @@ impl std::fmt::Debug for ThreadedConfig {
     }
 }
 
+/// The thread-backed [`Collector`]: broadcasts parameters over crossbeam
+/// channels and gathers this step's codewords per the collection rule.
+struct RuntimeCollector {
+    cmd_txs: Vec<Sender<Command>>,
+    reply_rx: Receiver<Reply>,
+    collection: Collection,
+    n: usize,
+    /// Whether a deadline step that collected nothing blocks for one
+    /// codeword (IS-GC's progress guarantee; classic GC has no use for a
+    /// single codeword, so it reports a failed decode instead).
+    ensure_progress: bool,
+}
+
+impl RuntimeCollector {
+    fn accept(
+        &self,
+        reply: Reply,
+        step: u64,
+        arrivals: &mut Vec<usize>,
+        codewords: &mut [Option<Vector>],
+        stale: &mut usize,
+    ) {
+        if reply.step == step {
+            if codewords[reply.worker].is_none() {
+                arrivals.push(reply.worker);
+                codewords[reply.worker] = Some(reply.codeword);
+            }
+        } else {
+            *stale += 1;
+        }
+    }
+}
+
+impl Collector for RuntimeCollector {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, isgc_engine::EngineError> {
+        let step = ctx.step;
+        let started = Instant::now();
+        let shared = Arc::new(ctx.params.clone());
+        for tx in &self.cmd_txs {
+            tx.send(Command::Step {
+                step,
+                params: Arc::clone(&shared),
+            })
+            .expect("worker hung up");
+        }
+        let mut arrivals: Vec<usize> = Vec::new();
+        let mut codewords: Vec<Option<Vector>> = vec![None; self.n];
+        let mut stale = 0usize;
+        match self.collection {
+            Collection::WaitForCount(w) => {
+                // ray.wait(w): block for the first w codewords of this step.
+                while arrivals.len() < w {
+                    let reply = self.reply_rx.recv().expect("all workers hung up");
+                    self.accept(reply, step, &mut arrivals, &mut codewords, &mut stale);
+                }
+            }
+            Collection::Deadline(deadline) => {
+                let cutoff = Instant::now() + deadline;
+                // Ends on deadline expiry (recv error) or full attendance.
+                while let Ok(reply) = self.reply_rx.recv_deadline(cutoff) {
+                    self.accept(reply, step, &mut arrivals, &mut codewords, &mut stale);
+                    if arrivals.len() == self.n {
+                        break; // everyone arrived early
+                    }
+                }
+                // Guarantee progress: if nothing arrived, block for one.
+                while self.ensure_progress && arrivals.is_empty() {
+                    let reply = self.reply_rx.recv().expect("all workers hung up");
+                    self.accept(reply, step, &mut arrivals, &mut codewords, &mut stale);
+                }
+            }
+        }
+        let waited = started.elapsed().as_secs_f64();
+        Ok(Collected {
+            arrivals,
+            codewords,
+            declined: Vec::new(),
+            stale,
+            waited_ms: waited * 1e3,
+            duration: waited,
+        })
+    }
+}
+
+/// Spawns the worker threads and drives a [`StepEngine`] over them.
+fn run_threaded<M>(
+    model: M,
+    dataset: Dataset,
+    placement: &Placement,
+    codec: CodecSpec,
+    weights_of: impl Fn(usize) -> Vec<f64>,
+    ensure_progress: bool,
+    config: &ThreadedConfig,
+) -> ThreadedReport
+where
+    M: Model + Clone + Send + Sync + 'static,
+{
+    let n = placement.n();
+    let collection = config.effective_collection();
+    if let Collection::WaitForCount(w) = collection {
+        assert!((1..=n).contains(&w), "wait_for must be within 1..=n");
+    }
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    assert!(config.max_steps > 0, "max_steps must be positive");
+
+    let dataset = Arc::new(dataset);
+    let model = Arc::new(model);
+
+    // Spawn workers, each with a private command channel and a shared reply
+    // channel back to the master.
+    let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for w in 0..n {
+        let (tx, rx) = unbounded::<Command>();
+        cmd_txs.push(tx);
+        handles.push(spawn_worker(
+            w,
+            placement.partitions_of(w).to_vec(),
+            weights_of(w),
+            Arc::clone(&model),
+            Arc::clone(&dataset),
+            n,
+            config.batch_size,
+            config.seed,
+            Arc::clone(&config.delay),
+            rx,
+            reply_tx.clone(),
+        ));
+    }
+    drop(reply_tx); // master keeps only the receiver
+
+    let mut engine_config = EngineConfig::new(placement.clone());
+    engine_config.codec = codec;
+    engine_config.batch_size = config.batch_size;
+    engine_config.learning_rate = config.learning_rate;
+    engine_config.loss_threshold = config.loss_threshold;
+    engine_config.max_steps = config.max_steps as u64;
+    engine_config.seed = config.seed;
+    let mut engine = StepEngine::new(engine_config)
+        .unwrap_or_else(|e| panic!("invalid threaded training config: {e}"));
+
+    let mut collector = RuntimeCollector {
+        cmd_txs,
+        reply_rx,
+        collection,
+        n,
+        ensure_progress,
+    };
+    let report = engine
+        .run(&*model, &dataset, None, &mut collector, &mut NoopObserver)
+        .unwrap_or_else(|e| panic!("threaded training failed: {e}"));
+
+    for tx in &collector.cmd_txs {
+        // A worker that already exited is fine — ignore send errors.
+        let _ = tx.send(Command::Shutdown);
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    report
+}
+
 /// Runs IS-GC training on real threads: one master (the calling thread) and
 /// `placement.n()` workers.
 ///
@@ -140,7 +309,7 @@ impl std::fmt::Debug for ThreadedConfig {
 ///     delay: Arc::new(|_, _| Duration::ZERO),
 /// };
 /// let report = train_threaded(LinearRegression::new(3), dataset, &placement, &config);
-/// assert!(report.steps > 0);
+/// assert!(report.step_count() > 0);
 /// # Ok(())
 /// # }
 /// ```
@@ -153,139 +322,15 @@ pub fn train_threaded<M>(
 where
     M: Model + Clone + Send + Sync + 'static,
 {
-    let n = placement.n();
-    let collection = config.effective_collection();
-    if let Collection::WaitForCount(w) = collection {
-        assert!((1..=n).contains(&w), "wait_for must be within 1..=n");
-    }
-    assert!(config.batch_size > 0, "batch_size must be positive");
-    assert!(config.max_steps > 0, "max_steps must be positive");
-
-    let decoder: Box<dyn Decoder> = match placement.scheme() {
-        Scheme::Fractional => Box::new(FrDecoder::new(placement).expect("FR placement")),
-        Scheme::Cyclic => Box::new(CrDecoder::new(placement).expect("CR placement")),
-        Scheme::Hybrid => Box::new(HrDecoder::new(placement).expect("HR placement")),
-        Scheme::Custom => Box::new(isgc_core::decode::ExactDecoder::new(placement)),
-    };
-
-    let dataset = Arc::new(dataset);
-    let model = Arc::new(model);
-    let all_indices: Vec<usize> = (0..dataset.len()).collect();
-
-    // Spawn workers, each with a private command channel and a shared reply
-    // channel back to the master.
-    let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
-    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
-    for w in 0..n {
-        let (tx, rx) = unbounded::<Command>();
-        cmd_txs.push(tx);
-        handles.push(spawn_worker(
-            w,
-            placement.partitions_of(w).to_vec(),
-            vec![1.0; placement.c()],
-            Arc::clone(&model),
-            Arc::clone(&dataset),
-            n,
-            config.batch_size,
-            config.seed,
-            Arc::clone(&config.delay),
-            rx,
-            reply_tx.clone(),
-        ));
-    }
-    drop(reply_tx); // master keeps only the receiver
-
-    let mut master_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let mut params = model.init_params(&mut master_rng);
-    let dim = params.len();
-    let mut opt = Sgd::new(config.learning_rate);
-
-    let mut report = ThreadedReport::default();
-    let started = Instant::now();
-
-    for step in 0..config.max_steps as u64 {
-        let step_started = Instant::now();
-        let shared = Arc::new(params.clone());
-        for tx in &cmd_txs {
-            tx.send(Command::Step {
-                step,
-                params: Arc::clone(&shared),
-            })
-            .expect("worker hung up");
-        }
-        // Collect this step's codewords; stale replies from previous
-        // rounds are discarded.
-        let mut available = WorkerSet::empty(n);
-        let mut codewords: Vec<Option<Vector>> = vec![None; n];
-        match collection {
-            Collection::WaitForCount(w) => {
-                // ray.wait(w): block for the first w codewords of this step.
-                while available.len() < w {
-                    let reply = reply_rx.recv().expect("all workers hung up");
-                    if reply.step == step && !available.contains(reply.worker) {
-                        available.insert(reply.worker);
-                        codewords[reply.worker] = Some(reply.codeword);
-                    }
-                }
-            }
-            Collection::Deadline(deadline) => {
-                let cutoff = Instant::now() + deadline;
-                // Ends on deadline expiry (recv error) or full attendance.
-                while let Ok(reply) = reply_rx.recv_deadline(cutoff) {
-                    if reply.step == step && !available.contains(reply.worker) {
-                        available.insert(reply.worker);
-                        codewords[reply.worker] = Some(reply.codeword);
-                        if available.len() == n {
-                            break; // everyone arrived early
-                        }
-                    }
-                }
-                // Guarantee progress: if nothing arrived, block for one.
-                while available.is_empty() {
-                    let reply = reply_rx.recv().expect("all workers hung up");
-                    if reply.step == step {
-                        available.insert(reply.worker);
-                        codewords[reply.worker] = Some(reply.codeword);
-                    }
-                }
-            }
-        }
-        let result = decoder.decode(&available, &mut master_rng);
-        let recovered = result.recovered_count();
-        report.recovered_fractions.push(recovered as f64 / n as f64);
-        if recovered > 0 {
-            let mut g = Vector::zeros(dim);
-            for &w in result.selected() {
-                g.axpy(1.0, codewords[w].as_ref().expect("selected ⊆ available"));
-            }
-            // Paper-faithful normalization: ĝ is the sum of per-partition
-            // batch means, so the update scales with the recovery level
-            // (Theorem 12's η·|D_d|).
-            g.scale(1.0 / config.batch_size as f64);
-            opt.step(&mut params, &g);
-        }
-        report
-            .step_durations
-            .push(step_started.elapsed().as_secs_f64());
-        let loss = model.loss_mean(&params, &dataset, &all_indices);
-        report.loss_curve.push(loss);
-        report.steps = step as usize + 1;
-        if loss <= config.loss_threshold {
-            report.reached_threshold = true;
-            break;
-        }
-    }
-    report.wall_time = started.elapsed().as_secs_f64();
-
-    for tx in &cmd_txs {
-        // A worker that already exited is fine — ignore send errors.
-        let _ = tx.send(Command::Shutdown);
-    }
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
-    report
+    run_threaded(
+        model,
+        dataset,
+        placement,
+        CodecSpec::Scheme,
+        |_| vec![1.0; placement.c()],
+        true,
+        config,
+    )
 }
 
 /// Runs **classic gradient coding** (Tandon et al.) on real threads: workers
@@ -295,7 +340,7 @@ where
 ///
 /// Steps whose collected set cannot decode (possible under a deadline
 /// collection) apply no update and are counted in
-/// [`ThreadedReport::failed_decodes`].
+/// [`TrainReport::failed_decodes`].
 ///
 /// # Panics
 ///
@@ -309,126 +354,22 @@ pub fn train_threaded_classic<M>(
 where
     M: Model + Clone + Send + Sync + 'static,
 {
-    let placement = gc.placement();
-    let n = placement.n();
-    let collection = config.effective_collection();
-    if let Collection::WaitForCount(w) = collection {
-        assert!((1..=n).contains(&w), "wait_for must be within 1..=n");
-    }
-    assert!(config.batch_size > 0, "batch_size must be positive");
-    assert!(config.max_steps > 0, "max_steps must be positive");
-
-    let dataset = Arc::new(dataset);
-    let model = Arc::new(model);
-    let all_indices: Vec<usize> = (0..dataset.len()).collect();
-
-    let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
-    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
-    for w in 0..n {
-        let partitions = placement.partitions_of(w).to_vec();
-        let weights: Vec<f64> = partitions
-            .iter()
-            .map(|&j| gc.coefficients()[(w, j)])
-            .collect();
-        cmd_txs.push({
-            let (tx, rx) = unbounded::<Command>();
-            handles.push(spawn_worker(
-                w,
-                partitions,
-                weights,
-                Arc::clone(&model),
-                Arc::clone(&dataset),
-                n,
-                config.batch_size,
-                config.seed,
-                Arc::clone(&config.delay),
-                rx,
-                reply_tx.clone(),
-            ));
-            tx
-        });
-    }
-    drop(reply_tx);
-
-    let mut master_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let mut params = model.init_params(&mut master_rng);
-    let dim = params.len();
-    let mut opt = Sgd::new(config.learning_rate);
-    let mut report = ThreadedReport::default();
-    let started = Instant::now();
-
-    for step in 0..config.max_steps as u64 {
-        let step_started = Instant::now();
-        let shared = Arc::new(params.clone());
-        for tx in &cmd_txs {
-            tx.send(Command::Step {
-                step,
-                params: Arc::clone(&shared),
-            })
-            .expect("worker hung up");
-        }
-        let mut available = WorkerSet::empty(n);
-        let mut codewords: Vec<Option<Vector>> = vec![None; n];
-        // Same collection logic as the IS-GC path, specialized to counts
-        // (classic GC needs at least n − c + 1 anyway).
-        match collection {
-            Collection::WaitForCount(w) => {
-                while available.len() < w {
-                    let reply = reply_rx.recv().expect("all workers hung up");
-                    if reply.step == step && !available.contains(reply.worker) {
-                        available.insert(reply.worker);
-                        codewords[reply.worker] = Some(reply.codeword);
-                    }
-                }
-            }
-            Collection::Deadline(deadline) => {
-                let cutoff = Instant::now() + deadline;
-                while let Ok(reply) = reply_rx.recv_deadline(cutoff) {
-                    if reply.step == step && !available.contains(reply.worker) {
-                        available.insert(reply.worker);
-                        codewords[reply.worker] = Some(reply.codeword);
-                        if available.len() == n {
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-        match gc.decoding_vector(&available) {
-            Ok(decoding) => {
-                report.recovered_fractions.push(1.0);
-                let mut g = Vector::zeros(dim);
-                for (wid, coeff) in decoding {
-                    g.axpy(coeff, codewords[wid].as_ref().expect("collected"));
-                }
-                g.scale(1.0 / config.batch_size as f64);
-                opt.step(&mut params, &g);
-            }
-            Err(_) => {
-                report.recovered_fractions.push(0.0);
-                report.failed_decodes += 1;
-            }
-        }
-        report
-            .step_durations
-            .push(step_started.elapsed().as_secs_f64());
-        let loss = model.loss_mean(&params, &dataset, &all_indices);
-        report.loss_curve.push(loss);
-        report.steps = step as usize + 1;
-        if loss <= config.loss_threshold {
-            report.reached_threshold = true;
-            break;
-        }
-    }
-    report.wall_time = started.elapsed().as_secs_f64();
-    for tx in &cmd_txs {
-        let _ = tx.send(Command::Shutdown);
-    }
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
-    report
+    let placement = gc.placement().clone();
+    run_threaded(
+        model,
+        dataset,
+        &placement,
+        CodecSpec::Classic(gc.clone()),
+        |w| {
+            placement
+                .partitions_of(w)
+                .iter()
+                .map(|&j| gc.coefficients()[(w, j)])
+                .collect()
+        },
+        false,
+        config,
+    )
 }
 
 #[cfg(test)]
@@ -461,7 +402,7 @@ mod tests {
         );
         assert!(report.reached_threshold, "loss={}", report.final_loss());
         assert!(report.wall_time > 0.0);
-        assert_eq!(report.loss_curve.len(), report.steps);
+        assert_eq!(report.loss_curve().len(), report.step_count());
     }
 
     #[test]
@@ -484,7 +425,7 @@ mod tests {
         );
         assert!(report.reached_threshold, "loss={}", report.final_loss());
         // w = 2, c = 2: recovery at least 50% every step.
-        for &f in &report.recovered_fractions {
+        for &f in &report.recovered_fractions() {
             assert!(f >= 0.5, "fraction {f}");
         }
     }
@@ -499,7 +440,7 @@ mod tests {
             &placement,
             &config(2, Arc::new(|_, _| Duration::ZERO)),
         );
-        assert!(report.steps > 0);
+        assert!(report.step_count() > 0);
         assert!(report.mean_recovered_fraction() >= 0.5);
     }
 
@@ -507,6 +448,7 @@ mod tests {
     fn classic_gc_runs_on_threads_and_converges() {
         use isgc_core::classic::ClassicGc;
         use rand::rngs::StdRng as TestRng;
+        use rand::SeedableRng;
         let mut rng = TestRng::seed_from_u64(17);
         let gc = ClassicGc::cyclic(4, 2, &mut rng).unwrap();
         let data = Dataset::synthetic_regression(128, 3, 0.02, 9);
@@ -520,21 +462,22 @@ mod tests {
         });
         let report = train_threaded_classic(LinearRegression::new(3), data, &gc, &config(3, delay));
         assert!(report.reached_threshold, "loss={}", report.final_loss());
-        assert_eq!(report.failed_decodes, 0);
-        assert!(report.recovered_fractions.iter().all(|&f| f == 1.0));
+        assert_eq!(report.failed_decodes(), 0);
+        assert!(report.recovered_fractions().iter().all(|&f| f == 1.0));
     }
 
     #[test]
     fn classic_gc_below_minimum_never_updates() {
         use isgc_core::classic::ClassicGc;
         use rand::rngs::StdRng as TestRng;
+        use rand::SeedableRng;
         let mut rng = TestRng::seed_from_u64(18);
         let gc = ClassicGc::cyclic(4, 2, &mut rng).unwrap();
         let data = Dataset::synthetic_regression(64, 3, 0.02, 10);
         let mut cfg = config(2, Arc::new(|_, _| Duration::ZERO)); // below n-c+1=3
         cfg.max_steps = 5;
         let report = train_threaded_classic(LinearRegression::new(3), data, &gc, &cfg);
-        assert_eq!(report.failed_decodes, 5);
+        assert_eq!(report.failed_decodes(), 5);
         assert!(!report.reached_threshold);
     }
 

@@ -13,20 +13,29 @@
 //!    replicas;
 //! 4. repeat until the training loss reaches a threshold.
 //!
+//! Steps 3–4 — decode, repair, bounds, normalization, the SGD update, and
+//! reporting — are [`isgc_engine::StepEngine`]'s job; this module supplies
+//! the simulation-backed [`isgc_engine::Collector`] (arrival sampling plus
+//! synchronous codeword computation) and the scheme-to-config mapping.
+//!
 //! Per-partition gradients are computed once and shared between worker
 //! replicas — numerically identical to computing them on each worker, since
 //! batches are deterministic per partition.
 
 use isgc_core::classic::ClassicGc;
-use isgc_core::decode::{ArrivalOrderDecoder, CrDecoder, Decoder, FrDecoder, HrDecoder};
-use isgc_core::encode::SumEncoder;
-use isgc_core::{Placement, Scheme};
+use isgc_core::Placement;
+use isgc_engine::{
+    Collected, Collector, EngineConfig, EngineError, NoopObserver, Observer, StepContext,
+    StepEngine,
+};
 use isgc_linalg::Vector;
-use isgc_ml::dataset::Dataset;
+use isgc_ml::dataset::{Dataset, Partitioned};
 use isgc_ml::model::Model;
-use isgc_ml::optimizer::{LrSchedule, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+pub use isgc_engine::{CodecSpec, GradientNormalization, StepReport, TrainReport};
+pub use isgc_ml::optimizer::LrSchedule;
 
 use crate::cluster::{ClusterConfig, ClusterSim};
 use crate::policy::WaitPolicy;
@@ -84,22 +93,6 @@ impl CodingScheme {
     }
 }
 
-/// How the decoded gradient `ĝ` is normalized before the SGD update.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum GradientNormalization {
-    /// Paper-faithful: `ĝ = Σ_{i∈I} ḡ_i`, the sum of per-partition batch
-    /// *means*. The update magnitude scales with the number of recovered
-    /// partitions — exactly the `η·|D_d|` factor in Theorem 12 — so partial
-    /// recovery takes proportionally smaller steps and more of them
-    /// (Fig. 12(b)).
-    #[default]
-    SumOfPartitionMeans,
-    /// `ĝ` averaged over every recovered sample: an unbiased gradient
-    /// estimate whose magnitude is independent of the recovery level (only
-    /// its variance changes). Useful as an ablation.
-    MeanOverRecovered,
-}
-
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingConfig {
@@ -137,148 +130,27 @@ impl Default for TrainingConfig {
     }
 }
 
-/// Everything measured during a training run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TrainReport {
-    /// Steps executed.
-    pub steps: usize,
-    /// Whether the loss threshold was reached before `max_steps`.
-    pub reached_threshold: bool,
-    /// Total simulated wall-clock time (sum of step durations).
-    pub sim_time: f64,
-    /// Full-dataset training loss after each step.
-    pub loss_curve: Vec<f64>,
-    /// Fraction of partitions recovered in each step (`|I|·c / n`).
-    pub recovered_fractions: Vec<f64>,
-    /// Duration of each step.
-    pub step_durations: Vec<f64>,
-    /// Steps where classic GC could not decode (too many stragglers).
-    pub failed_decodes: usize,
-    /// Codewords the master accepted in each step (`|W'|`).
-    pub codewords_received: Vec<usize>,
-}
-
-impl TrainReport {
-    /// Mean per-step recovered fraction (the paper's Fig. 12(a) metric).
-    pub fn mean_recovered_fraction(&self) -> f64 {
-        mean(&self.recovered_fractions)
-    }
-
-    /// Mean per-step duration (Figs. 11, 12(c)).
-    pub fn mean_step_duration(&self) -> f64 {
-        mean(&self.step_durations)
-    }
-
-    /// Final training loss (last entry of the loss curve).
-    pub fn final_loss(&self) -> f64 {
-        self.loss_curve.last().copied().unwrap_or(f64::INFINITY)
-    }
-
-    /// The `q`-quantile of per-step durations (e.g. `0.99` for the tail the
-    /// straggler literature cares about).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no steps ran or `q` is outside `[0, 1]`.
-    pub fn step_duration_quantile(&self, q: f64) -> f64 {
-        isgc_ml::metrics::quantile(&self.step_durations, q)
-    }
-
-    /// Total uplink volume over the run, assuming `dim`-dimensional `f64`
-    /// gradient codewords: one vector per accepted worker per step.
-    ///
-    /// IS-GC's communication advantage over multi-message partial upload
-    /// (see `isgc_simnet::partial`) shows up here: the count is independent
-    /// of `c`.
-    pub fn total_upload_bytes(&self, dim: usize) -> usize {
-        self.codewords_received.iter().sum::<usize>() * dim * 8
-    }
-}
-
-impl std::fmt::Display for TrainReport {
-    /// One-paragraph human-readable summary.
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} steps in {:.2}s sim-time ({:.3}s/step), final loss {:.4}, \
-             {:.1}% gradients recovered on average, {}{}",
-            self.steps,
-            self.sim_time,
-            self.mean_step_duration(),
-            self.final_loss(),
-            100.0 * self.mean_recovered_fraction(),
-            if self.reached_threshold {
-                "reached the loss threshold"
-            } else {
-                "stopped at the step cap"
-            },
-            if self.failed_decodes > 0 {
-                format!(" ({} failed decodes)", self.failed_decodes)
-            } else {
-                String::new()
-            }
-        )
-    }
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-/// Internal: master-side decoding machinery per scheme.
-enum MasterCodec {
-    /// IS-GC (also covers sync SGD and IS-SGD via a `c = 1` placement).
-    Summed {
-        placement: Placement,
-        decoder: Box<dyn Decoder>,
-        encoder: SumEncoder,
-    },
-    /// Classic GC: coefficient decode to the exact full gradient.
-    Classic(ClassicGc),
-}
-
-fn build_codec(scheme: &CodingScheme, n: usize, rng: &mut StdRng) -> MasterCodec {
+/// The scheme's placement and codec, as the engine understands them.
+fn engine_spec(scheme: &CodingScheme, n: usize, seed: u64) -> (Placement, CodecSpec) {
     match scheme {
         CodingScheme::Synchronous | CodingScheme::IgnoreStragglerSgd => {
             // c = 1: each worker holds exactly its own partition. The CR
             // decoder with c = 1 selects every available worker.
-            let placement = Placement::cyclic(n, 1).expect("n >= 1");
-            let decoder = CrDecoder::new(&placement).expect("CR placement");
-            let encoder = SumEncoder::new(&placement);
-            MasterCodec::Summed {
-                placement,
-                decoder: Box::new(decoder),
-                encoder,
-            }
+            (Placement::cyclic(n, 1).expect("n >= 1"), CodecSpec::Scheme)
         }
         CodingScheme::ClassicFr { c } => {
-            MasterCodec::Classic(ClassicGc::fractional(n, *c).expect("valid FR parameters"))
+            let gc = ClassicGc::fractional(n, *c).expect("valid FR parameters");
+            (gc.placement().clone(), CodecSpec::Classic(gc))
         }
         CodingScheme::ClassicCr { c } => {
-            MasterCodec::Classic(ClassicGc::cyclic(n, *c, rng).expect("valid CR parameters"))
+            // Coefficient construction gets the same dedicated RNG stream the
+            // master historically used, so runs stay seed-reproducible.
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let gc = ClassicGc::cyclic(n, *c, &mut rng).expect("valid CR parameters");
+            (gc.placement().clone(), CodecSpec::Classic(gc))
         }
-        CodingScheme::IsGc(placement) => {
-            let decoder: Box<dyn Decoder> = match placement.scheme() {
-                Scheme::Fractional => Box::new(FrDecoder::new(placement).expect("FR placement")),
-                Scheme::Cyclic => Box::new(CrDecoder::new(placement).expect("CR placement")),
-                Scheme::Hybrid => Box::new(HrDecoder::new(placement).expect("HR placement")),
-                Scheme::Custom => Box::new(isgc_core::decode::ExactDecoder::new(placement)),
-            };
-            MasterCodec::Summed {
-                placement: placement.clone(),
-                decoder,
-                encoder: SumEncoder::new(placement),
-            }
-        }
-        CodingScheme::IsGcArrivalOrder(placement) => MasterCodec::Summed {
-            placement: placement.clone(),
-            decoder: Box::new(ArrivalOrderDecoder::new(placement)),
-            encoder: SumEncoder::new(placement),
-        },
+        CodingScheme::IsGc(placement) => (placement.clone(), CodecSpec::Scheme),
+        CodingScheme::IsGcArrivalOrder(placement) => (placement.clone(), CodecSpec::ArrivalOrder),
     }
 }
 
@@ -303,9 +175,41 @@ pub fn train<M: Model>(
     cluster: ClusterConfig,
     config: &TrainingConfig,
 ) -> TrainReport {
-    train_impl(model, dataset, scheme, cluster, config, |_, _| {
-        policy.clone()
-    })
+    train_observed(
+        model,
+        dataset,
+        scheme,
+        policy,
+        cluster,
+        config,
+        &mut NoopObserver,
+    )
+}
+
+/// [`train`], with an [`Observer`] receiving every step report as it is
+/// produced — bench plots and chaos harnesses hook in here.
+///
+/// # Panics
+///
+/// As [`train`].
+pub fn train_observed<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    policy: &WaitPolicy,
+    cluster: ClusterConfig,
+    config: &TrainingConfig,
+    observer: &mut dyn Observer,
+) -> TrainReport {
+    train_impl(
+        model,
+        dataset,
+        scheme,
+        cluster,
+        config,
+        |_, _| policy.clone(),
+        observer,
+    )
 }
 
 /// Runs a training job with a **closed-loop adaptive wait policy** (paper
@@ -327,12 +231,20 @@ pub fn train_adaptive<M: Model>(
     cluster: ClusterConfig,
     config: &TrainingConfig,
 ) -> TrainReport {
-    train_impl(model, dataset, scheme, cluster, config, |_, last_loss| {
-        if let Some(loss) = last_loss {
-            controller.observe(loss);
-        }
-        WaitPolicy::WaitForCount(controller.current_w())
-    })
+    train_impl(
+        model,
+        dataset,
+        scheme,
+        cluster,
+        config,
+        |_, last_loss| {
+            if let Some(loss) = last_loss {
+                controller.observe(loss);
+            }
+            WaitPolicy::WaitForCount(controller.current_w())
+        },
+        &mut NoopObserver,
+    )
 }
 
 /// Runs a training job whose arrival times replay a
@@ -354,9 +266,16 @@ pub fn train_on_trace<M: Model>(
     config: &TrainingConfig,
 ) -> TrainReport {
     let n = sim.trace().n();
-    train_loop(model, dataset, scheme, n, sim, config, |_, _| {
-        policy.clone()
-    })
+    train_loop(
+        model,
+        dataset,
+        scheme,
+        n,
+        sim,
+        config,
+        |_, _| policy.clone(),
+        &mut NoopObserver,
+    )
 }
 
 /// Anything that can produce one step's arrival outcome.
@@ -376,8 +295,9 @@ impl ArrivalSampler for crate::trace::TraceClusterSim {
     }
 }
 
-/// Shared training loop; `policy_for_step(step, last_loss)` yields the wait
-/// policy for each step.
+/// Shared entry; `policy_for_step(step, last_loss)` yields the wait policy
+/// for each step.
+#[allow(clippy::too_many_arguments)]
 fn train_impl<M: Model>(
     model: &M,
     dataset: &Dataset,
@@ -385,157 +305,166 @@ fn train_impl<M: Model>(
     cluster: ClusterConfig,
     config: &TrainingConfig,
     policy_for_step: impl FnMut(usize, Option<f64>) -> WaitPolicy,
+    observer: &mut dyn Observer,
 ) -> TrainReport {
     let n = cluster.n;
     let sim = ClusterSim::new(cluster, config.seed.wrapping_add(0xA5A5_5A5A));
-    train_loop(model, dataset, scheme, n, sim, config, policy_for_step)
+    train_loop(
+        model,
+        dataset,
+        scheme,
+        n,
+        sim,
+        config,
+        policy_for_step,
+        observer,
+    )
 }
 
-/// The actual loop, generic over the arrival source.
+/// How the simulated workers encode their upload.
+enum CodewordMode {
+    /// IS-GC / sync / IS-SGD: the plain sum of the worker's partitions.
+    Summed,
+    /// Classic GC: coefficient combination over all `n` partition gradients.
+    Classic(ClassicGc),
+}
+
+/// The simulation-backed [`Collector`]: samples one step's arrivals from
+/// the cluster model and computes arriving workers' codewords synchronously.
+struct SimCollector<'a, M: Model, S: ArrivalSampler, P: FnMut(usize, Option<f64>) -> WaitPolicy> {
+    model: &'a M,
+    dataset: &'a Dataset,
+    partitions: Partitioned,
+    /// Mirrors the engine's assignment table (updated through `on_repair`,
+    /// though simulated workers never die — scripted liveness lives in the
+    /// chaos harness).
+    assignments: Vec<Vec<usize>>,
+    mode: CodewordMode,
+    batch_size: usize,
+    seed: u64,
+    c: usize,
+    sim: S,
+    policy_for_step: P,
+}
+
+impl<M: Model, S: ArrivalSampler, P: FnMut(usize, Option<f64>) -> WaitPolicy> Collector
+    for SimCollector<'_, M, S, P>
+{
+    fn n(&self) -> usize {
+        self.assignments.len()
+    }
+
+    fn on_repair(&mut self, _events: &[isgc_engine::RepairEvent], assignments: &[Vec<usize>]) {
+        self.assignments = assignments.to_vec();
+    }
+
+    fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
+        let step = ctx.step as usize;
+        let policy = (self.policy_for_step)(step, ctx.last_loss);
+        let outcome = self.sim.step(self.c, &policy, step);
+        let n = self.n();
+
+        // Per-partition summed gradients, computed lazily: replicas of a
+        // partition would compute identical values (deterministic batches),
+        // so one evaluation per partition is exact.
+        let mut partition_grads: Vec<Option<Vector>> = vec![None; n];
+        let mut grad_of = |j: usize| -> Vector {
+            partition_grads[j]
+                .get_or_insert_with(|| {
+                    let batch = self
+                        .partitions
+                        .minibatch(j, self.batch_size, ctx.step, self.seed);
+                    self.model.gradient_sum(ctx.params, self.dataset, &batch)
+                })
+                .clone()
+        };
+
+        let dim = ctx.params.len();
+        let mut codewords: Vec<Option<Vector>> = vec![None; n];
+        let arrivals: Vec<usize> = outcome.available.to_vec();
+        for &w in &arrivals {
+            let cw = match &self.mode {
+                CodewordMode::Summed => {
+                    // Worker w's codeword: sum of its partitions' gradients.
+                    let mut cw = Vector::zeros(dim);
+                    for &j in &self.assignments[w] {
+                        cw.axpy(1.0, &grad_of(j));
+                    }
+                    cw
+                }
+                CodewordMode::Classic(gc) => {
+                    let mut full = Vec::with_capacity(n);
+                    for j in 0..n {
+                        full.push(grad_of(j));
+                    }
+                    gc.encode(w, &full)
+                }
+            };
+            codewords[w] = Some(cw);
+        }
+
+        Ok(Collected {
+            arrivals,
+            codewords,
+            declined: Vec::new(),
+            stale: 0,
+            waited_ms: outcome.duration * 1e3,
+            duration: outcome.duration,
+        })
+    }
+}
+
+/// The actual loop, generic over the arrival source: builds the engine
+/// config for the scheme and hands the step semantics to [`StepEngine`].
+#[allow(clippy::too_many_arguments)]
 fn train_loop<M: Model>(
     model: &M,
     dataset: &Dataset,
     scheme: &CodingScheme,
     n: usize,
-    mut sim: impl ArrivalSampler,
+    sim: impl ArrivalSampler,
     config: &TrainingConfig,
-    mut policy_for_step: impl FnMut(usize, Option<f64>) -> WaitPolicy,
+    policy_for_step: impl FnMut(usize, Option<f64>) -> WaitPolicy,
+    observer: &mut dyn Observer,
 ) -> TrainReport {
     assert!(config.batch_size > 0, "batch_size must be positive");
     assert!(config.max_steps > 0, "max_steps must be positive");
     if let CodingScheme::IsGc(p) | CodingScheme::IsGcArrivalOrder(p) = scheme {
         assert_eq!(p.n(), n, "placement size must match cluster size");
     }
-    let c = scheme.c();
-    let partitions = dataset.partition(n);
-    let all_indices: Vec<usize> = (0..dataset.len()).collect();
-
-    // Separate RNG streams: parameter init and decode/codec randomness.
-    // Parameter init gets its own stream so every scheme starts from
-    // identical parameters under the same seed (the paper's fairness-of-
-    // comparison requirement), regardless of how much randomness codec
-    // construction consumes.
-    let mut param_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x517C_C1B7_2722_0A95));
-    let mut master_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let codec = build_codec(scheme, n, &mut master_rng);
-
-    let mut params = model.init_params(&mut param_rng);
-    let dim = params.len();
-    let mut opt = if config.momentum > 0.0 {
-        Sgd::with_momentum(config.learning_rate, config.momentum)
-    } else {
-        Sgd::new(config.learning_rate)
+    let (placement, codec) = engine_spec(scheme, n, config.seed);
+    let mode = match &codec {
+        CodecSpec::Classic(gc) => CodewordMode::Classic(gc.clone()),
+        _ => CodewordMode::Summed,
     };
+    let mut engine_config = EngineConfig::new(placement.clone());
+    engine_config.codec = codec;
+    engine_config.batch_size = config.batch_size;
+    engine_config.learning_rate = config.learning_rate;
+    engine_config.momentum = config.momentum;
+    engine_config.loss_threshold = config.loss_threshold;
+    engine_config.max_steps = config.max_steps as u64;
+    engine_config.seed = config.seed;
+    engine_config.normalization = config.normalization;
+    engine_config.lr_schedule = config.lr_schedule;
+    let mut engine = StepEngine::new(engine_config)
+        .unwrap_or_else(|e| panic!("invalid simulated training config: {e}"));
 
-    let mut report = TrainReport {
-        steps: 0,
-        reached_threshold: false,
-        sim_time: 0.0,
-        loss_curve: Vec::new(),
-        recovered_fractions: Vec::new(),
-        step_durations: Vec::new(),
-        failed_decodes: 0,
-        codewords_received: Vec::new(),
+    let mut collector = SimCollector {
+        model,
+        dataset,
+        partitions: dataset.partition(n),
+        assignments: engine.assignments().to_vec(),
+        mode,
+        batch_size: config.batch_size,
+        seed: config.seed,
+        c: scheme.c(),
+        sim,
+        policy_for_step,
     };
-
-    let mut last_loss: Option<f64> = None;
-    for step in 0..config.max_steps {
-        let policy = policy_for_step(step, last_loss);
-        let outcome = sim.step(c, &policy, step);
-        report.sim_time += outcome.duration;
-        report.step_durations.push(outcome.duration);
-        report.codewords_received.push(outcome.available.len());
-
-        // Per-partition summed gradients, computed lazily: replicas of a
-        // partition would compute identical values (deterministic batches),
-        // so one evaluation per partition is exact.
-        let mut partition_grads: Vec<Option<Vector>> = vec![None; n];
-        let mut grad_of = |j: usize, params: &Vector| -> Vector {
-            partition_grads[j]
-                .get_or_insert_with(|| {
-                    let batch =
-                        partitions.minibatch(j, config.batch_size, step as u64, config.seed);
-                    model.gradient_sum(params, dataset, &batch)
-                })
-                .clone()
-        };
-
-        // Master-side decode + update. `recovered_partitions` is |I|·c, the
-        // number of partitions contributing to ĝ.
-        let (g_hat, recovered_partitions): (Option<Vector>, usize) = match &codec {
-            MasterCodec::Summed {
-                placement,
-                decoder,
-                encoder,
-            } => {
-                let result = decoder.decode(&outcome.available, &mut master_rng);
-                let recovered = result.recovered_count();
-                report.recovered_fractions.push(recovered as f64 / n as f64);
-                if recovered == 0 {
-                    (None, 0)
-                } else {
-                    let g = encoder.assemble(&result, dim, |w| {
-                        // Worker w's codeword: sum of its partitions' gradients.
-                        let mut cw = Vector::zeros(dim);
-                        for &j in placement.partitions_of(w) {
-                            cw.axpy(1.0, &grad_of(j, &params));
-                        }
-                        cw
-                    });
-                    (Some(g), recovered)
-                }
-            }
-            MasterCodec::Classic(gc) => {
-                match gc.recover(
-                    &outcome.available,
-                    |w| {
-                        let mut full = Vec::with_capacity(n);
-                        for j in 0..n {
-                            full.push(grad_of(j, &params));
-                        }
-                        gc.encode(w, &full)
-                    },
-                    dim,
-                ) {
-                    Ok(g) => {
-                        report.recovered_fractions.push(1.0);
-                        (Some(g), n)
-                    }
-                    Err(_) => {
-                        report.failed_decodes += 1;
-                        report.recovered_fractions.push(0.0);
-                        (None, 0)
-                    }
-                }
-            }
-        };
-
-        if config.lr_schedule != LrSchedule::Constant {
-            opt.set_learning_rate(config.lr_schedule.rate_at(config.learning_rate, step));
-        }
-        if let Some(mut g) = g_hat {
-            // `g` holds summed per-sample gradients over every recovered
-            // partition's batch.
-            let divisor = match config.normalization {
-                GradientNormalization::SumOfPartitionMeans => config.batch_size,
-                GradientNormalization::MeanOverRecovered => {
-                    recovered_partitions * config.batch_size
-                }
-            };
-            g.scale(1.0 / divisor as f64);
-            opt.step(&mut params, &g);
-        }
-
-        let loss = model.loss_mean(&params, dataset, &all_indices);
-        last_loss = Some(loss);
-        report.loss_curve.push(loss);
-        report.steps = step + 1;
-        if loss <= config.loss_threshold {
-            report.reached_threshold = true;
-            break;
-        }
-    }
-    report
+    engine
+        .run(model, dataset, None, &mut collector, observer)
+        .unwrap_or_else(|e| panic!("simulated training failed: {e}"))
 }
 
 /// Measures per-step durations only (no model training) — sufficient for the
@@ -631,10 +560,10 @@ mod tests {
             "final loss {}",
             report.final_loss()
         );
-        assert_eq!(report.recovered_fractions[0], 1.0);
-        assert_eq!(report.failed_decodes, 0);
-        assert!(report.sim_time > 0.0);
-        assert_eq!(report.loss_curve.len(), report.steps);
+        assert_eq!(report.recovered_fractions()[0], 1.0);
+        assert_eq!(report.failed_decodes(), 0);
+        assert!(report.sim_time() > 0.0);
+        assert_eq!(report.loss_curve().len(), report.step_count());
     }
 
     #[test]
@@ -655,7 +584,7 @@ mod tests {
             report.final_loss()
         );
         // With w = 2 and c = 2, recovery is between 50% and 100%.
-        for &f in &report.recovered_fractions {
+        for &f in &report.recovered_fractions() {
             assert!((0.5..=1.0).contains(&f), "fraction {f}");
         }
     }
@@ -671,8 +600,8 @@ mod tests {
             straggly_cluster(4, 2.0, 1),
             &config,
         );
-        assert_eq!(report.failed_decodes, 0);
-        assert!(report.recovered_fractions.iter().all(|&f| f == 1.0));
+        assert_eq!(report.failed_decodes(), 0);
+        assert!(report.recovered_fractions().iter().all(|&f| f == 1.0));
         assert!(report.reached_threshold);
     }
 
@@ -688,9 +617,9 @@ mod tests {
             quiet_cluster(4),
             &config,
         );
-        assert_eq!(report.failed_decodes, 10);
+        assert_eq!(report.failed_decodes(), 10);
         assert!(!report.reached_threshold);
-        assert!(report.recovered_fractions.iter().all(|&f| f == 0.0));
+        assert!(report.recovered_fractions().iter().all(|&f| f == 0.0));
     }
 
     #[test]
@@ -746,6 +675,7 @@ mod tests {
             &config,
         );
         assert_eq!(a, b);
+        assert_eq!(a.recovery_fingerprint(), b.recovery_fingerprint());
     }
 
     #[test]
@@ -800,7 +730,7 @@ mod tests {
         // The controller observes losses from step 1 on (no loss exists
         // before step 0), so the history is one shorter than the step count.
         let hist = controller.w_history();
-        assert_eq!(hist.len() + 1, report.steps);
+        assert_eq!(hist.len() + 1, report.step_count());
         assert_eq!(hist[0], 1);
         // Once descent stalls at the w = 1 noise floor, w must escalate.
         assert!(*hist.last().unwrap() > 1, "never escalated: {hist:?}");
@@ -809,7 +739,7 @@ mod tests {
             assert!(pair[0] <= pair[1]);
         }
         // And training still made real progress.
-        assert!(report.final_loss() < report.loss_curve[0] / 2.0);
+        assert!(report.final_loss() < report.loss_curve()[0] / 2.0);
     }
 
     #[test]
@@ -859,11 +789,11 @@ mod tests {
         // Workers 2, 3 always win the race; they conflict (share partition
         // 3), so exactly one is selectable: recovery fixed at 2/4.
         assert!(report
-            .recovered_fractions
+            .recovered_fractions()
             .iter()
             .all(|&f| (f - 0.5).abs() < 1e-12));
         // Steps never wait for the slow pair.
-        assert!(report.step_durations.iter().all(|&d| d < 1.0));
+        assert!(report.step_durations().iter().all(|&d| d < 1.0));
 
         // A Markov-generated trace also drives training end to end.
         let markov = MarkovStragglerModel {
@@ -883,21 +813,38 @@ mod tests {
             sim,
             &config,
         );
-        assert_eq!(report.steps, 60);
+        assert_eq!(report.step_count(), 60);
         assert!(report.mean_recovered_fraction() > 0.5);
     }
 
     #[test]
     fn step_duration_quantiles() {
+        fn step_with_duration(step: u64, duration: f64) -> StepReport {
+            StepReport {
+                step,
+                arrivals: vec![0, 1, 2, 3],
+                waited_ms: duration * 1e3,
+                duration,
+                selected: vec![0, 2],
+                recovered: 4,
+                ignored: vec![1, 3],
+                dead: vec![],
+                declined: vec![],
+                repairs: vec![],
+                stale: 0,
+                failed_decode: false,
+                loss: 1.0,
+            }
+        }
         let report = TrainReport {
-            steps: 4,
+            n: 4,
+            steps: (0..4)
+                .map(|t| step_with_duration(t, (t + 1) as f64))
+                .collect(),
             reached_threshold: false,
-            sim_time: 10.0,
-            loss_curve: vec![1.0; 4],
-            recovered_fractions: vec![1.0; 4],
-            step_durations: vec![1.0, 2.0, 3.0, 4.0],
-            failed_decodes: 0,
-            codewords_received: vec![4; 4],
+            interrupted: false,
+            wall_time: 0.0,
+            final_params: isgc_linalg::Vector::zeros(1),
         };
         assert_eq!(report.step_duration_quantile(0.0), 1.0);
         assert_eq!(report.step_duration_quantile(1.0), 4.0);
@@ -937,10 +884,30 @@ mod tests {
             quiet_cluster(4),
             &config,
         );
-        assert_eq!(report.codewords_received.len(), 25);
-        assert!(report.codewords_received.iter().all(|&m| m == 3));
+        assert_eq!(report.codewords_received().len(), 25);
+        assert!(report.codewords_received().iter().all(|&m| m == 3));
         // 25 steps × 3 codewords × dim 5 (4 weights + bias) × 8 bytes.
         assert_eq!(report.total_upload_bytes(5), 25 * 3 * 5 * 8);
+    }
+
+    #[test]
+    fn observer_sees_the_report_stream() {
+        use isgc_engine::RecordingObserver;
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 8;
+        config.loss_threshold = 0.0;
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let mut recorder = RecordingObserver::default();
+        let report = train_observed(
+            &model,
+            &data,
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(3),
+            quiet_cluster(4),
+            &config,
+            &mut recorder,
+        );
+        assert_eq!(recorder.steps, report.steps);
     }
 
     #[test]
@@ -962,6 +929,9 @@ mod tests {
 
     #[test]
     fn waiting_for_fewer_workers_is_faster_under_straggling() {
+        fn mean(xs: &[f64]) -> f64 {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
         let cluster = straggly_cluster(8, 3.0, 8);
         let t2 = mean(&measure_step_times(
             cluster.clone(),
@@ -994,7 +964,7 @@ mod tests {
             &config,
         );
         // Steps are capped at the deadline whenever someone straggles past it.
-        for &d in &report.step_durations {
+        for &d in &report.step_durations() {
             assert!(d <= 0.3 + 1e-12, "duration {d}");
         }
     }

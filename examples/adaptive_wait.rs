@@ -54,7 +54,9 @@ fn main() -> Result<(), isgc::core::Error> {
         );
         println!(
             "fixed w={w}:    steps={:<5} time={:>7.1}s  converged={}",
-            r.steps, r.sim_time, r.reached_threshold
+            r.step_count(),
+            r.sim_time(),
+            r.reached_threshold
         );
     }
 
@@ -76,7 +78,9 @@ fn main() -> Result<(), isgc::core::Error> {
         .collect();
     println!(
         "adaptive 1→4: steps={:<5} time={:>7.1}s  converged={}",
-        r.steps, r.sim_time, r.reached_threshold
+        r.step_count(),
+        r.sim_time(),
+        r.reached_threshold
     );
     println!("escalations (step, new w): {escalations:?}");
     println!("\nThe controller starts at the cheapest w and escalates only if the");

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n{} steps over real sockets: mean recovery {:.1}%, final loss {:.4}",
         report.step_count(),
-        100.0 * report.mean_recovered_fraction(N),
+        100.0 * report.mean_recovered_fraction(),
         report.final_loss()
     );
     println!("the two stragglers were ignored every step, and training still converged.");

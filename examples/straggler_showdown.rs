@@ -72,8 +72,8 @@ fn main() -> Result<(), isgc::core::Error> {
         println!(
             "{:<14} {:>6} {:>9.1} {:>11.3} {:>12.1} {:>10}",
             scheme.label(),
-            report.steps,
-            report.sim_time,
+            report.step_count(),
+            report.sim_time(),
             report.mean_step_duration(),
             100.0 * report.mean_recovered_fraction(),
             report.reached_threshold

@@ -42,7 +42,7 @@ fn main() -> Result<(), isgc::core::Error> {
     let report = train_threaded(model, dataset, &placement, &config);
     println!(
         "steps: {}   wall time: {:.2}s   mean step: {:.1} ms",
-        report.steps,
+        report.step_count(),
         report.wall_time,
         1000.0 * report.mean_step_duration()
     );

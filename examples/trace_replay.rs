@@ -69,9 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<16} {:>6} {:>11.1} {:>13.1}",
             scheme.label(),
-            report.steps,
+            report.step_count(),
             100.0 * report.mean_recovered_fraction(),
-            report.sim_time
+            report.sim_time()
         );
     }
     println!("\nevery scheme saw the *same* recorded straggler episodes — the");

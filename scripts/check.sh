@@ -10,10 +10,16 @@ cargo fmt --all --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== cross-backend engine parity (net loopback vs simulator)"
+cargo test -q --test engine_parity
 
 echo "== chaos smoke (seeded, deterministic)"
 cargo run --release --quiet -- chaos --plan smoke --seed 42
 
-echo "ok: fmt, clippy, tests, and chaos smoke all clean"
+echo "ok: fmt, clippy, docs, tests, engine parity, and chaos smoke all clean"

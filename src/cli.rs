@@ -6,7 +6,7 @@
 //! so everything is unit-testable; `main` only does I/O.
 
 use isgc_chaos::{run_chaos, ChaosConfig, FaultPlan, PLAN_NAMES};
-use isgc_core::decode::{CrDecoder, Decoder, ExactDecoder, FrDecoder, HrDecoder};
+use isgc_core::decode::{decoder_for, Decoder, ExactDecoder};
 use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
@@ -168,12 +168,7 @@ fn cmd_decode(args: &[String]) -> Result<String, String> {
         .get(consumed)
         .ok_or_else(|| "missing availability list, e.g. 0,2,5".to_string())?;
     let available = parse_workers(avail_arg, p.n())?;
-    let decoder: Box<dyn Decoder> = match p.scheme() {
-        Scheme::Fractional => Box::new(FrDecoder::new(&p).map_err(|e| e.to_string())?),
-        Scheme::Cyclic => Box::new(CrDecoder::new(&p).map_err(|e| e.to_string())?),
-        Scheme::Hybrid => Box::new(HrDecoder::new(&p).map_err(|e| e.to_string())?),
-        Scheme::Custom => Box::new(ExactDecoder::new(&p)),
-    };
+    let decoder = decoder_for(&p).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(0);
     let result = decoder.decode(&available, &mut rng);
     let mut out = String::new();
@@ -266,12 +261,7 @@ fn cmd_recommend(args: &[String]) -> Result<String, String> {
 fn cmd_plan(args: &[String]) -> Result<String, String> {
     let (p, _) = build_placement(args)?;
     let n = p.n();
-    let decoder: Box<dyn Decoder> = match p.scheme() {
-        Scheme::Fractional => Box::new(FrDecoder::new(&p).map_err(|e| e.to_string())?),
-        Scheme::Cyclic => Box::new(CrDecoder::new(&p).map_err(|e| e.to_string())?),
-        Scheme::Hybrid => Box::new(HrDecoder::new(&p).map_err(|e| e.to_string())?),
-        Scheme::Custom => Box::new(ExactDecoder::new(&p)),
-    };
+    let decoder = decoder_for(&p).map_err(|e| e.to_string())?;
     let cluster = ClusterConfig {
         n,
         compute_time_per_partition: 0.05,
@@ -383,7 +373,7 @@ fn cmd_sim(args: &[String]) -> Result<String, String> {
     );
     let mut out = String::new();
     let _ = writeln!(out, "IS-GC {} n={} c={} w={w}", p.scheme(), n, p.c());
-    let _ = writeln!(out, "steps:              {}", report.steps);
+    let _ = writeln!(out, "steps:              {}", report.step_count());
     let _ = writeln!(out, "converged:          {}", report.reached_threshold);
     let _ = writeln!(out, "final loss:         {:.4}", report.final_loss());
     let _ = writeln!(
@@ -391,7 +381,7 @@ fn cmd_sim(args: &[String]) -> Result<String, String> {
         "recovered (mean):   {:.1}%",
         100.0 * report.mean_recovered_fraction()
     );
-    let _ = writeln!(out, "sim time:           {:.2} s", report.sim_time);
+    let _ = writeln!(out, "sim time:           {:.2} s", report.sim_time());
     let _ = writeln!(
         out,
         "time/step (mean):   {:.3} s",
@@ -498,14 +488,14 @@ fn render_step(r: &isgc_net::NetReport, n: usize, oracle: Option<usize>) -> Stri
 }
 
 /// Renders the end-of-run summary shared by `serve` and `launch`.
-fn render_net_summary(report: &isgc_net::NetTrainReport, n: usize) -> String {
+fn render_net_summary(report: &isgc_net::NetTrainReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "steps:              {}", report.step_count());
     let _ = writeln!(out, "final loss:         {:.4}", report.final_loss());
     let _ = writeln!(
         out,
         "recovered (mean):   {:.1}%",
-        100.0 * report.mean_recovered_fraction(n)
+        100.0 * report.mean_recovered_fraction()
     );
     let _ = writeln!(out, "waited/step (mean): {:.1} ms", report.mean_waited_ms());
     let _ = writeln!(out, "wall time:          {:.2} s", report.wall_time);
@@ -532,7 +522,7 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
             println!("{}", render_step(r, n, None));
         })
         .map_err(|e| e.to_string())?;
-    Ok(render_net_summary(&report, n))
+    Ok(render_net_summary(&report))
 }
 
 fn cmd_worker(args: &[String]) -> Result<String, String> {
@@ -632,7 +622,7 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
             "{mismatches} steps recovered fewer partitions than the exact decoder"
         ));
     }
-    Ok(render_net_summary(&report, n))
+    Ok(render_net_summary(&report))
 }
 
 /// `isgc chaos --plan <name> [--seed s] [--n k --c k --steps k]`: run a
@@ -879,6 +869,7 @@ mod tests {
             step: 3,
             arrivals: vec![0, 1, 2],
             waited_ms: 12.5,
+            duration: 0.0125,
             selected: vec![0, 2],
             recovered: 5,
             ignored: vec![1, 3],
@@ -890,6 +881,7 @@ mod tests {
                 to: 0,
             }],
             stale: 1,
+            failed_decode: false,
             loss: 0.5,
         };
         let line = render_step(&r, 4, Some(5));

@@ -53,7 +53,7 @@
 //!         ..TrainingConfig::default()
 //!     },
 //! );
-//! assert_eq!(report.steps, 20);
+//! assert_eq!(report.step_count(), 20);
 //! # Ok(())
 //! # }
 //! ```

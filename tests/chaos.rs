@@ -82,16 +82,17 @@ fn check_invariants(
     max_steps: usize,
     summed_scheme: bool,
 ) {
-    assert!(report.steps >= 1 && report.steps <= max_steps);
-    assert_eq!(report.loss_curve.len(), report.steps);
-    assert_eq!(report.recovered_fractions.len(), report.steps);
-    assert_eq!(report.step_durations.len(), report.steps);
-    assert_eq!(report.codewords_received.len(), report.steps);
-    assert!(report.sim_time >= 0.0 && report.sim_time.is_finite());
+    let steps = report.step_count();
+    assert!(steps >= 1 && steps <= max_steps);
+    assert_eq!(report.loss_curve().len(), steps);
+    assert_eq!(report.recovered_fractions().len(), steps);
+    assert_eq!(report.step_durations().len(), steps);
+    assert_eq!(report.codewords_received().len(), steps);
+    assert!(report.sim_time() >= 0.0 && report.sim_time().is_finite());
     for (&f, &d) in report
-        .recovered_fractions
+        .recovered_fractions()
         .iter()
-        .zip(&report.step_durations)
+        .zip(&report.step_durations())
     {
         assert!((0.0..=1.0).contains(&f), "fraction {f}");
         assert!(d >= 0.0 && d.is_finite(), "duration {d}");
@@ -104,13 +105,13 @@ fn check_invariants(
             );
         }
     }
-    for &loss in &report.loss_curve {
+    for &loss in &report.loss_curve() {
         assert!(loss.is_finite(), "loss diverged: {loss}");
     }
-    for &m in &report.codewords_received {
+    for &m in &report.codewords_received() {
         assert!(m <= n);
     }
-    assert!(report.failed_decodes <= report.steps);
+    assert!(report.failed_decodes() <= steps);
 }
 
 #[test]
@@ -194,7 +195,7 @@ fn random_configurations_uphold_invariants() {
         // whenever IS-GC decoded a non-empty arrival set.
         if let (CodingScheme::IsGc(p), WaitPolicy::WaitForCount(w)) = (&scheme, &policy) {
             let lo = bounds::recovery_lower_bound(p.n(), p.c(), *w) as f64 / p.n() as f64;
-            for &f in &report.recovered_fractions {
+            for &f in &report.recovered_fractions() {
                 assert!(f >= lo - 1e-9, "trial {trial}: fraction {f} < bound {lo}");
             }
         }

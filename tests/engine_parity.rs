@@ -1,0 +1,179 @@
+//! Cross-backend determinism: the TCP loopback cluster and the simulator
+//! drive the *same* `isgc_engine::StepEngine`, so given the same seed and
+//! the same straggler schedule they must produce identical per-step
+//! recovered-partition fingerprints and bitwise-identical loss curves —
+//! real sockets and thread scheduling contribute timing, never math.
+//!
+//! The straggler set is static (the TCP worker drains its parameter backlog
+//! to the newest step, so a worker that straggles *sometimes* can skip
+//! steps in wall-clock-dependent ways; one that straggles *always* is
+//! simply ignored every step by both backends).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use isgc_core::Placement;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::LinearRegression;
+use isgc_net::{run_worker, Master, NetConfig, NetTrainReport, WaitPolicy, WorkerOptions};
+use isgc_simnet::policy::WaitPolicy as SimWaitPolicy;
+use isgc_simnet::trace::{StragglerTrace, TraceClusterSim};
+use isgc_simnet::trainer::{train_on_trace, CodingScheme, TrainReport, TrainingConfig};
+
+const FEATURES: usize = 5;
+const SAMPLES: usize = 240;
+const SEED: u64 = 9090;
+const STEPS: usize = 4;
+const BATCH: usize = 8;
+const LR: f64 = 0.02;
+
+/// Workers that always straggle; everyone else is fast. `|S| = 2` of 6.
+const STRAGGLERS: [usize; 2] = [1, 4];
+const N: usize = 6;
+const C: usize = 2;
+const W: usize = 4;
+
+fn shared_dataset() -> Dataset {
+    Dataset::synthetic_regression(SAMPLES, FEATURES, 0.05, SEED)
+}
+
+/// Runs a real loopback TCP cluster where the stragglers sleep far longer
+/// than the fast workers take, so `FirstW(4)` ignores exactly them.
+fn run_net(placement: &Placement) -> NetTrainReport {
+    let mut config = NetConfig::new(placement.clone(), WaitPolicy::FirstW(W));
+    config.batch_size = BATCH;
+    config.learning_rate = LR;
+    config.loss_threshold = 0.0;
+    config.max_steps = STEPS;
+    config.seed = SEED;
+    // Keep sleeping stragglers "alive": the schedule, not the heartbeat
+    // sweep, decides who is ignored.
+    config.heartbeat_timeout = Duration::from_secs(5);
+    config.register_timeout = Duration::from_secs(10);
+
+    let master = Master::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = master.local_addr().expect("local addr");
+    let model = LinearRegression::new(FEATURES);
+    let dataset = shared_dataset();
+    let master_handle =
+        thread::spawn(move || master.run(&model, &dataset, &config).expect("master run"));
+
+    let workers: Vec<_> = (0..N)
+        .map(|_| {
+            let options = WorkerOptions::with_delay(Arc::new(|w, _step| {
+                if STRAGGLERS.contains(&w) {
+                    Duration::from_millis(400)
+                } else {
+                    Duration::ZERO
+                }
+            }));
+            thread::spawn(move || {
+                run_worker(addr, &options, |_assignment| {
+                    (LinearRegression::new(FEATURES), shared_dataset())
+                })
+                .expect("worker run")
+            })
+        })
+        .collect();
+
+    let report = master_handle.join().expect("master thread");
+    for w in workers {
+        let _ = w.join().expect("worker thread");
+    }
+    report
+}
+
+/// Replays the identical straggler schedule through the simulator: the
+/// stragglers' upload delay dwarfs everyone else's, so `WaitForCount(4)`
+/// collects exactly the fast four each step.
+fn run_sim(placement: &Placement) -> TrainReport {
+    let rows: Vec<Vec<f64>> = (0..STEPS)
+        .map(|_| {
+            (0..N)
+                .map(|w| {
+                    if STRAGGLERS.contains(&w) {
+                        5.0
+                    } else {
+                        0.001 * (w + 1) as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let sim = TraceClusterSim::new(StragglerTrace::new(rows), 0.001, 0.001);
+    let config = TrainingConfig {
+        batch_size: BATCH,
+        learning_rate: LR,
+        loss_threshold: 0.0,
+        max_steps: STEPS,
+        seed: SEED,
+        ..TrainingConfig::default()
+    };
+    train_on_trace(
+        &LinearRegression::new(FEATURES),
+        &shared_dataset(),
+        &CodingScheme::IsGc(placement.clone()),
+        &SimWaitPolicy::WaitForCount(W),
+        sim,
+        &config,
+    )
+}
+
+fn assert_backends_agree(placement: &Placement) {
+    let net = run_net(placement);
+    let sim = run_sim(placement);
+
+    assert_eq!(net.step_count(), STEPS);
+    assert_eq!(sim.step_count(), STEPS);
+    assert_eq!(
+        net.recovery_fingerprint(),
+        sim.recovery_fingerprint(),
+        "recovery fingerprints diverge for {}: net {:?} vs sim {:?}",
+        placement.scheme(),
+        net.steps
+            .iter()
+            .map(|s| (s.step, s.arrivals.clone(), s.recovered))
+            .collect::<Vec<_>>(),
+        sim.steps
+            .iter()
+            .map(|s| (s.step, s.arrivals.clone(), s.recovered))
+            .collect::<Vec<_>>(),
+    );
+    // Same engine, same seed, same arrivals ⇒ the update math is identical
+    // down to the last bit, not merely close.
+    assert_eq!(
+        net.loss_curve(),
+        sim.loss_curve(),
+        "loss curves diverge for {}",
+        placement.scheme()
+    );
+    assert_eq!(net.final_params, sim.final_params);
+
+    // Sanity: the schedule did what it was built to do — the stragglers
+    // never made a step's cut on either backend.
+    for report in [&net, &sim] {
+        for step in &report.steps {
+            for s in STRAGGLERS {
+                assert!(
+                    !step.arrivals.contains(&s),
+                    "straggler {s} arrived in step {} ({:?})",
+                    step.step,
+                    step.arrivals
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fr_cluster_matches_simulator_exactly() {
+    let placement = Placement::fractional(N, C).expect("valid FR placement");
+    assert_backends_agree(&placement);
+}
+
+#[test]
+fn cr_cluster_matches_simulator_exactly() {
+    let placement = Placement::cyclic(N, C).expect("valid CR placement");
+    assert_backends_agree(&placement);
+}

@@ -43,7 +43,7 @@ fn threaded_regression_converges_all_schemes() {
             placement.scheme(),
             report.final_loss()
         );
-        for &f in &report.recovered_fractions {
+        for &f in &report.recovered_fractions() {
             assert!(f > 0.0 && f <= 1.0);
         }
     }
@@ -70,7 +70,7 @@ fn threaded_classification_with_jittery_stragglers() {
     assert!(report.reached_threshold, "loss={}", report.final_loss());
     // w = 3, c = 2, n = 6: Theorem 10 guarantees ≥ ⌈3/2⌉ = 2 workers, i.e.
     // at least 4/6 partitions, every step.
-    for &f in &report.recovered_fractions {
+    for &f in &report.recovered_fractions() {
         assert!(f >= 4.0 / 6.0 - 1e-12, "fraction {f}");
     }
 }
@@ -121,5 +121,5 @@ fn full_wait_recovers_everything_every_step() {
         &placement,
         &base_config(4, 7),
     );
-    assert!(report.recovered_fractions.iter().all(|&f| f == 1.0));
+    assert!(report.recovered_fractions().iter().all(|&f| f == 1.0));
 }

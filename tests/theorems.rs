@@ -316,7 +316,7 @@ fn theorem_12_convergence_trend() {
     );
     // Smoothed loss (window 30) must be non-increasing to within noise.
     let smooth: Vec<f64> = report
-        .loss_curve
+        .loss_curve()
         .windows(30)
         .map(|w| w.iter().sum::<f64>() / 30.0)
         .collect();
@@ -328,5 +328,5 @@ fn theorem_12_convergence_trend() {
             pair[59]
         );
     }
-    assert!(report.final_loss() < report.loss_curve[0] / 2.0);
+    assert!(report.final_loss() < report.loss_curve()[0] / 2.0);
 }

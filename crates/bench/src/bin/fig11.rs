@@ -101,7 +101,24 @@ fn avg_time(
     let mut cluster = fig11_cluster(N, mean_delay, straggler_count);
     cluster.compute_time_per_partition = compute_time();
     let times = measure_step_times(cluster, c, policy, STEPS, SEED.wrapping_add(stream));
-    Aggregate::of(&times)
+    // Feed the per-step times through the metrics registry and aggregate
+    // from its histogram snapshot (sum / sum² / count carry the moments).
+    let registry = isgc_obs::Registry::new();
+    let bounds = isgc_obs::buckets::linear(0.0, 0.5, 30);
+    for t in times {
+        registry.observe(
+            "bench.fig11.step_time_s",
+            &[],
+            isgc_obs::Class::Timing,
+            &bounds,
+            t,
+        );
+    }
+    Aggregate::from_histogram(
+        &registry
+            .histogram("bench.fig11.step_time_s", &[])
+            .expect("per-step histogram"),
+    )
 }
 
 fn row(scheme: &str, w: usize, time: Aggregate, sync_mean: f64) -> Vec<String> {

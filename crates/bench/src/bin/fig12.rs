@@ -19,9 +19,9 @@ use isgc_bench::cloud_cluster;
 use isgc_bench::table::Table;
 use isgc_core::Placement;
 use isgc_ml::dataset::Dataset;
-use isgc_ml::metrics::mean;
 use isgc_ml::model::{Mlp, SoftmaxRegression};
 use isgc_ml::optimizer::LrSchedule;
+use isgc_obs::{buckets, Class, Registry};
 use isgc_simnet::policy::WaitPolicy;
 use isgc_simnet::trainer::{
     train, CodingScheme, GradientNormalization, TrainReport, TrainingConfig,
@@ -82,26 +82,48 @@ fn main() {
         "(c) time/step (s)",
         "(d) train time (s)",
     ]);
+    // Every trial lands in a metrics registry, one labelled histogram per
+    // panel; the table reads the snapshots' moment sums instead of keeping
+    // private per-row accumulators.
+    let registry = Registry::new();
     for (scheme, w, reports) in &rows {
-        let recovered = mean(
-            &reports
-                .iter()
-                .map(|r| 100.0 * r.mean_recovered_fraction())
-                .collect::<Vec<_>>(),
-        );
-        let steps = mean(
-            &reports
-                .iter()
-                .map(|r| r.step_count() as f64)
-                .collect::<Vec<_>>(),
-        );
-        let tps = mean(
-            &reports
-                .iter()
-                .map(TrainReport::mean_step_duration)
-                .collect::<Vec<_>>(),
-        );
-        let total = mean(&reports.iter().map(|r| r.sim_time()).collect::<Vec<_>>());
+        let w_label = w.to_string();
+        let labels = [("scheme", scheme.as_str()), ("w", w_label.as_str())];
+        for r in reports {
+            registry.observe(
+                "bench.fig12.recovered_pct",
+                &labels,
+                Class::Logical,
+                &buckets::linear(0.0, 5.0, 20),
+                100.0 * r.mean_recovered_fraction(),
+            );
+            registry.observe(
+                "bench.fig12.steps",
+                &labels,
+                Class::Logical,
+                &buckets::linear(0.0, 200.0, 20),
+                r.step_count() as f64,
+            );
+            registry.observe(
+                "bench.fig12.step_time_s",
+                &labels,
+                Class::Timing,
+                &buckets::linear(0.0, 0.1, 20),
+                r.mean_step_duration(),
+            );
+            registry.observe(
+                "bench.fig12.train_time_s",
+                &labels,
+                Class::Timing,
+                &buckets::linear(0.0, 25.0, 20),
+                r.sim_time(),
+            );
+        }
+        let hist = |name: &str| registry.histogram(name, &labels).expect("fig12 histogram");
+        let recovered = hist("bench.fig12.recovered_pct").mean();
+        let steps = hist("bench.fig12.steps").mean();
+        let tps = hist("bench.fig12.step_time_s").mean();
+        let total = hist("bench.fig12.train_time_s").mean();
         let converged = reports.iter().filter(|r| r.reached_threshold).count();
         table.add_row(vec![
             scheme.clone(),

@@ -49,6 +49,23 @@ impl Aggregate {
             trials: values.len(),
         }
     }
+
+    /// Aggregates an [`isgc_obs`] histogram: the moment sums a histogram
+    /// carries (`sum`, `sum_squares`, `count`) are exactly what mean ±
+    /// population-std needs, so the figure binaries can feed every trial
+    /// into a metrics registry and aggregate from its snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn from_histogram(h: &isgc_obs::HistogramSnapshot) -> Self {
+        assert!(h.count > 0, "aggregate of no trials");
+        Self {
+            mean: h.mean(),
+            std: h.std_dev(),
+            trials: h.count as usize,
+        }
+    }
 }
 
 impl std::fmt::Display for Aggregate {
@@ -112,6 +129,42 @@ mod tests {
     #[should_panic(expected = "no trials")]
     fn aggregate_empty_panics() {
         let _ = Aggregate::of(&[]);
+    }
+
+    #[test]
+    fn aggregate_from_histogram_matches_direct() {
+        let values = [1.0, 3.0, 4.5, 0.25];
+        let registry = isgc_obs::Registry::new();
+        for &v in &values {
+            registry.observe(
+                "bench.test",
+                &[],
+                isgc_obs::Class::Timing,
+                &isgc_obs::buckets::linear(0.0, 1.0, 6),
+                v,
+            );
+        }
+        let from_hist = Aggregate::from_histogram(&registry.histogram("bench.test", &[]).unwrap());
+        let direct = Aggregate::of(&values);
+        assert!((from_hist.mean - direct.mean).abs() < 1e-12);
+        assert!((from_hist.std - direct.std).abs() < 1e-12);
+        assert_eq!(from_hist.trials, direct.trials);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn aggregate_from_empty_histogram_panics() {
+        let registry = isgc_obs::Registry::new();
+        registry.observe(
+            "bench.test",
+            &[],
+            isgc_obs::Class::Timing,
+            &isgc_obs::buckets::linear(0.0, 1.0, 2),
+            0.5,
+        );
+        let mut h = registry.histogram("bench.test", &[]).unwrap();
+        h.count = 0;
+        let _ = Aggregate::from_histogram(&h);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct ChaosConfig {
     pub features: usize,
     /// Sample count of the synthetic regression task.
     pub samples: usize,
+    /// When set, the run records the engine's per-step series (through the
+    /// master's [`NetConfig::metrics`] hook) plus the harness's fault and
+    /// restart counters (see [`crate::metrics`]) into this registry.
+    pub metrics: Option<isgc_obs::Registry>,
 }
 
 impl ChaosConfig {
@@ -62,6 +66,7 @@ impl ChaosConfig {
             batch_size: 8,
             features: 5,
             samples: 192,
+            metrics: None,
         }
     }
 }
@@ -151,6 +156,10 @@ pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> Result<ChaosOutcome,
         .as_ref()
         .map(|dir| CheckpointConfig::every_step(dir.join("master.ckpt")));
     net_config.repair_after_steps = plan.has_deaths().then_some(2);
+    // The engine's per-step series stitch naturally across master restarts:
+    // a resumed segment starts at the checkpointed step, so each step is
+    // recorded exactly once.
+    net_config.metrics = config.metrics.clone();
 
     let first = Master::bind("127.0.0.1:0").map_err(ChaosError::Net)?;
     let addr = first.local_addr().map_err(ChaosError::Net)?;
@@ -207,6 +216,9 @@ pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> Result<ChaosOutcome,
     let violations = check_invariants(plan, config, &placement, &reports, master_restarts);
     let final_loss = reports.last().map_or(f64::INFINITY, |r| r.loss);
     let fingerprint = fingerprint(&reports, &final_params);
+    if let Some(registry) = &config.metrics {
+        record_chaos_metrics(registry, plan, &workers, master_restarts, &violations);
+    }
     Ok(ChaosOutcome {
         plan: plan.name.clone(),
         reports,
@@ -216,6 +228,48 @@ pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> Result<ChaosOutcome,
         fingerprint,
         final_loss,
     })
+}
+
+/// Records the harness-level counters — the fault schedule by kind, what
+/// the workers actually applied, and restart/violation totals.
+fn record_chaos_metrics(
+    registry: &isgc_obs::Registry,
+    plan: &FaultPlan,
+    workers: &[ChaosWorkerSummary],
+    master_restarts: usize,
+    violations: &[String],
+) {
+    use isgc_obs::Class::Logical;
+    for fault in &plan.faults {
+        registry.inc(
+            crate::metrics::FAULTS_SCRIPTED_TOTAL,
+            &[("kind", fault.kind.label())],
+            Logical,
+        );
+    }
+    let applied: u64 = workers.iter().map(|w| w.faults_applied as u64).sum();
+    registry.inc_by(crate::metrics::FAULTS_APPLIED_TOTAL, &[], Logical, applied);
+    let reconnects: u64 = workers.iter().map(|w| w.reconnects as u64).sum();
+    registry.inc_by(
+        crate::metrics::WORKER_RECONNECTS_TOTAL,
+        &[],
+        Logical,
+        reconnects,
+    );
+    let deaths = workers.iter().filter(|w| w.died).count() as u64;
+    registry.inc_by(crate::metrics::WORKER_DEATHS_TOTAL, &[], Logical, deaths);
+    registry.inc_by(
+        crate::metrics::MASTER_RESTARTS_TOTAL,
+        &[],
+        Logical,
+        master_restarts as u64,
+    );
+    registry.inc_by(
+        crate::metrics::VIOLATIONS_TOTAL,
+        &[],
+        Logical,
+        violations.len() as u64,
+    );
 }
 
 /// The dataset every peer (master and workers) rebuilds identically.
@@ -341,8 +395,8 @@ fn check_invariants(
         let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
         let w = r.arrivals.len();
         if !repaired {
-            if !bounds::recovery_within_bounds(n, c, w, r.recovered) {
-                let (lo, hi) = bounds::recovery_bounds(n, c, w);
+            if !bounds::recovery_within_bounds_of(placement, w, r.recovered) {
+                let (lo, hi) = bounds::recovery_bounds_of(placement, w);
                 violations.push(format!(
                     "step {}: recovered {} outside Theorem 10-11 bounds [{lo}, {hi}] for w={w}",
                     r.step, r.recovered
@@ -501,8 +555,10 @@ mod tests {
             arrivals: vec![2, 0, 1],
             waited_ms: 5.0,
             duration: 0.005,
+            decode_ms: 0.0,
             selected: vec![0, 2],
             recovered: 4,
+            bounds: None,
             ignored: vec![1],
             dead: vec![],
             declined: vec![],
@@ -528,8 +584,10 @@ mod tests {
                     arrivals: vec![2, 0, 1],
                     waited_ms: 5.0,
                     duration: 0.005,
+                    decode_ms: 0.0,
                     selected: vec![0, 2],
                     recovered: 4,
+                    bounds: None,
                     ignored: vec![1],
                     dead: vec![],
                     declined: vec![],

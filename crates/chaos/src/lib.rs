@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod metrics;
 pub mod plan;
 pub mod rng;
 pub mod worker;

@@ -60,6 +60,20 @@ impl FaultKind {
             FaultKind::Drop | FaultKind::Corrupt | FaultKind::Truncate | FaultKind::Die
         )
     }
+
+    /// Stable lowercase name, used as the `kind` label on fault counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Stale => "stale",
+            FaultKind::Decline => "decline",
+            FaultKind::Die => "die",
+        }
+    }
 }
 
 /// One scripted fault: `worker` misbehaves per `kind` at `step`.

@@ -8,8 +8,13 @@
 //! min(⌈w/c⌉, ⌊n/c⌋)  ≤  α(G[W'])  ≤  min(w, ⌊n/c⌋)
 //! ```
 //!
-//! for FR, CR, and HR alike. Multiplying by `c` turns worker counts into
-//! recovered-partition counts.
+//! for FR and CR (and the `c₁ = 0` HR degeneration, which *is* CR).
+//! A genuine hybrid (`c₁ > 0`) has a different extremal structure — its `g`
+//! groups of `n₀ ≥ c` pairwise-conflicting workers cap `α` at `g`, which sits
+//! *below* `⌊n/c⌋` whenever `n₀ > c` — so the placement-aware
+//! [`alpha_bounds_of`] / [`recovery_bounds_of`] entry points dispatch on the
+//! scheme and are what the engine and harnesses should use. Multiplying by
+//! `c` turns worker counts into recovered-partition counts.
 
 /// Theorem 10: the worst-case number of selectable workers,
 /// `min(⌈w/c⌉, ⌊n/c⌋)`.
@@ -91,6 +96,129 @@ pub fn recovery_bounds(n: usize, c: usize, w: usize) -> (usize, usize) {
 pub fn recovery_within_bounds(n: usize, c: usize, w: usize, recovered: usize) -> bool {
     let (lo, hi) = recovery_bounds(n, c, w);
     (lo..=hi).contains(&recovered)
+}
+
+/// One decode checked against Theorems 10–11: the bound interval and the
+/// observed recovery, bundled as an emit-ready record — the engine copies
+/// it into every step report and the metrics layer turns it into bound
+/// histograms and violation counters without recomputing the theorems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundCheck {
+    /// Theorem 10 floor on recovered partitions for this arrival count.
+    pub lo: usize,
+    /// Theorem 11 ceiling on recovered partitions for this arrival count.
+    pub hi: usize,
+    /// Partitions the decode actually recovered.
+    pub recovered: usize,
+}
+
+impl BoundCheck {
+    /// Whether the observed recovery sits inside `[lo, hi]`.
+    pub fn within(&self) -> bool {
+        (self.lo..=self.hi).contains(&self.recovered)
+    }
+
+    /// Headroom above the Theorem 10 floor (`recovered − lo`, saturating).
+    pub fn margin(&self) -> usize {
+        self.recovered.saturating_sub(self.lo)
+    }
+}
+
+/// Checks one decode against Theorems 10–11 and returns the full record.
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `w > n`.
+pub fn check_recovery(n: usize, c: usize, w: usize, recovered: usize) -> BoundCheck {
+    let (lo, hi) = recovery_bounds(n, c, w);
+    BoundCheck { lo, hi, recovered }
+}
+
+/// Placement-aware bracket on the number of selectable workers `α(G[W'])`,
+/// as `(lower, upper)`.
+///
+/// For FR and CR this is exactly Theorems 10–11,
+/// `min(⌈w/c⌉, ⌊n/c⌋) ≤ α ≤ min(w, ⌊n/c⌋)`. For a *genuine* hybrid
+/// (`c₁ > 0`) the Theorem 6 constraint `n₀ ≤ c + c₁` makes workers within a
+/// group pairwise conflict, while workers in different groups conflict only
+/// through the `c₂` global cyclic rows (circular distance `< c₂ < n₀`), so
+///
+/// ```text
+/// ⌈w/n₀⌉  ≤  α(G[W'])  ≤  min(w, g)
+/// ```
+///
+/// with both ends attained (an adversary packs arrivals into ⌈w/n₀⌉ full
+/// groups; a friend spreads one arrival per group, `n₀ > c₂` apart). At the
+/// `n₀ = c` FR corner this is Theorems 10–11 verbatim (`g = n/c`). The naive
+/// `⌊n/c⌋` ceiling — and the `⌈w/c⌉` floor it caps — is *wrong* for
+/// `n₀ > c` hybrids, which the full Theorem 6-range decoder sweep exposed;
+/// `hr_bounds_exhaustive_over_theorem6_range` below verifies the hybrid
+/// bracket against the exact `α` on every availability pattern of every
+/// valid small shape.
+///
+/// # Panics
+///
+/// Panics if `w > n`.
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::{bounds, HrParams, Placement};
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// // Genuine hybrid HR(14, c₁=3, c₂=1): g = 2 groups of n₀ = 7 > c = 4.
+/// // α is capped at g = 2, below ⌊n/c⌋ = 3 — with all 14 workers up the
+/// // naive Theorem 10 floor min(⌈14/4⌉, 3) = 3 already exceeds it.
+/// let p = Placement::hybrid(HrParams::new(14, 2, 3, 1))?;
+/// assert_eq!(bounds::alpha_bounds_of(&p, 14), (2, 2));
+/// assert_eq!(bounds::alpha_bounds_of(&p, 3), (1, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn alpha_bounds_of(placement: &crate::Placement, w: usize) -> (usize, usize) {
+    let n = placement.n();
+    assert!(w <= n, "w={w} cannot exceed n={n}");
+    match placement.hr_params() {
+        Some(prm) if prm.c1() > 0 => (w.div_ceil(prm.n0()), w.min(prm.g())),
+        _ => {
+            let c = placement.c();
+            (alpha_lower_bound(n, c, w), alpha_upper_bound(n, c, w))
+        }
+    }
+}
+
+/// Placement-aware recovered-partition bracket: `c · alpha_bounds_of`,
+/// ceiling capped at `n`.
+///
+/// # Panics
+///
+/// Panics if `w > n`.
+pub fn recovery_bounds_of(placement: &crate::Placement, w: usize) -> (usize, usize) {
+    let c = placement.c();
+    let (lo, hi) = alpha_bounds_of(placement, w);
+    (c * lo, (c * hi).min(placement.n()))
+}
+
+/// Whether `recovered` partitions from `w` available workers is consistent
+/// with the placement-aware bracket of [`recovery_bounds_of`].
+///
+/// # Panics
+///
+/// Panics if `w > n`.
+pub fn recovery_within_bounds_of(placement: &crate::Placement, w: usize, recovered: usize) -> bool {
+    let (lo, hi) = recovery_bounds_of(placement, w);
+    (lo..=hi).contains(&recovered)
+}
+
+/// Checks one decode against the placement-aware bracket and returns the
+/// full [`BoundCheck`] record — what the step engine emits on every decode.
+///
+/// # Panics
+///
+/// Panics if `w > n`.
+pub fn check_recovery_of(placement: &crate::Placement, w: usize, recovered: usize) -> BoundCheck {
+    let (lo, hi) = recovery_bounds_of(placement, w);
+    BoundCheck { lo, hi, recovered }
 }
 
 /// The largest number of stragglers `s` for which **full** recovery of all
@@ -218,8 +346,26 @@ mod tests {
         }
     }
 
-    /// Every decoder's output must fall within Theorems 10-11 for every
-    /// availability pattern of exhaustive small instances.
+    #[test]
+    fn check_recovery_agrees_with_predicate() {
+        for n in 1..=10 {
+            for c in 1..=n {
+                for w in 0..=n {
+                    for recovered in 0..=n {
+                        let check = check_recovery(n, c, w, recovered);
+                        assert_eq!(check.within(), recovery_within_bounds(n, c, w, recovered));
+                        assert_eq!((check.lo, check.hi), recovery_bounds(n, c, w));
+                        assert_eq!(check.margin(), recovered.saturating_sub(check.lo));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every decoder's output must fall within the placement-aware bounds
+    /// for every availability pattern of exhaustive small instances —
+    /// including genuine hybrids with `n₀ > c`, where the naive Theorems
+    /// 10–11 formulas do not apply.
     #[test]
     fn decoders_respect_bounds_exhaustively() {
         let mut rng = StdRng::seed_from_u64(31);
@@ -234,22 +380,118 @@ mod tests {
             let hr = Placement::hybrid(HrParams::new(8, 2, c1, 4 - c1)).unwrap();
             cases.push((hr.clone(), Box::new(HrDecoder::new(&hr).unwrap())));
         }
+        // Genuine n₀ > c hybrids (full-range shapes the FR corner misses).
+        for prm in [HrParams::new(6, 2, 1, 1), HrParams::new(10, 2, 3, 1)] {
+            prm.validate().unwrap();
+            let hr = Placement::hybrid(prm).unwrap();
+            cases.push((hr.clone(), Box::new(HrDecoder::new(&hr).unwrap())));
+        }
         for (placement, decoder) in &cases {
-            let (n, c) = (placement.n(), placement.c());
+            let n = placement.n();
             for mask in 0u32..(1 << n) {
                 let avail = WorkerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
                 let w = avail.len();
                 let got = decoder.decode(&avail, &mut rng).selected().len();
+                let (lo, hi) = alpha_bounds_of(placement, w);
                 assert!(
-                    got >= alpha_lower_bound(n, c, w),
-                    "{} n={n} c={c} mask={mask:b}: {got} < lower",
+                    got >= lo,
+                    "{} n={n} mask={mask:b}: {got} < lower {lo}",
                     placement.scheme()
                 );
                 assert!(
-                    got <= alpha_upper_bound(n, c, w),
-                    "{} n={n} c={c} mask={mask:b}: {got} > upper",
+                    got <= hi,
+                    "{} n={n} mask={mask:b}: {got} > upper {hi}",
                     placement.scheme()
                 );
+            }
+        }
+    }
+
+    /// The hybrid bracket `⌈w/n₀⌉ ≤ α(G[W']) ≤ min(w, g)` against the exact
+    /// independence number, exhaustively over every availability pattern of
+    /// every valid genuine-HR shape with `n ≤ 12` (the Theorem 6 range
+    /// `c ≤ n₀ ≤ 2c − 1`, every admissible `c₁ > 0`) — and both ends must be
+    /// attained somewhere whenever the bracket is non-degenerate.
+    #[test]
+    fn hr_bounds_exhaustive_over_theorem6_range() {
+        let mut shapes = 0usize;
+        for g in 2usize..=3 {
+            for c in 2usize..=4 {
+                for n0 in c..=(2 * c - 1) {
+                    let n = g * n0;
+                    if n > 12 {
+                        continue;
+                    }
+                    for c1 in 1..=c.min(n0) {
+                        let prm = HrParams::new(n, g, c1, c - c1);
+                        if prm.validate().is_err() {
+                            continue;
+                        }
+                        let placement = Placement::hybrid(prm).unwrap();
+                        let graph = crate::ConflictGraph::from_placement(&placement);
+                        for w in 1..=n {
+                            let (lo, hi) = alpha_bounds_of(&placement, w);
+                            let mut lo_attained = false;
+                            let mut hi_attained = false;
+                            let mut mask: u32 = (1 << w) - 1;
+                            let limit: u32 = 1 << n;
+                            while mask < limit {
+                                let avail = WorkerSet::from_indices(
+                                    n,
+                                    (0..n).filter(|&i| mask & (1 << i) != 0),
+                                );
+                                let alpha = graph.alpha(&avail);
+                                assert!(
+                                    (lo..=hi).contains(&alpha),
+                                    "{prm:?} w={w} mask={mask:b}: alpha={alpha} outside [{lo}, {hi}]"
+                                );
+                                lo_attained |= alpha == lo;
+                                hi_attained |= alpha == hi;
+                                // Next mask with the same popcount.
+                                let c0 = mask & mask.wrapping_neg();
+                                let r = mask + c0;
+                                mask = (((r ^ mask) >> 2) / c0) | r;
+                            }
+                            assert!(lo_attained, "{prm:?} w={w}: floor {lo} never attained");
+                            assert!(hi_attained, "{prm:?} w={w}: ceiling {hi} never attained");
+                        }
+                        shapes += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            shapes >= 10,
+            "exhaustive sweep covered only {shapes} shapes"
+        );
+    }
+
+    /// On FR and CR the placement-aware entry points agree exactly with the
+    /// raw Theorem 10–11 formulas.
+    #[test]
+    fn placement_aware_bounds_match_formulas_on_fr_cr() {
+        for (n, c) in [(6usize, 2usize), (8, 4), (9, 3), (7, 3)] {
+            let mut placements = vec![Placement::cyclic(n, c).unwrap()];
+            if n.is_multiple_of(c) {
+                placements.push(Placement::fractional(n, c).unwrap());
+                // c₁ = 0 HR is CR by construction.
+                placements.push(Placement::hybrid(HrParams::new(n, 1, 0, c)).unwrap());
+            }
+            for p in &placements {
+                for w in 0..=n {
+                    assert_eq!(
+                        alpha_bounds_of(p, w),
+                        (alpha_lower_bound(n, c, w), alpha_upper_bound(n, c, w)),
+                        "{} n={n} c={c} w={w}",
+                        p.scheme()
+                    );
+                    assert_eq!(recovery_bounds_of(p, w), recovery_bounds(n, c, w));
+                    for recovered in 0..=n {
+                        let check = check_recovery_of(p, w, recovered);
+                        assert_eq!(check, check_recovery(n, c, w, recovered));
+                        assert_eq!(check.within(), recovery_within_bounds_of(p, w, recovered));
+                    }
+                }
             }
         }
     }

@@ -42,9 +42,11 @@
 //! - **Normalization and the SGD update** (Theorem 12), plus the unified
 //!   [`StepReport`]/[`TrainReport`].
 
+pub mod metrics;
 mod repair;
 mod report;
 
+pub use metrics::MetricsObserver;
 pub use report::{RepairEvent, StepReport, TrainReport};
 
 use isgc_core::classic::ClassicGc;
@@ -323,6 +325,14 @@ pub struct NoopObserver;
 
 impl Observer for NoopObserver {}
 
+/// Forwarding impl so observers can be chained by mutable reference (e.g.
+/// wrapping a caller-owned observer in a [`MetricsObserver`]).
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_step(&mut self, report: &StepReport) -> StepControl {
+        (**self).on_step(report)
+    }
+}
+
 /// Adapts a closure into an [`Observer`].
 pub struct FnObserver<F: FnMut(&StepReport) -> StepControl>(pub F);
 
@@ -568,7 +578,6 @@ impl StepEngine {
             Sgd::new(self.config.learning_rate)
         };
         let all_indices: Vec<usize> = (0..dataset.len()).collect();
-        let c = self.config.placement.c();
 
         let mut steps: Vec<StepReport> = Vec::new();
         let mut reached_threshold = false;
@@ -609,16 +618,24 @@ impl StepEngine {
                 last_loss,
             })?;
             let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
+            let decode_started = std::time::Instant::now();
             let decoded = self.decode(&available, step);
+            let decode_ms = decode_started.elapsed().as_secs_f64() * 1e3;
 
-            if self.bounds_checked && !self.repair.repaired && !decoded.failed {
-                let (lo, hi) = bounds::recovery_bounds(n, c, collected.arrivals.len());
-                if !(lo..=hi).contains(&decoded.recovered) {
+            let bound_check = (self.bounds_checked && !self.repair.repaired).then(|| {
+                bounds::check_recovery_of(
+                    &self.config.placement,
+                    collected.arrivals.len(),
+                    decoded.recovered,
+                )
+            });
+            if let Some(check) = bound_check {
+                if !decoded.failed && !check.within() {
                     return Err(EngineError::BoundViolation {
                         step,
                         recovered: decoded.recovered,
-                        lo,
-                        hi,
+                        lo: check.lo,
+                        hi: check.hi,
                     });
                 }
             }
@@ -632,7 +649,7 @@ impl StepEngine {
                 return Err(EngineError::Degraded {
                     step,
                     recovered: 0,
-                    bound: bounds::recovery_lower_bound(n, c, alive_count.min(n)),
+                    bound: bounds::recovery_bounds_of(&self.config.placement, alive_count.min(n)).0,
                 });
             }
 
@@ -678,8 +695,10 @@ impl StepEngine {
                 arrivals: collected.arrivals,
                 waited_ms: collected.waited_ms,
                 duration: collected.duration,
+                decode_ms,
                 selected: decoded.selected,
                 recovered: decoded.recovered,
+                bounds: bound_check.map(|check| (check.lo, check.hi)),
                 dead: (0..n).filter(|&w| !alive_now[w]).collect(),
                 declined: collected.declined,
                 repairs,

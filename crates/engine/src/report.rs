@@ -16,7 +16,10 @@ pub struct RepairEvent {
 
 /// What the engine observed during one training step, identical in shape
 /// across the threaded runtime, the simulator, and the TCP master.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores [`StepReport::decode_ms`]: it is host timing, not step
+/// semantics, so deterministic reruns still compare equal.
+#[derive(Debug, Clone)]
 pub struct StepReport {
     /// The step this report describes.
     pub step: u64,
@@ -28,10 +31,18 @@ pub struct StepReport {
     /// Duration of the step in seconds (simulated time for the simulator,
     /// wall-clock collection time elsewhere).
     pub duration: f64,
+    /// Wall-clock time the decode itself took, in milliseconds. Excluded
+    /// from equality; feeds the timing-classed decode-latency histogram.
+    pub decode_ms: f64,
     /// The decoder's chosen ignoring-set complement `I` (selected workers).
     pub selected: Vec<usize>,
     /// Number of partitions recovered by the decode.
     pub recovered: usize,
+    /// The Theorem 10–11 recovery interval `(lo, hi)` for this step's
+    /// arrival count, when the theorems apply (scheme decoder over an
+    /// intact FR/CR/HR placement); `None` after placement repair, for
+    /// classic/strawman codecs, and for custom placements.
+    pub bounds: Option<(usize, usize)>,
     /// Workers whose gradient did not contribute this step (ignored
     /// stragglers plus dead workers).
     pub ignored: Vec<usize>,
@@ -50,6 +61,25 @@ pub struct StepReport {
     pub failed_decode: bool,
     /// Full-dataset training loss after the update.
     pub loss: f64,
+}
+
+impl PartialEq for StepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.step == other.step
+            && self.arrivals == other.arrivals
+            && self.waited_ms == other.waited_ms
+            && self.duration == other.duration
+            && self.selected == other.selected
+            && self.recovered == other.recovered
+            && self.bounds == other.bounds
+            && self.ignored == other.ignored
+            && self.dead == other.dead
+            && self.declined == other.declined
+            && self.repairs == other.repairs
+            && self.stale == other.stale
+            && self.failed_decode == other.failed_decode
+            && self.loss == other.loss
+    }
 }
 
 /// The complete record of a training run, produced by
@@ -241,8 +271,10 @@ mod tests {
             arrivals: vec![0, 1],
             waited_ms,
             duration: waited_ms / 1e3,
+            decode_ms: 0.0,
             selected: vec![0, 1],
             recovered,
+            bounds: Some((2, 4)),
             ignored: vec![2],
             dead: vec![],
             declined: vec![],
@@ -290,6 +322,16 @@ mod tests {
         assert_eq!(r.codewords_received(), vec![2, 2]);
         // 2 steps × 2 codewords × dim 3 × 8 bytes.
         assert_eq!(r.total_upload_bytes(3), 2 * 2 * 3 * 8);
+    }
+
+    #[test]
+    fn equality_ignores_decode_timing_but_not_bounds() {
+        let a = step(0, 4, 10.0, 0.8);
+        let mut b = a.clone();
+        b.decode_ms = 99.0;
+        assert_eq!(a, b, "decode wall time is not step semantics");
+        b.bounds = Some((0, 4));
+        assert_ne!(a, b, "the Theorem 10–11 interval is step semantics");
     }
 
     #[test]

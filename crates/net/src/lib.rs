@@ -27,6 +27,7 @@
 
 pub mod checkpoint;
 pub mod master;
+pub mod metrics;
 pub mod report;
 pub mod retry;
 pub mod wire;

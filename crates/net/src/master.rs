@@ -36,7 +36,7 @@ use isgc_ml::model::Model;
 use crate::checkpoint::{CheckpointConfig, MasterCheckpoint};
 use crate::report::{NetReport, NetTrainReport};
 use crate::retry::RetryPolicy;
-use crate::wire::{read_message, write_message, Message, WireError};
+use crate::wire::{read_message, read_message_sized, write_message, Message, WireError};
 use crate::{NetError, WaitPolicy};
 
 pub use isgc_engine::StepControl;
@@ -81,6 +81,10 @@ pub struct NetConfig {
     /// the next broadcast. Workers already declared dead by placement
     /// repair are never waited for.
     pub rejoin_grace: Duration,
+    /// When set, the master records the engine's per-step metric series
+    /// (via [`isgc_engine::MetricsObserver`]) plus transport byte/frame
+    /// counters (see [`crate::metrics`]) into this registry.
+    pub metrics: Option<isgc_obs::Registry>,
 }
 
 impl NetConfig {
@@ -99,6 +103,7 @@ impl NetConfig {
             checkpoint: None,
             repair_after_steps: None,
             rejoin_grace: Duration::ZERO,
+            metrics: None,
         }
     }
 
@@ -176,11 +181,12 @@ enum Event {
         stream: TcpStream,
         preferred: Option<u64>,
     },
-    /// A registered connection produced a message.
+    /// A registered connection produced a message of `bytes` wire bytes.
     Msg {
         worker: usize,
         epoch: u64,
         message: Message,
+        bytes: usize,
     },
     /// A registered connection died (EOF, reset, or protocol error).
     Gone { worker: usize, epoch: u64 },
@@ -348,15 +354,27 @@ impl Master {
                 .map_err(engine_to_net)?;
             loop_state.await_registration()?;
             let mut step_observer = FnObserver(|report: &StepReport| observer(report));
-            engine
-                .run(
-                    model,
-                    dataset,
-                    Some(params),
-                    &mut loop_state,
-                    &mut step_observer,
-                )
-                .map_err(engine_to_net)
+            match config.metrics.clone() {
+                Some(registry) => {
+                    // Wrap the caller's observer so the engine's logical
+                    // series lands in the registry; the inner observer keeps
+                    // its StepControl authority.
+                    let mut metered =
+                        isgc_engine::MetricsObserver::wrapping(registry, n, &mut step_observer);
+                    engine
+                        .run(model, dataset, Some(params), &mut loop_state, &mut metered)
+                        .map_err(engine_to_net)
+                }
+                None => engine
+                    .run(
+                        model,
+                        dataset,
+                        Some(params),
+                        &mut loop_state,
+                        &mut step_observer,
+                    )
+                    .map_err(engine_to_net),
+            }
         })();
 
         // Tell workers we're done and unblock the accept loop so its thread
@@ -429,13 +447,14 @@ fn spawn_reader(stream: TcpStream, worker: usize, epoch: u64, tx: Sender<Event>)
         .spawn(move || {
             let mut stream = stream;
             loop {
-                match read_message(&mut stream) {
-                    Ok(message) => {
+                match read_message_sized(&mut stream) {
+                    Ok((message, bytes)) => {
                         if tx
                             .send(Event::Msg {
                                 worker,
                                 epoch,
                                 message,
+                                bytes,
                             })
                             .is_err()
                         {
@@ -483,14 +502,16 @@ impl Collector for MasterLoop {
         let touched: std::collections::BTreeSet<usize> = events.iter().map(|e| e.to).collect();
         for id in touched {
             let message = self.assign_message(id);
-            let slot = &mut self.slots[id];
-            let ok = slot
+            let sent = self.slots[id]
                 .writer
                 .as_mut()
-                .is_some_and(|w| write_message(w, &message).is_ok());
-            if !ok {
-                slot.alive = false;
-                slot.writer = None;
+                .and_then(|w| write_message(w, &message).ok());
+            match sent {
+                Some(bytes) => self.count_sent(bytes),
+                None => {
+                    self.slots[id].alive = false;
+                    self.slots[id].writer = None;
+                }
             }
         }
     }
@@ -522,6 +543,29 @@ impl MasterLoop {
         self.slots.len()
     }
 
+    /// Counts one outbound frame, when a metrics registry is attached.
+    fn count_sent(&self, bytes: usize) {
+        if let Some(registry) = &self.config.metrics {
+            use isgc_obs::Class::Timing;
+            registry.inc(crate::metrics::FRAMES_SENT_TOTAL, &[], Timing);
+            registry.inc_by(crate::metrics::BYTES_SENT_TOTAL, &[], Timing, bytes as u64);
+        }
+    }
+
+    /// Counts one inbound frame, when a metrics registry is attached.
+    fn count_received(&self, bytes: usize) {
+        if let Some(registry) = &self.config.metrics {
+            use isgc_obs::Class::Timing;
+            registry.inc(crate::metrics::FRAMES_RECEIVED_TOTAL, &[], Timing);
+            registry.inc_by(
+                crate::metrics::BYTES_RECEIVED_TOTAL,
+                &[],
+                Timing,
+                bytes as u64,
+            );
+        }
+    }
+
     /// Handles one event; codewords and declines are returned to the
     /// caller, everything else mutates slot state here.
     fn dispatch(&mut self, event: Event) -> Dispatched {
@@ -541,7 +585,9 @@ impl MasterLoop {
                 worker,
                 epoch,
                 message,
+                bytes,
             } => {
+                self.count_received(bytes);
                 if self.slots[worker].epoch != epoch {
                     return Dispatched::Nothing; // from a replaced connection
                 }
@@ -593,9 +639,10 @@ impl MasterLoop {
             Ok(s) => s,
             Err(_) => return,
         };
-        if write_message(&mut write_half, &assign).is_err() {
+        let Ok(assign_bytes) = write_message(&mut write_half, &assign) else {
             return;
-        }
+        };
+        self.count_sent(assign_bytes);
         let slot = &mut self.slots[id];
         slot.epoch += 1;
         slot.registered = true;
@@ -634,17 +681,28 @@ impl MasterLoop {
 
     /// Sends a message to every alive worker, demoting ones that fail.
     fn broadcast(&mut self, message: &Message) {
+        let mut frames = 0u64;
+        let mut bytes = 0u64;
         for slot in &mut self.slots {
             if !slot.alive {
                 continue;
             }
-            let ok = slot
-                .writer
-                .as_mut()
-                .is_some_and(|w| write_message(w, message).is_ok());
-            if !ok {
-                slot.alive = false;
-                slot.writer = None;
+            match slot.writer.as_mut().map(|w| write_message(w, message)) {
+                Some(Ok(sent)) => {
+                    frames += 1;
+                    bytes += sent as u64;
+                }
+                _ => {
+                    slot.alive = false;
+                    slot.writer = None;
+                }
+            }
+        }
+        if frames > 0 {
+            if let Some(registry) = &self.config.metrics {
+                use isgc_obs::Class::Timing;
+                registry.inc_by(crate::metrics::FRAMES_SENT_TOTAL, &[], Timing, frames);
+                registry.inc_by(crate::metrics::BYTES_SENT_TOTAL, &[], Timing, bytes);
             }
         }
     }

@@ -1,0 +1,26 @@
+//! Transport-level metric names the TCP master feeds into an
+//! [`isgc_obs::Registry`].
+//!
+//! All series here are [`isgc_obs::Class::Timing`]: they measure what this
+//! particular transport put on the wire, which no other backend reproduces,
+//! so they are excluded from logical snapshots and cross-backend comparisons.
+//! The *logical* per-step series (recovery counts, bounds, repair events)
+//! come from [`isgc_engine::metrics`] and are identical across backends.
+//!
+//! Counters cover frames on *registered* connections — the short-lived
+//! `Hello` handshake read happens before a connection owns a slot and is not
+//! metered.
+
+/// Total bytes written to workers (headers + payloads), across `Assign`,
+/// `Params`, `Shutdown`, and repair re-assignments.
+pub const BYTES_SENT_TOTAL: &str = "net.bytes.sent.total";
+
+/// Total bytes read from registered workers (codewords, heartbeats,
+/// declines).
+pub const BYTES_RECEIVED_TOTAL: &str = "net.bytes.received.total";
+
+/// Total frames written to workers.
+pub const FRAMES_SENT_TOTAL: &str = "net.frames.sent.total";
+
+/// Total frames read from registered workers.
+pub const FRAMES_RECEIVED_TOTAL: &str = "net.frames.received.total";

@@ -284,15 +284,17 @@ impl Message {
     }
 }
 
-/// Writes one framed message to `w` and flushes it.
+/// Writes one framed message to `w` and flushes it, returning the number of
+/// bytes put on the wire (header + payload).
 ///
 /// # Errors
 ///
 /// Propagates transport failures as [`WireError::Io`].
-pub fn write_message(w: &mut impl Write, message: &Message) -> Result<(), WireError> {
-    w.write_all(&message.encode())?;
+pub fn write_message(w: &mut impl Write, message: &Message) -> Result<usize, WireError> {
+    let frame = message.encode();
+    w.write_all(&frame)?;
     w.flush()?;
-    Ok(())
+    Ok(frame.len())
 }
 
 /// Reads exactly one framed message from `r`.
@@ -302,6 +304,16 @@ pub fn write_message(w: &mut impl Write, message: &Message) -> Result<(), WireEr
 /// [`WireError::Closed`] when the peer shut down cleanly between frames;
 /// otherwise any [`WireError`] a malformed frame produces.
 pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
+    read_message_sized(r).map(|(message, _)| message)
+}
+
+/// Reads exactly one framed message from `r`, also returning the frame size
+/// in bytes (header + payload) — the master's byte counters feed on this.
+///
+/// # Errors
+///
+/// As [`read_message`].
+pub fn read_message_sized(r: &mut impl Read) -> Result<(Message, usize), WireError> {
     let mut header = [0u8; 9];
     // Distinguish clean EOF (no bytes at a frame boundary) from truncation.
     let mut filled = 0;
@@ -338,7 +350,8 @@ pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
             WireError::Io(e)
         }
     })?;
-    Message::decode_payload(&payload)
+    let message = Message::decode_payload(&payload)?;
+    Ok((message, header.len() + payload.len()))
 }
 
 fn put_u64(buf: &mut Vec<u8>, x: u64) {
@@ -432,9 +445,18 @@ mod tests {
         let (decoded, used) = Message::decode(&frame).expect("decode");
         assert_eq!(decoded, message);
         assert_eq!(used, frame.len());
-        // Streaming path agrees with the slice path.
-        let mut reader = io::Cursor::new(frame);
-        assert_eq!(read_message(&mut reader).expect("read"), message);
+        // Streaming path agrees with the slice path, and both size accounts
+        // (reader and writer) report the full frame length.
+        let mut reader = io::Cursor::new(frame.clone());
+        let (streamed, bytes) = read_message_sized(&mut reader).expect("read");
+        assert_eq!(streamed, message);
+        assert_eq!(bytes, frame.len());
+        let mut sink = Vec::new();
+        assert_eq!(
+            write_message(&mut sink, &message).expect("write"),
+            frame.len()
+        );
+        assert_eq!(sink, frame);
     }
 
     #[test]

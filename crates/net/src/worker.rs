@@ -357,7 +357,7 @@ fn serve_messages<M: Model>(
             write_message(&mut *guard, &reply)
         };
         match sent {
-            Ok(()) => *steps_served += 1,
+            Ok(_) => *steps_served += 1,
             Err(WireError::Io(_)) | Err(WireError::Closed) => return SessionEnd::Lost,
             Err(_) => return SessionEnd::Lost,
         }

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use isgc_core::Placement;
 use isgc_engine::{
-    CodecSpec, Collected, Collector, EngineConfig, NoopObserver, StepContext, StepEngine,
+    CodecSpec, Collected, Collector, EngineConfig, NoopObserver, Observer, StepContext, StepEngine,
 };
 use isgc_linalg::Vector;
 use isgc_ml::dataset::Dataset;
@@ -199,6 +199,7 @@ impl Collector for RuntimeCollector {
 }
 
 /// Spawns the worker threads and drives a [`StepEngine`] over them.
+#[allow(clippy::too_many_arguments)]
 fn run_threaded<M>(
     model: M,
     dataset: Dataset,
@@ -207,6 +208,7 @@ fn run_threaded<M>(
     weights_of: impl Fn(usize) -> Vec<f64>,
     ensure_progress: bool,
     config: &ThreadedConfig,
+    observer: &mut dyn Observer,
 ) -> ThreadedReport
 where
     M: Model + Clone + Send + Sync + 'static,
@@ -264,7 +266,7 @@ where
         ensure_progress,
     };
     let report = engine
-        .run(&*model, &dataset, None, &mut collector, &mut NoopObserver)
+        .run(&*model, &dataset, None, &mut collector, observer)
         .unwrap_or_else(|e| panic!("threaded training failed: {e}"));
 
     for tx in &collector.cmd_txs {
@@ -330,6 +332,38 @@ where
         |_| vec![1.0; placement.c()],
         true,
         config,
+        &mut NoopObserver,
+    )
+}
+
+/// Like [`train_threaded`], but records the per-step metric series into the
+/// given [`isgc_obs::Registry`] via [`isgc_engine::MetricsObserver`], so a
+/// threaded run exports the same logical series as the simulator and the TCP
+/// runtime (plus its own wall-clock timings).
+///
+/// # Panics
+///
+/// As [`train_threaded`].
+pub fn train_threaded_metered<M>(
+    model: M,
+    dataset: Dataset,
+    placement: &Placement,
+    config: &ThreadedConfig,
+    registry: &isgc_obs::Registry,
+) -> ThreadedReport
+where
+    M: Model + Clone + Send + Sync + 'static,
+{
+    let mut observer = isgc_engine::MetricsObserver::new(registry.clone(), placement.n());
+    run_threaded(
+        model,
+        dataset,
+        placement,
+        CodecSpec::Scheme,
+        |_| vec![1.0; placement.c()],
+        true,
+        config,
+        &mut observer,
     )
 }
 
@@ -369,6 +403,7 @@ where
         },
         false,
         config,
+        &mut NoopObserver,
     )
 }
 
@@ -403,6 +438,35 @@ mod tests {
         assert!(report.reached_threshold, "loss={}", report.final_loss());
         assert!(report.wall_time > 0.0);
         assert_eq!(report.loss_curve().len(), report.step_count());
+    }
+
+    #[test]
+    fn metered_run_fills_the_registry() {
+        let placement = Placement::cyclic(4, 2).unwrap();
+        let data = Dataset::synthetic_regression(128, 3, 0.02, 5);
+        let registry = isgc_obs::Registry::new();
+        let report = train_threaded_metered(
+            LinearRegression::new(3),
+            data,
+            &placement,
+            &config(4, Arc::new(|_, _| Duration::ZERO)),
+            &registry,
+        );
+        assert_eq!(
+            registry.counter(isgc_engine::metrics::names::STEPS_TOTAL, &[]),
+            Some(report.step_count() as u64)
+        );
+        let recovered: u64 = report.steps.iter().map(|s| s.recovered as u64).sum();
+        assert_eq!(
+            registry.counter(isgc_engine::metrics::names::PARTITIONS_RECOVERED_TOTAL, &[]),
+            Some(recovered)
+        );
+        // The threaded backend times real decodes, so the latency histogram
+        // must carry one sample per step.
+        let hist = registry
+            .histogram(isgc_engine::metrics::names::DECODE_LATENCY_MS, &[])
+            .expect("decode latency histogram");
+        assert_eq!(hist.count, report.step_count() as u64);
     }
 
     #[test]

@@ -212,6 +212,37 @@ pub fn train_observed<M: Model>(
     )
 }
 
+/// [`train`], with every step additionally recorded into an
+/// [`isgc_obs::Registry`] under the engine's shared metric catalogue
+/// ([`isgc_engine::metrics`]) — the simulator side of the cross-backend
+/// metrics parity story. Simulated waits land in the timing-classed series
+/// even though they are deterministic here, because their *values* are
+/// simulated time and would never match a wall-clock backend's.
+///
+/// # Panics
+///
+/// As [`train`].
+pub fn train_metered<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    scheme: &CodingScheme,
+    policy: &WaitPolicy,
+    cluster: ClusterConfig,
+    config: &TrainingConfig,
+    registry: &isgc_obs::Registry,
+) -> TrainReport {
+    let mut observer = isgc_engine::MetricsObserver::new(registry.clone(), cluster.n);
+    train_observed(
+        model,
+        dataset,
+        scheme,
+        policy,
+        cluster,
+        config,
+        &mut observer,
+    )
+}
+
 /// Runs a training job with a **closed-loop adaptive wait policy** (paper
 /// §IV's "fewer workers at the beginning, more afterwards", driven by
 /// observed loss instead of a fixed schedule).
@@ -825,8 +856,10 @@ mod tests {
                 arrivals: vec![0, 1, 2, 3],
                 waited_ms: duration * 1e3,
                 duration,
+                decode_ms: 0.0,
                 selected: vec![0, 2],
                 recovered: 4,
+                bounds: Some((4, 4)),
                 ignored: vec![1, 3],
                 dead: vec![],
                 declined: vec![],
@@ -888,6 +921,38 @@ mod tests {
         assert!(report.codewords_received().iter().all(|&m| m == 3));
         // 25 steps × 3 codewords × dim 5 (4 weights + bias) × 8 bytes.
         assert_eq!(report.total_upload_bytes(5), 25 * 3 * 5 * 8);
+    }
+
+    #[test]
+    fn metered_training_fills_the_registry_deterministically() {
+        use isgc_engine::metrics::names;
+        use isgc_obs::{Registry, Snapshot};
+        let (model, data, mut config) = regression_setup();
+        config.max_steps = 6;
+        config.loss_threshold = 0.0;
+        let run = |registry: &Registry| {
+            let placement = Placement::cyclic(4, 2).unwrap();
+            train_metered(
+                &model,
+                &data,
+                &CodingScheme::IsGc(placement),
+                &WaitPolicy::WaitForCount(3),
+                straggly_cluster(4, 1.0, 1),
+                &config,
+                registry,
+            )
+        };
+        let (a, b) = (Registry::new(), Registry::new());
+        let report = run(&a);
+        run(&b);
+        assert_eq!(a.counter(names::STEPS_TOTAL, &[]), Some(6));
+        assert_eq!(
+            a.counter(names::PARTITIONS_RECOVERED_TOTAL, &[]),
+            Some(report.steps.iter().map(|s| s.recovered as u64).sum())
+        );
+        assert_eq!(a.gauge(names::LOSS_LAST, &[]), Some(report.final_loss()));
+        assert_eq!(a.to_text(Snapshot::Logical), b.to_text(Snapshot::Logical));
+        assert_eq!(a.to_jsonl(Snapshot::Logical), b.to_jsonl(Snapshot::Logical));
     }
 
     #[test]

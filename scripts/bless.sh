@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates the golden metric snapshots in tests/golden/ from the current
+# code, then immediately re-runs the suite un-blessed to prove the new
+# goldens are stable. Use only when a change *intentionally* alters the
+# logical metric series; review the resulting diff like any other code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== blessing golden snapshots (ISGC_BLESS=1)"
+ISGC_BLESS=1 cargo test -q --test obs_snapshot
+
+echo "== verifying the fresh goldens reproduce un-blessed"
+cargo test -q --test obs_snapshot
+
+echo "ok: goldens re-blessed — inspect 'git diff tests/golden/' before committing"

@@ -19,7 +19,12 @@ cargo test --workspace -q
 echo "== cross-backend engine parity (net loopback vs simulator)"
 cargo test -q --test engine_parity
 
+echo "== metrics snapshots match their goldens (scripts/bless.sh to re-bless)"
+# Runs un-blessed: any drift of the logical metric series from the files in
+# tests/golden/ is a hard failure here, never a silent regeneration.
+cargo test -q --test obs_snapshot
+
 echo "== chaos smoke (seeded, deterministic)"
 cargo run --release --quiet -- chaos --plan smoke --seed 42
 
-echo "ok: fmt, clippy, docs, tests, engine parity, and chaos smoke all clean"
+echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, and chaos smoke all clean"

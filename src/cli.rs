@@ -11,10 +11,11 @@ use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
 use isgc_net::{Master, NetConfig, WaitPolicy as NetWaitPolicy, WorkerOptions};
+use isgc_obs::{Registry, Snapshot};
 use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
 use isgc_simnet::delay::Delay;
 use isgc_simnet::policy::WaitPolicy;
-use isgc_simnet::trainer::{train, CodingScheme, TrainingConfig};
+use isgc_simnet::trainer::{train, train_metered, CodingScheme, TrainingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -37,23 +38,29 @@ USAGE:
   isgc plan <fr|cr> <n> <c>                profile every w and pick the fastest
   isgc trace <n> <steps> [slow-rate]       emit a Markov straggler trace as CSV
   isgc sim <fr|cr> <n> <c> <w> [steps]     quick straggler training simulation
+       flags: --metrics-out <path>         collect metrics; append the logical
+                                           series to the summary and write a
+                                           full dump (.jsonl → JSON lines)
   isgc serve <fr|cr> <n> <c> [flags]       start a TCP master and train over real sockets
   isgc serve hr <n> <g> <c1> <c2> [flags]
        flags: --w <k> | --deadline-ms <d>  wait policy (default --w n)
               --steps <k>                  max training steps (default 20)
               --port <p>                   listen port (default 7070, 0 = ephemeral)
               --batch <b> --lr <r> --seed <s>
+              --metrics-out <path>         as for sim (adds net byte/frame counters)
   isgc worker <host:port> [--delay-ms <d>] join a cluster as a worker
                                            (--delay-ms injects a straggler delay)
   isgc launch <fr|cr> <n> <c> [flags]      spawn master + n worker processes on
                                            loopback and train to completion
-       flags: --w, --deadline-ms, --steps, --batch, --lr, --seed as for serve
+       flags: --w, --deadline-ms, --steps, --batch, --lr, --seed,
+              --metrics-out as for serve
               --slow <k> --delay-ms <d>    make k workers straggle by d ms (default 0/100)
   isgc chaos --plan <name> [flags]         run a loopback cluster under a seeded
                                            fault plan; assert Theorem 10/11 bounds,
                                            checkpoint resume, and exact replay
        flags: --seed <s>                   fault + training seed (default 42)
               --n <k> --c <k> --steps <k>  cluster shape (default 6 2 8; c | n)
+              --metrics-out <path>         as for sim (adds chaos fault counters)
        plans: smoke, worker-flap, worker-crash, master-restart, frame-corrupt,
               delay, duplicate-stale, random
 
@@ -182,12 +189,8 @@ fn cmd_decode(args: &[String]) -> Result<String, String> {
         result.partitions()
     );
     let w = available.len();
-    let _ = writeln!(
-        out,
-        "Theorem 10/11:     {} ≤ |I| ≤ {}",
-        bounds::alpha_lower_bound(p.n(), p.c(), w),
-        bounds::alpha_upper_bound(p.n(), p.c(), w)
-    );
+    let (alpha_lo, alpha_hi) = bounds::alpha_bounds_of(&p, w);
+    let _ = writeln!(out, "Theorem 10/11:     {alpha_lo} ≤ |I| ≤ {alpha_hi}");
     Ok(out)
 }
 
@@ -334,6 +337,45 @@ fn cmd_trace(args: &[String]) -> Result<String, String> {
     Ok(model.generate(steps, 42).to_csv_string())
 }
 
+/// Writes a full metrics dump to `path`: JSON lines when the path ends in
+/// `.jsonl`, the sorted text snapshot otherwise.
+fn write_metrics_dump(path: &str, registry: &Registry) -> Result<(), String> {
+    let dump = if path.ends_with(".jsonl") {
+        registry.to_jsonl(Snapshot::Full)
+    } else {
+        registry.to_text(Snapshot::Full)
+    };
+    std::fs::write(path, dump).map_err(|e| format!("writing metrics to {path}: {e}"))
+}
+
+/// Renders the logical (seed-deterministic) series as the summary's
+/// "metrics" section.
+fn metrics_section(registry: &Registry) -> String {
+    let mut out = String::from("metrics (logical series):\n");
+    for line in registry.to_text(Snapshot::Logical).lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+/// Appends the metrics dump + summary section when `--metrics-out` was given.
+fn finish_metrics(out: &mut String, metrics: Option<&(String, Registry)>) -> Result<(), String> {
+    if let Some((path, registry)) = metrics {
+        write_metrics_dump(path, registry)?;
+        let _ = writeln!(out, "metrics dump:       {path}");
+        out.push_str(&metrics_section(registry));
+    }
+    Ok(())
+}
+
+/// Pulls `--metrics-out` from parsed flags as a `(path, fresh registry)`
+/// pair for [`finish_metrics`].
+fn metrics_from(flags: &HashMap<String, String>) -> Option<(String, Registry)> {
+    flags
+        .get("metrics-out")
+        .map(|path| (path.clone(), Registry::new()))
+}
+
 fn cmd_sim(args: &[String]) -> Result<String, String> {
     let (p, consumed) = build_placement(args)?;
     let w: usize = parse(
@@ -344,10 +386,16 @@ fn cmd_sim(args: &[String]) -> Result<String, String> {
     if !(1..=p.n()).contains(&w) {
         return Err(format!("w must be within 1..={}", p.n()));
     }
-    let max_steps: usize = match args.get(consumed + 1) {
-        Some(s) => parse(s, "steps")?,
-        None => 200,
+    let mut rest = consumed + 1;
+    let max_steps: usize = match args.get(rest) {
+        Some(s) if !s.starts_with("--") => {
+            rest += 1;
+            parse(s, "steps")?
+        }
+        _ => 200,
     };
+    let flags = parse_flags(&args[rest..], &["metrics-out"])?;
+    let metrics = metrics_from(&flags);
     let n = p.n();
     let dataset = Dataset::gaussian_classification(64 * n.max(4), 8, 4, 3.0, 777);
     let model = SoftmaxRegression::new(8, 4);
@@ -359,18 +407,19 @@ fn cmd_sim(args: &[String]) -> Result<String, String> {
         straggler_delay: Delay::none(),
         stragglers: StragglerSelection::None,
     };
-    let report = train(
-        &model,
-        &dataset,
-        &CodingScheme::IsGc(p.clone()),
-        &WaitPolicy::WaitForCount(w),
-        cluster,
-        &TrainingConfig {
-            loss_threshold: 0.21,
-            max_steps,
-            ..TrainingConfig::default()
-        },
-    );
+    let config = TrainingConfig {
+        loss_threshold: 0.21,
+        max_steps,
+        ..TrainingConfig::default()
+    };
+    let scheme = CodingScheme::IsGc(p.clone());
+    let policy = WaitPolicy::WaitForCount(w);
+    let report = match &metrics {
+        Some((_, registry)) => train_metered(
+            &model, &dataset, &scheme, &policy, cluster, &config, registry,
+        ),
+        None => train(&model, &dataset, &scheme, &policy, cluster, &config),
+    };
     let mut out = String::new();
     let _ = writeln!(out, "IS-GC {} n={} c={} w={w}", p.scheme(), n, p.c());
     let _ = writeln!(out, "steps:              {}", report.step_count());
@@ -387,6 +436,7 @@ fn cmd_sim(args: &[String]) -> Result<String, String> {
         "time/step (mean):   {:.3} s",
         report.mean_step_duration()
     );
+    finish_metrics(&mut out, metrics.as_ref())?;
     Ok(out)
 }
 
@@ -502,12 +552,23 @@ fn render_net_summary(report: &isgc_net::NetTrainReport) -> String {
     out
 }
 
-const SERVE_FLAGS: &[&str] = &["w", "deadline-ms", "steps", "port", "batch", "lr", "seed"];
+const SERVE_FLAGS: &[&str] = &[
+    "w",
+    "deadline-ms",
+    "steps",
+    "port",
+    "batch",
+    "lr",
+    "seed",
+    "metrics-out",
+];
 
 fn cmd_serve(args: &[String]) -> Result<String, String> {
     let (p, consumed) = build_placement(args)?;
     let flags = parse_flags(&args[consumed..], SERVE_FLAGS)?;
-    let config = net_config_from(&p, &flags)?;
+    let mut config = net_config_from(&p, &flags)?;
+    let metrics = metrics_from(&flags);
+    config.metrics = metrics.as_ref().map(|(_, r)| r.clone());
     let port: u16 = match flags.get("port") {
         Some(s) => parse(s, "port")?,
         None => 7070,
@@ -522,7 +583,9 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
             println!("{}", render_step(r, n, None));
         })
         .map_err(|e| e.to_string())?;
-    Ok(render_net_summary(&report))
+    let mut out = render_net_summary(&report);
+    finish_metrics(&mut out, metrics.as_ref())?;
+    Ok(out)
 }
 
 fn cmd_worker(args: &[String]) -> Result<String, String> {
@@ -556,12 +619,15 @@ const LAUNCH_FLAGS: &[&str] = &[
     "seed",
     "slow",
     "delay-ms",
+    "metrics-out",
 ];
 
 fn cmd_launch(args: &[String]) -> Result<String, String> {
     let (p, consumed) = build_placement(args)?;
     let flags = parse_flags(&args[consumed..], LAUNCH_FLAGS)?;
-    let config = net_config_from(&p, &flags)?;
+    let mut config = net_config_from(&p, &flags)?;
+    let metrics = metrics_from(&flags);
+    config.metrics = metrics.as_ref().map(|(_, r)| r.clone());
     let n = p.n();
     let slow: usize = match flags.get("slow") {
         Some(s) => parse(s, "slow")?,
@@ -622,20 +688,24 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
             "{mismatches} steps recovered fewer partitions than the exact decoder"
         ));
     }
-    Ok(render_net_summary(&report))
+    let mut out = render_net_summary(&report);
+    finish_metrics(&mut out, metrics.as_ref())?;
+    Ok(out)
 }
 
 /// `isgc chaos --plan <name> [--seed s] [--n k --c k --steps k]`: run a
 /// loopback cluster under a named fault plan and report the per-step record,
 /// the determinism fingerprint, and any invariant violations.
 fn cmd_chaos(args: &[String]) -> Result<String, String> {
-    let flags = parse_flags(args, &["plan", "seed", "n", "c", "steps"])?;
+    let flags = parse_flags(args, &["plan", "seed", "n", "c", "steps", "metrics-out"])?;
     let name = flags.get("plan").map_or("smoke", String::as_str);
     let seed: u64 = match flags.get("seed") {
         Some(s) => parse(s, "seed")?,
         None => 42,
     };
     let mut config = ChaosConfig::new(seed);
+    let metrics = metrics_from(&flags);
+    config.metrics = metrics.as_ref().map(|(_, r)| r.clone());
     if let Some(s) = flags.get("n") {
         config.n = parse(s, "n")?;
     }
@@ -667,6 +737,7 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
     let _ = writeln!(out, "worker reconnects:  {reconnects}");
     let _ = writeln!(out, "final loss:         {:.4}", outcome.final_loss);
     let _ = writeln!(out, "fingerprint:        {:016x}", outcome.fingerprint);
+    finish_metrics(&mut out, metrics.as_ref())?;
     if outcome.passed() {
         let _ = writeln!(
             out,
@@ -781,7 +852,48 @@ mod tests {
         let out = run(&args("sim cr 4 2 2 30")).unwrap();
         assert!(out.contains("steps:"));
         assert!(out.contains("recovered (mean):"));
+        assert!(!out.contains("metrics")); // quiet without --metrics-out
         assert!(run(&args("sim cr 4 2 9")).is_err()); // w > n
+    }
+
+    #[test]
+    fn sim_command_collects_metrics() {
+        let path =
+            std::env::temp_dir().join(format!("isgc-cli-metrics-{}.txt", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let out = run(&args(&format!("sim cr 4 2 2 5 --metrics-out {path_str}"))).unwrap();
+        assert!(out.contains("metrics (logical series):"));
+        assert!(out.contains("counter engine.steps.total"));
+        assert!(!out.contains("engine.decode.latency_ms")); // timing excluded
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(dump.starts_with("# isgc-obs snapshot v1 (full)"));
+        assert!(dump.contains("engine.decode.latency_ms")); // full dump has timing
+        let _ = std::fs::remove_file(&path);
+        // Steps stays optional when flags follow the positionals.
+        assert!(run(&args("sim cr 4 2 9 --metrics-out /dev/null")).is_err()); // w > n still checked
+    }
+
+    #[test]
+    fn sim_command_writes_jsonl_dumps() {
+        let path =
+            std::env::temp_dir().join(format!("isgc-cli-metrics-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        run(&args(&format!("sim cr 4 2 4 3 --metrics-out {path_str}"))).unwrap();
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(dump.lines().count() > 3);
+        for line in dump.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not JSON: {line}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sim_command_rejects_unknown_flags() {
+        assert!(run(&args("sim cr 4 2 2 5 --bogus x")).is_err());
+        assert!(run(&args("sim cr 4 2 2 --metrics-out")).is_err()); // missing value
     }
 
     #[test]
@@ -870,8 +982,10 @@ mod tests {
             arrivals: vec![0, 1, 2],
             waited_ms: 12.5,
             duration: 0.0125,
+            decode_ms: 0.2,
             selected: vec![0, 2],
             recovered: 5,
+            bounds: None,
             ignored: vec![1, 3],
             dead: vec![3],
             declined: vec![1],

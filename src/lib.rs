@@ -6,7 +6,8 @@
 //! - [`linalg`] — the dense linear-algebra substrate;
 //! - [`ml`] — models, synthetic datasets, SGD;
 //! - [`simnet`] — discrete-event cluster simulation;
-//! - [`runtime`] — real threaded master/worker execution.
+//! - [`runtime`] — real threaded master/worker execution;
+//! - [`obs`] — metrics registry and trace spans with deterministic snapshots.
 //!
 //! See the repository README for a guided tour and the `examples/` directory
 //! for runnable entry points. The crate also ships the `isgc` CLI
@@ -66,5 +67,6 @@ pub use isgc_core as core;
 pub use isgc_linalg as linalg;
 pub use isgc_ml as ml;
 pub use isgc_net as net;
+pub use isgc_obs as obs;
 pub use isgc_runtime as runtime;
 pub use isgc_simnet as simnet;

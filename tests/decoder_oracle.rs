@@ -37,9 +37,19 @@ fn check_optimal(
             "{label} trial {t}: w={w}, got {} < alpha {alpha}",
             result.selected().len()
         );
-        // …within the §VII-A bounds…
-        assert!(result.selected().len() >= bounds::alpha_lower_bound(n, c, w));
-        assert!(result.selected().len() <= bounds::alpha_upper_bound(n, c, w));
+        // …within the §VII-A bounds (placement-aware: genuine hybrids have
+        // the ⌈w/n₀⌉ ≤ α ≤ min(w, g) bracket, not the raw Thm 10–11 one)…
+        let (alpha_lo, alpha_hi) = bounds::alpha_bounds_of(placement, w);
+        assert!(
+            result.selected().len() >= alpha_lo,
+            "{label} trial {t}: w={w}, {} below floor {alpha_lo}",
+            result.selected().len()
+        );
+        assert!(
+            result.selected().len() <= alpha_hi,
+            "{label} trial {t}: w={w}, {} above ceiling {alpha_hi}",
+            result.selected().len()
+        );
         // …and partition bookkeeping is consistent.
         assert_eq!(result.recovered_count(), result.selected().len() * c);
     }
@@ -90,6 +100,50 @@ fn hr_decoder_is_optimal_at_scale() {
         let d = HrDecoder::new(&p).unwrap();
         check_optimal(&p, &d, 80, &mut rng, &format!("{prm:?}"));
     }
+}
+
+/// Sweeps HR(n, c₁, c₂) over the *entire* Theorem 6 validity range
+/// `c ≤ n₀ ≤ 2c − 1` (with every admissible `c₁`, including the `c₁ = 0`
+/// CR degeneration and the `n₀ = c` FR corner), asserting via the exact
+/// MIS oracle inside `check_optimal` that the Algorithm 3 + 4 selection is
+/// *maximum*, not merely maximal.
+#[test]
+fn hr_decoder_is_optimal_across_the_theorem6_range() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut covered = std::collections::BTreeSet::new();
+    let mut placements = 0usize;
+    for g in 2usize..=3 {
+        for c in 2usize..=5 {
+            for n0 in c..=(2 * c - 1) {
+                // A genuine hybrid needs n₀ ≤ c + c₁ (so group members
+                // pairwise conflict), i.e. c₁ ≥ n₀ − c; c₁ = 0 is the CR
+                // degeneration. validate() is the arbiter — the sweep only
+                // proposes.
+                for c1 in 0..=c.min(n0) {
+                    let prm = HrParams::new(g * n0, g, c1, c - c1);
+                    if prm.validate().is_err() {
+                        continue;
+                    }
+                    let p = Placement::hybrid(prm).unwrap();
+                    let d = HrDecoder::new(&p).unwrap();
+                    check_optimal(&p, &d, 20, &mut rng, &format!("{prm:?}"));
+                    covered.insert((c, n0));
+                    placements += 1;
+                }
+            }
+        }
+    }
+    // Every (c, n₀) cell of the validity range must have been exercised by
+    // at least one parameterization.
+    for c in 2usize..=5 {
+        for n0 in c..=(2 * c - 1) {
+            assert!(
+                covered.contains(&(c, n0)),
+                "no valid HR parameterization swept for c={c}, n0={n0}"
+            );
+        }
+    }
+    assert!(placements >= 40, "sweep unexpectedly small: {placements}");
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Golden-file snapshot tests for the observability layer: a seeded run's
+//! exported *logical* metrics must be byte-identical across runs, across
+//! export formats, and across backends (simulator vs. real TCP loopback).
+//!
+//! The fixture is the `engine_parity` cluster — FR(6, 2), six workers, two
+//! permanent stragglers ignored by `w = 4` — so every logical series
+//! (arrivals, recovery counts, Theorem 10/11 bounds, loss) is pinned by the
+//! seed alone.
+//!
+//! Golden files live in `tests/golden/`. On drift, the failure message says
+//! so; regenerate intentionally with `scripts/bless.sh` (or
+//! `ISGC_BLESS=1 cargo test --test obs_snapshot`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use isgc_core::Placement;
+use isgc_engine::metrics::record_train_report;
+use isgc_engine::TrainReport;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::LinearRegression;
+use isgc_net::{run_worker, Master, NetConfig, WaitPolicy, WorkerOptions};
+use isgc_obs::{Registry, Snapshot};
+use isgc_simnet::policy::WaitPolicy as SimWaitPolicy;
+use isgc_simnet::trace::{StragglerTrace, TraceClusterSim};
+use isgc_simnet::trainer::{train_on_trace, CodingScheme, TrainingConfig};
+
+const FEATURES: usize = 5;
+const SAMPLES: usize = 240;
+const SEED: u64 = 9090;
+const STEPS: usize = 4;
+const BATCH: usize = 8;
+const LR: f64 = 0.02;
+const STRAGGLERS: [usize; 2] = [1, 4];
+const N: usize = 6;
+const C: usize = 2;
+const W: usize = 4;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// golden when `ISGC_BLESS` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("ISGC_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("blessing golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}; run scripts/bless.sh",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "metrics snapshot drifted from tests/golden/{name}; if the change is \
+         intentional, regenerate with scripts/bless.sh"
+    );
+}
+
+fn shared_dataset() -> Dataset {
+    Dataset::synthetic_regression(SAMPLES, FEATURES, 0.05, SEED)
+}
+
+/// The simulator leg of the fixture: permanent stragglers via a trace.
+fn run_sim() -> TrainReport {
+    let placement = Placement::fractional(N, C).expect("valid FR placement");
+    let rows: Vec<Vec<f64>> = (0..STEPS)
+        .map(|_| {
+            (0..N)
+                .map(|w| {
+                    if STRAGGLERS.contains(&w) {
+                        5.0
+                    } else {
+                        0.001 * (w + 1) as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let sim = TraceClusterSim::new(StragglerTrace::new(rows), 0.001, 0.001);
+    let config = TrainingConfig {
+        batch_size: BATCH,
+        learning_rate: LR,
+        loss_threshold: 0.0,
+        max_steps: STEPS,
+        seed: SEED,
+        ..TrainingConfig::default()
+    };
+    train_on_trace(
+        &LinearRegression::new(FEATURES),
+        &shared_dataset(),
+        &CodingScheme::IsGc(placement),
+        &SimWaitPolicy::WaitForCount(W),
+        sim,
+        &config,
+    )
+}
+
+/// Replays a finished simulator run into a fresh registry.
+fn sim_registry() -> Registry {
+    let registry = Registry::new();
+    record_train_report(&registry, &run_sim());
+    registry
+}
+
+/// The TCP leg: a real loopback cluster recording live through
+/// `NetConfig::metrics`, same seed and straggler schedule.
+fn net_registry() -> Registry {
+    let placement = Placement::fractional(N, C).expect("valid FR placement");
+    let registry = Registry::new();
+    let mut config = NetConfig::new(placement, WaitPolicy::FirstW(W));
+    config.batch_size = BATCH;
+    config.learning_rate = LR;
+    config.loss_threshold = 0.0;
+    config.max_steps = STEPS;
+    config.seed = SEED;
+    config.heartbeat_timeout = Duration::from_secs(5);
+    config.register_timeout = Duration::from_secs(10);
+    config.metrics = Some(registry.clone());
+
+    let master = Master::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = master.local_addr().expect("local addr");
+    let model = LinearRegression::new(FEATURES);
+    let dataset = shared_dataset();
+    let master_handle =
+        thread::spawn(move || master.run(&model, &dataset, &config).expect("master run"));
+
+    let workers: Vec<_> = (0..N)
+        .map(|_| {
+            let options = WorkerOptions::with_delay(Arc::new(|w, _step| {
+                if STRAGGLERS.contains(&w) {
+                    Duration::from_millis(400)
+                } else {
+                    Duration::ZERO
+                }
+            }));
+            thread::spawn(move || {
+                run_worker(addr, &options, |_assignment| {
+                    (LinearRegression::new(FEATURES), shared_dataset())
+                })
+                .expect("worker run")
+            })
+        })
+        .collect();
+
+    let report = master_handle.join().expect("master thread");
+    for w in workers {
+        let _ = w.join().expect("worker thread");
+    }
+    assert_eq!(report.step_count(), STEPS);
+    registry
+}
+
+#[test]
+fn simnet_logical_text_is_byte_stable_across_runs() {
+    let a = sim_registry().to_text(Snapshot::Logical);
+    let b = sim_registry().to_text(Snapshot::Logical);
+    assert_eq!(a, b, "two identically-seeded simulator runs diverged");
+}
+
+#[test]
+fn simnet_logical_text_matches_golden() {
+    assert_matches_golden(
+        "sim_fr62_logical.txt",
+        &sim_registry().to_text(Snapshot::Logical),
+    );
+}
+
+#[test]
+fn simnet_logical_jsonl_matches_golden() {
+    assert_matches_golden(
+        "sim_fr62_logical.jsonl",
+        &sim_registry().to_jsonl(Snapshot::Logical),
+    );
+}
+
+#[test]
+fn tcp_loopback_emits_identical_logical_series() {
+    // The full snapshot differs (the net backend adds byte/frame counters
+    // and real clock readings), but the logical subset — what the paper's
+    // math determines — must match the simulator byte for byte.
+    let net = net_registry();
+    let sim = sim_registry();
+    assert_eq!(
+        net.to_text(Snapshot::Logical),
+        sim.to_text(Snapshot::Logical),
+        "TCP loopback and simulator logical metric series diverged"
+    );
+    // And therefore also matches the committed golden.
+    assert_matches_golden("sim_fr62_logical.txt", &net.to_text(Snapshot::Logical));
+    // Sanity that the timing-class extras really are present on the net
+    // side (and correctly excluded above).
+    let full = net.to_text(Snapshot::Full);
+    assert!(full.contains("net.bytes.sent.total"));
+    assert!(full.contains("engine.decode.latency_ms"));
+}

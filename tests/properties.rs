@@ -7,10 +7,15 @@ use isgc::core::encode::SumEncoder;
 use isgc::core::{bounds, design, expectation, ConflictGraph, HrParams, Placement, WorkerSet};
 use isgc::linalg::Vector;
 use isgc::ml::dataset::Dataset;
-use isgc::ml::model::{Model, SoftmaxRegression};
+use isgc::ml::model::{LinearRegression, Model, SoftmaxRegression};
+use isgc::obs::Registry;
 use isgc::simnet::adaptive::AdaptiveWaitController;
+use isgc::simnet::cluster::{ClusterConfig, StragglerSelection};
 use isgc::simnet::delay::Delay;
+use isgc::simnet::policy::WaitPolicy;
 use isgc::simnet::trace::MarkovStragglerModel;
+use isgc::simnet::trainer::{train_metered, CodingScheme, TrainingConfig};
+use isgc_engine::metrics::names;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -251,6 +256,118 @@ proptest! {
             prop_assert!(pair[0] <= pair[1]);
         }
         prop_assert_eq!(ctl.w_history().len(), losses.len());
+    }
+
+    /// Placement-aware Theorems 10–11: for random placements of all three
+    /// schemes and arbitrary surviving sets W', the `recovery_bounds_of`
+    /// bracket always contains the decoder's α(G[W']) (the scheme decoders
+    /// are maximum — cross-checked against the exact α on small instances)
+    /// and its recovered-partition count.
+    #[test]
+    fn recovery_bounds_bracket_decoder_alpha(
+        (n_cr, c_cr) in cr_params(),
+        (n_fr, c_fr) in fr_params(),
+        hr in hr_params(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cr = Placement::cyclic(n_cr, c_cr).unwrap();
+        let fr = Placement::fractional(n_fr, c_fr).unwrap();
+        let hy = Placement::hybrid(hr).unwrap();
+        let cases: [(&Placement, Box<dyn Decoder>); 3] = [
+            (&cr, Box::new(CrDecoder::new(&cr).unwrap())),
+            (&fr, Box::new(FrDecoder::new(&fr).unwrap())),
+            (&hy, Box::new(HrDecoder::new(&hy).unwrap())),
+        ];
+        for (p, d) in &cases {
+            let n = p.n();
+            let w = (seed as usize).wrapping_mul(37) % (n + 1);
+            let avail = WorkerSet::random_subset(n, w, &mut rng);
+            let r = d.decode(&avail, &mut rng);
+            let alpha = r.selected().len();
+            if n <= 12 {
+                let exact = ConflictGraph::from_placement(p).alpha(&avail);
+                prop_assert_eq!(alpha, exact, "{} n={} w={}", p.scheme(), n, w);
+            }
+            let (lo, hi) = bounds::alpha_bounds_of(p, w);
+            prop_assert!(
+                (lo..=hi).contains(&alpha),
+                "{} n={} w={}: alpha {} outside [{}, {}]", p.scheme(), n, w, alpha, lo, hi
+            );
+            let (rlo, rhi) = bounds::recovery_bounds_of(p, w);
+            prop_assert!(
+                (rlo..=rhi).contains(&r.recovered_count()),
+                "{} n={} w={}: recovered {} outside [{}, {}]",
+                p.scheme(), n, w, r.recovered_count(), rlo, rhi
+            );
+            prop_assert!(bounds::recovery_within_bounds_of(p, w, r.recovered_count()));
+            prop_assert!(bounds::check_recovery_of(p, w, r.recovered_count()).within());
+        }
+    }
+
+    /// A metered simulator run's obs histogram of recovered counts is
+    /// exactly the multiset of the report's per-step values — same bin
+    /// counts, same totals — and every step's reported bound interval
+    /// brackets what its decode recovered.
+    #[test]
+    fn obs_recovered_histogram_matches_step_reports(
+        seed in 0u64..300,
+        use_cr in prop::bool::ANY,
+        w in 1usize..=6,
+        straggler_count in 0usize..3,
+    ) {
+        let (n, c) = (6usize, 2usize);
+        let placement = if use_cr {
+            Placement::cyclic(n, c).unwrap()
+        } else {
+            Placement::fractional(n, c).unwrap()
+        };
+        let cluster = ClusterConfig {
+            n,
+            compute_time_per_partition: 0.01,
+            comm_time: 0.005,
+            jitter: Delay::Uniform { lo: 0.0, hi: 0.02 },
+            straggler_delay: Delay::Exponential { mean: 0.5 },
+            stragglers: StragglerSelection::RandomEachStep(straggler_count),
+        };
+        let config = TrainingConfig {
+            batch_size: 8,
+            learning_rate: 0.05,
+            loss_threshold: 0.0,
+            max_steps: 6,
+            seed,
+            ..TrainingConfig::default()
+        };
+        let registry = Registry::new();
+        let report = train_metered(
+            &LinearRegression::new(3),
+            &Dataset::synthetic_regression(48, 3, 0.05, seed),
+            &CodingScheme::IsGc(placement),
+            &WaitPolicy::WaitForCount(w),
+            cluster,
+            &config,
+            &registry,
+        );
+        let hist = registry
+            .histogram(names::STEP_RECOVERED, &[])
+            .expect("metered run records the recovered histogram");
+        prop_assert_eq!(hist.count, report.steps.len() as u64);
+        let total: usize = report.steps.iter().map(|s| s.recovered).sum();
+        prop_assert!((hist.sum - total as f64).abs() < 1e-12);
+        for v in 0..=n {
+            let in_report = report.steps.iter().filter(|s| s.recovered == v).count();
+            prop_assert_eq!(
+                hist.counts[v], in_report as u64,
+                "bin {}: histogram {} vs report {}", v, hist.counts[v], in_report
+            );
+        }
+        for step in &report.steps {
+            let (lo, hi) = step.bounds.expect("bounds checked on unrepaired steps");
+            prop_assert!(
+                (lo..=hi).contains(&step.recovered),
+                "step {}: recovered {} outside [{}, {}]", step.step, step.recovered, lo, hi
+            );
+        }
     }
 
     /// Model gradients are additive over disjoint index sets — the property

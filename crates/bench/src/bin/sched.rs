@@ -1,0 +1,211 @@
+//! Multi-tenant scheduler benchmark: emits machine-readable
+//! `BENCH_sched.json` — the first entry in the repo's perf trajectory.
+//!
+//! Four measurements:
+//!
+//! 1. **J-scaling** — total steps/sec through [`isgc_sched::Scheduler`]
+//!    with J ∈ {1, 2, 4, 8} concurrent in-process jobs (flat topology,
+//!    FR(8, 2)). Fair round-robin means the aggregate should stay roughly
+//!    flat while per-job latency grows ~linearly in J.
+//! 2. **Merge** — nanoseconds per canonical [`isgc_engine::pairwise_sum`]
+//!    over 16 codewords, the root's per-step aggregation kernel.
+//! 3. **Frames** — wire round-trips/sec for a job-tagged `Codeword` frame
+//!    (encode + strict decode), the tree's per-upload cost.
+//! 4. **Broadcast delta** — per-step cost of serializing `Params` once and
+//!    writing the bytes to every worker (what `master.rs` does now) vs.
+//!    re-encoding per worker (what it did before), at n = 16.
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin sched [out.json]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use isgc_core::Placement;
+use isgc_engine::pairwise_sum;
+use isgc_linalg::Vector;
+use isgc_net::wire::Message;
+use isgc_sched::{JobSpec, Scheduler, SchedulerConfig};
+
+const JOB_N: usize = 8;
+const JOB_C: usize = 2;
+const JOB_STEPS: u64 = 40;
+const MERGE_FANIN: usize = 16;
+const DIM: usize = 1024;
+const BROADCAST_N: usize = 16;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sched.json".into());
+
+    let mut scaling = Vec::new();
+    for jobs in [1usize, 2, 4, 8] {
+        let steps_per_sec = bench_scheduler(jobs);
+        println!("J={jobs}: {steps_per_sec:.0} steps/sec total");
+        scaling.push((jobs, steps_per_sec));
+    }
+
+    let merge_ns = bench_merge();
+    println!("pairwise merge ({MERGE_FANIN} x dim {DIM}): {merge_ns:.0} ns");
+
+    let frames_per_sec = bench_frames();
+    println!("codeword frame round-trip: {frames_per_sec:.0} frames/sec");
+
+    let (per_worker_ns, once_ns) = bench_broadcast();
+    let speedup = per_worker_ns / once_ns;
+    println!(
+        "broadcast Params to {BROADCAST_N} workers: encode-per-worker {per_worker_ns:.0} ns, \
+         encode-once {once_ns:.0} ns ({speedup:.2}x)"
+    );
+
+    let json = render_json(&scaling, merge_ns, frames_per_sec, per_worker_ns, once_ns);
+    std::fs::write(&out, json).expect("write BENCH_sched.json");
+    println!("wrote {out}");
+}
+
+/// Total scheduler throughput (steps/sec across all jobs) at concurrency J.
+fn bench_scheduler(jobs: usize) -> f64 {
+    // Warm up once so allocation and dataset synthesis are paid before the
+    // timed run.
+    run_jobs(jobs);
+    let trials = 5;
+    let mut best = f64::MIN;
+    for _ in 0..trials {
+        let secs = run_jobs(jobs);
+        best = best.max(jobs as f64 * JOB_STEPS as f64 / secs);
+    }
+    best
+}
+
+fn run_jobs(jobs: usize) -> f64 {
+    let placement = Placement::fractional(JOB_N, JOB_C).expect("FR placement");
+    let mut sched = Scheduler::new(SchedulerConfig::new(jobs, 0));
+    for j in 0..jobs {
+        let mut spec = JobSpec::new(format!("bench-{j}"), placement.clone(), 100 + j as u64);
+        spec.max_steps = JOB_STEPS;
+        spec.stragglers = 1;
+        sched.submit(spec).expect("submit bench job");
+    }
+    let start = Instant::now();
+    let outcomes = sched.run_to_completion();
+    let secs = start.elapsed().as_secs_f64();
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    secs
+}
+
+/// Mean nanoseconds per canonical pairwise merge of `MERGE_FANIN` vectors.
+fn bench_merge() -> f64 {
+    let inputs: Vec<Option<Vector>> = (0..MERGE_FANIN)
+        .map(|i| {
+            Some(Vector::from_slice(
+                &(0..DIM).map(|d| (i * DIM + d) as f64).collect::<Vec<_>>(),
+            ))
+        })
+        .collect();
+    let iters = 2_000u32;
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..iters {
+        let merged = pairwise_sum(&inputs).expect("non-empty merge");
+        sink += merged.as_slice()[0];
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert!(sink.is_finite());
+    ns
+}
+
+/// Encode + strict-decode round-trips per second for a job-tagged
+/// `Codeword` frame of `DIM` values.
+fn bench_frames() -> f64 {
+    let message = Message::Codeword {
+        worker: 3,
+        step: 17,
+        values: (0..DIM).map(|d| d as f64).collect(),
+    };
+    let iters = 5_000u32;
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        let bytes = message.encode_for_job(42);
+        let (job, decoded, used) = Message::decode_tagged(&bytes).expect("round-trip");
+        assert_eq!(job, 42);
+        assert_eq!(used, bytes.len());
+        sink += match decoded {
+            Message::Codeword { values, .. } => values.len(),
+            _ => 0,
+        };
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(sink, DIM * iters as usize);
+    f64::from(iters) / secs
+}
+
+/// Per-step cost of a `Params` broadcast to `BROADCAST_N` workers: encoding
+/// once per worker (the old master loop) vs. once per step with the bytes
+/// reused (the current one). Writes go to in-memory sinks so the delta
+/// isolates serialization.
+fn bench_broadcast() -> (f64, f64) {
+    let message = Message::Params {
+        step: 9,
+        values: (0..DIM).map(|d| d as f64).collect(),
+    };
+    let iters = 1_000u32;
+
+    let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); BROADCAST_N];
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        for sink in &mut sinks {
+            sink.clear();
+            let bytes = message.encode_for_job(0);
+            sink.extend_from_slice(&bytes);
+        }
+    }
+    let per_worker_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let bytes = message.encode_for_job(0);
+        for sink in &mut sinks {
+            sink.clear();
+            sink.extend_from_slice(&bytes);
+        }
+    }
+    let once_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    assert!(sinks.iter().all(|s| !s.is_empty()));
+    (per_worker_ns, once_ns)
+}
+
+/// Hand-rendered JSON (the workspace carries no serde).
+fn render_json(
+    scaling: &[(usize, f64)],
+    merge_ns: f64,
+    frames_per_sec: f64,
+    per_worker_ns: f64,
+    once_ns: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"sched\",");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"n\": {JOB_N}, \"c\": {JOB_C}, \"steps_per_job\": {JOB_STEPS}, \
+         \"dim\": {DIM}, \"merge_fanin\": {MERGE_FANIN}, \"broadcast_workers\": {BROADCAST_N}}},"
+    );
+    s.push_str("  \"steps_per_sec\": {\n");
+    for (i, (jobs, sps)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"J{jobs}\": {sps:.1}{comma}");
+    }
+    s.push_str("  },\n");
+    let _ = writeln!(s, "  \"merge_ns\": {merge_ns:.1},");
+    let _ = writeln!(s, "  \"frames_per_sec\": {frames_per_sec:.1},");
+    s.push_str("  \"broadcast_serialize\": {\n");
+    let _ = writeln!(s, "    \"per_worker_ns\": {per_worker_ns:.1},");
+    let _ = writeln!(s, "    \"once_ns\": {once_ns:.1},");
+    let _ = writeln!(s, "    \"speedup\": {:.3}", per_worker_ns / once_ns);
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}

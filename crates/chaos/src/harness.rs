@@ -490,7 +490,7 @@ fn check_invariants(
 }
 
 /// FNV-1a over the run's deterministic observables.
-fn fingerprint(reports: &[NetReport], final_params: &[f64]) -> u64 {
+pub(crate) fn fingerprint(reports: &[NetReport], final_params: &[f64]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {

@@ -68,15 +68,36 @@ impl Decoder for FrDecoder {
     fn decode(&self, available: &WorkerSet, rng: &mut dyn RngCore) -> DecodeResult {
         assert_universe(self.n(), available);
         let (n, c) = (self.placement.n(), self.placement.c());
+        // One RNG draw per decode, then a per-group hash: group `g`'s
+        // representative depends only on `(base, g)` and the group's own
+        // survivors, never on the other groups. A sub-master decoding just
+        // its shard of groups (with the same seed-derived RNG) therefore
+        // picks exactly the representatives the flat decoder would — the
+        // decomposability that 2-level hierarchical aggregation relies on.
+        // A streamed `choose(rng)` per group would break this: the RNG
+        // position at group `g` would depend on how many earlier groups
+        // survived.
+        let base = rng.next_u64();
         let mut selected = Vec::with_capacity(n / c);
         for group in 0..n / c {
             let members = WorkerSet::from_indices(n, group * c..(group + 1) * c);
-            if let Some(v) = available.intersection(&members).choose(rng) {
-                selected.push(v);
+            let survivors = available.intersection(&members).to_vec();
+            if !survivors.is_empty() {
+                let pick = splitmix64(base ^ group as u64) as usize % survivors.len();
+                selected.push(survivors[pick]);
             }
         }
         DecodeResult::from_selected(&self.placement, selected)
     }
+}
+
+/// SplitMix64 finalizer: decorrelates the per-group pick from the group
+/// index so neighbouring groups don't share low-bit patterns.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -161,6 +182,35 @@ mod tests {
         }
         let freq = count0 as f64 / trials as f64;
         assert!((freq - 0.5).abs() < 0.05, "freq={freq}");
+    }
+
+    #[test]
+    fn decode_decomposes_over_group_aligned_shards() {
+        // Sub-masters decode only their shard's groups; with the same RNG
+        // seed, the union of shard decodes must equal the flat decode.
+        let (n, c) = (16usize, 2usize);
+        let p = Placement::fractional(n, c).unwrap();
+        let d = FrDecoder::new(&p).unwrap();
+        for seed in 0..20u64 {
+            for mask in [0xFFFFu32, 0xA5C3, 0x0F0F, 0x1234, 0xFFFE, 0x8001] {
+                let avail = WorkerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+                let flat = d
+                    .decode(&avail, &mut StdRng::seed_from_u64(seed))
+                    .selected()
+                    .to_vec();
+                let mut union = Vec::new();
+                for (lo, hi) in [(0usize, 8usize), (8, 16)] {
+                    let shard = WorkerSet::from_indices(n, lo..hi);
+                    let r = d.decode(
+                        &avail.intersection(&shard),
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    union.extend_from_slice(r.selected());
+                }
+                union.sort_unstable();
+                assert_eq!(union, flat, "seed={seed}, mask={mask:x}");
+            }
+        }
     }
 
     #[test]

@@ -42,10 +42,12 @@
 //! - **Normalization and the SGD update** (Theorem 12), plus the unified
 //!   [`StepReport`]/[`TrainReport`].
 
+pub mod merge;
 pub mod metrics;
 mod repair;
 mod report;
 
+pub use merge::{pairwise_sum, shard_ranges, ShardedDecode};
 pub use metrics::MetricsObserver;
 pub use report::{RepairEvent, StepReport, TrainReport};
 
@@ -268,6 +270,13 @@ pub struct Collected {
     /// Duration to attribute to this step, in seconds (simulated time for
     /// the simulator, wall-clock for real transports).
     pub duration: f64,
+    /// Set when the step was collected through sub-masters: the shard-local
+    /// decode results and partial codeword sums. The engine then skips its
+    /// own decode, merges the partials with [`merge::pairwise_sum`], and
+    /// bound-checks the merged recovery against the arrival count. When set,
+    /// `codewords` may be all-`None` (the raw codewords never left the
+    /// shards).
+    pub sharded: Option<ShardedDecode>,
 }
 
 /// The transport half of a training step: broadcast the parameters, gather
@@ -545,6 +554,252 @@ impl StepEngine {
         }
     }
 
+    /// Opens a step-at-a-time training [`Session`]: the caller drives it with
+    /// [`StepEngine::step`] and closes it with [`StepEngine::finish`]. This is
+    /// what a scheduler hosting several jobs uses to interleave their steps;
+    /// [`StepEngine::run`] is the run-to-completion convenience on top.
+    ///
+    /// `params` resumes from a checkpointed vector; `None` derives the
+    /// deterministic initial parameters from the seed.
+    pub fn begin<M: Model>(&self, model: &M, dataset: &Dataset, params: Option<Vector>) -> Session {
+        Session {
+            params: params.unwrap_or_else(|| self.initial_params(model)),
+            opt: if self.config.momentum > 0.0 {
+                Sgd::with_momentum(self.config.learning_rate, self.config.momentum)
+            } else {
+                Sgd::new(self.config.learning_rate)
+            },
+            all_indices: (0..dataset.len()).collect(),
+            steps: Vec::new(),
+            reached_threshold: false,
+            interrupted: false,
+            last_loss: None,
+            started: std::time::Instant::now(),
+            next_step: self.start_step,
+            done: self.start_step >= self.config.max_steps,
+        }
+    }
+
+    /// Runs exactly one training step of an open session (or none, if the
+    /// session is already done). The step semantics are identical to one
+    /// iteration of [`StepEngine::run`]'s loop.
+    ///
+    /// # Errors
+    ///
+    /// Collector failures ([`EngineError::Backend`]), zero-recovery steps
+    /// under `fail_on_zero_recovery`, and Theorem 10–11 bound violations.
+    /// After an error the session is left done; [`StepEngine::finish`] still
+    /// yields the partial report.
+    pub fn step<M: Model>(
+        &mut self,
+        session: &mut Session,
+        model: &M,
+        dataset: &Dataset,
+        collector: &mut dyn Collector,
+        observer: &mut dyn Observer,
+    ) -> Result<SessionStatus, EngineError> {
+        if session.done {
+            return Ok(SessionStatus::Done);
+        }
+        let n = self.n();
+        if collector.n() != n {
+            session.done = true;
+            return Err(EngineError::InvalidConfig(format!(
+                "collector serves {} workers, placement has n={n}",
+                collector.n()
+            )));
+        }
+        match self.step_inner(session, model, dataset, collector, observer) {
+            Ok(()) => Ok(session.status()),
+            Err(e) => {
+                session.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn step_inner<M: Model>(
+        &mut self,
+        session: &mut Session,
+        model: &M,
+        dataset: &Dataset,
+        collector: &mut dyn Collector,
+        observer: &mut dyn Observer,
+    ) -> Result<(), EngineError> {
+        let n = self.n();
+        let step = session.next_step;
+
+        // Liveness bookkeeping and placement repair, before broadcast so
+        // adopters receive their new partitions along with the params.
+        let alive = collector.alive();
+        debug_assert_eq!(alive.len(), n, "collector liveness vector sized wrong");
+        for (w, &w_alive) in alive.iter().enumerate() {
+            if w_alive {
+                self.dead_steps[w] = 0;
+            } else {
+                self.dead_steps[w] += 1;
+            }
+        }
+        let mut repairs = Vec::new();
+        if let Some(threshold) = self.config.repair_after_steps {
+            for dead in 0..n {
+                if self.dead_steps[dead] >= threshold && !self.repair.assignments[dead].is_empty() {
+                    repairs.extend(self.repair.repair_worker(dead, &alive));
+                }
+            }
+            if !repairs.is_empty() {
+                self.repair.commit();
+                collector.on_repair(&repairs, &self.repair.assignments);
+            }
+        }
+
+        let collected = collector.collect(&StepContext {
+            step,
+            params: &session.params,
+            last_loss: session.last_loss,
+        })?;
+        let decode_started = std::time::Instant::now();
+        let decoded = match &collected.sharded {
+            // Sub-masters already decoded their conflict-graph slices; the
+            // root only takes the union. Sort so reports and fingerprints
+            // match the flat decoder's canonical order.
+            Some(sharded) => {
+                let mut selected = sharded.selected.clone();
+                selected.sort_unstable();
+                Decoded {
+                    selected,
+                    recovered: sharded.recovered,
+                    coefficients: None,
+                    failed: false,
+                }
+            }
+            None => {
+                let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
+                self.decode(&available, step)
+            }
+        };
+        let decode_ms = decode_started.elapsed().as_secs_f64() * 1e3;
+
+        let bound_check = (self.bounds_checked && !self.repair.repaired).then(|| {
+            bounds::check_recovery_of(
+                &self.config.placement,
+                collected.arrivals.len(),
+                decoded.recovered,
+            )
+        });
+        if let Some(check) = bound_check {
+            if !decoded.failed && !check.within() {
+                return Err(EngineError::BoundViolation {
+                    step,
+                    recovered: decoded.recovered,
+                    lo: check.lo,
+                    hi: check.hi,
+                });
+            }
+        }
+
+        let alive_now = collector.alive();
+        if decoded.recovered == 0 && self.config.fail_on_zero_recovery {
+            // No gradient at all, yet workers are nominally alive: the
+            // run is spinning without progress. Surface it as a typed
+            // error instead of silently looping.
+            let alive_count = alive_now.iter().filter(|&&a| a).count();
+            return Err(EngineError::Degraded {
+                step,
+                recovered: 0,
+                bound: bounds::recovery_bounds_of(&self.config.placement, alive_count.min(n)).0,
+            });
+        }
+
+        if !matches!(self.config.lr_schedule, LrSchedule::Constant) {
+            session.opt.set_learning_rate(
+                self.config
+                    .lr_schedule
+                    .rate_at(self.config.learning_rate, step as usize),
+            );
+        }
+        if decoded.recovered > 0 {
+            // Aggregate through the canonical balanced pairwise reduction
+            // (`merge`), so flat masters and 2-level trees add the same
+            // numbers in the same order — the bitwise-equality contract.
+            let summed = match &collected.sharded {
+                Some(sharded) => merge::pairwise_sum(&sharded.partials),
+                None => {
+                    let mut slots: Vec<Option<Vector>> = vec![None; n];
+                    for (i, &w) in decoded.selected.iter().enumerate() {
+                        let codeword = collected.codewords[w]
+                            .as_ref()
+                            .expect("decoder selects only arrived workers");
+                        slots[w] = Some(match decoded.coefficients.as_ref() {
+                            Some(coeffs) => codeword.scaled(coeffs[i]),
+                            None => codeword.clone(),
+                        });
+                    }
+                    merge::pairwise_sum(&slots)
+                }
+            };
+            if let Some(mut g) = summed {
+                // `g` holds summed per-sample gradients over every recovered
+                // partition's batch (Theorem 12's η·|D_d| factor).
+                let divisor = match self.config.normalization {
+                    GradientNormalization::SumOfPartitionMeans => self.config.batch_size,
+                    GradientNormalization::MeanOverRecovered => {
+                        decoded.recovered * self.config.batch_size
+                    }
+                };
+                g.scale(1.0 / divisor as f64);
+                session.opt.step(&mut session.params, &g);
+            }
+        }
+
+        let loss = model.loss_mean(&session.params, dataset, &session.all_indices);
+        collector.after_step(step + 1, &session.params)?;
+
+        let report = StepReport {
+            step,
+            ignored: (0..n).filter(|w| !decoded.selected.contains(w)).collect(),
+            arrivals: collected.arrivals,
+            waited_ms: collected.waited_ms,
+            duration: collected.duration,
+            decode_ms,
+            selected: decoded.selected,
+            recovered: decoded.recovered,
+            bounds: bound_check.map(|check| (check.lo, check.hi)),
+            dead: (0..n).filter(|&w| !alive_now[w]).collect(),
+            declined: collected.declined,
+            repairs,
+            stale: collected.stale,
+            failed_decode: decoded.failed,
+            loss,
+        };
+        let control = observer.on_step(&report);
+        session.steps.push(report);
+        session.last_loss = Some(loss);
+        session.next_step += 1;
+        if control == StepControl::Crash {
+            session.interrupted = true;
+            session.done = true;
+        } else if loss <= self.config.loss_threshold {
+            session.reached_threshold = true;
+            session.done = true;
+        } else if session.next_step >= self.config.max_steps {
+            session.done = true;
+        }
+        Ok(())
+    }
+
+    /// Closes a session and returns its [`TrainReport`].
+    pub fn finish(&self, session: Session) -> TrainReport {
+        TrainReport {
+            n: self.n(),
+            steps: session.steps,
+            reached_threshold: session.reached_threshold,
+            interrupted: session.interrupted,
+            wall_time: session.started.elapsed().as_secs_f64(),
+            final_params: session.params,
+        }
+    }
+
     /// Runs the training loop to completion (threshold, step cap, observer
     /// crash, or error), driving `collector` for transport and reporting
     /// every step to `observer`.
@@ -564,169 +819,72 @@ impl StepEngine {
         collector: &mut dyn Collector,
         observer: &mut dyn Observer,
     ) -> Result<TrainReport, EngineError> {
-        let n = self.n();
-        if collector.n() != n {
-            return Err(EngineError::InvalidConfig(format!(
-                "collector serves {} workers, placement has n={n}",
-                collector.n()
-            )));
-        }
-        let mut params = params.unwrap_or_else(|| self.initial_params(model));
-        let mut opt = if self.config.momentum > 0.0 {
-            Sgd::with_momentum(self.config.learning_rate, self.config.momentum)
+        let mut session = self.begin(model, dataset, params);
+        while self.step(&mut session, model, dataset, collector, observer)?
+            == SessionStatus::Running
+        {}
+        Ok(self.finish(session))
+    }
+}
+
+/// Whether a [`Session`] will run another step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// More steps to run.
+    Running,
+    /// The session hit its threshold, step cap, an observer crash, or an
+    /// error; further [`StepEngine::step`] calls are no-ops.
+    Done,
+}
+
+/// The mutable training state of one run, advanced one step at a time by
+/// [`StepEngine::step`]. Holds no borrows, so a scheduler can keep many
+/// sessions (one per job) side by side and round-robin across them.
+pub struct Session {
+    params: Vector,
+    opt: Sgd,
+    all_indices: Vec<usize>,
+    steps: Vec<StepReport>,
+    reached_threshold: bool,
+    interrupted: bool,
+    last_loss: Option<f64>,
+    started: std::time::Instant,
+    next_step: u64,
+    done: bool,
+}
+
+impl Session {
+    /// The step the next [`StepEngine::step`] call will run.
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Current model parameters.
+    pub fn params(&self) -> &Vector {
+        &self.params
+    }
+
+    /// Loss after the most recent step, if one ran.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.last_loss
+    }
+
+    /// Step reports accumulated so far.
+    pub fn steps(&self) -> &[StepReport] {
+        &self.steps
+    }
+
+    /// Whether the session has finished (see [`SessionStatus`]).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn status(&self) -> SessionStatus {
+        if self.done {
+            SessionStatus::Done
         } else {
-            Sgd::new(self.config.learning_rate)
-        };
-        let all_indices: Vec<usize> = (0..dataset.len()).collect();
-
-        let mut steps: Vec<StepReport> = Vec::new();
-        let mut reached_threshold = false;
-        let mut interrupted = false;
-        let mut last_loss: Option<f64> = None;
-        let started = std::time::Instant::now();
-
-        for step in self.start_step..self.config.max_steps {
-            // Liveness bookkeeping and placement repair, before broadcast so
-            // adopters receive their new partitions along with the params.
-            let alive = collector.alive();
-            debug_assert_eq!(alive.len(), n, "collector liveness vector sized wrong");
-            for (w, &w_alive) in alive.iter().enumerate() {
-                if w_alive {
-                    self.dead_steps[w] = 0;
-                } else {
-                    self.dead_steps[w] += 1;
-                }
-            }
-            let mut repairs = Vec::new();
-            if let Some(threshold) = self.config.repair_after_steps {
-                for dead in 0..n {
-                    if self.dead_steps[dead] >= threshold
-                        && !self.repair.assignments[dead].is_empty()
-                    {
-                        repairs.extend(self.repair.repair_worker(dead, &alive));
-                    }
-                }
-                if !repairs.is_empty() {
-                    self.repair.commit();
-                    collector.on_repair(&repairs, &self.repair.assignments);
-                }
-            }
-
-            let collected = collector.collect(&StepContext {
-                step,
-                params: &params,
-                last_loss,
-            })?;
-            let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
-            let decode_started = std::time::Instant::now();
-            let decoded = self.decode(&available, step);
-            let decode_ms = decode_started.elapsed().as_secs_f64() * 1e3;
-
-            let bound_check = (self.bounds_checked && !self.repair.repaired).then(|| {
-                bounds::check_recovery_of(
-                    &self.config.placement,
-                    collected.arrivals.len(),
-                    decoded.recovered,
-                )
-            });
-            if let Some(check) = bound_check {
-                if !decoded.failed && !check.within() {
-                    return Err(EngineError::BoundViolation {
-                        step,
-                        recovered: decoded.recovered,
-                        lo: check.lo,
-                        hi: check.hi,
-                    });
-                }
-            }
-
-            let alive_now = collector.alive();
-            if decoded.recovered == 0 && self.config.fail_on_zero_recovery {
-                // No gradient at all, yet workers are nominally alive: the
-                // run is spinning without progress. Surface it as a typed
-                // error instead of silently looping.
-                let alive_count = alive_now.iter().filter(|&&a| a).count();
-                return Err(EngineError::Degraded {
-                    step,
-                    recovered: 0,
-                    bound: bounds::recovery_bounds_of(&self.config.placement, alive_count.min(n)).0,
-                });
-            }
-
-            if !matches!(self.config.lr_schedule, LrSchedule::Constant) {
-                opt.set_learning_rate(
-                    self.config
-                        .lr_schedule
-                        .rate_at(self.config.learning_rate, step as usize),
-                );
-            }
-            if decoded.recovered > 0 {
-                let mut g = Vector::zeros(params.len());
-                for (i, &w) in decoded.selected.iter().enumerate() {
-                    let coeff = decoded
-                        .coefficients
-                        .as_ref()
-                        .map_or(1.0, |coeffs| coeffs[i]);
-                    g.axpy(
-                        coeff,
-                        collected.codewords[w]
-                            .as_ref()
-                            .expect("decoder selects only arrived workers"),
-                    );
-                }
-                // `g` holds summed per-sample gradients over every recovered
-                // partition's batch (Theorem 12's η·|D_d| factor).
-                let divisor = match self.config.normalization {
-                    GradientNormalization::SumOfPartitionMeans => self.config.batch_size,
-                    GradientNormalization::MeanOverRecovered => {
-                        decoded.recovered * self.config.batch_size
-                    }
-                };
-                g.scale(1.0 / divisor as f64);
-                opt.step(&mut params, &g);
-            }
-
-            let loss = model.loss_mean(&params, dataset, &all_indices);
-            collector.after_step(step + 1, &params)?;
-
-            let report = StepReport {
-                step,
-                ignored: (0..n).filter(|w| !decoded.selected.contains(w)).collect(),
-                arrivals: collected.arrivals,
-                waited_ms: collected.waited_ms,
-                duration: collected.duration,
-                decode_ms,
-                selected: decoded.selected,
-                recovered: decoded.recovered,
-                bounds: bound_check.map(|check| (check.lo, check.hi)),
-                dead: (0..n).filter(|&w| !alive_now[w]).collect(),
-                declined: collected.declined,
-                repairs,
-                stale: collected.stale,
-                failed_decode: decoded.failed,
-                loss,
-            };
-            let control = observer.on_step(&report);
-            steps.push(report);
-            last_loss = Some(loss);
-            if control == StepControl::Crash {
-                interrupted = true;
-                break;
-            }
-            if loss <= self.config.loss_threshold {
-                reached_threshold = true;
-                break;
-            }
+            SessionStatus::Running
         }
-
-        Ok(TrainReport {
-            n,
-            steps,
-            reached_threshold,
-            interrupted,
-            wall_time: started.elapsed().as_secs_f64(),
-            final_params: params,
-        })
     }
 }
 
@@ -813,6 +971,7 @@ mod tests {
                 stale: 0,
                 waited_ms: 0.0,
                 duration: 0.01,
+                sharded: None,
             })
         }
     }

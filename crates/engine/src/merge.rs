@@ -1,0 +1,199 @@
+//! Canonical gradient aggregation: one balanced pairwise reduction shape
+//! shared by flat masters, sub-masters, and the tree root.
+//!
+//! IS-GC codewords are plain partial sums, so they compose associatively in
+//! exact arithmetic — but `f64` addition is *not* associative, and the
+//! determinism contract ("a job's loss curve is bitwise identical under flat
+//! or 2-level aggregation") requires every topology to add the same numbers
+//! in the same order. This module fixes that order once:
+//!
+//! - [`pairwise_sum`] reduces worker slots `[0, n)` by a balanced binary
+//!   recursion (split at `lo + (hi - lo) / 2`), skipping absent slots as
+//!   exact identities (never adding a literal `0.0`, which could still
+//!   perturb signed zeros / NaN payloads).
+//! - [`shard_ranges`] cuts `[0, n)` at that same recursion's nodes at depth
+//!   `log2(shards)`, so each sub-master owns a *subtree* of the flat
+//!   reduction.
+//! - A root that [`pairwise_sum`]s the per-shard partials therefore computes
+//!   exactly the remaining top levels of the flat tree: flat and tree runs
+//!   produce bit-identical sums, not merely close ones.
+
+use isgc_linalg::Vector;
+
+/// Balanced pairwise sum over optional slot contributions.
+///
+/// `slots[w]` is worker `w`'s (already coefficient-scaled) codeword, or
+/// `None` if `w` contributed nothing this step. Returns `None` when every
+/// slot is absent. The reduction order depends only on `slots.len()`, never
+/// on which slots are present — the property the flat-vs-tree bitwise
+/// equality rests on.
+pub fn pairwise_sum(slots: &[Option<Vector>]) -> Option<Vector> {
+    fn reduce(slots: &[Option<Vector>], lo: usize, hi: usize) -> Option<Vector> {
+        match hi - lo {
+            0 => None,
+            1 => slots[lo].clone(),
+            _ => {
+                let mid = lo + (hi - lo) / 2;
+                match (reduce(slots, lo, mid), reduce(slots, mid, hi)) {
+                    (Some(mut a), Some(b)) => {
+                        a.axpy(1.0, &b);
+                        Some(a)
+                    }
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                }
+            }
+        }
+    }
+    reduce(slots, 0, slots.len())
+}
+
+/// The shard boundaries a 2-level tree must use so that per-shard
+/// [`pairwise_sum`]s followed by a root [`pairwise_sum`] over the partials
+/// reproduce the flat reduction bit-for-bit: the nodes of the balanced
+/// recursion over `[0, n)` at depth `log2(shards)`.
+///
+/// `shards` must be a power of two and at most `n`; the ranges are
+/// contiguous, non-empty, and cover `[0, n)` in order.
+///
+/// # Panics
+///
+/// If `shards` is zero, not a power of two, or exceeds `n`.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(
+        shards > 0 && shards.is_power_of_two(),
+        "shard count must be a positive power of two, got {shards}"
+    );
+    assert!(shards <= n, "cannot cut {n} workers into {shards} shards");
+    let mut ranges = vec![(0, n)];
+    while ranges.len() < shards {
+        let mut next = Vec::with_capacity(ranges.len() * 2);
+        for (lo, hi) in ranges {
+            let mid = lo + (hi - lo) / 2;
+            next.push((lo, mid));
+            next.push((mid, hi));
+        }
+        ranges = next;
+    }
+    ranges
+}
+
+/// A pre-decoded step collected through sub-masters: the root receives the
+/// shard-local decode results and partial codeword sums instead of raw
+/// per-worker codewords, merges with [`pairwise_sum`], and the engine then
+/// bound-checks, normalizes, and applies SGD exactly as in the flat path.
+#[derive(Debug)]
+pub struct ShardedDecode {
+    /// Union of the shard-local independent sets (each shard decoded its
+    /// own conflict-graph slice; for FR with shard boundaries on group
+    /// multiples the union is exactly the flat decoder's selection).
+    pub selected: Vec<usize>,
+    /// Total partitions recovered across shards.
+    pub recovered: usize,
+    /// `partials[s]` is shard `s`'s pairwise partial sum over its
+    /// [`shard_ranges`] slice, or `None` if the shard recovered nothing
+    /// (or its sub-master was lost this step).
+    pub partials: Vec<Option<Vector>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x, x * 2.0])
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pairwise_sum(&[]).is_none());
+        assert!(pairwise_sum(&[None, None, None]).is_none());
+        let got = pairwise_sum(&[None, Some(v(3.0)), None]).unwrap();
+        assert_eq!(got.as_slice(), v(3.0).as_slice());
+    }
+
+    #[test]
+    fn matches_plain_sum_on_exact_values() {
+        // Integer-valued f64s add exactly, so any order agrees with the sum.
+        let slots: Vec<Option<Vector>> = (0..7).map(|w| Some(v(w as f64))).collect();
+        let got = pairwise_sum(&slots).unwrap();
+        assert_eq!(got.as_slice(), [21.0, 42.0]);
+    }
+
+    #[test]
+    fn absent_slots_do_not_change_the_tree_shape() {
+        // With non-representable values the association matters; a present
+        // subset must reduce exactly as the same subset inside a full set.
+        let xs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let full: Vec<Option<Vector>> = xs.iter().map(|&x| Some(v(x))).collect();
+        // Drop slots 1 and 6 from the full reduction both ways.
+        let sparse: Vec<Option<Vector>> = xs
+            .iter()
+            .enumerate()
+            .map(|(w, &x)| (w != 1 && w != 6).then(|| v(x)))
+            .collect();
+        // Reference: reduce the sparse set with the same recursion but the
+        // absent values replaced by an exact identity (skipping).
+        let got = pairwise_sum(&sparse).unwrap();
+        // ((0+ )+(2+3)) + ((4+5)+( +7)) with 1 and 6 skipped:
+        let left = {
+            let mut a = v(xs[0]);
+            let mut b = v(xs[2]);
+            b.axpy(1.0, &v(xs[3]));
+            a.axpy(1.0, &b);
+            a
+        };
+        let right = {
+            let mut a = v(xs[4]);
+            a.axpy(1.0, &v(xs[5]));
+            a.axpy(1.0, &v(xs[7]));
+            a
+        };
+        let mut want = left;
+        want.axpy(1.0, &right);
+        assert_eq!(got.as_slice(), want.as_slice());
+        let _ = full;
+    }
+
+    #[test]
+    fn shard_ranges_cover_in_order() {
+        assert_eq!(shard_ranges(16, 1), vec![(0, 16)]);
+        assert_eq!(shard_ranges(16, 2), vec![(0, 8), (8, 16)]);
+        assert_eq!(shard_ranges(16, 4), vec![(0, 4), (4, 8), (8, 12), (12, 16)]);
+        assert_eq!(shard_ranges(6, 2), vec![(0, 3), (3, 6)]);
+        // Odd split keeps the floor-mid convention at every level.
+        assert_eq!(shard_ranges(10, 4), vec![(0, 2), (2, 5), (5, 7), (7, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shard_ranges_rejects_non_power_of_two() {
+        shard_ranges(16, 3);
+    }
+
+    #[test]
+    fn sharded_reduction_is_bitwise_flat() {
+        // The headline property: per-shard partials + root merge == flat.
+        let xs = [0.1, 0.7, 0.3, 0.9, 0.5, 0.11, 0.13, 0.17, 0.19, 0.23];
+        let n = xs.len();
+        let slots: Vec<Option<Vector>> = xs
+            .iter()
+            .enumerate()
+            .map(|(w, &x)| (w % 3 != 1).then(|| v(x)))
+            .collect();
+        let flat = pairwise_sum(&slots).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let ranges = shard_ranges(n, shards);
+            let partials: Vec<Option<Vector>> = ranges
+                .iter()
+                .map(|&(lo, hi)| pairwise_sum(&slots[lo..hi]))
+                .collect();
+            let tree = pairwise_sum(&partials).unwrap();
+            assert_eq!(
+                tree.as_slice(),
+                flat.as_slice(),
+                "shards={shards} diverged from flat"
+            );
+        }
+    }
+}

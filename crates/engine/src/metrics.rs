@@ -65,82 +65,100 @@ pub mod names {
 /// Records one completed step into `registry`. `n` is the cluster size
 /// (fixes the `0..=n` bucket ladders).
 pub fn record_step(registry: &Registry, n: usize, report: &StepReport) {
+    record_step_scoped(registry, n, report, &[]);
+}
+
+/// [`record_step`] with a label scope on every series — how a multi-tenant
+/// scheduler keeps per-job metric streams disjoint inside one shared
+/// registry (each job records under `[("job", name)]`).
+pub fn record_step_scoped(
+    registry: &Registry,
+    n: usize,
+    report: &StepReport,
+    labels: &[(&str, &str)],
+) {
     let l = Class::Logical;
-    registry.inc(names::STEPS_TOTAL, &[], l);
-    registry.inc_by(names::PARTITIONS_REQUESTED_TOTAL, &[], l, n as u64);
+    registry.inc(names::STEPS_TOTAL, labels, l);
+    registry.inc_by(names::PARTITIONS_REQUESTED_TOTAL, labels, l, n as u64);
     registry.inc_by(
         names::PARTITIONS_RECOVERED_TOTAL,
-        &[],
+        labels,
         l,
         report.recovered as u64,
     );
     registry.inc_by(
         names::CODEWORDS_ARRIVED_TOTAL,
-        &[],
+        labels,
         l,
         report.arrivals.len() as u64,
     );
     registry.inc_by(
         names::WORKERS_DECLINED_TOTAL,
-        &[],
+        labels,
         l,
         report.declined.len() as u64,
     );
     registry.inc_by(
         names::REPAIR_EVENTS_TOTAL,
-        &[],
+        labels,
         l,
         report.repairs.len() as u64,
     );
     if report.failed_decode {
-        registry.inc(names::DECODE_FAILED_TOTAL, &[], l);
+        registry.inc(names::DECODE_FAILED_TOTAL, labels, l);
     }
 
     let by_count = buckets::upto(n);
     registry.observe(
         names::STEP_ARRIVALS,
-        &[],
+        labels,
         l,
         &by_count,
         report.arrivals.len() as f64,
     );
     registry.observe(
         names::STEP_RECOVERED,
-        &[],
+        labels,
         l,
         &by_count,
         report.recovered as f64,
     );
     registry.observe(
         names::STEP_DEAD,
-        &[],
+        labels,
         l,
         &by_count,
         report.dead.len() as f64,
     );
     if let Some((lo, hi)) = report.bounds {
-        registry.inc(names::BOUND_CHECKED_TOTAL, &[], l);
+        registry.inc(names::BOUND_CHECKED_TOTAL, labels, l);
         if !(lo..=hi).contains(&report.recovered) {
-            registry.inc(names::BOUND_VIOLATIONS_TOTAL, &[], l);
+            registry.inc(names::BOUND_VIOLATIONS_TOTAL, labels, l);
         }
-        registry.observe(names::STEP_BOUND_LO, &[], l, &by_count, lo as f64);
-        registry.observe(names::STEP_BOUND_HI, &[], l, &by_count, hi as f64);
+        registry.observe(names::STEP_BOUND_LO, labels, l, &by_count, lo as f64);
+        registry.observe(names::STEP_BOUND_HI, labels, l, &by_count, hi as f64);
         registry.observe(
             names::STEP_BOUND_MARGIN,
-            &[],
+            labels,
             l,
             &by_count,
             report.recovered.saturating_sub(lo) as f64,
         );
     }
-    registry.set_gauge(names::LOSS_LAST, &[], l, report.loss);
-    registry.set_gauge(names::STEP_LAST, &[], l, report.step as f64);
+    registry.set_gauge(names::LOSS_LAST, labels, l, report.loss);
+    registry.set_gauge(names::STEP_LAST, labels, l, report.step as f64);
 
     let t = Class::Timing;
     let latency = buckets::latency_ms();
-    registry.observe(names::DECODE_LATENCY_MS, &[], t, &latency, report.decode_ms);
-    registry.observe(names::STEP_WAIT_MS, &[], t, &latency, report.waited_ms);
-    registry.inc_by(names::CODEWORDS_STALE_TOTAL, &[], t, report.stale as u64);
+    registry.observe(
+        names::DECODE_LATENCY_MS,
+        labels,
+        t,
+        &latency,
+        report.decode_ms,
+    );
+    registry.observe(names::STEP_WAIT_MS, labels, t, &latency, report.waited_ms);
+    registry.inc_by(names::CODEWORDS_STALE_TOTAL, labels, t, report.stale as u64);
 
     let mut fields = vec![
         SpanField::logical("arrivals", report.arrivals.len() as f64),
@@ -153,7 +171,7 @@ pub fn record_step(registry: &Registry, n: usize, report: &StepReport) {
         fields.push(SpanField::logical("bound_lo", lo as f64));
         fields.push(SpanField::logical("bound_hi", hi as f64));
     }
-    registry.record_span(names::STEP_SPAN, &[], &fields);
+    registry.record_span(names::STEP_SPAN, labels, &fields);
 }
 
 /// Replays a finished run into `registry`, step by step — the post-hoc
@@ -179,6 +197,7 @@ pub fn logical_metrics_text(report: &TrainReport) -> String {
 pub struct MetricsObserver<O: Observer = NoopObserver> {
     registry: Registry,
     n: usize,
+    job: Option<String>,
     inner: O,
 }
 
@@ -188,6 +207,18 @@ impl MetricsObserver<NoopObserver> {
         MetricsObserver {
             registry,
             n,
+            job: None,
+            inner: NoopObserver,
+        }
+    }
+
+    /// A metrics-only observer recording under a `("job", name)` label —
+    /// the per-job metric scope of a multi-tenant scheduler.
+    pub fn for_job(registry: Registry, n: usize, job: impl Into<String>) -> Self {
+        MetricsObserver {
+            registry,
+            n,
+            job: Some(job.into()),
             inner: NoopObserver,
         }
     }
@@ -197,13 +228,29 @@ impl<O: Observer> MetricsObserver<O> {
     /// Chains metric recording in front of `inner` (which keeps the final
     /// say on [`StepControl`]).
     pub fn wrapping(registry: Registry, n: usize, inner: O) -> Self {
-        MetricsObserver { registry, n, inner }
+        MetricsObserver {
+            registry,
+            n,
+            job: None,
+            inner,
+        }
+    }
+
+    /// Scopes an existing observer's series under a `("job", name)` label.
+    pub fn scoped_to_job(mut self, job: impl Into<String>) -> Self {
+        self.job = Some(job.into());
+        self
     }
 }
 
 impl<O: Observer> Observer for MetricsObserver<O> {
     fn on_step(&mut self, report: &StepReport) -> StepControl {
-        record_step(&self.registry, self.n, report);
+        match &self.job {
+            Some(job) => {
+                record_step_scoped(&self.registry, self.n, report, &[("job", job.as_str())])
+            }
+            None => record_step(&self.registry, self.n, report),
+        }
         self.inner.on_step(report)
     }
 }

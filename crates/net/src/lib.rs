@@ -30,13 +30,15 @@ pub mod master;
 pub mod metrics;
 pub mod report;
 pub mod retry;
+pub mod submaster;
 pub mod wire;
 pub mod worker;
 
 pub use checkpoint::{CheckpointConfig, MasterCheckpoint};
-pub use master::{Master, NetConfig, StepControl};
+pub use master::{Master, MasterSession, NetConfig, StepControl};
 pub use report::{NetReport, NetTrainReport, RepairEvent};
 pub use retry::RetryPolicy;
+pub use submaster::{Submaster, SubmasterOptions, SubmasterSummary};
 pub use worker::{run_worker, Assignment, ShutdownCause, WorkerOptions, WorkerSummary};
 
 use std::fmt;

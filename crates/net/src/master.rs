@@ -36,7 +36,7 @@ use isgc_ml::model::Model;
 use crate::checkpoint::{CheckpointConfig, MasterCheckpoint};
 use crate::report::{NetReport, NetTrainReport};
 use crate::retry::RetryPolicy;
-use crate::wire::{read_message, read_message_sized, write_message, Message, WireError};
+use crate::wire::{read_message_tagged, write_frame, write_message_for_job, Message, WireError};
 use crate::{NetError, WaitPolicy};
 
 pub use isgc_engine::StepControl;
@@ -85,6 +85,15 @@ pub struct NetConfig {
     /// (via [`isgc_engine::MetricsObserver`]) plus transport byte/frame
     /// counters (see [`crate::metrics`]) into this registry.
     pub metrics: Option<isgc_obs::Registry>,
+    /// Tenant id stamped on every outbound frame and required on every
+    /// inbound one — frames tagged with a foreign job are dropped before
+    /// they reach the step loop. Job 0 is the single-tenant default.
+    pub job: u64,
+    /// Human-readable tenant name. When set (and `metrics` is set), the
+    /// engine's per-step series are recorded under a `("job", name)` label
+    /// scope, and [`NetConfig::checkpoint`] should be pre-scoped via
+    /// [`CheckpointConfig::scoped`] so co-tenants keep separate files.
+    pub job_name: Option<String>,
 }
 
 impl NetConfig {
@@ -104,6 +113,8 @@ impl NetConfig {
             repair_after_steps: None,
             rejoin_grace: Duration::ZERO,
             metrics: None,
+            job: 0,
+            job_name: None,
         }
     }
 
@@ -149,7 +160,7 @@ impl NetConfig {
 }
 
 /// Wraps a transport failure for transit through the engine.
-fn backend(e: NetError) -> EngineError {
+pub(crate) fn backend(e: NetError) -> EngineError {
     EngineError::Backend(Box::new(e))
 }
 
@@ -175,13 +186,18 @@ fn engine_to_net(e: EngineError) -> NetError {
 }
 
 /// Events flowing from connection threads into the master loop.
-enum Event {
+pub(crate) enum Event {
     /// A fresh connection completed its `Hello` handshake.
     Join {
         stream: TcpStream,
         preferred: Option<u64>,
     },
+    /// A fresh connection completed a `SubHello` handshake: a sub-master
+    /// claiming a shard of a 2-level aggregation tree.
+    JoinShard { stream: TcpStream, shard: u64 },
     /// A registered connection produced a message of `bytes` wire bytes.
+    /// `worker` is the slot index — a worker id in a flat loop, a shard id
+    /// in a tree root loop.
     Msg {
         worker: usize,
         epoch: u64,
@@ -203,18 +219,31 @@ enum Dispatched {
 }
 
 /// One worker slot as the master sees it.
-struct Slot {
+pub(crate) struct Slot {
     /// Write half of the current connection, if any.
-    writer: Option<TcpStream>,
+    pub(crate) writer: Option<TcpStream>,
     /// Bumped on every (re)registration so events from replaced connections
     /// can be told apart from live ones.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Whether the current connection is believed usable.
-    alive: bool,
+    pub(crate) alive: bool,
     /// Whether this slot was ever assigned to a connection.
-    registered: bool,
+    pub(crate) registered: bool,
     /// Last time any message arrived from this worker.
-    last_seen: Instant,
+    pub(crate) last_seen: Instant,
+}
+
+impl Slot {
+    /// An unregistered, unconnected slot.
+    pub(crate) fn empty() -> Slot {
+        Slot {
+            writer: None,
+            epoch: 0,
+            alive: false,
+            registered: false,
+            last_seen: Instant::now(),
+        }
+    }
 }
 
 /// A listening IS-GC master. Bind first (so tests can learn the ephemeral
@@ -322,7 +351,12 @@ impl Master {
         let local_addr = self.listener.local_addr()?;
         let (event_tx, event_rx) = unbounded::<Event>();
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = spawn_accept_loop(self.listener, event_tx.clone(), Arc::clone(&stop));
+        let accept_handle = spawn_accept_loop(
+            self.listener,
+            event_tx.clone(),
+            Arc::clone(&stop),
+            config.job,
+        );
 
         let mut loop_state = MasterLoop {
             slots: (0..n)
@@ -361,6 +395,9 @@ impl Master {
                     // its StepControl authority.
                     let mut metered =
                         isgc_engine::MetricsObserver::wrapping(registry, n, &mut step_observer);
+                    if let Some(name) = &config.job_name {
+                        metered = metered.scoped_to_job(name.clone());
+                    }
                     engine
                         .run(model, dataset, Some(params), &mut loop_state, &mut metered)
                         .map_err(engine_to_net)
@@ -382,32 +419,241 @@ impl Master {
         // connection. A scripted crash skips the shutdown broadcast — a
         // killed process sends nothing.
         let crashed = matches!(&outcome, Ok(report) if report.interrupted);
-        if !crashed {
-            loop_state.broadcast(&Message::Shutdown);
-        } else {
-            // A killed process closes every fd. Emulate that: reader threads
-            // hold clones of these sockets, so merely dropping the writers
-            // leaves the connections open and workers would block forever
-            // instead of seeing EOF and reconnecting to the resumed master.
-            for slot in &mut loop_state.slots {
-                if let Some(writer) = slot.writer.take() {
-                    let _ = writer.shutdown(std::net::Shutdown::Both);
-                }
-            }
-        }
+        loop_state.close_peers(crashed);
         stop.store(true, Ordering::Release);
         let _ = TcpStream::connect(local_addr);
         let _ = accept_handle.join();
         outcome
     }
+
+    /// Turns the bound master into a step-at-a-time [`MasterSession`]:
+    /// registration and (flat-mode) checkpoint resume happen here, then the
+    /// caller drives one training step per [`MasterSession::step`] call.
+    /// This is the networked job driver a multi-tenant scheduler
+    /// round-robins — `isgc-sched` steps several of these in one process.
+    ///
+    /// # Errors
+    ///
+    /// As [`Master::run_with`]; on error the accept loop is already torn
+    /// down.
+    pub fn into_session<M: Model>(
+        self,
+        model: M,
+        dataset: Dataset,
+        config: &NetConfig,
+    ) -> Result<MasterSession<M>, NetError> {
+        self.into_session_inner(model, dataset, config, None)
+    }
+
+    /// Like [`Master::into_session`], but collecting through a 2-level
+    /// aggregation tree: `submasters` sub-masters register (via `SubHello`),
+    /// each owning a group-aligned worker shard, and every step the root
+    /// merges their partial codeword sums with the canonical pairwise
+    /// reduction — bitwise identical to flat aggregation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Master::into_session`], plus [`NetError::InvalidConfig`] when
+    /// the placement is not FR or a shard boundary cuts through an FR group.
+    pub fn into_tree_session<M: Model>(
+        self,
+        model: M,
+        dataset: Dataset,
+        config: &NetConfig,
+        submasters: usize,
+    ) -> Result<MasterSession<M>, NetError> {
+        self.into_session_inner(model, dataset, config, Some(submasters))
+    }
+
+    fn into_session_inner<M: Model>(
+        self,
+        model: M,
+        dataset: Dataset,
+        config: &NetConfig,
+        submasters: Option<usize>,
+    ) -> Result<MasterSession<M>, NetError> {
+        config.validate()?;
+        let n = config.placement.n();
+        let local_addr = self.listener.local_addr()?;
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = spawn_accept_loop(
+            self.listener,
+            event_tx.clone(),
+            Arc::clone(&stop),
+            config.job,
+        );
+
+        match build_session_state(&model, &dataset, config, event_rx, event_tx, submasters) {
+            Ok((collector, engine, session)) => {
+                let metrics = config.metrics.clone().map(|registry| {
+                    let mut observer = isgc_engine::MetricsObserver::new(registry, n);
+                    if let Some(name) = &config.job_name {
+                        observer = observer.scoped_to_job(name.clone());
+                    }
+                    observer
+                });
+                Ok(MasterSession {
+                    model,
+                    dataset,
+                    engine,
+                    session,
+                    collector,
+                    metrics,
+                    stop,
+                    accept_handle: Some(accept_handle),
+                    local_addr,
+                })
+            }
+            Err(e) => {
+                stop.store(true, Ordering::Release);
+                let _ = TcpStream::connect(local_addr);
+                let _ = accept_handle.join();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Builds the collector, engine, and open session for
+/// [`Master::into_session_inner`] — split out so the caller can tear the
+/// accept loop down on any error.
+fn build_session_state<M: Model>(
+    model: &M,
+    dataset: &Dataset,
+    config: &NetConfig,
+    event_rx: Receiver<Event>,
+    event_tx: Sender<Event>,
+    submasters: Option<usize>,
+) -> Result<(SessionCollector, StepEngine, isgc_engine::Session), NetError> {
+    let n = config.placement.n();
+    match submasters {
+        None => {
+            let mut loop_state = MasterLoop {
+                slots: (0..n).map(|_| Slot::empty()).collect(),
+                event_rx,
+                event_tx,
+                config: config.clone(),
+                assignments: (0..n)
+                    .map(|w| config.placement.partitions_of(w).to_vec())
+                    .collect(),
+            };
+            let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
+            let mut params = engine.initial_params(model);
+            let start_step = loop_state.try_resume(&mut params)?;
+            engine
+                .resume_from(start_step, loop_state.assignments.clone())
+                .map_err(engine_to_net)?;
+            loop_state.await_registration()?;
+            let session = engine.begin(model, dataset, Some(params));
+            Ok((SessionCollector::Flat(loop_state), engine, session))
+        }
+        Some(submasters) => {
+            let mut root = crate::submaster::TreeRootLoop::new(
+                config.clone(),
+                event_rx,
+                event_tx,
+                submasters,
+            )?;
+            let engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
+            let params = engine.initial_params(model);
+            root.await_registration()?;
+            let session = engine.begin(model, dataset, Some(params));
+            Ok((SessionCollector::Tree(root), engine, session))
+        }
+    }
+}
+
+/// The transport behind one [`MasterSession`].
+enum SessionCollector {
+    /// Every worker reports straight to this master.
+    Flat(MasterLoop),
+    /// Sub-masters report shard partials; see [`crate::submaster`].
+    Tree(crate::submaster::TreeRootLoop),
+}
+
+/// A registered, resumed, step-at-a-time networked training session — the
+/// [`Master`]'s run loop with the stepping authority handed to the caller.
+/// Drop order does not matter: [`MasterSession::finish`] performs the full
+/// transport teardown (shutdown broadcast, accept-loop join).
+pub struct MasterSession<M: Model> {
+    model: M,
+    dataset: Dataset,
+    engine: StepEngine,
+    session: isgc_engine::Session,
+    collector: SessionCollector,
+    metrics: Option<isgc_engine::MetricsObserver>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    local_addr: std::net::SocketAddr,
+}
+
+impl<M: Model> MasterSession<M> {
+    /// The bound address workers (or sub-masters) dial.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs one training step over the wire.
+    ///
+    /// # Errors
+    ///
+    /// As [`Master::run_with`]; after an error the session is closed and
+    /// further calls return [`isgc_engine::SessionStatus::Done`] without
+    /// touching the network.
+    pub fn step(&mut self) -> Result<isgc_engine::SessionStatus, NetError> {
+        let collector: &mut dyn Collector = match &mut self.collector {
+            SessionCollector::Flat(loop_state) => loop_state,
+            SessionCollector::Tree(root) => root,
+        };
+        let result = match &mut self.metrics {
+            Some(observer) => self.engine.step(
+                &mut self.session,
+                &self.model,
+                &self.dataset,
+                collector,
+                observer,
+            ),
+            None => self.engine.step(
+                &mut self.session,
+                &self.model,
+                &self.dataset,
+                collector,
+                &mut isgc_engine::NoopObserver,
+            ),
+        };
+        result.map_err(engine_to_net)
+    }
+
+    /// Closes the session: broadcasts `Shutdown` to the peers (unless the
+    /// run was interrupted by a scripted crash, which emulates a killed
+    /// process by hard-closing every socket), stops the accept loop, and
+    /// returns the training report.
+    pub fn finish(mut self) -> NetTrainReport {
+        let report = self.engine.finish(self.session);
+        let crashed = report.interrupted;
+        match &mut self.collector {
+            SessionCollector::Flat(loop_state) => loop_state.close_peers(crashed),
+            SessionCollector::Tree(root) => root.close_peers(crashed),
+        }
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        report
+    }
 }
 
 /// Spawns the accept loop: each fresh connection gets a short-lived
-/// handshake thread that reads `Hello` and forwards a `Join` event.
-fn spawn_accept_loop(
+/// handshake thread that reads `Hello` (a worker) or `SubHello` (a
+/// sub-master) and forwards the matching join event. Frames tagged with a
+/// foreign job are dropped at the door.
+pub(crate) fn spawn_accept_loop(
     listener: TcpListener,
     event_tx: Sender<Event>,
     stop: Arc<AtomicBool>,
+    job: u64,
 ) -> thread::JoinHandle<()> {
     thread::Builder::new()
         .name("isgc-net-accept".into())
@@ -429,11 +675,20 @@ fn spawn_accept_loop(
                     // Bound the handshake so a silent client can't pin the
                     // thread forever.
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                    // Anything but a Hello means it's not a worker; the
-                    // connection is silently dropped.
-                    if let Ok(Message::Hello { preferred }) = read_message(&mut stream) {
-                        let _ = stream.set_read_timeout(None);
-                        let _ = tx.send(Event::Join { stream, preferred });
+                    // Anything but a correctly job-tagged Hello/SubHello
+                    // means it's not one of ours; the connection is silently
+                    // dropped.
+                    match read_message_tagged(&mut stream) {
+                        Ok((frame_job, _, _)) if frame_job != job => {}
+                        Ok((_, Message::Hello { preferred }, _)) => {
+                            let _ = stream.set_read_timeout(None);
+                            let _ = tx.send(Event::Join { stream, preferred });
+                        }
+                        Ok((_, Message::SubHello { shard }, _)) => {
+                            let _ = stream.set_read_timeout(None);
+                            let _ = tx.send(Event::JoinShard { stream, shard });
+                        }
+                        _ => {}
                     }
                 });
         })
@@ -441,14 +696,22 @@ fn spawn_accept_loop(
 }
 
 /// Spawns the per-connection reader feeding `Event::Msg` / `Event::Gone`.
-fn spawn_reader(stream: TcpStream, worker: usize, epoch: u64, tx: Sender<Event>) {
+/// Frames tagged with a foreign job are discarded without an event.
+pub(crate) fn spawn_reader(
+    stream: TcpStream,
+    worker: usize,
+    epoch: u64,
+    tx: Sender<Event>,
+    job: u64,
+) {
     let _ = thread::Builder::new()
         .name(format!("isgc-net-reader-{worker}"))
         .spawn(move || {
             let mut stream = stream;
             loop {
-                match read_message_sized(&mut stream) {
-                    Ok((message, bytes)) => {
+                match read_message_tagged(&mut stream) {
+                    Ok((frame_job, _, _)) if frame_job != job => continue,
+                    Ok((_, message, bytes)) => {
                         if tx
                             .send(Event::Msg {
                                 worker,
@@ -502,10 +765,11 @@ impl Collector for MasterLoop {
         let touched: std::collections::BTreeSet<usize> = events.iter().map(|e| e.to).collect();
         for id in touched {
             let message = self.assign_message(id);
+            let job = self.config.job;
             let sent = self.slots[id]
                 .writer
                 .as_mut()
-                .and_then(|w| write_message(w, &message).ok());
+                .and_then(|w| write_message_for_job(w, job, &message).ok());
             match sent {
                 Some(bytes) => self.count_sent(bytes),
                 None => {
@@ -530,6 +794,7 @@ impl Collector for MasterLoop {
             stale: collected.stale + pre_stale,
             waited_ms: collected.waited.as_secs_f64() * 1e3,
             duration: collected.waited.as_secs_f64(),
+            sharded: None,
         })
     }
 
@@ -541,6 +806,25 @@ impl Collector for MasterLoop {
 impl MasterLoop {
     fn n(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Notifies workers the run is over — a `Shutdown` broadcast normally,
+    /// or (emulating a killed process, whose fds all close) a hard shutdown
+    /// of every socket when the run ended in a scripted crash.
+    pub(crate) fn close_peers(&mut self, crashed: bool) {
+        if !crashed {
+            self.broadcast(&Message::Shutdown);
+        } else {
+            // Reader threads hold clones of these sockets, so merely
+            // dropping the writers leaves the connections open and workers
+            // would block forever instead of seeing EOF and reconnecting to
+            // the resumed master.
+            for slot in &mut self.slots {
+                if let Some(writer) = slot.writer.take() {
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
     }
 
     /// Counts one outbound frame, when a metrics registry is attached.
@@ -574,6 +858,9 @@ impl MasterLoop {
                 self.register(stream, preferred);
                 Dispatched::Nothing
             }
+            // A sub-master dialing a flat master: not part of this topology;
+            // drop the connection.
+            Event::JoinShard { .. } => Dispatched::Nothing,
             Event::Gone { worker, epoch } => {
                 if self.slots[worker].epoch == epoch {
                     self.slots[worker].alive = false;
@@ -639,7 +926,8 @@ impl MasterLoop {
             Ok(s) => s,
             Err(_) => return,
         };
-        let Ok(assign_bytes) = write_message(&mut write_half, &assign) else {
+        let Ok(assign_bytes) = write_message_for_job(&mut write_half, self.config.job, &assign)
+        else {
             return;
         };
         self.count_sent(assign_bytes);
@@ -649,7 +937,13 @@ impl MasterLoop {
         slot.alive = true;
         slot.last_seen = Instant::now();
         slot.writer = Some(write_half);
-        spawn_reader(stream, id, slot.epoch, self.event_tx.clone());
+        spawn_reader(
+            stream,
+            id,
+            slot.epoch,
+            self.event_tx.clone(),
+            self.config.job,
+        );
     }
 
     /// Builds the `Assign` frame for worker `id` from its *current*
@@ -680,14 +974,18 @@ impl MasterLoop {
     }
 
     /// Sends a message to every alive worker, demoting ones that fail.
+    /// The frame is serialized exactly once and the same bytes are written
+    /// to every peer — a `Params` broadcast no longer pays one encode (and
+    /// one `Vec<f64>` copy) per worker.
     fn broadcast(&mut self, message: &Message) {
+        let frame = message.encode_for_job(self.config.job);
         let mut frames = 0u64;
         let mut bytes = 0u64;
         for slot in &mut self.slots {
             if !slot.alive {
                 continue;
             }
-            match slot.writer.as_mut().map(|w| write_message(w, message)) {
+            match slot.writer.as_mut().map(|w| write_frame(w, &frame)) {
                 Some(Ok(sent)) => {
                     frames += 1;
                     bytes += sent as u64;

@@ -1,0 +1,925 @@
+//! Two-level hierarchical aggregation over TCP: sub-masters and the tree
+//! root loop.
+//!
+//! For large clusters a single master serializes `n` codeword uploads per
+//! step. In tree mode the cluster is cut into group-aligned shards (at
+//! [`isgc_engine::shard_ranges`], so each shard is a subtree of the
+//! canonical pairwise reduction): a **sub-master** owns each shard, relays
+//! the root's `Params` broadcast to its workers, collects their codewords,
+//! runs the shard-local slice of the conflict-graph decode, and uploads only
+//! `(arrivals, selection, partial sum)` — the raw codewords never leave the
+//! shard. The **root** (`TreeRootLoop`) merges the partials with
+//! [`isgc_engine::pairwise_sum`] and hands the engine a pre-decoded
+//! [`Collected`], so bound checks, normalization, and SGD run exactly as in
+//! flat mode.
+//!
+//! Determinism: the FR decoder's per-group representative choice is a pure
+//! hash of `(step_rng(seed, step), group)`, so a shard decoding only its own
+//! groups picks exactly the representatives a flat master would, and the
+//! fixed merge order makes the aggregate bitwise identical to flat
+//! aggregation (see `isgc-engine::merge`).
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use isgc_core::decode::{decoder_for, Decoder};
+use isgc_core::{Placement, Scheme, WorkerSet};
+use isgc_engine::{
+    pairwise_sum, shard_ranges, step_rng, Collected, Collector, EngineError, ShardedDecode,
+    StepContext,
+};
+use isgc_linalg::Vector;
+
+use crate::master::{backend, spawn_accept_loop, spawn_reader, Event, NetConfig, Slot};
+use crate::retry::RetryPolicy;
+use crate::wire::{read_message_tagged, write_message_for_job, Message};
+use crate::{NetError, WaitPolicy};
+
+/// Poll granularity while waiting on shard uploads or worker codewords.
+const POLL: Duration = Duration::from_millis(20);
+
+/// The root's collector in tree mode: one slot per sub-master, each
+/// delivering a shard's `(arrivals, selection, partial sum)` per step.
+pub(crate) struct TreeRootLoop {
+    slots: Vec<Slot>,
+    shards: Vec<(usize, usize)>,
+    event_rx: Receiver<Event>,
+    event_tx: Sender<Event>,
+    config: NetConfig,
+}
+
+/// One shard's upload for the step being collected.
+struct ShardReport {
+    arrivals: Vec<usize>,
+    selected: Vec<usize>,
+    recovered: usize,
+    partial: Option<Vector>,
+}
+
+impl TreeRootLoop {
+    /// Validates the tree geometry and builds the (not yet registered)
+    /// root loop.
+    pub(crate) fn new(
+        config: NetConfig,
+        event_rx: Receiver<Event>,
+        event_tx: Sender<Event>,
+        submasters: usize,
+    ) -> Result<TreeRootLoop, NetError> {
+        let n = config.placement.n();
+        let c = config.placement.c();
+        if submasters == 0 || !submasters.is_power_of_two() {
+            return Err(NetError::InvalidConfig(format!(
+                "sub-master count must be a positive power of two, got {submasters}"
+            )));
+        }
+        if submasters > n {
+            return Err(NetError::InvalidConfig(format!(
+                "cannot cut n={n} workers into {submasters} shards"
+            )));
+        }
+        if config.placement.scheme() != Scheme::Fractional {
+            return Err(NetError::InvalidConfig(format!(
+                "tree aggregation requires an FR placement (shard-local decode \
+                 decomposes over FR groups), got {}",
+                config.placement.scheme()
+            )));
+        }
+        let shards = shard_ranges(n, submasters);
+        for &(lo, hi) in &shards {
+            if lo % c != 0 || hi % c != 0 {
+                return Err(NetError::InvalidConfig(format!(
+                    "shard boundary [{lo}, {hi}) cuts through an FR group (c={c})"
+                )));
+            }
+        }
+        Ok(TreeRootLoop {
+            slots: (0..submasters).map(|_| Slot::empty()).collect(),
+            shards,
+            event_rx,
+            event_tx,
+            config,
+        })
+    }
+
+    /// Blocks until every shard's sub-master registered (or the
+    /// registration deadline passes).
+    pub(crate) fn await_registration(&mut self) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.config.register_timeout;
+        loop {
+            if self.slots.iter().all(|s| s.registered) {
+                return Ok(());
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                let registered = self.slots.iter().filter(|s| s.registered).count();
+                return Err(NetError::Protocol(format!(
+                    "tree registration timed out with {registered} of {} sub-masters",
+                    self.slots.len()
+                )));
+            };
+            match self.event_rx.recv_timeout(remaining.min(POLL)) {
+                Ok(event) => self.dispatch_control(event),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Protocol("event channel closed".into()));
+                }
+            }
+        }
+    }
+
+    /// Handles registration/liveness events (everything but uploads).
+    fn dispatch_control(&mut self, event: Event) {
+        match event {
+            Event::JoinShard { stream, shard } => self.register_shard(stream, shard),
+            // A worker dialing the root directly: wrong tier, drop it.
+            Event::Join { .. } => {}
+            Event::Gone { worker, epoch } => {
+                if self.slots[worker].epoch == epoch {
+                    self.slots[worker].alive = false;
+                    self.slots[worker].writer = None;
+                }
+            }
+            Event::Msg { worker, epoch, .. } => {
+                if self.slots[worker].epoch == epoch {
+                    self.slots[worker].last_seen = Instant::now();
+                    self.slots[worker].alive = true;
+                }
+            }
+        }
+    }
+
+    /// Registers (or re-registers, after a crash) a shard's sub-master.
+    fn register_shard(&mut self, stream: TcpStream, shard: u64) {
+        let Some(&(lo, hi)) = self.shards.get(shard as usize) else {
+            return; // claims a shard outside the tree: reject
+        };
+        let assign = Message::ShardAssign {
+            shard,
+            lo: lo as u64,
+            hi: hi as u64,
+            n: self.config.placement.n() as u64,
+            c: self.config.placement.c() as u64,
+            batch_size: self.config.batch_size as u64,
+            seed: self.config.seed,
+        };
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if write_message_for_job(&mut write_half, self.config.job, &assign).is_err() {
+            return;
+        }
+        let slot = &mut self.slots[shard as usize];
+        slot.epoch += 1;
+        slot.registered = true;
+        slot.alive = true;
+        slot.last_seen = Instant::now();
+        slot.writer = Some(write_half);
+        spawn_reader(
+            stream,
+            shard as usize,
+            slot.epoch,
+            self.event_tx.clone(),
+            self.config.job,
+        );
+    }
+
+    /// Sends one pre-encoded frame to every alive sub-master (serialize
+    /// once, write `S` times), demoting shards whose connection fails.
+    fn broadcast(&mut self, message: &Message) {
+        let frame = message.encode_for_job(self.config.job);
+        for slot in &mut self.slots {
+            if !slot.alive {
+                continue;
+            }
+            if slot
+                .writer
+                .as_mut()
+                .map(|w| crate::wire::write_frame(w, &frame))
+                .and_then(Result::ok)
+                .is_none()
+            {
+                slot.alive = false;
+                slot.writer = None;
+            }
+        }
+    }
+
+    /// Waits up to [`NetConfig::rejoin_grace`] at step start for every
+    /// previously-registered but currently disconnected sub-master to
+    /// re-register, so a restarted shard's step membership depends only on
+    /// the step its crash was scripted at, never on how fast its restart
+    /// races the next broadcast.
+    fn await_rejoins(&mut self) {
+        let grace = self.config.rejoin_grace;
+        if grace.is_zero() {
+            return;
+        }
+        let deadline = Instant::now() + grace;
+        while self.slots.iter().any(|s| s.registered && !s.alive) {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match self.event_rx.recv_timeout(remaining.min(POLL)) {
+                Ok(event) => self.dispatch_control(event),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Notifies sub-masters the run is over (they relay to their workers),
+    /// or emulates a killed root by hard-closing every socket.
+    pub(crate) fn close_peers(&mut self, crashed: bool) {
+        if !crashed {
+            self.broadcast(&Message::Shutdown);
+        } else {
+            for slot in &mut self.slots {
+                if let Some(writer) = slot.writer.take() {
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+impl Collector for TreeRootLoop {
+    fn n(&self) -> usize {
+        self.config.placement.n()
+    }
+
+    /// Liveness at worker granularity: a shard's workers are alive iff the
+    /// shard's sub-master connection is. (The Theorem 10/11 bound the
+    /// engine checks per step is computed from what actually arrived, so
+    /// this coarse view only affects wait targets, never correctness.)
+    fn alive(&self) -> Vec<bool> {
+        let mut alive = vec![false; self.n()];
+        for (slot, &(lo, hi)) in self.slots.iter().zip(&self.shards) {
+            if slot.alive {
+                alive[lo..hi].fill(true);
+            }
+        }
+        alive
+    }
+
+    fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
+        self.await_rejoins();
+        let step_start = Instant::now();
+        self.broadcast(&Message::Params {
+            step: ctx.step,
+            values: ctx.params.as_slice().to_vec(),
+        });
+        // A deadline wait policy caps how long present shards are held up by
+        // an absent one. Under FirstW the root waits for every shard that
+        // received the broadcast — a crashed shard's EOF unblocks the step
+        // immediately.
+        let cutoff = match self.config.wait {
+            WaitPolicy::FirstW(_) => None,
+            WaitPolicy::Deadline(d) => Some(step_start + d),
+        };
+        let submasters = self.slots.len();
+        // A shard is eligible for this step only through the connection that
+        // received the Params broadcast; one that re-registers mid-step (a
+        // restarted sub-master, with a new epoch) never saw this step and
+        // must not be waited on — its first step is the next one.
+        let eligible: Vec<Option<u64>> = self
+            .slots
+            .iter()
+            .map(|s| (s.alive && s.writer.is_some()).then_some(s.epoch))
+            .collect();
+        let mut reports: Vec<Option<ShardReport>> = (0..submasters).map(|_| None).collect();
+        let mut stale = 0usize;
+        loop {
+            let pending = (0..submasters)
+                .filter(|&s| {
+                    self.slots[s].alive
+                        && eligible[s] == Some(self.slots[s].epoch)
+                        && reports[s].is_none()
+                })
+                .count();
+            let expired = cutoff.is_some_and(|c| Instant::now() >= c);
+            let uploaded = reports.iter().filter(|r| r.is_some()).count();
+            if pending == 0 || (expired && uploaded > 0) {
+                if uploaded == 0 && self.slots.iter().all(|s| !s.alive) {
+                    return Err(backend(NetError::AllWorkersLost));
+                }
+                if pending == 0 || expired {
+                    break;
+                }
+            }
+            match self.event_rx.recv_timeout(POLL) {
+                Ok(Event::Msg {
+                    worker: shard,
+                    epoch,
+                    message,
+                    bytes: _,
+                }) if self.slots[shard].epoch == epoch => {
+                    self.slots[shard].last_seen = Instant::now();
+                    self.slots[shard].alive = true;
+                    if let Message::ShardUpload {
+                        shard: claimed,
+                        step,
+                        arrivals,
+                        selected,
+                        recovered,
+                        partial,
+                    } = message
+                    {
+                        // Like codewords, the slot is authoritative over
+                        // the claimed id, and stale steps are counted,
+                        // never mixed in.
+                        let _ = claimed;
+                        if step == ctx.step && reports[shard].is_none() {
+                            reports[shard] = Some(ShardReport {
+                                arrivals: arrivals.iter().map(|&w| w as usize).collect(),
+                                selected: selected.iter().map(|&w| w as usize).collect(),
+                                recovered: recovered as usize,
+                                partial: (!partial.is_empty())
+                                    .then(|| Vector::from_slice(&partial)),
+                            });
+                        } else {
+                            stale += 1;
+                        }
+                    }
+                }
+                Ok(event) => self.dispatch_control(event),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(backend(NetError::Protocol("event channel closed".into())));
+                }
+            }
+        }
+
+        let n = self.n();
+        let mut arrivals = Vec::new();
+        let mut selected = Vec::new();
+        let mut recovered = 0usize;
+        let mut partials: Vec<Option<Vector>> = Vec::with_capacity(submasters);
+        for report in &mut reports {
+            match report.take() {
+                Some(report) => {
+                    arrivals.extend_from_slice(&report.arrivals);
+                    selected.extend_from_slice(&report.selected);
+                    recovered += report.recovered;
+                    partials.push(report.partial);
+                }
+                None => partials.push(None),
+            }
+        }
+        arrivals.sort_unstable();
+        let waited = step_start.elapsed();
+        Ok(Collected {
+            arrivals,
+            codewords: vec![None; n],
+            declined: Vec::new(),
+            stale,
+            waited_ms: waited.as_secs_f64() * 1e3,
+            duration: waited.as_secs_f64(),
+            sharded: Some(ShardedDecode {
+                selected,
+                recovered,
+                partials,
+            }),
+        })
+    }
+}
+
+/// Tunables of a sub-master.
+#[derive(Debug, Clone)]
+pub struct SubmasterOptions {
+    /// Backoff for dialing (and re-dialing) the root.
+    pub retry: RetryPolicy,
+    /// A shard worker silent for longer than this while a step is
+    /// collecting is presumed dead for that step.
+    pub heartbeat_timeout: Duration,
+    /// How long to wait for the shard's workers to register before the
+    /// first step.
+    pub register_timeout: Duration,
+    /// Tenant id stamped on every frame (both toward the root and toward
+    /// the shard workers); foreign frames are dropped.
+    pub job: u64,
+    /// Chaos hook: crash (hard-close every socket, return) upon *receiving*
+    /// the `Params` broadcast of this step — mid-step, after the root
+    /// committed to this shard's liveness but before any upload.
+    pub crash_at_step: Option<u64>,
+}
+
+impl Default for SubmasterOptions {
+    fn default() -> Self {
+        SubmasterOptions {
+            retry: RetryPolicy::default(),
+            heartbeat_timeout: Duration::from_secs(2),
+            register_timeout: Duration::from_secs(30),
+            job: 0,
+            crash_at_step: None,
+        }
+    }
+}
+
+/// What a sub-master did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmasterSummary {
+    /// The shard this sub-master served.
+    pub shard: usize,
+    /// Steps decoded and uploaded.
+    pub steps_served: usize,
+    /// Whether a scripted [`SubmasterOptions::crash_at_step`] fired.
+    pub crashed: bool,
+    /// Whether the root ended the run with a clean `Shutdown` (false when
+    /// the root became unreachable or the sub-master crashed).
+    pub clean_shutdown: bool,
+}
+
+/// A bound sub-master, listening for its shard's workers. Bind first (so
+/// the harness can hand workers the address), then [`Submaster::run`].
+pub struct Submaster {
+    listener: TcpListener,
+}
+
+impl Submaster {
+    /// Binds the sub-master's worker-facing listening socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Submaster, NetError> {
+        Ok(Submaster {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// Binds with retries — the restart path after a scripted crash, when
+    /// the old socket may still be draining.
+    ///
+    /// # Errors
+    ///
+    /// The final bind error once the policy's attempts are exhausted.
+    pub fn bind_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        policy: &RetryPolicy,
+    ) -> Result<Submaster, NetError> {
+        policy.run(0, || Submaster::bind(addr))
+    }
+
+    /// The bound worker-facing address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures from the OS.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the sub-master for `shard`: registers with the root (SubHello /
+    /// ShardAssign), registers its shard's workers, then per step relays
+    /// `Params`, collects the shard's codewords, runs the shard-local
+    /// decode, and uploads the partial sum. Returns when the root sends
+    /// `Shutdown`, becomes unreachable past the retry budget, or a scripted
+    /// crash fires.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] when the root handshake fails outright or the shard's
+    /// workers never register.
+    pub fn run(
+        self,
+        root: impl ToSocketAddrs,
+        shard: usize,
+        options: &SubmasterOptions,
+    ) -> Result<SubmasterSummary, NetError> {
+        let root_addr = root
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| NetError::InvalidConfig("root address resolved to nothing".into()))?;
+        let mut root_stream = dial_root(root_addr, shard, options)?;
+        let geometry = read_shard_assign(&mut root_stream, shard, options.job)?;
+        let placement = Placement::fractional(geometry.n, geometry.c)
+            .map_err(|e| NetError::InvalidConfig(e.to_string()))?;
+        let decoder =
+            decoder_for(&placement).map_err(|e| NetError::InvalidConfig(e.to_string()))?;
+
+        let local_addr = self.listener.local_addr()?;
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = spawn_accept_loop(
+            self.listener,
+            event_tx.clone(),
+            Arc::clone(&stop),
+            options.job,
+        );
+
+        let mut shard_loop = ShardLoop {
+            geometry,
+            placement,
+            decoder,
+            slots: (0..geometry.hi - geometry.lo)
+                .map(|_| Slot::empty())
+                .collect(),
+            event_rx,
+            event_tx,
+            options: options.clone(),
+        };
+
+        let mut summary = SubmasterSummary {
+            shard,
+            steps_served: 0,
+            crashed: false,
+            clean_shutdown: false,
+        };
+        let outcome = shard_loop.serve(&mut root_stream, root_addr, &mut summary);
+
+        // Teardown mirrors the master's: notify or hard-close the workers,
+        // then unblock and join the accept loop.
+        shard_loop.close_workers(summary.crashed);
+        if summary.crashed {
+            let _ = root_stream.shutdown(std::net::Shutdown::Both);
+        }
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(local_addr);
+        let _ = accept_handle.join();
+        outcome.map(|()| summary)
+    }
+}
+
+/// The geometry the root assigned this sub-master.
+#[derive(Debug, Clone, Copy)]
+struct ShardGeometry {
+    shard: usize,
+    lo: usize,
+    hi: usize,
+    n: usize,
+    c: usize,
+    batch_size: usize,
+    seed: u64,
+}
+
+/// Dials the root and sends `SubHello` under the retry policy.
+fn dial_root(
+    addr: std::net::SocketAddr,
+    shard: usize,
+    options: &SubmasterOptions,
+) -> Result<TcpStream, NetError> {
+    let mut last_err: Option<NetError> = None;
+    for attempt in 0..options.retry.max_attempts.max(1) {
+        thread::sleep(options.retry.delay(attempt, shard as u64));
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                last_err = Some(NetError::Io(e));
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        match write_message_for_job(
+            &mut stream,
+            options.job,
+            &Message::SubHello {
+                shard: shard as u64,
+            },
+        ) {
+            Ok(_) => return Ok(stream),
+            Err(e) => last_err = Some(NetError::Wire(e)),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| NetError::Protocol("no connect attempts made".into())))
+}
+
+/// Reads the `ShardAssign` reply of a `SubHello`.
+fn read_shard_assign(
+    stream: &mut TcpStream,
+    expected_shard: usize,
+    job: u64,
+) -> Result<ShardGeometry, NetError> {
+    match read_message_tagged(stream)? {
+        (frame_job, _, _) if frame_job != job => Err(NetError::Protocol(format!(
+            "root answered for job {frame_job}, expected {job}"
+        ))),
+        (
+            _,
+            Message::ShardAssign {
+                shard,
+                lo,
+                hi,
+                n,
+                c,
+                batch_size,
+                seed,
+            },
+            _,
+        ) => {
+            if shard as usize != expected_shard {
+                return Err(NetError::Protocol(format!(
+                    "root assigned shard {shard}, asked for {expected_shard}"
+                )));
+            }
+            Ok(ShardGeometry {
+                shard: shard as usize,
+                lo: lo as usize,
+                hi: hi as usize,
+                n: n as usize,
+                c: c as usize,
+                batch_size: batch_size as usize,
+                seed,
+            })
+        }
+        (_, other, _) => Err(NetError::Protocol(format!(
+            "expected ShardAssign after SubHello, got {other:?}"
+        ))),
+    }
+}
+
+/// The sub-master's worker-facing state machine: slot `i` holds global
+/// worker `lo + i`.
+struct ShardLoop {
+    geometry: ShardGeometry,
+    placement: Placement,
+    decoder: Box<dyn Decoder>,
+    slots: Vec<Slot>,
+    event_rx: Receiver<Event>,
+    event_tx: Sender<Event>,
+    options: SubmasterOptions,
+}
+
+impl ShardLoop {
+    /// The root-facing loop: serve `Params` steps until shutdown or loss.
+    fn serve(
+        &mut self,
+        root_stream: &mut TcpStream,
+        root_addr: std::net::SocketAddr,
+        summary: &mut SubmasterSummary,
+    ) -> Result<(), NetError> {
+        self.await_worker_registration()?;
+        loop {
+            let message = match read_message_tagged(root_stream) {
+                Ok((frame_job, _, _)) if frame_job != self.options.job => continue,
+                Ok((_, message, _)) => message,
+                Err(_) => {
+                    // Root gone: reconnect (it may have restarted) or give up.
+                    match self.reconnect_root(root_addr) {
+                        Ok(fresh) => {
+                            *root_stream = fresh;
+                            continue;
+                        }
+                        Err(_) => return Ok(()),
+                    }
+                }
+            };
+            match message {
+                Message::Shutdown => {
+                    summary.clean_shutdown = true;
+                    return Ok(());
+                }
+                Message::Params { step, values } => {
+                    if self.options.crash_at_step == Some(step) {
+                        summary.crashed = true;
+                        return Ok(());
+                    }
+                    let upload = self.serve_step(step, &values);
+                    if write_message_for_job(root_stream, self.options.job, &upload).is_ok() {
+                        summary.steps_served += 1;
+                    }
+                }
+                // The root sends nothing else mid-run.
+                _ => {}
+            }
+        }
+    }
+
+    /// Re-dials the root after a lost connection, re-claiming the shard.
+    fn reconnect_root(&self, addr: std::net::SocketAddr) -> Result<TcpStream, NetError> {
+        let mut stream = dial_root(addr, self.geometry.shard, &self.options)?;
+        let _ = read_shard_assign(&mut stream, self.geometry.shard, self.options.job)?;
+        Ok(stream)
+    }
+
+    /// Blocks until every shard worker registered.
+    fn await_worker_registration(&mut self) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.options.register_timeout;
+        loop {
+            if self.slots.iter().all(|s| s.registered) {
+                return Ok(());
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                let registered = self.slots.iter().filter(|s| s.registered).count();
+                return Err(NetError::Protocol(format!(
+                    "shard {} registration timed out with {registered} of {} workers",
+                    self.geometry.shard,
+                    self.slots.len()
+                )));
+            };
+            match self.event_rx.recv_timeout(remaining.min(POLL)) {
+                Ok(event) => {
+                    let _ = self.dispatch(event);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Protocol("event channel closed".into()));
+                }
+            }
+        }
+    }
+
+    /// Handles one event; returns `Some((slot, step, values))` for a
+    /// codeword.
+    fn dispatch(&mut self, event: Event) -> Option<(usize, u64, Vec<f64>)> {
+        match event {
+            Event::Join { stream, preferred } => {
+                self.register_worker(stream, preferred);
+                None
+            }
+            // A sub-master dialing a sub-master: wrong tier, drop it.
+            Event::JoinShard { .. } => None,
+            Event::Gone { worker, epoch } => {
+                if self.slots[worker].epoch == epoch {
+                    self.slots[worker].alive = false;
+                    self.slots[worker].writer = None;
+                }
+                None
+            }
+            Event::Msg {
+                worker,
+                epoch,
+                message,
+                bytes: _,
+            } => {
+                if self.slots[worker].epoch != epoch {
+                    return None;
+                }
+                self.slots[worker].last_seen = Instant::now();
+                self.slots[worker].alive = true;
+                match message {
+                    Message::Codeword { step, values, .. } => Some((worker, step, values)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Registers a shard worker. Global ids are the contract: a worker
+    /// claiming id `g` must satisfy `lo <= g < hi`; an id-less worker gets
+    /// the first free slot's global id.
+    fn register_worker(&mut self, stream: TcpStream, preferred: Option<u64>) {
+        let (lo, hi) = (self.geometry.lo, self.geometry.hi);
+        let slot_idx = match preferred {
+            Some(g) if (g as usize) >= lo && (g as usize) < hi => g as usize - lo,
+            Some(_) => return, // outside this shard: reject
+            None => match self.slots.iter().position(|s| !s.registered) {
+                Some(free) => free,
+                None => match self.slots.iter().position(|s| !s.alive) {
+                    Some(dead) => dead,
+                    None => return,
+                },
+            },
+        };
+        let global = lo + slot_idx;
+        let assign = Message::Assign {
+            worker: global as u64,
+            n: self.geometry.n as u64,
+            c: self.geometry.c as u64,
+            batch_size: self.geometry.batch_size as u64,
+            seed: self.geometry.seed,
+            partitions: self
+                .placement
+                .partitions_of(global)
+                .iter()
+                .map(|&j| j as u64)
+                .collect(),
+        };
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if write_message_for_job(&mut write_half, self.options.job, &assign).is_err() {
+            return;
+        }
+        let slot = &mut self.slots[slot_idx];
+        slot.epoch += 1;
+        slot.registered = true;
+        slot.alive = true;
+        slot.last_seen = Instant::now();
+        slot.writer = Some(write_half);
+        spawn_reader(
+            stream,
+            slot_idx,
+            slot.epoch,
+            self.event_tx.clone(),
+            self.options.job,
+        );
+    }
+
+    /// One step: relay `Params`, collect the shard's codewords, decode the
+    /// shard's slice of the conflict graph, and build the upload.
+    fn serve_step(&mut self, step: u64, values: &[f64]) -> Message {
+        let frame = Message::Params {
+            step,
+            values: values.to_vec(),
+        }
+        .encode_for_job(self.options.job);
+        for slot in &mut self.slots {
+            if !slot.alive {
+                continue;
+            }
+            if slot
+                .writer
+                .as_mut()
+                .map(|w| crate::wire::write_frame(w, &frame))
+                .and_then(Result::ok)
+                .is_none()
+            {
+                slot.alive = false;
+                slot.writer = None;
+            }
+        }
+
+        // Collect until every alive worker that saw the broadcast answered.
+        let eligible: Vec<Option<u64>> = self
+            .slots
+            .iter()
+            .map(|s| (s.alive && s.writer.is_some()).then_some(s.epoch))
+            .collect();
+        let shard_len = self.slots.len();
+        let mut codewords: Vec<Option<Vector>> = vec![None; shard_len];
+        loop {
+            self.sweep_dead();
+            let pending = (0..shard_len)
+                .filter(|&i| {
+                    self.slots[i].alive
+                        && eligible[i] == Some(self.slots[i].epoch)
+                        && codewords[i].is_none()
+                })
+                .count();
+            if pending == 0 {
+                break;
+            }
+            match self.event_rx.recv_timeout(POLL) {
+                Ok(event) => {
+                    if let Some((slot_idx, tagged_step, values)) = self.dispatch(event) {
+                        if tagged_step == step && codewords[slot_idx].is_none() {
+                            codewords[slot_idx] = Some(Vector::from_slice(&values));
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // The shard-local decode: availability over the full worker
+        // universe restricted to this shard's arrivals, with the same
+        // (seed, step)-derived RNG a flat master uses — the FR decoder's
+        // per-group hash then picks exactly the flat representatives.
+        let (lo, n) = (self.geometry.lo, self.geometry.n);
+        let arrivals: Vec<usize> = (0..shard_len)
+            .filter(|&i| codewords[i].is_some())
+            .map(|i| lo + i)
+            .collect();
+        let available = WorkerSet::from_indices(n, arrivals.iter().copied());
+        let result = self
+            .decoder
+            .decode(&available, &mut step_rng(self.geometry.seed, step));
+        let mut selected_slots: Vec<Option<Vector>> = vec![None; shard_len];
+        for &w in result.selected() {
+            selected_slots[w - lo] = codewords[w - lo].take();
+        }
+        let partial = pairwise_sum(&selected_slots);
+        Message::ShardUpload {
+            shard: self.geometry.shard as u64,
+            step,
+            arrivals: arrivals.iter().map(|&w| w as u64).collect(),
+            selected: result.selected().iter().map(|&w| w as u64).collect(),
+            recovered: result.recovered_count() as u64,
+            partial: partial.map(Vector::into_vec).unwrap_or_default(),
+        }
+    }
+
+    /// Marks heartbeat-silent workers dead (collection-time liveness).
+    fn sweep_dead(&mut self) {
+        let timeout = self.options.heartbeat_timeout;
+        for slot in &mut self.slots {
+            if slot.alive && slot.last_seen.elapsed() > timeout {
+                slot.alive = false;
+            }
+        }
+    }
+
+    /// Relays shutdown to the shard's workers, or emulates a crash.
+    fn close_workers(&mut self, crashed: bool) {
+        if !crashed {
+            let frame = Message::Shutdown.encode_for_job(self.options.job);
+            for slot in &mut self.slots {
+                if let Some(writer) = slot.writer.as_mut() {
+                    let _ = crate::wire::write_frame(writer, &frame);
+                }
+            }
+        } else {
+            for slot in &mut self.slots {
+                if let Some(writer) = slot.writer.take() {
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+}

@@ -3,11 +3,17 @@
 //! Every frame is
 //!
 //! ```text
-//! +----------+---------+-------------+--------------------+
-//! | magic    | version | payload len | payload            |
-//! | "ISGC"   | u8 = 1  | u32 LE      | tag u8 + body      |
-//! +----------+---------+-------------+--------------------+
+//! +----------+---------+---------+-------------+--------------------+
+//! | magic    | version | job id  | payload len | payload            |
+//! | "ISGC"   | u8 = 2  | u64 LE  | u32 LE      | tag u8 + body      |
+//! +----------+---------+---------+-------------+--------------------+
 //! ```
+//!
+//! The job id scopes every frame to one tenant job of a multi-job server
+//! (version 2; version 1 had no job field): a master drops frames tagged
+//! with a foreign job instead of letting a misconfigured worker feed
+//! codewords into another tenant's training run. Single-job deployments
+//! use job id 0 throughout.
 //!
 //! Multi-byte integers are little-endian; `f64` vectors are a `u32` element
 //! count followed by IEEE-754 bit patterns. Decoding is strict: a frame with
@@ -21,8 +27,12 @@ use std::io::{self, Read, Write};
 /// Leading bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"ISGC";
 
-/// Protocol version; bumped on any incompatible change.
-pub const VERSION: u8 = 1;
+/// Protocol version; bumped on any incompatible change (2 added the job id
+/// header field and the sub-master messages).
+pub const VERSION: u8 = 2;
+
+/// Length of the fixed frame header: magic + version + job id + payload len.
+pub const HEADER_LEN: usize = 17;
 
 /// Upper bound on the payload length field (64 MiB): anything larger is
 /// treated as a corrupt frame instead of an allocation request.
@@ -129,6 +139,49 @@ pub enum Message {
         /// The step being sat out.
         step: u64,
     },
+    /// Sub-master → root: first message on a fresh connection, claiming a
+    /// worker shard of a 2-level aggregation tree.
+    SubHello {
+        /// The shard index this sub-master owns (or wants back after a
+        /// reconnect).
+        shard: u64,
+    },
+    /// Root → sub-master: registration reply carrying the shard geometry.
+    ShardAssign {
+        /// The shard this connection now owns.
+        shard: u64,
+        /// First worker id of the shard (inclusive).
+        lo: u64,
+        /// One past the last worker id of the shard.
+        hi: u64,
+        /// Total number of workers in the job's cluster.
+        n: u64,
+        /// Partitions stored per worker.
+        c: u64,
+        /// Mini-batch size per partition per step.
+        batch_size: u64,
+        /// Seed shared by the whole job.
+        seed: u64,
+    },
+    /// Sub-master → root: one shard's decoded step — the shard-local
+    /// arrival set, the shard's slice of the independent set, and the
+    /// partial codeword sum (empty when the shard recovered nothing). The
+    /// raw codewords never leave the shard.
+    ShardUpload {
+        /// Sender's shard.
+        shard: u64,
+        /// Step this upload was computed for.
+        step: u64,
+        /// Shard workers whose codeword arrived in time.
+        arrivals: Vec<u64>,
+        /// Shard workers the shard-local decode selected.
+        selected: Vec<u64>,
+        /// Partitions recovered by this shard.
+        recovered: u64,
+        /// Pairwise partial sum over the shard's worker range; empty when
+        /// `recovered` is zero.
+        partial: Vec<f64>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -138,10 +191,20 @@ const TAG_CODEWORD: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_DECLINE: u8 = 7;
+const TAG_SUB_HELLO: u8 = 8;
+const TAG_SHARD_ASSIGN: u8 = 9;
+const TAG_SHARD_UPLOAD: u8 = 10;
 
 impl Message {
-    /// Serializes the message as one complete frame (header + payload).
+    /// Serializes the message as one complete frame for job 0 — the
+    /// single-job deployments' shorthand for [`Message::encode_for_job`].
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for_job(0)
+    }
+
+    /// Serializes the message as one complete frame (header + payload)
+    /// scoped to `job`.
+    pub fn encode_for_job(&self, job: u64) -> Vec<u8> {
         let mut payload = Vec::new();
         match self {
             Message::Hello { preferred } => {
@@ -198,10 +261,49 @@ impl Message {
                 put_u64(&mut payload, *worker);
                 put_u64(&mut payload, *step);
             }
+            Message::SubHello { shard } => {
+                payload.push(TAG_SUB_HELLO);
+                put_u64(&mut payload, *shard);
+            }
+            Message::ShardAssign {
+                shard,
+                lo,
+                hi,
+                n,
+                c,
+                batch_size,
+                seed,
+            } => {
+                payload.push(TAG_SHARD_ASSIGN);
+                put_u64(&mut payload, *shard);
+                put_u64(&mut payload, *lo);
+                put_u64(&mut payload, *hi);
+                put_u64(&mut payload, *n);
+                put_u64(&mut payload, *c);
+                put_u64(&mut payload, *batch_size);
+                put_u64(&mut payload, *seed);
+            }
+            Message::ShardUpload {
+                shard,
+                step,
+                arrivals,
+                selected,
+                recovered,
+                partial,
+            } => {
+                payload.push(TAG_SHARD_UPLOAD);
+                put_u64(&mut payload, *shard);
+                put_u64(&mut payload, *step);
+                put_u64_vec(&mut payload, arrivals);
+                put_u64_vec(&mut payload, selected);
+                put_u64(&mut payload, *recovered);
+                put_f64_vec(&mut payload, partial);
+            }
         }
-        let mut frame = Vec::with_capacity(9 + payload.len());
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
         frame.extend_from_slice(&MAGIC);
         frame.push(VERSION);
+        frame.extend_from_slice(&job.to_le_bytes());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame
@@ -216,7 +318,16 @@ impl Message {
     /// oversized or inconsistent lengths, unknown tag, trailing bytes —
     /// yields the corresponding [`WireError`] without panicking.
     pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
-        if bytes.len() < 9 {
+        Self::decode_tagged(bytes).map(|(_, message, used)| (message, used))
+    }
+
+    /// [`Message::decode`] also returning the frame's job id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Message::decode`].
+    pub fn decode_tagged(bytes: &[u8]) -> Result<(u64, Message, usize), WireError> {
+        if bytes.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
         let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
@@ -226,16 +337,17 @@ impl Message {
         if bytes[4] != VERSION {
             return Err(WireError::UnsupportedVersion(bytes[4]));
         }
-        let len = u32::from_le_bytes(bytes[5..9].try_into().expect("4-byte slice"));
+        let job = u64::from_le_bytes(bytes[5..13].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(bytes[13..17].try_into().expect("4-byte slice"));
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
         let len = len as usize;
-        if bytes.len() < 9 + len {
+        if bytes.len() < HEADER_LEN + len {
             return Err(WireError::Truncated);
         }
-        let message = Self::decode_payload(&bytes[9..9 + len])?;
-        Ok((message, 9 + len))
+        let message = Self::decode_payload(&bytes[HEADER_LEN..HEADER_LEN + len])?;
+        Ok((job, message, HEADER_LEN + len))
     }
 
     /// Parses a frame payload (tag byte + body).
@@ -275,6 +387,26 @@ impl Message {
                 worker: cursor.u64()?,
                 step: cursor.u64()?,
             },
+            TAG_SUB_HELLO => Message::SubHello {
+                shard: cursor.u64()?,
+            },
+            TAG_SHARD_ASSIGN => Message::ShardAssign {
+                shard: cursor.u64()?,
+                lo: cursor.u64()?,
+                hi: cursor.u64()?,
+                n: cursor.u64()?,
+                c: cursor.u64()?,
+                batch_size: cursor.u64()?,
+                seed: cursor.u64()?,
+            },
+            TAG_SHARD_UPLOAD => Message::ShardUpload {
+                shard: cursor.u64()?,
+                step: cursor.u64()?,
+                arrivals: cursor.u64_vec()?,
+                selected: cursor.u64_vec()?,
+                recovered: cursor.u64()?,
+                partial: cursor.f64_vec()?,
+            },
             other => return Err(WireError::UnknownTag(other)),
         };
         if cursor.remaining() != 0 {
@@ -291,8 +423,31 @@ impl Message {
 ///
 /// Propagates transport failures as [`WireError::Io`].
 pub fn write_message(w: &mut impl Write, message: &Message) -> Result<usize, WireError> {
-    let frame = message.encode();
-    w.write_all(&frame)?;
+    write_message_for_job(w, 0, message)
+}
+
+/// [`write_message`] scoped to a job id.
+///
+/// # Errors
+///
+/// Propagates transport failures as [`WireError::Io`].
+pub fn write_message_for_job(
+    w: &mut impl Write,
+    job: u64,
+    message: &Message,
+) -> Result<usize, WireError> {
+    write_frame(w, &message.encode_for_job(job))
+}
+
+/// Writes one already-encoded frame and flushes it — the buffer-reuse path:
+/// a master broadcasting to `n` workers encodes once and writes the same
+/// bytes `n` times instead of re-serializing per peer.
+///
+/// # Errors
+///
+/// Propagates transport failures as [`WireError::Io`].
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<usize, WireError> {
+    w.write_all(frame)?;
     w.flush()?;
     Ok(frame.len())
 }
@@ -314,7 +469,17 @@ pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
 ///
 /// As [`read_message`].
 pub fn read_message_sized(r: &mut impl Read) -> Result<(Message, usize), WireError> {
-    let mut header = [0u8; 9];
+    read_message_tagged(r).map(|(_, message, bytes)| (message, bytes))
+}
+
+/// [`read_message_sized`] also returning the frame's job id, so a server
+/// can reject frames scoped to a foreign tenant.
+///
+/// # Errors
+///
+/// As [`read_message`].
+pub fn read_message_tagged(r: &mut impl Read) -> Result<(u64, Message, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
     // Distinguish clean EOF (no bytes at a frame boundary) from truncation.
     let mut filled = 0;
     while filled < header.len() {
@@ -338,7 +503,8 @@ pub fn read_message_sized(r: &mut impl Read) -> Result<(Message, usize), WireErr
     if header[4] != VERSION {
         return Err(WireError::UnsupportedVersion(header[4]));
     }
-    let len = u32::from_le_bytes(header[5..9].try_into().expect("4-byte slice"));
+    let job = u64::from_le_bytes(header[5..13].try_into().expect("8-byte slice"));
+    let len = u32::from_le_bytes(header[13..17].try_into().expect("4-byte slice"));
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
@@ -351,7 +517,7 @@ pub fn read_message_sized(r: &mut impl Read) -> Result<(Message, usize), WireErr
         }
     })?;
     let message = Message::decode_payload(&payload)?;
-    Ok((message, header.len() + payload.len()))
+    Ok((job, message, header.len() + payload.len()))
 }
 
 fn put_u64(buf: &mut Vec<u8>, x: u64) {
@@ -512,6 +678,7 @@ mod tests {
         ));
         let mut frame = Message::Shutdown.encode();
         frame[4] = 9;
+        // (version byte position is unchanged from v1)
         assert!(matches!(
             Message::decode(&frame),
             Err(WireError::UnsupportedVersion(9))
@@ -537,7 +704,7 @@ mod tests {
     #[test]
     fn rejects_unknown_tag_trailing_bytes_and_oversize() {
         let mut frame = Message::Shutdown.encode();
-        frame[9] = 200; // tag byte
+        frame[HEADER_LEN] = 200; // tag byte
         assert!(matches!(
             Message::decode(&frame),
             Err(WireError::UnknownTag(200))
@@ -545,15 +712,15 @@ mod tests {
 
         let mut frame = Message::Heartbeat { worker: 1 }.encode();
         frame.push(0xAB);
-        let len = (frame.len() - 9) as u32;
-        frame[5..9].copy_from_slice(&len.to_le_bytes());
+        let len = (frame.len() - HEADER_LEN) as u32;
+        frame[13..17].copy_from_slice(&len.to_le_bytes());
         assert!(matches!(
             Message::decode(&frame),
             Err(WireError::TrailingBytes(1))
         ));
 
         let mut frame = Message::Shutdown.encode();
-        frame[5..9].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        frame[13..17].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(
             Message::decode(&frame),
             Err(WireError::Oversized(_))
@@ -568,7 +735,7 @@ mod tests {
         }
         .encode();
         // Overwrite the element count (after tag + step) with u32::MAX.
-        let count_offset = 9 + 1 + 8;
+        let count_offset = HEADER_LEN + 1 + 8;
         frame[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(Message::decode(&frame), Err(WireError::Truncated)));
     }

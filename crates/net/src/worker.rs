@@ -14,7 +14,7 @@ use isgc_ml::dataset::{Dataset, Partitioned};
 use isgc_ml::model::Model;
 
 use crate::retry::RetryPolicy;
-use crate::wire::{read_message, write_message, Message, WireError};
+use crate::wire::{read_message_tagged, write_message_for_job, Message, WireError};
 use crate::{DelayFn, NetError};
 
 /// Tunables of the worker loop.
@@ -29,6 +29,10 @@ pub struct WorkerOptions {
     /// the worker id, so a cluster reconnecting at once still fans out
     /// deterministically instead of thundering back in lockstep.
     pub retry: RetryPolicy,
+    /// Tenant id stamped on every outbound frame; inbound frames tagged
+    /// with a different job are ignored. Job 0 is the single-tenant
+    /// default.
+    pub job: u64,
 }
 
 impl Default for WorkerOptions {
@@ -37,6 +41,7 @@ impl Default for WorkerOptions {
             delay: crate::no_delay(),
             heartbeat_interval: Duration::from_millis(200),
             retry: RetryPolicy::default(),
+            job: 0,
         }
     }
 }
@@ -196,19 +201,31 @@ fn connect(
             }
         };
         let _ = stream.set_nodelay(true);
-        if let Err(e) = write_message(&mut stream, &Message::Hello { preferred }) {
+        if let Err(e) =
+            write_message_for_job(&mut stream, options.job, &Message::Hello { preferred })
+        {
             last_err = Some(NetError::Wire(e));
             continue;
         }
-        match read_message(&mut stream) {
-            Ok(Message::Assign {
-                worker,
-                n,
-                c,
-                batch_size,
-                seed,
-                partitions,
-            }) => {
+        match read_message_tagged(&mut stream) {
+            Ok((frame_job, _, _)) if frame_job != options.job => {
+                last_err = Some(NetError::Protocol(format!(
+                    "master answered for job {frame_job}, expected {}",
+                    options.job
+                )));
+            }
+            Ok((
+                _,
+                Message::Assign {
+                    worker,
+                    n,
+                    c,
+                    batch_size,
+                    seed,
+                    partitions,
+                },
+                _,
+            )) => {
                 let assignment = Assignment {
                     worker: worker as usize,
                     n: n as usize,
@@ -219,7 +236,7 @@ fn connect(
                 };
                 return Ok((stream, assignment));
             }
-            Ok(other) => {
+            Ok((_, other, _)) => {
                 last_err = Some(NetError::Protocol(format!(
                     "expected Assign after Hello, got {other:?}"
                 )));
@@ -253,11 +270,13 @@ fn session<M: Model>(
     let (inbound_tx, inbound_rx) = unbounded::<Message>();
     let reader = {
         let mut read_half = stream;
+        let job = options.job;
         thread::Builder::new()
             .name(format!("isgc-net-worker-{}-reader", assignment.worker))
             .spawn(move || loop {
-                match read_message(&mut read_half) {
-                    Ok(message) => {
+                match read_message_tagged(&mut read_half) {
+                    Ok((frame_job, _, _)) if frame_job != job => continue,
+                    Ok((_, message, _)) => {
                         let shutdown = matches!(message, Message::Shutdown);
                         if inbound_tx.send(message).is_err() || shutdown {
                             return;
@@ -278,6 +297,7 @@ fn session<M: Model>(
         options.heartbeat_interval,
         options.retry.clone(),
         Arc::clone(&hb_stop),
+        options.job,
     );
 
     let end = serve_messages(
@@ -354,7 +374,7 @@ fn serve_messages<M: Model>(
         };
         let sent = {
             let mut guard = writer.lock().expect("writer mutex poisoned");
-            write_message(&mut *guard, &reply)
+            write_message_for_job(&mut *guard, options.job, &reply)
         };
         match sent {
             Ok(_) => *steps_served += 1,
@@ -373,6 +393,7 @@ fn spawn_heartbeat(
     interval: Duration,
     retry: RetryPolicy,
     stop: Arc<AtomicBool>,
+    job: u64,
 ) -> thread::JoinHandle<()> {
     thread::Builder::new()
         .name("isgc-net-heartbeat".into())
@@ -390,7 +411,8 @@ fn spawn_heartbeat(
                     elapsed = Duration::ZERO;
                     let ok = {
                         let mut guard = writer.lock().expect("writer mutex poisoned");
-                        write_message(&mut *guard, &Message::Heartbeat { worker }).is_ok()
+                        write_message_for_job(&mut *guard, job, &Message::Heartbeat { worker })
+                            .is_ok()
                     };
                     if ok {
                         failures = 0;

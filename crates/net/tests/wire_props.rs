@@ -3,10 +3,10 @@
 //! bad magic, future versions, unknown tags — ever panics the decoder.
 
 use isgc_chaos::ChaosRng;
-use isgc_net::wire::{Message, WireError, MAGIC, VERSION};
+use isgc_net::wire::{Message, WireError, HEADER_LEN, MAGIC, VERSION};
 use proptest::prelude::*;
 
-/// Deterministically builds one of the seven message variants from a flat
+/// Deterministically builds one of the ten message variants from a flat
 /// tuple of generated fields (avoids needing boxed/unioned strategies).
 fn build_message(
     variant: u8,
@@ -39,13 +39,31 @@ fn build_message(
         },
         4 => Message::Heartbeat { worker: a },
         5 => Message::Decline { worker: a, step: b },
+        6 => Message::SubHello { shard: a },
+        7 => Message::ShardAssign {
+            shard: a,
+            lo: b,
+            hi: a.wrapping_add(b),
+            n: a.wrapping_mul(7),
+            c: b.wrapping_mul(5),
+            batch_size: a ^ b,
+            seed: b.rotate_left(17),
+        },
+        8 => Message::ShardUpload {
+            shard: a,
+            step: b,
+            arrivals: ints.clone(),
+            selected: ints,
+            recovered: a.wrapping_add(3),
+            partial: floats,
+        },
         _ => Message::Shutdown,
     }
 }
 
 fn message_strategy() -> impl Strategy<Value = Message> {
     (
-        0u8..7,
+        0u8..10,
         proptest::bool::ANY,
         0u64..u64::MAX,
         0u64..u64::MAX,
@@ -111,9 +129,9 @@ proptest! {
     }
 
     #[test]
-    fn unknown_tags_rejected(message in message_strategy(), tag in 8u8..=255) {
+    fn unknown_tags_rejected(message in message_strategy(), tag in 11u8..=255) {
         let mut bytes = message.encode();
-        bytes[9] = tag; // first payload byte is the message tag
+        bytes[HEADER_LEN] = tag; // first payload byte is the message tag
         prop_assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::UnknownTag(t)) if t == tag
@@ -124,9 +142,10 @@ proptest! {
     fn trailing_bytes_rejected(message in message_strategy(), extra in 1usize..16) {
         let mut bytes = message.encode();
         // Grow the payload (and its length field) past the message body.
-        let payload_len = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        let payload_len =
+            u32::from_le_bytes([bytes[13], bytes[14], bytes[15], bytes[16]]);
         let padded = payload_len as usize + extra;
-        bytes[5..9].copy_from_slice(&(padded as u32).to_le_bytes());
+        bytes[13..17].copy_from_slice(&(padded as u32).to_le_bytes());
         bytes.extend(std::iter::repeat_n(0xAAu8, extra));
         prop_assert!(matches!(
             Message::decode(&bytes),
@@ -149,9 +168,9 @@ proptest! {
 }
 
 /// Builds an arbitrary message from the chaos engine's pinned RNG, covering
-/// all seven variants with raw-bit floats (NaN payloads included).
+/// all ten variants with raw-bit floats (NaN payloads included).
 fn chaos_message(rng: &mut ChaosRng) -> Message {
-    let variant = rng.next_below(7) as u8;
+    let variant = rng.next_below(10) as u8;
     let has_preferred = rng.next_bool(0.5);
     let a = rng.next_u64();
     let b = rng.next_u64();
@@ -166,8 +185,10 @@ fn chaos_message(rng: &mut ChaosRng) -> Message {
 
 /// A seeded sweep of multi-bit corruptions, the exact fault model the chaos
 /// worker's `Corrupt` injection uses: the decoder must survive every mangled
-/// frame, and any flip inside the 9-byte header (magic, version, length)
-/// must make the frame undecodable — the header carries no slack bits.
+/// frame, and any flip in the header's structural bytes (magic, version,
+/// length) must make the frame undecodable. The job-id bytes are *not*
+/// structural: a flipped job id still decodes — tenant filtering happens
+/// above the wire layer via `decode_tagged`.
 #[test]
 fn chaos_bit_flips_never_panic_and_header_flips_never_decode() {
     let mut rng = ChaosRng::new(0x0001_556C_C0DE);
@@ -182,8 +203,9 @@ fn chaos_bit_flips_never_panic_and_header_flips_never_decode() {
         }
         let outcome = Message::decode(&frame);
         // Two flips can land on the same bit and cancel; what matters is
-        // whether the header actually differs.
-        if frame[..9] != pristine[..9] {
+        // whether the structural header bytes actually differ. Bytes 5..13
+        // are the job id, which carries no framing information.
+        if frame[..5] != pristine[..5] || frame[13..17] != pristine[13..17] {
             assert!(
                 outcome.is_err(),
                 "case {case}: frame decoded despite a corrupted header"
@@ -217,11 +239,22 @@ fn chaos_bit_flip_sweep_replays_exactly() {
 
 #[test]
 fn frame_layout_is_stable() {
-    // The on-wire prefix is a compatibility promise: magic, version, then a
-    // little-endian payload length.
-    let bytes = Message::Shutdown.encode();
+    // The on-wire prefix is a compatibility promise: magic, version, a
+    // little-endian job id, then a little-endian payload length.
+    let bytes = Message::Shutdown.encode_for_job(0x0102_0304_0506_0708);
     assert_eq!(&bytes[..4], &MAGIC);
     assert_eq!(bytes[4], VERSION);
-    let payload_len = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
-    assert_eq!(payload_len as usize, bytes.len() - 9);
+    let job = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+    assert_eq!(job, 0x0102_0304_0506_0708);
+    let payload_len = u32::from_le_bytes([bytes[13], bytes[14], bytes[15], bytes[16]]);
+    assert_eq!(payload_len as usize, bytes.len() - HEADER_LEN);
+    // `encode()` is the job-0 shorthand, and the tagged decoder hands the
+    // job id back.
+    let (job, message, used) =
+        Message::decode_tagged(&Message::Shutdown.encode_for_job(7)).unwrap();
+    assert_eq!(job, 7);
+    assert_eq!(message, Message::Shutdown);
+    assert_eq!(used, HEADER_LEN + 1); // header + the tag byte
+    let (job, _, _) = Message::decode_tagged(&Message::Shutdown.encode()).unwrap();
+    assert_eq!(job, 0);
 }

@@ -194,6 +194,7 @@ impl Collector for RuntimeCollector {
             stale,
             waited_ms: waited * 1e3,
             duration: waited,
+            sharded: None,
         })
     }
 }

@@ -1,0 +1,300 @@
+//! Job specifications: everything needed to build a training session
+//! deterministically — placement, seed, model/dataset recipe, topology.
+
+use isgc_core::{Placement, Scheme};
+use isgc_engine::{shard_ranges, EngineConfig};
+use isgc_linalg::Vector;
+use isgc_ml::{Dataset, LinearRegression, Model, SoftmaxRegression};
+use rand::RngCore;
+
+use crate::SchedError;
+
+/// How a job's codewords are aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The master collects every worker's codeword directly.
+    Flat,
+    /// Two-level hierarchical aggregation: `submasters` sub-masters each
+    /// own a worker shard (cut at [`shard_ranges`]), decode it locally,
+    /// and forward a partial codeword sum to the root.
+    Tree {
+        /// Number of sub-masters; must be a power of two.
+        submasters: usize,
+    },
+}
+
+/// A deterministic model + dataset build: jobs are heterogeneous (different
+/// models, sizes, placements), but a recipe plus a seed always reproduces
+/// the same session — the scheduler's determinism contract starts here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRecipe {
+    /// Linear regression on a synthetic regression set.
+    Regression {
+        /// Feature dimension.
+        features: usize,
+        /// Dataset size.
+        samples: usize,
+        /// Label noise standard deviation.
+        noise: f64,
+    },
+    /// Softmax regression on Gaussian class blobs.
+    Classification {
+        /// Feature dimension.
+        features: usize,
+        /// Number of classes.
+        classes: usize,
+        /// Dataset size.
+        samples: usize,
+        /// Class separation.
+        separation: f64,
+    },
+}
+
+impl JobRecipe {
+    /// Builds the model and dataset. The dataset seed is derived from the
+    /// job seed so two jobs with different seeds train on different data.
+    pub fn build(&self, seed: u64) -> (ModelKind, Dataset) {
+        let data_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5354_5241_474C_4552;
+        match *self {
+            JobRecipe::Regression {
+                features,
+                samples,
+                noise,
+            } => (
+                ModelKind::Linear(LinearRegression::new(features)),
+                Dataset::synthetic_regression(samples, features, noise, data_seed),
+            ),
+            JobRecipe::Classification {
+                features,
+                classes,
+                samples,
+                separation,
+            } => (
+                ModelKind::Softmax(SoftmaxRegression::new(features, classes)),
+                Dataset::gaussian_classification(samples, features, classes, separation, data_seed),
+            ),
+        }
+    }
+}
+
+/// A job's model, behind one concrete type so heterogeneous jobs can share
+/// the scheduler (the [`Model`] trait is not object-safe everywhere it is
+/// used generically).
+#[derive(Debug, Clone)]
+pub enum ModelKind {
+    /// Linear regression.
+    Linear(LinearRegression),
+    /// Softmax regression.
+    Softmax(SoftmaxRegression),
+}
+
+impl Model for ModelKind {
+    fn param_dim(&self) -> usize {
+        match self {
+            ModelKind::Linear(m) => m.param_dim(),
+            ModelKind::Softmax(m) => m.param_dim(),
+        }
+    }
+
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vector {
+        match self {
+            ModelKind::Linear(m) => m.init_params(rng),
+            ModelKind::Softmax(m) => m.init_params(rng),
+        }
+    }
+
+    fn loss_mean(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> f64 {
+        match self {
+            ModelKind::Linear(m) => m.loss_mean(params, data, indices),
+            ModelKind::Softmax(m) => m.loss_mean(params, data, indices),
+        }
+    }
+
+    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
+        match self {
+            ModelKind::Linear(m) => m.gradient_sum(params, data, indices),
+            ModelKind::Softmax(m) => m.gradient_sum(params, data, indices),
+        }
+    }
+}
+
+/// Everything defining one tenant job. Pure data: two identical specs
+/// always produce bitwise-identical sessions, regardless of co-tenants.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job name: the metrics scope (`("job", name)` label) and the
+    /// checkpoint namespace.
+    pub name: String,
+    /// The job's own partition-to-worker placement.
+    pub placement: Placement,
+    /// Master seed: parameter init, per-step decode RNG, minibatch
+    /// selection, and the straggler schedule all derive from it.
+    pub seed: u64,
+    /// Mini-batch size per partition.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Stop once full-dataset loss reaches this value (use a negative
+    /// value for fixed-length runs).
+    pub loss_threshold: f64,
+    /// Step cap.
+    pub max_steps: u64,
+    /// Workers deterministically straggling (absent) each step, chosen by
+    /// a seed-derived schedule — see [`crate::arrivals_for`].
+    pub stragglers: usize,
+    /// Flat or two-level aggregation.
+    pub topology: Topology,
+    /// Model + dataset build.
+    pub recipe: JobRecipe,
+}
+
+impl JobSpec {
+    /// A spec with neutral defaults: fixed-length 12-step run, no
+    /// stragglers, flat aggregation, linear regression on 192×5 data.
+    pub fn new(name: impl Into<String>, placement: Placement, seed: u64) -> Self {
+        let features = 5;
+        JobSpec {
+            name: name.into(),
+            placement,
+            seed,
+            batch_size: 8,
+            learning_rate: 0.05,
+            loss_threshold: -1.0,
+            max_steps: 12,
+            stragglers: 0,
+            topology: Topology::Flat,
+            recipe: JobRecipe::Regression {
+                features,
+                samples: 192,
+                noise: 0.05,
+            },
+        }
+    }
+
+    /// The job's checkpoint namespace: the file-name stem its checkpoints
+    /// live under, so co-tenant jobs never collide on disk.
+    pub fn checkpoint_namespace(&self) -> String {
+        let safe: String = self
+            .name
+            .chars()
+            .map(|ch| if ch.is_ascii_alphanumeric() { ch } else { '-' })
+            .collect();
+        format!("job-{safe}")
+    }
+
+    /// The engine configuration this spec induces.
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::new(self.placement.clone());
+        config.batch_size = self.batch_size;
+        config.learning_rate = self.learning_rate;
+        config.loss_threshold = self.loss_threshold;
+        config.max_steps = self.max_steps;
+        config.seed = self.seed;
+        config
+    }
+
+    /// Validates the spec, in particular the tree topology: sub-master
+    /// shards must be group-aligned FR shards for the hierarchical decode
+    /// to equal the flat decode.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidSpec`] with the violated constraint.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        if self.name.is_empty() {
+            return Err(SchedError::InvalidSpec("job name must be non-empty".into()));
+        }
+        if self.stragglers >= self.placement.n() {
+            return Err(SchedError::InvalidSpec(format!(
+                "{} stragglers would leave no arrivals out of n={}",
+                self.stragglers,
+                self.placement.n()
+            )));
+        }
+        if let Topology::Tree { submasters } = self.topology {
+            if submasters == 0 || !submasters.is_power_of_two() {
+                return Err(SchedError::InvalidSpec(format!(
+                    "sub-master count must be a positive power of two, got {submasters}"
+                )));
+            }
+            if self.placement.scheme() != Scheme::Fractional {
+                return Err(SchedError::InvalidSpec(format!(
+                    "tree aggregation requires an FR placement (shard-local decode \
+                     decomposes over FR groups), got {}",
+                    self.placement.scheme()
+                )));
+            }
+            let n = self.placement.n();
+            let c = self.placement.c();
+            if submasters > n {
+                return Err(SchedError::InvalidSpec(format!(
+                    "cannot cut n={n} workers into {submasters} shards"
+                )));
+            }
+            for (lo, hi) in shard_ranges(n, submasters) {
+                if lo % c != 0 || hi % c != 0 {
+                    return Err(SchedError::InvalidSpec(format!(
+                        "shard boundary [{lo}, {hi}) cuts through an FR group \
+                         (c={c}); pick n and sub-master counts so every shard is \
+                         a whole number of groups"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipes_build_deterministically() {
+        let recipe = JobRecipe::Regression {
+            features: 3,
+            samples: 32,
+            noise: 0.01,
+        };
+        let (_, a) = recipe.build(9);
+        let (_, b) = recipe.build(9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.features_of(0), b.features_of(0));
+        let (_, c) = recipe.build(10);
+        assert_ne!(a.features_of(0), c.features_of(0));
+    }
+
+    #[test]
+    fn tree_spec_requires_group_aligned_fr_shards() {
+        let mut spec = JobSpec::new("a", Placement::fractional(16, 2).unwrap(), 1);
+        spec.topology = Topology::Tree { submasters: 2 };
+        assert!(spec.validate().is_ok());
+
+        spec.topology = Topology::Tree { submasters: 3 };
+        assert!(matches!(
+            spec.validate(),
+            Err(SchedError::InvalidSpec(why)) if why.contains("power of two")
+        ));
+
+        // n=6, c=2, 2 shards → boundary at 3, mid-group.
+        let mut spec = JobSpec::new("b", Placement::fractional(6, 2).unwrap(), 1);
+        spec.topology = Topology::Tree { submasters: 2 };
+        assert!(matches!(
+            spec.validate(),
+            Err(SchedError::InvalidSpec(why)) if why.contains("cuts through")
+        ));
+
+        let mut spec = JobSpec::new("c", Placement::cyclic(8, 2).unwrap(), 1);
+        spec.topology = Topology::Tree { submasters: 2 };
+        assert!(matches!(
+            spec.validate(),
+            Err(SchedError::InvalidSpec(why)) if why.contains("FR placement")
+        ));
+    }
+
+    #[test]
+    fn checkpoint_namespace_is_filesystem_safe() {
+        let spec = JobSpec::new("ten ant/7", Placement::fractional(4, 2).unwrap(), 1);
+        assert_eq!(spec.checkpoint_namespace(), "job-ten-ant-7");
+    }
+}

@@ -5,13 +5,18 @@
 //! Command logic lives here as pure functions returning the rendered output,
 //! so everything is unit-testable; `main` only does I/O.
 
-use isgc_chaos::{run_chaos, ChaosConfig, FaultPlan, PLAN_NAMES};
+use isgc_chaos::{run_chaos, run_tree_chaos, ChaosConfig, FaultPlan, TreeChaosConfig, PLAN_NAMES};
 use isgc_core::decode::{decoder_for, Decoder, ExactDecoder};
 use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
+use isgc_engine::shard_ranges;
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
-use isgc_net::{Master, NetConfig, WaitPolicy as NetWaitPolicy, WorkerOptions};
+use isgc_net::{
+    Master, MasterSession, NetConfig, Submaster, SubmasterOptions, WaitPolicy as NetWaitPolicy,
+    WorkerOptions,
+};
 use isgc_obs::{Registry, Snapshot};
+use isgc_sched::{DriverError, JobDriver, Scheduler, SchedulerConfig, SessionStatus};
 use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
 use isgc_simnet::delay::Delay;
 use isgc_simnet::policy::WaitPolicy;
@@ -48,13 +53,25 @@ USAGE:
               --port <p>                   listen port (default 7070, 0 = ephemeral)
               --batch <b> --lr <r> --seed <s>
               --metrics-out <path>         as for sim (adds net byte/frame counters)
+  isgc serve-jobs <fr|cr> <n> <c> [flags]  host J concurrent training jobs in one
+                                           process (fair round-robin, one TCP
+                                           master per job on port, port+1, ...)
+       flags: --jobs <J>                   concurrent jobs (default 2)
+              --port <p>                   base port (default 7070; job j listens
+                                           on p + j)
+              --w, --deadline-ms, --steps, --batch, --lr, --seed,
+              --metrics-out as for serve (per-job scoped metric series)
   isgc worker <host:port> [--delay-ms <d>] join a cluster as a worker
-                                           (--delay-ms injects a straggler delay)
+       [--job <id>]                        (--delay-ms injects a straggler delay;
+                                           --job joins one tenant of serve-jobs)
   isgc launch <fr|cr> <n> <c> [flags]      spawn master + n worker processes on
                                            loopback and train to completion
        flags: --w, --deadline-ms, --steps, --batch, --lr, --seed,
               --metrics-out as for serve
               --slow <k> --delay-ms <d>    make k workers straggle by d ms (default 0/100)
+              --jobs <J>                   run J co-tenant jobs (round-robin, J*n workers)
+              --tree <S>                   aggregate through S sub-masters (2-level
+                                           tree; FR only, S a power of two)
   isgc chaos --plan <name> [flags]         run a loopback cluster under a seeded
                                            fault plan; assert Theorem 10/11 bounds,
                                            checkpoint resume, and exact replay
@@ -62,7 +79,9 @@ USAGE:
               --n <k> --c <k> --steps <k>  cluster shape (default 6 2 8; c | n)
               --metrics-out <path>         as for sim (adds chaos fault counters)
        plans: smoke, worker-flap, worker-crash, master-restart, frame-corrupt,
-              delay, duplicate-stale, random
+              delay, duplicate-stale, random, submaster-crash
+       submaster-crash flags: --submasters <S> --crash-shard <i> --crash-step <t>
+              (2-level tree; kills sub-master i at step t, default 2 1 2)
 
 Two-terminal quickstart (an 8-worker FR(8,2) cluster, ignore the 2 slowest):
   terminal 1:  isgc serve fr 8 2 --w 6 --steps 20
@@ -86,6 +105,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("trace") => cmd_trace(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("serve-jobs") => cmd_serve_jobs(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("launch") => cmd_launch(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
@@ -588,18 +608,171 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// [`isgc_sched::JobDriver`] over a networked [`MasterSession`]: the
+/// adapter that lets one scheduler round-robin several TCP masters in one
+/// process. Lives here (not in `isgc-sched`) so the scheduler crate stays
+/// transport-free.
+struct NetJob {
+    session: Option<MasterSession<SoftmaxRegression>>,
+    done: bool,
+}
+
+impl NetJob {
+    fn new(session: MasterSession<SoftmaxRegression>) -> Self {
+        NetJob {
+            session: Some(session),
+            done: false,
+        }
+    }
+}
+
+impl JobDriver for NetJob {
+    fn step(&mut self) -> Result<SessionStatus, DriverError> {
+        if self.done {
+            return Ok(SessionStatus::Done);
+        }
+        let session = self.session.as_mut().expect("live session");
+        match session.step() {
+            Ok(SessionStatus::Running) => Ok(SessionStatus::Running),
+            Ok(SessionStatus::Done) => {
+                self.done = true;
+                Ok(SessionStatus::Done)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(Box::new(e))
+            }
+        }
+    }
+
+    fn finish(mut self: Box<Self>) -> isgc_engine::TrainReport {
+        self.session.take().expect("live session").finish()
+    }
+}
+
+const SERVE_JOBS_FLAGS: &[&str] = &[
+    "jobs",
+    "port",
+    "w",
+    "deadline-ms",
+    "steps",
+    "batch",
+    "lr",
+    "seed",
+    "metrics-out",
+];
+
+/// Builds job `j`'s config: shared shape, per-job id, name (metrics scope
+/// and checkpoint namespace), and seed.
+fn job_config(base: &NetConfig, j: u64) -> NetConfig {
+    let mut config = base.clone();
+    config.job = j;
+    config.job_name = Some(format!("job-{j}"));
+    config.seed = base.seed.wrapping_add(j);
+    config
+}
+
+/// Renders one finished job's outcome line.
+fn render_job_outcome(outcome: &isgc_sched::JobOutcome) -> String {
+    match &outcome.result {
+        Ok(report) => format!(
+            "job {:>2} ({}): {} steps, final loss {:.4}, fingerprint {:016x}\n",
+            outcome.id.0,
+            outcome.name,
+            report.step_count(),
+            report.final_loss(),
+            report.recovery_fingerprint(),
+        ),
+        Err(e) => format!(
+            "job {:>2} ({}): FAILED after {} steps: {e}\n",
+            outcome.id.0, outcome.name, outcome.steps_run
+        ),
+    }
+}
+
+fn cmd_serve_jobs(args: &[String]) -> Result<String, String> {
+    let (p, consumed) = build_placement(args)?;
+    let flags = parse_flags(&args[consumed..], SERVE_JOBS_FLAGS)?;
+    let jobs: u64 = match flags.get("jobs") {
+        Some(s) => parse(s, "jobs")?,
+        None => 2,
+    };
+    if jobs == 0 {
+        return Err("--jobs must be positive".to_string());
+    }
+    let base_port: u16 = match flags.get("port") {
+        Some(s) => parse(s, "port")?,
+        None => 7070,
+    };
+    let mut base = net_config_from(&p, &flags)?;
+    let metrics = metrics_from(&flags);
+    base.metrics = metrics.as_ref().map(|(_, r)| r.clone());
+    let n = p.n();
+
+    // Bind every tenant's listener up front so all the join addresses are
+    // printable before any job blocks on registration.
+    let mut masters = Vec::new();
+    for j in 0..jobs {
+        let port = if base_port == 0 {
+            0
+        } else {
+            base_port
+                .checked_add(u16::try_from(j).map_err(|_| "too many jobs".to_string())?)
+                .ok_or_else(|| format!("port {base_port}+{j} overflows"))?
+        };
+        let master = Master::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+        let addr = master.local_addr().map_err(|e| e.to_string())?;
+        println!("job {j} listening on {addr}; join with: isgc worker {addr} --job {j}");
+        masters.push(master);
+    }
+    println!("waiting for {n} workers per job (jobs register in submission order)");
+
+    let mut sched = Scheduler::new(SchedulerConfig::new(jobs as usize, 0));
+    for (j, master) in masters.into_iter().enumerate() {
+        let config = job_config(&base, j as u64);
+        let name = config.job_name.clone().unwrap_or_default();
+        sched
+            .submit_driver(
+                name,
+                Box::new(move || {
+                    let (model, dataset) = net_model_and_data(n);
+                    master
+                        .into_session(model, dataset, &config)
+                        .map(|session| Box::new(NetJob::new(session)) as Box<dyn JobDriver>)
+                        .map_err(|e| Box::new(e) as DriverError)
+                }),
+            )
+            .map_err(|e| e.to_string())?;
+    }
+    let outcomes = sched.run_to_completion();
+    let mut out = String::new();
+    let mut failed = false;
+    for outcome in &outcomes {
+        failed |= outcome.result.is_err();
+        out.push_str(&render_job_outcome(outcome));
+    }
+    finish_metrics(&mut out, metrics.as_ref())?;
+    if failed {
+        return Err(out);
+    }
+    Ok(out)
+}
+
 fn cmd_worker(args: &[String]) -> Result<String, String> {
     let addr = args
         .first()
-        .ok_or_else(|| "expected: worker <host:port> [--delay-ms <d>]".to_string())?
+        .ok_or_else(|| "expected: worker <host:port> [--delay-ms <d>] [--job <id>]".to_string())?
         .clone();
-    let flags = parse_flags(&args[1..], &["delay-ms"])?;
+    let flags = parse_flags(&args[1..], &["delay-ms", "job"])?;
     let delay_ms: u64 = match flags.get("delay-ms") {
         Some(s) => parse(s, "delay-ms")?,
         None => 0,
     };
-    let options =
+    let mut options =
         WorkerOptions::with_delay(Arc::new(move |_w, _step| Duration::from_millis(delay_ms)));
+    if let Some(s) = flags.get("job") {
+        options.job = parse(s, "job")?;
+    }
     let summary = isgc_net::run_worker(addr.as_str(), &options, |assignment| {
         net_model_and_data(assignment.n)
     })
@@ -620,6 +793,8 @@ const LAUNCH_FLAGS: &[&str] = &[
     "slow",
     "delay-ms",
     "metrics-out",
+    "jobs",
+    "tree",
 ];
 
 fn cmd_launch(args: &[String]) -> Result<String, String> {
@@ -640,6 +815,33 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
         Some(s) => parse(s, "delay-ms")?,
         None => 100,
     };
+    let jobs: u64 = match flags.get("jobs") {
+        Some(s) => parse(s, "jobs")?,
+        None => 1,
+    };
+    if jobs == 0 {
+        return Err("--jobs must be positive".to_string());
+    }
+    let tree: usize = match flags.get("tree") {
+        Some(s) => parse(s, "tree")?,
+        None => 0,
+    };
+    if tree > 0 {
+        // `shard_ranges` (used to place workers before any session exists)
+        // asserts the same geometry `TreeRootLoop::new` validates — check it
+        // here so a bad --tree is an error, not a panic.
+        if !tree.is_power_of_two() {
+            return Err(format!(
+                "--tree must be a power of two sub-masters, got {tree}"
+            ));
+        }
+        if tree > n {
+            return Err(format!("--tree {tree} exceeds the {n} workers"));
+        }
+    }
+    if jobs > 1 || tree > 0 {
+        return launch_multi(&config, metrics.as_ref(), jobs, tree, slow, delay_ms);
+    }
 
     let master = Master::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
     let addr = master.local_addr().map_err(|e| e.to_string())?;
@@ -693,16 +895,180 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// The `--jobs`/`--tree` arm of `launch`: J co-tenant jobs in one scheduler,
+/// each its own TCP master (optionally aggregating through `tree`
+/// sub-master threads), with J×n loopback worker processes.
+fn launch_multi(
+    base: &NetConfig,
+    metrics: Option<&(String, Registry)>,
+    jobs: u64,
+    tree: usize,
+    slow: usize,
+    delay_ms: u64,
+) -> Result<String, String> {
+    let n = base.placement.n();
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let mut sub_threads = Vec::new();
+    let mut masters = Vec::new();
+
+    let spawn_child = |addr: std::net::SocketAddr, job: u64, slow_one: bool| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
+            .arg(addr.to_string())
+            .arg("--job")
+            .arg(job.to_string());
+        if slow_one {
+            cmd.arg("--delay-ms").arg(delay_ms.to_string());
+        }
+        cmd.stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        cmd.spawn().map_err(|e| format!("spawning worker: {e}"))
+    };
+    let kill_all = |children: &mut Vec<std::process::Child>| {
+        for child in children.iter_mut() {
+            let _ = child.kill();
+        }
+    };
+
+    for j in 0..jobs {
+        let master = Master::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+        let root_addr = master.local_addr().map_err(|e| e.to_string())?;
+        if tree > 0 {
+            for (shard, &(lo, hi)) in shard_ranges(n, tree).iter().enumerate() {
+                let sub = match Submaster::bind("127.0.0.1:0") {
+                    Ok(sub) => sub,
+                    Err(e) => {
+                        kill_all(&mut children);
+                        return Err(e.to_string());
+                    }
+                };
+                let sub_addr = match sub.local_addr() {
+                    Ok(addr) => addr,
+                    Err(e) => {
+                        kill_all(&mut children);
+                        return Err(e.to_string());
+                    }
+                };
+                let options = SubmasterOptions {
+                    job: j,
+                    ..SubmasterOptions::default()
+                };
+                sub_threads.push(std::thread::spawn(move || {
+                    sub.run(root_addr, shard, &options)
+                }));
+                for w in lo..hi {
+                    match spawn_child(sub_addr, j, w < slow) {
+                        Ok(child) => children.push(child),
+                        Err(e) => {
+                            kill_all(&mut children);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        } else {
+            for w in 0..n {
+                match spawn_child(root_addr, j, w < slow) {
+                    Ok(child) => children.push(child),
+                    Err(e) => {
+                        kill_all(&mut children);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        masters.push(master);
+    }
+    let topology = if tree > 0 {
+        format!("2-level tree, {tree} sub-masters per job")
+    } else {
+        "flat".to_string()
+    };
+    println!(
+        "launched {jobs} jobs x {n} worker processes ({topology}; {slow} straggling by {delay_ms} ms per job)"
+    );
+
+    let mut sched = Scheduler::new(SchedulerConfig::new(jobs as usize, 0));
+    for (j, master) in masters.into_iter().enumerate() {
+        let config = job_config(base, j as u64);
+        let name = config.job_name.clone().unwrap_or_default();
+        let submitted = sched.submit_driver(
+            name,
+            Box::new(move || {
+                let (model, dataset) = net_model_and_data(n);
+                let session = if tree > 0 {
+                    master.into_tree_session(model, dataset, &config, tree)
+                } else {
+                    master.into_session(model, dataset, &config)
+                };
+                session
+                    .map(|session| Box::new(NetJob::new(session)) as Box<dyn JobDriver>)
+                    .map_err(|e| Box::new(e) as DriverError)
+            }),
+        );
+        if let Err(e) = submitted {
+            kill_all(&mut children);
+            return Err(e.to_string());
+        }
+    }
+    let outcomes = sched.run_to_completion();
+
+    for handle in sub_threads {
+        // A sub-master error after its job already failed adds no signal;
+        // surface per-job failures through the outcomes below.
+        let _ = handle.join().map_err(|_| "sub-master thread panicked")?;
+    }
+    for mut child in children {
+        let _ = child.wait();
+    }
+
+    let mut out = String::new();
+    let mut failed = false;
+    for outcome in &outcomes {
+        failed |= outcome.result.is_err();
+        out.push_str(&render_job_outcome(outcome));
+    }
+    finish_metrics(&mut out, metrics)?;
+    if failed {
+        return Err(out);
+    }
+    Ok(out)
+}
+
 /// `isgc chaos --plan <name> [--seed s] [--n k --c k --steps k]`: run a
 /// loopback cluster under a named fault plan and report the per-step record,
 /// the determinism fingerprint, and any invariant violations.
 fn cmd_chaos(args: &[String]) -> Result<String, String> {
-    let flags = parse_flags(args, &["plan", "seed", "n", "c", "steps", "metrics-out"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "plan",
+            "seed",
+            "n",
+            "c",
+            "steps",
+            "metrics-out",
+            "submasters",
+            "crash-shard",
+            "crash-step",
+        ],
+    )?;
     let name = flags.get("plan").map_or("smoke", String::as_str);
     let seed: u64 = match flags.get("seed") {
         Some(s) => parse(s, "seed")?,
         None => 42,
     };
+    if name == "submaster-crash" {
+        return cmd_chaos_tree(&flags, seed);
+    }
+    for tree_flag in ["submasters", "crash-shard", "crash-step"] {
+        if flags.contains_key(tree_flag) {
+            return Err(format!(
+                "--{tree_flag} only applies to --plan submaster-crash"
+            ));
+        }
+    }
     let mut config = ChaosConfig::new(seed);
     let metrics = metrics_from(&flags);
     config.metrics = metrics.as_ref().map(|(_, r)| r.clone());
@@ -717,7 +1083,7 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
     }
     let plan = FaultPlan::named(name, seed, config.n, config.steps as u64).ok_or_else(|| {
         format!(
-            "unknown plan '{name}'; available: {}",
+            "unknown plan '{name}'; available: {}, submaster-crash",
             PLAN_NAMES.join(", ")
         )
     })?;
@@ -742,6 +1108,65 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
         let _ = writeln!(
             out,
             "invariants:         all steps within Theorem 10/11 bounds; decode matches oracle"
+        );
+        Ok(out)
+    } else {
+        for v in &outcome.violations {
+            let _ = writeln!(out, "VIOLATION: {v}");
+        }
+        Err(out)
+    }
+}
+
+/// The `submaster-crash` arm of `chaos`: a 2-level aggregation tree whose
+/// scripted sub-master dies mid-step, restarts, and must leave exactly one
+/// deterministically degraded step behind.
+fn cmd_chaos_tree(flags: &HashMap<String, String>, seed: u64) -> Result<String, String> {
+    if flags.contains_key("metrics-out") {
+        return Err("--metrics-out is not supported with --plan submaster-crash".to_string());
+    }
+    let mut config = TreeChaosConfig::new(seed);
+    if let Some(s) = flags.get("n") {
+        config.n = parse(s, "n")?;
+    }
+    if let Some(s) = flags.get("c") {
+        config.c = parse(s, "c")?;
+    }
+    if let Some(s) = flags.get("steps") {
+        config.steps = parse(s, "steps")?;
+    }
+    if let Some(s) = flags.get("submasters") {
+        config.submasters = parse(s, "submasters")?;
+    }
+    if let Some(s) = flags.get("crash-shard") {
+        config.crash_shard = parse(s, "crash-shard")?;
+    }
+    if let Some(s) = flags.get("crash-step") {
+        config.crash_at_step = parse(s, "crash-step")?;
+    }
+    let outcome = run_tree_chaos(&config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos plan 'submaster-crash' on FR({}, {}), {} sub-masters, {} steps, seed {seed}",
+        config.n, config.c, config.submasters, config.steps
+    );
+    let _ = writeln!(
+        out,
+        "sub-master {} killed on receiving step {}'s broadcast",
+        config.crash_shard, config.crash_at_step
+    );
+    for r in &outcome.reports {
+        let _ = writeln!(out, "{}", render_step(r, config.n, None));
+    }
+    let _ = writeln!(out, "sub-master restarts: {}", outcome.submaster_restarts);
+    let _ = writeln!(out, "degraded steps:      {:?}", outcome.degraded_steps);
+    let _ = writeln!(out, "final loss:          {:.4}", outcome.final_loss);
+    let _ = writeln!(out, "fingerprint:         {:016x}", outcome.fingerprint);
+    if outcome.passed() {
+        let _ = writeln!(
+            out,
+            "invariants:          exactly one degraded step; recovery within bounds; decode matches oracle"
         );
         Ok(out)
     } else {

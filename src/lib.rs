@@ -7,11 +7,16 @@
 //! - [`ml`] — models, synthetic datasets, SGD;
 //! - [`simnet`] — discrete-event cluster simulation;
 //! - [`runtime`] — real threaded master/worker execution;
+//! - [`engine`] — the transport-agnostic training step engine;
+//! - [`net`] — the TCP master/worker runtime (flat and 2-level tree);
+//! - [`sched`] — the multi-tenant job scheduler;
+//! - [`chaos`] — deterministic fault injection for the TCP runtime;
 //! - [`obs`] — metrics registry and trace spans with deterministic snapshots.
 //!
 //! See the repository README for a guided tour and the `examples/` directory
 //! for runnable entry points. The crate also ships the `isgc` CLI
-//! (`placement | decode | bounds | recommend | plan | trace | sim`).
+//! (`placement | decode | bounds | recommend | plan | trace | sim | serve |
+//! serve-jobs | worker | launch | chaos`).
 //!
 //! # Quickstart: decode a straggler pattern
 //!
@@ -63,10 +68,13 @@
 
 pub mod cli;
 
+pub use isgc_chaos as chaos;
 pub use isgc_core as core;
+pub use isgc_engine as engine;
 pub use isgc_linalg as linalg;
 pub use isgc_ml as ml;
 pub use isgc_net as net;
 pub use isgc_obs as obs;
 pub use isgc_runtime as runtime;
+pub use isgc_sched as sched;
 pub use isgc_simnet as simnet;

@@ -202,3 +202,62 @@ fn tcp_loopback_emits_identical_logical_series() {
     assert!(full.contains("net.bytes.sent.total"));
     assert!(full.contains("engine.decode.latency_ms"));
 }
+
+/// The multi-tenant leg: two co-tenant jobs sharing one registry, each
+/// recording under its own `("job", name)` scope.
+fn sched_registry() -> Registry {
+    use isgc_sched::{JobSpec, Scheduler, SchedulerConfig};
+
+    let registry = Registry::new();
+    let placement = Placement::fractional(8, 2).expect("valid FR placement");
+    let mut sched = Scheduler::new(SchedulerConfig::new(2, 0).with_metrics(registry.clone()));
+    for (name, seed) in [("job-a", 111u64), ("job-b", 222u64)] {
+        let mut spec = JobSpec::new(name, placement.clone(), seed);
+        spec.max_steps = 3;
+        spec.stragglers = 1;
+        sched.submit(spec).expect("submit job");
+    }
+    let outcomes = sched.run_to_completion();
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    registry
+}
+
+#[test]
+fn sched_per_job_logical_series_match_golden() {
+    assert_matches_golden(
+        "sched_two_jobs_logical.txt",
+        &sched_registry().to_text(Snapshot::Logical),
+    );
+}
+
+#[test]
+fn sched_per_job_series_are_disjoint_and_deterministic() {
+    let text = sched_registry().to_text(Snapshot::Logical);
+    assert_eq!(
+        text,
+        sched_registry().to_text(Snapshot::Logical),
+        "two identically-seeded co-tenant runs diverged"
+    );
+    // Disjoint scoping: every engine series belongs to exactly one job —
+    // no unscoped leakage, both tenants present.
+    let engine_lines: Vec<&str> = text.lines().filter(|l| l.contains("engine.")).collect();
+    assert!(!engine_lines.is_empty());
+    for line in &engine_lines {
+        assert!(
+            line.contains("job=job-a") ^ line.contains("job=job-b"),
+            "series not scoped to exactly one job: {line}"
+        );
+    }
+    assert!(engine_lines.iter().any(|l| l.contains("job=job-a")));
+    assert!(engine_lines.iter().any(|l| l.contains("job=job-b")));
+    // The two tenants have different seeds, so their series differ: the
+    // scopes carry real per-job data, not copies.
+    let series_of = |job: &str| -> Vec<String> {
+        engine_lines
+            .iter()
+            .filter(|l| l.contains(job))
+            .map(|l| l.replace(job, "job"))
+            .collect()
+    };
+    assert_ne!(series_of("job=job-a"), series_of("job=job-b"));
+}

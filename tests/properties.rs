@@ -387,3 +387,122 @@ proptest! {
         prop_assert!((&sum - &direct).norm_inf() < 1e-12);
     }
 }
+
+// --- Multi-tenant scheduling properties (isgc-sched) ---
+
+use isgc::sched::{JobOutcome, JobSpec, SchedError, Scheduler, SchedulerConfig, Topology};
+
+/// A job's deterministic observables: recovery fingerprint plus the exact
+/// bits of its loss curve and final parameters.
+fn job_signature(outcome: &JobOutcome) -> (u64, Vec<u64>, Vec<u64>) {
+    let report = outcome.result.as_ref().expect("job trained");
+    (
+        report.recovery_fingerprint(),
+        report.loss_curve().iter().map(|l| l.to_bits()).collect(),
+        report
+            .final_params
+            .as_slice()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect(),
+    )
+}
+
+/// Runs one spec alone on a single-slot scheduler.
+fn solo_signature(spec: &JobSpec) -> (u64, Vec<u64>, Vec<u64>) {
+    let mut sched = Scheduler::new(SchedulerConfig::new(1, 0));
+    sched.submit(spec.clone()).expect("solo submit");
+    let outcomes = sched.run_to_completion();
+    job_signature(&outcomes[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tenant isolation: a job's fingerprint, loss curve, and final
+    /// parameters are bitwise independent of who it shares the scheduler
+    /// with AND of its aggregation topology — co-tenant tree runs must
+    /// equal solo flat runs exactly.
+    #[test]
+    fn job_observables_are_independent_of_cotenants_and_topology(
+        seeds in prop::collection::vec(0u64..10_000, 1..=4),
+        stragglers in 0usize..3,
+        tree in prop::bool::ANY,
+    ) {
+        let placement = Placement::fractional(8, 2).expect("FR(8,2)");
+        let specs: Vec<JobSpec> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let mut spec = JobSpec::new(format!("tenant-{i}"), placement.clone(), seed);
+                spec.max_steps = 5;
+                spec.stragglers = stragglers;
+                spec.topology = if tree {
+                    Topology::Tree { submasters: 2 }
+                } else {
+                    Topology::Flat
+                };
+                spec
+            })
+            .collect();
+
+        // Baselines are always solo AND flat, so one equality covers both
+        // co-tenancy transparency and tree-vs-flat transparency.
+        let baselines: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let mut flat = spec.clone();
+                flat.topology = Topology::Flat;
+                solo_signature(&flat)
+            })
+            .collect();
+
+        let mut sched = Scheduler::new(SchedulerConfig::new(specs.len(), 0));
+        for spec in &specs {
+            sched.submit(spec.clone()).expect("co-tenant submit");
+        }
+        let outcomes = sched.run_to_completion();
+        prop_assert_eq!(outcomes.len(), specs.len());
+        for (outcome, baseline) in outcomes.iter().zip(&baselines) {
+            prop_assert_eq!(&job_signature(outcome), baseline);
+        }
+    }
+
+    /// Fair queueing: any mix of slots and queue capacity admits exactly
+    /// min(jobs, slots + queue) jobs, rejects the rest with the typed
+    /// overflow error, and every admitted job runs to completion — no
+    /// starvation under round-robin.
+    #[test]
+    fn fair_queueing_never_starves_and_rejects_overflow_typed(
+        jobs in 1usize..=6,
+        slots in 1usize..=3,
+        queue in 0usize..=2,
+    ) {
+        let placement = Placement::fractional(4, 2).expect("FR(4,2)");
+        let mut sched = Scheduler::new(SchedulerConfig::new(slots, queue));
+        let mut admitted = 0usize;
+        for i in 0..jobs {
+            let mut spec = JobSpec::new(format!("q-{i}"), placement.clone(), i as u64);
+            spec.max_steps = 3;
+            match sched.submit(spec) {
+                Ok(_) => admitted += 1,
+                Err(SchedError::QueueFull {
+                    max_concurrent,
+                    queue_capacity,
+                }) => {
+                    prop_assert_eq!(max_concurrent, slots);
+                    prop_assert_eq!(queue_capacity, queue);
+                    prop_assert_eq!(admitted, slots + queue);
+                }
+                Err(e) => prop_assert!(false, "unexpected submit error: {e}"),
+            }
+        }
+        prop_assert_eq!(admitted, jobs.min(slots + queue));
+        let outcomes = sched.run_to_completion();
+        prop_assert_eq!(outcomes.len(), admitted);
+        for outcome in &outcomes {
+            let report = outcome.result.as_ref().expect("job trained");
+            prop_assert_eq!(report.step_count(), 3, "job {} starved", outcome.name);
+        }
+    }
+}

@@ -33,6 +33,7 @@ fn bench_sim(criterion: &mut Criterion) {
             seed: 1,
             normalization: GradientNormalization::SumOfPartitionMeans,
             lr_schedule: LrSchedule::Constant,
+            ..Default::default()
         };
         b.iter(|| {
             black_box(train(

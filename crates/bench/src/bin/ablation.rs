@@ -93,6 +93,7 @@ fn normalization_ablation() {
                 seed: 40 + trial * 11,
                 normalization: norm,
                 lr_schedule: LrSchedule::Constant,
+                ..Default::default()
             };
             let r = train(
                 &model,
@@ -137,6 +138,7 @@ fn run(scheme: &CodingScheme, w: usize) -> (f64, f64, f64) {
             seed: 70 + trial * 13,
             normalization: GradientNormalization::SumOfPartitionMeans,
             lr_schedule: LrSchedule::Constant,
+            ..Default::default()
         };
         let r = train(
             &model,

@@ -1,0 +1,255 @@
+//! Graceful-degradation ladder benchmark: emits machine-readable
+//! `BENCH_degrade.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Exact-path overhead** — steps/sec of an identically-seeded healthy
+//!    simulator run (FR(8, 2), wait-for-6, zero degraded steps) under each
+//!    [`DegradePolicy`]. The ladder must be free until it is needed: the
+//!    three numbers should be statistically indistinguishable.
+//! 2. **Degraded-path throughput** — steps/sec of a trace-driven run whose
+//!    middle third starves the deadline policy, walking the ladder through
+//!    approximate and skipped steps under `Approximate`.
+//! 3. **Decode cost** — nanoseconds per decode for the exact scheme decoder
+//!    vs. [`ApproxDecoder`] (which adds coverage/multiplicity/bias-weight
+//!    bookkeeping on top of the same conflict-free selection) on sparse
+//!    availability.
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin degrade [out.json]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use isgc_core::decode::{decoder_for, ApproxDecoder};
+use isgc_core::{Placement, WorkerSet};
+use isgc_engine::DegradePolicy;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::LinearRegression;
+use isgc_simnet::cluster::{ClusterConfig, StragglerSelection};
+use isgc_simnet::delay::Delay;
+use isgc_simnet::policy::WaitPolicy;
+use isgc_simnet::trace::{StragglerTrace, TraceClusterSim};
+use isgc_simnet::trainer::{train, train_on_trace, CodingScheme, TrainingConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 8;
+const C: usize = 2;
+const STEPS: usize = 60;
+const FEATURES: usize = 8;
+const SEED: u64 = 4242;
+const DECODE_N: usize = 24;
+const DECODE_C: usize = 4;
+const DECODE_W: usize = 6;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_degrade.json".into());
+
+    let policies = [
+        ("fail", DegradePolicy::Fail),
+        ("skip", DegradePolicy::Skip),
+        ("approx", DegradePolicy::approximate_default()),
+    ];
+    let mut exact_path = Vec::new();
+    for (label, policy) in &policies {
+        let sps = bench_exact_path(policy.clone());
+        println!("exact path under {label}: {sps:.0} steps/sec");
+        exact_path.push((*label, sps));
+    }
+
+    let (ladder_sps, approx_steps, skipped_steps) = bench_degraded_path();
+    println!(
+        "degraded path (approx policy): {ladder_sps:.0} steps/sec \
+         ({approx_steps} approx, {skipped_steps} skipped of {STEPS})"
+    );
+
+    let (exact_ns, approx_ns) = bench_decoders();
+    println!(
+        "decode FR({DECODE_N}, {DECODE_C}) at w={DECODE_W}: exact {exact_ns:.0} ns, \
+         approx {approx_ns:.0} ns"
+    );
+
+    let json = render_json(
+        &exact_path,
+        ladder_sps,
+        approx_steps,
+        skipped_steps,
+        exact_ns,
+        approx_ns,
+    );
+    std::fs::write(&out, json).expect("write BENCH_degrade.json");
+    println!("wrote {out}");
+}
+
+fn healthy_config(degrade: DegradePolicy) -> TrainingConfig {
+    TrainingConfig {
+        batch_size: 16,
+        learning_rate: 0.05,
+        loss_threshold: 0.0,
+        max_steps: STEPS,
+        seed: SEED,
+        degrade,
+        ..TrainingConfig::default()
+    }
+}
+
+/// Steps/sec of a healthy run (no degraded steps) under `policy`: the
+/// ladder's bookkeeping cost on the exact path.
+fn bench_exact_path(policy: DegradePolicy) -> f64 {
+    let placement = Placement::fractional(N, C).expect("FR placement");
+    let dataset = Dataset::synthetic_regression(256, FEATURES, 0.05, SEED);
+    let cluster = ClusterConfig {
+        n: N,
+        compute_time_per_partition: 0.0001,
+        comm_time: 0.0001,
+        jitter: Delay::Constant(0.0),
+        straggler_delay: Delay::Constant(0.5),
+        stragglers: StragglerSelection::RandomEachStep(2),
+    };
+    let run = || {
+        let start = Instant::now();
+        let report = train(
+            &LinearRegression::new(FEATURES),
+            &dataset,
+            &CodingScheme::IsGc(placement.clone()),
+            &WaitPolicy::WaitForCount(N - 2),
+            cluster.clone(),
+            &healthy_config(policy.clone()),
+        );
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(report.step_count(), STEPS);
+        assert_eq!(report.degraded_steps(), 0, "healthy run must stay exact");
+        STEPS as f64 / secs
+    };
+    run(); // warm-up: dataset/model allocation paid before the timed trials
+    (0..5).map(|_| run()).fold(f64::MIN, f64::max)
+}
+
+/// Steps/sec of a run whose middle third is starved: one third of the
+/// steps take the approximate or skipped path.
+fn bench_degraded_path() -> (f64, usize, usize) {
+    let placement = Placement::fractional(N, C).expect("FR placement");
+    let dataset = Dataset::synthetic_regression(256, FEATURES, 0.05, SEED);
+    let rows: Vec<Vec<f64>> = (0..STEPS)
+        .map(|step| {
+            (0..N)
+                .map(|w| {
+                    let starved = (STEPS / 3..2 * STEPS / 3).contains(&step);
+                    // In the starved window only workers 6-7 (one FR group,
+                    // 2 of 8 partitions) beat the deadline; every fourth
+                    // starved step is a total blackout.
+                    if starved && (w < N - 2 || step % 4 == 0) {
+                        5.0
+                    } else {
+                        0.0001 * (w + 1) as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let config = TrainingConfig {
+        degrade: DegradePolicy::Approximate {
+            max_consecutive: STEPS as u64,
+            min_coverage: 0.5,
+        },
+        ..healthy_config(DegradePolicy::Fail)
+    };
+    let run = || {
+        let sim = TraceClusterSim::new(StragglerTrace::new(rows.clone()), 0.0001, 0.0001);
+        let start = Instant::now();
+        let report = train_on_trace(
+            &LinearRegression::new(FEATURES),
+            &dataset,
+            &CodingScheme::IsGc(placement.clone()),
+            &WaitPolicy::Deadline(0.1),
+            sim,
+            &config,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(report.step_count(), STEPS);
+        assert!(report.degraded_steps() > 0, "trace must degrade");
+        (
+            STEPS as f64 / secs,
+            report.approx_steps(),
+            report.skipped_steps(),
+        )
+    };
+    run();
+    (0..5).map(|_| run()).fold(
+        (f64::MIN, 0, 0),
+        |best, r| if r.0 > best.0 { r } else { best },
+    )
+}
+
+/// Nanoseconds per decode: the exact scheme decoder vs. the approximate
+/// decoder on the same sparse availability sets.
+fn bench_decoders() -> (f64, f64) {
+    let placement = Placement::fractional(DECODE_N, DECODE_C).expect("FR placement");
+    let exact = decoder_for(&placement).expect("scheme decoder");
+    let approx = ApproxDecoder::new(&placement).expect("approx decoder");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let sets: Vec<WorkerSet> = (0..64)
+        .map(|_| WorkerSet::random_subset(DECODE_N, DECODE_W, &mut rng))
+        .collect();
+    let iters = 2_000u32;
+
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for set in &sets {
+            sink += exact.decode(set, &mut rng).recovered_count();
+        }
+    }
+    let exact_ns = start.elapsed().as_nanos() as f64 / f64::from(iters) / sets.len() as f64;
+    assert!(sink > 0);
+
+    let start = Instant::now();
+    let mut covered = 0usize;
+    for _ in 0..iters {
+        for set in &sets {
+            covered += approx.decode(set, &mut rng).covered_count();
+        }
+    }
+    let approx_ns = start.elapsed().as_nanos() as f64 / f64::from(iters) / sets.len() as f64;
+    assert!(covered > 0);
+
+    (exact_ns, approx_ns)
+}
+
+/// Hand-rendered JSON (the workspace carries no serde).
+fn render_json(
+    exact_path: &[(&str, f64)],
+    ladder_sps: f64,
+    approx_steps: usize,
+    skipped_steps: usize,
+    exact_ns: f64,
+    approx_ns: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"degrade\",");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"n\": {N}, \"c\": {C}, \"steps\": {STEPS}, \
+         \"decode_n\": {DECODE_N}, \"decode_c\": {DECODE_C}, \"decode_w\": {DECODE_W}}},"
+    );
+    s.push_str("  \"exact_path_steps_per_sec\": {\n");
+    for (i, (label, sps)) in exact_path.iter().enumerate() {
+        let comma = if i + 1 < exact_path.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{label}\": {sps:.1}{comma}");
+    }
+    s.push_str("  },\n");
+    let _ = writeln!(
+        s,
+        "  \"degraded_path\": {{\"steps_per_sec\": {ladder_sps:.1}, \
+         \"approx_steps\": {approx_steps}, \"skipped_steps\": {skipped_steps}}},"
+    );
+    let _ = writeln!(
+        s,
+        "  \"decode_ns\": {{\"exact\": {exact_ns:.1}, \"approx\": {approx_ns:.1}}}"
+    );
+    s.push_str("}\n");
+    s
+}

@@ -179,6 +179,7 @@ fn run_trials(scheme: &CodingScheme, w: usize, use_mlp: bool) -> Vec<TrainReport
                 seed: 9000 + trial * 31,
                 normalization: GradientNormalization::SumOfPartitionMeans,
                 lr_schedule: LrSchedule::Constant,
+                ..Default::default()
             };
             let policy = WaitPolicy::WaitForCount(w);
             if use_mlp {

@@ -90,6 +90,7 @@ fn panel_b() {
                 seed: 500 + trial * 17,
                 normalization: GradientNormalization::SumOfPartitionMeans,
                 lr_schedule: LrSchedule::Constant,
+                ..Default::default()
             };
             let report = train(
                 &model,

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use isgc_core::decode::{Decoder, ExactDecoder};
 use isgc_core::{bounds, ConflictGraph, Placement, WorkerSet};
+use isgc_engine::{DegradePolicy, StepOutcome};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::LinearRegression;
 use isgc_net::{
@@ -53,6 +54,11 @@ pub struct ChaosConfig {
     /// master's [`NetConfig::metrics`] hook) plus the harness's fault and
     /// restart counters (see [`crate::metrics`]) into this registry.
     pub metrics: Option<isgc_obs::Registry>,
+    /// Degrade policy the master's engine runs under. The default, `Fail`,
+    /// is the TCP backend's own default: a step below the recoverable
+    /// floor aborts the run. Starvation plans (`blackout`, `slow-bleed`)
+    /// need a lenient policy — [`FaultPlan::recommended_policy`] picks one.
+    pub degrade: DegradePolicy,
 }
 
 impl ChaosConfig {
@@ -67,6 +73,7 @@ impl ChaosConfig {
             features: 5,
             samples: 192,
             metrics: None,
+            degrade: DegradePolicy::Fail,
         }
     }
 }
@@ -97,6 +104,23 @@ impl ChaosOutcome {
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Steps that took a degraded (approximate or skipped) update.
+    pub fn degraded_steps(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.outcome.is_degraded())
+            .count()
+    }
+
+    /// Longest run of consecutive degraded steps.
+    pub fn max_consecutive_degraded(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.consecutive_degraded)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Distinguishes checkpoint files of concurrent chaos runs in one process.
@@ -111,7 +135,7 @@ static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// plan scripts (e.g. the loopback bind is refused);
 /// [`ChaosError::Harness`] when a thread panics.
 pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> Result<ChaosOutcome, ChaosError> {
-    plan.validate(config.n, config.steps as u64)?;
+    plan.validate(config.n, config.steps as u64, &config.degrade)?;
     if config.c == 0 || !config.n.is_multiple_of(config.c) {
         return Err(ChaosError::InvalidPlan(format!(
             "chaos harness needs c | n, got n={}, c={}",
@@ -156,6 +180,7 @@ pub fn run_chaos(plan: &FaultPlan, config: &ChaosConfig) -> Result<ChaosOutcome,
         .as_ref()
         .map(|dir| CheckpointConfig::every_step(dir.join("master.ckpt")));
     net_config.repair_after_steps = plan.has_deaths().then_some(2);
+    net_config.degrade = config.degrade.clone();
     // The engine's per-step series stitch naturally across master restarts:
     // a resumed segment starts at the checkpointed step, so each step is
     // recorded exactly once.
@@ -470,7 +495,33 @@ fn check_invariants(
         }
     }
 
-    // 4. Stale accounting: every scripted stale or duplicate frame must be
+    // 4. Ladder arithmetic: the consecutive-degraded counter climbs by one
+    //    on every approx/skipped step and resets on exact steps — across
+    //    master restarts too, which is exactly what checkpointing the
+    //    counter buys (a resumed master must not forget a live streak).
+    let mut expected_streak = 0u64;
+    for r in reports {
+        expected_streak = if r.outcome.is_degraded() {
+            expected_streak + 1
+        } else {
+            0
+        };
+        if r.consecutive_degraded != expected_streak {
+            violations.push(format!(
+                "step {}: consecutive-degraded counter is {} but the report \
+                 sequence implies {expected_streak}",
+                r.step, r.consecutive_degraded
+            ));
+        }
+        if r.outcome == StepOutcome::Skipped && r.recovered != 0 {
+            violations.push(format!(
+                "step {}: skipped outcome with {} recovered partitions",
+                r.step, r.recovered
+            ));
+        }
+    }
+
+    // 5. Stale accounting: every scripted stale or duplicate frame must be
     //    discarded (counted), never double-applied. Counted across the whole
     //    run because a duplicate can land in the next step's window.
     let scripted_stale = plan
@@ -513,6 +564,11 @@ pub(crate) fn fingerprint(reports: &[NetReport], final_params: &[f64]) -> u64 {
         }
         eat(b"|");
         eat(&(r.recovered as u64).to_le_bytes());
+        // Degradation-ladder decisions are observables too: a replay that
+        // skipped where the original approximated must not fingerprint
+        // equal, even if the parameter bits happened to collide.
+        eat(&r.outcome.tag().to_le_bytes());
+        eat(&r.consecutive_degraded.to_le_bytes());
         for e in &r.repairs {
             eat(&(e.partition as u64).to_le_bytes());
             eat(&(e.from as u64).to_le_bytes());
@@ -565,6 +621,10 @@ mod tests {
             repairs: vec![],
             stale: 0,
             failed_decode: false,
+            outcome: isgc_engine::StepOutcome::Exact,
+            coverage: 1.0,
+            bias_weight: 1.0,
+            consecutive_degraded: 0,
             loss: 1.0,
         };
         let mut reordered = base.clone();
@@ -594,6 +654,10 @@ mod tests {
                     repairs: vec![],
                     stale: 0,
                     failed_decode: false,
+                    outcome: isgc_engine::StepOutcome::Exact,
+                    coverage: 1.0,
+                    bias_weight: 1.0,
+                    consecutive_degraded: 0,
                     loss: 1.0,
                 }],
                 &[1.0]

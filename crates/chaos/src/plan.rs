@@ -8,6 +8,8 @@
 //! [`ChaosRng`] seed so a fuzzed schedule that finds a bug
 //! can be replayed byte-for-byte from its seed.
 
+use isgc_engine::DegradePolicy;
+
 use crate::{ChaosError, ChaosRng};
 
 /// One kind of injected fault, applied by a chaos worker when it receives
@@ -109,6 +111,8 @@ pub const PLAN_NAMES: &[&str] = &[
     "frame-corrupt",
     "delay",
     "duplicate-stale",
+    "blackout",
+    "slow-bleed",
     "random",
 ];
 
@@ -212,6 +216,50 @@ impl FaultPlan {
                 ],
                 master_crashes: Vec::new(),
             },
+            "blackout" => {
+                // Every worker declines for a two-step window mid-run: the
+                // master completes those steps with zero arrivals and the
+                // engine's degrade ladder decides what happens. Declines
+                // (not drops) keep every connection alive, so the steps
+                // finish instead of hanging on dead sockets.
+                let start = mid.min(steps.saturating_sub(3)).max(1);
+                let window = 2u64.min(steps.saturating_sub(start + 1));
+                FaultPlan {
+                    name: name.into(),
+                    faults: (start..start + window)
+                        .flat_map(|step| {
+                            (0..n).map(move |worker| Fault {
+                                worker,
+                                step,
+                                kind: FaultKind::Decline,
+                            })
+                        })
+                        .collect(),
+                    master_crashes: Vec::new(),
+                }
+            }
+            "slow-bleed" => {
+                // Progressive starvation: one more worker declines each
+                // step until a single contributor remains, then everyone
+                // rejoins for the final steps. Coverage bleeds 5/6 → 1/6
+                // (on the default FR(6,2) cluster) and recovers, walking
+                // the ladder from exact through approximate and back.
+                let quiet_tail = 2u64.min(steps.saturating_sub(1));
+                FaultPlan {
+                    name: name.into(),
+                    faults: (1..steps.saturating_sub(quiet_tail))
+                        .flat_map(|step| {
+                            let bled = (step as usize).min(n.saturating_sub(1));
+                            (0..bled).map(move |worker| Fault {
+                                worker,
+                                step,
+                                kind: FaultKind::Decline,
+                            })
+                        })
+                        .collect(),
+                    master_crashes: Vec::new(),
+                }
+            }
             "random" => Self::random(seed, n, steps),
             _ => return None,
         };
@@ -272,8 +320,56 @@ impl FaultPlan {
         self.faults.iter().any(|f| f.kind == FaultKind::Die)
     }
 
+    /// Workers able to contribute a codeword at `step`: not dead, not
+    /// suppressing their codeword this step, and not mid-flap from a
+    /// connection kill on the previous step.
+    pub fn contributors_at(&self, step: u64, n: usize) -> usize {
+        (0..n)
+            .filter(|&w| {
+                let dead = self
+                    .faults
+                    .iter()
+                    .any(|f| f.worker == w && f.kind == FaultKind::Die && f.step <= step);
+                let suppressed_now = self
+                    .fault_for(w, step)
+                    .is_some_and(FaultKind::suppresses_codeword);
+                let flapping = step > 0
+                    && self
+                        .fault_for(w, step - 1)
+                        .is_some_and(FaultKind::kills_connection);
+                !dead && !suppressed_now && !flapping
+            })
+            .count()
+    }
+
+    /// The weakest [`DegradePolicy`] under which this plan's scripted
+    /// starvation completes instead of aborting: [`DegradePolicy::Fail`]
+    /// when every step keeps a majority of contributors, otherwise
+    /// [`DegradePolicy::Approximate`] with `max_consecutive` sized one
+    /// above the longest lean streak — the scripted degradation never
+    /// escalates, while a longer unscripted streak still would.
+    pub fn recommended_policy(&self, n: usize, steps: u64) -> DegradePolicy {
+        let mut worst = 0u64;
+        let mut streak = 0u64;
+        for step in 0..steps {
+            if 2 * self.contributors_at(step, n) <= n {
+                streak += 1;
+                worst = worst.max(streak);
+            } else {
+                streak = 0;
+            }
+        }
+        if worst == 0 {
+            return DegradePolicy::Fail;
+        }
+        DegradePolicy::Approximate {
+            max_consecutive: worst + 1,
+            min_coverage: 0.5,
+        }
+    }
+
     /// Checks the plan is runnable against a cluster of `n` workers for
-    /// `steps` steps.
+    /// `steps` steps under the given degrade policy.
     ///
     /// # Errors
     ///
@@ -281,8 +377,15 @@ impl FaultPlan {
     /// out of range, when deaths are combined with master crashes (a
     /// resumed master waits for all workers to re-register, which a dead
     /// worker never does), or when some step would be left with no
-    /// contributing worker at all.
-    pub fn validate(&self, n: usize, steps: u64) -> Result<(), ChaosError> {
+    /// contributing worker at all — tolerated under a non-`Fail` policy,
+    /// but only when every absence is a connection-preserving decline (a
+    /// fully dark step must still *complete*, and a dead socket hangs it).
+    pub fn validate(
+        &self,
+        n: usize,
+        steps: u64,
+        degrade: &DegradePolicy,
+    ) -> Result<(), ChaosError> {
         for f in &self.faults {
             if f.worker >= n {
                 return Err(ChaosError::InvalidPlan(format!(
@@ -311,29 +414,34 @@ impl FaultPlan {
                     .into(),
             ));
         }
-        // Every step needs at least one contributor: a worker that is not
-        // dead, not suppressing its codeword this step, and not mid-flap
-        // from a connection kill on the previous step.
+        // A step with no contributor at all aborts a Fail-policy run; under
+        // skip/approx it must still complete, which only declines guarantee.
         for step in 0..steps {
-            let contributors = (0..n)
-                .filter(|&w| {
-                    let dead = self
-                        .faults
-                        .iter()
-                        .any(|f| f.worker == w && f.kind == FaultKind::Die && f.step <= step);
-                    let suppressed_now = self
-                        .fault_for(w, step)
-                        .is_some_and(FaultKind::suppresses_codeword);
-                    let flapping = step > 0
-                        && self
-                            .fault_for(w, step - 1)
-                            .is_some_and(FaultKind::kills_connection);
-                    !dead && !suppressed_now && !flapping
-                })
-                .count();
-            if contributors == 0 {
+            if self.contributors_at(step, n) > 0 {
+                continue;
+            }
+            if matches!(degrade, DegradePolicy::Fail) {
                 return Err(ChaosError::InvalidPlan(format!(
-                    "step {step} would have no contributing worker"
+                    "step {step} would have no contributing worker; the Fail \
+                     degrade policy aborts there — run skip or approx to \
+                     ride out the blackout"
+                )));
+            }
+            let every_absence_declines = (0..n).all(|w| {
+                let alive_fault = self
+                    .fault_for(w, step)
+                    .is_some_and(|k| k.suppresses_codeword() && !k.kills_connection());
+                let dead_before = self
+                    .faults
+                    .iter()
+                    .any(|f| f.worker == w && f.kind == FaultKind::Die && f.step < step);
+                alive_fault && !dead_before
+            });
+            if !every_absence_declines {
+                return Err(ChaosError::InvalidPlan(format!(
+                    "step {step} has no contributor and at least one absence \
+                     closes its connection; a fully dark step only completes \
+                     when every worker declines"
                 )));
             }
         }
@@ -349,10 +457,70 @@ mod tests {
     fn every_named_plan_builds_and_validates() {
         for &name in PLAN_NAMES {
             let plan = FaultPlan::named(name, 42, 6, 8).expect(name);
-            plan.validate(6, 8)
+            let policy = plan.recommended_policy(6, 8);
+            plan.validate(6, 8, &policy)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         assert!(FaultPlan::named("no-such-plan", 0, 6, 8).is_none());
+    }
+
+    #[test]
+    fn recommended_policy_matches_plan_shape() {
+        let quiet = FaultPlan::quiet("t");
+        assert_eq!(quiet.recommended_policy(6, 8), DegradePolicy::Fail);
+        let flap = FaultPlan::named("worker-flap", 0, 6, 8).unwrap();
+        assert_eq!(flap.recommended_policy(6, 8), DegradePolicy::Fail);
+
+        // blackout starves two consecutive steps entirely: the recommended
+        // policy sizes max_consecutive one above that streak.
+        let blackout = FaultPlan::named("blackout", 0, 6, 8).unwrap();
+        for step in [4, 5] {
+            assert_eq!(blackout.contributors_at(step, 6), 0, "step {step}");
+        }
+        assert_eq!(
+            blackout.recommended_policy(6, 8),
+            DegradePolicy::Approximate {
+                max_consecutive: 3,
+                min_coverage: 0.5,
+            }
+        );
+
+        // slow-bleed thins contributors one per step, never to zero.
+        let bleed = FaultPlan::named("slow-bleed", 0, 6, 8).unwrap();
+        let per_step: Vec<usize> = (0..8).map(|s| bleed.contributors_at(s, 6)).collect();
+        assert_eq!(per_step, vec![6, 5, 4, 3, 2, 1, 6, 6]);
+        assert_eq!(
+            bleed.recommended_policy(6, 8),
+            DegradePolicy::Approximate {
+                max_consecutive: 4,
+                min_coverage: 0.5,
+            }
+        );
+    }
+
+    #[test]
+    fn starved_steps_need_a_lenient_policy_and_live_connections() {
+        let blackout = FaultPlan::named("blackout", 0, 6, 8).unwrap();
+        assert!(
+            blackout.validate(6, 8, &DegradePolicy::Fail).is_err(),
+            "a fully dark step must be rejected under Fail"
+        );
+        blackout
+            .validate(6, 8, &DegradePolicy::Skip)
+            .expect("declined blackout completes under skip");
+        blackout
+            .validate(6, 8, &DegradePolicy::approximate_default())
+            .expect("declined blackout completes under approx");
+
+        // The same starvation via connection kills would hang the wait, so
+        // it is rejected even under a lenient policy.
+        let mut dropped = blackout.clone();
+        for f in &mut dropped.faults {
+            f.kind = FaultKind::Drop;
+        }
+        assert!(dropped
+            .validate(6, 8, &DegradePolicy::approximate_default())
+            .is_err());
     }
 
     #[test]
@@ -368,20 +536,21 @@ mod tests {
     fn random_plans_validate_across_seeds() {
         for seed in 0..200 {
             let plan = FaultPlan::random(seed, 5, 10);
-            plan.validate(5, 10)
+            plan.validate(5, 10, &DegradePolicy::Fail)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
     #[test]
     fn validation_rejects_bad_plans() {
+        let fail = DegradePolicy::Fail;
         let mut plan = FaultPlan::quiet("t");
         plan.faults.push(Fault {
             worker: 9,
             step: 0,
             kind: FaultKind::Decline,
         });
-        assert!(plan.validate(4, 8).is_err(), "worker out of range");
+        assert!(plan.validate(4, 8, &fail).is_err(), "worker out of range");
 
         let mut plan = FaultPlan::quiet("t");
         plan.faults.push(Fault {
@@ -389,7 +558,7 @@ mod tests {
             step: 99,
             kind: FaultKind::Decline,
         });
-        assert!(plan.validate(4, 8).is_err(), "step out of range");
+        assert!(plan.validate(4, 8, &fail).is_err(), "step out of range");
 
         let mut plan = FaultPlan::quiet("t");
         plan.faults.push(Fault {
@@ -398,7 +567,7 @@ mod tests {
             kind: FaultKind::Die,
         });
         plan.master_crashes.push(3);
-        assert!(plan.validate(4, 8).is_err(), "death + restart");
+        assert!(plan.validate(4, 8, &fail).is_err(), "death + restart");
 
         let mut plan = FaultPlan::quiet("t");
         for w in 0..4 {
@@ -408,7 +577,9 @@ mod tests {
                 kind: FaultKind::Decline,
             });
         }
-        assert!(plan.validate(4, 8).is_err(), "empty step");
+        assert!(plan.validate(4, 8, &fail).is_err(), "empty step under Fail");
+        plan.validate(4, 8, &DegradePolicy::Skip)
+            .expect("empty declined step rides on skip");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! | [`ExactDecoder`] | — | any placement (branch-and-bound oracle) |
 //! | [`ArrivalOrderDecoder`] | Fig. 3 strawman | any placement (greedy, maximal only) |
 //! | [`StreamingDecoder`] | §IV deadline masters | anytime wrapper over any decoder |
+//! | [`ApproxDecoder`] | approximate GC (1905.05383) | bias-corrected partial estimates below the Theorem 10 floor |
 
+mod approx;
 mod arrival;
 mod cr;
 mod exact;
@@ -22,6 +24,7 @@ mod fr;
 mod hr;
 mod streaming;
 
+pub use approx::{ApproxDecoder, ApproxReport};
 pub use arrival::ArrivalOrderDecoder;
 pub use cr::CrDecoder;
 pub use exact::ExactDecoder;

@@ -49,10 +49,10 @@ mod report;
 
 pub use merge::{pairwise_sum, shard_ranges, ShardedDecode};
 pub use metrics::MetricsObserver;
-pub use report::{RepairEvent, StepReport, TrainReport};
+pub use report::{RepairEvent, StepOutcome, StepReport, TrainReport};
 
 use isgc_core::classic::ClassicGc;
-use isgc_core::decode::{decoder_for, ArrivalOrderDecoder, Decoder};
+use isgc_core::decode::{decoder_for, ApproxDecoder, ArrivalOrderDecoder, Decoder};
 use isgc_core::{bounds, Placement, WorkerSet};
 use isgc_linalg::Vector;
 use isgc_ml::optimizer::{LrSchedule, Sgd};
@@ -86,6 +86,58 @@ pub enum GradientNormalization {
     /// estimate whose magnitude is independent of the recovery level (only
     /// its variance changes). Useful as an ablation.
     MeanOverRecovered,
+}
+
+/// What the engine does with a step whose decode lands below the coverage
+/// floor — the **graceful degradation ladder**.
+///
+/// A "degraded" step is one that recovered zero partitions, or (under
+/// [`DegradePolicy::Approximate`]) one whose coverage `recovered / n` fell
+/// below `min_coverage`. The ladder decides, deterministically from the
+/// decode result alone, whether such a step is fatal, skipped, or served by
+/// the bias-corrected partial estimate of
+/// [`isgc_core::decode::ApproxDecoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradePolicy {
+    /// A zero-recovery step is a fatal [`EngineError::Degraded`] — the
+    /// strict posture a supervised TCP master historically took.
+    Fail,
+    /// A zero-recovery step reuses the previous iterate and training
+    /// continues, unbounded — the simulator's historical posture. The step
+    /// is recorded as [`StepOutcome::Skipped`].
+    Skip,
+    /// Steps below `min_coverage` apply the bias-corrected partial
+    /// aggregate (recorded as [`StepOutcome::Approx`]); steps with nothing
+    /// to aggregate reuse the previous iterate ([`StepOutcome::Skipped`]).
+    /// More than `max_consecutive` degraded steps in a row escalate to
+    /// [`EngineError::Degraded`] — the ladder is bounded, not silent.
+    Approximate {
+        /// Degraded steps tolerated back-to-back before escalating.
+        max_consecutive: u64,
+        /// Coverage floor in `[0, 1]`: a step with
+        /// `recovered / n < min_coverage` takes the approximate path.
+        min_coverage: f64,
+    },
+}
+
+impl DegradePolicy {
+    /// The bounded-approximation default used by chaos plans that expect
+    /// blackouts: up to 4 consecutive degraded steps, coverage floor ½.
+    pub fn approximate_default() -> Self {
+        DegradePolicy::Approximate {
+            max_consecutive: 4,
+            min_coverage: 0.5,
+        }
+    }
+
+    /// Stable lowercase label (`fail` / `skip` / `approx`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradePolicy::Fail => "fail",
+            DegradePolicy::Skip => "skip",
+            DegradePolicy::Approximate { .. } => "approx",
+        }
+    }
 }
 
 /// Which decode/aggregate strategy the engine runs.
@@ -130,10 +182,10 @@ pub struct EngineConfig {
     /// after this many consecutive steps of reported death. `None` disables
     /// placement repair.
     pub repair_after_steps: Option<u64>,
-    /// Treat a zero-recovery step as a fatal [`EngineError::Degraded`]
-    /// instead of a skipped update (the TCP master wants the former, the
-    /// simulator the latter).
-    pub fail_on_zero_recovery: bool,
+    /// What to do with steps below the coverage floor: fail fast, reuse the
+    /// previous iterate, or apply a bias-corrected approximation with
+    /// bounded escalation (the graceful degradation ladder).
+    pub degrade: DegradePolicy,
     /// Verify every scheme decode against the Theorem 10–11 recovery
     /// bounds (pre-repair only; repair invalidates the placement structure
     /// the theorems assume).
@@ -155,7 +207,7 @@ impl EngineConfig {
             normalization: GradientNormalization::default(),
             lr_schedule: LrSchedule::Constant,
             repair_after_steps: None,
-            fail_on_zero_recovery: false,
+            degrade: DegradePolicy::Skip,
             check_bounds: true,
         }
     }
@@ -170,12 +222,13 @@ pub enum EngineError {
     /// A core-layer error (placement/decoder construction, selection
     /// validation).
     Core(isgc_core::Error),
-    /// A step recovered zero partitions while `fail_on_zero_recovery` was
-    /// set: the run is spinning without progress.
+    /// The degradation ladder ran out: a zero-recovery step under
+    /// [`DegradePolicy::Fail`], or more than `max_consecutive` degraded
+    /// steps in a row under [`DegradePolicy::Approximate`].
     Degraded {
-        /// The step that recovered nothing.
+        /// The step that exhausted the ladder.
         step: u64,
-        /// Partitions recovered (always 0 here; kept for symmetry).
+        /// Partitions recovered by that step.
         recovered: usize,
         /// The Theorem 10 floor the step should have met, given how many
         /// workers were alive.
@@ -304,10 +357,26 @@ pub trait Collector {
     fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError>;
 
     /// Called after the optimizer update with the step count completed so
-    /// far and the new parameters (checkpointing hook).
-    fn after_step(&mut self, _completed: u64, _params: &Vector) -> Result<(), EngineError> {
+    /// far, the new parameters, and the degradation-ladder state
+    /// (checkpointing hook). Backends that persist state must include
+    /// `ladder` so a resumed run replays escalation decisions bit-for-bit.
+    fn after_step(
+        &mut self,
+        _completed: u64,
+        _params: &Vector,
+        _ladder: LadderState,
+    ) -> Result<(), EngineError> {
         Ok(())
     }
+}
+
+/// Degradation-ladder state handed to [`Collector::after_step`] so
+/// checkpointing backends can persist it alongside the parameters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LadderState {
+    /// Consecutive degraded (approx/skipped) steps ending at this point;
+    /// resets to zero on every exact step.
+    pub consecutive_degraded: u64,
 }
 
 /// Whether training should continue after a step (observer verdict).
@@ -387,9 +456,11 @@ struct Decoded {
 pub struct StepEngine {
     config: EngineConfig,
     path: DecodePath,
+    approx: ApproxDecoder,
     repair: RepairState,
     dead_steps: Vec<u64>,
     start_step: u64,
+    consecutive_degraded: u64,
     bounds_checked: bool,
 }
 
@@ -415,6 +486,22 @@ impl StepEngine {
             return Err(EngineError::InvalidConfig(
                 "repair_after_steps must be at least 1".into(),
             ));
+        }
+        if let DegradePolicy::Approximate {
+            max_consecutive,
+            min_coverage,
+        } = &config.degrade
+        {
+            if *max_consecutive == 0 {
+                return Err(EngineError::InvalidConfig(
+                    "degrade max_consecutive must be at least 1".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(min_coverage) {
+                return Err(EngineError::InvalidConfig(format!(
+                    "degrade min_coverage must be within [0, 1], got {min_coverage}"
+                )));
+            }
         }
         let path = match &config.codec {
             CodecSpec::Scheme => DecodePath::Summed(decoder_for(&config.placement)?),
@@ -446,13 +533,16 @@ impl StepEngine {
             && matches!(config.codec, CodecSpec::Scheme)
             && config.placement.scheme() != isgc_core::Scheme::Custom;
         let repair = RepairState::new(&config.placement);
+        let approx = ApproxDecoder::new(&config.placement)?;
         let n = config.placement.n();
         Ok(Self {
             config,
             path,
+            approx,
             repair,
             dead_steps: vec![0; n],
             start_step: 0,
+            consecutive_degraded: 0,
             bounds_checked,
         })
     }
@@ -501,6 +591,20 @@ impl StepEngine {
         }
         self.start_step = step;
         Ok(())
+    }
+
+    /// Consecutive degraded (approx/skipped) steps ending at the most
+    /// recent step — the ladder's escalation counter. Checkpoint this
+    /// alongside the step and parameters: a resumed run must replay the
+    /// same escalation decisions bit-for-bit.
+    pub fn consecutive_degraded(&self) -> u64 {
+        self.consecutive_degraded
+    }
+
+    /// Restores the ladder's escalation counter on resume (pair with
+    /// [`StepEngine::resume_from`]).
+    pub fn resume_ladder(&mut self, consecutive_degraded: u64) {
+        self.consecutive_degraded = consecutive_degraded;
     }
 
     /// Deterministic initial parameters: a dedicated seed-derived stream,
@@ -586,8 +690,9 @@ impl StepEngine {
     ///
     /// # Errors
     ///
-    /// Collector failures ([`EngineError::Backend`]), zero-recovery steps
-    /// under `fail_on_zero_recovery`, and Theorem 10–11 bound violations.
+    /// Collector failures ([`EngineError::Backend`]), degradation-ladder
+    /// exhaustion ([`EngineError::Degraded`] under [`DegradePolicy::Fail`]
+    /// or a spent `max_consecutive`), and Theorem 10–11 bound violations.
     /// After an error the session is left done; [`StepEngine::finish`] still
     /// yields the partial report.
     pub fn step<M: Model>(
@@ -659,6 +764,7 @@ impl StepEngine {
             last_loss: session.last_loss,
         })?;
         let decode_started = std::time::Instant::now();
+        let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
         let decoded = match &collected.sharded {
             // Sub-masters already decoded their conflict-graph slices; the
             // root only takes the union. Sort so reports and fingerprints
@@ -673,10 +779,7 @@ impl StepEngine {
                     failed: false,
                 }
             }
-            None => {
-                let available = WorkerSet::from_indices(n, collected.arrivals.iter().copied());
-                self.decode(&available, step)
-            }
+            None => self.decode(&available, step),
         };
         let decode_ms = decode_started.elapsed().as_secs_f64() * 1e3;
 
@@ -699,17 +802,64 @@ impl StepEngine {
         }
 
         let alive_now = collector.alive();
-        if decoded.recovered == 0 && self.config.fail_on_zero_recovery {
-            // No gradient at all, yet workers are nominally alive: the
-            // run is spinning without progress. Surface it as a typed
-            // error instead of silently looping.
-            let alive_count = alive_now.iter().filter(|&&a| a).count();
-            return Err(EngineError::Degraded {
-                step,
-                recovered: 0,
-                bound: bounds::recovery_bounds_of(&self.config.placement, alive_count.min(n)).0,
-            });
-        }
+        // The degradation ladder: a pure function of the decode result, the
+        // policy, and the escalation counter — nothing timing-dependent —
+        // so a resumed run replays the same decisions bit-for-bit.
+        let coverage = decoded.recovered as f64 / n as f64;
+        let degraded = match &self.config.degrade {
+            DegradePolicy::Fail | DegradePolicy::Skip => decoded.recovered == 0,
+            DegradePolicy::Approximate { min_coverage, .. } => {
+                decoded.recovered == 0 || coverage < *min_coverage
+            }
+        };
+        let (outcome, bias_weight) = if !degraded {
+            self.consecutive_degraded = 0;
+            (StepOutcome::Exact, 1.0)
+        } else {
+            let floor = {
+                let alive_count = alive_now.iter().filter(|&&a| a).count();
+                bounds::recovery_bounds_of(&self.config.placement, alive_count.min(n)).0
+            };
+            match &self.config.degrade {
+                DegradePolicy::Fail => {
+                    // No gradient at all, yet workers are nominally alive:
+                    // the run is spinning without progress. Surface it as a
+                    // typed error instead of silently looping.
+                    return Err(EngineError::Degraded {
+                        step,
+                        recovered: decoded.recovered,
+                        bound: floor,
+                    });
+                }
+                DegradePolicy::Skip => {
+                    self.consecutive_degraded += 1;
+                    (StepOutcome::Skipped, 0.0)
+                }
+                DegradePolicy::Approximate {
+                    max_consecutive, ..
+                } => {
+                    self.consecutive_degraded += 1;
+                    if self.consecutive_degraded > *max_consecutive {
+                        return Err(EngineError::Degraded {
+                            step,
+                            recovered: decoded.recovered,
+                            bound: floor,
+                        });
+                    }
+                    if decoded.recovered == 0 || decoded.failed {
+                        (StepOutcome::Skipped, 0.0)
+                    } else if matches!(self.path, DecodePath::Summed(_)) && !self.repair.repaired {
+                        let approx = self.approx.report_for(&available, &decoded.selected);
+                        (StepOutcome::Approx, approx.bias_weight)
+                    } else {
+                        // Repaired placements and classic codecs have no
+                        // placement-faithful ApproxReport; apply the same
+                        // scalar coverage correction directly.
+                        (StepOutcome::Approx, n as f64 / decoded.recovered as f64)
+                    }
+                }
+            }
+        };
 
         if !matches!(self.config.lr_schedule, LrSchedule::Constant) {
             session.opt.set_learning_rate(
@@ -718,7 +868,7 @@ impl StepEngine {
                     .rate_at(self.config.learning_rate, step as usize),
             );
         }
-        if decoded.recovered > 0 {
+        if decoded.recovered > 0 && outcome != StepOutcome::Skipped {
             // Aggregate through the canonical balanced pairwise reduction
             // (`merge`), so flat masters and 2-level trees add the same
             // numbers in the same order — the bitwise-equality contract.
@@ -748,12 +898,25 @@ impl StepEngine {
                     }
                 };
                 g.scale(1.0 / divisor as f64);
+                if outcome == StepOutcome::Approx {
+                    // Bias correction (approximate GC): inflate the partial
+                    // sum so its expectation matches the full-gradient sum.
+                    // Applied as a second scale so the exact path's float
+                    // operations are untouched (bitwise-parity contract).
+                    g.scale(bias_weight);
+                }
                 session.opt.step(&mut session.params, &g);
             }
         }
 
         let loss = model.loss_mean(&session.params, dataset, &session.all_indices);
-        collector.after_step(step + 1, &session.params)?;
+        collector.after_step(
+            step + 1,
+            &session.params,
+            LadderState {
+                consecutive_degraded: self.consecutive_degraded,
+            },
+        )?;
 
         let report = StepReport {
             step,
@@ -770,6 +933,10 @@ impl StepEngine {
             repairs,
             stale: collected.stale,
             failed_decode: decoded.failed,
+            outcome,
+            coverage,
+            bias_weight,
+            consecutive_degraded: self.consecutive_degraded,
             loss,
         };
         let control = observer.on_step(&report);
@@ -809,8 +976,9 @@ impl StepEngine {
     ///
     /// # Errors
     ///
-    /// Collector failures ([`EngineError::Backend`]), zero-recovery steps
-    /// under `fail_on_zero_recovery`, and Theorem 10–11 bound violations.
+    /// Collector failures ([`EngineError::Backend`]), degradation-ladder
+    /// exhaustion ([`EngineError::Degraded`] under [`DegradePolicy::Fail`]
+    /// or a spent `max_consecutive`), and Theorem 10–11 bound violations.
     pub fn run<M: Model>(
         &mut self,
         model: &M,
@@ -915,15 +1083,25 @@ mod tests {
         /// `down[step]` = workers that neither respond nor count as alive
         /// from that step on (empty slice = everyone healthy).
         down_from: Vec<(u64, Vec<usize>)>,
+        /// Workers that come back to life from that step on (models a
+        /// blackout window that ends: down via `down_from`, back here).
+        back_from: Vec<(u64, Vec<usize>)>,
         step_now: u64,
     }
 
     impl<M: Model> ScriptedCollector<'_, M> {
         fn down_now(&self) -> Vec<usize> {
+            let back: Vec<usize> = self
+                .back_from
+                .iter()
+                .filter(|(from, _)| self.step_now >= *from)
+                .flat_map(|(_, ws)| ws.iter().copied())
+                .collect();
             self.down_from
                 .iter()
                 .filter(|(from, _)| self.step_now >= *from)
                 .flat_map(|(_, ws)| ws.iter().copied())
+                .filter(|w| !back.contains(w))
                 .collect()
         }
     }
@@ -976,11 +1154,13 @@ mod tests {
         }
     }
 
-    fn run_scripted(
+    fn try_run_scripted(
         down_from: Vec<(u64, Vec<usize>)>,
+        back_from: Vec<(u64, Vec<usize>)>,
         repair_after_steps: Option<u64>,
+        degrade: DegradePolicy,
         observer: &mut dyn Observer,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, EngineError> {
         let placement = Placement::fractional(4, 2).unwrap();
         let dataset = Dataset::synthetic_regression(64, 3, 0.05, 9);
         let model = LinearRegression::new(3);
@@ -990,6 +1170,7 @@ mod tests {
         config.loss_threshold = -1.0; // never reached: fixed-length runs
         config.seed = 5;
         config.repair_after_steps = repair_after_steps;
+        config.degrade = degrade;
         let mut engine = StepEngine::new(config).unwrap();
         let mut collector = ScriptedCollector {
             model: &model,
@@ -1000,11 +1181,25 @@ mod tests {
             batch_size: 8,
             seed: 5,
             down_from,
+            back_from,
             step_now: 0,
         };
-        engine
-            .run(&model, &dataset, None, &mut collector, observer)
-            .unwrap()
+        engine.run(&model, &dataset, None, &mut collector, observer)
+    }
+
+    fn run_scripted(
+        down_from: Vec<(u64, Vec<usize>)>,
+        repair_after_steps: Option<u64>,
+        observer: &mut dyn Observer,
+    ) -> TrainReport {
+        try_run_scripted(
+            down_from,
+            Vec::new(),
+            repair_after_steps,
+            DegradePolicy::Skip,
+            observer,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1101,5 +1296,201 @@ mod tests {
         assert!(recovered, "diverged table must mark the placement repaired");
         assert_eq!(selected[3], Vec::<usize>::new());
         assert!(engine.resume_from(0, vec![vec![0]; 3]).is_err());
+    }
+
+    #[test]
+    fn degrade_config_validation() {
+        let placement = Placement::fractional(4, 2).unwrap();
+        let mut bad = EngineConfig::new(placement.clone());
+        bad.degrade = DegradePolicy::Approximate {
+            max_consecutive: 0,
+            min_coverage: 0.5,
+        };
+        assert!(matches!(
+            StepEngine::new(bad),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let mut bad = EngineConfig::new(placement);
+        bad.degrade = DegradePolicy::Approximate {
+            max_consecutive: 2,
+            min_coverage: 1.5,
+        };
+        assert!(matches!(
+            StepEngine::new(bad),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fail_policy_turns_blackout_into_typed_error() {
+        let err = try_run_scripted(
+            vec![(4, vec![0, 1, 2, 3])],
+            Vec::new(),
+            None,
+            DegradePolicy::Fail,
+            &mut NoopObserver,
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Degraded {
+                step, recovered, ..
+            } => {
+                assert_eq!(step, 4);
+                assert_eq!(recovered, 0);
+            }
+            other => panic!("expected Degraded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_freezes_the_iterate_through_a_blackout() {
+        let report = try_run_scripted(
+            vec![(4, vec![0, 1, 2, 3])],
+            vec![(7, vec![0, 1, 2, 3])],
+            None,
+            DegradePolicy::Skip,
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(report.step_count(), 12);
+        for s in &report.steps {
+            let expect_skip = (4..7).contains(&s.step);
+            assert_eq!(
+                s.outcome == StepOutcome::Skipped,
+                expect_skip,
+                "step {}",
+                s.step
+            );
+            if expect_skip {
+                assert_eq!(s.recovered, 0);
+                assert_eq!(s.bias_weight, 0.0);
+                assert_eq!(s.consecutive_degraded, s.step - 3);
+            }
+        }
+        // The iterate is frozen: loss is flat across the blackout.
+        assert_eq!(report.steps[4].loss, report.steps[3].loss);
+        assert_eq!(report.steps[6].loss, report.steps[3].loss);
+        // Recovery resets the escalation counter.
+        assert_eq!(report.steps[7].outcome, StepOutcome::Exact);
+        assert_eq!(report.steps[7].consecutive_degraded, 0);
+        assert!(report.steps[7].loss < report.steps[6].loss);
+    }
+
+    #[test]
+    fn approximate_policy_applies_bias_corrected_partial_updates() {
+        // FR(4,2): dropping workers 0 and 1 (the {0,1}-partition group)
+        // halves coverage; min_coverage ¾ sends those steps down the
+        // approximate rung with bias weight 4/2 = 2.
+        let policy = DegradePolicy::Approximate {
+            max_consecutive: 5,
+            min_coverage: 0.75,
+        };
+        let report = try_run_scripted(
+            vec![(3, vec![0, 1])],
+            vec![(6, vec![0, 1])],
+            None,
+            policy.clone(),
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(report.step_count(), 12);
+        for s in &report.steps {
+            let expect_approx = (3..6).contains(&s.step);
+            assert_eq!(
+                s.outcome == StepOutcome::Approx,
+                expect_approx,
+                "step {}",
+                s.step
+            );
+            if expect_approx {
+                assert_eq!(s.recovered, 2);
+                assert_eq!(s.coverage, 0.5);
+                assert_eq!(s.bias_weight, 2.0);
+                assert_eq!(s.consecutive_degraded, s.step - 2);
+            }
+        }
+        // Approximate steps still make progress (unlike Skip).
+        assert!(report.steps[5].loss < report.steps[2].loss);
+        assert_eq!(report.steps[6].outcome, StepOutcome::Exact);
+        assert_eq!(report.steps[6].consecutive_degraded, 0);
+        // Deterministic end to end, ladder included.
+        let again = try_run_scripted(
+            vec![(3, vec![0, 1])],
+            vec![(6, vec![0, 1])],
+            None,
+            policy,
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(report, again);
+        assert_eq!(report.recovery_fingerprint(), again.recovery_fingerprint());
+    }
+
+    #[test]
+    fn approximate_policy_escalates_after_max_consecutive() {
+        let err = try_run_scripted(
+            vec![(3, vec![0, 1])],
+            Vec::new(),
+            None,
+            DegradePolicy::Approximate {
+                max_consecutive: 2,
+                min_coverage: 0.75,
+            },
+            &mut NoopObserver,
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Degraded {
+                step, recovered, ..
+            } => {
+                // Steps 3 and 4 are tolerated; the third degraded step in a
+                // row (step 5) exceeds max_consecutive = 2.
+                assert_eq!(step, 5);
+                assert_eq!(recovered, 2);
+            }
+            other => panic!("expected Degraded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn approximate_matches_fail_bitwise_when_coverage_holds() {
+        // No worker ever drops below the floor: the ladder must never
+        // engage, and the run must be bitwise identical to Fail.
+        let fail = try_run_scripted(
+            vec![(5, vec![0])],
+            Vec::new(),
+            None,
+            DegradePolicy::Fail,
+            &mut NoopObserver,
+        )
+        .unwrap();
+        let approx = try_run_scripted(
+            vec![(5, vec![0])],
+            Vec::new(),
+            None,
+            DegradePolicy::Approximate {
+                max_consecutive: 3,
+                min_coverage: 0.5,
+            },
+            &mut NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(fail, approx);
+        assert_eq!(fail.final_params.as_slice(), approx.final_params.as_slice());
+        assert!(approx.steps.iter().all(|s| s.outcome == StepOutcome::Exact));
+    }
+
+    #[test]
+    fn ladder_counter_resumes_for_bitwise_replay() {
+        let placement = Placement::fractional(4, 2).unwrap();
+        let mut config = EngineConfig::new(placement);
+        config.degrade = DegradePolicy::Approximate {
+            max_consecutive: 3,
+            min_coverage: 0.75,
+        };
+        let mut engine = StepEngine::new(config).unwrap();
+        assert_eq!(engine.consecutive_degraded(), 0);
+        engine.resume_ladder(2);
+        assert_eq!(engine.consecutive_degraded(), 2);
     }
 }

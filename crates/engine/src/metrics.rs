@@ -48,6 +48,19 @@ pub mod names {
     pub const STEP_BOUND_MARGIN: &str = "engine.step.bound.margin";
     /// Histogram over `0..=n`: workers considered dead per step.
     pub const STEP_DEAD: &str = "engine.step.dead";
+    /// Counter: steps that applied the bias-corrected approximate update
+    /// (degradation ladder, `StepOutcome::Approx`).
+    pub const STEPS_APPROX_TOTAL: &str = "engine.steps.approx";
+    /// Counter: steps that reused the previous iterate
+    /// (degradation ladder, `StepOutcome::Skipped`).
+    pub const STEPS_SKIPPED_TOTAL: &str = "engine.steps.skipped";
+    /// Gauge: coverage fraction `recovered / n` of the most recent step.
+    pub const COVERAGE: &str = "engine.coverage";
+    /// Gauge: bias-correction scalar of the most recent step (`1` exact,
+    /// `n / recovered` approximate, `0` skipped).
+    pub const BIAS_WEIGHT: &str = "engine.bias_weight";
+    /// Gauge: consecutive degraded steps ending at the most recent step.
+    pub const DEGRADED_CONSECUTIVE: &str = "engine.degraded.consecutive";
     /// Gauge: loss after the most recent step.
     pub const LOSS_LAST: &str = "engine.loss.last";
     /// Gauge: most recent step number.
@@ -107,6 +120,19 @@ pub fn record_step_scoped(
     if report.failed_decode {
         registry.inc(names::DECODE_FAILED_TOTAL, labels, l);
     }
+    match report.outcome {
+        crate::StepOutcome::Exact => {}
+        crate::StepOutcome::Approx => registry.inc(names::STEPS_APPROX_TOTAL, labels, l),
+        crate::StepOutcome::Skipped => registry.inc(names::STEPS_SKIPPED_TOTAL, labels, l),
+    }
+    registry.set_gauge(names::COVERAGE, labels, l, report.coverage);
+    registry.set_gauge(names::BIAS_WEIGHT, labels, l, report.bias_weight);
+    registry.set_gauge(
+        names::DEGRADED_CONSECUTIVE,
+        labels,
+        l,
+        report.consecutive_degraded as f64,
+    );
 
     let by_count = buckets::upto(n);
     registry.observe(
@@ -165,6 +191,8 @@ pub fn record_step_scoped(
         SpanField::logical("recovered", report.recovered as f64),
         SpanField::logical("selected", report.selected.len() as f64),
         SpanField::logical("step", report.step as f64),
+        SpanField::logical("outcome", report.outcome.tag() as f64),
+        SpanField::logical("coverage", report.coverage),
         SpanField::timing("wait_ms", report.waited_ms),
     ];
     if let Some((lo, hi)) = report.bounds {
@@ -280,8 +308,49 @@ mod tests {
             }],
             stale: 2,
             failed_decode: false,
+            outcome: crate::StepOutcome::Exact,
+            coverage: recovered as f64 / 4.0,
+            bias_weight: 1.0,
+            consecutive_degraded: 0,
             loss: 0.5,
         }
+    }
+
+    #[test]
+    fn degraded_outcomes_land_in_the_ladder_series() {
+        let registry = Registry::new();
+        let mut approx = report(0, vec![0], 2);
+        approx.outcome = crate::StepOutcome::Approx;
+        approx.coverage = 0.5;
+        approx.bias_weight = 2.0;
+        approx.consecutive_degraded = 1;
+        record_step(&registry, 4, &approx);
+        let mut skipped = report(1, vec![], 0);
+        skipped.outcome = crate::StepOutcome::Skipped;
+        skipped.coverage = 0.0;
+        skipped.bias_weight = 0.0;
+        skipped.consecutive_degraded = 2;
+        record_step(&registry, 4, &skipped);
+        assert_eq!(registry.counter(names::STEPS_APPROX_TOTAL, &[]), Some(1));
+        assert_eq!(registry.counter(names::STEPS_SKIPPED_TOTAL, &[]), Some(1));
+        assert_eq!(registry.gauge(names::COVERAGE, &[]), Some(0.0));
+        assert_eq!(registry.gauge(names::BIAS_WEIGHT, &[]), Some(0.0));
+        assert_eq!(registry.gauge(names::DEGRADED_CONSECUTIVE, &[]), Some(2.0));
+        let spans = registry.spans();
+        assert_eq!(spans[0].field("outcome"), Some(1.0));
+        assert_eq!(spans[0].field("coverage"), Some(0.5));
+        assert_eq!(spans[1].field("outcome"), Some(2.0));
+    }
+
+    #[test]
+    fn exact_steps_do_not_touch_the_degraded_counters() {
+        let registry = Registry::new();
+        record_step(&registry, 4, &report(0, vec![0, 2, 1], 4));
+        assert_eq!(registry.counter(names::STEPS_APPROX_TOTAL, &[]), None);
+        assert_eq!(registry.counter(names::STEPS_SKIPPED_TOTAL, &[]), None);
+        assert_eq!(registry.gauge(names::COVERAGE, &[]), Some(1.0));
+        assert_eq!(registry.gauge(names::BIAS_WEIGHT, &[]), Some(1.0));
+        assert_eq!(registry.gauge(names::DEGRADED_CONSECUTIVE, &[]), Some(0.0));
     }
 
     #[test]

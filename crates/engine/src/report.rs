@@ -14,6 +14,46 @@ pub struct RepairEvent {
     pub to: usize,
 }
 
+/// How a step's gradient update was produced under the degradation ladder
+/// (see [`crate::DegradePolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepOutcome {
+    /// Normal operation: the exact decode met the coverage floor and the
+    /// update used the recovered gradient as-is.
+    #[default]
+    Exact,
+    /// Degraded: the bias-corrected partial estimate was applied
+    /// ([`crate::DegradePolicy::Approximate`]).
+    Approx,
+    /// Degraded: no usable gradient; the previous iterate was reused.
+    Skipped,
+}
+
+impl StepOutcome {
+    /// Stable lowercase label for logs, fingerprints, and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepOutcome::Exact => "exact",
+            StepOutcome::Approx => "approx",
+            StepOutcome::Skipped => "skipped",
+        }
+    }
+
+    /// Whether the ladder engaged (anything but the exact path).
+    pub fn is_degraded(self) -> bool {
+        !matches!(self, StepOutcome::Exact)
+    }
+
+    /// Stable numeric tag (0/1/2) for fingerprints and span fields.
+    pub fn tag(self) -> u64 {
+        match self {
+            StepOutcome::Exact => 0,
+            StepOutcome::Approx => 1,
+            StepOutcome::Skipped => 2,
+        }
+    }
+}
+
 /// What the engine observed during one training step, identical in shape
 /// across the threaded runtime, the simulator, and the TCP master.
 ///
@@ -59,6 +99,20 @@ pub struct StepReport {
     /// Whether the decode failed outright (classic GC below its worker
     /// minimum); a failed step applies no update.
     pub failed_decode: bool,
+    /// How the update was produced under the degradation ladder.
+    pub outcome: StepOutcome,
+    /// Fraction of partitions covered by this step's decode,
+    /// `recovered / n` in `[0, 1]`.
+    pub coverage: f64,
+    /// The bias-correction scalar applied to the aggregated gradient:
+    /// `1.0` on the exact path, `n / recovered` for an approximate step,
+    /// `0.0` for a skipped step (no update).
+    pub bias_weight: f64,
+    /// Consecutive degraded (approx or skipped) steps ending at this one;
+    /// `0` for an exact step. [`crate::DegradePolicy::Approximate`]
+    /// escalates to [`crate::EngineError::Degraded`] when this would
+    /// exceed `max_consecutive`.
+    pub consecutive_degraded: u64,
     /// Full-dataset training loss after the update.
     pub loss: f64,
 }
@@ -78,6 +132,10 @@ impl PartialEq for StepReport {
             && self.repairs == other.repairs
             && self.stale == other.stale
             && self.failed_decode == other.failed_decode
+            && self.outcome == other.outcome
+            && self.coverage == other.coverage
+            && self.bias_weight == other.bias_weight
+            && self.consecutive_degraded == other.consecutive_degraded
             && self.loss == other.loss
     }
 }
@@ -222,8 +280,45 @@ impl TrainReport {
             mix(selected.len() as u64);
             selected.iter().for_each(|&w| mix(w as u64));
             mix(s.recovered as u64);
+            // The ladder decisions: a resumed run must replay outcome and
+            // escalation state byte-for-byte, not just the recovery sets.
+            mix(s.outcome.tag());
+            mix(s.consecutive_degraded);
         }
         hash
+    }
+
+    /// Steps the ladder completed approximately.
+    pub fn approx_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.outcome == StepOutcome::Approx)
+            .count()
+    }
+
+    /// Steps the ladder skipped (previous iterate reused).
+    pub fn skipped_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.outcome == StepOutcome::Skipped)
+            .count()
+    }
+
+    /// Steps that took any degraded path (approx or skipped).
+    pub fn degraded_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.outcome.is_degraded())
+            .count()
+    }
+
+    /// The longest run of consecutive degraded steps.
+    pub fn max_consecutive_degraded(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.consecutive_degraded)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -233,7 +328,7 @@ impl std::fmt::Display for TrainReport {
         write!(
             f,
             "{} steps in {:.2}s sim-time ({:.3}s/step), final loss {:.4}, \
-             {:.1}% gradients recovered on average, {}{}",
+             {:.1}% gradients recovered on average, {}{}{}",
             self.step_count(),
             self.sim_time(),
             self.mean_step_duration(),
@@ -246,6 +341,16 @@ impl std::fmt::Display for TrainReport {
             },
             if self.failed_decodes() > 0 {
                 format!(" ({} failed decodes)", self.failed_decodes())
+            } else {
+                String::new()
+            },
+            if self.degraded_steps() > 0 {
+                format!(
+                    " [degraded: {} approx, {} skipped, worst streak {}]",
+                    self.approx_steps(),
+                    self.skipped_steps(),
+                    self.max_consecutive_degraded()
+                )
             } else {
                 String::new()
             }
@@ -281,6 +386,10 @@ mod tests {
             repairs: vec![],
             stale: 0,
             failed_decode: false,
+            outcome: StepOutcome::Exact,
+            coverage: recovered as f64 / 4.0,
+            bias_weight: 1.0,
+            consecutive_degraded: 0,
             loss,
         }
     }
@@ -353,6 +462,60 @@ mod tests {
         let mut changed = base.clone();
         changed.steps[0].recovered = 2;
         assert_ne!(base.recovery_fingerprint(), changed.recovery_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_pins_ladder_decisions() {
+        let base = TrainReport {
+            n: 4,
+            steps: vec![step(0, 2, 10.0, 0.8)],
+            reached_threshold: false,
+            interrupted: false,
+            wall_time: 0.0,
+            final_params: Vector::zeros(1),
+        };
+        let mut approx = base.clone();
+        approx.steps[0].outcome = StepOutcome::Approx;
+        approx.steps[0].consecutive_degraded = 1;
+        assert_ne!(base.recovery_fingerprint(), approx.recovery_fingerprint());
+        let mut skipped = approx.clone();
+        skipped.steps[0].outcome = StepOutcome::Skipped;
+        assert_ne!(
+            approx.recovery_fingerprint(),
+            skipped.recovery_fingerprint()
+        );
+    }
+
+    #[test]
+    fn degradation_aggregates_and_display() {
+        let mut approx = step(0, 2, 10.0, 0.9);
+        approx.outcome = StepOutcome::Approx;
+        approx.coverage = 0.5;
+        approx.bias_weight = 2.0;
+        approx.consecutive_degraded = 1;
+        let mut skipped = step(1, 0, 10.0, 0.9);
+        skipped.outcome = StepOutcome::Skipped;
+        skipped.coverage = 0.0;
+        skipped.bias_weight = 0.0;
+        skipped.consecutive_degraded = 2;
+        let r = TrainReport {
+            n: 4,
+            steps: vec![approx, skipped, step(2, 4, 10.0, 0.5)],
+            reached_threshold: false,
+            interrupted: false,
+            wall_time: 0.0,
+            final_params: Vector::zeros(1),
+        };
+        assert_eq!(r.approx_steps(), 1);
+        assert_eq!(r.skipped_steps(), 1);
+        assert_eq!(r.degraded_steps(), 2);
+        assert_eq!(r.max_consecutive_degraded(), 2);
+        let text = r.to_string();
+        assert!(text.contains("[degraded: 1 approx, 1 skipped, worst streak 2]"));
+        // Outcome is step semantics: it participates in equality.
+        let mut other = r.steps[0].clone();
+        other.outcome = StepOutcome::Exact;
+        assert_ne!(r.steps[0], other);
     }
 
     #[test]

@@ -23,7 +23,12 @@ use crate::NetError;
 pub const CKPT_MAGIC: [u8; 8] = *b"ISGCCKPT";
 
 /// Checkpoint format version; bumped on any incompatible change.
-pub const CKPT_VERSION: u8 = 1;
+///
+/// v2 appends the degradation-ladder counter (consecutive degraded steps)
+/// after the step index. v1 files are still accepted and decode with a
+/// counter of zero, which matches what every v1 run actually had: the
+/// ladder did not exist yet, so no run could have been mid-streak.
+pub const CKPT_VERSION: u8 = 2;
 
 /// When and where the master persists its state.
 #[derive(Debug, Clone)]
@@ -75,6 +80,10 @@ pub struct MasterCheckpoint {
     pub c: u64,
     /// The next step to execute.
     pub step: u64,
+    /// Consecutive degraded (approx/skipped) steps entering that step, so a
+    /// resumed run replays [`isgc_engine::DegradePolicy`] escalation
+    /// decisions bit-for-bit instead of resetting the streak.
+    pub consecutive_degraded: u64,
     /// Model parameters entering that step.
     pub params: Vec<f64>,
     /// Current per-worker partition lists (differs from the configured
@@ -89,7 +98,13 @@ impl MasterCheckpoint {
         let mut buf = Vec::new();
         buf.extend_from_slice(&CKPT_MAGIC);
         buf.push(CKPT_VERSION);
-        for x in [self.seed, self.n, self.c, self.step] {
+        for x in [
+            self.seed,
+            self.n,
+            self.c,
+            self.step,
+            self.consecutive_degraded,
+        ] {
             buf.extend_from_slice(&x.to_le_bytes());
         }
         buf.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
@@ -121,7 +136,7 @@ impl MasterCheckpoint {
             )));
         }
         let version = r.take(1)?[0];
-        if version != CKPT_VERSION {
+        if version != 1 && version != CKPT_VERSION {
             return Err(NetError::Protocol(format!(
                 "unsupported checkpoint version {version}"
             )));
@@ -130,6 +145,7 @@ impl MasterCheckpoint {
         let n = r.u64()?;
         let c = r.u64()?;
         let step = r.u64()?;
+        let consecutive_degraded = if version >= 2 { r.u64()? } else { 0 };
         let plen = r.u32()? as usize;
         if r.remaining() < plen.saturating_mul(8) {
             return Err(NetError::Protocol("truncated checkpoint params".into()));
@@ -158,6 +174,7 @@ impl MasterCheckpoint {
             n,
             c,
             step,
+            consecutive_degraded,
             params,
             assignments,
         })
@@ -262,6 +279,7 @@ mod tests {
             n: 4,
             c: 2,
             step: 7,
+            consecutive_degraded: 3,
             params: vec![1.5, -2.25, f64::MIN_POSITIVE],
             assignments: vec![vec![0, 1], vec![1, 2], vec![2, 3, 0], vec![]],
         }
@@ -299,6 +317,31 @@ mod tests {
                 "prefix of {cut} bytes decoded"
             );
         }
+    }
+
+    #[test]
+    fn decodes_v1_files_with_a_zero_ladder_counter() {
+        // A v1 checkpoint is the v2 layout minus the ladder counter, with
+        // the old version byte. Build one by hand and check it still loads.
+        let ck = sample();
+        let v2 = ck.encode();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&v2[..8]);
+        v1.push(1);
+        v1.extend_from_slice(&v2[9..9 + 32]); // seed, n, c, step
+        v1.extend_from_slice(&v2[9 + 40..]); // skip consecutive_degraded
+        let decoded = MasterCheckpoint::decode(&v1).expect("v1 decode");
+        assert_eq!(decoded.consecutive_degraded, 0);
+        assert_eq!(
+            decoded,
+            MasterCheckpoint {
+                consecutive_degraded: 0,
+                ..ck
+            }
+        );
+        // Trailing bytes are still rejected for v1 framing too.
+        v1.push(0);
+        assert!(MasterCheckpoint::decode(&v1).is_err());
     }
 
     #[test]

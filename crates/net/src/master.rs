@@ -26,8 +26,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use isgc_core::Placement;
 use isgc_engine::{
-    Collected, Collector, EngineConfig, EngineError, FnObserver, RepairEvent, StepContext,
-    StepEngine, StepReport,
+    Collected, Collector, DegradePolicy, EngineConfig, EngineError, FnObserver, LadderState,
+    RepairEvent, StepContext, StepEngine, StepReport,
 };
 use isgc_linalg::Vector;
 use isgc_ml::dataset::Dataset;
@@ -85,6 +85,12 @@ pub struct NetConfig {
     /// (via [`isgc_engine::MetricsObserver`]) plus transport byte/frame
     /// counters (see [`crate::metrics`]) into this registry.
     pub metrics: Option<isgc_obs::Registry>,
+    /// What the engine does with steps below the coverage floor (the
+    /// graceful degradation ladder). The TCP default is
+    /// [`DegradePolicy::Fail`] — a zero-recovery step surfaces as
+    /// [`NetError::Degraded`] — but supervised deployments can opt into
+    /// bounded approximation instead.
+    pub degrade: DegradePolicy,
     /// Tenant id stamped on every outbound frame and required on every
     /// inbound one — frames tagged with a foreign job are dropped before
     /// they reach the step loop. Job 0 is the single-tenant default.
@@ -113,6 +119,7 @@ impl NetConfig {
             repair_after_steps: None,
             rejoin_grace: Duration::ZERO,
             metrics: None,
+            degrade: DegradePolicy::Fail,
             job: 0,
             job_name: None,
         }
@@ -140,6 +147,22 @@ impl NetConfig {
                 "repair_after_steps must be at least 1".into(),
             ));
         }
+        if let DegradePolicy::Approximate {
+            max_consecutive,
+            min_coverage,
+        } = &self.degrade
+        {
+            if *max_consecutive == 0 {
+                return Err(NetError::InvalidConfig(
+                    "degrade max_consecutive must be at least 1".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(min_coverage) {
+                return Err(NetError::InvalidConfig(format!(
+                    "degrade min_coverage must be within [0, 1], got {min_coverage}"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -152,9 +175,10 @@ impl NetConfig {
         config.max_steps = self.max_steps as u64;
         config.seed = self.seed;
         config.repair_after_steps = self.repair_after_steps;
-        // A zero-recovery step over TCP means the run is spinning while
-        // workers burn cycles: fail fast with NetError::Degraded.
-        config.fail_on_zero_recovery = true;
+        // Default Fail: a zero-recovery step over TCP means the run is
+        // spinning while workers burn cycles, so surface NetError::Degraded
+        // unless the operator opted into the degradation ladder.
+        config.degrade = self.degrade.clone();
         config
     }
 }
@@ -382,10 +406,11 @@ impl Master {
             // resumed master overwrites it from the checkpoint and a fresh
             // one matches any backend given the same seed.
             let mut params = engine.initial_params(model);
-            let start_step = loop_state.try_resume(&mut params)?;
+            let (start_step, ladder) = loop_state.try_resume(&mut params)?;
             engine
                 .resume_from(start_step, loop_state.assignments.clone())
                 .map_err(engine_to_net)?;
+            engine.resume_ladder(ladder);
             loop_state.await_registration()?;
             let mut step_observer = FnObserver(|report: &StepReport| observer(report));
             match config.metrics.clone() {
@@ -540,10 +565,11 @@ fn build_session_state<M: Model>(
             };
             let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
             let mut params = engine.initial_params(model);
-            let start_step = loop_state.try_resume(&mut params)?;
+            let (start_step, ladder) = loop_state.try_resume(&mut params)?;
             engine
                 .resume_from(start_step, loop_state.assignments.clone())
                 .map_err(engine_to_net)?;
+            engine.resume_ladder(ladder);
             loop_state.await_registration()?;
             let session = engine.begin(model, dataset, Some(params));
             Ok((SessionCollector::Flat(loop_state), engine, session))
@@ -798,8 +824,14 @@ impl Collector for MasterLoop {
         })
     }
 
-    fn after_step(&mut self, completed: u64, params: &Vector) -> Result<(), EngineError> {
-        self.maybe_checkpoint(completed, params).map_err(backend)
+    fn after_step(
+        &mut self,
+        completed: u64,
+        params: &Vector,
+        ladder: LadderState,
+    ) -> Result<(), EngineError> {
+        self.maybe_checkpoint(completed, params, ladder)
+            .map_err(backend)
     }
 }
 
@@ -1069,16 +1101,18 @@ impl MasterLoop {
     }
 
     /// Restores checkpointed state if a checkpoint exists; returns the step
-    /// to resume at and the parameters to resume with. The restored
-    /// assignment table is handed to the engine via
-    /// [`StepEngine::resume_from`], which re-enters the repaired decode path
-    /// when the table diverged from the placement.
-    fn try_resume(&mut self, params: &mut Vector) -> Result<u64, NetError> {
+    /// to resume at and the degradation-ladder counter entering it, and
+    /// overwrites the parameters to resume with. The restored assignment
+    /// table is handed to the engine via [`StepEngine::resume_from`], which
+    /// re-enters the repaired decode path when the table diverged from the
+    /// placement; the ladder counter goes to [`StepEngine::resume_ladder`]
+    /// so escalation decisions replay bit-for-bit.
+    fn try_resume(&mut self, params: &mut Vector) -> Result<(u64, u64), NetError> {
         let Some(ck_config) = self.config.checkpoint.clone() else {
-            return Ok(0);
+            return Ok((0, 0));
         };
         let Some(ck) = MasterCheckpoint::load(&ck_config.path)? else {
-            return Ok(0);
+            return Ok((0, 0));
         };
         let (n, c) = (self.config.placement.n(), self.config.placement.c());
         ck.verify_fingerprint(self.config.seed, n, c)?;
@@ -1088,11 +1122,16 @@ impl MasterLoop {
             .iter()
             .map(|list| list.iter().map(|&j| j as usize).collect())
             .collect();
-        Ok(ck.step)
+        Ok((ck.step, ck.consecutive_degraded))
     }
 
     /// Persists a checkpoint for `next_step` if the cadence says so.
-    fn maybe_checkpoint(&self, next_step: u64, params: &Vector) -> Result<(), NetError> {
+    fn maybe_checkpoint(
+        &self,
+        next_step: u64,
+        params: &Vector,
+        ladder: LadderState,
+    ) -> Result<(), NetError> {
         let Some(ck_config) = &self.config.checkpoint else {
             return Ok(());
         };
@@ -1104,6 +1143,7 @@ impl MasterLoop {
             n: self.config.placement.n() as u64,
             c: self.config.placement.c() as u64,
             step: next_step,
+            consecutive_degraded: ladder.consecutive_degraded,
             params: params.as_slice().to_vec(),
             assignments: self
                 .assignments

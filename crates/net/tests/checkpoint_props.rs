@@ -20,17 +20,21 @@ fn checkpoint_strategy() -> impl Strategy<Value = MasterCheckpoint> {
         0u64..u64::MAX,
         0u64..10_000,
         1u64..16,
+        0u64..64,
         proptest::collection::vec(-1e12f64..1e12, 0..48),
         proptest::collection::vec(proptest::collection::vec(0u64..512, 0..8), 1..10),
     )
-        .prop_map(|(seed, step, c, params, assignments)| MasterCheckpoint {
-            seed,
-            n: assignments.len() as u64,
-            c,
-            step,
-            params,
-            assignments,
-        })
+        .prop_map(
+            |(seed, step, c, consecutive_degraded, params, assignments)| MasterCheckpoint {
+                seed,
+                n: assignments.len() as u64,
+                c,
+                step,
+                consecutive_degraded,
+                params,
+                assignments,
+            },
+        )
 }
 
 /// A unique scratch path per proptest case (cases run in one process; tests
@@ -71,6 +75,7 @@ proptest! {
             n: 2,
             c: 1,
             step: 3,
+            consecutive_degraded: 1,
             params: bits.iter().map(|&b| f64::from_bits(b)).collect(),
             assignments: vec![vec![0], vec![1]],
         };
@@ -177,5 +182,58 @@ fn crash_resume_is_metric_and_fingerprint_transparent() {
     assert_eq!(
         crashed_registry.counter(isgc_chaos::metrics::MASTER_RESTARTS_TOTAL, &[]),
         Some(1)
+    );
+}
+
+/// The same transparency holds *mid-degradation*: a master that crashes in
+/// the middle of a blackout — with a nonzero ladder streak in its last
+/// checkpoint — must resume the streak bit-for-bit. Fingerprints (which mix
+/// each step's outcome tag and streak counter) and the engine's logical
+/// metric series (which include the approx/skip ladder counters) must match
+/// the uncrashed blackout run exactly.
+#[test]
+fn crash_resume_mid_degraded_run_is_transparent() {
+    let mut config = ChaosConfig::new(23);
+    config.n = 6;
+    config.c = 2;
+    config.steps = 8;
+    let plan = FaultPlan::named("blackout", 23, config.n, config.steps as u64).expect("known plan");
+    config.degrade = plan.recommended_policy(config.n, config.steps as u64);
+
+    let quiet_registry = Registry::new();
+    let mut quiet_cfg = config.clone();
+    quiet_cfg.metrics = Some(quiet_registry.clone());
+    let quiet = run_chaos(&plan, &quiet_cfg).expect("uncrashed blackout");
+    assert!(quiet.passed(), "violations: {:?}", quiet.violations);
+    assert!(
+        quiet.degraded_steps() > 0,
+        "blackout must degrade some steps"
+    );
+    assert_eq!(quiet.master_restarts, 0);
+
+    // Crash during the second dark step: the step-4 checkpoint already
+    // carries streak 1, so the resumed master starts mid-streak.
+    let mut crashed_plan = plan.clone();
+    crashed_plan.master_crashes = vec![5];
+    let crashed_registry = Registry::new();
+    let mut crashed_cfg = config.clone();
+    crashed_cfg.metrics = Some(crashed_registry.clone());
+    let crashed = run_chaos(&crashed_plan, &crashed_cfg).expect("crashed blackout");
+    assert!(crashed.passed(), "violations: {:?}", crashed.violations);
+    assert_eq!(crashed.master_restarts, 1);
+
+    assert_eq!(
+        crashed.fingerprint, quiet.fingerprint,
+        "crash mid-blackout changed the run fingerprint"
+    );
+    assert_eq!(
+        train_report(config.n, &crashed).recovery_fingerprint(),
+        train_report(config.n, &quiet).recovery_fingerprint(),
+        "crash mid-blackout changed the recovery fingerprint"
+    );
+    assert_eq!(
+        engine_series(&crashed_registry),
+        engine_series(&quiet_registry),
+        "crash mid-blackout changed the engine's logical metric series"
     );
 }

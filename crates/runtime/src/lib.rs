@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use isgc_core::Placement;
+pub use isgc_engine::DegradePolicy;
 use isgc_engine::{
     CodecSpec, Collected, Collector, EngineConfig, NoopObserver, Observer, StepContext, StepEngine,
 };
@@ -77,6 +78,9 @@ pub struct ThreadedConfig {
     pub max_steps: usize,
     /// Seed for parameter init, batches, and decoding tie-breaks.
     pub seed: u64,
+    /// What to do when a step decodes below the recoverable floor; the
+    /// runtime's historical behavior is [`DegradePolicy::Skip`].
+    pub degrade: DegradePolicy,
     /// Injected per-worker, per-step straggler delay.
     pub delay: DelayFn,
 }
@@ -105,6 +109,7 @@ impl std::fmt::Debug for ThreadedConfig {
             .field("loss_threshold", &self.loss_threshold)
             .field("max_steps", &self.max_steps)
             .field("seed", &self.seed)
+            .field("degrade", &self.degrade)
             .field("delay", &"<fn>")
             .finish()
     }
@@ -256,6 +261,7 @@ where
     engine_config.loss_threshold = config.loss_threshold;
     engine_config.max_steps = config.max_steps as u64;
     engine_config.seed = config.seed;
+    engine_config.degrade = config.degrade.clone();
     let mut engine = StepEngine::new(engine_config)
         .unwrap_or_else(|e| panic!("invalid threaded training config: {e}"));
 
@@ -309,6 +315,7 @@ where
 ///     loss_threshold: 0.05,
 ///     max_steps: 200,
 ///     seed: 7,
+///     degrade: isgc_runtime::DegradePolicy::Skip,
 ///     delay: Arc::new(|_, _| Duration::ZERO),
 /// };
 /// let report = train_threaded(LinearRegression::new(3), dataset, &placement, &config);
@@ -422,6 +429,7 @@ mod tests {
             loss_threshold: 0.02,
             max_steps: 400,
             seed: 3,
+            degrade: DegradePolicy::Skip,
             delay,
         }
     }

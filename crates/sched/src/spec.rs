@@ -2,7 +2,7 @@
 //! deterministically — placement, seed, model/dataset recipe, topology.
 
 use isgc_core::{Placement, Scheme};
-use isgc_engine::{shard_ranges, EngineConfig};
+use isgc_engine::{shard_ranges, DegradePolicy, EngineConfig};
 use isgc_linalg::Vector;
 use isgc_ml::{Dataset, LinearRegression, Model, SoftmaxRegression};
 use rand::RngCore;
@@ -144,6 +144,10 @@ pub struct JobSpec {
     pub stragglers: usize,
     /// Flat or two-level aggregation.
     pub topology: Topology,
+    /// What the job's engine does when a step decodes below the
+    /// recoverable floor. Part of the spec (not the scheduler) so a
+    /// resumed job replays the same ladder decisions.
+    pub degrade: DegradePolicy,
     /// Model + dataset build.
     pub recipe: JobRecipe,
 }
@@ -163,6 +167,7 @@ impl JobSpec {
             max_steps: 12,
             stragglers: 0,
             topology: Topology::Flat,
+            degrade: DegradePolicy::Skip,
             recipe: JobRecipe::Regression {
                 features,
                 samples: 192,
@@ -190,6 +195,7 @@ impl JobSpec {
         config.loss_threshold = self.loss_threshold;
         config.max_steps = self.max_steps;
         config.seed = self.seed;
+        config.degrade = self.degrade.clone();
         config
     }
 
@@ -210,6 +216,22 @@ impl JobSpec {
                 self.stragglers,
                 self.placement.n()
             )));
+        }
+        if let DegradePolicy::Approximate {
+            max_consecutive,
+            min_coverage,
+        } = &self.degrade
+        {
+            if *max_consecutive == 0 {
+                return Err(SchedError::InvalidSpec(
+                    "degrade.max_consecutive must be at least 1".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(min_coverage) {
+                return Err(SchedError::InvalidSpec(format!(
+                    "degrade.min_coverage must lie in [0, 1], got {min_coverage}"
+                )));
+            }
         }
         if let Topology::Tree { submasters } = self.topology {
             if submasters == 0 || !submasters.is_power_of_two() {

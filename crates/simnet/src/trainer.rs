@@ -25,8 +25,8 @@
 use isgc_core::classic::ClassicGc;
 use isgc_core::Placement;
 use isgc_engine::{
-    Collected, Collector, EngineConfig, EngineError, NoopObserver, Observer, StepContext,
-    StepEngine,
+    Collected, Collector, DegradePolicy, EngineConfig, EngineError, NoopObserver, Observer,
+    StepContext, StepEngine,
 };
 use isgc_linalg::Vector;
 use isgc_ml::dataset::{Dataset, Partitioned};
@@ -113,6 +113,9 @@ pub struct TrainingConfig {
     pub normalization: GradientNormalization,
     /// Learning-rate schedule applied on top of `learning_rate`.
     pub lr_schedule: LrSchedule,
+    /// What to do when a step decodes below the recoverable floor; the
+    /// simulator's historical behavior is [`DegradePolicy::Skip`].
+    pub degrade: DegradePolicy,
 }
 
 impl Default for TrainingConfig {
@@ -126,6 +129,7 @@ impl Default for TrainingConfig {
             seed: 0,
             normalization: GradientNormalization::SumOfPartitionMeans,
             lr_schedule: LrSchedule::Constant,
+            degrade: DegradePolicy::Skip,
         }
     }
 }
@@ -479,6 +483,7 @@ fn train_loop<M: Model>(
     engine_config.seed = config.seed;
     engine_config.normalization = config.normalization;
     engine_config.lr_schedule = config.lr_schedule;
+    engine_config.degrade = config.degrade.clone();
     let mut engine = StepEngine::new(engine_config)
         .unwrap_or_else(|e| panic!("invalid simulated training config: {e}"));
 
@@ -562,6 +567,7 @@ mod tests {
             seed: 5,
             normalization: GradientNormalization::default(),
             lr_schedule: LrSchedule::Constant,
+            ..Default::default()
         };
         (model, data, config)
     }
@@ -723,6 +729,7 @@ mod tests {
             seed: 3,
             normalization: GradientNormalization::default(),
             lr_schedule: LrSchedule::Constant,
+            ..Default::default()
         };
         let placement = Placement::fractional(4, 2).unwrap();
         let report = train(
@@ -867,6 +874,10 @@ mod tests {
                 repairs: vec![],
                 stale: 0,
                 failed_decode: false,
+                outcome: isgc_engine::StepOutcome::Exact,
+                coverage: 1.0,
+                bias_weight: 1.0,
+                consecutive_degraded: 0,
                 loss: 1.0,
             }
         }

@@ -29,6 +29,7 @@ fn main() -> Result<(), isgc::core::Error> {
         loss_threshold: 0.01,
         max_steps: 500,
         seed: 5,
+        degrade: isgc::runtime::DegradePolicy::Skip,
         delay: Arc::new(|worker, _step| {
             if worker % 2 == 1 {
                 Duration::from_millis(20)

@@ -30,7 +30,10 @@ cargo run --release --quiet -- chaos --plan smoke --seed 42
 echo "== sub-master crash smoke (2-level tree, seeded, deterministic)"
 cargo run --release --quiet -- chaos --plan submaster-crash --seed 42
 
+echo "== blackout smoke (graceful degradation ladder, seeded, deterministic)"
+cargo run --release --quiet -- chaos --plan blackout --seed 42
+
 echo "== multi-tenant smoke (2 jobs x 2-level tree on loopback)"
 cargo run --release --quiet -- launch fr 8 2 --jobs 2 --tree 2 --steps 4
 
-echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, and multi-tenant smoke all clean"
+echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, and multi-tenant smoke all clean"

@@ -8,7 +8,7 @@
 use isgc_chaos::{run_chaos, run_tree_chaos, ChaosConfig, FaultPlan, TreeChaosConfig, PLAN_NAMES};
 use isgc_core::decode::{decoder_for, Decoder, ExactDecoder};
 use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
-use isgc_engine::shard_ranges;
+use isgc_engine::{shard_ranges, DegradePolicy, StepOutcome};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
 use isgc_net::{
@@ -52,6 +52,10 @@ USAGE:
               --steps <k>                  max training steps (default 20)
               --port <p>                   listen port (default 7070, 0 = ephemeral)
               --batch <b> --lr <r> --seed <s>
+              --degrade fail|skip|approx   zero-recovery step posture (default fail)
+              --max-consecutive <k>        approx only: degraded-streak cap (default 4)
+              --min-coverage <f>           approx only: coverage floor in [0,1] (default 0.5)
+              --heartbeat-timeout-ms <d>   declare a silent worker dead after d ms (default 2000)
               --metrics-out <path>         as for sim (adds net byte/frame counters)
   isgc serve-jobs <fr|cr> <n> <c> [flags]  host J concurrent training jobs in one
                                            process (fair round-robin, one TCP
@@ -59,15 +63,19 @@ USAGE:
        flags: --jobs <J>                   concurrent jobs (default 2)
               --port <p>                   base port (default 7070; job j listens
                                            on p + j)
-              --w, --deadline-ms, --steps, --batch, --lr, --seed,
+              --w, --deadline-ms, --steps, --batch, --lr, --seed, --degrade,
+              --max-consecutive, --min-coverage, --heartbeat-timeout-ms,
               --metrics-out as for serve (per-job scoped metric series)
   isgc worker <host:port> [--delay-ms <d>] join a cluster as a worker
        [--job <id>]                        (--delay-ms injects a straggler delay;
-                                           --job joins one tenant of serve-jobs)
+       [--heartbeat-interval-ms <d>]       --job joins one tenant of serve-jobs;
+                                           heartbeats every d ms, default 200)
   isgc launch <fr|cr> <n> <c> [flags]      spawn master + n worker processes on
                                            loopback and train to completion
-       flags: --w, --deadline-ms, --steps, --batch, --lr, --seed,
+       flags: --w, --deadline-ms, --steps, --batch, --lr, --seed, --degrade,
+              --max-consecutive, --min-coverage, --heartbeat-timeout-ms,
               --metrics-out as for serve
+              --heartbeat-interval-ms <d>  forwarded to every spawned worker
               --slow <k> --delay-ms <d>    make k workers straggle by d ms (default 0/100)
               --jobs <J>                   run J co-tenant jobs (round-robin, J*n workers)
               --tree <S>                   aggregate through S sub-masters (2-level
@@ -77,9 +85,13 @@ USAGE:
                                            checkpoint resume, and exact replay
        flags: --seed <s>                   fault + training seed (default 42)
               --n <k> --c <k> --steps <k>  cluster shape (default 6 2 8; c | n)
+              --degrade fail|skip|approx   as for serve (default: the plan's
+                                           recommended policy), with
+                                           --max-consecutive / --min-coverage
               --metrics-out <path>         as for sim (adds chaos fault counters)
        plans: smoke, worker-flap, worker-crash, master-restart, frame-corrupt,
-              delay, duplicate-stale, random, submaster-crash
+              delay, duplicate-stale, random, blackout, slow-bleed,
+              submaster-crash
        submaster-crash flags: --submasters <S> --crash-shard <i> --crash-step <t>
               (2-level tree; kills sub-master i at step t, default 2 1 2)
 
@@ -502,6 +514,66 @@ fn wait_policy_from(flags: &HashMap<String, String>, n: usize) -> Result<NetWait
     }
 }
 
+/// Builds the degradation policy from `--degrade` / `--max-consecutive` /
+/// `--min-coverage`. `None` means no `--degrade` flag was given, so the
+/// command keeps its own default.
+fn degrade_from(flags: &HashMap<String, String>) -> Result<Option<DegradePolicy>, String> {
+    let max = flags.get("max-consecutive");
+    let cov = flags.get("min-coverage");
+    let name = flags.get("degrade").map(String::as_str);
+    if name != Some("approx") && (max.is_some() || cov.is_some()) {
+        return Err("--max-consecutive/--min-coverage require --degrade approx".to_string());
+    }
+    match name {
+        None => Ok(None),
+        Some("fail") => Ok(Some(DegradePolicy::Fail)),
+        Some("skip") => Ok(Some(DegradePolicy::Skip)),
+        Some("approx") => {
+            let DegradePolicy::Approximate {
+                max_consecutive: default_max,
+                min_coverage: default_cov,
+            } = DegradePolicy::approximate_default()
+            else {
+                unreachable!("approximate_default returns Approximate");
+            };
+            let max_consecutive: u64 = match max {
+                Some(s) => parse(s, "max-consecutive")?,
+                None => default_max,
+            };
+            if max_consecutive == 0 {
+                return Err("--max-consecutive must be at least 1".to_string());
+            }
+            let min_coverage: f64 = match cov {
+                Some(s) => parse(s, "min-coverage")?,
+                None => default_cov,
+            };
+            if !(0.0..=1.0).contains(&min_coverage) {
+                return Err(format!(
+                    "--min-coverage must lie in [0, 1], got {min_coverage}"
+                ));
+            }
+            Ok(Some(DegradePolicy::Approximate {
+                max_consecutive,
+                min_coverage,
+            }))
+        }
+        Some(other) => Err(format!(
+            "unknown degrade policy '{other}'; use fail, skip, or approx"
+        )),
+    }
+}
+
+/// Renders a policy for summaries: `fail`, `skip`, or `approx` with its knobs.
+fn render_policy(policy: &DegradePolicy) -> String {
+    match policy {
+        DegradePolicy::Approximate {
+            max_consecutive,
+            min_coverage,
+        } => format!("approx (max-consecutive {max_consecutive}, min-coverage {min_coverage})"),
+        other => other.label().to_string(),
+    }
+}
+
 /// Builds a [`NetConfig`] from parsed flags.
 fn net_config_from(p: &Placement, flags: &HashMap<String, String>) -> Result<NetConfig, String> {
     let mut config = NetConfig::new(p.clone(), wait_policy_from(flags, p.n())?);
@@ -517,6 +589,16 @@ fn net_config_from(p: &Placement, flags: &HashMap<String, String>) -> Result<Net
     }
     if let Some(s) = flags.get("seed") {
         config.seed = parse(s, "seed")?;
+    }
+    if let Some(policy) = degrade_from(flags)? {
+        config.degrade = policy;
+    }
+    if let Some(s) = flags.get("heartbeat-timeout-ms") {
+        let ms: u64 = parse(s, "heartbeat-timeout-ms")?;
+        if ms == 0 {
+            return Err("--heartbeat-timeout-ms must be positive".to_string());
+        }
+        config.heartbeat_timeout = Duration::from_millis(ms);
     }
     Ok(config)
 }
@@ -547,8 +629,18 @@ fn render_step(r: &isgc_net::NetReport, n: usize, oracle: Option<usize>) -> Stri
     } else {
         format!(" repaired {}", r.repairs.len())
     };
+    let degrade_note = match r.outcome {
+        StepOutcome::Exact => String::new(),
+        StepOutcome::Approx => format!(
+            " APPROX cov {:.0}% x{:.2} streak {}",
+            100.0 * r.coverage,
+            r.bias_weight,
+            r.consecutive_degraded
+        ),
+        StepOutcome::Skipped => format!(" SKIPPED streak {}", r.consecutive_degraded),
+    };
     format!(
-        "step {:>3}: arrivals {}/{n} recovered {:>2}/{n}{oracle_note} waited {:>6.1} ms loss {:.4}{dead_note}{repair_note}",
+        "step {:>3}: arrivals {}/{n} recovered {:>2}/{n}{oracle_note} waited {:>6.1} ms loss {:.4}{dead_note}{repair_note}{degrade_note}",
         r.step,
         r.arrivals.len(),
         r.recovered,
@@ -568,6 +660,16 @@ fn render_net_summary(report: &isgc_net::NetTrainReport) -> String {
         100.0 * report.mean_recovered_fraction()
     );
     let _ = writeln!(out, "waited/step (mean): {:.1} ms", report.mean_waited_ms());
+    if report.degraded_steps() > 0 {
+        let _ = writeln!(
+            out,
+            "degraded steps:     {} ({} approx, {} skipped; worst streak {})",
+            report.degraded_steps(),
+            report.approx_steps(),
+            report.skipped_steps(),
+            report.max_consecutive_degraded()
+        );
+    }
     let _ = writeln!(out, "wall time:          {:.2} s", report.wall_time);
     out
 }
@@ -580,6 +682,10 @@ const SERVE_FLAGS: &[&str] = &[
     "batch",
     "lr",
     "seed",
+    "degrade",
+    "max-consecutive",
+    "min-coverage",
+    "heartbeat-timeout-ms",
     "metrics-out",
 ];
 
@@ -659,6 +765,10 @@ const SERVE_JOBS_FLAGS: &[&str] = &[
     "batch",
     "lr",
     "seed",
+    "degrade",
+    "max-consecutive",
+    "min-coverage",
+    "heartbeat-timeout-ms",
     "metrics-out",
 ];
 
@@ -763,7 +873,7 @@ fn cmd_worker(args: &[String]) -> Result<String, String> {
         .first()
         .ok_or_else(|| "expected: worker <host:port> [--delay-ms <d>] [--job <id>]".to_string())?
         .clone();
-    let flags = parse_flags(&args[1..], &["delay-ms", "job"])?;
+    let flags = parse_flags(&args[1..], &["delay-ms", "job", "heartbeat-interval-ms"])?;
     let delay_ms: u64 = match flags.get("delay-ms") {
         Some(s) => parse(s, "delay-ms")?,
         None => 0,
@@ -772,6 +882,13 @@ fn cmd_worker(args: &[String]) -> Result<String, String> {
         WorkerOptions::with_delay(Arc::new(move |_w, _step| Duration::from_millis(delay_ms)));
     if let Some(s) = flags.get("job") {
         options.job = parse(s, "job")?;
+    }
+    if let Some(s) = flags.get("heartbeat-interval-ms") {
+        let ms: u64 = parse(s, "heartbeat-interval-ms")?;
+        if ms == 0 {
+            return Err("--heartbeat-interval-ms must be positive".to_string());
+        }
+        options.heartbeat_interval = Duration::from_millis(ms);
     }
     let summary = isgc_net::run_worker(addr.as_str(), &options, |assignment| {
         net_model_and_data(assignment.n)
@@ -790,6 +907,11 @@ const LAUNCH_FLAGS: &[&str] = &[
     "batch",
     "lr",
     "seed",
+    "degrade",
+    "max-consecutive",
+    "min-coverage",
+    "heartbeat-timeout-ms",
+    "heartbeat-interval-ms",
     "slow",
     "delay-ms",
     "metrics-out",
@@ -814,6 +936,16 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
     let delay_ms: u64 = match flags.get("delay-ms") {
         Some(s) => parse(s, "delay-ms")?,
         None => 100,
+    };
+    let heartbeat_interval_ms: Option<u64> = match flags.get("heartbeat-interval-ms") {
+        Some(s) => {
+            let ms: u64 = parse(s, "heartbeat-interval-ms")?;
+            if ms == 0 {
+                return Err("--heartbeat-interval-ms must be positive".to_string());
+            }
+            Some(ms)
+        }
+        None => None,
     };
     let jobs: u64 = match flags.get("jobs") {
         Some(s) => parse(s, "jobs")?,
@@ -840,7 +972,15 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
         }
     }
     if jobs > 1 || tree > 0 {
-        return launch_multi(&config, metrics.as_ref(), jobs, tree, slow, delay_ms);
+        return launch_multi(
+            &config,
+            metrics.as_ref(),
+            jobs,
+            tree,
+            slow,
+            delay_ms,
+            heartbeat_interval_ms,
+        );
     }
 
     let master = Master::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
@@ -852,6 +992,9 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
         cmd.arg("worker").arg(addr.to_string());
         if i < slow {
             cmd.arg("--delay-ms").arg(delay_ms.to_string());
+        }
+        if let Some(ms) = heartbeat_interval_ms {
+            cmd.arg("--heartbeat-interval-ms").arg(ms.to_string());
         }
         cmd.stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null());
@@ -898,6 +1041,7 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
 /// The `--jobs`/`--tree` arm of `launch`: J co-tenant jobs in one scheduler,
 /// each its own TCP master (optionally aggregating through `tree`
 /// sub-master threads), with J×n loopback worker processes.
+#[allow(clippy::too_many_arguments)]
 fn launch_multi(
     base: &NetConfig,
     metrics: Option<&(String, Registry)>,
@@ -905,6 +1049,7 @@ fn launch_multi(
     tree: usize,
     slow: usize,
     delay_ms: u64,
+    heartbeat_interval_ms: Option<u64>,
 ) -> Result<String, String> {
     let n = base.placement.n();
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
@@ -920,6 +1065,9 @@ fn launch_multi(
             .arg(job.to_string());
         if slow_one {
             cmd.arg("--delay-ms").arg(delay_ms.to_string());
+        }
+        if let Some(ms) = heartbeat_interval_ms {
+            cmd.arg("--heartbeat-interval-ms").arg(ms.to_string());
         }
         cmd.stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null());
@@ -1048,6 +1196,9 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
             "n",
             "c",
             "steps",
+            "degrade",
+            "max-consecutive",
+            "min-coverage",
             "metrics-out",
             "submasters",
             "crash-shard",
@@ -1060,6 +1211,13 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
         None => 42,
     };
     if name == "submaster-crash" {
+        for flag in ["degrade", "max-consecutive", "min-coverage"] {
+            if flags.contains_key(flag) {
+                return Err(format!(
+                    "--{flag} is not supported with --plan submaster-crash"
+                ));
+            }
+        }
         return cmd_chaos_tree(&flags, seed);
     }
     for tree_flag in ["submasters", "crash-shard", "crash-step"] {
@@ -1087,6 +1245,10 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
             PLAN_NAMES.join(", ")
         )
     })?;
+    config.degrade = match degrade_from(&flags)? {
+        Some(policy) => policy,
+        None => plan.recommended_policy(config.n, config.steps as u64),
+    };
 
     let outcome = run_chaos(&plan, &config).map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -1095,19 +1257,32 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
         "chaos plan '{}' on FR({}, {}), {} steps, seed {seed}",
         outcome.plan, config.n, config.c, config.steps
     );
+    let _ = writeln!(
+        out,
+        "degrade policy:     {}",
+        render_policy(&config.degrade)
+    );
     for r in &outcome.reports {
         let _ = writeln!(out, "{}", render_step(r, config.n, None));
     }
     let _ = writeln!(out, "master restarts:    {}", outcome.master_restarts);
     let reconnects: usize = outcome.workers.iter().map(|w| w.reconnects).sum();
     let _ = writeln!(out, "worker reconnects:  {reconnects}");
+    if outcome.degraded_steps() > 0 {
+        let _ = writeln!(
+            out,
+            "degraded steps:     {} (worst streak {})",
+            outcome.degraded_steps(),
+            outcome.max_consecutive_degraded()
+        );
+    }
     let _ = writeln!(out, "final loss:         {:.4}", outcome.final_loss);
     let _ = writeln!(out, "fingerprint:        {:016x}", outcome.fingerprint);
     finish_metrics(&mut out, metrics.as_ref())?;
     if outcome.passed() {
         let _ = writeln!(
             out,
-            "invariants:         all steps within Theorem 10/11 bounds; decode matches oracle"
+            "invariants:         all steps within Theorem 10/11 bounds; ladder arithmetic consistent; decode matches oracle"
         );
         Ok(out)
     } else {
@@ -1421,6 +1596,10 @@ mod tests {
             }],
             stale: 1,
             failed_decode: false,
+            outcome: isgc_engine::StepOutcome::Exact,
+            coverage: 1.0,
+            bias_weight: 1.0,
+            consecutive_degraded: 0,
             loss: 0.5,
         };
         let line = render_step(&r, 4, Some(5));
@@ -1431,5 +1610,69 @@ mod tests {
         assert!(line.contains("ORACLE MISMATCH"));
         let line = render_step(&r, 4, None);
         assert!(!line.contains("oracle"));
+
+        // Degraded outcomes get an explicit ladder note.
+        let mut approx = r.clone();
+        approx.outcome = isgc_engine::StepOutcome::Approx;
+        approx.coverage = 0.5;
+        approx.bias_weight = 2.0;
+        approx.consecutive_degraded = 1;
+        let line = render_step(&approx, 4, None);
+        assert!(line.contains("APPROX cov 50% x2.00 streak 1"), "{line}");
+        let mut skipped = r.clone();
+        skipped.outcome = isgc_engine::StepOutcome::Skipped;
+        skipped.consecutive_degraded = 3;
+        assert!(render_step(&skipped, 4, None).contains("SKIPPED streak 3"));
+    }
+
+    #[test]
+    fn degrade_flags_build_policies_and_validate() {
+        let policy = |s: &str| parse_flags(&args(s), SERVE_FLAGS).and_then(|f| degrade_from(&f));
+        assert_eq!(policy("").unwrap(), None);
+        assert_eq!(policy("--degrade fail").unwrap(), Some(DegradePolicy::Fail));
+        assert_eq!(policy("--degrade skip").unwrap(), Some(DegradePolicy::Skip));
+        assert_eq!(
+            policy("--degrade approx").unwrap(),
+            Some(DegradePolicy::approximate_default())
+        );
+        assert_eq!(
+            policy("--degrade approx --max-consecutive 2 --min-coverage 0.25").unwrap(),
+            Some(DegradePolicy::Approximate {
+                max_consecutive: 2,
+                min_coverage: 0.25,
+            })
+        );
+        assert!(policy("--degrade sideways").is_err());
+        assert!(policy("--degrade approx --max-consecutive 0").is_err());
+        assert!(policy("--degrade approx --min-coverage 1.5").is_err());
+        // The approx knobs are rejected outside --degrade approx.
+        assert!(policy("--degrade skip --min-coverage 0.5").is_err());
+        assert!(policy("--max-consecutive 3").is_err());
+    }
+
+    #[test]
+    fn heartbeat_flags_validate() {
+        let p = Placement::fractional(4, 2).unwrap();
+        let flags = parse_flags(&args("--heartbeat-timeout-ms 500"), SERVE_FLAGS).unwrap();
+        let config = net_config_from(&p, &flags).unwrap();
+        assert_eq!(config.heartbeat_timeout, Duration::from_millis(500));
+        let flags = parse_flags(&args("--heartbeat-timeout-ms 0"), SERVE_FLAGS).unwrap();
+        assert!(net_config_from(&p, &flags).is_err());
+        assert!(run(&args("worker 127.0.0.1:7070 --heartbeat-interval-ms 0")).is_err());
+        assert!(run(&args("launch fr 4 2 --heartbeat-interval-ms 0")).is_err());
+    }
+
+    #[test]
+    fn chaos_blackout_surfaces_the_ladder() {
+        let out = run(&args("chaos --plan blackout --seed 7 --steps 8")).unwrap();
+        assert!(out.contains("degrade policy:     approx"), "{out}");
+        assert!(out.contains("SKIPPED streak"), "{out}");
+        assert!(out.contains("degraded steps:"), "{out}");
+        // A strict policy cannot ride out a total blackout: the plan
+        // validator rejects it up front with a clean error.
+        let err = run(&args("chaos --plan blackout --degrade fail")).unwrap_err();
+        assert!(err.contains("skip or approx"), "{err}");
+        // Tree chaos has no ladder: the flag is rejected, not ignored.
+        assert!(run(&args("chaos --plan submaster-crash --degrade skip")).is_err());
     }
 }

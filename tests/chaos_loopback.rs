@@ -7,7 +7,10 @@
 //! plan-specific expectations about *which* steps degrade and how the run
 //! recovers.
 
-use isgc_chaos::{run_chaos, run_tree_chaos, ChaosConfig, FaultKind, FaultPlan, TreeChaosConfig};
+use isgc_chaos::{
+    run_chaos, run_tree_chaos, ChaosConfig, ChaosError, FaultKind, FaultPlan, TreeChaosConfig,
+};
+use isgc_engine::{DegradePolicy, StepOutcome};
 
 fn cfg(seed: u64) -> ChaosConfig {
     let mut c = ChaosConfig::new(seed);
@@ -172,6 +175,138 @@ fn submaster_crash_degrades_one_step_and_replays_byte_for_byte() {
     assert_eq!(
         a.fingerprint, b.fingerprint,
         "tree chaos must replay exactly"
+    );
+}
+
+#[test]
+fn blackout_plan_degrades_and_recovers_deterministically() {
+    let mut config = cfg(21);
+    let p = plan("blackout", 21, &config);
+
+    // Under the default Fail policy the fully dark steps are unrunnable —
+    // this is the run that used to abort, now rejected up front.
+    assert!(matches!(
+        run_chaos(&p, &config),
+        Err(ChaosError::InvalidPlan(_))
+    ));
+
+    config.degrade = p.recommended_policy(config.n, config.steps as u64);
+    let a = run_chaos(&p, &config).expect("blackout rides the ladder");
+    assert!(a.passed(), "violations: {:?}", a.violations);
+    assert_eq!(a.reports.len(), config.steps);
+
+    // Exactly the scripted dark window skips; everything else is exact,
+    // and the streak counter climbs through the window and resets after.
+    for r in &a.reports {
+        if r.step == 4 || r.step == 5 {
+            assert_eq!(r.outcome, StepOutcome::Skipped, "step {}", r.step);
+            assert!(r.arrivals.is_empty(), "step {} had arrivals", r.step);
+            assert_eq!(r.consecutive_degraded, r.step - 3);
+        } else {
+            assert_eq!(r.outcome, StepOutcome::Exact, "step {}", r.step);
+            assert_eq!(r.consecutive_degraded, 0, "step {}", r.step);
+        }
+    }
+    assert_eq!(a.degraded_steps(), 2);
+    assert_eq!(a.max_consecutive_degraded(), 2);
+    // The frozen iterate resumes converging once workers rejoin.
+    assert!(
+        a.final_loss < a.reports[0].loss,
+        "no recovery after blackout"
+    );
+
+    let b = run_chaos(&p, &config).expect("rerun");
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "ladder decisions must replay byte-for-byte"
+    );
+}
+
+#[test]
+fn blackout_escalates_when_the_streak_exceeds_the_policy() {
+    let mut config = cfg(21);
+    config.degrade = DegradePolicy::Approximate {
+        max_consecutive: 1,
+        min_coverage: 0.5,
+    };
+    let p = plan("blackout", 21, &config);
+    // The second dark step pushes the streak past max_consecutive: the run
+    // aborts with the typed degradation error instead of limping on.
+    match run_chaos(&p, &config) {
+        Err(ChaosError::Net(isgc_net::NetError::Degraded {
+            step, recovered, ..
+        })) => {
+            assert_eq!(step, 5, "escalation should land on the second dark step");
+            assert_eq!(recovered, 0);
+        }
+        other => panic!("expected NetError::Degraded, got {other:?}"),
+    }
+}
+
+#[test]
+fn slow_bleed_walks_the_ladder_through_approximate_updates() {
+    let mut config = cfg(33);
+    let p = plan("slow-bleed", 33, &config);
+    config.degrade = p.recommended_policy(config.n, config.steps as u64);
+    let a = run_chaos(&p, &config).expect("slow-bleed rides the ladder");
+    assert!(a.passed(), "violations: {:?}", a.violations);
+    assert_eq!(a.reports.len(), config.steps);
+
+    // Contributors thin 6 → 1: once coverage drops below min_coverage the
+    // steps turn approximate, with the bias weight inflating the partial
+    // sum (coverage × weight = 1), then everything snaps back to exact.
+    for r in &a.reports {
+        match r.step {
+            4 | 5 => {
+                assert_eq!(r.outcome, StepOutcome::Approx, "step {}", r.step);
+                assert_eq!(r.recovered, 2, "step {}", r.step);
+                assert!((r.coverage - 1.0 / 3.0).abs() < 1e-12);
+                assert!((r.coverage * r.bias_weight - 1.0).abs() < 1e-12);
+                assert_eq!(r.consecutive_degraded, r.step - 3);
+            }
+            _ => {
+                assert_eq!(r.outcome, StepOutcome::Exact, "step {}", r.step);
+                assert_eq!(r.consecutive_degraded, 0, "step {}", r.step);
+            }
+        }
+    }
+
+    let b = run_chaos(&p, &config).expect("rerun");
+    assert_eq!(a.fingerprint, b.fingerprint, "slow-bleed must replay");
+}
+
+#[test]
+fn master_crash_mid_blackout_resumes_the_streak_bit_for_bit() {
+    let mut config = cfg(55);
+    let smooth = plan("blackout", 55, &config);
+    config.degrade = smooth.recommended_policy(config.n, config.steps as u64);
+
+    // Crash the master cold after the first dark step: the checkpoint holds
+    // a live consecutive-degraded streak of 1, which the resumed master
+    // must restore — otherwise step 5's counter (and the fingerprint, and
+    // any later escalation decision) would diverge from the smooth run.
+    let mut crashed_plan = smooth.clone();
+    crashed_plan.master_crashes = vec![4];
+
+    let crashed = run_chaos(&crashed_plan, &config).expect("crashed run");
+    assert!(crashed.passed(), "violations: {:?}", crashed.violations);
+    assert_eq!(crashed.master_restarts, 1);
+    let step5 = &crashed.reports[5];
+    assert_eq!(step5.outcome, StepOutcome::Skipped);
+    assert_eq!(
+        step5.consecutive_degraded, 2,
+        "resumed master forgot the degraded streak"
+    );
+
+    let uneventful = run_chaos(&smooth, &config).expect("smooth run");
+    assert!(
+        uneventful.passed(),
+        "violations: {:?}",
+        uneventful.violations
+    );
+    assert_eq!(
+        crashed.fingerprint, uneventful.fingerprint,
+        "mid-degraded resume must be observationally transparent"
     );
 }
 

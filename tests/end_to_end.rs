@@ -31,6 +31,7 @@ fn config(threshold: f64, max_steps: usize, seed: u64) -> TrainingConfig {
         seed,
         normalization: GradientNormalization::SumOfPartitionMeans,
         lr_schedule: LrSchedule::Constant,
+        ..Default::default()
     }
 }
 

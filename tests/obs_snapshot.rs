@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use isgc_core::Placement;
 use isgc_engine::metrics::record_train_report;
-use isgc_engine::TrainReport;
+use isgc_engine::{DegradePolicy, TrainReport};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::LinearRegression;
 use isgc_net::{run_worker, Master, NetConfig, WaitPolicy, WorkerOptions};
@@ -108,6 +108,53 @@ fn run_sim() -> TrainReport {
 fn sim_registry() -> Registry {
     let registry = Registry::new();
     record_train_report(&registry, &run_sim());
+    registry
+}
+
+/// The degradation-ladder leg: a trace whose middle steps starve a deadline
+/// policy, so the run walks Exact → Approx → Approx → Skipped → Exact under
+/// the default `Approximate` policy. Pins the ladder series —
+/// `engine.steps.approx`, `engine.steps.skipped`, `engine.coverage`,
+/// `engine.bias_weight` — and the outcome/streak span fields.
+fn run_degrade_sim() -> TrainReport {
+    let placement = Placement::fractional(N, C).expect("valid FR placement");
+    let rows: Vec<Vec<f64>> = (0..6)
+        .map(|step| {
+            (0..N)
+                .map(|w| match step {
+                    // Steps 2-3: only group {4, 5} beats the deadline —
+                    // coverage 1/3 takes the approximate path.
+                    2 | 3 if w < 4 => 5.0,
+                    // Step 4: total blackout — nothing arrives, skip.
+                    4 => 5.0,
+                    _ => 0.001 * (w + 1) as f64,
+                })
+                .collect()
+        })
+        .collect();
+    let sim = TraceClusterSim::new(StragglerTrace::new(rows), 0.001, 0.001);
+    let config = TrainingConfig {
+        batch_size: BATCH,
+        learning_rate: LR,
+        loss_threshold: 0.0,
+        max_steps: 6,
+        seed: SEED,
+        degrade: DegradePolicy::approximate_default(),
+        ..TrainingConfig::default()
+    };
+    train_on_trace(
+        &LinearRegression::new(FEATURES),
+        &shared_dataset(),
+        &CodingScheme::IsGc(placement),
+        &SimWaitPolicy::Deadline(0.1),
+        sim,
+        &config,
+    )
+}
+
+fn degrade_registry() -> Registry {
+    let registry = Registry::new();
+    record_train_report(&registry, &run_degrade_sim());
     registry
 }
 
@@ -201,6 +248,26 @@ fn tcp_loopback_emits_identical_logical_series() {
     let full = net.to_text(Snapshot::Full);
     assert!(full.contains("net.bytes.sent.total"));
     assert!(full.contains("engine.decode.latency_ms"));
+}
+
+#[test]
+fn degrade_ladder_logical_text_is_byte_stable_across_runs() {
+    let a = degrade_registry().to_text(Snapshot::Logical);
+    let b = degrade_registry().to_text(Snapshot::Logical);
+    assert_eq!(a, b, "two identically-seeded degraded runs diverged");
+}
+
+#[test]
+fn degrade_ladder_logical_text_matches_golden() {
+    // The fixture must actually exercise the ladder before we pin it.
+    let report = run_degrade_sim();
+    assert_eq!(report.approx_steps(), 2, "steps 2-3 should be approximate");
+    assert_eq!(report.skipped_steps(), 1, "step 4 should be skipped");
+    assert_eq!(report.max_consecutive_degraded(), 3);
+    assert_matches_golden(
+        "sim_degrade_logical.txt",
+        &degrade_registry().to_text(Snapshot::Logical),
+    );
 }
 
 /// The multi-tenant leg: two co-tenant jobs sharing one registry, each

@@ -14,8 +14,9 @@ use isgc::simnet::cluster::{ClusterConfig, StragglerSelection};
 use isgc::simnet::delay::Delay;
 use isgc::simnet::policy::WaitPolicy;
 use isgc::simnet::trace::MarkovStragglerModel;
-use isgc::simnet::trainer::{train_metered, CodingScheme, TrainingConfig};
+use isgc::simnet::trainer::{train, train_metered, CodingScheme, TrainingConfig};
 use isgc_engine::metrics::names;
+use isgc_engine::{DegradePolicy, StepOutcome};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -367,6 +368,90 @@ proptest! {
                 (lo..=hi).contains(&step.recovered),
                 "step {}: recovered {} outside [{}, {}]", step.step, step.recovered, lo, hi
             );
+        }
+    }
+
+    /// Graceful-degradation transparency: as long as every step holds the
+    /// coverage floor, the ladder's exact path under `Skip` or
+    /// `Approximate` is bitwise-identical to `Fail` — same loss bits, same
+    /// final parameters, same recovery fingerprint. The lenient policies
+    /// must be free until the moment they are needed.
+    #[test]
+    fn ladder_exact_path_is_bitwise_identical_to_fail(
+        seed in 0u64..200,
+        w in 4usize..=6,
+        use_cr in prop::bool::ANY,
+        straggler_count in 0usize..3,
+    ) {
+        let (n, c) = (6usize, 2usize);
+        let placement = if use_cr {
+            Placement::cyclic(n, c).unwrap()
+        } else {
+            Placement::fractional(n, c).unwrap()
+        };
+        let cluster = ClusterConfig {
+            n,
+            compute_time_per_partition: 0.01,
+            comm_time: 0.005,
+            jitter: Delay::Uniform { lo: 0.0, hi: 0.02 },
+            straggler_delay: Delay::Exponential { mean: 0.5 },
+            stragglers: StragglerSelection::RandomEachStep(straggler_count),
+        };
+        let dataset = Dataset::synthetic_regression(48, 3, 0.05, seed);
+        let run = |degrade: DegradePolicy| {
+            let config = TrainingConfig {
+                batch_size: 8,
+                learning_rate: 0.05,
+                loss_threshold: 0.0,
+                max_steps: 6,
+                seed,
+                degrade,
+                ..TrainingConfig::default()
+            };
+            train(
+                &LinearRegression::new(3),
+                &dataset,
+                &CodingScheme::IsGc(placement.clone()),
+                &WaitPolicy::WaitForCount(w),
+                cluster.clone(),
+                &config,
+            )
+        };
+        // Theorem 10: waiting for w >= 4 of FR/CR(6,2) recovers >= 4 of the
+        // 6 partitions, so coverage never drops below the default 0.5 floor
+        // and the ladder never leaves the exact path.
+        let baseline = run(DegradePolicy::Fail);
+        for policy in [DegradePolicy::Skip, DegradePolicy::approximate_default()] {
+            let label = policy.label();
+            let other = run(policy);
+            for s in &other.steps {
+                prop_assert_eq!(
+                    s.outcome, StepOutcome::Exact,
+                    "{}: step {} left the exact path", label, s.step
+                );
+            }
+            prop_assert_eq!(
+                other.recovery_fingerprint(), baseline.recovery_fingerprint(),
+                "{}: fingerprint diverged", label
+            );
+            let base_losses: Vec<u64> =
+                baseline.loss_curve().iter().map(|l| l.to_bits()).collect();
+            let other_losses: Vec<u64> =
+                other.loss_curve().iter().map(|l| l.to_bits()).collect();
+            prop_assert_eq!(base_losses, other_losses, "{}: loss bits diverged", label);
+            let base_params: Vec<u64> = baseline
+                .final_params
+                .as_slice()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            let other_params: Vec<u64> = other
+                .final_params
+                .as_slice()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            prop_assert_eq!(base_params, other_params, "{}: parameter bits diverged", label);
         }
     }
 

@@ -19,6 +19,7 @@ fn base_config(wait_for: usize, seed: u64) -> ThreadedConfig {
         loss_threshold: 0.02,
         max_steps: 400,
         seed,
+        degrade: isgc::runtime::DegradePolicy::Skip,
         delay: Arc::new(|_, _| Duration::ZERO),
     }
 }
@@ -64,6 +65,7 @@ fn threaded_classification_with_jittery_stragglers() {
         loss_threshold: 0.15,
         max_steps: 600,
         seed: 4,
+        degrade: isgc::runtime::DegradePolicy::Skip,
         delay,
     };
     let report = train_threaded(SoftmaxRegression::new(5, 3), dataset, &placement, &config);

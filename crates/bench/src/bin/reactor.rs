@@ -1,0 +1,386 @@
+//! Reactor I/O benchmark: emits machine-readable `BENCH_reactor.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Connections vs. throughput** — a real loopback training run at
+//!    n ∈ {16, 64, 256, 1000} workers: one reactor-backed master thread,
+//!    one swarm thread supplying all n connections. Reports registration
+//!    time, steps/sec, and the process thread count observed mid-run (the
+//!    tentpole claim: it does not grow with n).
+//! 2. **Ingest: reactor-style vs. thread-per-connection** — a
+//!    self-contained frame-sink harness pushing codeword frames over n
+//!    loopback connections into (a) one nonblocking thread draining every
+//!    connection through [`FrameAssembler`], and (b) n blocking reader
+//!    threads (64 KiB stacks, the classic shape this PR deletes). Same
+//!    frames, same connections; only the concurrency model differs.
+//! 3. **Zero-copy decode** — nanoseconds per codeword frame for the
+//!    copying [`Message::decode_tagged`] path vs. the in-place
+//!    [`CodewordView`] the upload path now uses (the before/after of the
+//!    zero-copy satellite).
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin reactor [out.json]`
+//! The 1000-connection rows need `ulimit -n` comfortably above 2000.
+
+use std::fmt::Write as _;
+use std::io::Write as IoWrite;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use isgc_core::Placement;
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::SoftmaxRegression;
+use isgc_net::wire::{CodewordView, FrameAssembler, Message};
+use isgc_net::{Master, NetConfig, SwarmOptions, WaitPolicy};
+
+const SCALES: &[usize] = &[16, 64, 256, 1000];
+const STEPS: usize = 8;
+const SEED: u64 = 4242;
+/// Frames each ingest connection sends (per scale point).
+const FRAMES_PER_CONN: usize = 64;
+/// Codeword dimension for the ingest + decode measurements (the softmax
+/// model the CLI trains has 8*4+4 = 36 parameters; round up).
+const DIM: usize = 64;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_reactor.json".into());
+
+    let mut scale_rows = Vec::new();
+    for &n in SCALES {
+        let row = bench_training(n);
+        println!(
+            "train n={n}: registration {:.1} ms, {:.1} steps/sec, {} master-process threads",
+            row.registration_ms, row.steps_per_sec, row.threads
+        );
+        scale_rows.push(row);
+    }
+
+    let mut ingest_rows = Vec::new();
+    for &n in SCALES {
+        let reactor = bench_ingest_reactor(n);
+        let threaded = bench_ingest_threaded(n);
+        println!(
+            "ingest n={n}: reactor {:.0} frames/sec on {} sink thread(s), \
+             thread-per-conn {:.0} frames/sec on {} sink threads",
+            reactor.frames_per_sec,
+            reactor.sink_threads,
+            threaded.frames_per_sec,
+            threaded.sink_threads
+        );
+        ingest_rows.push((n, reactor, threaded));
+    }
+
+    let (copying_ns, in_place_ns) = bench_zero_copy();
+    println!(
+        "codeword decode (dim {DIM}): copying {copying_ns:.0} ns, in-place {in_place_ns:.0} ns \
+         ({:.2}x)",
+        copying_ns / in_place_ns
+    );
+
+    let json = render_json(&scale_rows, &ingest_rows, copying_ns, in_place_ns);
+    std::fs::write(&out, json).expect("write BENCH_reactor.json");
+    println!("wrote {out}");
+}
+
+struct ScaleRow {
+    n: usize,
+    registration_ms: f64,
+    steps_per_sec: f64,
+    threads: usize,
+}
+
+/// This process's thread count as the kernel sees it (Linux; 0 elsewhere).
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One full loopback training run: reactor master on this thread, all n
+/// worker connections from one swarm thread.
+fn bench_training(n: usize) -> ScaleRow {
+    let placement = Placement::fractional(n, 2).expect("FR placement");
+    let mut config = NetConfig::new(placement, WaitPolicy::FirstW(n - n / 100));
+    config.max_steps = STEPS;
+    config.loss_threshold = 0.0;
+    config.seed = SEED;
+    let master = Master::bind("127.0.0.1:0").expect("bind");
+    let addr = master.local_addr().expect("addr");
+
+    let options = SwarmOptions::new(n);
+    let swarm = std::thread::spawn(move || {
+        isgc_net::run_swarm(addr, &options, |assignment| {
+            (
+                SoftmaxRegression::new(8, 4),
+                Dataset::gaussian_classification(8 * assignment.n, 8, 4, 3.0, SEED),
+            )
+        })
+        .expect("swarm")
+    });
+
+    let model = SoftmaxRegression::new(8, 4);
+    let dataset = Dataset::gaussian_classification(8 * n, 8, 4, 3.0, SEED);
+    // The swarm thread above belongs to this same process, so the baseline
+    // is 2 (main + swarm); the reactor adds nothing per connection.
+    let mut threads = 0usize;
+    let mut first_step: Option<Duration> = None;
+    let start = Instant::now();
+    let report = master
+        .run_with(&model, &dataset, &config, |_| {
+            first_step.get_or_insert_with(|| start.elapsed());
+            threads = threads.max(process_threads());
+        })
+        .expect("training run");
+    let total = start.elapsed();
+    let summary = swarm.join().expect("swarm thread");
+    assert_eq!(report.step_count(), STEPS);
+    assert_eq!(summary.workers, n);
+    // Time to the first completed step covers registration (n serial
+    // handshakes) plus one step; the remaining steps give the rate.
+    let to_first = first_step.unwrap_or(total);
+    let rest = (total - to_first).as_secs_f64().max(1e-9);
+    ScaleRow {
+        n,
+        registration_ms: to_first.as_secs_f64() * 1e3,
+        steps_per_sec: (STEPS - 1) as f64 / rest,
+        threads,
+    }
+}
+
+struct IngestRow {
+    frames_per_sec: f64,
+    sink_threads: usize,
+}
+
+/// Opens n loopback connection pairs and returns (sender sides, receiver
+/// sides).
+fn connection_pairs(n: usize) -> (Vec<TcpStream>, Vec<TcpStream>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        senders.push(TcpStream::connect(addr).expect("connect"));
+        receivers.push(listener.accept().expect("accept").0);
+    }
+    (senders, receivers)
+}
+
+fn codeword_frame(worker: u64) -> Vec<u8> {
+    Message::Codeword {
+        worker,
+        step: 1,
+        values: vec![0.5; DIM],
+    }
+    .encode_for_job(0)
+}
+
+/// Feeds every sender its frames from one writer thread while the caller's
+/// sink drains; returns total frames and elapsed sink time.
+fn run_ingest(senders: Vec<TcpStream>, sink: impl FnOnce(usize) -> usize) -> (usize, Duration) {
+    let expected = senders.len() * FRAMES_PER_CONN;
+    let writer = std::thread::spawn(move || {
+        // Round-robin across connections so the sink sees interleaved
+        // partial frames, not one stream at a time.
+        let mut senders = senders;
+        for i in 0..FRAMES_PER_CONN {
+            for (w, s) in senders.iter_mut().enumerate() {
+                let frame = codeword_frame((w + i) as u64);
+                s.write_all(&frame).expect("write frame");
+            }
+        }
+        senders
+    });
+    let start = Instant::now();
+    let got = sink(expected);
+    let elapsed = start.elapsed();
+    assert_eq!(got, expected);
+    drop(writer.join().expect("writer thread"));
+    (expected, elapsed)
+}
+
+/// One nonblocking thread draining all n connections through per-connection
+/// [`FrameAssembler`]s — the reactor's shape, minus the poll syscall (a
+/// readiness sweep is enough for a saturated loopback benchmark).
+fn bench_ingest_reactor(n: usize) -> IngestRow {
+    let (senders, receivers) = connection_pairs(n);
+    for r in &receivers {
+        r.set_nonblocking(true).expect("nonblocking");
+    }
+    let before = process_threads();
+    let (frames, elapsed) = run_ingest(senders, move |expected| {
+        let mut assemblers: Vec<FrameAssembler> = (0..receivers.len())
+            .map(|_| FrameAssembler::new())
+            .collect();
+        let mut receivers = receivers;
+        let mut got = 0usize;
+        while got < expected {
+            let mut progressed = false;
+            for (stream, assembler) in receivers.iter_mut().zip(assemblers.iter_mut()) {
+                match assembler.fill_from(stream) {
+                    Ok(0) => {}
+                    Ok(_) => {
+                        progressed = true;
+                        while let Some(frame) = assembler.next_frame().expect("well-formed") {
+                            let view = CodewordView::parse(frame.payload)
+                                .expect("codeword")
+                                .expect("consistent");
+                            assert_eq!(view.len(), DIM);
+                            got += 1;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("read: {e}"),
+                }
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        got
+    });
+    IngestRow {
+        frames_per_sec: frames as f64 / elapsed.as_secs_f64().max(1e-9),
+        // The sink runs on the calling thread: +0 over the baseline.
+        sink_threads: process_threads().max(before) - before + 1,
+    }
+}
+
+/// n blocking reader threads with 64 KiB stacks, one per connection — the
+/// thread-per-connection master this PR replaced.
+fn bench_ingest_threaded(n: usize) -> IngestRow {
+    let (senders, receivers) = connection_pairs(n);
+    let before = process_threads();
+    let (tx, rx) = mpsc::channel::<usize>();
+    let mut handles = Vec::with_capacity(n);
+    for stream in receivers {
+        let tx = tx.clone();
+        let handle = std::thread::Builder::new()
+            .stack_size(64 * 1024)
+            .spawn(move || {
+                let mut stream = stream;
+                for _ in 0..FRAMES_PER_CONN {
+                    let (_, message, _) =
+                        isgc_net::wire::read_message_tagged(&mut stream).expect("frame");
+                    match message {
+                        Message::Codeword { values, .. } => tx.send(values.len()).expect("send"),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            })
+            .expect("spawn reader");
+        handles.push(handle);
+    }
+    drop(tx);
+    let peak = process_threads();
+    let (frames, elapsed) = run_ingest(senders, move |expected| {
+        let mut got = 0usize;
+        while got < expected {
+            assert_eq!(rx.recv().expect("reader"), DIM);
+            got += 1;
+        }
+        got
+    });
+    for handle in handles {
+        handle.join().expect("reader thread");
+    }
+    IngestRow {
+        frames_per_sec: frames as f64 / elapsed.as_secs_f64().max(1e-9),
+        sink_threads: peak.saturating_sub(before).max(n),
+    }
+}
+
+/// ns/frame to extract a codeword: full copying decode vs. the in-place
+/// view.
+fn bench_zero_copy() -> (f64, f64) {
+    let frame = codeword_frame(3);
+    let iters = 200_000u32;
+
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        let (_, message, _) =
+            Message::decode_tagged(std::hint::black_box(&frame)).expect("decodes");
+        match message {
+            Message::Codeword { values, .. } => sink += values.len(),
+            _ => unreachable!(),
+        }
+    }
+    let copying_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert_eq!(sink, DIM * iters as usize);
+
+    let start = Instant::now();
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let mut assembler = FrameAssembler::new();
+        assembler.push(std::hint::black_box(&frame));
+        let complete = assembler.next_frame().expect("ok").expect("complete");
+        let view = CodewordView::parse(complete.payload)
+            .expect("codeword")
+            .expect("consistent");
+        for i in 0..view.len() {
+            total += view.value(i);
+        }
+    }
+    let in_place_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert!(total > 0.0);
+
+    (copying_ns, in_place_ns)
+}
+
+/// Hand-rendered JSON (the workspace carries no serde).
+fn render_json(
+    scale: &[ScaleRow],
+    ingest: &[(usize, IngestRow, IngestRow)],
+    copying_ns: f64,
+    in_place_ns: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"reactor\",");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"steps\": {STEPS}, \"frames_per_conn\": {FRAMES_PER_CONN}, \
+         \"dim\": {DIM}}},"
+    );
+    s.push_str("  \"training\": [\n");
+    for (i, row) in scale.iter().enumerate() {
+        let comma = if i + 1 < scale.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"registration_ms\": {:.1}, \"steps_per_sec\": {:.1}, \
+             \"master_process_threads\": {}}}{comma}",
+            row.n, row.registration_ms, row.steps_per_sec, row.threads
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ingest\": [\n");
+    for (i, (n, reactor, threaded)) in ingest.iter().enumerate() {
+        let comma = if i + 1 < ingest.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {n}, \
+             \"reactor\": {{\"frames_per_sec\": {:.0}, \"sink_threads\": {}}}, \
+             \"thread_per_conn\": {{\"frames_per_sec\": {:.0}, \"sink_threads\": {}}}}}{comma}",
+            reactor.frames_per_sec,
+            reactor.sink_threads,
+            threaded.frames_per_sec,
+            threaded.sink_threads
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"codeword_decode_ns\": {{\"copying\": {copying_ns:.1}, \
+         \"in_place\": {in_place_ns:.1}}}"
+    );
+    s.push_str("}\n");
+    s
+}

@@ -22,15 +22,19 @@
 //! `f64` payloads, strict decoding); per-step observability in
 //! [`report::NetReport`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's `poll(2)` binding carries the
+// crate's single, documented `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod master;
 pub mod metrics;
+pub(crate) mod reactor;
 pub mod report;
 pub mod retry;
 pub mod submaster;
+pub mod swarm;
 pub mod wire;
 pub mod worker;
 
@@ -39,6 +43,7 @@ pub use master::{Master, MasterSession, NetConfig, StepControl};
 pub use report::{NetReport, NetTrainReport, RepairEvent};
 pub use retry::RetryPolicy;
 pub use submaster::{Submaster, SubmasterOptions, SubmasterSummary};
+pub use swarm::{run_swarm, SwarmOptions, SwarmSummary};
 pub use worker::{run_worker, Assignment, ShutdownCause, WorkerOptions, WorkerSummary};
 
 use std::fmt;

@@ -14,16 +14,17 @@
 //! Step semantics — decode, repair, bounds, normalization, the SGD update —
 //! live in [`isgc_engine::StepEngine`]; this module is the TCP
 //! [`Collector`]: registration, liveness, broadcast, collection, and
-//! checkpoint persistence.
+//! checkpoint persistence. All I/O rides the nonblocking
+//! `crate::reactor`: the master process runs the accept path, every
+//! connection, and the step state machine on **one** thread, regardless of
+//! `n` — connection lifecycle events arrive as `NetEvent`s where the old
+//! transport parked two threads per worker.
 
-use std::collections::VecDeque;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use isgc_core::Placement;
 use isgc_engine::{
     Collected, Collector, DegradePolicy, EngineConfig, EngineError, FnObserver, LadderState,
@@ -34,9 +35,10 @@ use isgc_ml::dataset::Dataset;
 use isgc_ml::model::Model;
 
 use crate::checkpoint::{CheckpointConfig, MasterCheckpoint};
+use crate::reactor::{NetEvent, Reactor, Token};
 use crate::report::{NetReport, NetTrainReport};
 use crate::retry::RetryPolicy;
-use crate::wire::{read_message_tagged, write_frame, write_message_for_job, Message, WireError};
+use crate::wire::{encode_params_frame, Message};
 use crate::{NetError, WaitPolicy};
 
 pub use isgc_engine::StepControl;
@@ -61,6 +63,8 @@ pub struct NetConfig {
     pub seed: u64,
     /// A worker silent for longer than this is presumed dead and stops
     /// counting toward wait targets until it reconnects or speaks again.
+    /// Enforced by the reactor's logical timer wheel, so the decision is a
+    /// deterministic deadline, not a race between wall-clock thread sleeps.
     pub heartbeat_timeout: Duration,
     /// How long `run` waits for all `n` workers to register.
     pub register_timeout: Duration,
@@ -189,7 +193,7 @@ pub(crate) fn backend(e: NetError) -> EngineError {
 }
 
 /// Recovers the typed [`NetError`] from an engine failure.
-fn engine_to_net(e: EngineError) -> NetError {
+pub(crate) fn engine_to_net(e: EngineError) -> NetError {
     match e {
         EngineError::Degraded {
             step,
@@ -209,63 +213,36 @@ fn engine_to_net(e: EngineError) -> NetError {
     }
 }
 
-/// Events flowing from connection threads into the master loop.
-pub(crate) enum Event {
-    /// A fresh connection completed its `Hello` handshake.
-    Join {
-        stream: TcpStream,
-        preferred: Option<u64>,
-    },
-    /// A fresh connection completed a `SubHello` handshake: a sub-master
-    /// claiming a shard of a 2-level aggregation tree.
-    JoinShard { stream: TcpStream, shard: u64 },
-    /// A registered connection produced a message of `bytes` wire bytes.
-    /// `worker` is the slot index — a worker id in a flat loop, a shard id
-    /// in a tree root loop.
-    Msg {
-        worker: usize,
-        epoch: u64,
-        message: Message,
-        bytes: usize,
-    },
-    /// A registered connection died (EOF, reset, or protocol error).
-    Gone { worker: usize, epoch: u64 },
-}
-
 /// What one inbound event amounted to, once slot state is updated.
 enum Dispatched {
     /// Nothing the collection loop cares about.
     Nothing,
-    /// A codeword: `(worker, step, values)`.
-    Codeword(usize, u64, Vec<f64>),
+    /// A codeword: `(worker, step, values)` — already decoded in place by
+    /// the reactor, no intermediate copy.
+    Codeword(usize, u64, Vector),
     /// A fast-fail straggler signal: `(worker, step)`.
     Decline(usize, u64),
 }
 
 /// One worker slot as the master sees it.
 pub(crate) struct Slot {
-    /// Write half of the current connection, if any.
-    pub(crate) writer: Option<TcpStream>,
-    /// Bumped on every (re)registration so events from replaced connections
-    /// can be told apart from live ones.
-    pub(crate) epoch: u64,
+    /// The reactor connection currently owning this slot, if any. Tokens
+    /// are never reused, so an event from a replaced connection can always
+    /// be told apart from the current one.
+    pub(crate) conn: Option<Token>,
     /// Whether the current connection is believed usable.
     pub(crate) alive: bool,
     /// Whether this slot was ever assigned to a connection.
     pub(crate) registered: bool,
-    /// Last time any message arrived from this worker.
-    pub(crate) last_seen: Instant,
 }
 
 impl Slot {
     /// An unregistered, unconnected slot.
     pub(crate) fn empty() -> Slot {
         Slot {
-            writer: None,
-            epoch: 0,
+            conn: None,
             alive: false,
             registered: false,
-            last_seen: Instant::now(),
         }
     }
 }
@@ -370,35 +347,8 @@ impl Master {
         mut observer: impl FnMut(&NetReport) -> StepControl,
     ) -> Result<NetTrainReport, NetError> {
         config.validate()?;
-        let n = config.placement.n();
-
-        let local_addr = self.listener.local_addr()?;
-        let (event_tx, event_rx) = unbounded::<Event>();
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = spawn_accept_loop(
-            self.listener,
-            event_tx.clone(),
-            Arc::clone(&stop),
-            config.job,
-        );
-
-        let mut loop_state = MasterLoop {
-            slots: (0..n)
-                .map(|_| Slot {
-                    writer: None,
-                    epoch: 0,
-                    alive: false,
-                    registered: false,
-                    last_seen: Instant::now(),
-                })
-                .collect(),
-            event_rx,
-            event_tx,
-            config: config.clone(),
-            assignments: (0..n)
-                .map(|w| config.placement.partitions_of(w).to_vec())
-                .collect(),
-        };
+        let reactor = Reactor::new(Some(self.listener), config.job, config.metrics.clone())?;
+        let mut loop_state = MasterLoop::new(config.clone(), reactor);
 
         let outcome = (|| -> Result<NetTrainReport, NetError> {
             let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
@@ -418,6 +368,7 @@ impl Master {
                     // Wrap the caller's observer so the engine's logical
                     // series lands in the registry; the inner observer keeps
                     // its StepControl authority.
+                    let n = config.placement.n();
                     let mut metered =
                         isgc_engine::MetricsObserver::wrapping(registry, n, &mut step_observer);
                     if let Some(name) = &config.job_name {
@@ -439,15 +390,12 @@ impl Master {
             }
         })();
 
-        // Tell workers we're done and unblock the accept loop so its thread
-        // exits: set the flag, then poke the listener with a throwaway
-        // connection. A scripted crash skips the shutdown broadcast — a
-        // killed process sends nothing.
+        // Tell workers we're done. A scripted crash skips the shutdown
+        // broadcast — a killed process sends nothing — and hard-closes
+        // every socket instead. Either way the listener dies with the
+        // reactor; there is no accept thread to unblock.
         let crashed = matches!(&outcome, Ok(report) if report.interrupted);
         loop_state.close_peers(crashed);
-        stop.store(true, Ordering::Release);
-        let _ = TcpStream::connect(local_addr);
-        let _ = accept_handle.join();
         outcome
     }
 
@@ -459,8 +407,8 @@ impl Master {
     ///
     /// # Errors
     ///
-    /// As [`Master::run_with`]; on error the accept loop is already torn
-    /// down.
+    /// As [`Master::run_with`]; on error the transport (reactor, listener,
+    /// every accepted socket) is already torn down.
     pub fn into_session<M: Model>(
         self,
         model: M,
@@ -500,69 +448,43 @@ impl Master {
         config.validate()?;
         let n = config.placement.n();
         let local_addr = self.listener.local_addr()?;
-        let (event_tx, event_rx) = unbounded::<Event>();
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = spawn_accept_loop(
-            self.listener,
-            event_tx.clone(),
-            Arc::clone(&stop),
-            config.job,
-        );
+        let reactor = Reactor::new(Some(self.listener), config.job, config.metrics.clone())?;
 
-        match build_session_state(&model, &dataset, config, event_rx, event_tx, submasters) {
-            Ok((collector, engine, session)) => {
-                let metrics = config.metrics.clone().map(|registry| {
-                    let mut observer = isgc_engine::MetricsObserver::new(registry, n);
-                    if let Some(name) = &config.job_name {
-                        observer = observer.scoped_to_job(name.clone());
-                    }
-                    observer
-                });
-                Ok(MasterSession {
-                    model,
-                    dataset,
-                    engine,
-                    session,
-                    collector,
-                    metrics,
-                    stop,
-                    accept_handle: Some(accept_handle),
-                    local_addr,
-                })
+        // Errors need no explicit transport teardown: dropping the reactor
+        // closes the listener and every accepted socket.
+        let (collector, engine, session) =
+            build_session_state(&model, &dataset, config, reactor, submasters)?;
+        let metrics = config.metrics.clone().map(|registry| {
+            let mut observer = isgc_engine::MetricsObserver::new(registry, n);
+            if let Some(name) = &config.job_name {
+                observer = observer.scoped_to_job(name.clone());
             }
-            Err(e) => {
-                stop.store(true, Ordering::Release);
-                let _ = TcpStream::connect(local_addr);
-                let _ = accept_handle.join();
-                Err(e)
-            }
-        }
+            observer
+        });
+        Ok(MasterSession {
+            model,
+            dataset,
+            engine,
+            session,
+            collector,
+            metrics,
+            local_addr,
+        })
     }
 }
 
 /// Builds the collector, engine, and open session for
-/// [`Master::into_session_inner`] — split out so the caller can tear the
-/// accept loop down on any error.
+/// [`Master::into_session_inner`].
 fn build_session_state<M: Model>(
     model: &M,
     dataset: &Dataset,
     config: &NetConfig,
-    event_rx: Receiver<Event>,
-    event_tx: Sender<Event>,
+    reactor: Reactor,
     submasters: Option<usize>,
 ) -> Result<(SessionCollector, StepEngine, isgc_engine::Session), NetError> {
-    let n = config.placement.n();
     match submasters {
         None => {
-            let mut loop_state = MasterLoop {
-                slots: (0..n).map(|_| Slot::empty()).collect(),
-                event_rx,
-                event_tx,
-                config: config.clone(),
-                assignments: (0..n)
-                    .map(|w| config.placement.partitions_of(w).to_vec())
-                    .collect(),
-            };
+            let mut loop_state = MasterLoop::new(config.clone(), reactor);
             let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
             let mut params = engine.initial_params(model);
             let (start_step, ladder) = loop_state.try_resume(&mut params)?;
@@ -575,12 +497,8 @@ fn build_session_state<M: Model>(
             Ok((SessionCollector::Flat(loop_state), engine, session))
         }
         Some(submasters) => {
-            let mut root = crate::submaster::TreeRootLoop::new(
-                config.clone(),
-                event_rx,
-                event_tx,
-                submasters,
-            )?;
+            let mut root =
+                crate::submaster::TreeRootLoop::new(config.clone(), reactor, submasters)?;
             let engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
             let params = engine.initial_params(model);
             root.await_registration()?;
@@ -601,7 +519,8 @@ enum SessionCollector {
 /// A registered, resumed, step-at-a-time networked training session — the
 /// [`Master`]'s run loop with the stepping authority handed to the caller.
 /// Drop order does not matter: [`MasterSession::finish`] performs the full
-/// transport teardown (shutdown broadcast, accept-loop join).
+/// transport teardown (shutdown broadcast, then the reactor — which owns
+/// the listener and every socket — drops with the session).
 pub struct MasterSession<M: Model> {
     model: M,
     dataset: Dataset,
@@ -609,8 +528,6 @@ pub struct MasterSession<M: Model> {
     session: isgc_engine::Session,
     collector: SessionCollector,
     metrics: Option<isgc_engine::MetricsObserver>,
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<thread::JoinHandle<()>>,
     local_addr: std::net::SocketAddr,
 }
 
@@ -653,8 +570,8 @@ impl<M: Model> MasterSession<M> {
 
     /// Closes the session: broadcasts `Shutdown` to the peers (unless the
     /// run was interrupted by a scripted crash, which emulates a killed
-    /// process by hard-closing every socket), stops the accept loop, and
-    /// returns the training report.
+    /// process by hard-closing every socket) and returns the training
+    /// report. The listener closes when the reactor drops with the session.
     pub fn finish(mut self) -> NetTrainReport {
         let report = self.engine.finish(self.session);
         let crashed = report.interrupted;
@@ -662,109 +579,20 @@ impl<M: Model> MasterSession<M> {
             SessionCollector::Flat(loop_state) => loop_state.close_peers(crashed),
             SessionCollector::Tree(root) => root.close_peers(crashed),
         }
-        self.stop.store(true, Ordering::Release);
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
         report
     }
 }
 
-/// Spawns the accept loop: each fresh connection gets a short-lived
-/// handshake thread that reads `Hello` (a worker) or `SubHello` (a
-/// sub-master) and forwards the matching join event. Frames tagged with a
-/// foreign job are dropped at the door.
-pub(crate) fn spawn_accept_loop(
-    listener: TcpListener,
-    event_tx: Sender<Event>,
-    stop: Arc<AtomicBool>,
-    job: u64,
-) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("isgc-net-accept".into())
-        .spawn(move || loop {
-            let (stream, _peer) = match listener.accept() {
-                Ok(pair) => pair,
-                Err(_) if stop.load(Ordering::Acquire) => return,
-                Err(_) => continue,
-            };
-            if stop.load(Ordering::Acquire) {
-                return;
-            }
-            let tx = event_tx.clone();
-            let _ = thread::Builder::new()
-                .name("isgc-net-handshake".into())
-                .spawn(move || {
-                    let mut stream = stream;
-                    let _ = stream.set_nodelay(true);
-                    // Bound the handshake so a silent client can't pin the
-                    // thread forever.
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                    // Anything but a correctly job-tagged Hello/SubHello
-                    // means it's not one of ours; the connection is silently
-                    // dropped.
-                    match read_message_tagged(&mut stream) {
-                        Ok((frame_job, _, _)) if frame_job != job => {}
-                        Ok((_, Message::Hello { preferred }, _)) => {
-                            let _ = stream.set_read_timeout(None);
-                            let _ = tx.send(Event::Join { stream, preferred });
-                        }
-                        Ok((_, Message::SubHello { shard }, _)) => {
-                            let _ = stream.set_read_timeout(None);
-                            let _ = tx.send(Event::JoinShard { stream, shard });
-                        }
-                        _ => {}
-                    }
-                });
-        })
-        .expect("failed to spawn accept thread")
-}
-
-/// Spawns the per-connection reader feeding `Event::Msg` / `Event::Gone`.
-/// Frames tagged with a foreign job are discarded without an event.
-pub(crate) fn spawn_reader(
-    stream: TcpStream,
-    worker: usize,
-    epoch: u64,
-    tx: Sender<Event>,
-    job: u64,
-) {
-    let _ = thread::Builder::new()
-        .name(format!("isgc-net-reader-{worker}"))
-        .spawn(move || {
-            let mut stream = stream;
-            loop {
-                match read_message_tagged(&mut stream) {
-                    Ok((frame_job, _, _)) if frame_job != job => continue,
-                    Ok((_, message, bytes)) => {
-                        if tx
-                            .send(Event::Msg {
-                                worker,
-                                epoch,
-                                message,
-                                bytes,
-                            })
-                            .is_err()
-                        {
-                            return; // master loop is gone
-                        }
-                    }
-                    Err(WireError::Closed) | Err(_) => {
-                        let _ = tx.send(Event::Gone { worker, epoch });
-                        return;
-                    }
-                }
-            }
-        });
-}
-
 /// The master's single-threaded state machine over connection events — the
-/// engine's TCP [`Collector`].
+/// engine's TCP [`Collector`]. Owns the [`Reactor`] and polls it inline:
+/// there is no I/O thread anywhere in the master process.
 struct MasterLoop {
     slots: Vec<Slot>,
-    event_rx: Receiver<Event>,
-    event_tx: Sender<Event>,
+    /// Which slot each adopted connection feeds. A token missing here (or
+    /// disagreeing with `Slot::conn`) belongs to a replaced connection and
+    /// its events are ignored.
+    owner: HashMap<Token, usize>,
+    reactor: Reactor,
     config: NetConfig,
     /// Current per-worker partition lists, mirroring the engine's table;
     /// starts as the placement's and diverges when the engine runs placement
@@ -790,28 +618,24 @@ impl Collector for MasterLoop {
         self.assignments = assignments.to_vec();
         let touched: std::collections::BTreeSet<usize> = events.iter().map(|e| e.to).collect();
         for id in touched {
-            let message = self.assign_message(id);
-            let job = self.config.job;
-            let sent = self.slots[id]
-                .writer
-                .as_mut()
-                .and_then(|w| write_message_for_job(w, job, &message).ok());
-            match sent {
-                Some(bytes) => self.count_sent(bytes),
-                None => {
-                    self.slots[id].alive = false;
-                    self.slots[id].writer = None;
-                }
+            let frame: Arc<[u8]> = self
+                .assign_message(id)
+                .encode_for_job(self.config.job)
+                .into();
+            match self.slots[id].conn {
+                Some(token) => self.reactor.send(token, frame),
+                None => self.slots[id].alive = false,
             }
         }
     }
 
     fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
         let pre_stale = self.await_rejoins();
-        self.broadcast(&Message::Params {
-            step: ctx.step,
-            values: ctx.params.as_slice().to_vec(),
-        });
+        // One encode, shared bytes to every peer — the fast path skips the
+        // `Vec<f64>` clone a `Message::Params` round-trip would cost.
+        let frame: Arc<[u8]> =
+            encode_params_frame(self.config.job, ctx.step, ctx.params.as_slice()).into();
+        self.broadcast_frame(&frame);
         let collected = self.collect_step(ctx.step).map_err(backend)?;
         Ok(Collected {
             arrivals: collected.arrivals,
@@ -836,35 +660,34 @@ impl Collector for MasterLoop {
 }
 
 impl MasterLoop {
+    fn new(config: NetConfig, reactor: Reactor) -> MasterLoop {
+        let n = config.placement.n();
+        MasterLoop {
+            slots: (0..n).map(|_| Slot::empty()).collect(),
+            owner: HashMap::new(),
+            reactor,
+            assignments: (0..n)
+                .map(|w| config.placement.partitions_of(w).to_vec())
+                .collect(),
+            config,
+        }
+    }
+
     fn n(&self) -> usize {
         self.slots.len()
     }
 
-    /// Notifies workers the run is over — a `Shutdown` broadcast normally,
-    /// or (emulating a killed process, whose fds all close) a hard shutdown
-    /// of every socket when the run ended in a scripted crash.
+    /// Notifies workers the run is over — a `Shutdown` broadcast (flushed
+    /// through the reactor) normally, or (emulating a killed process, whose
+    /// fds all close) a hard shutdown of every socket when the run ended in
+    /// a scripted crash.
     pub(crate) fn close_peers(&mut self, crashed: bool) {
         if !crashed {
-            self.broadcast(&Message::Shutdown);
+            let frame: Arc<[u8]> = Message::Shutdown.encode_for_job(self.config.job).into();
+            self.broadcast_frame(&frame);
+            self.reactor.flush_all(Duration::from_secs(1));
         } else {
-            // Reader threads hold clones of these sockets, so merely
-            // dropping the writers leaves the connections open and workers
-            // would block forever instead of seeing EOF and reconnecting to
-            // the resumed master.
-            for slot in &mut self.slots {
-                if let Some(writer) = slot.writer.take() {
-                    let _ = writer.shutdown(std::net::Shutdown::Both);
-                }
-            }
-        }
-    }
-
-    /// Counts one outbound frame, when a metrics registry is attached.
-    fn count_sent(&self, bytes: usize) {
-        if let Some(registry) = &self.config.metrics {
-            use isgc_obs::Class::Timing;
-            registry.inc(crate::metrics::FRAMES_SENT_TOTAL, &[], Timing);
-            registry.inc_by(crate::metrics::BYTES_SENT_TOTAL, &[], Timing, bytes as u64);
+            self.reactor.hard_close_all();
         }
     }
 
@@ -882,64 +705,90 @@ impl MasterLoop {
         }
     }
 
+    /// The slot an adopted connection currently owns, or `None` when the
+    /// event came from a replaced (or never-registered) connection.
+    fn slot_of(&self, token: Token) -> Option<usize> {
+        let id = *self.owner.get(&token)?;
+        (self.slots[id].conn == Some(token)).then_some(id)
+    }
+
     /// Handles one event; codewords and declines are returned to the
     /// caller, everything else mutates slot state here.
-    fn dispatch(&mut self, event: Event) -> Dispatched {
+    fn dispatch(&mut self, event: NetEvent) -> Dispatched {
         match event {
-            Event::Join { stream, preferred } => {
-                self.register(stream, preferred);
+            NetEvent::Hello { token, preferred } => {
+                self.register(token, preferred);
                 Dispatched::Nothing
             }
             // A sub-master dialing a flat master: not part of this topology;
             // drop the connection.
-            Event::JoinShard { .. } => Dispatched::Nothing,
-            Event::Gone { worker, epoch } => {
-                if self.slots[worker].epoch == epoch {
-                    self.slots[worker].alive = false;
-                    self.slots[worker].writer = None;
+            NetEvent::SubHello { token, .. } => {
+                self.reactor.reject(token);
+                Dispatched::Nothing
+            }
+            NetEvent::Gone { token } => {
+                if let Some(id) = self.slot_of(token) {
+                    self.slots[id].alive = false;
+                    self.slots[id].conn = None;
+                }
+                self.owner.remove(&token);
+                Dispatched::Nothing
+            }
+            NetEvent::HeartbeatTimeout { token } => {
+                // The reactor's timer wheel says this connection has been
+                // silent past the heartbeat deadline: presumed dead. The
+                // socket stays open — a late message revives the slot.
+                if let Some(id) = self.slot_of(token) {
+                    self.slots[id].alive = false;
                 }
                 Dispatched::Nothing
             }
-            Event::Msg {
-                worker,
-                epoch,
+            NetEvent::Codeword {
+                token,
+                step,
+                values,
+                bytes,
+            } => {
+                self.count_received(bytes);
+                let Some(id) = self.slot_of(token) else {
+                    return Dispatched::Nothing; // from a replaced connection
+                };
+                self.slots[id].alive = true;
+                Dispatched::Codeword(id, step, values)
+            }
+            NetEvent::Msg {
+                token,
                 message,
                 bytes,
             } => {
                 self.count_received(bytes);
-                if self.slots[worker].epoch != epoch {
+                let Some(id) = self.slot_of(token) else {
                     return Dispatched::Nothing; // from a replaced connection
-                }
-                self.slots[worker].last_seen = Instant::now();
-                self.slots[worker].alive = true;
+                };
+                self.slots[id].alive = true;
                 match message {
-                    Message::Codeword {
-                        worker: claimed,
-                        step,
-                        values,
-                    } => {
-                        // The slot id is authoritative; a mismatched claim is
-                        // a protocol violation we tolerate by trusting the
-                        // connection, not the payload.
-                        let _ = claimed;
-                        Dispatched::Codeword(worker, step, values)
-                    }
-                    Message::Decline { step, .. } => Dispatched::Decline(worker, step),
+                    Message::Decline { step, .. } => Dispatched::Decline(id, step),
                     Message::Heartbeat { .. } => Dispatched::Nothing,
-                    // Workers never send anything else; ignore rather than
-                    // letting one confused peer kill the run.
+                    // Workers never send anything else (codewords arrive as
+                    // NetEvent::Codeword); ignore rather than letting one
+                    // confused peer kill the run.
                     _ => Dispatched::Nothing,
                 }
             }
         }
     }
 
-    /// Assigns a slot to a fresh connection and starts its reader.
-    fn register(&mut self, stream: TcpStream, preferred: Option<u64>) {
+    /// Assigns a slot to a pending connection, adopting it into the
+    /// reactor (which sends `Assign` and arms the heartbeat deadline).
+    fn register(&mut self, token: Token, preferred: Option<u64>) {
         let n = self.n();
         let id = match preferred {
             Some(p) if (p as usize) < n => p as usize,
-            Some(_) => return, // claims a slot outside the cluster: reject
+            Some(_) => {
+                // Claims a slot outside the cluster: reject.
+                self.reactor.reject(token);
+                return;
+            }
             None => match self.slots.iter().position(|s| !s.registered) {
                 Some(free) => free,
                 None => {
@@ -948,34 +797,35 @@ impl MasterLoop {
                     // dead slot if any, else drop the connection.
                     match self.slots.iter().position(|s| !s.alive) {
                         Some(dead) => dead,
-                        None => return,
+                        None => {
+                            self.reactor.reject(token);
+                            return;
+                        }
                     }
                 }
             },
         };
-        let assign = self.assign_message(id);
-        let mut write_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        let Ok(assign_bytes) = write_message_for_job(&mut write_half, self.config.job, &assign)
-        else {
-            return;
-        };
-        self.count_sent(assign_bytes);
+        let assign: Arc<[u8]> = self
+            .assign_message(id)
+            .encode_for_job(self.config.job)
+            .into();
+        if !self
+            .reactor
+            .adopt(token, assign, Some(self.config.heartbeat_timeout))
+        {
+            return; // connection died under the Assign write
+        }
+        // The replaced connection (if any) is closed; its token can never
+        // be adopted again, so late events from it fall through slot_of.
+        if let Some(old) = self.slots[id].conn.take() {
+            self.owner.remove(&old);
+            self.reactor.reject(old);
+        }
         let slot = &mut self.slots[id];
-        slot.epoch += 1;
+        slot.conn = Some(token);
         slot.registered = true;
         slot.alive = true;
-        slot.last_seen = Instant::now();
-        slot.writer = Some(write_half);
-        spawn_reader(
-            stream,
-            id,
-            slot.epoch,
-            self.event_tx.clone(),
-            self.config.job,
-        );
+        self.owner.insert(token, id);
     }
 
     /// Builds the `Assign` frame for worker `id` from its *current*
@@ -991,50 +841,22 @@ impl MasterLoop {
         }
     }
 
-    /// Marks heartbeat-silent workers dead.
-    fn sweep_dead(&mut self) {
-        let timeout = self.config.heartbeat_timeout;
-        for slot in &mut self.slots {
-            if slot.alive && slot.last_seen.elapsed() > timeout {
-                slot.alive = false;
-            }
-        }
-    }
-
     fn alive_count(&self) -> usize {
         self.slots.iter().filter(|s| s.alive).count()
     }
 
-    /// Sends a message to every alive worker, demoting ones that fail.
-    /// The frame is serialized exactly once and the same bytes are written
-    /// to every peer — a `Params` broadcast no longer pays one encode (and
-    /// one `Vec<f64>` copy) per worker.
-    fn broadcast(&mut self, message: &Message) {
-        let frame = message.encode_for_job(self.config.job);
-        let mut frames = 0u64;
-        let mut bytes = 0u64;
-        for slot in &mut self.slots {
-            if !slot.alive {
-                continue;
-            }
-            match slot.writer.as_mut().map(|w| write_frame(w, &frame)) {
-                Some(Ok(sent)) => {
-                    frames += 1;
-                    bytes += sent as u64;
-                }
-                _ => {
-                    slot.alive = false;
-                    slot.writer = None;
-                }
-            }
-        }
-        if frames > 0 {
-            if let Some(registry) = &self.config.metrics {
-                use isgc_obs::Class::Timing;
-                registry.inc_by(crate::metrics::FRAMES_SENT_TOTAL, &[], Timing, frames);
-                registry.inc_by(crate::metrics::BYTES_SENT_TOTAL, &[], Timing, bytes);
-            }
-        }
+    /// Sends one pre-encoded frame to every alive worker. The bytes are
+    /// shared (`Arc` clones, not copies) across every peer's write queue;
+    /// a peer that fails mid-write surfaces as a queued `Gone` event and is
+    /// demoted when it is dispatched.
+    fn broadcast_frame(&mut self, frame: &Arc<[u8]>) {
+        let targets: Vec<Token> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .filter_map(|s| s.conn)
+            .collect();
+        self.reactor.broadcast(frame, targets.into_iter());
     }
 
     /// Blocks until all `n` workers registered (or the deadline passes).
@@ -1051,14 +873,8 @@ impl MasterLoop {
                     self.n()
                 )));
             };
-            match self.event_rx.recv_timeout(remaining.min(POLL)) {
-                Ok(event) => {
-                    let _ = self.dispatch(event);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(NetError::Protocol("event channel closed".into()));
-                }
+            if let Some(event) = self.reactor.next_event(remaining.min(POLL))? {
+                let _ = self.dispatch(event);
             }
         }
     }
@@ -1087,14 +903,14 @@ impl MasterLoop {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 break;
             };
-            match self.event_rx.recv_timeout(remaining.min(POLL)) {
-                Ok(event) => {
+            match self.reactor.next_event(remaining.min(POLL)) {
+                Ok(Some(event)) => {
                     if let Dispatched::Codeword(..) = self.dispatch(event) {
                         stale += 1;
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Ok(None) => {}
+                Err(_) => break,
             }
         }
         stale
@@ -1165,23 +981,24 @@ impl MasterLoop {
         // A worker is eligible for this step only through the connection
         // that received the Params broadcast; one that reconnects mid-step
         // cannot produce this step's codeword, so it must not be waited on.
-        let eligible: Vec<Option<u64>> = self
+        let eligible: Vec<Option<Token>> = self
             .slots
             .iter()
-            .map(|s| (s.alive && s.writer.is_some()).then_some(s.epoch))
+            .map(|s| if s.alive { s.conn } else { None })
             .collect();
         let mut codewords: Vec<Option<Vector>> = vec![None; n];
         let mut arrivals: Vec<usize> = Vec::new();
         let mut declined: Vec<bool> = vec![false; n];
         let mut stale = 0usize;
-        let mut pending: VecDeque<Event> = VecDeque::new();
 
         loop {
-            self.sweep_dead();
+            // Heartbeat silence arrives as HeartbeatTimeout events off the
+            // reactor's timer wheel (dispatched below); no wall-clock sweep.
             let alive_pending = (0..n)
                 .filter(|&w| {
                     self.slots[w].alive
-                        && eligible[w] == Some(self.slots[w].epoch)
+                        && eligible[w].is_some()
+                        && eligible[w] == self.slots[w].conn
                         && !declined[w]
                         && codewords[w].is_none()
                 })
@@ -1209,20 +1026,13 @@ impl MasterLoop {
                 });
             }
 
-            let event = match pending.pop_front() {
-                Some(event) => event,
-                None => match self.event_rx.recv_timeout(POLL) {
-                    Ok(event) => event,
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(NetError::Protocol("event channel closed".into()));
-                    }
-                },
+            let Some(event) = self.reactor.next_event(POLL)? else {
+                continue;
             };
             match self.dispatch(event) {
                 Dispatched::Codeword(worker, tagged_step, values) => {
                     if tagged_step == step && codewords[worker].is_none() {
-                        codewords[worker] = Some(Vector::from_slice(&values));
+                        codewords[worker] = Some(values);
                         arrivals.push(worker);
                         declined[worker] = false;
                     } else {

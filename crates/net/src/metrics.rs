@@ -24,3 +24,21 @@ pub const FRAMES_SENT_TOTAL: &str = "net.frames.sent.total";
 
 /// Total frames read from registered workers.
 pub const FRAMES_RECEIVED_TOTAL: &str = "net.frames.received.total";
+
+/// Reactor poll-loop iterations (one per `poll(2)` return, ready or not).
+pub const REACTOR_WAKEUPS_TOTAL: &str = "net.reactor.wakeups.total";
+
+/// Descriptors reported ready across all reactor wakeups.
+pub const REACTOR_READY_EVENTS_TOTAL: &str = "net.reactor.ready.events.total";
+
+/// Connections currently registered with the reactor (gauge: pending
+/// handshakes plus adopted peers).
+pub const REACTOR_CONNECTIONS: &str = "net.reactor.connections.registered";
+
+/// Writes that filled the socket buffer and parked a partial frame for
+/// resumption on the next write-readiness event.
+pub const REACTOR_PARTIAL_WRITES_TOTAL: &str = "net.reactor.partial.writes.total";
+
+/// Deadlines fired by the reactor's logical timer wheel (handshake and
+/// heartbeat timeouts).
+pub const REACTOR_TIMER_FIRES_TOTAL: &str = "net.reactor.timer.fires.total";

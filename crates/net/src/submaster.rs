@@ -13,19 +13,26 @@
 //! [`Collected`], so bound checks, normalization, and SGD run exactly as in
 //! flat mode.
 //!
+//! Both tiers run on the nonblocking `crate::reactor`: the root's
+//! listener, every sub-master link, a sub-master's own worker listener,
+//! *and* its upstream root link are all descriptors in one poll set, so a
+//! sub-master process spends zero threads on I/O. Root messages that land
+//! while a shard step is collecting (and worker events that land between
+//! steps) are buffered and replayed in order, preserving the exact
+//! interleaving the old blocking transport produced.
+//!
 //! Determinism: the FR decoder's per-group representative choice is a pure
 //! hash of `(step_rng(seed, step), group)`, so a shard decoding only its own
 //! groups picks exactly the representatives a flat master would, and the
 //! fixed merge order makes the aggregate bitwise identical to flat
 //! aggregation (see `isgc-engine::merge`).
 
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use isgc_core::decode::{decoder_for, Decoder};
 use isgc_core::{Placement, Scheme, WorkerSet};
 use isgc_engine::{
@@ -34,21 +41,39 @@ use isgc_engine::{
 };
 use isgc_linalg::Vector;
 
-use crate::master::{backend, spawn_accept_loop, spawn_reader, Event, NetConfig, Slot};
+use crate::master::{backend, NetConfig, Slot};
+use crate::reactor::{NetEvent, Reactor, Token};
 use crate::retry::RetryPolicy;
-use crate::wire::{read_message_tagged, write_message_for_job, Message};
+use crate::wire::{encode_params_frame, read_message_tagged, write_message_for_job, Message};
 use crate::{NetError, WaitPolicy};
 
 /// Poll granularity while waiting on shard uploads or worker codewords.
 const POLL: Duration = Duration::from_millis(20);
+
+/// How long an upload or shutdown flush may pump before giving up on the
+/// peer (loopback drains in microseconds; this only bounds a wedged link).
+const FLUSH_LIMIT: Duration = Duration::from_secs(5);
+
+/// The connection an event came from.
+fn event_token(event: &NetEvent) -> Token {
+    match event {
+        NetEvent::Hello { token, .. }
+        | NetEvent::SubHello { token, .. }
+        | NetEvent::Msg { token, .. }
+        | NetEvent::Codeword { token, .. }
+        | NetEvent::HeartbeatTimeout { token }
+        | NetEvent::Gone { token } => *token,
+    }
+}
 
 /// The root's collector in tree mode: one slot per sub-master, each
 /// delivering a shard's `(arrivals, selection, partial sum)` per step.
 pub(crate) struct TreeRootLoop {
     slots: Vec<Slot>,
     shards: Vec<(usize, usize)>,
-    event_rx: Receiver<Event>,
-    event_tx: Sender<Event>,
+    /// Which slot each adopted sub-master connection feeds.
+    owner: HashMap<Token, usize>,
+    reactor: Reactor,
     config: NetConfig,
 }
 
@@ -62,11 +87,10 @@ struct ShardReport {
 
 impl TreeRootLoop {
     /// Validates the tree geometry and builds the (not yet registered)
-    /// root loop.
+    /// root loop around its reactor.
     pub(crate) fn new(
         config: NetConfig,
-        event_rx: Receiver<Event>,
-        event_tx: Sender<Event>,
+        reactor: Reactor,
         submasters: usize,
     ) -> Result<TreeRootLoop, NetError> {
         let n = config.placement.n();
@@ -99,8 +123,8 @@ impl TreeRootLoop {
         Ok(TreeRootLoop {
             slots: (0..submasters).map(|_| Slot::empty()).collect(),
             shards,
-            event_rx,
-            event_tx,
+            owner: HashMap::new(),
+            reactor,
             config,
         })
     }
@@ -120,43 +144,51 @@ impl TreeRootLoop {
                     self.slots.len()
                 )));
             };
-            match self.event_rx.recv_timeout(remaining.min(POLL)) {
-                Ok(event) => self.dispatch_control(event),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(NetError::Protocol("event channel closed".into()));
-                }
+            if let Some(event) = self.reactor.next_event(remaining.min(POLL))? {
+                self.dispatch_control(event);
             }
         }
     }
 
+    /// The slot an adopted sub-master connection currently owns, or `None`
+    /// for events from a replaced connection.
+    fn slot_of(&self, token: Token) -> Option<usize> {
+        let id = *self.owner.get(&token)?;
+        (self.slots[id].conn == Some(token)).then_some(id)
+    }
+
     /// Handles registration/liveness events (everything but uploads).
-    fn dispatch_control(&mut self, event: Event) {
+    fn dispatch_control(&mut self, event: NetEvent) {
         match event {
-            Event::JoinShard { stream, shard } => self.register_shard(stream, shard),
+            NetEvent::SubHello { token, shard } => self.register_shard(token, shard),
             // A worker dialing the root directly: wrong tier, drop it.
-            Event::Join { .. } => {}
-            Event::Gone { worker, epoch } => {
-                if self.slots[worker].epoch == epoch {
-                    self.slots[worker].alive = false;
-                    self.slots[worker].writer = None;
+            NetEvent::Hello { token, .. } => self.reactor.reject(token),
+            NetEvent::Gone { token } => {
+                if let Some(shard) = self.slot_of(token) {
+                    self.slots[shard].alive = false;
+                    self.slots[shard].conn = None;
+                }
+                self.owner.remove(&token);
+            }
+            NetEvent::Msg { token, .. } | NetEvent::Codeword { token, .. } => {
+                if let Some(shard) = self.slot_of(token) {
+                    self.slots[shard].alive = true;
                 }
             }
-            Event::Msg { worker, epoch, .. } => {
-                if self.slots[worker].epoch == epoch {
-                    self.slots[worker].last_seen = Instant::now();
-                    self.slots[worker].alive = true;
-                }
-            }
+            // Sub-master links carry no idle deadline (shards answer at
+            // step cadence, not heartbeat cadence), so this never fires.
+            NetEvent::HeartbeatTimeout { .. } => {}
         }
     }
 
     /// Registers (or re-registers, after a crash) a shard's sub-master.
-    fn register_shard(&mut self, stream: TcpStream, shard: u64) {
+    fn register_shard(&mut self, token: Token, shard: u64) {
         let Some(&(lo, hi)) = self.shards.get(shard as usize) else {
-            return; // claims a shard outside the tree: reject
+            // Claims a shard outside the tree: reject.
+            self.reactor.reject(token);
+            return;
         };
-        let assign = Message::ShardAssign {
+        let assign: Arc<[u8]> = Message::ShardAssign {
             shard,
             lo: lo as u64,
             hi: hi as u64,
@@ -164,48 +196,37 @@ impl TreeRootLoop {
             c: self.config.placement.c() as u64,
             batch_size: self.config.batch_size as u64,
             seed: self.config.seed,
-        };
-        let mut write_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        if write_message_for_job(&mut write_half, self.config.job, &assign).is_err() {
-            return;
+        }
+        .encode_for_job(self.config.job)
+        .into();
+        // No idle deadline: a sub-master is only expected to speak once per
+        // step, however long its shard takes.
+        if !self.reactor.adopt(token, assign, None) {
+            return; // connection died under the ShardAssign write
+        }
+        if let Some(old) = self.slots[shard as usize].conn.take() {
+            self.owner.remove(&old);
+            self.reactor.reject(old);
         }
         let slot = &mut self.slots[shard as usize];
-        slot.epoch += 1;
+        slot.conn = Some(token);
         slot.registered = true;
         slot.alive = true;
-        slot.last_seen = Instant::now();
-        slot.writer = Some(write_half);
-        spawn_reader(
-            stream,
-            shard as usize,
-            slot.epoch,
-            self.event_tx.clone(),
-            self.config.job,
-        );
+        self.owner.insert(token, shard as usize);
     }
 
     /// Sends one pre-encoded frame to every alive sub-master (serialize
-    /// once, write `S` times), demoting shards whose connection fails.
-    fn broadcast(&mut self, message: &Message) {
-        let frame = message.encode_for_job(self.config.job);
-        for slot in &mut self.slots {
-            if !slot.alive {
-                continue;
-            }
-            if slot
-                .writer
-                .as_mut()
-                .map(|w| crate::wire::write_frame(w, &frame))
-                .and_then(Result::ok)
-                .is_none()
-            {
-                slot.alive = false;
-                slot.writer = None;
-            }
-        }
+    /// once, `Arc`-shared bytes written `S` times). A shard whose link
+    /// fails surfaces as a queued `Gone` event and is demoted when it is
+    /// dispatched.
+    fn broadcast_frame(&mut self, frame: &Arc<[u8]>) {
+        let targets: Vec<Token> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .filter_map(|s| s.conn)
+            .collect();
+        self.reactor.broadcast(frame, targets.into_iter());
     }
 
     /// Waits up to [`NetConfig::rejoin_grace`] at step start for every
@@ -223,10 +244,10 @@ impl TreeRootLoop {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 break;
             };
-            match self.event_rx.recv_timeout(remaining.min(POLL)) {
-                Ok(event) => self.dispatch_control(event),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+            match self.reactor.next_event(remaining.min(POLL)) {
+                Ok(Some(event)) => self.dispatch_control(event),
+                Ok(None) => {}
+                Err(_) => break,
             }
         }
     }
@@ -235,13 +256,11 @@ impl TreeRootLoop {
     /// or emulates a killed root by hard-closing every socket.
     pub(crate) fn close_peers(&mut self, crashed: bool) {
         if !crashed {
-            self.broadcast(&Message::Shutdown);
+            let frame: Arc<[u8]> = Message::Shutdown.encode_for_job(self.config.job).into();
+            self.broadcast_frame(&frame);
+            self.reactor.flush_all(Duration::from_secs(1));
         } else {
-            for slot in &mut self.slots {
-                if let Some(writer) = slot.writer.take() {
-                    let _ = writer.shutdown(std::net::Shutdown::Both);
-                }
-            }
+            self.reactor.hard_close_all();
         }
     }
 }
@@ -268,10 +287,9 @@ impl Collector for TreeRootLoop {
     fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
         self.await_rejoins();
         let step_start = Instant::now();
-        self.broadcast(&Message::Params {
-            step: ctx.step,
-            values: ctx.params.as_slice().to_vec(),
-        });
+        let frame: Arc<[u8]> =
+            encode_params_frame(self.config.job, ctx.step, ctx.params.as_slice()).into();
+        self.broadcast_frame(&frame);
         // A deadline wait policy caps how long present shards are held up by
         // an absent one. Under FirstW the root waits for every shard that
         // received the broadcast — a crashed shard's EOF unblocks the step
@@ -283,12 +301,12 @@ impl Collector for TreeRootLoop {
         let submasters = self.slots.len();
         // A shard is eligible for this step only through the connection that
         // received the Params broadcast; one that re-registers mid-step (a
-        // restarted sub-master, with a new epoch) never saw this step and
-        // must not be waited on — its first step is the next one.
-        let eligible: Vec<Option<u64>> = self
+        // restarted sub-master, with a new connection) never saw this step
+        // and must not be waited on — its first step is the next one.
+        let eligible: Vec<Option<Token>> = self
             .slots
             .iter()
-            .map(|s| (s.alive && s.writer.is_some()).then_some(s.epoch))
+            .map(|s| if s.alive { s.conn } else { None })
             .collect();
         let mut reports: Vec<Option<ShardReport>> = (0..submasters).map(|_| None).collect();
         let mut stale = 0usize;
@@ -296,7 +314,8 @@ impl Collector for TreeRootLoop {
             let pending = (0..submasters)
                 .filter(|&s| {
                     self.slots[s].alive
-                        && eligible[s] == Some(self.slots[s].epoch)
+                        && eligible[s].is_some()
+                        && eligible[s] == self.slots[s].conn
                         && reports[s].is_none()
                 })
                 .count();
@@ -310,14 +329,20 @@ impl Collector for TreeRootLoop {
                     break;
                 }
             }
-            match self.event_rx.recv_timeout(POLL) {
-                Ok(Event::Msg {
-                    worker: shard,
-                    epoch,
+            let event = match self.reactor.next_event(POLL) {
+                Ok(Some(event)) => event,
+                Ok(None) => continue,
+                Err(e) => return Err(backend(e)),
+            };
+            match event {
+                NetEvent::Msg {
+                    token,
                     message,
                     bytes: _,
-                }) if self.slots[shard].epoch == epoch => {
-                    self.slots[shard].last_seen = Instant::now();
+                } => {
+                    let Some(shard) = self.slot_of(token) else {
+                        continue; // from a replaced connection
+                    };
                     self.slots[shard].alive = true;
                     if let Message::ShardUpload {
                         shard: claimed,
@@ -345,11 +370,7 @@ impl Collector for TreeRootLoop {
                         }
                     }
                 }
-                Ok(event) => self.dispatch_control(event),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(backend(NetError::Protocol("event channel closed".into())));
-                }
+                other => self.dispatch_control(other),
             }
         }
 
@@ -436,7 +457,7 @@ pub struct SubmasterSummary {
 /// A bound sub-master, listening for its shard's workers. Bind first (so
 /// the harness can hand workers the address), then [`Submaster::run`].
 pub struct Submaster {
-    listener: TcpListener,
+    listener: std::net::TcpListener,
 }
 
 impl Submaster {
@@ -447,7 +468,7 @@ impl Submaster {
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs) -> Result<Submaster, NetError> {
         Ok(Submaster {
-            listener: TcpListener::bind(addr)?,
+            listener: std::net::TcpListener::bind(addr)?,
         })
     }
 
@@ -501,15 +522,11 @@ impl Submaster {
         let decoder =
             decoder_for(&placement).map_err(|e| NetError::InvalidConfig(e.to_string()))?;
 
-        let local_addr = self.listener.local_addr()?;
-        let (event_tx, event_rx) = unbounded::<Event>();
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_handle = spawn_accept_loop(
-            self.listener,
-            event_tx.clone(),
-            Arc::clone(&stop),
-            options.job,
-        );
+        // One reactor carries both tiers: the worker-facing listener and
+        // the upstream root link share the poll set, so the whole
+        // sub-master is a single thread.
+        let mut reactor = Reactor::new(Some(self.listener), options.job, None)?;
+        let root_token = reactor.register_adopted(root_stream, None)?;
 
         let mut shard_loop = ShardLoop {
             geometry,
@@ -518,8 +535,11 @@ impl Submaster {
             slots: (0..geometry.hi - geometry.lo)
                 .map(|_| Slot::empty())
                 .collect(),
-            event_rx,
-            event_tx,
+            owner: HashMap::new(),
+            reactor,
+            root: root_token,
+            root_backlog: VecDeque::new(),
+            worker_backlog: VecDeque::new(),
             options: options.clone(),
         };
 
@@ -529,17 +549,12 @@ impl Submaster {
             crashed: false,
             clean_shutdown: false,
         };
-        let outcome = shard_loop.serve(&mut root_stream, root_addr, &mut summary);
+        let outcome = shard_loop.serve(root_addr, &mut summary);
 
-        // Teardown mirrors the master's: notify or hard-close the workers,
-        // then unblock and join the accept loop.
+        // Teardown: notify the workers, or emulate a killed process (which
+        // also hard-closes the root link). The listener dies with the
+        // reactor when the loop drops.
         shard_loop.close_workers(summary.crashed);
-        if summary.crashed {
-            let _ = root_stream.shutdown(std::net::Shutdown::Both);
-        }
-        stop.store(true, Ordering::Release);
-        let _ = TcpStream::connect(local_addr);
-        let _ = accept_handle.join();
         outcome.map(|()| summary)
     }
 }
@@ -638,8 +653,19 @@ struct ShardLoop {
     placement: Placement,
     decoder: Box<dyn Decoder>,
     slots: Vec<Slot>,
-    event_rx: Receiver<Event>,
-    event_tx: Sender<Event>,
+    /// Which slot each adopted worker connection feeds.
+    owner: HashMap<Token, usize>,
+    reactor: Reactor,
+    /// The upstream root link's token (replaced on reconnect).
+    root: Token,
+    /// Root events that landed while a shard step was collecting; replayed
+    /// by the serve loop in order — the reactor interleaves both tiers on
+    /// one event stream, the old transport kept them on separate sockets.
+    root_backlog: VecDeque<NetEvent>,
+    /// Worker events that landed between steps; replayed by the next
+    /// step's collection loop, exactly when the old per-connection reader
+    /// threads' channel would have delivered them.
+    worker_backlog: VecDeque<NetEvent>,
     options: SubmasterOptions,
 }
 
@@ -647,52 +673,63 @@ impl ShardLoop {
     /// The root-facing loop: serve `Params` steps until shutdown or loss.
     fn serve(
         &mut self,
-        root_stream: &mut TcpStream,
         root_addr: std::net::SocketAddr,
         summary: &mut SubmasterSummary,
     ) -> Result<(), NetError> {
         self.await_worker_registration()?;
         loop {
-            let message = match read_message_tagged(root_stream) {
-                Ok((frame_job, _, _)) if frame_job != self.options.job => continue,
-                Ok((_, message, _)) => message,
-                Err(_) => {
-                    // Root gone: reconnect (it may have restarted) or give up.
-                    match self.reconnect_root(root_addr) {
-                        Ok(fresh) => {
-                            *root_stream = fresh;
-                            continue;
-                        }
-                        Err(_) => return Ok(()),
-                    }
-                }
+            let event = match self.root_backlog.pop_front() {
+                Some(event) => event,
+                None => match self.reactor.next_event(POLL)? {
+                    Some(event) => event,
+                    None => continue,
+                },
             };
-            match message {
-                Message::Shutdown => {
-                    summary.clean_shutdown = true;
-                    return Ok(());
-                }
-                Message::Params { step, values } => {
-                    if self.options.crash_at_step == Some(step) {
-                        summary.crashed = true;
+            if event_token(&event) != self.root {
+                // A worker (or stale-root) event between steps: buffer it
+                // for the next step's collection loop.
+                self.worker_backlog.push_back(event);
+                continue;
+            }
+            match event {
+                // Root gone: reconnect (it may have restarted) or give up.
+                NetEvent::Gone { .. } => match self.reconnect_root(root_addr) {
+                    Ok(()) => {}
+                    Err(_) => return Ok(()),
+                },
+                NetEvent::Msg { message, .. } => match message {
+                    Message::Shutdown => {
+                        summary.clean_shutdown = true;
                         return Ok(());
                     }
-                    let upload = self.serve_step(step, &values);
-                    if write_message_for_job(root_stream, self.options.job, &upload).is_ok() {
-                        summary.steps_served += 1;
+                    Message::Params { step, values } => {
+                        if self.options.crash_at_step == Some(step) {
+                            summary.crashed = true;
+                            return Ok(());
+                        }
+                        let upload = self.serve_step(step, &values);
+                        let frame: Arc<[u8]> = upload.encode_for_job(self.options.job).into();
+                        self.reactor.send(self.root, frame);
+                        if self.reactor.flush_conn(self.root, FLUSH_LIMIT) {
+                            summary.steps_served += 1;
+                        }
                     }
-                }
-                // The root sends nothing else mid-run.
+                    // The root sends nothing else mid-run.
+                    _ => {}
+                },
+                // The root link never carries codewords or idle deadlines.
                 _ => {}
             }
         }
     }
 
-    /// Re-dials the root after a lost connection, re-claiming the shard.
-    fn reconnect_root(&self, addr: std::net::SocketAddr) -> Result<TcpStream, NetError> {
+    /// Re-dials the root after a lost connection, re-claiming the shard,
+    /// and swaps the fresh link into the reactor.
+    fn reconnect_root(&mut self, addr: std::net::SocketAddr) -> Result<(), NetError> {
         let mut stream = dial_root(addr, self.geometry.shard, &self.options)?;
         let _ = read_shard_assign(&mut stream, self.geometry.shard, self.options.job)?;
-        Ok(stream)
+        self.root = self.reactor.register_adopted(stream, None)?;
+        Ok(())
     }
 
     /// Blocks until every shard worker registered.
@@ -710,50 +747,66 @@ impl ShardLoop {
                     self.slots.len()
                 )));
             };
-            match self.event_rx.recv_timeout(remaining.min(POLL)) {
-                Ok(event) => {
+            if let Some(event) = self.reactor.next_event(remaining.min(POLL))? {
+                if event_token(&event) == self.root {
+                    self.root_backlog.push_back(event);
+                } else {
                     let _ = self.dispatch(event);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(NetError::Protocol("event channel closed".into()));
                 }
             }
         }
     }
 
-    /// Handles one event; returns `Some((slot, step, values))` for a
-    /// codeword.
-    fn dispatch(&mut self, event: Event) -> Option<(usize, u64, Vec<f64>)> {
+    /// The slot an adopted worker connection currently owns.
+    fn slot_of(&self, token: Token) -> Option<usize> {
+        let id = *self.owner.get(&token)?;
+        (self.slots[id].conn == Some(token)).then_some(id)
+    }
+
+    /// Handles one worker-tier event; returns `Some((slot, step, values))`
+    /// for a codeword (already decoded in place by the reactor).
+    fn dispatch(&mut self, event: NetEvent) -> Option<(usize, u64, Vector)> {
         match event {
-            Event::Join { stream, preferred } => {
-                self.register_worker(stream, preferred);
+            NetEvent::Hello { token, preferred } => {
+                self.register_worker(token, preferred);
                 None
             }
             // A sub-master dialing a sub-master: wrong tier, drop it.
-            Event::JoinShard { .. } => None,
-            Event::Gone { worker, epoch } => {
-                if self.slots[worker].epoch == epoch {
-                    self.slots[worker].alive = false;
-                    self.slots[worker].writer = None;
+            NetEvent::SubHello { token, .. } => {
+                self.reactor.reject(token);
+                None
+            }
+            NetEvent::Gone { token } => {
+                if let Some(idx) = self.slot_of(token) {
+                    self.slots[idx].alive = false;
+                    self.slots[idx].conn = None;
+                }
+                self.owner.remove(&token);
+                None
+            }
+            NetEvent::HeartbeatTimeout { token } => {
+                // Heartbeat silence off the reactor's timer wheel
+                // (collection-time liveness); a late message revives.
+                if let Some(idx) = self.slot_of(token) {
+                    self.slots[idx].alive = false;
                 }
                 None
             }
-            Event::Msg {
-                worker,
-                epoch,
-                message,
-                bytes: _,
+            NetEvent::Codeword {
+                token,
+                step,
+                values,
+                ..
             } => {
-                if self.slots[worker].epoch != epoch {
-                    return None;
+                let idx = self.slot_of(token)?;
+                self.slots[idx].alive = true;
+                Some((idx, step, values))
+            }
+            NetEvent::Msg { token, .. } => {
+                if let Some(idx) = self.slot_of(token) {
+                    self.slots[idx].alive = true;
                 }
-                self.slots[worker].last_seen = Instant::now();
-                self.slots[worker].alive = true;
-                match message {
-                    Message::Codeword { step, values, .. } => Some((worker, step, values)),
-                    _ => None,
-                }
+                None
             }
         }
     }
@@ -761,21 +814,28 @@ impl ShardLoop {
     /// Registers a shard worker. Global ids are the contract: a worker
     /// claiming id `g` must satisfy `lo <= g < hi`; an id-less worker gets
     /// the first free slot's global id.
-    fn register_worker(&mut self, stream: TcpStream, preferred: Option<u64>) {
+    fn register_worker(&mut self, token: Token, preferred: Option<u64>) {
         let (lo, hi) = (self.geometry.lo, self.geometry.hi);
         let slot_idx = match preferred {
             Some(g) if (g as usize) >= lo && (g as usize) < hi => g as usize - lo,
-            Some(_) => return, // outside this shard: reject
+            Some(_) => {
+                // Outside this shard: reject.
+                self.reactor.reject(token);
+                return;
+            }
             None => match self.slots.iter().position(|s| !s.registered) {
                 Some(free) => free,
                 None => match self.slots.iter().position(|s| !s.alive) {
                     Some(dead) => dead,
-                    None => return,
+                    None => {
+                        self.reactor.reject(token);
+                        return;
+                    }
                 },
             },
         };
         let global = lo + slot_idx;
-        let assign = Message::Assign {
+        let assign: Arc<[u8]> = Message::Assign {
             worker: global as u64,
             n: self.geometry.n as u64,
             c: self.geometry.c as u64,
@@ -787,83 +847,76 @@ impl ShardLoop {
                 .iter()
                 .map(|&j| j as u64)
                 .collect(),
-        };
-        let mut write_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        if write_message_for_job(&mut write_half, self.options.job, &assign).is_err() {
+        }
+        .encode_for_job(self.options.job)
+        .into();
+        if !self
+            .reactor
+            .adopt(token, assign, Some(self.options.heartbeat_timeout))
+        {
             return;
         }
+        if let Some(old) = self.slots[slot_idx].conn.take() {
+            self.owner.remove(&old);
+            self.reactor.reject(old);
+        }
         let slot = &mut self.slots[slot_idx];
-        slot.epoch += 1;
+        slot.conn = Some(token);
         slot.registered = true;
         slot.alive = true;
-        slot.last_seen = Instant::now();
-        slot.writer = Some(write_half);
-        spawn_reader(
-            stream,
-            slot_idx,
-            slot.epoch,
-            self.event_tx.clone(),
-            self.options.job,
-        );
+        self.owner.insert(token, slot_idx);
     }
 
     /// One step: relay `Params`, collect the shard's codewords, decode the
     /// shard's slice of the conflict graph, and build the upload.
     fn serve_step(&mut self, step: u64, values: &[f64]) -> Message {
-        let frame = Message::Params {
-            step,
-            values: values.to_vec(),
-        }
-        .encode_for_job(self.options.job);
-        for slot in &mut self.slots {
-            if !slot.alive {
-                continue;
-            }
-            if slot
-                .writer
-                .as_mut()
-                .map(|w| crate::wire::write_frame(w, &frame))
-                .and_then(Result::ok)
-                .is_none()
-            {
-                slot.alive = false;
-                slot.writer = None;
-            }
-        }
-
-        // Collect until every alive worker that saw the broadcast answered.
-        let eligible: Vec<Option<u64>> = self
+        let frame: Arc<[u8]> = encode_params_frame(self.options.job, step, values).into();
+        let targets: Vec<Token> = self
             .slots
             .iter()
-            .map(|s| (s.alive && s.writer.is_some()).then_some(s.epoch))
+            .filter(|s| s.alive)
+            .filter_map(|s| s.conn)
+            .collect();
+        self.reactor.broadcast(&frame, targets.into_iter());
+
+        // Collect until every alive worker that saw the broadcast answered.
+        let eligible: Vec<Option<Token>> = self
+            .slots
+            .iter()
+            .map(|s| if s.alive { s.conn } else { None })
             .collect();
         let shard_len = self.slots.len();
         let mut codewords: Vec<Option<Vector>> = vec![None; shard_len];
         loop {
-            self.sweep_dead();
             let pending = (0..shard_len)
                 .filter(|&i| {
                     self.slots[i].alive
-                        && eligible[i] == Some(self.slots[i].epoch)
+                        && eligible[i].is_some()
+                        && eligible[i] == self.slots[i].conn
                         && codewords[i].is_none()
                 })
                 .count();
             if pending == 0 {
                 break;
             }
-            match self.event_rx.recv_timeout(POLL) {
-                Ok(event) => {
-                    if let Some((slot_idx, tagged_step, values)) = self.dispatch(event) {
-                        if tagged_step == step && codewords[slot_idx].is_none() {
-                            codewords[slot_idx] = Some(Vector::from_slice(&values));
-                        }
-                    }
+            let event = match self.worker_backlog.pop_front() {
+                Some(event) => event,
+                None => match self.reactor.next_event(POLL) {
+                    Ok(Some(event)) => event,
+                    Ok(None) => continue,
+                    Err(_) => break,
+                },
+            };
+            if event_token(&event) == self.root {
+                // The next Params (or Shutdown) racing this step's tail:
+                // the serve loop handles it once this step uploads.
+                self.root_backlog.push_back(event);
+                continue;
+            }
+            if let Some((slot_idx, tagged_step, values)) = self.dispatch(event) {
+                if tagged_step == step && codewords[slot_idx].is_none() {
+                    codewords[slot_idx] = Some(values);
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
 
@@ -895,31 +948,16 @@ impl ShardLoop {
         }
     }
 
-    /// Marks heartbeat-silent workers dead (collection-time liveness).
-    fn sweep_dead(&mut self) {
-        let timeout = self.options.heartbeat_timeout;
-        for slot in &mut self.slots {
-            if slot.alive && slot.last_seen.elapsed() > timeout {
-                slot.alive = false;
-            }
-        }
-    }
-
-    /// Relays shutdown to the shard's workers, or emulates a crash.
+    /// Relays shutdown to the shard's workers, or emulates a crash (which
+    /// hard-closes every socket, the root link included).
     fn close_workers(&mut self, crashed: bool) {
         if !crashed {
-            let frame = Message::Shutdown.encode_for_job(self.options.job);
-            for slot in &mut self.slots {
-                if let Some(writer) = slot.writer.as_mut() {
-                    let _ = crate::wire::write_frame(writer, &frame);
-                }
-            }
+            let frame: Arc<[u8]> = Message::Shutdown.encode_for_job(self.options.job).into();
+            let targets: Vec<Token> = self.slots.iter().filter_map(|s| s.conn).collect();
+            self.reactor.broadcast(&frame, targets.into_iter());
+            self.reactor.flush_all(FLUSH_LIMIT);
         } else {
-            for slot in &mut self.slots {
-                if let Some(writer) = slot.writer.take() {
-                    let _ = writer.shutdown(std::net::Shutdown::Both);
-                }
-            }
+            self.reactor.hard_close_all();
         }
     }
 }

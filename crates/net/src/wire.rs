@@ -350,8 +350,14 @@ impl Message {
         Ok((job, message, HEADER_LEN + len))
     }
 
-    /// Parses a frame payload (tag byte + body).
-    fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+    /// Parses a frame payload (tag byte + body) — the slice a
+    /// [`FrameAssembler`] yields per complete frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Message::decode`], minus the header errors (the assembler
+    /// already validated those).
+    pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
         let mut cursor = Cursor::new(payload);
         let tag = cursor.u8()?;
         let message = match tag {
@@ -520,6 +526,224 @@ pub fn read_message_tagged(r: &mut impl Read) -> Result<(u64, Message, usize), W
     Ok((job, message, header.len() + payload.len()))
 }
 
+/// Encodes a `Params` frame for `job` directly from a borrowed slice —
+/// byte-identical to `Message::Params { step, values: values.to_vec() }
+/// .encode_for_job(job)` without the intermediate `Vec<f64>` clone. The
+/// broadcast hot path calls this once per step with the engine's parameter
+/// slice.
+pub fn encode_params_frame(job: u64, step: u64, values: &[f64]) -> Vec<u8> {
+    let payload_len = 1 + 8 + 4 + values.len() * 8;
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload_len);
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.extend_from_slice(&job.to_le_bytes());
+    frame.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    frame.push(TAG_PARAMS);
+    put_u64(&mut frame, step);
+    put_f64_vec(&mut frame, values);
+    frame
+}
+
+/// One complete frame yielded by [`FrameAssembler::next_frame`], borrowing
+/// the assembler's buffer: the payload is read in place, never copied out.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    /// The tenant job id from the frame header.
+    pub job: u64,
+    /// The frame payload: tag byte + message body.
+    pub payload: &'a [u8],
+    /// Total frame size on the wire (header + payload).
+    pub wire_len: usize,
+}
+
+impl Frame<'_> {
+    /// Decodes the payload into a [`Message`] (the copying path; codeword
+    /// payloads can instead be viewed in place via [`CodewordView`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Message::decode_payload`].
+    pub fn message(&self) -> Result<Message, WireError> {
+        Message::decode_payload(self.payload)
+    }
+}
+
+/// Reassembles wire frames from arbitrarily split byte chunks — the state a
+/// nonblocking connection keeps between readiness events. Bytes go in via
+/// [`FrameAssembler::push`] (or [`FrameAssembler::fill_from`], which reads
+/// straight into the buffer tail so the transport never copies through an
+/// intermediate allocation), complete frames come out of
+/// [`FrameAssembler::next_frame`] as in-place payload slices.
+///
+/// Consumed bytes are reclaimed lazily: the buffer compacts on the next
+/// fill, so back-to-back `next_frame` calls on one readiness burst touch
+/// each byte exactly once.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// How many bytes [`FrameAssembler::fill_from`] grows the buffer by per
+/// read call.
+const FILL_CHUNK: usize = 64 * 1024;
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameAssembler::next_frame`].
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Appends raw bytes (a test vector, or a chunk already read elsewhere).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads once from `r` into the buffer tail, returning how many bytes
+    /// arrived (0 means EOF). On a nonblocking source, `WouldBlock` passes
+    /// through as the error it is — the caller's readiness loop handles it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `read` error.
+    pub fn fill_from(&mut self, r: &mut impl io::Read) -> io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        self.buf.resize(old + FILL_CHUNK, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(k) => {
+                self.buf.truncate(old + k);
+                Ok(k)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops already-consumed bytes from the front of the buffer.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Yields the next complete frame, or `Ok(None)` when the buffered
+    /// bytes end mid-frame (more readiness events will complete it).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMagic`], [`WireError::UnsupportedVersion`], or
+    /// [`WireError::Oversized`] when the buffered header is malformed —
+    /// connection-fatal, since frame boundaries are lost.
+    pub fn next_frame(&mut self) -> Result<Option<Frame<'_>>, WireError> {
+        let bytes = &self.buf[self.start..];
+        if bytes.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if bytes[4] != VERSION {
+            return Err(WireError::UnsupportedVersion(bytes[4]));
+        }
+        let job = u64::from_le_bytes(bytes[5..13].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(bytes[13..17].try_into().expect("4-byte slice"));
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let len = len as usize;
+        if bytes.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload_start = self.start + HEADER_LEN;
+        self.start = payload_start + len;
+        Ok(Some(Frame {
+            job,
+            payload: &self.buf[payload_start..payload_start + len],
+            wire_len: HEADER_LEN + len,
+        }))
+    }
+}
+
+/// A zero-copy view of a `Codeword` payload: the gradient values stay as
+/// little-endian bytes in the connection's reassembly buffer and are decoded
+/// element-wise straight into their destination, skipping both the
+/// intermediate `Vec<f64>` and the copy into a vector type.
+#[derive(Debug)]
+pub struct CodewordView<'a> {
+    /// The sender's claimed slot.
+    pub worker: u64,
+    /// The step the codeword was computed for.
+    pub step: u64,
+    values: &'a [u8],
+}
+
+impl<'a> CodewordView<'a> {
+    /// Views `payload` as a codeword. Returns `None` when the payload is a
+    /// different message kind (fall back to [`Message::decode_payload`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::TrailingBytes`] when the
+    /// payload is a codeword but its body is inconsistent.
+    pub fn parse(payload: &'a [u8]) -> Option<Result<CodewordView<'a>, WireError>> {
+        if payload.first() != Some(&TAG_CODEWORD) {
+            return None;
+        }
+        let mut cursor = Cursor::new(&payload[1..]);
+        Some((|| {
+            let worker = cursor.u64()?;
+            let step = cursor.u64()?;
+            let count = cursor.u32()? as usize;
+            let values = cursor.take_remaining();
+            if values.len() < count * 8 {
+                return Err(WireError::Truncated);
+            }
+            if values.len() > count * 8 {
+                return Err(WireError::TrailingBytes(values.len() - count * 8));
+            }
+            Ok(CodewordView {
+                worker,
+                step,
+                values,
+            })
+        })())
+    }
+
+    /// Number of gradient values.
+    pub fn len(&self) -> usize {
+        self.values.len() / 8
+    }
+
+    /// Whether the codeword carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Decodes value `i` in place.
+    ///
+    /// # Panics
+    ///
+    /// When `i >= self.len()`.
+    pub fn value(&self, i: usize) -> f64 {
+        f64::from_le_bytes(
+            self.values[i * 8..i * 8 + 8]
+                .try_into()
+                .expect("8-byte slice"),
+        )
+    }
+}
+
 fn put_u64(buf: &mut Vec<u8>, x: u64) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
@@ -551,6 +775,12 @@ impl<'a> Cursor<'a> {
 
     fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
+    }
+
+    fn take_remaining(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        slice
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
@@ -753,6 +983,102 @@ mod tests {
             read_message(&mut io::Cursor::new(cut)),
             Err(WireError::Truncated)
         ));
+    }
+
+    #[test]
+    fn params_frame_fast_path_is_byte_identical() {
+        let values = vec![0.5, -1.25, f64::NAN, f64::MAX];
+        for job in [0u64, 9] {
+            for step in [0u64, 3, u64::MAX] {
+                let slow = Message::Params {
+                    step,
+                    values: values.clone(),
+                }
+                .encode_for_job(job);
+                assert_eq!(encode_params_frame(job, step, &values), slow);
+            }
+        }
+        assert_eq!(
+            encode_params_frame(1, 2, &[]),
+            Message::Params {
+                step: 2,
+                values: vec![]
+            }
+            .encode_for_job(1)
+        );
+    }
+
+    #[test]
+    fn assembler_yields_frames_across_any_split() {
+        let frame = Message::Codeword {
+            worker: 3,
+            step: 7,
+            values: vec![1.5, -2.5, 0.0],
+        }
+        .encode_for_job(11);
+        for cut in 0..=frame.len() {
+            let mut asm = FrameAssembler::new();
+            asm.push(&frame[..cut]);
+            if cut < frame.len() {
+                assert!(asm.next_frame().expect("prefix is well-formed").is_none());
+                asm.push(&frame[cut..]);
+            }
+            let got = asm.next_frame().expect("valid").expect("complete");
+            assert_eq!(got.job, 11);
+            assert_eq!(got.wire_len, frame.len());
+            assert_eq!(
+                got.message().expect("payload decodes"),
+                Message::Codeword {
+                    worker: 3,
+                    step: 7,
+                    values: vec![1.5, -2.5, 0.0],
+                }
+            );
+            assert_eq!(asm.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_corrupt_headers() {
+        let mut frame = Message::Shutdown.encode();
+        frame[0] = b'X';
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame);
+        assert!(matches!(asm.next_frame(), Err(WireError::BadMagic(_))));
+
+        let mut frame = Message::Shutdown.encode();
+        frame[13..17].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame);
+        assert!(matches!(asm.next_frame(), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn codeword_view_matches_copying_decode() {
+        let message = Message::Codeword {
+            worker: 5,
+            step: 12,
+            values: vec![1.0, -0.5, f64::MIN_POSITIVE, f64::NAN],
+        };
+        let frame = message.encode_for_job(2);
+        let payload = &frame[HEADER_LEN..];
+        let view = CodewordView::parse(payload)
+            .expect("is a codeword")
+            .expect("well-formed");
+        assert_eq!((view.worker, view.step, view.len()), (5, 12, 4));
+        assert!(!view.is_empty());
+        let Message::Codeword { values, .. } = message else {
+            unreachable!()
+        };
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(view.value(i).to_bits(), v.to_bits());
+        }
+
+        // Non-codeword payloads are None, truncated bodies are errors.
+        let other = Message::Heartbeat { worker: 1 }.encode();
+        assert!(CodewordView::parse(&other[HEADER_LEN..]).is_none());
+        let short = &payload[..payload.len() - 1];
+        assert!(CodewordView::parse(short).expect("codeword tag").is_err());
     }
 
     #[test]

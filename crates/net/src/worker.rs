@@ -183,8 +183,10 @@ where
 }
 
 /// Dials the master under the shared [`RetryPolicy`] and completes the
-/// `Hello`/`Assign` handshake.
-fn connect(
+/// `Hello`/`Assign` handshake. Also the swarm client's per-member
+/// handshake (see [`crate::swarm`]), which then hands the stream to its
+/// reactor instead of spawning threads.
+pub(crate) fn connect(
     addr: std::net::SocketAddr,
     preferred: Option<u64>,
     options: &WorkerOptions,

@@ -1,0 +1,215 @@
+//! Property tests for the reactor's partial-frame reassembly: a wire frame
+//! split at *every* byte boundary across readiness events — and a whole
+//! stream of frames split at arbitrary boundaries — must come out of
+//! [`FrameAssembler`] byte-identical to a one-shot decode, with the
+//! zero-copy [`CodewordView`] agreeing bit-for-bit with the copying path.
+
+use isgc_net::wire::{CodewordView, FrameAssembler, Message};
+use proptest::prelude::*;
+
+/// Deterministically builds one of the ten message variants from a flat
+/// tuple of generated fields (avoids needing boxed/unioned strategies).
+fn build_message(
+    variant: u8,
+    has_preferred: bool,
+    a: u64,
+    b: u64,
+    ints: Vec<u64>,
+    floats: Vec<f64>,
+) -> Message {
+    match variant {
+        0 => Message::Hello {
+            preferred: has_preferred.then_some(a),
+        },
+        1 => Message::Assign {
+            worker: a,
+            n: b,
+            c: a.wrapping_add(b),
+            batch_size: b.wrapping_mul(3),
+            seed: a ^ b,
+            partitions: ints,
+        },
+        2 => Message::Params {
+            step: a,
+            values: floats,
+        },
+        3 => Message::Codeword {
+            worker: a,
+            step: b,
+            values: floats,
+        },
+        4 => Message::Heartbeat { worker: a },
+        5 => Message::Decline { worker: a, step: b },
+        6 => Message::SubHello { shard: a },
+        7 => Message::ShardAssign {
+            shard: a,
+            lo: b,
+            hi: a.wrapping_add(b),
+            n: a.wrapping_mul(7),
+            c: b.wrapping_mul(5),
+            batch_size: a ^ b,
+            seed: b.rotate_left(17),
+        },
+        8 => Message::ShardUpload {
+            shard: a,
+            step: b,
+            arrivals: ints.clone(),
+            selected: ints,
+            recovered: a.wrapping_add(3),
+            partial: floats,
+        },
+        _ => Message::Shutdown,
+    }
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    (
+        0u8..10,
+        proptest::bool::ANY,
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        proptest::collection::vec(0u64..1024, 0..8),
+        proptest::collection::vec(-1e12f64..1e12, 0..12),
+    )
+        .prop_map(|(variant, has_preferred, a, b, ints, floats)| {
+            build_message(variant, has_preferred, a, b, ints, floats)
+        })
+}
+
+/// An `io::Read` that serves a fixed byte string at most `cap` bytes per
+/// call — a socket whose readiness events each deliver a tiny chunk.
+struct Trickle<'a> {
+    bytes: &'a [u8],
+    cap: usize,
+}
+
+impl std::io::Read for Trickle<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let k = self.cap.min(self.bytes.len()).min(out.len());
+        out[..k].copy_from_slice(&self.bytes[..k]);
+        self.bytes = &self.bytes[k..];
+        Ok(k)
+    }
+}
+
+/// Drains every complete frame, returning `(job, message)` pairs.
+fn drain(assembler: &mut FrameAssembler) -> Vec<(u64, Message)> {
+    let mut out = Vec::new();
+    while let Some(frame) = assembler.next_frame().expect("well-formed stream") {
+        out.push((frame.job, frame.message().expect("payload decodes")));
+    }
+    out
+}
+
+proptest! {
+    /// Splitting one frame at *each* byte boundary — header included — must
+    /// yield nothing from the first chunk and exactly the original message
+    /// from the second, for every variant and any job tag.
+    #[test]
+    fn every_split_point_reassembles(message in message_strategy(), job in 0u64..u64::MAX) {
+        let bytes = message.encode_for_job(job);
+        for cut in 0..=bytes.len() {
+            let mut assembler = FrameAssembler::new();
+            assembler.push(&bytes[..cut]);
+            if cut < bytes.len() {
+                prop_assert!(
+                    assembler.next_frame().expect("valid prefix").is_none(),
+                    "strict prefix of {} bytes yielded a frame", cut
+                );
+            }
+            assembler.push(&bytes[cut..]);
+            let frames = drain(&mut assembler);
+            prop_assert_eq!(frames.len(), 1, "split at {}", cut);
+            prop_assert_eq!(&frames[0].0, &job);
+            prop_assert_eq!(&frames[0].1, &message);
+            prop_assert_eq!(assembler.pending(), 0);
+        }
+    }
+
+    /// A whole stream of frames, delivered in arbitrary-size chunks with
+    /// the assembler drained between readiness events, decodes to exactly
+    /// the original sequence.
+    #[test]
+    fn chunked_stream_decodes_in_order(
+        messages in proptest::collection::vec(message_strategy(), 1..8),
+        jobs in proptest::collection::vec(0u64..8, 1..8),
+        chunk in 1usize..64,
+    ) {
+        let tagged: Vec<(u64, Message)> = messages
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| (jobs[i % jobs.len()], m))
+            .collect();
+        let mut stream = Vec::new();
+        for (job, message) in &tagged {
+            stream.extend_from_slice(&message.encode_for_job(*job));
+        }
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            assembler.push(piece);
+            decoded.extend(drain(&mut assembler));
+        }
+        prop_assert_eq!(decoded, tagged);
+        prop_assert_eq!(assembler.pending(), 0);
+    }
+
+    /// The `fill_from` path (reads straight into the buffer tail) behaves
+    /// identically when the source trickles bytes one readiness event at a
+    /// time.
+    #[test]
+    fn fill_from_trickle_matches_push(
+        message in message_strategy(),
+        job in 0u64..u64::MAX,
+        cap in 1usize..32,
+    ) {
+        let bytes = message.encode_for_job(job);
+        let mut source = Trickle { bytes: &bytes, cap };
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        loop {
+            let got = assembler.fill_from(&mut source).expect("in-memory read");
+            decoded.extend(drain(&mut assembler));
+            if got == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(decoded.len(), 1);
+        prop_assert_eq!(&decoded[0].0, &job);
+        prop_assert_eq!(&decoded[0].1, &message);
+    }
+
+    /// The zero-copy codeword view agrees bit-for-bit with the copying
+    /// decode — NaN payloads, infinities, and subnormals included — no
+    /// matter where the frame was split.
+    #[test]
+    fn codeword_view_is_bit_identical(
+        worker in 0u64..1024,
+        step in 0u64..1024,
+        job in 0u64..u64::MAX,
+        bits in proptest::collection::vec(0u64..u64::MAX, 0..12),
+        cut_seed in 0usize..4096,
+    ) {
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let message = Message::Codeword { worker, step, values: values.clone() };
+        let bytes = message.encode_for_job(job);
+        let cut = cut_seed % bytes.len();
+        let mut assembler = FrameAssembler::new();
+        assembler.push(&bytes[..cut]);
+        let _ = assembler.next_frame().expect("valid prefix");
+        assembler.push(&bytes[cut..]);
+        let frame = assembler
+            .next_frame()
+            .expect("well-formed")
+            .expect("complete");
+        let view = CodewordView::parse(frame.payload)
+            .expect("codeword payload")
+            .expect("consistent body");
+        prop_assert_eq!(view.worker, worker);
+        prop_assert_eq!(view.step, step);
+        prop_assert_eq!(view.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(view.value(i).to_bits(), v.to_bits());
+        }
+    }
+}

@@ -36,4 +36,16 @@ cargo run --release --quiet -- chaos --plan blackout --seed 42
 echo "== multi-tenant smoke (2 jobs x 2-level tree on loopback)"
 cargo run --release --quiet -- launch fr 8 2 --jobs 2 --tree 2 --steps 4
 
-echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, and multi-tenant smoke all clean"
+echo "== reactor scale smoke (64 workers from one swarm process)"
+# The master must stay an event loop: its process may use at most the
+# reactor/state-machine thread plus the CLI main thread, no matter how many
+# workers connect. (It is in fact 1 thread — the reactor is polled inline.)
+swarm_out=$(cargo run --release --quiet -- launch fr 64 2 --w 62 --steps 4 --swarm 1)
+echo "$swarm_out" | tail -6
+threads=$(echo "$swarm_out" | sed -n 's/^master threads during run: //p')
+if [ -z "$threads" ] || [ "$threads" -gt 2 ]; then
+  echo "FAIL: master ran with ${threads:-unknown} threads (expected <= 2)" >&2
+  exit 1
+fi
+
+echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, multi-tenant, and reactor scale smoke all clean"

@@ -12,8 +12,8 @@ use isgc_engine::{shard_ranges, DegradePolicy, StepOutcome};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
 use isgc_net::{
-    Master, MasterSession, NetConfig, Submaster, SubmasterOptions, WaitPolicy as NetWaitPolicy,
-    WorkerOptions,
+    Master, MasterSession, NetConfig, Submaster, SubmasterOptions, SwarmOptions,
+    WaitPolicy as NetWaitPolicy, WorkerOptions,
 };
 use isgc_obs::{Registry, Snapshot};
 use isgc_sched::{DriverError, JobDriver, Scheduler, SchedulerConfig, SessionStatus};
@@ -70,6 +70,10 @@ USAGE:
        [--job <id>]                        (--delay-ms injects a straggler delay;
        [--heartbeat-interval-ms <d>]       --job joins one tenant of serve-jobs;
                                            heartbeats every d ms, default 200)
+  isgc swarm <host:port> --workers <n>     join a cluster as n workers multiplexed
+       [--slow <k>] [--delay-ms <d>]       on one thread (the reactor-backed scale
+       [--job <id>]                        client; workers with index < k straggle
+       [--heartbeat-interval-ms <d>]       by d ms)
   isgc launch <fr|cr> <n> <c> [flags]      spawn master + n worker processes on
                                            loopback and train to completion
        flags: --w, --deadline-ms, --steps, --batch, --lr, --seed, --degrade,
@@ -80,6 +84,9 @@ USAGE:
               --jobs <J>                   run J co-tenant jobs (round-robin, J*n workers)
               --tree <S>                   aggregate through S sub-masters (2-level
                                            tree; FR only, S a power of two)
+              --swarm <P>                  supply the n workers from P swarm
+                                           processes instead of n single-worker
+                                           processes (flat single-job only; 0 = off)
   isgc chaos --plan <name> [flags]         run a loopback cluster under a seeded
                                            fault plan; assert Theorem 10/11 bounds,
                                            checkpoint resume, and exact replay
@@ -119,6 +126,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("serve-jobs") => cmd_serve_jobs(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
+        Some("swarm") => cmd_swarm(&args[1..]),
         Some("launch") => cmd_launch(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -900,6 +908,72 @@ fn cmd_worker(args: &[String]) -> Result<String, String> {
     ))
 }
 
+fn cmd_swarm(args: &[String]) -> Result<String, String> {
+    let addr = args
+        .first()
+        .ok_or_else(|| "expected: swarm <host:port> --workers <n> [flags]".to_string())?
+        .clone();
+    let flags = parse_flags(
+        &args[1..],
+        &[
+            "workers",
+            "slow",
+            "delay-ms",
+            "job",
+            "heartbeat-interval-ms",
+        ],
+    )?;
+    let workers: usize = match flags.get("workers") {
+        Some(s) => parse(s, "workers")?,
+        None => return Err("--workers is required".to_string()),
+    };
+    let slow: usize = match flags.get("slow") {
+        Some(s) => parse(s, "slow")?,
+        None => 0,
+    };
+    let delay_ms: u64 = match flags.get("delay-ms") {
+        Some(s) => parse(s, "delay-ms")?,
+        None => 100,
+    };
+    let mut options = SwarmOptions::new(workers);
+    // Straggling keys on the master-assigned worker index, so the semantics
+    // match `launch --slow` no matter which swarm process owns a member.
+    options.delay = Arc::new(move |w, _step| {
+        if w < slow {
+            Duration::from_millis(delay_ms)
+        } else {
+            Duration::ZERO
+        }
+    });
+    if let Some(s) = flags.get("job") {
+        options.job = parse(s, "job")?;
+    }
+    if let Some(s) = flags.get("heartbeat-interval-ms") {
+        let ms: u64 = parse(s, "heartbeat-interval-ms")?;
+        if ms == 0 {
+            return Err("--heartbeat-interval-ms must be positive".to_string());
+        }
+        options.heartbeat_interval = Duration::from_millis(ms);
+    }
+    let summary = isgc_net::run_swarm(addr.as_str(), &options, |assignment| {
+        net_model_and_data(assignment.n)
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "swarm of {} workers served {} steps ({} clean shutdowns, {} lost)\n",
+        summary.workers, summary.steps_served, summary.clean_shutdowns, summary.lost
+    ))
+}
+
+/// This process's thread count as the kernel sees it (Linux only).
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
 const LAUNCH_FLAGS: &[&str] = &[
     "w",
     "deadline-ms",
@@ -917,6 +991,7 @@ const LAUNCH_FLAGS: &[&str] = &[
     "metrics-out",
     "jobs",
     "tree",
+    "swarm",
 ];
 
 fn cmd_launch(args: &[String]) -> Result<String, String> {
@@ -971,6 +1046,18 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
             return Err(format!("--tree {tree} exceeds the {n} workers"));
         }
     }
+    let swarm: usize = match flags.get("swarm") {
+        Some(s) => parse(s, "swarm")?,
+        None => 0,
+    };
+    if swarm > 0 {
+        if jobs > 1 || tree > 0 {
+            return Err("--swarm applies to the flat single-job launch only".to_string());
+        }
+        if swarm > n {
+            return Err(format!("--swarm {swarm} exceeds the {n} workers"));
+        }
+    }
     if jobs > 1 || tree > 0 {
         return launch_multi(
             &config,
@@ -986,35 +1073,74 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
     let master = Master::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
     let addr = master.local_addr().map_err(|e| e.to_string())?;
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-    let mut children = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut cmd = std::process::Command::new(&exe);
-        cmd.arg("worker").arg(addr.to_string());
-        if i < slow {
-            cmd.arg("--delay-ms").arg(delay_ms.to_string());
+    let mut children = Vec::with_capacity(n.min(swarm.max(1)));
+    if swarm > 0 {
+        for p in 0..swarm {
+            // Spread n as evenly as possible; each swarm straggles by
+            // master-assigned worker index, so every process gets the same
+            // global --slow threshold.
+            let members = n / swarm + usize::from(p < n % swarm);
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("swarm")
+                .arg(addr.to_string())
+                .arg("--workers")
+                .arg(members.to_string())
+                .arg("--slow")
+                .arg(slow.to_string())
+                .arg("--delay-ms")
+                .arg(delay_ms.to_string());
+            if let Some(ms) = heartbeat_interval_ms {
+                cmd.arg("--heartbeat-interval-ms").arg(ms.to_string());
+            }
+            cmd.stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null());
+            children.push(cmd.spawn().map_err(|e| format!("spawning swarm: {e}"))?);
         }
-        if let Some(ms) = heartbeat_interval_ms {
-            cmd.arg("--heartbeat-interval-ms").arg(ms.to_string());
+        println!(
+            "launched {n} workers from {swarm} swarm process(es) against {addr} ({slow} straggling by {delay_ms} ms)"
+        );
+    } else {
+        for i in 0..n {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("worker").arg(addr.to_string());
+            if i < slow {
+                cmd.arg("--delay-ms").arg(delay_ms.to_string());
+            }
+            if let Some(ms) = heartbeat_interval_ms {
+                cmd.arg("--heartbeat-interval-ms").arg(ms.to_string());
+            }
+            cmd.stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null());
+            children.push(cmd.spawn().map_err(|e| format!("spawning worker: {e}"))?);
         }
-        cmd.stdout(std::process::Stdio::null())
-            .stderr(std::process::Stdio::null());
-        children.push(cmd.spawn().map_err(|e| format!("spawning worker: {e}"))?);
+        println!(
+            "launched {n} worker processes against {addr} ({slow} straggling by {delay_ms} ms)"
+        );
     }
-    println!("launched {n} worker processes against {addr} ({slow} straggling by {delay_ms} ms)");
 
     // Per-step oracle: replay each surviving worker set through the exact
-    // decoder and flag any step where the runtime recovered less.
-    let oracle = ExactDecoder::new(&p);
+    // decoder and flag any step where the runtime recovered less. The
+    // oracle is branch-and-bound MIS — exponential in the worst case (it
+    // visibly stalls on near-full availability already at FR(64, 2)) — so
+    // scale runs skip it rather than stall the master mid-step.
+    const ORACLE_MAX_N: usize = 32;
+    let oracle = (n <= ORACLE_MAX_N).then(|| ExactDecoder::new(&p));
     let mut oracle_rng = StdRng::seed_from_u64(1);
     let mut mismatches = 0usize;
+    let mut threads_during_run: Option<usize> = None;
     let (model, dataset) = net_model_and_data(n);
     let outcome = master.run_with(&model, &dataset, &config, |r| {
-        let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
-        let best = oracle.decode(&available, &mut oracle_rng).recovered_count();
-        if best != r.recovered {
-            mismatches += 1;
+        threads_during_run = threads_during_run.or_else(process_threads);
+        let best = oracle.as_ref().map(|oracle| {
+            let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
+            oracle.decode(&available, &mut oracle_rng).recovered_count()
+        });
+        if let Some(best) = best {
+            if best != r.recovered {
+                mismatches += 1;
+            }
         }
-        println!("{}", render_step(r, n, Some(best)));
+        println!("{}", render_step(r, n, best));
     });
     let report = match outcome {
         Ok(report) => report,
@@ -1034,6 +1160,9 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
         ));
     }
     let mut out = render_net_summary(&report);
+    if let Some(threads) = threads_during_run {
+        let _ = writeln!(out, "master threads during run: {threads}");
+    }
     finish_metrics(&mut out, metrics.as_ref())?;
     Ok(out)
 }

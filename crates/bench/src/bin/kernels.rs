@@ -1,0 +1,363 @@
+//! Compute-kernel benchmark: emits machine-readable `BENCH_kernels.json`,
+//! the perf record for the blocked-kernel / allocation-free gradient path.
+//!
+//! Three measurement families:
+//!
+//! 1. **Kernel ns/elem** at dim ∈ {1k, 16k, 256k} — the blocked kernels
+//!    (`axpy`, `dot`, the fused `scale_axpy` step) against plain scalar
+//!    loops, and the n-ary `sum_into` slot aggregation against the naive
+//!    clone-per-node pairwise merge it replaced (fan-in 16).
+//! 2. **End-to-end steps/sec** — the J = 1 scheduler run from the sched
+//!    benchmark, re-measured on the kernel path and reported next to the
+//!    checked-in `BENCH_sched.json` baseline.
+//! 3. **Allocations/step** — heap allocations per training step for the
+//!    old allocating gradient path (fresh gradient vectors, cloned slots,
+//!    scale-then-step) vs. the write-into path (reused scratch, borrowed
+//!    slots, fused step), counted by a wrapping global allocator.
+//!
+//! Run with: `cargo run --release -p isgc-bench --bin kernels [out.json]`.
+//! Set `ISGC_BENCH_SMOKE=1` for a fast CI smoke run (fewer iterations,
+//! same keys).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use isgc_core::Placement;
+use isgc_linalg::{kernels, Vector};
+use isgc_ml::dataset::Dataset;
+use isgc_ml::model::{LinearRegression, Model};
+use isgc_ml::optimizer::Sgd;
+use isgc_sched::{JobSpec, Scheduler, SchedulerConfig};
+
+/// Counts every heap allocation so the gradient paths can be compared on
+/// allocations/step, not just wall time.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DIMS: [usize; 3] = [1024, 16384, 262144];
+const DIM_LABELS: [&str; 3] = ["1k", "16k", "256k"];
+const SLOT_FANIN: usize = 16;
+const JOB_N: usize = 8;
+const JOB_C: usize = 2;
+const JOB_STEPS: u64 = 40;
+const ALLOC_STEPS: u64 = 50;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
+    let smoke = std::env::var("ISGC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    // Elements touched per (kernel, dim) timing trial. Smoke mode trades
+    // shorter trials for more of them: its best-of has to dodge host-load
+    // spikes inside a CI run, where a single long trial cannot.
+    let (elems_per_trial, trials) = if smoke {
+        (4_000_000usize, 9u32)
+    } else {
+        (64_000_000usize, 5u32)
+    };
+
+    let mut kernel_rows: Vec<(String, f64)> = Vec::new();
+    for (&dim, label) in DIMS.iter().zip(DIM_LABELS) {
+        let x: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+        let y0: Vec<f64> = (0..dim).map(|i| (i as f64).cos()).collect();
+        let iters = (elems_per_trial / dim).max(8) as u32;
+
+        let axpy = time_ns_per_elem(trials, dim, iters, || {
+            let mut y = y0.clone();
+            kernels::axpy(&mut y, 0.5, black_box(&x));
+            black_box(y[0])
+        });
+        let axpy_scalar = time_ns_per_elem(trials, dim, iters, || {
+            let mut y = y0.clone();
+            for (yi, xi) in y.iter_mut().zip(black_box(&x)) {
+                *yi += 0.5 * xi;
+            }
+            black_box(y[0])
+        });
+        kernel_rows.push((format!("axpy_{label}_ns_per_elem"), axpy));
+        kernel_rows.push((format!("axpy_{label}_scalar_ns_per_elem"), axpy_scalar));
+
+        let dot = time_ns_per_elem(trials, dim, iters, || {
+            kernels::dot(black_box(&x), black_box(&y0))
+        });
+        let dot_scalar = time_ns_per_elem(trials, dim, iters, || {
+            black_box(&x)
+                .iter()
+                .zip(black_box(&y0))
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        });
+        kernel_rows.push((format!("dot_{label}_ns_per_elem"), dot));
+        kernel_rows.push((format!("dot_{label}_scalar_ns_per_elem"), dot_scalar));
+
+        let fused = time_ns_per_elem(trials, dim, iters, || {
+            let mut p = y0.clone();
+            kernels::scale_axpy(&mut p, -0.01, black_box(&x), 0.125);
+            black_box(p[0])
+        });
+        let two_pass = time_ns_per_elem(trials, dim, iters, || {
+            let mut g = vec![0.0; dim];
+            kernels::scaled_into(&mut g, black_box(&x), 0.125);
+            let mut p = y0.clone();
+            kernels::axpy(&mut p, -0.01, &g);
+            black_box(p[0])
+        });
+        kernel_rows.push((format!("fused_step_{label}_ns_per_elem"), fused));
+        kernel_rows.push((format!("fused_step_{label}_two_pass_ns_per_elem"), two_pass));
+
+        // Slot aggregation: fan-in 16 into one output, blocked single pass
+        // vs. the clone-per-node pairwise recursion the engine used to run.
+        let srcs: Vec<Vec<f64>> = (0..SLOT_FANIN)
+            .map(|s| (0..dim).map(|i| ((s * dim + i) as f64).sin()).collect())
+            .collect();
+        let slot_iters = (iters / SLOT_FANIN as u32).max(4);
+        let agg = time_ns_per_elem(trials, dim * SLOT_FANIN, slot_iters, || {
+            let refs: Vec<&[f64]> = srcs.iter().map(|v| v.as_slice()).collect();
+            let mut out = vec![0.0; dim];
+            kernels::sum_into(&mut out, black_box(&refs));
+            black_box(out[0])
+        });
+        let agg_naive = time_ns_per_elem(trials, dim * SLOT_FANIN, slot_iters, || {
+            let vecs: Vec<Vector> = srcs.iter().map(|v| Vector::from_slice(v)).collect();
+            let out = naive_pairwise(black_box(&vecs));
+            black_box(out[0])
+        });
+        kernel_rows.push((format!("slot_agg_{label}_ns_per_elem"), agg));
+        kernel_rows.push((format!("slot_agg_{label}_naive_ns_per_elem"), agg_naive));
+        kernel_rows.push((format!("slot_agg_{label}_speedup"), agg_naive / agg));
+        println!(
+            "dim {label}: axpy {axpy:.3} (scalar {axpy_scalar:.3}) dot {dot:.3} \
+             (scalar {dot_scalar:.3}) fused {fused:.3} (two-pass {two_pass:.3}) \
+             slot-agg {agg:.3} (naive {agg_naive:.3}, {:.2}x) ns/elem",
+            agg_naive / agg
+        );
+    }
+
+    let baseline = baseline_j1();
+    // Each trial is a sub-millisecond 40-step job; best-of over many trials
+    // filters scheduler and host noise toward the machine's true rate.
+    let steps_per_sec = bench_scheduler_j1(if smoke { 3 } else { 25 });
+    match baseline {
+        Some(b) => println!(
+            "e2e J=1: {steps_per_sec:.0} steps/sec (baseline {b:.0}, {:.2}x)",
+            steps_per_sec / b
+        ),
+        None => println!("e2e J=1: {steps_per_sec:.0} steps/sec (no baseline found)"),
+    }
+
+    let (allocs_before, allocs_after) = bench_allocs_per_step();
+    println!("allocations/step: before {allocs_before:.1}, after {allocs_after:.1}");
+
+    let json = render_json(
+        smoke,
+        &kernel_rows,
+        baseline,
+        steps_per_sec,
+        allocs_before,
+        allocs_after,
+    );
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("wrote {out}");
+}
+
+/// Best-of-`trials` nanoseconds per element for `iters` runs of `f` over
+/// `elems` elements each — best-of filters host-load spikes, which only
+/// ever slow a trial down.
+fn time_ns_per_elem(trials: u32, elems: usize, iters: u32, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..trials {
+        let mut sink = 0.0f64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink += f();
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        assert!(!sink.is_nan());
+        best = best.min(ns / (f64::from(iters) * elems as f64));
+    }
+    best
+}
+
+/// The pre-kernel aggregation: balanced pairwise over owned vectors, one
+/// clone per leaf and one allocation-free axpy per internal node.
+fn naive_pairwise(slots: &[Vector]) -> Vector {
+    match slots.len() {
+        0 => unreachable!("non-empty"),
+        1 => slots[0].clone(),
+        len => {
+            let mid = len / 2;
+            let mut left = naive_pairwise(&slots[..mid]);
+            let right = naive_pairwise(&slots[mid..]);
+            left.axpy(1.0, &right);
+            left
+        }
+    }
+}
+
+/// `"J1"` steps/sec from the checked-in `BENCH_sched.json`, if present.
+fn baseline_j1() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_sched.json").ok()?;
+    let tail = text.split("\"J1\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Best-of-`trials` total steps/sec for one scheduler job — the same J = 1
+/// configuration the sched benchmark records.
+fn bench_scheduler_j1(trials: u32) -> f64 {
+    run_job(); // warm-up: dataset synthesis and first-touch allocation
+    let mut best = f64::MIN;
+    for _ in 0..trials {
+        best = best.max(JOB_STEPS as f64 / run_job());
+    }
+    best
+}
+
+fn run_job() -> f64 {
+    let placement = Placement::fractional(JOB_N, JOB_C).expect("FR placement");
+    let mut sched = Scheduler::new(SchedulerConfig::new(1, 0));
+    let mut spec = JobSpec::new("bench-kernels", placement, 100);
+    spec.max_steps = JOB_STEPS;
+    spec.stragglers = 1;
+    sched.submit(spec).expect("submit bench job");
+    let start = Instant::now();
+    let outcomes = sched.run_to_completion();
+    let secs = start.elapsed().as_secs_f64();
+    assert!(outcomes.iter().all(|o| o.result.is_ok()));
+    secs
+}
+
+/// Allocations per training step for the old allocating gradient path vs.
+/// the write-into path, on identical work: `JOB_N` workers with `JOB_C`
+/// partitions each, master-side slot merge, normalize, SGD step.
+fn bench_allocs_per_step() -> (f64, f64) {
+    let dataset = Dataset::synthetic_regression(192, 5, 0.1, 100);
+    let model = LinearRegression::new(5);
+    let partitioned = dataset.partition(JOB_N);
+    let placement = Placement::fractional(JOB_N, JOB_C).expect("FR placement");
+
+    // Old path: fresh gradient vector per partition, cloned codeword slots,
+    // allocating pairwise merge, scale-then-step.
+    let mut params = model.zero_params();
+    let mut opt = Sgd::new(0.05);
+    let before = count_allocs(|| {
+        for step in 0..ALLOC_STEPS {
+            let codewords: Vec<Vector> = (0..JOB_N)
+                .map(|w| {
+                    let mut cw = model.zero_params();
+                    for &j in placement.partitions_of(w) {
+                        let batch = partitioned.minibatch(j, 8, step, 100);
+                        cw.axpy(1.0, &model.gradient_sum(&params, &dataset, &batch));
+                    }
+                    cw
+                })
+                .collect();
+            let summed = naive_pairwise(&codewords);
+            let grad = summed.scaled(1.0 / JOB_N as f64);
+            opt.step(&mut params, &grad);
+        }
+        black_box(params.sum())
+    });
+
+    // New path: reused scratch, write-into gradients, borrowed slots
+    // through the blocked merge, fused prescaled step.
+    let mut params = model.zero_params();
+    let mut opt = Sgd::new(0.05);
+    let mut scratch = model.zero_params();
+    let mut codewords: Vec<Vector> = (0..JOB_N).map(|_| model.zero_params()).collect();
+    let after = count_allocs(|| {
+        for step in 0..ALLOC_STEPS {
+            for (w, cw) in codewords.iter_mut().enumerate() {
+                cw.fill_zero();
+                for &j in placement.partitions_of(w) {
+                    let batch = partitioned.minibatch(j, 8, step, 100);
+                    scratch.fill_zero();
+                    model.gradient_sum_into(&params, &dataset, &batch, &mut scratch);
+                    cw.axpy(1.0, &scratch);
+                }
+            }
+            let slots: Vec<Option<&Vector>> = codewords.iter().map(Some).collect();
+            let summed = isgc_engine::merge::pairwise_sum_of(&slots).expect("non-empty");
+            opt.step_prescaled(&mut params, &summed, 1.0 / JOB_N as f64, None);
+        }
+        black_box(params.sum())
+    });
+
+    (
+        before as f64 / ALLOC_STEPS as f64,
+        after as f64 / ALLOC_STEPS as f64,
+    )
+}
+
+/// Heap allocations performed while running `f`.
+fn count_allocs(f: impl FnOnce() -> f64) -> u64 {
+    let start = ALLOCS.load(Ordering::Relaxed);
+    assert!(f().is_finite());
+    ALLOCS.load(Ordering::Relaxed) - start
+}
+
+/// Hand-rendered JSON (the workspace carries no serde).
+fn render_json(
+    smoke: bool,
+    kernel_rows: &[(String, f64)],
+    baseline: Option<f64>,
+    steps_per_sec: f64,
+    allocs_before: f64,
+    allocs_after: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"kernels\",");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"dims\": [1024, 16384, 262144], \"slot_fanin\": {SLOT_FANIN}, \
+         \"n\": {JOB_N}, \"c\": {JOB_C}, \"steps_per_job\": {JOB_STEPS}, \
+         \"smoke\": {smoke}}},"
+    );
+    s.push_str("  \"kernels\": {\n");
+    for (i, (key, value)) in kernel_rows.iter().enumerate() {
+        let comma = if i + 1 < kernel_rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{key}\": {value:.4}{comma}");
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"e2e\": {\n");
+    match baseline {
+        Some(b) => {
+            let _ = writeln!(s, "    \"steps_per_sec_j1_baseline\": {b:.1},");
+        }
+        None => {
+            let _ = writeln!(s, "    \"steps_per_sec_j1_baseline\": null,");
+        }
+    }
+    let _ = writeln!(s, "    \"steps_per_sec_j1\": {steps_per_sec:.1}");
+    s.push_str("  },\n");
+    s.push_str("  \"allocs\": {\n");
+    let _ = writeln!(s, "    \"allocs_per_step_before\": {allocs_before:.1},");
+    let _ = writeln!(s, "    \"allocs_per_step_after\": {allocs_after:.1}");
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}

@@ -67,6 +67,8 @@ where
     let (mut stream, mut assign) = connect(addr, preferred, retry)?;
     let (model, dataset) = build(assign.n, assign.batch_size);
     let partitioned = dataset.partition(assign.n);
+    // Per-partition gradient scratch reused by every codeword computation.
+    let mut scratch = model.zero_params();
 
     let mut summary = ChaosWorkerSummary {
         worker: preferred,
@@ -123,6 +125,7 @@ where
                             &model,
                             &dataset,
                             &partitioned,
+                            &mut scratch,
                         );
                         let _ = write_message(&mut stream, &m);
                         summary.codewords_sent += 1;
@@ -137,6 +140,7 @@ where
                             &model,
                             &dataset,
                             &partitioned,
+                            &mut scratch,
                         );
                         let _ = write_message(&mut stream, &m);
                         summary.codewords_sent += 1;
@@ -150,6 +154,7 @@ where
                             &model,
                             &dataset,
                             &partitioned,
+                            &mut scratch,
                         )
                         .encode();
                         let _ = stream.write_all(&frame);
@@ -169,6 +174,7 @@ where
                                 &model,
                                 &dataset,
                                 &partitioned,
+                                &mut scratch,
                             );
                             let _ = write_message(&mut stream, &m);
                         }
@@ -195,6 +201,7 @@ where
                                     &model,
                                     &dataset,
                                     &partitioned,
+                                    &mut scratch,
                                 )
                                 .encode();
                                 frame[0] ^= 0xFF;
@@ -209,6 +216,7 @@ where
                                     &model,
                                     &dataset,
                                     &partitioned,
+                                    &mut scratch,
                                 )
                                 .encode();
                                 let _ = stream.write_all(&frame[..frame.len() / 2]);
@@ -300,12 +308,14 @@ fn codeword<M: Model>(
     model: &M,
     dataset: &Dataset,
     partitioned: &Partitioned,
+    scratch: &mut Vector,
 ) -> Message {
     let mut codeword = model.zero_params();
     for &p in &assign.partitions {
         let batch = partitioned.minibatch(p, assign.batch_size, step, assign.seed);
-        let g = model.gradient_sum(params, dataset, &batch);
-        codeword.axpy(1.0, &g);
+        scratch.fill_zero();
+        model.gradient_sum_into(params, dataset, &batch, scratch);
+        codeword.axpy(1.0, scratch);
     }
     Message::Codeword {
         worker: worker as u64,

@@ -875,20 +875,43 @@ impl StepEngine {
             let summed = match &collected.sharded {
                 Some(sharded) => merge::pairwise_sum(&sharded.partials),
                 None => {
-                    let mut slots: Vec<Option<Vector>> = vec![None; n];
-                    for (i, &w) in decoded.selected.iter().enumerate() {
-                        let codeword = collected.codewords[w]
-                            .as_ref()
-                            .expect("decoder selects only arrived workers");
-                        slots[w] = Some(match decoded.coefficients.as_ref() {
-                            Some(coeffs) => codeword.scaled(coeffs[i]),
-                            None => codeword.clone(),
-                        });
+                    // Classic codecs scale each codeword by its decoding
+                    // coefficient; those copies live here so the slot
+                    // vector below can borrow uniformly. The IS-GC path
+                    // (no coefficients) borrows the collected codewords in
+                    // place — no per-slot clone.
+                    let scaled_store: Vec<Vector> = match decoded.coefficients.as_ref() {
+                        Some(coeffs) => decoded
+                            .selected
+                            .iter()
+                            .zip(coeffs)
+                            .map(|(&w, &c)| {
+                                collected.codewords[w]
+                                    .as_ref()
+                                    .expect("decoder selects only arrived workers")
+                                    .scaled(c)
+                            })
+                            .collect(),
+                        None => Vec::new(),
+                    };
+                    let mut slots: Vec<Option<&Vector>> = vec![None; n];
+                    if decoded.coefficients.is_some() {
+                        for (i, &w) in decoded.selected.iter().enumerate() {
+                            slots[w] = Some(&scaled_store[i]);
+                        }
+                    } else {
+                        for &w in &decoded.selected {
+                            slots[w] = Some(
+                                collected.codewords[w]
+                                    .as_ref()
+                                    .expect("decoder selects only arrived workers"),
+                            );
+                        }
                     }
-                    merge::pairwise_sum(&slots)
+                    merge::pairwise_sum_of(&slots)
                 }
             };
-            if let Some(mut g) = summed {
+            if let Some(g) = summed {
                 // `g` holds summed per-sample gradients over every recovered
                 // partition's batch (Theorem 12's η·|D_d| factor).
                 let divisor = match self.config.normalization {
@@ -897,15 +920,17 @@ impl StepEngine {
                         decoded.recovered * self.config.batch_size
                     }
                 };
-                g.scale(1.0 / divisor as f64);
-                if outcome == StepOutcome::Approx {
-                    // Bias correction (approximate GC): inflate the partial
-                    // sum so its expectation matches the full-gradient sum.
-                    // Applied as a second scale so the exact path's float
-                    // operations are untouched (bitwise-parity contract).
-                    g.scale(bias_weight);
-                }
-                session.opt.step(&mut session.params, &g);
+                // Normalization, approximate-GC bias correction (inflates
+                // the partial sum so its expectation matches the
+                // full-gradient sum; a *separate* multiply so the exact
+                // path's float operations are untouched — bitwise-parity
+                // contract), and the SGD update, fused into one pass.
+                session.opt.step_prescaled(
+                    &mut session.params,
+                    &g,
+                    1.0 / divisor as f64,
+                    (outcome == StepOutcome::Approx).then_some(bias_weight),
+                );
             }
         }
 

@@ -18,7 +18,7 @@
 //!   exactly the remaining top levels of the flat tree: flat and tree runs
 //!   produce bit-identical sums, not merely close ones.
 
-use isgc_linalg::Vector;
+use isgc_linalg::{kernels, Vector};
 
 /// Balanced pairwise sum over optional slot contributions.
 ///
@@ -28,11 +28,29 @@ use isgc_linalg::Vector;
 /// on which slots are present — the property the flat-vs-tree bitwise
 /// equality rests on.
 pub fn pairwise_sum(slots: &[Option<Vector>]) -> Option<Vector> {
-    fn reduce(slots: &[Option<Vector>], lo: usize, hi: usize) -> Option<Vector> {
+    let refs: Vec<Option<&Vector>> = slots.iter().map(Option::as_ref).collect();
+    pairwise_sum_of(&refs)
+}
+
+/// [`pairwise_sum`] over borrowed slots — the allocation-free form the
+/// engine feeds directly with the decoded codeword references, no
+/// per-slot clone.
+///
+/// Dense runs of present slots collapse into a single pass of
+/// [`kernels::sum_into`], whose balanced bracketing mirrors this
+/// recursion's floor-mid splits exactly, so the fast path is bitwise
+/// identical to the naive clone-and-axpy reduction.
+pub fn pairwise_sum_of(slots: &[Option<&Vector>]) -> Option<Vector> {
+    fn reduce(slots: &[Option<&Vector>], lo: usize, hi: usize) -> Option<Vector> {
         match hi - lo {
             0 => None,
-            1 => slots[lo].clone(),
+            1 => slots[lo].cloned(),
             _ => {
+                if let Some(srcs) = dense_sources(&slots[lo..hi]) {
+                    let mut out = Vector::zeros(srcs[0].len());
+                    kernels::sum_into(out.as_mut_slice(), &srcs);
+                    return Some(out);
+                }
                 let mid = lo + (hi - lo) / 2;
                 match (reduce(slots, lo, mid), reduce(slots, mid, hi)) {
                     (Some(mut a), Some(b)) => {
@@ -46,6 +64,15 @@ pub fn pairwise_sum(slots: &[Option<Vector>]) -> Option<Vector> {
         }
     }
     reduce(slots, 0, slots.len())
+}
+
+/// When every slot in the range is present, returns their data slices in
+/// order (the precondition for the [`kernels::sum_into`] fast path).
+fn dense_sources<'a>(slots: &[Option<&'a Vector>]) -> Option<Vec<&'a [f64]>> {
+    slots
+        .iter()
+        .map(|s| s.map(Vector::as_slice))
+        .collect::<Option<Vec<_>>>()
 }
 
 /// The shard boundaries a 2-level tree must use so that per-shard
@@ -153,6 +180,53 @@ mod tests {
         want.axpy(1.0, &right);
         assert_eq!(got.as_slice(), want.as_slice());
         let _ = full;
+    }
+
+    /// The recursion with the dense `sum_into` fast path disabled — the
+    /// reference the fast path must match bitwise.
+    fn naive_reduce(slots: &[Option<Vector>], lo: usize, hi: usize) -> Option<Vector> {
+        match hi - lo {
+            0 => None,
+            1 => slots[lo].clone(),
+            _ => {
+                let mid = lo + (hi - lo) / 2;
+                match (naive_reduce(slots, lo, mid), naive_reduce(slots, mid, hi)) {
+                    (Some(mut a), Some(b)) => {
+                        a.axpy(1.0, &b);
+                        Some(a)
+                    }
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_fast_path_is_bitwise_naive() {
+        // Long vectors (crossing sum_into's block size) with
+        // non-representable values, at every density pattern for n <= 10.
+        for n in 1..=10usize {
+            for mask in 0..(1u32 << n) {
+                let slots: Vec<Option<Vector>> = (0..n)
+                    .map(|w| {
+                        (mask >> w & 1 == 1)
+                            .then(|| Vector::from_fn(301, |i| 0.1 * (w * 301 + i) as f64 + 0.7))
+                    })
+                    .collect();
+                let want = naive_reduce(&slots, 0, n);
+                let got = pairwise_sum(&slots);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => {
+                        for i in 0..301 {
+                            assert_eq!(g[i].to_bits(), w[i].to_bits(), "n={n} mask={mask} i={i}");
+                        }
+                    }
+                    _ => panic!("presence mismatch at n={n} mask={mask}"),
+                }
+            }
+        }
     }
 
     #[test]

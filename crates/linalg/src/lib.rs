@@ -6,8 +6,10 @@
 //! solver, and least squares — implemented from scratch in safe Rust.
 //!
 //! The crate deliberately stays minimal: `f64` only, no views/strides, no
-//! SIMD. Clarity and testability beat raw speed here; the hot paths of the
-//! reproduction are combinatorial (decoding), not numerical.
+//! explicit SIMD. The numeric hot paths (codeword aggregation, the SGD
+//! update, per-sample dots) run through the blocked kernels in [`kernels`],
+//! which pin the repo-wide canonical reduction order; everything else
+//! favors clarity over raw speed.
 //!
 //! # Examples
 //!
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 mod matrix;
 mod qr;
 mod solve;

@@ -160,11 +160,26 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &Vector) -> Vector {
+        let mut out = Vector::zeros(self.rows);
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix-vector product written into `out` (overwritten), reusing its
+    /// allocation. Each row reduces in the canonical blocked order of
+    /// [`crate::kernels::dot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &Vector, out: &mut Vector) {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec: output dimension mismatch");
         let xs = x.as_slice();
-        Vector::from_fn(self.rows, |r| {
-            self.row(r).iter().zip(xs).map(|(a, b)| a * b).sum()
-        })
+        let os = out.as_mut_slice();
+        for (r, o) in os.iter_mut().enumerate() {
+            *o = crate::kernels::dot(self.row(r), xs);
+        }
     }
 
     /// Transposed matrix-vector product `selfᵀ * y`.
@@ -180,11 +195,7 @@ impl Matrix {
             if coeff == 0.0 {
                 continue;
             }
-            let row = self.row(r);
-            let os = out.as_mut_slice();
-            for (o, a) in os.iter_mut().zip(row) {
-                *o += coeff * a;
-            }
+            crate::kernels::axpy(out.as_mut_slice(), coeff, self.row(r));
         }
         out
     }
@@ -394,6 +405,18 @@ mod tests {
         let via_t = m.transposed().matvec(&y);
         for i in 0..3 {
             assert!((direct[i] - via_t[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_into_reuses_and_matches() {
+        let m = Matrix::from_fn(3, 6, |r, c| (r * 6 + c) as f64 * 0.25 - 2.0);
+        let x = Vector::from_fn(6, |i| 1.0 / (i + 1) as f64);
+        let mut out = Vector::filled(3, 99.0);
+        m.matvec_into(&x, &mut out);
+        let fresh = m.matvec(&x);
+        for i in 0..3 {
+            assert_eq!(out[i].to_bits(), fresh[i].to_bits());
         }
     }
 

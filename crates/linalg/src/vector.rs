@@ -117,8 +117,7 @@ impl Vector {
     ///
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &Vector) -> f64 {
-        assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(&self.data, &other.data)
     }
 
     /// Euclidean (`l2`) norm.
@@ -137,8 +136,20 @@ impl Vector {
     }
 
     /// Maximum absolute entry (`l∞` norm); `0.0` for an empty vector.
+    ///
+    /// NaN entries propagate: if any entry is NaN the result is NaN, so a
+    /// diverged gradient cannot masquerade as a zero norm. (`f64::max`
+    /// ignores NaN operands, which used to make an all-NaN vector report
+    /// `norm_inf() == 0.0`.)
     pub fn norm_inf(&self) -> f64 {
-        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+        self.data.iter().fold(0.0, |m, x| {
+            let a = x.abs();
+            if a.is_nan() || a > m {
+                a
+            } else {
+                m
+            }
+        })
     }
 
     /// In-place `self += alpha * x` (BLAS `axpy`).
@@ -147,24 +158,20 @@ impl Vector {
     ///
     /// Panics if the lengths differ.
     pub fn axpy(&mut self, alpha: f64, x: &Vector) {
-        assert_eq!(self.len(), x.len(), "axpy: length mismatch");
-        for (s, v) in self.data.iter_mut().zip(&x.data) {
-            *s += alpha * v;
-        }
+        crate::kernels::axpy(&mut self.data, alpha, &x.data);
     }
 
     /// In-place scaling `self *= alpha`.
     pub fn scale(&mut self, alpha: f64) {
-        for s in &mut self.data {
-            *s *= alpha;
-        }
+        crate::kernels::scale(&mut self.data, alpha);
     }
 
-    /// Returns a scaled copy `alpha * self`.
+    /// Returns a scaled copy `alpha * self`, built in a single pass (no
+    /// intermediate clone-then-scale).
     pub fn scaled(&self, alpha: f64) -> Vector {
-        let mut out = self.clone();
-        out.scale(alpha);
-        out
+        Self {
+            data: self.data.iter().map(|x| x * alpha).collect(),
+        }
     }
 
     /// Sets every entry to zero, keeping the allocation.
@@ -172,9 +179,10 @@ impl Vector {
         self.data.fill(0.0);
     }
 
-    /// Sum of all entries.
+    /// Sum of all entries, in the canonical blocked reduction order of
+    /// [`crate::kernels::sum`].
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        crate::kernels::sum(&self.data)
     }
 
     /// Arithmetic mean of the entries; `0.0` for an empty vector.
@@ -265,7 +273,9 @@ impl Add for &Vector {
 
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "add: length mismatch");
-        Vector::from_fn(self.len(), |i| self.data[i] + rhs.data[i])
+        let mut out = self.clone();
+        crate::kernels::axpy(&mut out.data, 1.0, &rhs.data);
+        out
     }
 }
 
@@ -274,7 +284,9 @@ impl Sub for &Vector {
 
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
-        Vector::from_fn(self.len(), |i| self.data[i] - rhs.data[i])
+        let mut out = self.clone();
+        crate::kernels::axpy(&mut out.data, -1.0, &rhs.data);
+        out
     }
 }
 
@@ -400,6 +412,29 @@ mod tests {
         assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
         let doubled: Vec<f64> = (&v).into_iter().map(|x| x * 2.0).collect();
         assert_eq!(doubled, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn norm_inf_propagates_nan() {
+        let mut v = Vector::from_slice(&[1.0, -3.0, 2.0]);
+        assert_eq!(v.norm_inf(), 3.0);
+        v[1] = f64::NAN;
+        assert!(v.norm_inf().is_nan());
+        let all_nan = Vector::filled(4, f64::NAN);
+        assert!(all_nan.norm_inf().is_nan());
+        assert_eq!(Vector::zeros(0).norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn operators_match_kernel_paths_bitwise() {
+        let a = Vector::from_fn(9, |i| 0.1 * i as f64 - 0.3);
+        let b = Vector::from_fn(9, |i| 1.0 / (i + 1) as f64);
+        for i in 0..a.len() {
+            assert_eq!((&a + &b)[i].to_bits(), (a[i] + b[i]).to_bits());
+            assert_eq!((&a - &b)[i].to_bits(), (a[i] - b[i]).to_bits());
+            assert_eq!((&a * 0.7)[i].to_bits(), (a[i] * 0.7).to_bits());
+            assert_eq!((-&a)[i].to_bits(), (-a[i]).to_bits());
+        }
     }
 
     #[test]

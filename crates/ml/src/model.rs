@@ -5,7 +5,7 @@
 //! normalizes once by the total number of samples recovered (paper
 //! Assumption 2). Losses are reported as means for monitoring.
 
-use isgc_linalg::{log_sum_exp, sigmoid, softmax_in_place, Vector};
+use isgc_linalg::{kernels, log_sum_exp, sigmoid, softmax_in_place, Vector};
 use rand::RngCore;
 
 use crate::dataset::Dataset;
@@ -35,13 +35,40 @@ pub trait Model {
     /// bounds, or `indices` is empty.
     fn loss_mean(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> f64;
 
-    /// Sum of per-sample loss gradients over the given indices.
+    /// Sum of per-sample loss gradients over the given indices,
+    /// **accumulated** into `out` (the caller zeroes or pre-loads it).
+    ///
+    /// This is the allocation-free primitive the per-step hot path uses: a
+    /// worker keeps one scratch `Vector` alive across steps and partitions
+    /// instead of allocating a gradient per call. Accumulation semantics
+    /// make `Σ_partitions gradient_sum` a single running `out` when the
+    /// bracketing allows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `out` has the wrong dimension or an index is
+    /// out of bounds. An empty `indices` leaves `out` unchanged.
+    fn gradient_sum_into(
+        &self,
+        params: &Vector,
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut Vector,
+    );
+
+    /// Sum of per-sample loss gradients over the given indices, as a fresh
+    /// vector. Convenience wrapper over [`Model::gradient_sum_into`]; cold
+    /// paths and tests use this, the per-step loop should not.
     ///
     /// # Panics
     ///
     /// Panics if `params` has the wrong dimension or an index is out of
     /// bounds. An empty `indices` yields the zero vector.
-    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector;
+    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
+        let mut out = Vector::zeros(self.param_dim());
+        self.gradient_sum_into(params, data, indices, &mut out);
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -86,11 +113,7 @@ impl LinearRegression {
     pub fn predict(&self, params: &Vector, x: &[f64]) -> f64 {
         assert_eq!(params.len(), self.param_dim(), "bad parameter vector");
         assert_eq!(x.len(), self.features, "bad feature vector");
-        x.iter()
-            .zip(params.as_slice())
-            .map(|(xi, wi)| xi * wi)
-            .sum::<f64>()
-            + params[self.features]
+        kernels::dot(x, &params.as_slice()[..self.features]) + params[self.features]
     }
 }
 
@@ -115,17 +138,21 @@ impl Model for LinearRegression {
         total / indices.len() as f64
     }
 
-    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
-        let mut g = Vector::zeros(self.param_dim());
+    fn gradient_sum_into(
+        &self,
+        params: &Vector,
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut Vector,
+    ) {
+        assert_eq!(out.len(), self.param_dim(), "bad gradient vector");
         for &i in indices {
             let x = data.features_of(i);
             let e = self.predict(params, x) - data.target_of(i);
-            for (f, &xf) in x.iter().enumerate() {
-                g[f] += e * xf;
-            }
-            g[self.features] += e;
+            let os = out.as_mut_slice();
+            kernels::axpy(&mut os[..self.features], e, x);
+            os[self.features] += e;
         }
-        g
     }
 }
 
@@ -158,12 +185,7 @@ impl LogisticRegression {
     pub fn probability(&self, params: &Vector, x: &[f64]) -> f64 {
         assert_eq!(params.len(), self.param_dim(), "bad parameter vector");
         assert_eq!(x.len(), self.features, "bad feature vector");
-        let z = x
-            .iter()
-            .zip(params.as_slice())
-            .map(|(xi, wi)| xi * wi)
-            .sum::<f64>()
-            + params[self.features];
+        let z = kernels::dot(x, &params.as_slice()[..self.features]) + params[self.features];
         sigmoid(z)
     }
 
@@ -197,17 +219,21 @@ impl Model for LogisticRegression {
         total / indices.len() as f64
     }
 
-    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
-        let mut g = Vector::zeros(self.param_dim());
+    fn gradient_sum_into(
+        &self,
+        params: &Vector,
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut Vector,
+    ) {
+        assert_eq!(out.len(), self.param_dim(), "bad gradient vector");
         for &i in indices {
             let x = data.features_of(i);
             let e = self.probability(params, x) - data.target_of(i);
-            for (f, &xf) in x.iter().enumerate() {
-                g[f] += e * xf;
-            }
-            g[self.features] += e;
+            let os = out.as_mut_slice();
+            kernels::axpy(&mut os[..self.features], e, x);
+            os[self.features] += e;
         }
-        g
     }
 }
 
@@ -249,7 +275,7 @@ impl SoftmaxRegression {
             .map(|c| {
                 let w = &params.as_slice()[c * p..(c + 1) * p];
                 let b = params[self.classes * p + c];
-                x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>() + b
+                kernels::dot(x, w) + b
             })
             .collect()
     }
@@ -298,22 +324,26 @@ impl Model for SoftmaxRegression {
         total / indices.len() as f64
     }
 
-    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
+    fn gradient_sum_into(
+        &self,
+        params: &Vector,
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut Vector,
+    ) {
+        assert_eq!(out.len(), self.param_dim(), "bad gradient vector");
         let p = self.features;
-        let mut g = Vector::zeros(self.param_dim());
         for &i in indices {
             let x = data.features_of(i);
             let probs = self.probabilities(params, x);
             let y = data.target_of(i) as usize;
-            for c in 0..self.classes {
-                let e = probs[c] - f64::from(c == y);
-                for (f, &xf) in x.iter().enumerate() {
-                    g[c * p + f] += e * xf;
-                }
-                g[self.classes * p + c] += e;
+            let os = out.as_mut_slice();
+            for (c, &pc) in probs.iter().enumerate() {
+                let e = pc - f64::from(c == y);
+                kernels::axpy(&mut os[c * p..(c + 1) * p], e, x);
+                os[self.classes * p + c] += e;
             }
         }
-        g
     }
 }
 
@@ -376,14 +406,14 @@ impl Mlp {
             .map(|h| {
                 let w = &ps[self.w1_offset() + h * self.features..][..self.features];
                 let b = ps[self.b1_offset() + h];
-                (x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>() + b).tanh()
+                (kernels::dot(x, w) + b).tanh()
             })
             .collect();
         let z: Vec<f64> = (0..self.classes)
             .map(|c| {
                 let w = &ps[self.w2_offset() + c * self.hidden..][..self.hidden];
                 let b = ps[self.b2_offset() + c];
-                a.iter().zip(w).map(|(ai, wi)| ai * wi).sum::<f64>() + b
+                kernels::dot(&a, w) + b
             })
             .collect();
         (a, z)
@@ -445,34 +475,46 @@ impl Model for Mlp {
         total / indices.len() as f64
     }
 
-    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
-        let mut g = Vector::zeros(self.param_dim());
+    fn gradient_sum_into(
+        &self,
+        params: &Vector,
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut Vector,
+    ) {
+        assert_eq!(out.len(), self.param_dim(), "bad gradient vector");
         let ps = params.as_slice();
+        let mut delta_hidden = vec![0.0f64; self.hidden];
         for &i in indices {
             let x = data.features_of(i);
             let (a, mut probs) = self.forward(params, x);
             softmax_in_place(&mut probs);
             let y = data.target_of(i) as usize;
             // Output layer deltas: dL/dz_c = p_c − 1[c = y].
-            let mut delta_hidden = vec![0.0f64; self.hidden];
-            for c in 0..self.classes {
-                let dz = probs[c] - f64::from(c == y);
-                for h in 0..self.hidden {
-                    g[self.w2_offset() + c * self.hidden + h] += dz * a[h];
-                    delta_hidden[h] += dz * ps[self.w2_offset() + c * self.hidden + h];
-                }
-                g[self.b2_offset() + c] += dz;
+            delta_hidden.fill(0.0);
+            let os = out.as_mut_slice();
+            for (c, &pc) in probs.iter().enumerate() {
+                let dz = pc - f64::from(c == y);
+                let w2_row = &ps[self.w2_offset() + c * self.hidden..][..self.hidden];
+                kernels::axpy(
+                    &mut os[self.w2_offset() + c * self.hidden..][..self.hidden],
+                    dz,
+                    &a,
+                );
+                kernels::axpy(&mut delta_hidden, dz, w2_row);
+                os[self.b2_offset() + c] += dz;
             }
             // Hidden layer: dL/da_h through tanh'(u) = 1 − a².
-            for h in 0..self.hidden {
-                let da = delta_hidden[h] * (1.0 - a[h] * a[h]);
-                for (f, &xf) in x.iter().enumerate() {
-                    g[self.w1_offset() + h * self.features + f] += da * xf;
-                }
-                g[self.b1_offset() + h] += da;
+            for (h, &dh) in delta_hidden.iter().enumerate() {
+                let da = dh * (1.0 - a[h] * a[h]);
+                kernels::axpy(
+                    &mut os[self.w1_offset() + h * self.features..][..self.features],
+                    da,
+                    x,
+                );
+                os[self.b1_offset() + h] += da;
             }
         }
-        g
     }
 }
 

@@ -1,6 +1,6 @@
 //! SGD optimizers (the `torch.optim.SGD` stand-in).
 
-use isgc_linalg::Vector;
+use isgc_linalg::{kernels, Vector};
 
 /// Mini-batch SGD with optional momentum, matching `torch.optim.SGD`
 /// semantics (`v ← μv + g`, `θ ← θ − ηv`).
@@ -23,6 +23,9 @@ pub struct Sgd {
     momentum: f64,
     weight_decay: f64,
     velocity: Option<Vector>,
+    /// Reusable effective-gradient buffer for the non-trivial
+    /// [`Sgd::step_prescaled`] paths, so no step allocates.
+    scratch: Option<Vector>,
 }
 
 impl Sgd {
@@ -52,6 +55,7 @@ impl Sgd {
             momentum,
             weight_decay: 0.0,
             velocity: None,
+            scratch: None,
         }
     }
 
@@ -92,28 +96,75 @@ impl Sgd {
     /// Panics if `grad.len() != params.len()` (or differs from a previous
     /// call's dimension when momentum is active).
     pub fn step(&mut self, params: &mut Vector, grad: &Vector) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient mismatch");
-        if self.weight_decay > 0.0 {
-            let mut g = grad.clone();
-            g.axpy(self.weight_decay, params);
-            self.step_raw(params, &g);
+        if self.momentum == 0.0 && self.weight_decay == 0.0 {
+            assert_eq!(params.len(), grad.len(), "parameter/gradient mismatch");
+            params.axpy(-self.learning_rate, grad);
         } else {
-            self.step_raw(params, grad);
+            self.step_prescaled(params, grad, 1.0, None);
         }
     }
 
-    fn step_raw(&mut self, params: &mut Vector, grad: &Vector) {
+    /// Applies one update treating `prescale * grad` (further multiplied by
+    /// `extra_scale` when given) as the gradient — the master's
+    /// normalization, degrade bias-weight, and SGD update fused into one
+    /// call, with no full-vector temporaries on the common path.
+    ///
+    /// Bitwise contract: identical to scaling a copy of `grad` by
+    /// `prescale` (then by `extra_scale`) and calling [`Sgd::step`] on it —
+    /// the per-element rounding sequence is preserved, only the passes over
+    /// memory are fused. The plain-SGD path (no momentum, no decay, no
+    /// extra scale) runs as a single fused [`kernels::scale_axpy`]; the
+    /// other paths build the effective gradient in a scratch buffer that is
+    /// reused across steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != params.len()` (or differs from a previous
+    /// call's dimension when momentum is active).
+    pub fn step_prescaled(
+        &mut self,
+        params: &mut Vector,
+        grad: &Vector,
+        prescale: f64,
+        extra_scale: Option<f64>,
+    ) {
+        assert_eq!(params.len(), grad.len(), "parameter/gradient mismatch");
+        if self.momentum == 0.0 && self.weight_decay == 0.0 && extra_scale.is_none() {
+            kernels::scale_axpy(
+                params.as_mut_slice(),
+                -self.learning_rate,
+                grad.as_slice(),
+                prescale,
+            );
+            return;
+        }
+        if self
+            .scratch
+            .as_ref()
+            .is_none_or(|s| s.len() != params.len())
+        {
+            self.scratch = Some(Vector::zeros(params.len()));
+        }
+        let g = self.scratch.as_mut().expect("scratch just ensured");
+        kernels::scaled_into(g.as_mut_slice(), grad.as_slice(), prescale);
+        if let Some(b) = extra_scale {
+            kernels::scale(g.as_mut_slice(), b);
+        }
+        if self.weight_decay > 0.0 {
+            kernels::axpy(g.as_mut_slice(), self.weight_decay, params.as_slice());
+        }
         if self.momentum == 0.0 {
-            params.axpy(-self.learning_rate, grad);
+            kernels::axpy(params.as_mut_slice(), -self.learning_rate, g.as_slice());
             return;
         }
         let v = self
             .velocity
             .get_or_insert_with(|| Vector::zeros(params.len()));
         assert_eq!(v.len(), params.len(), "dimension changed mid-training");
-        v.scale(self.momentum);
-        v.axpy(1.0, grad);
-        params.axpy(-self.learning_rate, v);
+        // v ← g + μv, bitwise equal to the classical v ← μv then v += g
+        // (exact 1.0 multiply, commuted addition), in one pass.
+        kernels::axpby(v.as_mut_slice(), 1.0, g.as_slice(), self.momentum);
+        kernels::axpy(params.as_mut_slice(), -self.learning_rate, v.as_slice());
     }
 
     /// Clears accumulated momentum (e.g. when restarting training).
@@ -296,6 +347,43 @@ mod tests {
     #[should_panic(expected = "weight decay")]
     fn rejects_negative_weight_decay() {
         let _ = Sgd::new(0.1).with_weight_decay(-0.1);
+    }
+
+    #[test]
+    fn step_prescaled_matches_scale_then_step_bitwise() {
+        let grad = Vector::from_fn(9, |i| 0.4 * i as f64 - 1.3);
+        let configs = [
+            (Sgd::new(0.1), None),
+            (Sgd::new(0.1), Some(0.75)),
+            (Sgd::with_momentum(0.1, 0.9), None),
+            (Sgd::with_momentum(0.1, 0.9), Some(0.75)),
+            (Sgd::new(0.1).with_weight_decay(0.01), None),
+            (
+                Sgd::with_momentum(0.1, 0.5).with_weight_decay(0.01),
+                Some(0.3),
+            ),
+        ];
+        for (opt, extra) in configs {
+            let mut fused = opt.clone();
+            let mut reference = opt;
+            let mut p1 = Vector::from_fn(9, |i| (i as f64).cos());
+            let mut p2 = p1.clone();
+            for _ in 0..4 {
+                fused.step_prescaled(&mut p1, &grad, 0.125, extra);
+                let mut g = grad.scaled(0.125);
+                if let Some(b) = extra {
+                    g.scale(b);
+                }
+                reference.step(&mut p2, &g);
+            }
+            for i in 0..9 {
+                assert_eq!(
+                    p1[i].to_bits(),
+                    p2[i].to_bits(),
+                    "elem {i}, extra {extra:?}"
+                );
+            }
+        }
     }
 
     #[test]

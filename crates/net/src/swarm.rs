@@ -152,6 +152,8 @@ where
     // The broadcast parameters are identical across members; decode them
     // once per step instead of once per member.
     let mut cached_params: Option<(u64, Vector)> = None;
+    // Per-partition gradient scratch shared by every member's computation.
+    let mut scratch = model.zero_params();
     let mut last_heartbeat = Instant::now();
 
     while members.values().any(|m| !m.done) {
@@ -216,6 +218,7 @@ where
                             &partitioned,
                             step,
                             &params,
+                            &mut scratch,
                         );
                         let pause = (options.delay)(member.assignment.worker, step);
                         if !pause.is_zero() {
@@ -239,7 +242,9 @@ where
 }
 
 /// One member's step computation — the same deterministic mini-batch walk
-/// a standalone worker runs.
+/// a standalone worker runs. `scratch` is the caller's reusable
+/// per-partition gradient buffer (contents are overwritten).
+#[allow(clippy::too_many_arguments)]
 fn compute_codeword<M: Model>(
     assignment: &Assignment,
     model: &M,
@@ -247,12 +252,14 @@ fn compute_codeword<M: Model>(
     partitioned: &Partitioned,
     step: u64,
     params: &Vector,
+    scratch: &mut Vector,
 ) -> Message {
     let mut codeword = model.zero_params();
     for &p in &assignment.partitions {
         let batch = partitioned.minibatch(p, assignment.batch_size, step, assignment.seed);
-        let g = model.gradient_sum(params, dataset, &batch);
-        codeword.axpy(1.0, &g);
+        scratch.fill_zero();
+        model.gradient_sum_into(params, dataset, &batch, scratch);
+        codeword.axpy(1.0, scratch);
     }
     Message::Codeword {
         worker: assignment.worker as u64,

@@ -330,6 +330,9 @@ fn serve_messages<M: Model>(
     options: &WorkerOptions,
     steps_served: &mut usize,
 ) -> SessionEnd {
+    // Per-partition gradient scratch, reused across partitions and steps so
+    // the hot loop never allocates a gradient vector.
+    let mut scratch = model.zero_params();
     loop {
         let Ok(first) = inbound_rx.recv() else {
             return SessionEnd::Lost;
@@ -362,8 +365,9 @@ fn serve_messages<M: Model>(
         let mut codeword = model.zero_params();
         for &p in &assignment.partitions {
             let batch = partitioned.minibatch(p, assignment.batch_size, step, assignment.seed);
-            let g = model.gradient_sum(&params, dataset, &batch);
-            codeword.axpy(1.0, &g);
+            scratch.fill_zero();
+            model.gradient_sum_into(&params, dataset, &batch, &mut scratch);
+            codeword.axpy(1.0, &scratch);
         }
         let pause = (options.delay)(assignment.worker, step);
         if !pause.is_zero() {

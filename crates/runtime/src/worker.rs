@@ -58,6 +58,9 @@ where
         .name(format!("isgc-worker-{worker}"))
         .spawn(move || {
             let partitioned = dataset.partition(n);
+            // Per-partition gradient scratch, reused across partitions and
+            // steps so the hot loop never allocates a gradient vector.
+            let mut scratch = model.zero_params();
             loop {
                 // Block for the next command, then drain the queue and keep
                 // only the newest — a straggler jumps to the latest round.
@@ -74,10 +77,15 @@ where
                         let mut codeword: Option<Vector> = None;
                         for (&j, &weight) in partitions.iter().zip(&weights) {
                             let batch = partitioned.minibatch(j, batch_size, step, seed);
-                            let g = model.gradient_sum(&params, &dataset, &batch);
+                            scratch.fill_zero();
+                            model.gradient_sum_into(&params, &dataset, &batch, &mut scratch);
                             match &mut codeword {
-                                None => codeword = Some(g.scaled(weight)),
-                                Some(cw) => cw.axpy(weight, &g),
+                                // `scaled`, not axpy-into-zeros: `0.0 + x`
+                                // flips the sign of `-0.0`, and the first
+                                // partition's codeword must stay bitwise
+                                // what the old clone-and-scale produced.
+                                None => codeword = Some(scratch.scaled(weight)),
+                                Some(cw) => cw.axpy(weight, &scratch),
                             }
                         }
                         let codeword = codeword.expect("worker stores >= 1 partition");

@@ -30,6 +30,10 @@ pub fn arrivals_for(n: usize, stragglers: usize, seed: u64, step: u64) -> Vec<us
     WorkerSet::random_subset(n, n - stragglers, &mut rng).to_vec()
 }
 
+/// `scratch` is the caller's reusable per-partition gradient buffer
+/// (overwritten); the returned codeword is a fresh vector, bitwise equal to
+/// the old allocate-per-partition computation.
+#[allow(clippy::too_many_arguments)]
 fn codeword_for<M: Model>(
     model: &M,
     dataset: &Dataset,
@@ -38,11 +42,14 @@ fn codeword_for<M: Model>(
     ctx: &StepContext<'_>,
     batch_size: usize,
     seed: u64,
+    scratch: &mut Vector,
 ) -> Vector {
     let mut cw = model.zero_params();
     for &p in assigned {
         let batch = partitions.minibatch(p, batch_size, ctx.step, seed);
-        cw.axpy(1.0, &model.gradient_sum(ctx.params, dataset, &batch));
+        scratch.fill_zero();
+        model.gradient_sum_into(ctx.params, dataset, &batch, scratch);
+        cw.axpy(1.0, scratch);
     }
     cw
 }
@@ -52,6 +59,11 @@ fn codeword_for<M: Model>(
 pub struct LocalCollector {
     model: ModelKind,
     dataset: Dataset,
+    /// The deterministic partitioning, computed once at build time instead
+    /// of re-deriving it every step.
+    partitions: Partitioned,
+    /// Reusable per-partition gradient buffer.
+    scratch: Vector,
     assignments: Vec<Vec<usize>>,
     batch_size: usize,
     seed: u64,
@@ -65,18 +77,18 @@ impl Collector for LocalCollector {
 
     fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
         let n = self.n();
-        let partitions = self.dataset.partition(n);
         let arrivals = arrivals_for(n, self.stragglers, self.seed, ctx.step);
         let mut codewords: Vec<Option<Vector>> = vec![None; n];
         for &w in &arrivals {
             codewords[w] = Some(codeword_for(
                 &self.model,
                 &self.dataset,
-                &partitions,
+                &self.partitions,
                 &self.assignments[w],
                 ctx,
                 self.batch_size,
                 self.seed,
+                &mut self.scratch,
             ));
         }
         Ok(Collected {
@@ -100,6 +112,10 @@ impl Collector for LocalCollector {
 pub struct TreeCollector {
     model: ModelKind,
     dataset: Dataset,
+    /// The deterministic partitioning, computed once at build time.
+    partitions: Partitioned,
+    /// Reusable per-partition gradient buffer.
+    scratch: Vector,
     assignments: Vec<Vec<usize>>,
     batch_size: usize,
     seed: u64,
@@ -115,7 +131,6 @@ impl Collector for TreeCollector {
 
     fn collect(&mut self, ctx: &StepContext<'_>) -> Result<Collected, EngineError> {
         let n = self.n();
-        let partitions = self.dataset.partition(n);
         let arrivals = arrivals_for(n, self.stragglers, self.seed, ctx.step);
         let global = WorkerSet::from_indices(n, arrivals.iter().copied());
 
@@ -137,11 +152,12 @@ impl Collector for TreeCollector {
                 slots[w - lo] = Some(codeword_for(
                     &self.model,
                     &self.dataset,
-                    &partitions,
+                    &self.partitions,
                     &self.assignments[w],
                     ctx,
                     self.batch_size,
                     self.seed,
+                    &mut self.scratch,
                 ));
             }
             partials.push(pairwise_sum(&slots));
@@ -199,10 +215,14 @@ impl LocalJob {
         let assignments: Vec<Vec<usize>> = (0..n)
             .map(|w| spec.placement.partitions_of(w).to_vec())
             .collect();
+        let partitions = dataset.partition(n);
+        let scratch = model.zero_params();
         let backend = match spec.topology {
             Topology::Flat => Backend::Flat(LocalCollector {
                 model: model.clone(),
                 dataset: dataset.clone(),
+                partitions,
+                scratch,
                 assignments,
                 batch_size: spec.batch_size,
                 seed: spec.seed,
@@ -211,6 +231,8 @@ impl LocalJob {
             Topology::Tree { submasters } => Backend::Tree(TreeCollector {
                 model: model.clone(),
                 dataset: dataset.clone(),
+                partitions,
+                scratch,
                 assignments,
                 batch_size: spec.batch_size,
                 seed: spec.seed,

@@ -110,10 +110,16 @@ impl Model for ModelKind {
         }
     }
 
-    fn gradient_sum(&self, params: &Vector, data: &Dataset, indices: &[usize]) -> Vector {
+    fn gradient_sum_into(
+        &self,
+        params: &Vector,
+        data: &Dataset,
+        indices: &[usize],
+        out: &mut Vector,
+    ) {
         match self {
-            ModelKind::Linear(m) => m.gradient_sum(params, data, indices),
-            ModelKind::Softmax(m) => m.gradient_sum(params, data, indices),
+            ModelKind::Linear(m) => m.gradient_sum_into(params, data, indices, out),
+            ModelKind::Softmax(m) => m.gradient_sum_into(params, data, indices, out),
         }
     }
 }

@@ -401,17 +401,17 @@ impl<M: Model, S: ArrivalSampler, P: FnMut(usize, Option<f64>) -> WaitPolicy> Co
 
         // Per-partition summed gradients, computed lazily: replicas of a
         // partition would compute identical values (deterministic batches),
-        // so one evaluation per partition is exact.
+        // so one evaluation per partition is exact. The cache hands out
+        // borrows — the summed hot path never clones a gradient; only the
+        // classic encoder, which wants owned inputs, copies.
         let mut partition_grads: Vec<Option<Vector>> = vec![None; n];
-        let mut grad_of = |j: usize| -> Vector {
-            partition_grads[j]
-                .get_or_insert_with(|| {
-                    let batch = self
-                        .partitions
-                        .minibatch(j, self.batch_size, ctx.step, self.seed);
-                    self.model.gradient_sum(ctx.params, self.dataset, &batch)
-                })
-                .clone()
+        let ensure = |cache: &mut [Option<Vector>], j: usize| {
+            if cache[j].is_none() {
+                let batch = self
+                    .partitions
+                    .minibatch(j, self.batch_size, ctx.step, self.seed);
+                cache[j] = Some(self.model.gradient_sum(ctx.params, self.dataset, &batch));
+            }
         };
 
         let dim = ctx.params.len();
@@ -423,14 +423,16 @@ impl<M: Model, S: ArrivalSampler, P: FnMut(usize, Option<f64>) -> WaitPolicy> Co
                     // Worker w's codeword: sum of its partitions' gradients.
                     let mut cw = Vector::zeros(dim);
                     for &j in &self.assignments[w] {
-                        cw.axpy(1.0, &grad_of(j));
+                        ensure(&mut partition_grads, j);
+                        cw.axpy(1.0, partition_grads[j].as_ref().expect("ensured"));
                     }
                     cw
                 }
                 CodewordMode::Classic(gc) => {
                     let mut full = Vec::with_capacity(n);
                     for j in 0..n {
-                        full.push(grad_of(j));
+                        ensure(&mut partition_grads, j);
+                        full.push(partition_grads[j].clone().expect("ensured"));
                     }
                     gc.encode(w, &full)
                 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Kernel perf regression guard: compares a freshly measured
+# BENCH_kernels.json against the checked-in baseline and fails when any
+# kernel's ns/elem regressed by more than 30%.
+#
+# Usage: scripts/bench_guard.sh <fresh.json> [baseline.json]
+#
+# Only `_ns_per_elem` keys are compared (lower is better, machine-portable
+# as a ratio); speedup/e2e/alloc keys are informational and skipped —
+# steps/sec depends on host load far more than on code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="${1:?usage: scripts/bench_guard.sh <fresh.json> [baseline.json]}"
+baseline="${2:-BENCH_kernels.json}"
+limit="1.30"
+
+[ -f "$fresh" ] || { echo "FAIL: fresh results '$fresh' not found" >&2; exit 1; }
+[ -f "$baseline" ] || { echo "FAIL: baseline '$baseline' not found" >&2; exit 1; }
+
+# Extracts `"key": value` pairs for keys ending in _ns_per_elem.
+extract() {
+  sed -n 's/^ *"\([a-z0-9_]*_ns_per_elem\)": *\([0-9.]*\),*$/\1 \2/p' "$1"
+}
+
+fail=0
+checked=0
+while read -r key base; do
+  now=$(extract "$fresh" | awk -v k="$key" '$1 == k { print $2 }')
+  if [ -z "$now" ]; then
+    echo "FAIL: $key missing from $fresh" >&2
+    fail=1
+    continue
+  fi
+  checked=$((checked + 1))
+  if awk -v n="$now" -v b="$base" -v l="$limit" 'BEGIN { exit !(n > b * l) }'; then
+    echo "FAIL: $key regressed: $now ns/elem vs baseline $base (> ${limit}x)" >&2
+    fail=1
+  fi
+done < <(extract "$baseline")
+
+if [ "$checked" -eq 0 ]; then
+  echo "FAIL: no _ns_per_elem keys found in $baseline" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "ok: $checked kernel timings within ${limit}x of baseline"

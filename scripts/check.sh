@@ -48,4 +48,10 @@ if [ -z "$threads" ] || [ "$threads" -gt 2 ]; then
   exit 1
 fi
 
-echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, multi-tenant, and reactor scale smoke all clean"
+echo "== kernels bench smoke + regression guard (30% ns/elem budget)"
+# A reduced-iteration measurement on this host, compared per-kernel against
+# the checked-in BENCH_kernels.json; >30% slower on any kernel fails.
+ISGC_BENCH_SMOKE=1 cargo run --release --quiet -p isgc-bench --bin kernels -- target/BENCH_kernels_smoke.json > /dev/null
+scripts/bench_guard.sh target/BENCH_kernels_smoke.json
+
+echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, multi-tenant, reactor scale, and kernel perf guard all clean"

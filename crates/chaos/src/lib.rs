@@ -36,12 +36,14 @@ pub mod harness;
 pub mod metrics;
 pub mod plan;
 pub mod rng;
+pub mod trace;
 pub mod tree;
 pub mod worker;
 
 pub use harness::{run_chaos, ChaosConfig, ChaosOutcome};
 pub use plan::{Fault, FaultKind, FaultPlan, PLAN_NAMES};
 pub use rng::ChaosRng;
+pub use trace::{failure_fingerprint, Trace};
 pub use tree::{run_tree_chaos, TreeChaosConfig, TreeChaosOutcome};
 pub use worker::{run_chaos_worker, ChaosWorkerSummary};
 

@@ -7,6 +7,8 @@
 //! gradients means finding a **maximum independent set** of the subgraph
 //! induced by the available workers `W'`.
 
+use std::time::Instant;
+
 use crate::{Placement, WorkerId, WorkerSet};
 
 /// The conflict graph `G = (W, E)` of a placement: vertices are workers,
@@ -168,6 +170,25 @@ impl ConflictGraph {
     ///
     /// Panics if `available.universe() != self.n()`.
     pub fn max_independent_set(&self, available: &WorkerSet) -> Vec<WorkerId> {
+        self.max_independent_set_within(available, None)
+            .expect("unbudgeted search always completes")
+    }
+
+    /// [`ConflictGraph::max_independent_set`] under an optional wall-clock
+    /// deadline: `None` means the search ran to completion and the result
+    /// is the exact maximum; `Some(deadline)` aborts the branch-and-bound
+    /// once the deadline passes (checked every 256 search nodes, so the
+    /// overshoot is bounded) and returns `None` instead of a possibly
+    /// non-maximum set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.universe() != self.n()`.
+    pub fn max_independent_set_within(
+        &self,
+        available: &WorkerSet,
+        deadline: Option<Instant>,
+    ) -> Option<Vec<WorkerId>> {
         assert_eq!(
             available.universe(),
             self.n,
@@ -175,9 +196,12 @@ impl ConflictGraph {
         );
         let mut best: Vec<WorkerId> = Vec::new();
         let mut current: Vec<WorkerId> = Vec::new();
-        self.mis_recurse(available.clone(), &mut current, &mut best);
+        let mut budget = MisBudget { nodes: 0, deadline };
+        if !self.mis_recurse(available.clone(), &mut current, &mut best, &mut budget) {
+            return None;
+        }
         best.sort_unstable();
-        best
+        Some(best)
     }
 
     /// The independence number `α(G[W'])` of the induced subgraph.
@@ -189,15 +213,22 @@ impl ConflictGraph {
         self.max_independent_set(available).len()
     }
 
+    /// One branch-and-bound node. Returns `false` when the budget expired
+    /// mid-search (the partial `best` must then be discarded — it may not
+    /// be maximum).
     fn mis_recurse(
         &self,
         mut remaining: WorkerSet,
         current: &mut Vec<WorkerId>,
         best: &mut Vec<WorkerId>,
-    ) {
+        budget: &mut MisBudget,
+    ) -> bool {
+        if !budget.charge() {
+            return false;
+        }
         // Bound: even taking every remaining vertex cannot beat `best`.
         if current.len() + remaining.len() <= best.len() {
-            return;
+            return true;
         }
         // Pick the remaining vertex of maximum induced degree; vertices of
         // induced degree zero are always optimal to take immediately.
@@ -218,6 +249,7 @@ impl ConflictGraph {
             current.push(v);
             remaining.remove(v);
         }
+        let mut completed = true;
         match pick {
             None => {
                 if current.len() > best.len() {
@@ -229,16 +261,38 @@ impl ConflictGraph {
                 let mut without_nbrs = remaining.difference(&self.adjacency[v]);
                 without_nbrs.remove(v);
                 current.push(v);
-                self.mis_recurse(without_nbrs, current, best);
+                completed = self.mis_recurse(without_nbrs, current, best, budget);
                 current.pop();
                 // Branch 2: exclude v.
-                let mut without_v = remaining.clone();
-                without_v.remove(v);
-                self.mis_recurse(without_v, current, best);
+                if completed {
+                    let mut without_v = remaining.clone();
+                    without_v.remove(v);
+                    completed = self.mis_recurse(without_v, current, best, budget);
+                }
             }
         }
         for _ in 0..taken_isolated {
             current.pop();
+        }
+        completed
+    }
+}
+
+/// Budget state threaded through [`ConflictGraph::mis_recurse`]: the
+/// deadline is consulted only every 256 nodes, so the clock read never
+/// dominates the search and the overshoot past the deadline stays bounded.
+struct MisBudget {
+    nodes: u64,
+    deadline: Option<Instant>,
+}
+
+impl MisBudget {
+    /// Accounts one search node; `false` means the deadline has passed.
+    fn charge(&mut self) -> bool {
+        self.nodes += 1;
+        match self.deadline {
+            None => true,
+            Some(deadline) => !self.nodes.is_multiple_of(256) || Instant::now() < deadline,
         }
     }
 }

@@ -1,9 +1,36 @@
 //! Exact maximum-independent-set decoder (reference oracle).
 
+use std::fmt;
+use std::time::{Duration, Instant};
+
 use rand::RngCore;
 
 use crate::decode::{assert_universe, DecodeResult, Decoder};
 use crate::{ConflictGraph, Placement, WorkerSet};
+
+/// The exact oracle's branch-and-bound exceeded its wall-clock budget.
+///
+/// Returned by [`ExactDecoder::decode_within`] instead of a possibly
+/// non-maximum set; callers that used to silently skip the oracle above an
+/// arbitrary size cutoff can now run it with a budget and report this typed
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleTimeout {
+    /// The budget the search was given before it was cut off.
+    pub budget: Duration,
+}
+
+impl fmt::Display for OracleTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact-MIS oracle exceeded its {:?} budget before completing",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for OracleTimeout {}
 
 /// A decoder that computes the exact maximum independent set by
 /// branch-and-bound, for *any* placement.
@@ -33,6 +60,7 @@ use crate::{ConflictGraph, Placement, WorkerSet};
 pub struct ExactDecoder {
     placement: Placement,
     graph: ConflictGraph,
+    budget: Option<Duration>,
 }
 
 impl ExactDecoder {
@@ -41,6 +69,50 @@ impl ExactDecoder {
         Self {
             placement: placement.clone(),
             graph: ConflictGraph::from_placement(placement),
+            budget: None,
+        }
+    }
+
+    /// Creates the oracle with a wall-clock budget for each decode.
+    ///
+    /// [`ExactDecoder::decode_within`] aborts the branch-and-bound once the
+    /// budget elapses and returns [`OracleTimeout`] instead of a possibly
+    /// non-maximum selection. The [`Decoder::decode`] trait path ignores the
+    /// budget and always runs to completion (it has no error channel).
+    pub fn with_budget(placement: &Placement, budget: Duration) -> Self {
+        Self {
+            budget: Some(budget),
+            ..Self::new(placement)
+        }
+    }
+
+    /// The configured per-decode budget, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
+    /// Decodes one step under the configured budget.
+    ///
+    /// Without a budget (constructed via [`ExactDecoder::new`]) this is
+    /// identical to [`Decoder::decode`] and never fails.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleTimeout`] when the branch-and-bound did not finish within the
+    /// budget; no partial result is returned because an interrupted search
+    /// cannot certify maximality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.universe() != self.n()`.
+    pub fn decode_within(&self, available: &WorkerSet) -> Result<DecodeResult, OracleTimeout> {
+        assert_universe(self.n(), available);
+        let deadline = self.budget.map(|b| Instant::now() + b);
+        match self.graph.max_independent_set_within(available, deadline) {
+            Some(selected) => Ok(DecodeResult::from_selected(&self.placement, selected)),
+            None => Err(OracleTimeout {
+                budget: self.budget.unwrap_or(Duration::ZERO),
+            }),
         }
     }
 
@@ -87,6 +159,36 @@ mod tests {
         let r = d.decode(&WorkerSet::full(8), &mut rng);
         assert_eq!(r.selected().len(), 2); // floor(n/c) = 2
         assert!(d.graph().is_independent(r.selected()));
+    }
+
+    #[test]
+    fn decode_within_matches_unbudgeted_decode() {
+        let p = Placement::cyclic(9, 3).unwrap();
+        let generous = ExactDecoder::with_budget(&p, std::time::Duration::from_secs(30));
+        let avail = WorkerSet::from_indices(9, [0, 2, 4, 5, 8]);
+        let budgeted = generous.decode_within(&avail).unwrap();
+        let exact = ExactDecoder::new(&p).decode(&avail, &mut StdRng::seed_from_u64(0));
+        assert_eq!(budgeted, exact);
+        // An unbudgeted decoder's decode_within also never times out.
+        assert!(ExactDecoder::new(&p).decode_within(&avail).is_ok());
+    }
+
+    #[test]
+    fn zero_budget_times_out_on_a_hard_graph() {
+        // A scrambled balanced placement (three affine permutations of the
+        // partitions, so each partition is stored by exactly c = 3 workers)
+        // whose conflict graph is unstructured enough that the search needs
+        // well over the 256 nodes between deadline checks.
+        let n = 36;
+        let data: Vec<Vec<usize>> = (0..n)
+            .map(|w| vec![w, (17 * w + 5) % n, (25 * w + 11) % n])
+            .collect();
+        let p = Placement::custom(data).unwrap();
+        let d = ExactDecoder::with_budget(&p, std::time::Duration::ZERO);
+        match d.decode_within(&WorkerSet::full(n)) {
+            Err(OracleTimeout { budget }) => assert_eq!(budget, std::time::Duration::ZERO),
+            Ok(r) => panic!("zero-budget search completed: {r:?}"),
+        }
     }
 
     #[test]

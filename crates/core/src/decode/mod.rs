@@ -27,7 +27,7 @@ mod streaming;
 pub use approx::{ApproxDecoder, ApproxReport};
 pub use arrival::ArrivalOrderDecoder;
 pub use cr::CrDecoder;
-pub use exact::ExactDecoder;
+pub use exact::{ExactDecoder, OracleTimeout};
 pub use fr::FrDecoder;
 pub use hr::{hr_conflict, HrDecoder};
 pub use streaming::StreamingDecoder;

@@ -1,0 +1,313 @@
+//! Report-level protocol invariants, shared by the chaos harness and the
+//! model checker.
+//!
+//! Every IS-GC backend emits the same [`StepReport`] stream, so the
+//! properties the paper guarantees — recovery inside the Theorem 10–11
+//! interval, exact-decode maximality, coherent degradation-ladder
+//! arithmetic — can be asserted once, here, against any run. The violation
+//! strings are **stable**: `isgc-mc` fingerprints failures by hashing them,
+//! and a minimized counterexample replayed through `isgc chaos` must
+//! reproduce the byte-identical message to count as the same bug.
+
+use isgc_core::decode::{Decoder, ExactDecoder};
+use isgc_core::{bounds, Placement, WorkerSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{StepOutcome, StepReport};
+
+/// Checks a step-report sequence against the engine's protocol invariants,
+/// returning one human-readable violation string per breach (empty = pass).
+///
+/// The checker is placement-scoped and assumes an **intact** placement: if
+/// any report carries repair events, the bounds and oracle checks stop at
+/// the first repaired step (post-repair placements are no longer the
+/// scheme's, so the theorems do not apply verbatim — the chaos harness
+/// carries its own reconstruction for that regime).
+///
+/// # Examples
+///
+/// ```
+/// use isgc_core::Placement;
+/// use isgc_engine::invariants::InvariantChecker;
+///
+/// # fn main() -> Result<(), isgc_core::Error> {
+/// let p = Placement::fractional(4, 2)?;
+/// let checker = InvariantChecker::new(&p).expect_steps(0);
+/// assert!(checker.check(&[]).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InvariantChecker<'a> {
+    placement: &'a Placement,
+    expected_steps: Option<usize>,
+    oracle: Option<ExactDecoder>,
+}
+
+impl<'a> InvariantChecker<'a> {
+    /// A checker for runs over `placement` (bounds + ladder checks only).
+    pub fn new(placement: &'a Placement) -> Self {
+        Self {
+            placement,
+            expected_steps: None,
+            oracle: None,
+        }
+    }
+
+    /// Also require the run to contain exactly `steps` reports.
+    #[must_use]
+    pub fn expect_steps(mut self, steps: usize) -> Self {
+        self.expected_steps = Some(steps);
+        self
+    }
+
+    /// Also replay every step's arrival set through the exact
+    /// branch-and-bound decoder and require the recovered count to match
+    /// the maximum (the chaos harness's decode-oracle equality check).
+    #[must_use]
+    pub fn with_oracle(mut self) -> Self {
+        self.oracle = Some(ExactDecoder::new(self.placement));
+        self
+    }
+
+    /// Runs every configured check over `reports`.
+    pub fn check(&self, reports: &[StepReport]) -> Vec<String> {
+        let mut violations = Vec::new();
+        self.check_step_sequence(reports, &mut violations);
+        self.check_recovery(reports, &mut violations);
+        self.check_ladder(reports, &mut violations);
+        violations
+    }
+
+    /// Invariant 1: the run covers every step exactly once, in order.
+    fn check_step_sequence(&self, reports: &[StepReport], violations: &mut Vec<String>) {
+        for (i, r) in reports.iter().enumerate() {
+            if r.step != i as u64 {
+                violations.push(format!(
+                    "step sequence broken at position {i}: found step {}",
+                    r.step
+                ));
+            }
+        }
+        if let Some(expected) = self.expected_steps {
+            if reports.len() != expected {
+                violations.push(format!("expected {expected} steps, got {}", reports.len()));
+            }
+        }
+    }
+
+    /// Invariant 2: recovery lies inside the Theorem 10–11 interval for the
+    /// step's arrival count, and (with the oracle enabled) equals the exact
+    /// decoder's maximum.
+    fn check_recovery(&self, reports: &[StepReport], violations: &mut Vec<String>) {
+        let n = self.placement.n();
+        // The oracle's rng is unused by ExactDecoder but required by the
+        // Decoder trait; a fixed seed keeps this deterministic regardless.
+        let mut rng = StdRng::seed_from_u64(0);
+        for r in reports {
+            if !r.repairs.is_empty() {
+                return; // post-repair regime: the theorems no longer apply
+            }
+            let w = r.arrivals.len();
+            if !bounds::recovery_within_bounds_of(self.placement, w, r.recovered) {
+                let (lo, hi) = bounds::recovery_bounds_of(self.placement, w);
+                violations.push(format!(
+                    "step {}: recovered {} outside Theorem 10-11 bounds [{lo}, {hi}] for w={w}",
+                    r.step, r.recovered
+                ));
+            }
+            if let Some(oracle) = &self.oracle {
+                let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
+                let best = oracle.decode(&available, &mut rng).recovered_count();
+                if r.recovered != best {
+                    violations.push(format!(
+                        "step {}: recovered {} but the exact decoder finds {best} for arrivals {:?}",
+                        r.step, r.recovered, r.arrivals
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Invariant 3: degradation-ladder arithmetic. The consecutive-degraded
+    /// counter climbs by one on every approx/skipped step and resets on
+    /// exact steps; skipped steps recover nothing; the bias weight is the
+    /// exact inverse of coverage on the approximate path, `1` on the exact
+    /// path, and `0` when skipped.
+    fn check_ladder(&self, reports: &[StepReport], violations: &mut Vec<String>) {
+        let mut expected_streak = 0u64;
+        for r in reports {
+            expected_streak = if r.outcome.is_degraded() {
+                expected_streak + 1
+            } else {
+                0
+            };
+            if r.consecutive_degraded != expected_streak {
+                violations.push(format!(
+                    "step {}: consecutive-degraded counter is {} but the report \
+                     sequence implies {expected_streak}",
+                    r.step, r.consecutive_degraded
+                ));
+            }
+            if r.outcome == StepOutcome::Skipped && r.recovered != 0 {
+                violations.push(format!(
+                    "step {}: skipped outcome with {} recovered partitions",
+                    r.step, r.recovered
+                ));
+            }
+            match r.outcome {
+                StepOutcome::Approx => {
+                    if (r.coverage * r.bias_weight - 1.0).abs() > 1e-9 {
+                        violations.push(format!(
+                            "step {}: approx bias weight {} is not the inverse of coverage {}",
+                            r.step, r.bias_weight, r.coverage
+                        ));
+                    }
+                }
+                StepOutcome::Exact => {
+                    if r.bias_weight != 1.0 {
+                        violations.push(format!(
+                            "step {}: exact outcome with bias weight {}",
+                            r.step, r.bias_weight
+                        ));
+                    }
+                }
+                StepOutcome::Skipped => {
+                    if r.bias_weight != 0.0 {
+                        violations.push(format!(
+                            "step {}: skipped outcome with bias weight {}",
+                            r.step, r.bias_weight
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(step: u64, arrivals: Vec<usize>, recovered: usize) -> StepReport {
+        StepReport {
+            step,
+            arrivals,
+            waited_ms: 0.0,
+            duration: 0.0,
+            decode_ms: 0.0,
+            selected: vec![],
+            recovered,
+            bounds: None,
+            ignored: vec![],
+            dead: vec![],
+            declined: vec![],
+            repairs: vec![],
+            stale: 0,
+            failed_decode: false,
+            outcome: StepOutcome::Exact,
+            coverage: 0.0,
+            bias_weight: 1.0,
+            consecutive_degraded: 0,
+            loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let p = Placement::fractional(4, 2).unwrap();
+        let mut r0 = report(0, vec![0, 1, 2, 3], 4);
+        r0.selected = vec![0, 2];
+        let mut r1 = report(1, vec![0, 2], 4);
+        r1.selected = vec![0, 2];
+        let checker = InvariantChecker::new(&p).expect_steps(2).with_oracle();
+        assert_eq!(checker.check(&[r0, r1]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn broken_sequence_and_count_are_flagged() {
+        let p = Placement::fractional(4, 2).unwrap();
+        let checker = InvariantChecker::new(&p).expect_steps(2);
+        let vs = checker.check(&[report(1, vec![], 0)]);
+        assert!(
+            vs.iter().any(|v| v.contains("step sequence broken")),
+            "{vs:?}"
+        );
+        assert!(vs.iter().any(|v| v.contains("expected 2 steps, got 1")));
+    }
+
+    #[test]
+    fn bounds_and_oracle_breaches_are_flagged() {
+        let p = Placement::fractional(4, 2).unwrap();
+        // Four arrivals but only 2 recovered: below the Theorem 10 floor,
+        // and below the exact decoder's maximum of 4.
+        let r = report(0, vec![0, 1, 2, 3], 2);
+        let vs = InvariantChecker::new(&p).with_oracle().check(&[r]);
+        assert!(
+            vs.iter()
+                .any(|v| v.contains("outside Theorem 10-11 bounds")),
+            "{vs:?}"
+        );
+        assert!(vs.iter().any(|v| v.contains("the exact decoder finds 4")));
+    }
+
+    #[test]
+    fn repairs_suspend_the_recovery_checks() {
+        let p = Placement::fractional(4, 2).unwrap();
+        let mut r = report(0, vec![0, 1, 2, 3], 2);
+        r.repairs = vec![crate::RepairEvent {
+            partition: 0,
+            from: 1,
+            to: 0,
+        }];
+        assert!(InvariantChecker::new(&p)
+            .with_oracle()
+            .check(&[r])
+            .is_empty());
+    }
+
+    #[test]
+    fn ladder_arithmetic_is_enforced() {
+        let p = Placement::fractional(4, 2).unwrap();
+        let mut skip = report(0, vec![], 0);
+        skip.outcome = StepOutcome::Skipped;
+        skip.bias_weight = 0.0;
+        skip.consecutive_degraded = 2; // should be 1
+        let vs = InvariantChecker::new(&p).check(std::slice::from_ref(&skip));
+        assert!(
+            vs.iter()
+                .any(|v| v.contains("consecutive-degraded counter is 2")),
+            "{vs:?}"
+        );
+
+        skip.consecutive_degraded = 1;
+        skip.recovered = 2; // skipped steps recover nothing
+        let vs = InvariantChecker::new(&p).check(std::slice::from_ref(&skip));
+        assert!(
+            vs.iter()
+                .any(|v| v.contains("skipped outcome with 2 recovered partitions")),
+            "{vs:?}"
+        );
+
+        let mut approx = report(0, vec![0], 2);
+        approx.outcome = StepOutcome::Approx;
+        approx.consecutive_degraded = 1;
+        approx.coverage = 0.5;
+        approx.bias_weight = 3.0; // should be 2.0
+        let vs = InvariantChecker::new(&p).check(&[approx]);
+        assert!(
+            vs.iter().any(|v| v.contains("not the inverse of coverage")),
+            "{vs:?}"
+        );
+
+        let mut exact = report(0, vec![0, 2], 4);
+        exact.bias_weight = 0.5;
+        let vs = InvariantChecker::new(&p).check(&[exact]);
+        assert!(
+            vs.iter()
+                .any(|v| v.contains("exact outcome with bias weight 0.5")),
+            "{vs:?}"
+        );
+    }
+}

@@ -42,6 +42,7 @@
 //! - **Normalization and the SGD update** (Theorem 12), plus the unified
 //!   [`StepReport`]/[`TrainReport`].
 
+pub mod invariants;
 pub mod merge;
 pub mod metrics;
 mod repair;

@@ -1,0 +1,582 @@
+//! The virtual network: per-connection FIFO queues, modeled workers, and a
+//! [`Transport`] implementation that turns every nondeterministic delivery
+//! or fault decision into a schedule choice point.
+//!
+//! One [`World`] models the peer side of one collector: the flat master's
+//! workers, the tree root's sub-masters, or one shard's workers. All worlds
+//! of a run share a [`Ctx`], so their choice points interleave into a
+//! single decision vector. Tokens are creation indices — connection `k` is
+//! always token `k`, which keeps runs replayable.
+//!
+//! Modeled workers are *honest by construction*: their codewords follow
+//! exactly the chaos worker's recipe (per-partition deterministic
+//! mini-batch, summed gradients), so any recovery discrepancy the checker
+//! finds is the collector's fault, never the model's.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use isgc_chaos::{Fault, FaultKind};
+use isgc_linalg::Vector;
+use isgc_ml::{Dataset, LinearRegression, Model, Partitioned};
+use isgc_net::seam::{ModelShard, NetEvent, Token, Transport};
+use isgc_net::wire::Message;
+use isgc_net::NetError;
+
+use crate::sched::{fnv_bytes, fnv_start, fnv_u64, Ctx, Poison, PRUNE, STUCK};
+
+/// Which collector this world faces.
+pub(crate) enum Role {
+    /// The flat master: peers are modeled workers with the full fault menu.
+    Flat,
+    /// The tree root: peers are sub-masters, each backed by a real
+    /// [`ModelShard`] state machine served synchronously at broadcast.
+    TreeRoot(Vec<Rc<RefCell<ModelShard>>>),
+    /// A shard's worker pool: modeled workers with the tree-mode fault menu
+    /// (compute or die — the shard loop has no decline path).
+    ShardWorkers,
+}
+
+/// A modeled peer process bound to one connection.
+#[derive(Debug, Clone)]
+pub(crate) struct Sim {
+    /// Global worker id (or shard index under [`Role::TreeRoot`]).
+    pub worker: usize,
+    /// Partitions from the adopted `Assign` (chaos workers learn them the
+    /// same way).
+    pub partitions: Vec<usize>,
+    /// Mirrors the chaos worker's rejoin rule: decline every step below
+    /// this after a mid-run reconnect.
+    pub decline_until: u64,
+    /// Whether the collector adopted the connection.
+    pub registered: bool,
+}
+
+/// One virtual connection: FIFO queue toward the collector plus the rolling
+/// hash of everything already delivered on it.
+pub(crate) struct Conn {
+    open: bool,
+    queue: VecDeque<(NetEvent, u64)>,
+    delivered: u64,
+    sim: Option<Sim>,
+}
+
+/// The peer side of one collector: connections, modeled workers, and the
+/// shared training recipe used to compute honest codewords.
+pub(crate) struct World {
+    pub(crate) ctx: Rc<RefCell<Ctx>>,
+    role: Role,
+    conns: Vec<Conn>,
+    /// `Some(step)` once the collector broadcast that step's `Params`;
+    /// delivery order only branches inside a collection window
+    /// (registration order is immaterial under preferred-slot adoption).
+    collecting: Option<u64>,
+    model: LinearRegression,
+    dataset: Dataset,
+    partitioned: Partitioned,
+    batch_size: usize,
+    seed: u64,
+    scratch: Vector,
+}
+
+impl World {
+    pub(crate) fn new(
+        ctx: Rc<RefCell<Ctx>>,
+        role: Role,
+        n: usize,
+        batch_size: usize,
+        seed: u64,
+        features: usize,
+        samples: usize,
+    ) -> Rc<RefCell<World>> {
+        let dataset = Dataset::synthetic_regression(samples, features, 0.05, seed);
+        let partitioned = dataset.partition(n);
+        let model = LinearRegression::new(features);
+        let scratch = model.zero_params();
+        Rc::new(RefCell::new(World {
+            ctx,
+            role,
+            conns: Vec::new(),
+            collecting: None,
+            model,
+            dataset,
+            partitioned,
+            batch_size,
+            seed,
+            scratch,
+        }))
+    }
+
+    fn push_conn(&mut self, sim: Option<Sim>) -> Token {
+        let token = self.conns.len() as Token;
+        self.conns.push(Conn {
+            open: true,
+            queue: VecDeque::new(),
+            delivered: fnv_start(),
+            sim,
+        });
+        token
+    }
+
+    /// Creates a modeled worker and queues its registration `Hello`.
+    pub(crate) fn spawn_worker(&mut self, worker: usize) {
+        let token = self.push_conn(Some(Sim {
+            worker,
+            partitions: Vec::new(),
+            decline_until: 0,
+            registered: false,
+        }));
+        self.enqueue(
+            token,
+            NetEvent::Hello {
+                token,
+                preferred: Some(worker as u64),
+            },
+        );
+    }
+
+    /// Creates a modeled sub-master link and queues its `SubHello`.
+    pub(crate) fn spawn_submaster(&mut self, shard: usize) {
+        let token = self.push_conn(Some(Sim {
+            worker: shard,
+            partitions: Vec::new(),
+            decline_until: 0,
+            registered: false,
+        }));
+        self.enqueue(
+            token,
+            NetEvent::SubHello {
+                token,
+                shard: shard as u64,
+            },
+        );
+    }
+
+    fn enqueue(&mut self, token: Token, event: NetEvent) {
+        let hash = event_hash(&event);
+        let conn = &mut self.conns[token as usize];
+        if conn.open {
+            conn.queue.push_back((event, hash));
+        }
+    }
+
+    fn enqueue_decline(&mut self, token: Token, worker: usize, step: u64) {
+        self.enqueue(
+            token,
+            NetEvent::Msg {
+                token,
+                message: Message::Decline {
+                    worker: worker as u64,
+                    step,
+                },
+                bytes: 27,
+            },
+        );
+    }
+
+    fn enqueue_codeword(&mut self, token: Token, step: u64, values: Vector) {
+        let bytes = 8 * values.len() + 27;
+        self.enqueue(
+            token,
+            NetEvent::Codeword {
+                token,
+                step,
+                values,
+                bytes,
+            },
+        );
+    }
+
+    pub(crate) fn enqueue_msg(&mut self, token: Token, message: Message) {
+        let bytes = message.encode().len();
+        self.enqueue(
+            token,
+            NetEvent::Msg {
+                token,
+                message,
+                bytes,
+            },
+        );
+    }
+
+    /// The honest codeword for `partitions` at `step` — byte-for-byte the
+    /// chaos worker's recipe.
+    fn codeword(&mut self, partitions: &[usize], step: u64, params: &[f64]) -> Vector {
+        let params = Vector::from_slice(params);
+        let mut codeword = self.model.zero_params();
+        for &p in partitions {
+            let batch = self
+                .partitioned
+                .minibatch(p, self.batch_size, step, self.seed);
+            self.scratch.fill_zero();
+            self.model
+                .gradient_sum_into(&params, &self.dataset, &batch, &mut self.scratch);
+            codeword.axpy(1.0, &self.scratch);
+        }
+        codeword
+    }
+
+    /// A modeled worker reacts to one `Params` broadcast: compute honestly,
+    /// or take one scripted/explored fault.
+    fn worker_params(&mut self, token: Token, step: u64, values: &[f64]) {
+        let idx = token as usize;
+        let Some(sim) = self.conns.get(idx).and_then(|c| c.sim.clone()) else {
+            return;
+        };
+        let worker = sim.worker;
+        if step < sim.decline_until {
+            // Chaos rejoin rule: a flapped worker declines any step it
+            // reconnected mid-flight.
+            self.enqueue_decline(token, worker, step);
+            return;
+        }
+        let ctx_rc = Rc::clone(&self.ctx);
+        let mut ctx = ctx_rc.borrow_mut();
+        let action = if ctx.forced.is_some() {
+            ctx.forced_fault(worker, step).map(|f| f.kind)
+        } else {
+            let mut kinds: Vec<FaultKind> = Vec::new();
+            if ctx.faults.len() < ctx.max_faults {
+                match self.role {
+                    Role::Flat => {
+                        kinds.push(FaultKind::Decline);
+                        if step >= 1 {
+                            kinds.push(FaultKind::Stale);
+                        }
+                        if step + 1 < ctx.steps {
+                            // A duplicate at the final step is unobservable:
+                            // the second copy would never be delivered.
+                            kinds.push(FaultKind::Duplicate);
+                        }
+                        kinds.push(FaultKind::Drop);
+                    }
+                    Role::ShardWorkers => kinds.push(FaultKind::Die),
+                    Role::TreeRoot(_) => {}
+                }
+            }
+            let state = self.state_hash(&ctx);
+            let Some(choice) = ctx.choose(1 + kinds.len(), state) else {
+                return;
+            };
+            if choice == 0 {
+                None
+            } else {
+                let kind = kinds[choice - 1];
+                ctx.faults.push(Fault { worker, step, kind });
+                Some(kind)
+            }
+        };
+        drop(ctx);
+        match action {
+            None => {
+                let cw = self.codeword(&sim.partitions, step, values);
+                self.enqueue_codeword(token, step, cw);
+            }
+            Some(FaultKind::Decline) => self.enqueue_decline(token, worker, step),
+            Some(FaultKind::Stale) => {
+                // Chaos stale recipe: a codeword computed from the *current*
+                // params but tagged (and batched) for the previous step,
+                // then a decline for the step actually in flight.
+                let cw = self.codeword(&sim.partitions, step - 1, values);
+                self.enqueue_codeword(token, step - 1, cw);
+                self.enqueue_decline(token, worker, step);
+            }
+            Some(FaultKind::Duplicate) => {
+                let cw = self.codeword(&sim.partitions, step, values);
+                self.enqueue_codeword(token, step, cw.clone());
+                self.enqueue_codeword(token, step, cw);
+            }
+            Some(FaultKind::Drop) => {
+                self.enqueue(token, NetEvent::Gone { token });
+                self.conns[idx].sim = None;
+                let rejoin = Sim {
+                    worker,
+                    partitions: Vec::new(),
+                    decline_until: step + 2,
+                    registered: false,
+                };
+                let fresh = self.push_conn(Some(rejoin));
+                self.enqueue(
+                    fresh,
+                    NetEvent::Hello {
+                        token: fresh,
+                        preferred: Some(worker as u64),
+                    },
+                );
+            }
+            Some(FaultKind::Die) => {
+                self.enqueue(token, NetEvent::Gone { token });
+                self.conns[idx].sim = None;
+            }
+            Some(other) => {
+                debug_assert!(false, "fault kind {other:?} is not modeled by the checker");
+            }
+        }
+    }
+
+    /// Pops the next event toward the collector. Single non-empty queue (or
+    /// registration phase): deterministic. Several during collection: a
+    /// schedule choice point. Nothing queued: the collector is deadlocked.
+    pub(crate) fn pop_next(&mut self) -> Result<Option<NetEvent>, NetError> {
+        let ctx_rc = Rc::clone(&self.ctx);
+        if let Some(poison) = ctx_rc.borrow().poison {
+            return Err(poison_error(poison));
+        }
+        let candidates: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.open && !c.queue.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            ctx_rc.borrow_mut().poison = Some(Poison::Stuck);
+            return Err(poison_error(Poison::Stuck));
+        }
+        let pick = if candidates.len() == 1 || self.collecting.is_none() {
+            candidates[0]
+        } else {
+            let mut ctx = ctx_rc.borrow_mut();
+            let state = self.state_hash(&ctx);
+            match ctx.choose(candidates.len(), state) {
+                Some(i) => candidates[i],
+                None => {
+                    let poison = ctx.poison.unwrap_or(Poison::Prune);
+                    return Err(poison_error(poison));
+                }
+            }
+        };
+        let (event, hash) = self.conns[pick]
+            .queue
+            .pop_front()
+            .expect("candidate non-empty");
+        self.conns[pick].delivered = fnv_u64(self.conns[pick].delivered, hash);
+        let phase = self.collecting.map_or(0, |s| s as usize + 1);
+        // The multiset key must identify the *source* connection, not just
+        // the frame: under FR replication two workers of one group emit
+        // byte-identical codewords, and their absences must not alias.
+        let keyed = fnv_u64(fnv_u64(fnv_start(), pick as u64), hash);
+        ctx_rc.borrow_mut().record_delivery(phase, keyed);
+        Ok(Some(event))
+    }
+
+    fn adopt(&mut self, token: Token, first: &[u8]) -> bool {
+        let Some(conn) = self.conns.get_mut(token as usize) else {
+            return false;
+        };
+        if !conn.open {
+            return false;
+        }
+        let Ok((_, message, _)) = Message::decode_tagged(first) else {
+            return true;
+        };
+        match message {
+            Message::Assign {
+                worker, partitions, ..
+            } => {
+                if let Some(sim) = conn.sim.as_mut() {
+                    debug_assert_eq!(sim.worker as u64, worker, "adopted into a foreign slot");
+                    sim.partitions = partitions.iter().map(|&p| p as usize).collect();
+                    sim.registered = true;
+                }
+            }
+            Message::ShardAssign { shard, .. } => {
+                if let Some(sim) = conn.sim.as_mut() {
+                    debug_assert_eq!(sim.worker as u64, shard, "adopted into a foreign shard");
+                    sim.registered = true;
+                }
+            }
+            _ => {}
+        }
+        true
+    }
+
+    fn reject(&mut self, token: Token) {
+        if let Some(conn) = self.conns.get_mut(token as usize) {
+            conn.open = false;
+            conn.queue.clear();
+            conn.sim = None;
+        }
+    }
+
+    fn send(&mut self, token: Token, frame: &[u8]) {
+        // Mid-run repair re-assignment is the only unicast the modeled
+        // peers care about.
+        if let Ok((_, Message::Assign { partitions, .. }, _)) = Message::decode_tagged(frame) {
+            if let Some(sim) = self
+                .conns
+                .get_mut(token as usize)
+                .and_then(|c| c.sim.as_mut())
+            {
+                sim.partitions = partitions.iter().map(|&p| p as usize).collect();
+            }
+        }
+    }
+
+    fn hard_close_all(&mut self) {
+        for conn in &mut self.conns {
+            conn.open = false;
+            conn.queue.clear();
+        }
+    }
+
+    /// Canonical hash of this world plus the fault schedule so far. Sound
+    /// as a pruning key in flat mode: the master's state is a function of
+    /// each connection's delivered *sequence* (captured by the rolling
+    /// hashes), the pending queues, and the modeled-worker states.
+    fn state_hash(&self, ctx: &Ctx) -> u64 {
+        let mut h = fnv_start();
+        h = fnv_u64(h, self.collecting.map_or(u64::MAX, |s| s));
+        for conn in &self.conns {
+            h = fnv_u64(h, u64::from(conn.open));
+            h = fnv_u64(h, conn.delivered);
+            for &(_, event) in &conn.queue {
+                h = fnv_u64(h, event);
+            }
+            h = fnv_u64(h, 0x5EED);
+            match &conn.sim {
+                None => h = fnv_u64(h, u64::MAX),
+                Some(sim) => {
+                    h = fnv_u64(h, sim.worker as u64);
+                    h = fnv_u64(h, sim.decline_until);
+                    h = fnv_u64(h, u64::from(sim.registered));
+                }
+            }
+        }
+        for fault in &ctx.faults {
+            h = fnv_u64(h, fault.worker as u64);
+            h = fnv_u64(h, fault.step);
+            h = fnv_bytes(h, format!("{:?}", fault.kind).as_bytes());
+        }
+        h
+    }
+}
+
+/// Order-insensitive identity of one event, used both for the rolling
+/// per-connection delivery hashes and for the per-phase delivered-multiset
+/// key.
+fn event_hash(event: &NetEvent) -> u64 {
+    let mut h = fnv_start();
+    match event {
+        NetEvent::Hello { preferred, .. } => {
+            h = fnv_u64(h, 1);
+            h = fnv_u64(h, preferred.map_or(u64::MAX, |p| p));
+        }
+        NetEvent::SubHello { shard, .. } => {
+            h = fnv_u64(h, 2);
+            h = fnv_u64(h, *shard);
+        }
+        NetEvent::Msg { message, .. } => {
+            h = fnv_u64(h, 3);
+            h = fnv_bytes(h, &message.encode());
+        }
+        NetEvent::Codeword { step, values, .. } => {
+            h = fnv_u64(h, 4);
+            h = fnv_u64(h, *step);
+            for v in values.iter() {
+                h = fnv_u64(h, v.to_bits());
+            }
+        }
+        NetEvent::HeartbeatTimeout { .. } => h = fnv_u64(h, 5),
+        NetEvent::Gone { .. } => h = fnv_u64(h, 6),
+    }
+    h
+}
+
+fn poison_error(poison: Poison) -> NetError {
+    NetError::Protocol(match poison {
+        Poison::Prune => PRUNE.into(),
+        Poison::Stuck => STUCK.into(),
+    })
+}
+
+/// The [`Transport`] handed to a collector loop: every call is forwarded to
+/// the shared [`World`].
+pub(crate) struct VirtualTransport {
+    world: Rc<RefCell<World>>,
+}
+
+impl VirtualTransport {
+    pub(crate) fn new(world: Rc<RefCell<World>>) -> VirtualTransport {
+        VirtualTransport { world }
+    }
+}
+
+impl Transport for VirtualTransport {
+    fn next_event(&mut self, _timeout: Duration) -> Result<Option<NetEvent>, NetError> {
+        self.world.borrow_mut().pop_next()
+    }
+
+    fn adopt(&mut self, token: Token, first: Arc<[u8]>, _idle: Option<Duration>) -> bool {
+        self.world.borrow_mut().adopt(token, &first)
+    }
+
+    fn reject(&mut self, token: Token) {
+        self.world.borrow_mut().reject(token);
+    }
+
+    fn send(&mut self, token: Token, frame: Arc<[u8]>) {
+        self.world.borrow_mut().send(token, &frame);
+    }
+
+    fn broadcast(&mut self, frame: &Arc<[u8]>, targets: &[Token]) {
+        let Ok((_, message, _)) = Message::decode_tagged(frame) else {
+            return;
+        };
+        let Message::Params { step, values } = message else {
+            // Shutdown and friends carry no peer reaction worth modeling.
+            return;
+        };
+        // A `Params` broadcast opens a collection window: deliveries start
+        // branching and the modeled peers react per target, in target order
+        // (the real reactor writes frames in exactly this order too).
+        let shards = {
+            let mut world = self.world.borrow_mut();
+            world.collecting = Some(step);
+            match &world.role {
+                Role::TreeRoot(shards) => Some(
+                    targets
+                        .iter()
+                        .filter_map(|&t| {
+                            world
+                                .conns
+                                .get(t as usize)
+                                .and_then(|c| c.sim.as_ref())
+                                .map(|s| (t, Rc::clone(&shards[s.worker])))
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+                _ => None,
+            }
+        };
+        match shards {
+            Some(list) => {
+                for (token, shard) in list {
+                    // The shard loop runs synchronously — its own transport
+                    // records choice points into the same schedule.
+                    let upload = shard.borrow_mut().serve_step(step, &values);
+                    self.world.borrow_mut().enqueue_msg(token, upload);
+                }
+            }
+            None => {
+                let mut world = self.world.borrow_mut();
+                for &t in targets {
+                    world.worker_params(t, step, &values);
+                }
+            }
+        }
+    }
+
+    fn flush_all(&mut self, _limit: Duration) {}
+
+    fn flush_conn(&mut self, _token: Token, _limit: Duration) -> bool {
+        true
+    }
+
+    fn hard_close_all(&mut self) {
+        self.world.borrow_mut().hard_close_all();
+    }
+}

@@ -33,6 +33,7 @@ pub mod metrics;
 pub(crate) mod reactor;
 pub mod report;
 pub mod retry;
+pub mod seam;
 pub mod submaster;
 pub mod swarm;
 pub mod wire;

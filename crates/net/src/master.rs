@@ -38,6 +38,7 @@ use crate::checkpoint::{CheckpointConfig, MasterCheckpoint};
 use crate::reactor::{NetEvent, Reactor, Token};
 use crate::report::{NetReport, NetTrainReport};
 use crate::retry::RetryPolicy;
+use crate::seam::Transport;
 use crate::wire::{encode_params_frame, Message};
 use crate::{NetError, WaitPolicy};
 
@@ -171,7 +172,7 @@ impl NetConfig {
     }
 
     /// The engine configuration this network config corresponds to.
-    fn engine_config(&self) -> EngineConfig {
+    pub(crate) fn engine_config(&self) -> EngineConfig {
         let mut config = EngineConfig::new(self.placement.clone());
         config.batch_size = self.batch_size;
         config.learning_rate = self.learning_rate;
@@ -348,7 +349,7 @@ impl Master {
     ) -> Result<NetTrainReport, NetError> {
         config.validate()?;
         let reactor = Reactor::new(Some(self.listener), config.job, config.metrics.clone())?;
-        let mut loop_state = MasterLoop::new(config.clone(), reactor);
+        let mut loop_state = MasterLoop::new(config.clone(), Box::new(reactor));
 
         let outcome = (|| -> Result<NetTrainReport, NetError> {
             let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
@@ -484,7 +485,7 @@ fn build_session_state<M: Model>(
 ) -> Result<(SessionCollector, StepEngine, isgc_engine::Session), NetError> {
     match submasters {
         None => {
-            let mut loop_state = MasterLoop::new(config.clone(), reactor);
+            let mut loop_state = MasterLoop::new(config.clone(), Box::new(reactor));
             let mut engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
             let mut params = engine.initial_params(model);
             let (start_step, ladder) = loop_state.try_resume(&mut params)?;
@@ -498,7 +499,7 @@ fn build_session_state<M: Model>(
         }
         Some(submasters) => {
             let mut root =
-                crate::submaster::TreeRootLoop::new(config.clone(), reactor, submasters)?;
+                crate::submaster::TreeRootLoop::new(config.clone(), Box::new(reactor), submasters)?;
             let engine = StepEngine::new(config.engine_config()).map_err(engine_to_net)?;
             let params = engine.initial_params(model);
             root.await_registration()?;
@@ -584,15 +585,16 @@ impl<M: Model> MasterSession<M> {
 }
 
 /// The master's single-threaded state machine over connection events — the
-/// engine's TCP [`Collector`]. Owns the [`Reactor`] and polls it inline:
-/// there is no I/O thread anywhere in the master process.
-struct MasterLoop {
+/// engine's TCP [`Collector`]. Owns its [`Transport`] (the [`Reactor`] in
+/// production, a virtual network under the model checker) and polls it
+/// inline: there is no I/O thread anywhere in the master process.
+pub(crate) struct MasterLoop {
     slots: Vec<Slot>,
     /// Which slot each adopted connection feeds. A token missing here (or
     /// disagreeing with `Slot::conn`) belongs to a replaced connection and
     /// its events are ignored.
     owner: HashMap<Token, usize>,
-    reactor: Reactor,
+    reactor: Box<dyn Transport>,
     config: NetConfig,
     /// Current per-worker partition lists, mirroring the engine's table;
     /// starts as the placement's and diverges when the engine runs placement
@@ -660,7 +662,7 @@ impl Collector for MasterLoop {
 }
 
 impl MasterLoop {
-    fn new(config: NetConfig, reactor: Reactor) -> MasterLoop {
+    pub(crate) fn new(config: NetConfig, reactor: Box<dyn Transport>) -> MasterLoop {
         let n = config.placement.n();
         MasterLoop {
             slots: (0..n).map(|_| Slot::empty()).collect(),
@@ -856,11 +858,11 @@ impl MasterLoop {
             .filter(|s| s.alive)
             .filter_map(|s| s.conn)
             .collect();
-        self.reactor.broadcast(frame, targets.into_iter());
+        self.reactor.broadcast(frame, &targets);
     }
 
     /// Blocks until all `n` workers registered (or the deadline passes).
-    fn await_registration(&mut self) -> Result<(), NetError> {
+    pub(crate) fn await_registration(&mut self) -> Result<(), NetError> {
         let deadline = Instant::now() + self.config.register_timeout;
         loop {
             let registered = self.slots.iter().filter(|s| s.registered).count();
@@ -1031,7 +1033,17 @@ impl MasterLoop {
             };
             match self.dispatch(event) {
                 Dispatched::Codeword(worker, tagged_step, values) => {
-                    if tagged_step == step && codewords[worker].is_none() {
+                    // `mc-mutation` deliberately breaks the stale guard —
+                    // the codeword from the *previous* round is accepted as
+                    // this step's — so the model checker's seeded-bug path
+                    // (and its chaos replay) has a real violation to find.
+                    // Never enabled in production builds.
+                    #[cfg(feature = "mc-mutation")]
+                    let fresh = (tagged_step == step || tagged_step + 1 == step)
+                        && codewords[worker].is_none();
+                    #[cfg(not(feature = "mc-mutation"))]
+                    let fresh = tagged_step == step && codewords[worker].is_none();
+                    if fresh {
                         codewords[worker] = Some(values);
                         arrivals.push(worker);
                         declined[worker] = false;

@@ -50,7 +50,7 @@ use crate::NetError;
 /// so an event from a replaced connection can always be told apart from the
 /// current one (the role epochs played under the thread-per-connection
 /// transport).
-pub(crate) type Token = u64;
+pub type Token = u64;
 
 /// Logical timer granularity. Deadlines are quantized to ticks of this
 /// size; anything finer would be noise next to the masters' 20 ms poll
@@ -65,37 +65,60 @@ const WHEEL_SLOTS: usize = 512;
 /// before the reactor drops it (the old handshake threads' read timeout).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// What the reactor tells the owning state machine.
-pub(crate) enum NetEvent {
+/// What the transport tells the owning state machine. Public because the
+/// model checker's virtual network (`isgc-mc`) synthesizes these events
+/// directly through the [`crate::seam::Transport`] seam.
+#[derive(Debug)]
+pub enum NetEvent {
     /// A pending connection introduced itself as a worker.
     Hello {
+        /// The introducing connection.
         token: Token,
+        /// The worker slot the peer claims, if it has one.
         preferred: Option<u64>,
     },
     /// A pending connection introduced itself as a sub-master.
-    SubHello { token: Token, shard: u64 },
+    SubHello {
+        /// The introducing connection.
+        token: Token,
+        /// The shard the sub-master claims.
+        shard: u64,
+    },
     /// An adopted connection produced a message of `bytes` wire bytes.
     Msg {
+        /// The connection that produced the frame.
         token: Token,
+        /// The decoded message.
         message: Message,
+        /// Wire bytes consumed by the frame (for byte counters).
         bytes: usize,
     },
     /// An adopted connection produced a codeword, decoded in place from the
     /// reassembly buffer (the zero-copy upload path — `Message::Codeword`
     /// never materializes).
     Codeword {
+        /// The connection that produced the codeword.
         token: Token,
+        /// The step the codeword is tagged for.
         step: u64,
+        /// The codeword payload.
         values: Vector,
+        /// Wire bytes consumed by the frame (for byte counters).
         bytes: usize,
     },
     /// An adopted connection passed its idle deadline on the logical timer
     /// wheel without producing a byte. The connection stays open — the
     /// owner decides what silence means — and the deadline re-arms.
-    HeartbeatTimeout { token: Token },
+    HeartbeatTimeout {
+        /// The silent connection.
+        token: Token,
+    },
     /// An adopted connection is gone (EOF, reset, write failure, or a
     /// malformed frame) and has been deregistered.
-    Gone { token: Token },
+    Gone {
+        /// The departed connection.
+        token: Token,
+    },
 }
 
 /// Connection lifecycle phase.

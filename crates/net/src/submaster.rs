@@ -44,6 +44,7 @@ use isgc_linalg::Vector;
 use crate::master::{backend, NetConfig, Slot};
 use crate::reactor::{NetEvent, Reactor, Token};
 use crate::retry::RetryPolicy;
+use crate::seam::Transport;
 use crate::wire::{encode_params_frame, read_message_tagged, write_message_for_job, Message};
 use crate::{NetError, WaitPolicy};
 
@@ -73,7 +74,7 @@ pub(crate) struct TreeRootLoop {
     shards: Vec<(usize, usize)>,
     /// Which slot each adopted sub-master connection feeds.
     owner: HashMap<Token, usize>,
-    reactor: Reactor,
+    reactor: Box<dyn Transport>,
     config: NetConfig,
 }
 
@@ -90,7 +91,7 @@ impl TreeRootLoop {
     /// root loop around its reactor.
     pub(crate) fn new(
         config: NetConfig,
-        reactor: Reactor,
+        reactor: Box<dyn Transport>,
         submasters: usize,
     ) -> Result<TreeRootLoop, NetError> {
         let n = config.placement.n();
@@ -226,7 +227,7 @@ impl TreeRootLoop {
             .filter(|s| s.alive)
             .filter_map(|s| s.conn)
             .collect();
-        self.reactor.broadcast(frame, targets.into_iter());
+        self.reactor.broadcast(frame, &targets);
     }
 
     /// Waits up to [`NetConfig::rejoin_grace`] at step start for every
@@ -536,7 +537,7 @@ impl Submaster {
                 .map(|_| Slot::empty())
                 .collect(),
             owner: HashMap::new(),
-            reactor,
+            reactor: Box::new(reactor),
             root: root_token,
             root_backlog: VecDeque::new(),
             worker_backlog: VecDeque::new(),
@@ -561,14 +562,14 @@ impl Submaster {
 
 /// The geometry the root assigned this sub-master.
 #[derive(Debug, Clone, Copy)]
-struct ShardGeometry {
-    shard: usize,
-    lo: usize,
-    hi: usize,
-    n: usize,
-    c: usize,
-    batch_size: usize,
-    seed: u64,
+pub(crate) struct ShardGeometry {
+    pub(crate) shard: usize,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    pub(crate) n: usize,
+    pub(crate) c: usize,
+    pub(crate) batch_size: usize,
+    pub(crate) seed: u64,
 }
 
 /// Dials the root and sends `SubHello` under the retry policy.
@@ -648,14 +649,14 @@ fn read_shard_assign(
 
 /// The sub-master's worker-facing state machine: slot `i` holds global
 /// worker `lo + i`.
-struct ShardLoop {
+pub(crate) struct ShardLoop {
     geometry: ShardGeometry,
     placement: Placement,
     decoder: Box<dyn Decoder>,
     slots: Vec<Slot>,
     /// Which slot each adopted worker connection feeds.
     owner: HashMap<Token, usize>,
-    reactor: Reactor,
+    reactor: Box<dyn Transport>,
     /// The upstream root link's token (replaced on reconnect).
     root: Token,
     /// Root events that landed while a shard step was collecting; replayed
@@ -670,6 +671,42 @@ struct ShardLoop {
 }
 
 impl ShardLoop {
+    /// Builds a shard loop with a *virtual* root for the model checker:
+    /// the given transport carries only the shard's workers, and the root
+    /// link is the never-issued sentinel token `u64::MAX` — the caller
+    /// drives [`ShardLoop::serve_step`] directly instead of
+    /// [`ShardLoop::serve`], so the upload is returned, not written.
+    pub(crate) fn modeled(
+        geometry: ShardGeometry,
+        options: SubmasterOptions,
+        transport: Box<dyn Transport>,
+    ) -> Result<ShardLoop, NetError> {
+        if geometry.lo >= geometry.hi || geometry.hi > geometry.n {
+            return Err(NetError::InvalidConfig(format!(
+                "shard range [{}, {}) outside cluster of {}",
+                geometry.lo, geometry.hi, geometry.n
+            )));
+        }
+        let placement = Placement::fractional(geometry.n, geometry.c)
+            .map_err(|e| NetError::InvalidConfig(e.to_string()))?;
+        let decoder =
+            decoder_for(&placement).map_err(|e| NetError::InvalidConfig(e.to_string()))?;
+        Ok(ShardLoop {
+            geometry,
+            placement,
+            decoder,
+            slots: (0..geometry.hi - geometry.lo)
+                .map(|_| Slot::empty())
+                .collect(),
+            owner: HashMap::new(),
+            reactor: transport,
+            root: u64::MAX,
+            root_backlog: VecDeque::new(),
+            worker_backlog: VecDeque::new(),
+            options,
+        })
+    }
+
     /// The root-facing loop: serve `Params` steps until shutdown or loss.
     fn serve(
         &mut self,
@@ -733,7 +770,7 @@ impl ShardLoop {
     }
 
     /// Blocks until every shard worker registered.
-    fn await_worker_registration(&mut self) -> Result<(), NetError> {
+    pub(crate) fn await_worker_registration(&mut self) -> Result<(), NetError> {
         let deadline = Instant::now() + self.options.register_timeout;
         loop {
             if self.slots.iter().all(|s| s.registered) {
@@ -869,7 +906,7 @@ impl ShardLoop {
 
     /// One step: relay `Params`, collect the shard's codewords, decode the
     /// shard's slice of the conflict graph, and build the upload.
-    fn serve_step(&mut self, step: u64, values: &[f64]) -> Message {
+    pub(crate) fn serve_step(&mut self, step: u64, values: &[f64]) -> Message {
         let frame: Arc<[u8]> = encode_params_frame(self.options.job, step, values).into();
         let targets: Vec<Token> = self
             .slots
@@ -877,7 +914,7 @@ impl ShardLoop {
             .filter(|s| s.alive)
             .filter_map(|s| s.conn)
             .collect();
-        self.reactor.broadcast(&frame, targets.into_iter());
+        self.reactor.broadcast(&frame, &targets);
 
         // Collect until every alive worker that saw the broadcast answered.
         let eligible: Vec<Option<Token>> = self
@@ -950,11 +987,11 @@ impl ShardLoop {
 
     /// Relays shutdown to the shard's workers, or emulates a crash (which
     /// hard-closes every socket, the root link included).
-    fn close_workers(&mut self, crashed: bool) {
+    pub(crate) fn close_workers(&mut self, crashed: bool) {
         if !crashed {
             let frame: Arc<[u8]> = Message::Shutdown.encode_for_job(self.options.job).into();
             let targets: Vec<Token> = self.slots.iter().filter_map(|s| s.conn).collect();
-            self.reactor.broadcast(&frame, targets.into_iter());
+            self.reactor.broadcast(&frame, &targets);
             self.reactor.flush_all(FLUSH_LIMIT);
         } else {
             self.reactor.hard_close_all();

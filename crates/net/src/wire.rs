@@ -51,6 +51,16 @@ pub enum WireError {
     UnsupportedVersion(u8),
     /// The payload length field exceeded [`MAX_PAYLOAD`].
     Oversized(u32),
+    /// The payload length field exceeded the receiving connection's
+    /// configured clamp (see [`FrameAssembler::with_max_frame`]) — a frame
+    /// that may be protocol-legal elsewhere but is an allocation request
+    /// this peer refuses to honor.
+    FrameTooLarge {
+        /// The length the frame header requested.
+        len: u32,
+        /// The clamp it exceeded.
+        max: u32,
+    },
     /// The payload's message tag is not a known [`Message`] variant.
     UnknownTag(u8),
     /// The payload ended before the message body was complete.
@@ -67,6 +77,10 @@ impl fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
             WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::Oversized(len) => write!(f, "frame payload of {len} bytes exceeds limit"),
+            WireError::FrameTooLarge { len, max } => write!(
+                f,
+                "frame payload of {len} bytes exceeds this connection's clamp of {max}"
+            ),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             WireError::Truncated => write!(f, "truncated message body"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message body"),
@@ -578,10 +592,28 @@ impl Frame<'_> {
 /// Consumed bytes are reclaimed lazily: the buffer compacts on the next
 /// fill, so back-to-back `next_frame` calls on one readiness burst touch
 /// each byte exactly once.
-#[derive(Debug, Default)]
+///
+/// Every assembler clamps the length prefix *before* any allocation
+/// happens: the protocol-wide [`MAX_PAYLOAD`] always applies, and
+/// [`FrameAssembler::with_max_frame`] tightens it per connection — a peer
+/// claiming a larger frame gets a typed [`WireError::FrameTooLarge`]
+/// instead of a buffer sized by its header.
+#[derive(Debug)]
 pub struct FrameAssembler {
     buf: Vec<u8>,
     start: usize,
+    /// Largest payload this connection accepts (≤ [`MAX_PAYLOAD`]).
+    max_frame: u32,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> FrameAssembler {
+        FrameAssembler {
+            buf: Vec::new(),
+            start: 0,
+            max_frame: MAX_PAYLOAD,
+        }
+    }
 }
 
 /// How many bytes [`FrameAssembler::fill_from`] grows the buffer by per
@@ -589,9 +621,19 @@ pub struct FrameAssembler {
 const FILL_CHUNK: usize = 64 * 1024;
 
 impl FrameAssembler {
-    /// An empty assembler.
+    /// An empty assembler accepting payloads up to [`MAX_PAYLOAD`].
     pub fn new() -> FrameAssembler {
         FrameAssembler::default()
+    }
+
+    /// An empty assembler clamped to `max_frame` payload bytes (itself
+    /// clamped to [`MAX_PAYLOAD`]): a frame whose header claims more is
+    /// rejected with [`WireError::FrameTooLarge`] before any allocation.
+    pub fn with_max_frame(max_frame: u32) -> FrameAssembler {
+        FrameAssembler {
+            max_frame: max_frame.min(MAX_PAYLOAD),
+            ..FrameAssembler::default()
+        }
     }
 
     /// Bytes buffered but not yet consumed by [`FrameAssembler::next_frame`].
@@ -641,8 +683,9 @@ impl FrameAssembler {
     ///
     /// # Errors
     ///
-    /// [`WireError::BadMagic`], [`WireError::UnsupportedVersion`], or
-    /// [`WireError::Oversized`] when the buffered header is malformed —
+    /// [`WireError::BadMagic`], [`WireError::UnsupportedVersion`],
+    /// [`WireError::Oversized`], or [`WireError::FrameTooLarge`] when the
+    /// buffered header is malformed or over this connection's clamp —
     /// connection-fatal, since frame boundaries are lost.
     pub fn next_frame(&mut self) -> Result<Option<Frame<'_>>, WireError> {
         let bytes = &self.buf[self.start..];
@@ -660,6 +703,12 @@ impl FrameAssembler {
         let len = u32::from_le_bytes(bytes[13..17].try_into().expect("4-byte slice"));
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
+        }
+        if len > self.max_frame {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: self.max_frame,
+            });
         }
         let len = len as usize;
         if bytes.len() < HEADER_LEN + len {
@@ -830,6 +879,81 @@ impl<'a> Cursor<'a> {
             })
             .collect()
     }
+}
+
+/// A deterministic corpus of messages covering every wire variant, shared
+/// by the wire property tests here and the model checker's conformance
+/// tests in `isgc-mc` (the dependency direction — chaos and mc depend on
+/// net — puts the shared generator in this crate).
+///
+/// The same seed always yields byte-identical messages: field values come
+/// from a splitmix64 stream, floats are raw bit patterns (NaN payloads,
+/// infinities and subnormals included), and every variant appears at least
+/// `len / 10` times because the variant index cycles rather than being
+/// sampled.
+#[must_use]
+pub fn corpus_messages(seed: u64) -> Vec<Message> {
+    let mut state = seed;
+    let mut next = move || -> u64 {
+        // splitmix64: the standard seeding PRNG; tiny, full-period, and
+        // good enough for corpus generation.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..80u64)
+        .map(|i| {
+            let a = next();
+            let b = next();
+            let ints: Vec<u64> = (0..next() % 16).map(|_| next() % 1024).collect();
+            let floats: Vec<f64> = (0..next() % 48).map(|_| f64::from_bits(next())).collect();
+            match i % 10 {
+                0 => Message::Hello {
+                    preferred: (a % 2 == 0).then_some(b),
+                },
+                1 => Message::Assign {
+                    worker: a,
+                    n: b,
+                    c: a.wrapping_add(b),
+                    batch_size: b.wrapping_mul(3),
+                    seed: a ^ b,
+                    partitions: ints,
+                },
+                2 => Message::Params {
+                    step: a,
+                    values: floats,
+                },
+                3 => Message::Codeword {
+                    worker: a,
+                    step: b,
+                    values: floats,
+                },
+                4 => Message::Heartbeat { worker: a },
+                5 => Message::Decline { worker: a, step: b },
+                6 => Message::SubHello { shard: a },
+                7 => Message::ShardAssign {
+                    shard: a,
+                    lo: b,
+                    hi: a.wrapping_add(b),
+                    n: a.wrapping_mul(7),
+                    c: b.wrapping_mul(5),
+                    batch_size: a ^ b,
+                    seed: b.rotate_left(17),
+                },
+                8 => Message::ShardUpload {
+                    shard: a,
+                    step: b,
+                    arrivals: ints.clone(),
+                    selected: ints,
+                    recovered: a.wrapping_add(3),
+                    partial: floats,
+                },
+                _ => Message::Shutdown,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1051,6 +1175,36 @@ mod tests {
         let mut asm = FrameAssembler::new();
         asm.push(&frame);
         assert!(matches!(asm.next_frame(), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn assembler_clamps_to_its_configured_max_frame() {
+        // A frame comfortably within MAX_PAYLOAD but over the connection's
+        // clamp is FrameTooLarge — rejected off the header, before the body
+        // even arrives (only HEADER_LEN bytes are buffered here).
+        let frame = Message::Params {
+            step: 1,
+            values: vec![0.0; 64],
+        }
+        .encode();
+        let payload_len = (frame.len() - HEADER_LEN) as u32;
+        let mut asm = FrameAssembler::with_max_frame(payload_len - 1);
+        asm.push(&frame[..HEADER_LEN]);
+        assert!(matches!(
+            asm.next_frame(),
+            Err(WireError::FrameTooLarge { len, max })
+                if len == payload_len && max == payload_len - 1
+        ));
+
+        // At exactly the clamp the frame passes.
+        let mut asm = FrameAssembler::with_max_frame(payload_len);
+        asm.push(&frame);
+        let got = asm.next_frame().expect("within clamp").expect("complete");
+        assert_eq!(got.wire_len, frame.len());
+
+        // The clamp can never exceed the protocol-wide bound.
+        let asm = FrameAssembler::with_max_frame(u32::MAX);
+        assert_eq!(asm.max_frame, MAX_PAYLOAD);
     }
 
     #[test]

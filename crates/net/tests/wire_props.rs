@@ -3,7 +3,9 @@
 //! bad magic, future versions, unknown tags — ever panics the decoder.
 
 use isgc_chaos::ChaosRng;
-use isgc_net::wire::{Message, WireError, HEADER_LEN, MAGIC, VERSION};
+use isgc_net::wire::{
+    corpus_messages, FrameAssembler, Message, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
 use proptest::prelude::*;
 
 /// Deterministically builds one of the ten message variants from a flat
@@ -154,6 +156,125 @@ proptest! {
     }
 
     #[test]
+    fn foreign_and_overflowing_job_tags_pass_through(message in message_strategy(), job_seed in 0u64..u64::MAX) {
+        // The job id is routing metadata, not framing: any 64-bit value —
+        // a foreign tenant's id, u64::MAX, a value that would overflow a
+        // smaller counter — must ride the header untouched and come back
+        // from the tagged decoder verbatim. Tenant filtering is the
+        // dispatcher's job, above the wire layer.
+        for job in [job_seed, 0, u64::MAX, u64::MAX - 1, 1 << 63] {
+            let bytes = message.encode_for_job(job);
+            let (tag, decoded, used) =
+                Message::decode_tagged(&bytes).expect("any job tag decodes");
+            prop_assert_eq!(tag, job);
+            prop_assert_eq!(&decoded, &message);
+            prop_assert_eq!(used, bytes.len());
+            // The untagged decoder must accept the same frame and simply
+            // drop the tag — a job-0 consumer fed a foreign frame fails at
+            // dispatch, never at decode.
+            let (plain, _) = Message::decode(&bytes).expect("untagged decode");
+            prop_assert_eq!(&plain, &message);
+        }
+    }
+
+    #[test]
+    fn truncated_shard_upload_partial_sums_reject_cleanly(
+        arrivals in proptest::collection::vec(0u64..64, 0..5),
+        partial in proptest::collection::vec(-1e9f64..1e9, 1..24),
+        cut_seed in 0usize..4096,
+    ) {
+        // A sub-master dying mid-write leaves a ShardUpload whose partial
+        // gradient vector stops short. Every cut inside the float region
+        // must yield `Truncated` — never a panic, never a short vector
+        // silently accepted.
+        let message = Message::ShardUpload {
+            shard: 1,
+            step: 3,
+            arrivals: arrivals.clone(),
+            selected: arrivals,
+            recovered: 2,
+            partial: partial.clone(),
+        };
+        let bytes = message.encode();
+        let floats_len = partial.len() * 8;
+        let float_region_start = bytes.len() - floats_len;
+        let cut = float_region_start + cut_seed % floats_len;
+        let err = Message::decode(&bytes[..cut]).expect_err("partial floats must not decode");
+        prop_assert!(matches!(err, WireError::Truncated), "cut {cut} gave {err:?}");
+
+        // The dual attack: the count field *claims* more floats than the
+        // payload carries. Same typed rejection.
+        let count_pos = float_region_start - 4;
+        let mut overstated = bytes.clone();
+        overstated[count_pos..count_pos + 4]
+            .copy_from_slice(&(partial.len() as u32 + 1).to_le_bytes());
+        prop_assert!(matches!(
+            Message::decode(&overstated),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn frame_clamp_rejects_before_allocation(claimed in 0u32..MAX_PAYLOAD, max in 1u32..4096) {
+        // satellite of the FrameAssembler clamp: a header claiming more
+        // than this connection's max-frame must produce the typed
+        // `FrameTooLarge` from the header alone — 17 bytes buffered, no
+        // payload allocation — while claims within the clamp wait for the
+        // body like any other frame.
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.push(VERSION);
+        header.extend_from_slice(&0u64.to_le_bytes());
+        header.extend_from_slice(&claimed.to_le_bytes());
+        let mut assembler = FrameAssembler::with_max_frame(max);
+        assembler.push(&header);
+        match assembler.next_frame() {
+            Err(WireError::FrameTooLarge { len, max: m }) => {
+                prop_assert!(claimed > max, "clamp fired below the limit");
+                prop_assert_eq!(len, claimed);
+                prop_assert_eq!(m, max);
+            }
+            Ok(None) => prop_assert!(claimed <= max, "oversized claim buffered"),
+            other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn decline_after_death_orderings_decode_statelessly(
+        worker in 0u64..8,
+        step in 0u64..16,
+        chunk in 1usize..64,
+    ) {
+        // A worker's dying breath can reorder arbitrarily against its
+        // replacement's handshake: a stale Decline may land after the
+        // worker's own Shutdown, after a successor's Hello, even after the
+        // successor's Codeword for the same step. The wire layer is
+        // stateless, so every ordering must decode frame-for-frame; which
+        // declines *count* is the collector's decision (the model checker
+        // exhausts those orderings semantically — see `isgc-mc`).
+        let sequence = [
+            Message::Codeword { worker, step, values: vec![1.0, -2.0] },
+            Message::Shutdown,
+            Message::Decline { worker, step },
+            Message::Hello { preferred: Some(worker) },
+            Message::Decline { worker, step: step + 1 },
+            Message::Codeword { worker, step: step + 1, values: vec![0.5] },
+        ];
+        let stream: Vec<u8> = sequence.iter().flat_map(Message::encode).collect();
+        // Feed in arbitrary chunk sizes to cross frame boundaries.
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            assembler.push(piece);
+            while let Some(frame) = assembler.next_frame().expect("valid stream") {
+                decoded.push(frame.message().expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(decoded, sequence.to_vec());
+        prop_assert_eq!(assembler.pending(), 0);
+    }
+
+    #[test]
     fn back_to_back_frames_decode_in_sequence(first in message_strategy(), second in message_strategy()) {
         let mut bytes = first.encode();
         let split = bytes.len();
@@ -235,6 +356,37 @@ fn chaos_bit_flip_sweep_replays_exactly() {
     };
     assert_eq!(sample(42), sample(42));
     assert_ne!(sample(42), sample(43));
+}
+
+/// The shared seed corpus (also consumed by the model checker's frame
+/// tests): deterministic, covers every variant, and round-trips bit-exactly
+/// through a chunked `FrameAssembler` — the exact path a reactor connection
+/// takes.
+#[test]
+fn seed_corpus_covers_every_variant_and_roundtrips() {
+    let corpus = corpus_messages(0x15C0_C0DE);
+    assert_eq!(
+        corpus,
+        corpus_messages(0x15C0_C0DE),
+        "corpus is deterministic"
+    );
+    assert_ne!(corpus, corpus_messages(0x15C0_C0DF), "seed matters");
+
+    let mut variants = std::collections::HashSet::new();
+    let stream: Vec<u8> = corpus.iter().flat_map(Message::encode).collect();
+    let mut assembler = FrameAssembler::new();
+    let mut decoded = Vec::new();
+    for piece in stream.chunks(13) {
+        assembler.push(piece);
+        while let Some(frame) = assembler.next_frame().expect("corpus stream is valid") {
+            decoded.push(frame.message().expect("corpus frame decodes"));
+        }
+    }
+    assert_eq!(decoded, corpus);
+    for m in &corpus {
+        variants.insert(std::mem::discriminant(m));
+    }
+    assert_eq!(variants.len(), 10, "corpus exercises all ten variants");
 }
 
 #[test]

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Kernel perf regression guard: compares a freshly measured
-# BENCH_kernels.json against the checked-in baseline and fails when any
-# kernel's ns/elem regressed by more than 30%.
+# Perf regression guard: compares a freshly measured results JSON against a
+# checked-in baseline and fails on >30% regression of any guarded metric.
 #
 # Usage: scripts/bench_guard.sh <fresh.json> [baseline.json]
 #
-# Only `_ns_per_elem` keys are compared (lower is better, machine-portable
-# as a ratio); speedup/e2e/alloc keys are informational and skipped —
-# steps/sec depends on host load far more than on code.
+# Two metric families are guarded, distinguished by key suffix:
+#   *_ns_per_elem    lower is better  — fails when fresh > base * 1.30
+#   *_states_per_sec higher is better — fails when fresh < base / 1.30
+# (kernel timings from BENCH_kernels.json, model-checker exploration
+# throughput from BENCH_mc.json). All other keys are informational and
+# skipped — wall-clock totals and steps/sec depend on host load far more
+# than on code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,9 +21,9 @@ limit="1.30"
 [ -f "$fresh" ] || { echo "FAIL: fresh results '$fresh' not found" >&2; exit 1; }
 [ -f "$baseline" ] || { echo "FAIL: baseline '$baseline' not found" >&2; exit 1; }
 
-# Extracts `"key": value` pairs for keys ending in _ns_per_elem.
+# Extracts `"key": value` pairs for guarded keys of either family.
 extract() {
-  sed -n 's/^ *"\([a-z0-9_]*_ns_per_elem\)": *\([0-9.]*\),*$/\1 \2/p' "$1"
+  sed -n 's/^ *"\([a-z0-9_]*_\(ns_per_elem\|states_per_sec\)\)": *\([0-9.]*\),*$/\1 \3/p' "$1"
 }
 
 fail=0
@@ -33,17 +36,29 @@ while read -r key base; do
     continue
   fi
   checked=$((checked + 1))
-  if awk -v n="$now" -v b="$base" -v l="$limit" 'BEGIN { exit !(n > b * l) }'; then
-    echo "FAIL: $key regressed: $now ns/elem vs baseline $base (> ${limit}x)" >&2
-    fail=1
-  fi
+  case "$key" in
+    *_states_per_sec)
+      # Higher is better: regression means throughput fell below base/limit.
+      if awk -v n="$now" -v b="$base" -v l="$limit" 'BEGIN { exit !(n < b / l) }'; then
+        echo "FAIL: $key regressed: $now states/sec vs baseline $base (< baseline/${limit})" >&2
+        fail=1
+      fi
+      ;;
+    *)
+      # Lower is better (ns/elem).
+      if awk -v n="$now" -v b="$base" -v l="$limit" 'BEGIN { exit !(n > b * l) }'; then
+        echo "FAIL: $key regressed: $now ns/elem vs baseline $base (> ${limit}x)" >&2
+        fail=1
+      fi
+      ;;
+  esac
 done < <(extract "$baseline")
 
 if [ "$checked" -eq 0 ]; then
-  echo "FAIL: no _ns_per_elem keys found in $baseline" >&2
+  echo "FAIL: no guarded keys found in $baseline" >&2
   exit 1
 fi
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "ok: $checked kernel timings within ${limit}x of baseline"
+echo "ok: $checked guarded metrics within ${limit}x of baseline"

@@ -48,10 +48,27 @@ if [ -z "$threads" ] || [ "$threads" -gt 2 ]; then
   exit 1
 fi
 
+echo "== protocol model-check smoke (flat3, depth-limited, exhaustive)"
+# Enumerates every delivery order and ≤2-fault schedule of an FR(3, 1)
+# cluster through the real collector loop; any invariant violation fails the
+# command (and would write a replayable counterexample trace).
+mc_out=$(cargo run --release --quiet -- mc --shape flat3 --depth 32 --trace-out target/mc_trace.json)
+echo "$mc_out" | sed -n '2p;6p'
+mc_rate=$(echo "$mc_out" | sed -n 's/^mc_flat3_states_per_sec: //p')
+printf '{\n  "mc_flat3_states_per_sec": %s\n}\n' "$mc_rate" > target/BENCH_mc_smoke.json
+scripts/bench_guard.sh target/BENCH_mc_smoke.json BENCH_mc.json
+
+echo "== model-checker mutation loop (seeded bug: find -> shrink -> replay)"
+# The mc-mutation feature weakens the real master's stale guard; the gated
+# suite must find the bug by exhaustive search, shrink the schedule to its
+# 1-minimal core, and reproduce the exact failure fingerprint on a real
+# loopback cluster.
+cargo test --release -q -p isgc-mc --features mc-mutation --test mutation
+
 echo "== kernels bench smoke + regression guard (30% ns/elem budget)"
 # A reduced-iteration measurement on this host, compared per-kernel against
 # the checked-in BENCH_kernels.json; >30% slower on any kernel fails.
 ISGC_BENCH_SMOKE=1 cargo run --release --quiet -p isgc-bench --bin kernels -- target/BENCH_kernels_smoke.json > /dev/null
 scripts/bench_guard.sh target/BENCH_kernels_smoke.json
 
-echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, multi-tenant, reactor scale, and kernel perf guard all clean"
+echo "ok: fmt, clippy, docs, tests, engine parity, snapshots, chaos, blackout, multi-tenant, reactor scale, model check, and perf guards all clean"

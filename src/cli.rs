@@ -5,10 +5,14 @@
 //! Command logic lives here as pure functions returning the rendered output,
 //! so everything is unit-testable; `main` only does I/O.
 
-use isgc_chaos::{run_chaos, run_tree_chaos, ChaosConfig, FaultPlan, TreeChaosConfig, PLAN_NAMES};
-use isgc_core::decode::{decoder_for, Decoder, ExactDecoder};
+use isgc_chaos::{
+    failure_fingerprint, run_chaos, run_tree_chaos, ChaosConfig, FaultPlan, Trace, TreeChaosConfig,
+    PLAN_NAMES,
+};
+use isgc_core::decode::{decoder_for, ExactDecoder, OracleTimeout};
 use isgc_core::{bounds, ConflictGraph, HrParams, Placement, Scheme, WorkerSet};
 use isgc_engine::{shard_ranges, DegradePolicy, StepOutcome};
+use isgc_mc::{counterexample_trace, explore, explore_plan, minimize, McConfig};
 use isgc_ml::dataset::Dataset;
 use isgc_ml::model::SoftmaxRegression;
 use isgc_net::{
@@ -101,6 +105,21 @@ USAGE:
               submaster-crash
        submaster-crash flags: --submasters <S> --crash-shard <i> --crash-step <t>
               (2-level tree; kills sub-master i at step t, default 2 1 2)
+       --plan may also name a counterexample trace file written by `isgc mc`
+              (path ending in .json): the scripted schedule replays on a real
+              cluster and the failure fingerprint must match the trace's
+  isgc mc [flags]                          exhaustively model-check the collector
+                                           protocol: enumerate every delivery
+                                           order and fault schedule for a small
+                                           cluster, asserting the chaos invariants
+                                           at every reachable state
+       flags: --shape flat3|flat4|tree2x2  cluster under test (default flat3)
+              --steps <k> --seed <s>       run length and data seed (default 2 7)
+              --max-faults <k>             faults budget per schedule (default 2)
+              --depth <k>                  branching decisions per run (default 64)
+              --max-runs <k>               search cutoff (default 200000)
+              --trace-out <path>           where to write the minimized
+                                           counterexample (default mc_trace.json)
 
 Two-terminal quickstart (an 8-worker FR(8,2) cluster, ignore the 2 slowest):
   terminal 1:  isgc serve fr 8 2 --w 6 --steps 20
@@ -129,6 +148,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("swarm") => cmd_swarm(&args[1..]),
         Some("launch") => cmd_launch(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("mc") => cmd_mc(&args[1..]),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -620,11 +640,18 @@ fn net_model_and_data(n: usize) -> (SoftmaxRegression, Dataset) {
     )
 }
 
-/// Renders one master-side per-step progress line.
-fn render_step(r: &isgc_net::NetReport, n: usize, oracle: Option<usize>) -> String {
+/// Renders one master-side per-step progress line. `oracle` is the exact
+/// decoder's verdict for the step: absent (not run), a recovered count, or a
+/// typed timeout when the budgeted branch-and-bound could not finish.
+fn render_step(
+    r: &isgc_net::NetReport,
+    n: usize,
+    oracle: Option<Result<usize, OracleTimeout>>,
+) -> String {
     let oracle_note = match oracle {
-        Some(best) if best == r.recovered => " (oracle ok)".to_string(),
-        Some(best) => format!(" (ORACLE MISMATCH: exact decoder finds {best})"),
+        Some(Ok(best)) if best == r.recovered => " (oracle ok)".to_string(),
+        Some(Ok(best)) => format!(" (ORACLE MISMATCH: exact decoder finds {best})"),
+        Some(Err(timeout)) => format!(" (oracle timeout > {:?})", timeout.budget),
         None => String::new(),
     };
     let dead_note = if r.dead.is_empty() {
@@ -1122,25 +1149,27 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
     // decoder and flag any step where the runtime recovered less. The
     // oracle is branch-and-bound MIS — exponential in the worst case (it
     // visibly stalls on near-full availability already at FR(64, 2)) — so
-    // scale runs skip it rather than stall the master mid-step.
-    const ORACLE_MAX_N: usize = 32;
-    let oracle = (n <= ORACLE_MAX_N).then(|| ExactDecoder::new(&p));
-    let mut oracle_rng = StdRng::seed_from_u64(1);
+    // it runs under a wall-clock budget: a step whose search exceeds the
+    // budget is reported as a typed timeout instead of silently skipping
+    // the check (or stalling the master mid-step).
+    const ORACLE_BUDGET: Duration = Duration::from_millis(250);
+    let oracle = ExactDecoder::with_budget(&p, ORACLE_BUDGET);
     let mut mismatches = 0usize;
+    let mut oracle_timeouts = 0usize;
     let mut threads_during_run: Option<usize> = None;
     let (model, dataset) = net_model_and_data(n);
     let outcome = master.run_with(&model, &dataset, &config, |r| {
         threads_during_run = threads_during_run.or_else(process_threads);
-        let best = oracle.as_ref().map(|oracle| {
-            let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
-            oracle.decode(&available, &mut oracle_rng).recovered_count()
-        });
-        if let Some(best) = best {
-            if best != r.recovered {
-                mismatches += 1;
-            }
+        let available = WorkerSet::from_indices(n, r.arrivals.iter().copied());
+        let best = oracle
+            .decode_within(&available)
+            .map(|d| d.recovered_count());
+        match best {
+            Ok(best) if best != r.recovered => mismatches += 1,
+            Err(_) => oracle_timeouts += 1,
+            Ok(_) => {}
         }
-        println!("{}", render_step(r, n, best));
+        println!("{}", render_step(r, n, Some(best)));
     });
     let report = match outcome {
         Ok(report) => report,
@@ -1160,6 +1189,13 @@ fn cmd_launch(args: &[String]) -> Result<String, String> {
         ));
     }
     let mut out = render_net_summary(&report);
+    if oracle_timeouts > 0 {
+        let _ = writeln!(
+            out,
+            "oracle timeouts:    {oracle_timeouts} steps exceeded the {ORACLE_BUDGET:?} \
+             exact-MIS budget (maximality unchecked there)"
+        );
+    }
     if let Some(threads) = threads_during_run {
         let _ = writeln!(out, "master threads during run: {threads}");
     }
@@ -1316,6 +1352,205 @@ fn launch_multi(
 /// `isgc chaos --plan <name> [--seed s] [--n k --c k --steps k]`: run a
 /// loopback cluster under a named fault plan and report the per-step record,
 /// the determinism fingerprint, and any invariant violations.
+/// The `chaos --plan <trace.json>` arm: replays a model-checker
+/// counterexample (or any saved trace) on a real loopback cluster and holds
+/// the run to the trace's recorded failure fingerprint.
+fn cmd_chaos_replay(path: &str, flags: &HashMap<String, String>) -> Result<String, String> {
+    for flag in ["n", "c", "steps", "seed"] {
+        if flags.contains_key(flag) {
+            return Err(format!(
+                "--{flag} conflicts with a trace file: the trace records the cluster shape"
+            ));
+        }
+    }
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let trace = Trace::from_json(&json).map_err(|e| format!("invalid trace '{path}': {e}"))?;
+    let mut config = ChaosConfig::new(trace.seed);
+    config.n = trace.n;
+    config.c = trace.c;
+    config.steps = trace.steps;
+    let metrics = metrics_from(flags);
+    config.metrics = metrics.as_ref().map(|(_, r)| r.clone());
+    if let Some(policy) = degrade_from(flags)? {
+        config.degrade = policy;
+    }
+    let plan = trace.plan();
+    let outcome = run_chaos(&plan, &config).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replaying trace '{}' ({path}) on FR({}, {}), {} steps, seed {}",
+        trace.name, config.n, config.c, config.steps, trace.seed
+    );
+    for r in &outcome.reports {
+        let _ = writeln!(out, "{}", render_step(r, config.n, None));
+    }
+    let _ = writeln!(out, "final loss:         {:.4}", outcome.final_loss);
+    let _ = writeln!(out, "run fingerprint:    {:016x}", outcome.fingerprint);
+    finish_metrics(&mut out, metrics.as_ref())?;
+    for v in &outcome.violations {
+        let _ = writeln!(out, "VIOLATION: {v}");
+    }
+    let observed = failure_fingerprint(&outcome.violations);
+    match trace.fingerprint {
+        Some(expected) if expected == observed => {
+            let _ = writeln!(
+                out,
+                "failure fingerprint {observed:016x} matches the trace: the modeled \
+                 counterexample reproduces on a real cluster"
+            );
+            Ok(out)
+        }
+        Some(expected) => {
+            let _ = writeln!(
+                out,
+                "failure fingerprint mismatch: trace recorded {expected:016x}, replay \
+                 produced {observed:016x}"
+            );
+            Err(out)
+        }
+        None if outcome.passed() => {
+            let _ = writeln!(out, "trace records no failure and the replay is clean");
+            Ok(out)
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "trace records no failure but the replay violated invariants"
+            );
+            Err(out)
+        }
+    }
+}
+
+/// The `mc` command: exhaustive protocol model checking with counterexample
+/// minimization. A violation writes a replayable trace and fails the command.
+fn cmd_mc(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "shape",
+            "steps",
+            "seed",
+            "max-faults",
+            "depth",
+            "max-runs",
+            "trace-out",
+        ],
+    )?;
+    let shape = flags.get("shape").map_or("flat3", String::as_str);
+    let mut cfg = match shape {
+        "flat3" => McConfig::flat3(),
+        "flat4" => McConfig::flat4(),
+        "tree2x2" => McConfig::tree2x2(),
+        other => {
+            return Err(format!(
+                "unknown shape '{other}'; available: flat3, flat4, tree2x2"
+            ))
+        }
+    };
+    if let Some(s) = flags.get("steps") {
+        cfg.steps = parse(s, "steps")?;
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = parse(s, "seed")?;
+    }
+    if let Some(s) = flags.get("max-faults") {
+        cfg.max_faults = parse(s, "max-faults")?;
+    }
+    if let Some(s) = flags.get("depth") {
+        cfg.depth = parse(s, "depth")?;
+    }
+    if let Some(s) = flags.get("max-runs") {
+        cfg.max_runs = parse(s, "max-runs")?;
+    }
+
+    let (n, c) = cfg.shape.cluster();
+    let result = explore(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model checking '{}' — FR({n}, {c}), {} steps, seed {}, ≤{} faults, depth {}",
+        cfg.shape.name(),
+        cfg.steps,
+        cfg.seed,
+        cfg.max_faults,
+        cfg.depth
+    );
+    let _ = writeln!(
+        out,
+        "runs:               {} ({} completed, {} degraded, {} all-lost, {} pruned, {} stuck)",
+        result.runs, result.completed, result.degraded, result.lost, result.pruned, result.stuck
+    );
+    let _ = writeln!(
+        out,
+        "states:             {} ({} terminal + {} branching)",
+        result.states(),
+        result.runs,
+        result.branch_states
+    );
+    let _ = writeln!(out, "events delivered:   {}", result.events);
+    let _ = writeln!(
+        out,
+        "recovery outcomes:  {} distinct fingerprints",
+        result.distinct_fingerprints
+    );
+    let _ = writeln!(
+        out,
+        "search:             {}",
+        if result.truncated {
+            "TRUNCATED by --max-runs (coverage incomplete)"
+        } else if result.passed() {
+            "exhausted the bounded state space"
+        } else {
+            "stopped at the first violation"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "mc_{}_states_per_sec: {:.0}",
+        cfg.shape.name(),
+        result.states_per_sec()
+    );
+
+    if result.passed() {
+        let _ = writeln!(
+            out,
+            "invariants:         recovery bounds, oracle equality, ladder arithmetic, \
+             absence/stale accounting, fingerprint determinism, progress — all hold"
+        );
+        return Ok(out);
+    }
+
+    let violation = &result.violations[0];
+    let _ = writeln!(out, "\nVIOLATION under faults {:?}:", violation.faults);
+    for m in &violation.messages {
+        let _ = writeln!(out, "  {m}");
+    }
+    let minimized = minimize(&cfg, &violation.faults);
+    let _ = writeln!(
+        out,
+        "minimized ({} -> {} faults): {:?}",
+        violation.faults.len(),
+        minimized.len(),
+        minimized
+    );
+    let final_violation = explore_plan(&cfg, &minimized).unwrap_or_else(|| violation.clone());
+    let trace = counterexample_trace(&cfg, &final_violation);
+    let trace_path = flags
+        .get("trace-out")
+        .map_or("mc_trace.json", String::as_str);
+    std::fs::write(trace_path, trace.to_json())
+        .map_err(|e| format!("cannot write '{trace_path}': {e}"))?;
+    let _ = writeln!(
+        out,
+        "counterexample written to {trace_path}; replay it on a real cluster with:\n  \
+         isgc chaos --plan {trace_path}"
+    );
+    Err(out)
+}
+
 fn cmd_chaos(args: &[String]) -> Result<String, String> {
     let flags = parse_flags(
         args,
@@ -1335,6 +1570,9 @@ fn cmd_chaos(args: &[String]) -> Result<String, String> {
         ],
     )?;
     let name = flags.get("plan").map_or("smoke", String::as_str);
+    if name.ends_with(".json") || std::path::Path::new(name).is_file() {
+        return cmd_chaos_replay(name, &flags);
+    }
     let seed: u64 = match flags.get("seed") {
         Some(s) => parse(s, "seed")?,
         None => 42,
@@ -1731,12 +1969,17 @@ mod tests {
             consecutive_degraded: 0,
             loss: 0.5,
         };
-        let line = render_step(&r, 4, Some(5));
+        let line = render_step(&r, 4, Some(Ok(5)));
         assert!(line.contains("oracle ok"));
         assert!(line.contains("dead [3]"));
         assert!(line.contains("repaired 1"));
-        let line = render_step(&r, 4, Some(6));
+        let line = render_step(&r, 4, Some(Ok(6)));
         assert!(line.contains("ORACLE MISMATCH"));
+        let timeout = OracleTimeout {
+            budget: Duration::from_millis(250),
+        };
+        let line = render_step(&r, 4, Some(Err(timeout)));
+        assert!(line.contains("oracle timeout > 250ms"), "{line}");
         let line = render_step(&r, 4, None);
         assert!(!line.contains("oracle"));
 
